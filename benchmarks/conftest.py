@@ -1,0 +1,30 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Every benchmark regenerates one table or figure of the paper and prints
+it (run with ``pytest benchmarks/ --benchmark-only -s`` to see the tables
+inline; they are also echoed into the benchmark's ``extra_info``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Benchmark a whole experiment exactly once (they are minutes-scale
+    aggregates, not microbenchmarks)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture(scope="session")
+def suite120():
+    from repro.workloads.dr_test.suite import build_suite
+
+    return build_suite()
+
+
+@pytest.fixture(scope="session")
+def parsec13():
+    from repro.workloads.parsec.registry import parsec_workloads
+
+    return parsec_workloads()

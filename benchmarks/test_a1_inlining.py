@@ -1,0 +1,40 @@
+"""Ablation A1 — condition-call inlining depth.
+
+DESIGN.md calls out the inlining of direct condition calls as the design
+choice that makes spin(7) effective: the paper observes that realistic
+spin loops compute their condition through "templates and complex
+function calls".  With inlining disabled (depth 0) every helper-based
+loop becomes opaque and lib+spin degenerates toward spin(3) behaviour.
+"""
+
+from dataclasses import replace
+
+from repro.detectors import ToolConfig
+from repro.harness.metrics import score_suite
+from repro.harness.tables import suite_table
+
+from benchmarks.conftest import run_once
+
+
+def test_a1_inline_depth(benchmark, suite120):
+    def experiment():
+        rows = []
+        for depth in (0, 1, 2):
+            cfg = replace(
+                ToolConfig.helgrind_lib_spin(7),
+                inline_depth=depth,
+            ).with_name(f"lib+spin(7) inline={depth}")
+            score, _ = score_suite(suite120, cfg)
+            rows.append(score.row())
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print()
+    print(suite_table(rows, "A1 — condition-call inlining depth"))
+    fa = {r["tool"]: r["false_alarms"] for r in rows}
+    # depth 0: helper-based eff-7 loops all missed -> many more FAs.
+    assert fa["lib+spin(7) inline=0"] > 2 * fa["lib+spin(7) inline=1"]
+    # depth 2 additionally recovers the deep-chain hard case (one fewer FA).
+    assert fa["lib+spin(7) inline=2"] <= fa["lib+spin(7) inline=1"]
+    for r in rows:
+        benchmark.extra_info[r["tool"]] = f"FA={r['false_alarms']}"

@@ -1,0 +1,37 @@
+"""Ablation A3 — synchronization-race suppression on/off.
+
+The paper distinguishes *apparent races* (on the protected data) from
+*synchronization races* (on the flag itself) and suppresses both.  With
+suppression disabled, the happens-before edges still eliminate the
+apparent races, but every ad-hoc case keeps a warning on its flag — the
+suite's false-alarm count reverts most of the spin feature's benefit.
+"""
+
+from dataclasses import replace
+
+from repro.detectors import ToolConfig
+from repro.harness.metrics import score_suite
+from repro.harness.tables import suite_table
+
+from benchmarks.conftest import run_once
+
+
+def test_a3_flag_suppression(benchmark, suite120):
+    def experiment():
+        rows = []
+        for suppress in (True, False):
+            cfg = replace(
+                ToolConfig.helgrind_lib_spin(7),
+                adhoc_suppress=suppress,
+            ).with_name(f"lib+spin(7) suppress={suppress}")
+            score, _ = score_suite(suite120, cfg)
+            rows.append(score.row())
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print()
+    print(suite_table(rows, "A3 — synchronization-race suppression"))
+    fa = {r["tool"]: r["false_alarms"] for r in rows}
+    assert fa["lib+spin(7) suppress=False"] > 2 * fa["lib+spin(7) suppress=True"]
+    for r in rows:
+        benchmark.extra_info[r["tool"]] = f"FA={r['false_alarms']}"

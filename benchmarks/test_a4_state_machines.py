@@ -1,0 +1,39 @@
+"""Ablation A4 — short-run vs long-run memory state machines.
+
+Helgrind+ ships two per-address state machines (slide 14): the sensitive
+short-run machine for unit-test style runs, and the long-run machine
+that tolerates the first offending access pair per address ("might miss
+a race on first iteration, but not on second").  The long-run machine
+trades missed races for fewer false alarms.
+"""
+
+from repro.detectors import ToolConfig
+from repro.harness.metrics import score_suite
+from repro.harness.tables import suite_table
+
+from benchmarks.conftest import run_once
+
+
+def test_a4_state_machines(benchmark, suite120):
+    def experiment():
+        rows = []
+        for long_run in (False, True):
+            cfg = ToolConfig.helgrind_lib(long_run=long_run).with_name(
+                f"lib {'long-run' if long_run else 'short-run'}"
+            )
+            score, _ = score_suite(suite120, cfg)
+            rows.append(score.row())
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print()
+    print(suite_table(rows, "A4 — short-run vs long-run state machine"))
+    by = {r["tool"]: r for r in rows}
+    # Long-run is less sensitive: no more false alarms than short-run,
+    # and at least as many missed races.
+    assert by["lib long-run"]["false_alarms"] <= by["lib short-run"]["false_alarms"]
+    assert by["lib long-run"]["missed_races"] >= by["lib short-run"]["missed_races"]
+    for r in rows:
+        benchmark.extra_info[r["tool"]] = (
+            f"FA={r['false_alarms']} MR={r['missed_races']}"
+        )

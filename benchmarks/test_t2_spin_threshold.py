@@ -1,0 +1,37 @@
+"""T2 (slide 25) — spinning-read window sensitivity, k in {3, 6, 7, 8}.
+
+Paper reference rows:
+
+    lib+spin(3)   24 FA   7 MR   31 failed    89 correct
+    lib+spin(6)   23      7      30           90
+    lib+spin(7)    8      7      15          105
+    lib+spin(8)    8      7      15          105
+"""
+
+from repro.detectors import ToolConfig
+from repro.harness.metrics import score_suite
+from repro.harness.tables import suite_table
+
+from benchmarks.conftest import run_once
+
+
+def test_t2_spin_threshold(benchmark, suite120):
+    def experiment():
+        rows = []
+        for k in (3, 6, 7, 8):
+            score, _ = score_suite(suite120, ToolConfig.helgrind_lib_spin(k))
+            rows.append(score.row())
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print()
+    print(suite_table(rows, "T2 — spin(k) sensitivity (measured; paper: 24/23/8/8 FAs)"))
+    for row in rows:
+        benchmark.extra_info[row["tool"]] = f"FA={row['false_alarms']}"
+
+    fa = {r["tool"]: r["false_alarms"] for r in rows}
+    # The paper's saturation shape: small windows miss the helper-based
+    # loops; spin(7) is the sweet spot; spin(8) adds nothing.
+    assert fa["Helgrind+ lib+spin(3)"] > 2 * fa["Helgrind+ lib+spin(7)"]
+    assert fa["Helgrind+ lib+spin(6)"] > 2 * fa["Helgrind+ lib+spin(7)"]
+    assert fa["Helgrind+ lib+spin(7)"] == fa["Helgrind+ lib+spin(8)"]

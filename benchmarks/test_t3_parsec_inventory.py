@@ -1,0 +1,73 @@
+"""T3 (slide 26) — PARSEC program characteristics table.
+
+The paper's table lists each program's parallelization model, LOC, and
+synchronization inventory (ad-hoc / CVs / locks / barriers).  Our LOC
+stand-in is the static IR instruction count.
+"""
+
+from repro.harness.tables import format_table
+from repro.workloads.parsec.registry import (
+    WITH_ADHOC,
+    WITHOUT_ADHOC,
+    program_metadata,
+)
+
+from benchmarks.conftest import run_once
+
+#: the paper's sync inventory (slide 26), for cross-checking ours
+PAPER_INVENTORY = {
+    "blackscholes": {"barriers"},
+    "swaptions": set(),
+    "fluidanimate": {"locks"},
+    "canneal": {"locks"},
+    "freqmine": set(),  # OpenMP: unknown library, nothing annotated
+    "vips": {"adhoc", "cvs"},
+    "bodytrack": {"adhoc", "cvs", "locks"},
+    "facesim": {"adhoc", "cvs", "locks"},
+    "ferret": {"adhoc", "cvs", "locks"},
+    "x264": {"adhoc", "cvs", "locks"},
+    "dedup": {"adhoc", "cvs", "locks"},
+    "streamcluster": {"adhoc", "cvs", "locks", "barriers"},
+    "raytrace": {"adhoc", "cvs", "locks"},
+}
+
+
+def test_t3_parsec_inventory(benchmark):
+    meta = run_once(benchmark, program_metadata)
+    headers = [
+        "Program",
+        "Model",
+        "Instrs",
+        "Threads",
+        "Ad-hoc",
+        "CVs",
+        "Locks",
+        "Barriers",
+    ]
+    rows = [
+        [
+            name,
+            m["model"],
+            m["instructions"],
+            m["threads"],
+            "x" if m["adhoc"] else "-",
+            "x" if m["cvs"] else "-",
+            "x" if m["locks"] else "-",
+            "x" if m["barriers"] else "-",
+        ]
+        for name, m in meta.items()
+    ]
+    print()
+    print(format_table(headers, rows, title="T3 — PARSEC program characteristics"))
+
+    assert len(meta) == 13
+    for name, m in meta.items():
+        inventory = {
+            kind
+            for kind in ("adhoc", "cvs", "locks", "barriers")
+            if m[kind]
+        }
+        assert inventory == PAPER_INVENTORY[name], name
+    # Programs are real code, not stubs.
+    assert all(m["instructions"] > 100 for m in meta.values())
+    benchmark.extra_info["programs"] = 13

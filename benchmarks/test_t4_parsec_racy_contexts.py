@@ -1,0 +1,100 @@
+"""T4 (slides 27-29) — PARSEC racy contexts, averaged over 5 seeds.
+
+Paper reference (rows are lib / lib+spin / nolib+spin / DRD):
+
+    blackscholes   0      0     0     0        vips          50.8   0    0    858.6
+    swaptions      0      0     0     0        bodytrack     36.8   3.6  32.4  34.6
+    fluidanimate   0      0     0     0        facesim      113.8   0    0   1000
+    canneal        0      0     0     0        ferret       111     2   47    214.6
+    freqmine     153.4    2     2  1000        x264        1000    19   28   1000
+                                               dedup       1000     0    2      0
+                                               streamcluster  4     0    1   1000
+                                               raytrace     106.4   0    0   1000
+"""
+
+import pytest
+
+from repro.detectors import ToolConfig
+from repro.harness.metrics import racy_contexts_table
+from repro.harness.tables import contexts_table
+from repro.workloads.parsec.registry import (
+    WITH_ADHOC,
+    WITHOUT_ADHOC,
+    parsec_workload,
+)
+
+from benchmarks.conftest import run_once
+
+SEEDS = (1, 2, 3, 4, 5)
+LIB = "Helgrind+ lib"
+SPIN = "Helgrind+ lib+spin(7)"
+NOLIB = "Helgrind+ nolib+spin(7)"
+DRD = "DRD"
+
+PAPER = {
+    "blackscholes": (0, 0, 0, 0),
+    "swaptions": (0, 0, 0, 0),
+    "fluidanimate": (0, 0, 0, 0),
+    "canneal": (0, 0, 0, 0),
+    "freqmine": (153.4, 2, 2, 1000),
+    "vips": (50.8, 0, 0, 858.6),
+    "bodytrack": (36.8, 3.6, 32.4, 34.6),
+    "facesim": (113.8, 0, 0, 1000),
+    "ferret": (111, 2, 47, 214.6),
+    "x264": (1000, 19, 28, 1000),
+    "dedup": (1000, 0, 2, 0),
+    "streamcluster": (4, 0, 1, 1000),
+    "raytrace": (106.4, 0, 0, 1000),
+}
+
+
+def _measure(names):
+    workloads = [parsec_workload(n) for n in names]
+    tools = ToolConfig.paper_tools(7)
+    return racy_contexts_table(workloads, tools, SEEDS)
+
+
+def test_t4a_programs_without_adhoc(benchmark):
+    data = run_once(benchmark, lambda: _measure(WITHOUT_ADHOC))
+    print()
+    print(
+        contexts_table(
+            data,
+            [LIB, SPIN, NOLIB, DRD],
+            "T4a — racy contexts, programs without ad-hoc sync (5-seed avg)",
+        )
+    )
+    for name in ("blackscholes", "swaptions", "fluidanimate", "canneal"):
+        assert all(v == 0 for v in data[name].values()), name
+    assert data["freqmine"][LIB] > 50
+    assert data["freqmine"][SPIN] <= 3
+    assert data["freqmine"][NOLIB] <= 3
+    assert data["freqmine"][DRD] == 1000
+    for name, per_tool in data.items():
+        benchmark.extra_info[name] = {t: round(v, 1) for t, v in per_tool.items()}
+
+
+def test_t4b_programs_with_adhoc(benchmark):
+    data = run_once(benchmark, lambda: _measure(WITH_ADHOC))
+    print()
+    print(
+        contexts_table(
+            data,
+            [LIB, SPIN, NOLIB, DRD],
+            "T4b — racy contexts, programs with ad-hoc sync (5-seed avg)",
+        )
+    )
+    # Slide 28: 5 of 8 programs completely fixed by spin detection.
+    fully_fixed = [n for n in WITH_ADHOC if data[n][SPIN] == 0]
+    assert len(fully_fixed) >= 5, fully_fixed
+    # Slide 29: the rest keep a small residual (paper: 2..19).
+    for n in WITH_ADHOC:
+        if n not in fully_fixed:
+            assert 1 <= data[n][SPIN] <= 25, n
+    # dedup inversion: hybrid saturates, DRD clean.
+    assert data["dedup"][LIB] == 1000 and data["dedup"][DRD] <= 1
+    # spin never hurts.
+    for n in WITH_ADHOC:
+        assert data[n][SPIN] <= data[n][LIB], n
+    for name, per_tool in data.items():
+        benchmark.extra_info[name] = {t: round(v, 1) for t, v in per_tool.items()}

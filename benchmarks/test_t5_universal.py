@@ -1,0 +1,51 @@
+"""T5 (slide 30) — the universal race detector summary.
+
+All 13 programs, focusing on the paper's claim that removing *all*
+library knowledge (nolib+spin) only slightly increases false positives
+in a handful of programs.
+"""
+
+from repro.detectors import ToolConfig
+from repro.harness.metrics import racy_contexts_table
+from repro.harness.tables import contexts_table
+from repro.workloads.parsec.registry import WITH_ADHOC, WITHOUT_ADHOC, parsec_workload
+
+from benchmarks.conftest import run_once
+
+SEEDS = (1, 2, 3)
+SPIN = "Helgrind+ lib+spin(7)"
+NOLIB = "Helgrind+ nolib+spin(7)"
+
+
+def test_t5_universal_detector(benchmark):
+    names = tuple(WITHOUT_ADHOC) + tuple(WITH_ADHOC)
+
+    def experiment():
+        workloads = [parsec_workload(n) for n in names]
+        tools = (ToolConfig.helgrind_lib_spin(7), ToolConfig.helgrind_nolib_spin(7))
+        return racy_contexts_table(workloads, tools, SEEDS)
+
+    data = run_once(benchmark, experiment)
+    print()
+    print(
+        contexts_table(
+            data,
+            [SPIN, NOLIB],
+            "T5 — universal detector vs lib+spin (3-seed avg)",
+        )
+    )
+    # Slide 30: false positives increase only slightly, in a few programs.
+    increased = [n for n in names if data[n][NOLIB] > data[n][SPIN]]
+    unchanged = [n for n in names if data[n][NOLIB] <= data[n][SPIN]]
+    assert len(unchanged) >= 8, increased
+    # Where it increases, the cause is CAS-retry locking (bodytrack,
+    # ferret, x264, dedup, streamcluster in our models) — never the
+    # detectable spin-based primitives.
+    for n in ("blackscholes", "swaptions", "fluidanimate", "canneal", "vips",
+              "facesim", "raytrace", "freqmine"):
+        assert data[n][NOLIB] == data[n][SPIN], n
+    for name in names:
+        benchmark.extra_info[name] = {
+            "lib+spin": round(data[name][SPIN], 1),
+            "nolib+spin": round(data[name][NOLIB], 1),
+        }

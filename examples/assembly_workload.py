@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Authoring a workload in textual assembly.
+
+Programs can be written as plain text, assembled, and analyzed — handy
+for experimenting with detector behaviour without touching the Python
+builder API.  This one is a double-buffered publisher: the writer fills
+the back bank of a buffer and flips CUR; the reader spins on CUR.
+
+Run:  python examples/assembly_workload.py
+"""
+
+from repro import (
+    Machine,
+    RaceDetector,
+    RandomScheduler,
+    ToolConfig,
+    assemble,
+    disassemble,
+    instrument_program,
+    validate_program,
+)
+
+SOURCE = """
+program double_buffer entry=main
+
+global CUR size=1
+global BUF size=4 init=1,2,0,0
+
+func writer() {
+entry:
+    b = addr BUF
+    v1 = const 21
+    store b+2, v1
+    v2 = const 22
+    store b+3, v2
+    c = addr CUR
+    one = const 1
+    store c+0, one
+    ret
+}
+
+func reader() {
+entry:
+    c = addr CUR
+    jmp spin_head
+spin_head:
+    v = load c+0
+    flipped = ne v, zero
+    br flipped, after, spin_body
+spin_body:
+    yield
+    jmp spin_head
+after:
+    b = addr BUF
+    x = load b+2
+    y = load b+3
+    s = add x, y
+    print s
+    ret
+}
+
+func main() {
+entry:
+    zero0 = const 0
+    t1 = spawn reader()
+    t2 = spawn writer()
+    join t1
+    join t2
+    halt
+}
+"""
+
+
+def main():
+    print(__doc__)
+    # The reader references `zero`, defined here to show that assembly
+    # sources are ordinary strings you can manipulate programmatically.
+    source = SOURCE.replace(
+        "func reader() {\nentry:\n    c = addr CUR",
+        "func reader() {\nentry:\n    zero = const 0\n    c = addr CUR",
+    )
+    program = assemble(source)
+    validate_program(program)
+    print(f"assembled {program.instruction_count()} instructions; round-trip:")
+    print("\n".join(disassemble(program).splitlines()[:6]))
+    print("    ...")
+    print()
+
+    for config in (ToolConfig.helgrind_lib(), ToolConfig.helgrind_lib_spin(7)):
+        prog = assemble(source)
+        imap = instrument_program(prog, 7) if config.spin else None
+        detector = RaceDetector(config)
+        machine = Machine(
+            prog,
+            scheduler=RandomScheduler(2),
+            listener=detector,
+            instrumentation=imap,
+        )
+        detector.algorithm.symbolize = machine.memory.symbols.resolve
+        result = machine.run()
+        assert result.ok
+        print(f"=== {config.name}: reader printed {result.outputs}")
+        if imap is not None:
+            print(f"    spin loops found: {imap.num_loops}")
+        if detector.report.racy_contexts:
+            for warning in detector.report.warnings:
+                print(f"    {warning}")
+        else:
+            print("    no races reported")
+        print()
+
+
+if __name__ == "__main__":
+    main()

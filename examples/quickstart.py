@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's motivating example under all four detectors.
+
+Builds the slide-15 program —
+
+    Thread 1:  DATA++; FLAG = 1
+    Thread 2:  while (FLAG == 0) {}   # ad-hoc spinning read loop
+               DATA--
+
+— which is perfectly synchronized, but only through an ad-hoc flag.
+Race detectors without spin-loop knowledge report two kinds of false
+positives on it: the *apparent race* on DATA and the *synchronization
+race* on FLAG.  The spin-enabled configurations identify the loop in the
+instrumentation phase, match the counterpart write at runtime, and
+report nothing.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Machine,
+    ProgramBuilder,
+    RaceDetector,
+    RandomScheduler,
+    ToolConfig,
+    build_library,
+    instrument_program,
+    validate_program,
+)
+
+
+def build_program():
+    pb = ProgramBuilder("motivating_example")
+    pb.global_("FLAG", 1)
+    pb.global_("DATA", 1)
+
+    producer = pb.function("producer")
+    data = producer.addr("DATA")
+    producer.store(data, producer.add(producer.load(data), 1))  # DATA++
+    producer.store_global("FLAG", 1)  # set CONDITION to true
+    producer.ret()
+
+    consumer = pb.function("consumer")
+    flag = consumer.addr("FLAG")
+    consumer.jmp("spin_head")
+    consumer.label("spin_head")  # while (FLAG == 0)
+    v = consumer.load(flag)
+    waiting = consumer.eq(v, 0)
+    consumer.br(waiting, "spin_body", "after")
+    consumer.label("spin_body")  # do nothing
+    consumer.yield_()
+    consumer.jmp("spin_head")
+    consumer.label("after")
+    data = consumer.addr("DATA")
+    consumer.store(data, consumer.sub(consumer.load(data), 1))  # DATA--
+    consumer.ret()
+
+    main = pb.function("main")
+    t1 = main.spawn("producer", [])
+    t2 = main.spawn("consumer", [])
+    main.join(t1)
+    main.join(t2)
+    main.halt()
+
+    pb.link(build_library())
+    program = pb.build()
+    validate_program(program)
+    return program
+
+
+def run_under(config, seed=1):
+    program = build_program()
+    instrumentation = None
+    if config.spin:
+        # The paper's instrumentation phase: find small loops, classify
+        # spinning read loops, mark condition loads and exit edges.
+        instrumentation = instrument_program(
+            program, max_blocks=config.spin_max_blocks
+        )
+    detector = RaceDetector(config)
+    machine = Machine(
+        program,
+        scheduler=RandomScheduler(seed),
+        listener=detector,
+        instrumentation=instrumentation,
+    )
+    detector.algorithm.symbolize = machine.memory.symbols.resolve
+    result = machine.run()
+    assert result.ok
+    return detector
+
+
+def main():
+    print(__doc__)
+    for config in ToolConfig.paper_tools(7):
+        detector = run_under(config)
+        report = detector.report
+        print(f"=== {config.name}")
+        if report.racy_contexts == 0:
+            print("  no races reported")
+            if detector.adhoc is not None:
+                print(
+                    f"  (ad-hoc engine: {detector.adhoc.loops_entered} spin "
+                    f"loop entries, {detector.adhoc.edges} happens-before "
+                    f"edges established)"
+                )
+        else:
+            for warning in report.warnings:
+                print(f"  {warning}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

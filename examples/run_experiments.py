@@ -1,0 +1,17 @@
+#!/usr/bin/env python3
+"""Regenerate any of the paper's tables/figures from the command line.
+
+Thin wrapper over the installed ``repro-experiments`` entry point, so it
+also works from a source checkout without installation:
+
+    python examples/run_experiments.py t1
+    python examples/run_experiments.py t4 --seeds 5
+    python examples/run_experiments.py all
+"""
+
+import sys
+
+from repro.harness.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""The universal race detector: analyzing an unknown threading library.
+
+The same mutex-protected program is analyzed twice:
+
+1. ``Helgrind+ lib`` — the detector knows the library's annotations
+   (like Helgrind intercepting pthreads);
+2. ``Helgrind+ nolib+spin(7)`` — *all* library knowledge removed; the
+   detector must rediscover the synchronization from the spinning read
+   loops inside the (now opaque) lock implementation.
+
+Both report zero races: because library primitives are ultimately
+implemented with spinning read loops (slide 18), spin-loop detection
+recovers their happens-before edges — the paper's universal detector
+(slide 21).  The example then shows the limit of the idea: a CAS-retry
+test-and-set lock has no spinning *read* loop, so the universal detector
+reports a (false) race on the data it protects.
+
+Run:  python examples/unknown_library.py
+"""
+
+from repro import (
+    Machine,
+    ProgramBuilder,
+    RaceDetector,
+    RandomScheduler,
+    ToolConfig,
+    build_library,
+    instrument_program,
+    validate_program,
+)
+from repro.isa.instructions import Const, Mov
+from repro.runtime import MUTEX_SIZE, TASLOCK_SIZE
+
+
+def counter_program(acquire, release, lock_size):
+    pb = ProgramBuilder(f"counter_{acquire}")
+    pb.global_("COUNTER", 1)
+    pb.global_("L", lock_size)
+
+    worker = pb.function("worker", params=("n",))
+    i = worker.reg("i")
+    worker.emit(Const(i, 0))
+    worker.jmp("loop")
+    worker.label("loop")
+    lock = worker.addr("L")
+    worker.call(acquire, [lock])
+    counter = worker.addr("COUNTER")
+    worker.store(counter, worker.add(worker.load(counter), 1))
+    worker.call(release, [lock])
+    worker.emit(Mov(i, worker.add(i, 1)))
+    worker.br(worker.lt(i, "n"), "loop", "done")
+    worker.label("done")
+    worker.ret()
+
+    main = pb.function("main")
+    n = main.const(8)
+    t1 = main.spawn("worker", [n])
+    t2 = main.spawn("worker", [n])
+    main.join(t1)
+    main.join(t2)
+    main.print_(main.load_global("COUNTER"))
+    main.halt()
+    pb.link(build_library())
+    program = pb.build()
+    validate_program(program)
+    return program
+
+
+def analyze(program, config, seed=1):
+    instrumentation = None
+    if config.spin:
+        instrumentation = instrument_program(program, config.spin_max_blocks)
+    detector = RaceDetector(config)
+    machine = Machine(
+        program,
+        scheduler=RandomScheduler(seed),
+        listener=detector,
+        instrumentation=instrumentation,
+    )
+    detector.algorithm.symbolize = machine.memory.symbols.resolve
+    result = machine.run()
+    assert result.ok
+    return detector, result
+
+
+def main():
+    print(__doc__)
+    lib = ToolConfig.helgrind_lib()
+    nolib = ToolConfig.helgrind_nolib_spin(7)
+
+    print("== ticket mutex (spin-based: recoverable) ==")
+    for config in (lib, nolib):
+        program = counter_program("mutex_lock", "mutex_unlock", MUTEX_SIZE)
+        detector, result = analyze(program, config)
+        edges = detector.adhoc.edges if detector.adhoc else 0
+        print(
+            f"  {config.name:26s} counter={result.outputs[0][1]:3d} "
+            f"contexts={detector.report.racy_contexts} "
+            f"(recovered hb edges: {edges})"
+        )
+
+    print()
+    print("== CAS-retry TAS lock (no spinning read loop: NOT recoverable) ==")
+    for config in (lib, nolib):
+        program = counter_program("taslock_acquire", "taslock_release", TASLOCK_SIZE)
+        detector, result = analyze(program, config)
+        print(
+            f"  {config.name:26s} counter={result.outputs[0][1]:3d} "
+            f"contexts={detector.report.racy_contexts}"
+        )
+        for warning in detector.report.warnings[:3]:
+            print(f"    {warning}")
+    print()
+    print(
+        "The TAS lock is the paper's 'only one false positive more'\n"
+        "(slide 24) — and its future-work direction: identify lock\n"
+        "operations to re-enable lockset analysis in the universal detector."
+    )
+
+    print()
+    print("== the future work, implemented: universal hybrid (lock inference) ==")
+    from repro.analysis import lock_site_locations
+    from repro.vm import Machine as _M  # local import keeps the demo compact
+
+    config = ToolConfig.universal_hybrid(7)
+    program = counter_program("taslock_acquire", "taslock_release", TASLOCK_SIZE)
+    instrumentation = instrument_program(program, config.spin_max_blocks)
+    detector = RaceDetector(config, lock_sites=lock_site_locations(program))
+    machine = Machine(
+        program,
+        scheduler=RandomScheduler(1),
+        listener=detector,
+        instrumentation=instrumentation,
+    )
+    detector.algorithm.symbolize = machine.memory.symbols.resolve
+    result = machine.run()
+    print(
+        f"  {config.name:34s} counter={result.outputs[0][1]:3d} "
+        f"contexts={detector.report.racy_contexts}  "
+        f"(inferred locks: {len(detector.adhoc.inferred_locks)})"
+    )
+
+
+if __name__ == "__main__":
+    main()

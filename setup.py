@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The sandboxed environment has no ``wheel`` package, so PEP-517 editable
+installs (which require ``bdist_wheel``) fail.  This shim lets
+``pip install -e . --no-build-isolation`` fall back to the legacy
+``setup.py develop`` path, which works offline.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,87 @@
+"""repro — reproduction of *Identifying Ad-hoc Synchronization for
+Enhanced Race Detection* (Jannesari & Tichy, IPDPS 2010).
+
+The package layers, bottom-up:
+
+* :mod:`repro.isa` — the register-machine IR (the paper's "binary code");
+* :mod:`repro.vm` — the deterministic multithreaded interpreter that
+  stands in for native execution under Valgrind;
+* :mod:`repro.runtime` — a threading library written in the IR itself,
+  every blocking primitive bottoming out in a spinning read loop;
+* :mod:`repro.analysis` — the instrumentation phase: CFG/dominator/loop
+  analysis and the spinning-read-loop detector;
+* :mod:`repro.detectors` — the runtime phase: vector-clock race
+  algorithms (Helgrind+ hybrid, pure-hb DRD), the ad-hoc synchronization
+  engine, and the tool-configuration façade;
+* :mod:`repro.harness` — experiment runner, metrics, tables, perf;
+* :mod:`repro.workloads` — the 120-case suite and the 13 PARSEC
+  stand-ins driving every table and figure of the paper.
+
+Quickstart::
+
+    from repro import (
+        ProgramBuilder, Machine, RandomScheduler,
+        RaceDetector, ToolConfig, instrument_program, build_library,
+    )
+
+    pb = ProgramBuilder("demo")
+    ...                                  # build an IR program
+    pb.link(build_library())
+    program = pb.build()
+
+    config = ToolConfig.helgrind_lib_spin(7)
+    imap = instrument_program(program, config.spin_max_blocks)
+    detector = RaceDetector(config)
+    machine = Machine(program, RandomScheduler(1), listener=detector,
+                      instrumentation=imap)
+    detector.algorithm.symbolize = machine.memory.symbols.resolve
+    machine.run()
+    print(detector.report.summary())
+"""
+
+from repro.isa import (
+    FunctionBuilder,
+    Program,
+    ProgramBuilder,
+    assemble,
+    disassemble,
+    validate_program,
+)
+from repro.vm import (
+    AdversarialScheduler,
+    Machine,
+    RandomScheduler,
+    RoundRobinScheduler,
+)
+from repro.runtime import build_library
+from repro.analysis import SpinLoopDetector, instrument_program
+from repro.detectors import RaceDetector, Report, ToolConfig
+from repro.harness import Workload, run_workload
+from repro.trace import Trace, record_trace, replay_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FunctionBuilder",
+    "Program",
+    "ProgramBuilder",
+    "assemble",
+    "disassemble",
+    "validate_program",
+    "AdversarialScheduler",
+    "Machine",
+    "RandomScheduler",
+    "RoundRobinScheduler",
+    "build_library",
+    "SpinLoopDetector",
+    "instrument_program",
+    "RaceDetector",
+    "Report",
+    "ToolConfig",
+    "Workload",
+    "run_workload",
+    "Trace",
+    "record_trace",
+    "replay_trace",
+    "__version__",
+]

@@ -1,0 +1,37 @@
+"""Instrumentation phase: static analysis of IR programs.
+
+This package implements the paper's *instrumentation phase* (slide 19):
+
+1. build the control-flow graph of every function (:mod:`repro.analysis.cfg`);
+2. find all natural loops via dominator analysis (:mod:`repro.analysis.loops`);
+3. for each small loop, decide whether it is a **spinning read loop**
+   (:mod:`repro.analysis.spin`): the exit condition must involve at least
+   one load from memory and must not be changed inside the loop;
+4. mark the loop and the condition-feeding loads for special runtime
+   treatment (:mod:`repro.analysis.instrument`).
+"""
+
+from repro.analysis.cfg import CFG, build_cfg, dominators, reverse_postorder
+from repro.analysis.loops import NaturalLoop, find_loops
+from repro.analysis.dataflow import condition_slice, SliceResult
+from repro.analysis.spin import SpinLoop, SpinLoopDetector
+from repro.analysis.instrument import InstrumentationMap, instrument_program
+from repro.analysis.lockinfer import LockAcquireSite, infer_lock_acquires, lock_site_locations
+
+__all__ = [
+    "CFG",
+    "build_cfg",
+    "dominators",
+    "reverse_postorder",
+    "NaturalLoop",
+    "find_loops",
+    "condition_slice",
+    "SliceResult",
+    "SpinLoop",
+    "SpinLoopDetector",
+    "InstrumentationMap",
+    "instrument_program",
+    "LockAcquireSite",
+    "infer_lock_acquires",
+    "lock_site_locations",
+]

@@ -1,0 +1,131 @@
+"""Control-flow graphs and dominator analysis.
+
+The CFG is per-function, with basic-block labels as nodes.  Dominators
+use the Cooper–Harvey–Kennedy iterative algorithm over a reverse
+postorder, which is simple and fast for the small functions the IR
+produces (library primitives are < 10 blocks; generated workloads rarely
+exceed a few dozen).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.isa import instructions as ins
+from repro.isa.program import Function
+
+
+@dataclass
+class CFG:
+    """Control-flow graph of one function."""
+
+    function: Function
+    successors: Dict[str, Tuple[str, ...]]
+    predecessors: Dict[str, Tuple[str, ...]]
+    entry: str
+
+    @property
+    def blocks(self) -> Sequence[str]:
+        return tuple(self.function.blocks.keys())
+
+
+def block_successors(func: Function, label: str) -> Tuple[str, ...]:
+    """Successor labels of one block, from its terminator."""
+    term = func.blocks[label].terminator
+    if isinstance(term, ins.Jmp):
+        return (term.target,)
+    if isinstance(term, ins.Br):
+        # A branch whose arms coincide has one successor.
+        return (term.then,) if term.then == term.els else (term.then, term.els)
+    return ()  # Ret / Halt
+
+
+def build_cfg(func: Function) -> CFG:
+    """Construct the CFG of ``func``."""
+    succs: Dict[str, Tuple[str, ...]] = {}
+    preds: Dict[str, List[str]] = {label: [] for label in func.blocks}
+    for label in func.blocks:
+        ss = block_successors(func, label)
+        succs[label] = ss
+        for s in ss:
+            preds[s].append(label)
+    return CFG(
+        function=func,
+        successors=succs,
+        predecessors={k: tuple(v) for k, v in preds.items()},
+        entry=func.entry,
+    )
+
+
+def reverse_postorder(cfg: CFG) -> List[str]:
+    """Blocks in reverse postorder from the entry (unreachable blocks
+    excluded — they cannot execute, so loops in them are irrelevant)."""
+    seen: Set[str] = set()
+    order: List[str] = []
+
+    # Iterative DFS to avoid recursion limits on long chains.
+    stack: List[Tuple[str, int]] = [(cfg.entry, 0)]
+    seen.add(cfg.entry)
+    while stack:
+        node, i = stack[-1]
+        succs = cfg.successors[node]
+        if i < len(succs):
+            stack[-1] = (node, i + 1)
+            nxt = succs[i]
+            if nxt not in seen:
+                seen.add(nxt)
+                stack.append((nxt, 0))
+        else:
+            order.append(node)
+            stack.pop()
+    order.reverse()
+    return order
+
+
+def dominators(cfg: CFG) -> Dict[str, Optional[str]]:
+    """Immediate dominators (Cooper–Harvey–Kennedy).
+
+    Returns ``{block: idom}`` with the entry mapped to ``None``.
+    Unreachable blocks are absent.
+    """
+    rpo = reverse_postorder(cfg)
+    index = {b: i for i, b in enumerate(rpo)}
+    idom: Dict[str, Optional[str]] = {cfg.entry: cfg.entry}
+
+    def intersect(a: str, b: str) -> str:
+        while a != b:
+            while index[a] > index[b]:
+                a = idom[a]  # type: ignore[assignment]
+            while index[b] > index[a]:
+                b = idom[b]  # type: ignore[assignment]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for b in rpo:
+            if b == cfg.entry:
+                continue
+            preds = [p for p in cfg.predecessors[b] if p in idom and p in index]
+            if not preds:
+                continue
+            new = preds[0]
+            for p in preds[1:]:
+                new = intersect(new, p)
+            if idom.get(b) != new:
+                idom[b] = new
+                changed = True
+    result: Dict[str, Optional[str]] = {b: idom[b] for b in rpo}
+    result[cfg.entry] = None
+    return result
+
+
+def dominates(idom: Dict[str, Optional[str]], a: str, b: str) -> bool:
+    """Whether block ``a`` dominates block ``b`` (reflexive)."""
+    node: Optional[str] = b
+    while node is not None:
+        if node == a:
+            return True
+        node = idom.get(node)
+    return False

@@ -1,0 +1,66 @@
+"""Instrumentation map: what the VM marks at runtime.
+
+The instrumentation phase does not rewrite code; it produces lookup
+tables the VM consults while executing (the moral equivalent of
+Valgrind's on-the-fly binary instrumentation):
+
+* ``loop_headers`` — ``(function, block) -> loop_id``: emit
+  ``MarkedLoopEnter`` when the header starts executing;
+* ``cond_loads`` — ``location -> loop_id``: emit ``MarkedCondRead``
+  (before the plain ``MemRead``) when the load executes;
+* ``exit_edges`` — ``(branch location, target) -> loop_id``: emit
+  ``MarkedLoopExit`` when the branch leaves the loop.
+
+Overlapping loops (e.g. a detected inner spin loop inside a larger retry
+loop) keep distinct ids; the runtime phase tracks a per-thread stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.isa.program import CodeLocation, Program
+from repro.analysis.spin import SpinLoop, SpinLoopDetector
+
+
+@dataclass
+class InstrumentationMap:
+    """Marker tables handed to :class:`repro.vm.Machine`."""
+
+    loops: List[SpinLoop] = field(default_factory=list)
+    loop_headers: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    cond_loads: Dict[CodeLocation, int] = field(default_factory=dict)
+    exit_edges: Dict[Tuple[CodeLocation, str], int] = field(default_factory=dict)
+
+    @property
+    def num_loops(self) -> int:
+        return len(self.loops)
+
+    def memory_words(self) -> int:
+        """Rough size of the marker tables, for the memory-overhead figure."""
+        return (
+            2 * len(self.loop_headers)
+            + 2 * len(self.cond_loads)
+            + 3 * len(self.exit_edges)
+        )
+
+
+def instrument_program(
+    program: Program, max_blocks: int = 7, inline_depth: int = 1
+) -> InstrumentationMap:
+    """Run the spin detector over ``program`` and build the marker tables."""
+    detector = SpinLoopDetector(program, max_blocks=max_blocks, inline_depth=inline_depth)
+    imap = InstrumentationMap()
+    for spin in detector.detect_program():
+        loop_id = len(imap.loops)
+        imap.loops.append(spin)
+        # Two qualifying loops can share a header (nested candidates).  The
+        # later registration wins for the header marker; cond loads and
+        # exit edges are loop-specific and keep their own ids.
+        imap.loop_headers[(spin.function, spin.header)] = loop_id
+        for loc in spin.cond_load_locs:
+            imap.cond_loads[loc] = loop_id
+        for branch_loc, target in spin.loop.exit_edges:
+            imap.exit_edges[(branch_loc, target)] = loop_id
+    return imap

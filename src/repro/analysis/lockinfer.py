@@ -1,0 +1,89 @@
+"""Lock-operation inference — the paper's future work (slide 33).
+
+    "Future work: Improving the accuracy of the universal race detector
+     by identifying the lock operations (enabling lockset analysis)."
+
+The universal detector recovers library synchronization as generic
+happens-before edges.  That is *sound* but costs sensitivity: a lock
+recovered as hb orders everything it touched in the observed schedule,
+so lock-masked races (which the hybrid's lockset analysis catches) are
+missed, and CAS-retry locks with no spinning read loop are not recovered
+at all.
+
+This module identifies **lock acquire operations** statically: an atomic
+compare-and-swap whose expected value is the constant 0 and whose new
+value is the constant 1 — the universal free→held transition every
+mutual-exclusion primitive in the wild bottoms out in (test-and-set,
+test-and-test-and-set, futex fast paths).  At runtime the detector then
+treats
+
+* a successful CAS at an identified site as *lock acquire* of the CAS'd
+  address (the CAS write event only exists on success);
+* a subsequent store of 0 to that address by the holder as *lock
+  release*;
+
+feeding ordinary lockset analysis, while the ad-hoc engine stops
+creating hb edges for addresses classified as inferred locks (locks
+belong to locksets, not hb — the hybrid's core design decision).
+
+Heuristic limitations (documented, by design): value conventions other
+than 0-free/1-held are not recognized, ticket locks (acquire by
+fetch-add) stay hb-based, and a non-lock flag set via CAS(0→1) would be
+misclassified — none of which occur in realistic lock implementations
+or in our workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.isa import instructions as ins
+from repro.isa.program import CodeLocation, Function, Program
+
+
+@dataclass(frozen=True)
+class LockAcquireSite:
+    """A statically identified lock-acquire CAS."""
+
+    loc: CodeLocation
+    function: str
+
+
+def _const_regs(func: Function) -> Dict[str, int]:
+    """Registers assigned a constant anywhere in the function.
+
+    The builder emits single-assignment-style fresh registers, so a
+    register that is only ever defined by one ``Const`` is that constant.
+    Registers with multiple or non-const definitions are dropped.
+    """
+    values: Dict[str, int] = {}
+    poisoned = set()
+    for _loc, instr in func.locations():
+        for d in instr.defs():
+            if d in values or d in poisoned:
+                poisoned.add(d)
+                values.pop(d, None)
+            elif isinstance(instr, ins.Const):
+                values[d] = instr.value
+            else:
+                poisoned.add(d)
+    return values
+
+
+def infer_lock_acquires(program: Program) -> List[LockAcquireSite]:
+    """Find every CAS(expected=0, new=1) in the program."""
+    sites: List[LockAcquireSite] = []
+    for func in program.functions.values():
+        consts = _const_regs(func)
+        for loc, instr in func.locations():
+            if not isinstance(instr, ins.AtomicCas):
+                continue
+            if consts.get(instr.expected) == 0 and consts.get(instr.new) == 1:
+                sites.append(LockAcquireSite(loc=loc, function=func.name))
+    return sites
+
+
+def lock_site_locations(program: Program) -> frozenset:
+    """Just the code locations, for the detector's fast lookup."""
+    return frozenset(site.loc for site in infer_lock_acquires(program))

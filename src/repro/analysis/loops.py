@@ -1,0 +1,95 @@
+"""Natural loop discovery.
+
+A *back edge* is a CFG edge ``u -> h`` whose target ``h`` dominates its
+source ``u``.  The natural loop of that back edge is ``{h}`` plus every
+block that can reach ``u`` without passing through ``h``.
+
+We deliberately do **not** merge natural loops that share a header.  A
+retry pattern such as ``sem_wait`` (pure spin loop, then a CAS that jumps
+back to the spin head on failure) produces two back edges to the same
+header: one from the do-nothing spin body and one from the CAS block.
+Kept separate, the inner do-nothing loop still satisfies the paper's
+spinning-read criteria even though the enclosing retry loop does not —
+which is exactly how the binary-level detector sees it (the small inner
+loop is what spins).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Tuple
+
+from repro.isa.program import CodeLocation, Function
+from repro.analysis.cfg import CFG, build_cfg, dominates, dominators
+
+
+@dataclass(frozen=True)
+class NaturalLoop:
+    """One natural loop of one back edge.
+
+    :param function: enclosing function name.
+    :param header: loop header block label.
+    :param body: all block labels in the loop (header included).
+    :param back_edge: ``(source, header)`` of the defining back edge.
+    :param exit_edges: ``(branch location, outside target label)`` pairs —
+        the edges control takes when it leaves the loop.
+    """
+
+    function: str
+    header: str
+    body: FrozenSet[str]
+    back_edge: Tuple[str, str]
+    exit_edges: Tuple[Tuple[CodeLocation, str], ...]
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.body)
+
+
+def _natural_loop_body(cfg: CFG, source: str, header: str) -> FrozenSet[str]:
+    body = {header, source}
+    stack = [source]
+    while stack:
+        node = stack.pop()
+        if node == header:
+            continue
+        for pred in cfg.predecessors[node]:
+            if pred not in body:
+                body.add(pred)
+                stack.append(pred)
+    return frozenset(body)
+
+
+def _exit_edges(
+    cfg: CFG, body: FrozenSet[str]
+) -> Tuple[Tuple[CodeLocation, str], ...]:
+    func = cfg.function
+    exits: List[Tuple[CodeLocation, str]] = []
+    for label in sorted(body):
+        block = func.blocks[label]
+        term_loc = CodeLocation(func.name, label, len(block.instructions) - 1)
+        for succ in cfg.successors[label]:
+            if succ not in body:
+                exits.append((term_loc, succ))
+    return tuple(exits)
+
+
+def find_loops(func: Function, cfg: Optional[CFG] = None) -> List[NaturalLoop]:
+    """All natural loops of ``func``, one per back edge, headers unmerged."""
+    cfg = cfg or build_cfg(func)
+    idom = dominators(cfg)
+    loops: List[NaturalLoop] = []
+    for u in idom:  # reachable blocks only
+        for h in cfg.successors[u]:
+            if h in idom and dominates(idom, h, u):
+                body = _natural_loop_body(cfg, u, h)
+                loops.append(
+                    NaturalLoop(
+                        function=func.name,
+                        header=h,
+                        body=body,
+                        back_edge=(u, h),
+                        exit_edges=_exit_edges(cfg, body),
+                    )
+                )
+    return loops

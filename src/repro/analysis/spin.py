@@ -1,0 +1,276 @@
+"""The spinning-read-loop detector — the paper's instrumentation phase.
+
+A natural loop qualifies as a *spinning read loop* when (slide 19):
+
+* it is small: at most ``max_blocks`` basic blocks (the paper evaluates
+  3–8; 7 is the sweet spot).  Calls that compute the condition are
+  inlined up to ``inline_depth`` and their blocks *count toward the
+  window* — this models the paper's observation that "in most cases
+  spinning read loops contain more than 3 basic blocks" because "loop
+  conditions use templates and complex function calls";
+* the exit condition involves at least one load from memory;
+* the value of the loop condition is not changed inside the loop — the
+  body "does nothing": no stores, atomics, allocation, thread ops, or
+  I/O anywhere in the loop, and any call must be transitively pure;
+* the condition is statically traceable: an indirect call (function
+  pointer) anywhere in the loop or condition makes it opaque and the
+  loop is rejected — reproducing the residual false positives the paper
+  reports for bodytrack / ferret / x264 (slide 29).
+
+The detector marks the loop (header + exit edges) and the condition-
+feeding loads, including loads inside inlined pure condition callees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.isa import instructions as ins
+from repro.isa.program import CodeLocation, Function, Program
+from repro.analysis.cfg import build_cfg
+from repro.analysis.dataflow import condition_slice
+from repro.analysis.loops import NaturalLoop, find_loops
+
+#: Instructions that make a loop body "do something" and disqualify it.
+_IMPURE = (
+    ins.Store,
+    ins.AtomicCas,
+    ins.AtomicAdd,
+    ins.AtomicXchg,
+    ins.Spawn,
+    ins.Join,
+    ins.Alloc,
+    ins.Print,
+    ins.Halt,
+)
+
+
+@dataclass(frozen=True)
+class SpinLoop:
+    """A detected spinning read loop, ready for instrumentation."""
+
+    loop: NaturalLoop
+    #: loads feeding the exit condition (in-loop and in inlined callees)
+    cond_load_locs: Tuple[CodeLocation, ...]
+    #: loop blocks plus inlined condition-callee blocks
+    effective_blocks: int
+    #: direct callees inlined while analysing the condition
+    inlined_callees: Tuple[str, ...]
+
+    @property
+    def function(self) -> str:
+        return self.loop.function
+
+    @property
+    def header(self) -> str:
+        return self.loop.header
+
+
+class _CalleeInfo:
+    """Purity/size summary of a function used as a condition callee."""
+
+    def __init__(self, pure: bool, blocks: int, load_locs: Tuple[CodeLocation, ...]):
+        self.pure = pure
+        self.blocks = blocks
+        self.load_locs = load_locs
+
+
+class SpinLoopDetector:
+    """Finds spinning read loops in a program.
+
+    :param program: the program to analyse (needed to resolve callees).
+    :param max_blocks: the spin(k) window — maximum effective basic-block
+        count of a qualifying loop.
+    :param inline_depth: how many levels of direct calls to inline when
+        analysing the condition; 0 means any call disqualifies the loop.
+    """
+
+    def __init__(
+        self, program: Program, max_blocks: int = 7, inline_depth: int = 1
+    ) -> None:
+        self.program = program
+        self.max_blocks = max_blocks
+        self.inline_depth = inline_depth
+        self._callee_cache: Dict[Tuple[str, int], _CalleeInfo] = {}
+
+    # -- callee purity ------------------------------------------------------
+
+    def _callee_info(self, name: str, depth: int) -> _CalleeInfo:
+        """Summarize a direct callee: purity, block count, load sites."""
+        key = (name, depth)
+        cached = self._callee_cache.get(key)
+        if cached is not None:
+            return cached
+        func = self.program.functions.get(name)
+        if func is None or depth <= 0:
+            info = _CalleeInfo(False, 0, ())
+        else:
+            pure = True
+            blocks = len(func.blocks)
+            loads: List[CodeLocation] = []
+            # Seed the cache to make recursion terminate on cycles: a
+            # recursive condition function is treated as impure.
+            self._callee_cache[key] = _CalleeInfo(False, blocks, ())
+            for loc, instr in func.locations():
+                if isinstance(instr, _IMPURE) or isinstance(instr, ins.ICall):
+                    pure = False
+                    break
+                if isinstance(instr, ins.Load):
+                    loads.append(loc)
+                elif isinstance(instr, ins.Call):
+                    inner = self._callee_info(instr.func, depth - 1)
+                    if not inner.pure:
+                        pure = False
+                        break
+                    blocks += inner.blocks
+                    loads.extend(inner.load_locs)
+            info = _CalleeInfo(pure, blocks, tuple(loads) if pure else ())
+        self._callee_cache[key] = info
+        return info
+
+    # -- per-loop criteria ---------------------------------------------------
+
+    def classify(self, func: Function, loop: NaturalLoop) -> Optional[SpinLoop]:
+        """Apply the spinning-read criteria to one natural loop."""
+        # Criterion: the body does nothing — no writes, thread ops, I/O.
+        calls: List[str] = []
+        for label in loop.body:
+            for instr in func.blocks[label].instructions:
+                if isinstance(instr, _IMPURE):
+                    return None
+                if isinstance(instr, ins.Ret):
+                    return None  # control escapes without an exit edge
+                if isinstance(instr, ins.ICall):
+                    return None  # opaque condition (function pointer)
+                if isinstance(instr, ins.Call):
+                    calls.append(instr.func)
+
+        # Every call in the loop must be a transitively pure condition
+        # helper, inlinable within the configured depth.
+        callee_blocks = 0
+        callee_loads: List[CodeLocation] = []
+        inlined: List[str] = []
+        for name in dict.fromkeys(calls):  # preserve order, dedupe
+            info = self._callee_info(name, self.inline_depth)
+            if not info.pure:
+                return None
+            callee_blocks += info.blocks
+            callee_loads.extend(info.load_locs)
+            inlined.append(name)
+
+        effective = loop.num_blocks + callee_blocks
+        if effective > self.max_blocks:
+            return None
+
+        # Criterion: some conditional exit whose condition involves a load,
+        # and whose value is *not changed inside the loop* — every register
+        # feeding it must be freshly derived from memory (or loop-invariant)
+        # each iteration, never from a loop-carried register cycle such as
+        # an attempt counter.
+        #
+        # Every branch inside a do-nothing loop participates in the exit
+        # decision (a multi-flag loop checks one flag per block, and only
+        # the last check is the textual exit edge), so *all* in-loop branch
+        # conditions are sliced: their loads are marked as condition reads,
+        # and all of them must be memory-derived.
+        exit_branch_locs = {
+            branch_loc
+            for branch_loc, _target in loop.exit_edges
+            if isinstance(
+                func.blocks[branch_loc.block].instructions[branch_loc.index], ins.Br
+            )
+        }
+        if not exit_branch_locs:
+            return None
+        cond_loads: List[CodeLocation] = []
+        saw_exit_load = False
+        for label in loop.body:
+            block = func.blocks[label]
+            term = block.instructions[-1]
+            if not isinstance(term, ins.Br):
+                continue
+            term_loc = CodeLocation(func.name, label, len(block.instructions) - 1)
+            sl = condition_slice(func, loop.body, term.cond)
+            if sl.has_icall:
+                return None
+            if not self._memory_derived(func, loop.body, term.cond, set(inlined)):
+                return None
+            involves_load = bool(sl.load_locs) or (
+                bool(callee_loads) and any(t in inlined for t in sl.call_targets)
+            )
+            if term_loc in exit_branch_locs and involves_load:
+                saw_exit_load = True
+            cond_loads.extend(sl.load_locs)
+            if any(t in inlined for t in sl.call_targets):
+                cond_loads.extend(callee_loads)
+        if not saw_exit_load:
+            return None
+
+        return SpinLoop(
+            loop=loop,
+            cond_load_locs=tuple(dict.fromkeys(cond_loads)),
+            effective_blocks=effective,
+            inlined_callees=tuple(inlined),
+        )
+
+    def _memory_derived(
+        self,
+        func: Function,
+        body: FrozenSet[str],
+        cond_reg: str,
+        pure_callees: Set[str],
+    ) -> bool:
+        """Whether the condition register's value is re-derived from memory
+        (or loop-invariant inputs) on every iteration.
+
+        A register in a loop-carried cycle (``attempts = attempts + 1``)
+        makes the condition's value change inside the loop independent of
+        memory, violating the paper's second criterion.
+        """
+        defs: Dict[str, List[ins.Instruction]] = {}
+        for label in body:
+            for instr in func.blocks[label].instructions:
+                for d in instr.defs():
+                    defs.setdefault(d, []).append(instr)
+
+        ok: Set[str] = set()
+
+        def reg_ok(r: str) -> bool:
+            # Registers never defined in the loop are loop-invariant inputs.
+            return r in ok or r not in defs
+
+        def def_ok(instr: ins.Instruction) -> bool:
+            if isinstance(instr, (ins.Load, ins.Const, ins.Addr, ins.FuncAddr)):
+                return True
+            if isinstance(instr, ins.Call):
+                return instr.func in pure_callees
+            if isinstance(instr, (ins.Mov, ins.Alu, ins.Cmp, ins.Not)):
+                return all(reg_ok(u) for u in instr.uses())
+            return False
+
+        changed = True
+        while changed:
+            changed = False
+            for r, instrs in defs.items():
+                if r not in ok and all(def_ok(i) for i in instrs):
+                    ok.add(r)
+                    changed = True
+        return reg_ok(cond_reg)
+
+    # -- entry points ----------------------------------------------------
+
+    def detect_function(self, func: Function) -> List[SpinLoop]:
+        cfg = build_cfg(func)
+        found: List[SpinLoop] = []
+        for loop in find_loops(func, cfg):
+            spin = self.classify(func, loop)
+            if spin is not None:
+                found.append(spin)
+        return found
+
+    def detect_program(self) -> List[SpinLoop]:
+        found: List[SpinLoop] = []
+        for func in self.program.functions.values():
+            found.extend(self.detect_function(func))
+        return found

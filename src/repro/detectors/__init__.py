@@ -1,0 +1,51 @@
+"""Runtime phase: the race detectors.
+
+The package provides:
+
+* :mod:`repro.detectors.vectorclock` — vector clocks and thread clocks;
+* :mod:`repro.detectors.reports` — race warnings and the racy-context
+  metric (with the paper's 1000-context cap);
+* :mod:`repro.detectors.base` — shared vector-clock algorithm machinery
+  (shadow memory, sync-object clocks, access checking);
+* :mod:`repro.detectors.happensbefore` — the pure happens-before
+  detector (the paper's DRD baseline);
+* :mod:`repro.detectors.hybrid` — the Helgrind+ hybrid: locksets for
+  locks, happens-before for everything else, with short-run/long-run
+  memory state machines;
+* :mod:`repro.detectors.adhoc` — the paper's contribution: the runtime
+  phase of ad-hoc synchronization detection (counterpart-write matching
+  and hb-edge creation for instrumented spinning read loops);
+* :mod:`repro.detectors.detector` — the façade wiring interception,
+  ad-hoc engine, and a race algorithm into one event listener, plus the
+  :class:`ToolConfig` presets reproducing the paper's tool columns.
+"""
+
+from repro.detectors.vectorclock import ThreadClock, vc_join, vc_leq
+from repro.detectors.reports import AccessInfo, RaceWarning, Report
+from repro.detectors.base import VectorClockAlgorithm, WriteRecord, ReadRecord
+from repro.detectors.happensbefore import PureHappensBeforeAlgorithm
+from repro.detectors.hybrid import HybridAlgorithm
+from repro.detectors.lockset import EraserAlgorithm
+from repro.detectors.adhoc import AdhocSyncEngine
+from repro.detectors.condvar_monitor import CondvarMonitor, SyncWarning
+from repro.detectors.detector import RaceDetector, ToolConfig
+
+__all__ = [
+    "ThreadClock",
+    "vc_join",
+    "vc_leq",
+    "AccessInfo",
+    "RaceWarning",
+    "Report",
+    "VectorClockAlgorithm",
+    "WriteRecord",
+    "ReadRecord",
+    "PureHappensBeforeAlgorithm",
+    "HybridAlgorithm",
+    "EraserAlgorithm",
+    "AdhocSyncEngine",
+    "CondvarMonitor",
+    "SyncWarning",
+    "RaceDetector",
+    "ToolConfig",
+]

@@ -1,0 +1,88 @@
+"""Condvar bug-pattern detection — Helgrind+'s slide-14 features.
+
+The paper's carrier tool (Helgrind+, IPDPS'09) handles "synchronization
+bug patterns related to condition variables without any source code
+annotation": a **lost-signal detector** and **spurious wake-up
+detection**.  This module supplies both for the lib configurations
+(they need the CV annotations):
+
+* **Lost signal** — a thread enters ``cv_wait`` and the run ends (or
+  times out) with the wait still outstanding while the condvar received
+  no later signal: the classic signal-before-wait deadlock.
+* **Spurious/unsynchronized wake-up** — a ``cv_wait`` returns although
+  *no* signal was ever delivered to that condvar during the whole run
+  (possible only with a buggy condvar or a wake-up the protocol did not
+  own); well-written predicate loops tolerate it, but it is exactly the
+  pattern that hides ordering bugs.
+
+Both produce :class:`SyncWarning` entries, reported separately from racy
+contexts (they are liveness/protocol diagnostics, not data races).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.isa.program import CodeLocation
+
+
+@dataclass(frozen=True)
+class SyncWarning:
+    """A condition-variable protocol diagnostic."""
+
+    kind: str  # "lost-signal" | "spurious-wakeup"
+    tid: int
+    cv_addr: int
+    loc: CodeLocation
+
+    def __str__(self) -> str:
+        return f"{self.kind}: T{self.tid} cv@{hex(self.cv_addr)} at {self.loc}"
+
+
+class CondvarMonitor:
+    """Tracks cv_wait/cv_signal pairing for the lib configurations."""
+
+    def __init__(self) -> None:
+        #: (tid -> (cv_addr, loc)) for waits currently in progress
+        self._waiting: Dict[int, Tuple[int, CodeLocation]] = {}
+        #: condvars that received at least one signal, with signal count
+        self._signals: Dict[int, int] = {}
+        #: signal counts observed at each wait's entry
+        self._wait_entry_counts: Dict[int, int] = {}
+        self.warnings: List[SyncWarning] = []
+
+    # -- event feed ------------------------------------------------------
+
+    def wait_enter(self, tid: int, cv_addr: int, loc: CodeLocation) -> None:
+        self._waiting[tid] = (cv_addr, loc)
+        self._wait_entry_counts[tid] = self._signals.get(cv_addr, 0)
+
+    def wait_exit(self, tid: int, cv_addr: int, loc: CodeLocation) -> None:
+        self._waiting.pop(tid, None)
+        seen_at_entry = self._wait_entry_counts.pop(tid, 0)
+        if self._signals.get(cv_addr, 0) <= seen_at_entry:
+            # The wait returned without any new signal on this condvar:
+            # a spurious (or foreign) wake-up.
+            self.warnings.append(
+                SyncWarning("spurious-wakeup", tid, cv_addr, loc)
+            )
+
+    def signal(self, cv_addr: int) -> None:
+        self._signals[cv_addr] = self._signals.get(cv_addr, 0) + 1
+
+    # -- end-of-run analysis -------------------------------------------------
+
+    def finalize(self) -> List[SyncWarning]:
+        """Classify still-outstanding waits as lost signals."""
+        for tid, (cv_addr, loc) in sorted(self._waiting.items()):
+            self.warnings.append(SyncWarning("lost-signal", tid, cv_addr, loc))
+        self._waiting.clear()
+        return self.warnings
+
+    def memory_words(self) -> int:
+        return (
+            3 * len(self._waiting)
+            + 2 * len(self._signals)
+            + 4 * len(self.warnings)
+        )

@@ -1,0 +1,313 @@
+"""The race-detector façade and the paper's tool configurations.
+
+:class:`RaceDetector` is a VM event listener wiring together
+
+* **interception** — in ``lib`` mode, annotated library calls become
+  synchronization operations and library-internal traffic (memory events
+  and spin-loop markers alike) is hidden, as Helgrind+ does for
+  intercepted pthread functions; in ``nolib`` mode all annotations are
+  ignored and raw traffic flows through (the universal detector);
+* the **ad-hoc engine** — the runtime phase of spin-loop detection (only
+  when the configuration enables the spin feature);
+* a **race algorithm** — the Helgrind+ hybrid or the pure-hb baseline.
+
+:class:`ToolConfig` presets mirror the paper's tool columns::
+
+    ToolConfig.helgrind_lib()            # Helgrind+  lib
+    ToolConfig.helgrind_lib_spin(7)      # Helgrind+  lib+spin(7)
+    ToolConfig.helgrind_nolib_spin(7)    # Helgrind+  nolib+spin(7)
+    ToolConfig.drd()                     # DRD
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Optional
+
+from repro.isa.program import SyncKind
+from repro.vm import events as ev
+from repro.detectors.adhoc import AdhocSyncEngine
+from repro.detectors.condvar_monitor import CondvarMonitor
+from repro.detectors.base import VectorClockAlgorithm
+from repro.detectors.happensbefore import PureHappensBeforeAlgorithm
+from repro.detectors.hybrid import HybridAlgorithm
+from repro.detectors.lockset import EraserAlgorithm
+from repro.detectors.reports import Report
+
+
+@dataclass(frozen=True)
+class ToolConfig:
+    """A detector configuration (one column of the paper's tables)."""
+
+    name: str
+    #: honour library annotations and hide library internals
+    intercept_lib: bool = True
+    #: race algorithm: "hybrid" (Helgrind+), "hb" (DRD), or
+    #: "lockset" (pure Eraser — background baseline, slides 8-10)
+    algorithm: str = "hybrid"
+    #: enable the spin-loop feature (instrumentation + runtime phase)
+    spin: bool = False
+    #: spin(k): max effective basic blocks of a qualifying loop
+    spin_max_blocks: int = 7
+    #: inlining depth for condition helper calls
+    inline_depth: int = 1
+    #: coarse lost-signal-tolerant condvar heuristic (plain lib mode only)
+    coarse_cv: bool = False
+    #: long-running-application state machine (less sensitive)
+    long_run: bool = False
+    #: racy-context granularity: "symbol" (Helgrind-style, one context
+    #: per variable and location pair) or "address" (DRD-style, one per
+    #: element) — drives the paper's huge DRD counts on array programs
+    context_granularity: str = "symbol"
+    #: ablation: match counterpart writes on *any* read of a classified
+    #: sync variable (paper: dependencies are per *variable*), not only on
+    #: the marked loads themselves.  Off loses the CAS-grab re-read path.
+    adhoc_variable_level: bool = True
+    #: ablation: suppress data-race checks on classified sync variables
+    #: (the paper's synchronization-race elimination)
+    adhoc_suppress: bool = True
+    #: the paper's future work: statically identify lock-acquire CAS
+    #: sites and feed them to lockset analysis instead of hb edges
+    #: (meaningful in nolib mode; see repro.analysis.lockinfer)
+    infer_locks: bool = False
+
+    # -- the paper's presets ------------------------------------------------
+
+    @classmethod
+    def helgrind_lib(cls, long_run: bool = False) -> "ToolConfig":
+        return cls(
+            name="Helgrind+ lib",
+            intercept_lib=True,
+            algorithm="hybrid",
+            spin=False,
+            coarse_cv=True,
+            long_run=long_run,
+        )
+
+    @classmethod
+    def helgrind_lib_spin(cls, k: int = 7, long_run: bool = False) -> "ToolConfig":
+        return cls(
+            name=f"Helgrind+ lib+spin({k})",
+            intercept_lib=True,
+            algorithm="hybrid",
+            spin=True,
+            spin_max_blocks=k,
+            long_run=long_run,
+        )
+
+    @classmethod
+    def helgrind_nolib_spin(cls, k: int = 7, long_run: bool = False) -> "ToolConfig":
+        return cls(
+            name=f"Helgrind+ nolib+spin({k})",
+            intercept_lib=False,
+            algorithm="hybrid",
+            spin=True,
+            spin_max_blocks=k,
+            long_run=long_run,
+        )
+
+    @classmethod
+    def drd(cls) -> "ToolConfig":
+        return cls(
+            name="DRD",
+            intercept_lib=True,
+            algorithm="hb",
+            spin=False,
+            context_granularity="address",
+        )
+
+    @classmethod
+    def eraser(cls) -> "ToolConfig":
+        """Pure lockset analysis — the background baseline whose
+        signal/wait false positive (slide 10) motivates hybrids."""
+        return cls(
+            name="Eraser (lockset)",
+            intercept_lib=True,
+            algorithm="lockset",
+            spin=False,
+        )
+
+    @classmethod
+    def universal_hybrid(cls, k: int = 7) -> "ToolConfig":
+        """nolib+spin plus inferred-lock lockset analysis — the paper's
+        future-work configuration (slide 33)."""
+        return cls(
+            name=f"Helgrind+ nolib+spin({k})+lockinfer",
+            intercept_lib=False,
+            algorithm="hybrid",
+            spin=True,
+            spin_max_blocks=k,
+            infer_locks=True,
+        )
+
+    @classmethod
+    def paper_tools(cls, k: int = 7) -> "tuple[ToolConfig, ...]":
+        """The four tool columns of the paper's evaluation tables."""
+        return (
+            cls.helgrind_lib(),
+            cls.helgrind_lib_spin(k),
+            cls.helgrind_nolib_spin(k),
+            cls.drd(),
+        )
+
+    def with_name(self, name: str) -> "ToolConfig":
+        return replace(self, name=name)
+
+
+class RaceDetector:
+    """Event listener implementing one tool configuration."""
+
+    def __init__(
+        self,
+        config: ToolConfig,
+        symbolize: Optional[Callable[[int], str]] = None,
+        lock_sites: frozenset = frozenset(),
+    ) -> None:
+        """``lock_sites``: code locations of statically inferred
+        lock-acquire CAS instructions (only used when
+        ``config.infer_locks``); typically
+        :func:`repro.analysis.lock_site_locations` of the program."""
+        self.config = config
+        self.lock_sites = lock_sites if config.infer_locks else frozenset()
+        self.report = Report(tool=config.name, granularity=config.context_granularity)
+        algo_cls = {
+            "hybrid": HybridAlgorithm,
+            "hb": PureHappensBeforeAlgorithm,
+            "lockset": EraserAlgorithm,
+        }[config.algorithm]
+        self.adhoc: Optional[AdhocSyncEngine] = None
+        suppressor = None
+        if config.spin and config.adhoc_suppress:
+            # The suppressor closes over the engine created right after.
+            suppressor = self._is_sync_addr
+        self.algorithm: VectorClockAlgorithm = algo_cls(
+            report=self.report,
+            suppressor=suppressor,
+            symbolize=symbolize,
+            coarse_cv=config.coarse_cv,
+            long_run=config.long_run,
+        )
+        if config.spin:
+            self.adhoc = AdhocSyncEngine(self.algorithm)
+        # Helgrind+'s condvar bug-pattern detectors (lib mode: needs the
+        # CV annotations to see waits and signals).
+        self.cv_monitor: Optional[CondvarMonitor] = (
+            CondvarMonitor() if config.intercept_lib else None
+        )
+        self.events_processed = 0
+
+    def _is_sync_addr(self, addr: int) -> bool:
+        return self.adhoc is not None and self.adhoc.is_sync_addr(addr)
+
+    # -- the listener ----------------------------------------------------
+
+    def __call__(self, e: ev.Event) -> None:
+        self.events_processed += 1
+        cfg = self.config
+        if isinstance(e, ev.MemRead):
+            if cfg.intercept_lib and e.in_library:
+                return
+            if self.adhoc is not None and cfg.adhoc_variable_level:
+                self.adhoc.sync_read(e.tid, e.addr, e.value)
+            self.algorithm.read(e.tid, e.addr, e.loc, e.atomic)
+        elif isinstance(e, ev.MemWrite):
+            if cfg.intercept_lib and e.in_library:
+                return
+            if self.lock_sites:
+                self._inferred_lock_write(e)
+            self.algorithm.write(e.tid, e.addr, e.value, e.loc, e.atomic)
+        elif isinstance(e, ev.MarkedCondRead):
+            if self.adhoc is None or (cfg.intercept_lib and e.in_library):
+                return
+            self.adhoc.cond_read(e)
+        elif isinstance(e, ev.MarkedLoopEnter):
+            if self.adhoc is None or (cfg.intercept_lib and e.in_library):
+                return
+            self.adhoc.loop_enter(e)
+        elif isinstance(e, ev.MarkedLoopExit):
+            if self.adhoc is None or (cfg.intercept_lib and e.in_library):
+                return
+            self.adhoc.loop_exit(e)
+        elif isinstance(e, ev.LibEnter):
+            if cfg.intercept_lib and not e.in_library:
+                self._lib_enter(e)
+        elif isinstance(e, ev.LibExit):
+            if cfg.intercept_lib and not e.in_library:
+                self._lib_exit(e)
+        elif isinstance(e, ev.ThreadSpawnEvent):
+            self.algorithm.spawn(e.tid, e.child)
+        elif isinstance(e, ev.ThreadJoinEvent):
+            self.algorithm.join(e.tid, e.joined)
+        # ThreadStart/Exit/Print are not detector-relevant.
+
+    # -- inferred-lock handling (future work, slide 33) ------------------
+
+    def _inferred_lock_write(self, e: ev.MemWrite) -> None:
+        """Successful CAS at an inferred acquire site = lock acquire;
+        the holder's store of 0 to the lock word = release."""
+        if e.atomic and e.loc in self.lock_sites:
+            self.algorithm.acquire_lock(e.tid, e.addr)
+            if self.adhoc is not None:
+                self.adhoc.inferred_locks.add(e.addr)
+                self.adhoc.sync_addrs.add(e.addr)
+        elif e.value == 0 and self.algorithm.holds(e.tid, e.addr):
+            self.algorithm.release_lock(e.tid, e.addr)
+
+    # -- annotation semantics ---------------------------------------------
+
+    def _lib_enter(self, e: ev.LibEnter) -> None:
+        algo = self.algorithm
+        kind = e.kind
+        if kind is SyncKind.LOCK_RELEASE:
+            algo.release_lock(e.tid, e.obj_addr)
+        elif kind in (SyncKind.CV_SIGNAL, SyncKind.CV_BROADCAST):
+            algo.signal(e.tid, e.obj_addr)
+            if self.cv_monitor is not None:
+                self.cv_monitor.signal(e.obj_addr)
+        elif kind is SyncKind.CV_WAIT:
+            if self.cv_monitor is not None:
+                self.cv_monitor.wait_enter(e.tid, e.obj_addr, e.loc)
+            # pthread semantics: the wait releases the mutex on entry.
+            if e.obj2_addr is not None:
+                algo.release_lock(e.tid, e.obj2_addr)
+        elif kind is SyncKind.BARRIER_WAIT:
+            algo.barrier_enter(e.tid, e.obj_addr)
+        elif kind is SyncKind.SEM_POST:
+            algo.sem_post(e.tid, e.obj_addr)
+        # LOCK_ACQUIRE, SEM_WAIT, SYNC_INIT act on exit.
+
+    def _lib_exit(self, e: ev.LibExit) -> None:
+        algo = self.algorithm
+        kind = e.kind
+        if kind is SyncKind.LOCK_ACQUIRE:
+            algo.acquire_lock(e.tid, e.obj_addr)
+        elif kind is SyncKind.CV_WAIT:
+            if self.cv_monitor is not None:
+                self.cv_monitor.wait_exit(e.tid, e.obj_addr, e.loc)
+            algo.wait_return(e.tid, e.obj_addr)
+            if e.obj2_addr is not None:
+                algo.acquire_lock(e.tid, e.obj2_addr)
+        elif kind is SyncKind.BARRIER_WAIT:
+            algo.barrier_leave(e.tid, e.obj_addr)
+        elif kind is SyncKind.SEM_WAIT:
+            algo.sem_wait_return(e.tid, e.obj_addr)
+
+    # -- end-of-run diagnostics ------------------------------------------
+
+    def sync_warnings(self):
+        """Condvar protocol diagnostics (lost signals, spurious wake-ups);
+        call after the run has finished."""
+        if self.cv_monitor is None:
+            return []
+        return self.cv_monitor.finalize()
+
+    # -- accounting -------------------------------------------------------
+
+    def memory_words(self) -> int:
+        """Detector-state footprint (shadow + clocks + adhoc + report)."""
+        words = self.algorithm.memory_words() + self.report.memory_words()
+        if self.adhoc is not None:
+            words += self.adhoc.memory_words()
+        if self.cv_monitor is not None:
+            words += self.cv_monitor.memory_words()
+        return words

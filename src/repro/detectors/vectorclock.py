@@ -1,0 +1,75 @@
+"""Vector clocks (Lamport/Mattern) for happens-before reasoning.
+
+Clocks are plain ``dict[tid, int]`` for speed.  :class:`ThreadClock`
+wraps a thread's clock with *snapshot caching*: shadow-memory write
+records store a reference to the thread's clock at write time, and
+because a thread's clock only changes at synchronization operations (not
+on every access), the snapshot can be shared by every write between two
+sync ops — O(1) per write instead of O(threads).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+VC = Dict[int, int]
+
+
+def vc_join(dst: VC, src: Mapping[int, int]) -> None:
+    """In-place join: ``dst := dst ⊔ src`` (pointwise max)."""
+    for tid, clock in src.items():
+        if dst.get(tid, 0) < clock:
+            dst[tid] = clock
+
+
+def vc_leq(a: Mapping[int, int], b: Mapping[int, int]) -> bool:
+    """Whether ``a ≤ b`` pointwise (a happens-before-or-equals b)."""
+    for tid, clock in a.items():
+        if clock > b.get(tid, 0):
+            return False
+    return True
+
+
+class ThreadClock:
+    """A thread's vector clock with cheap immutable snapshots."""
+
+    __slots__ = ("tid", "vc", "_snapshot")
+
+    def __init__(self, tid: int) -> None:
+        self.tid = tid
+        self.vc: VC = {tid: 1}
+        self._snapshot: VC | None = None
+
+    @property
+    def clock(self) -> int:
+        """This thread's own component (its epoch clock)."""
+        return self.vc[self.tid]
+
+    def tick(self) -> None:
+        """Advance this thread's own component (at release-like ops)."""
+        self.vc[self.tid] += 1
+        self._snapshot = None
+
+    def join(self, other: Mapping[int, int]) -> None:
+        """Acquire-like op: absorb ``other`` into this thread's clock."""
+        changed = False
+        vc = self.vc
+        for tid, clock in other.items():
+            if vc.get(tid, 0) < clock:
+                vc[tid] = clock
+                changed = True
+        if changed:
+            self._snapshot = None
+
+    def snapshot(self) -> VC:
+        """Immutable-by-convention snapshot, shared between sync points."""
+        if self._snapshot is None:
+            self._snapshot = dict(self.vc)
+        return self._snapshot
+
+    def saw(self, tid: int, clock: int) -> bool:
+        """Whether the event ``(tid, clock)`` happens-before this thread."""
+        return self.vc.get(tid, 0) >= clock
+
+    def memory_words(self) -> int:
+        return len(self.vc) * 2 + (len(self._snapshot) * 2 if self._snapshot else 0)

@@ -1,0 +1,39 @@
+"""Experiment harness: run workloads under tool configurations and score.
+
+* :mod:`repro.harness.workload` — the workload abstraction (program
+  factory + ground truth);
+* :mod:`repro.harness.runner` — execute (workload, tool, seed) triples;
+* :mod:`repro.harness.metrics` — suite scoring (false alarms / missed
+  races / failed / correct) and racy-context averaging;
+* :mod:`repro.harness.tables` — text rendering of the paper's tables;
+* :mod:`repro.harness.perf` — runtime/memory overhead measurements for
+  the paper's two performance figures;
+* :mod:`repro.harness.cli` — ``repro-experiments`` command line.
+"""
+
+from repro.harness.workload import Workload
+from repro.harness.runner import RunOutcome, run_workload
+from repro.harness.metrics import (
+    CaseScore,
+    SuiteScore,
+    score_case,
+    score_suite,
+    racy_contexts_avg,
+)
+from repro.harness.tables import format_table
+from repro.harness.oracle import OracleVerdict, check_suite, check_workload
+
+__all__ = [
+    "Workload",
+    "RunOutcome",
+    "run_workload",
+    "CaseScore",
+    "SuiteScore",
+    "score_case",
+    "score_suite",
+    "racy_contexts_avg",
+    "format_table",
+    "OracleVerdict",
+    "check_suite",
+    "check_workload",
+]

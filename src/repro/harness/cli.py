@@ -1,0 +1,230 @@
+"""``repro-experiments`` — regenerate the paper's tables and figures.
+
+Subcommands::
+
+    repro-experiments t1            # data-race-test suite, 4 tools
+    repro-experiments t2            # spin(k) threshold sensitivity
+    repro-experiments t3            # PARSEC program characteristics
+    repro-experiments t4 [--seeds N]  # PARSEC racy contexts (both halves)
+    repro-experiments t5 [--seeds N]  # universal-detector summary
+    repro-experiments f1            # memory-overhead figure
+    repro-experiments f2            # runtime-overhead figure
+    repro-experiments cases         # list the 120 suite cases
+    repro-experiments oracle        # detector-free ground-truth sweep
+    repro-experiments all           # every table and figure, in order
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.detectors import ToolConfig
+from repro.harness.metrics import racy_contexts_table, score_suite
+from repro.harness.perf import measure_overhead, overhead_summary
+from repro.harness.tables import contexts_table, format_table, suite_table
+
+
+def _tools(k: int) -> Sequence[ToolConfig]:
+    return ToolConfig.paper_tools(k)
+
+
+def cmd_t1(args: argparse.Namespace) -> None:
+    from repro.workloads import build_suite
+
+    suite = build_suite()
+    rows = []
+    for cfg in _tools(args.k):
+        score, _ = score_suite(suite, cfg)
+        rows.append(score.row())
+    print(suite_table(rows, f"T1 — data-race-test suite ({len(suite)} cases)"))
+
+
+def cmd_t2(args: argparse.Namespace) -> None:
+    from repro.workloads import build_suite
+
+    suite = build_suite()
+    rows = []
+    for k in (3, 6, 7, 8):
+        score, _ = score_suite(suite, ToolConfig.helgrind_lib_spin(k))
+        rows.append(score.row())
+    print(suite_table(rows, "T2 — spinning-read window sensitivity"))
+
+
+def cmd_t3(args: argparse.Namespace) -> None:
+    from repro.workloads.parsec.registry import program_metadata
+
+    meta = program_metadata()
+    headers = ["Program", "Model", "Instrs", "Threads", "Ad-hoc", "CVs", "Locks", "Barriers"]
+    rows = [
+        [
+            name,
+            m["model"],
+            m["instructions"],
+            m["threads"],
+            "x" if m["adhoc"] else "-",
+            "x" if m["cvs"] else "-",
+            "x" if m["locks"] else "-",
+            "x" if m["barriers"] else "-",
+        ]
+        for name, m in meta.items()
+    ]
+    print(format_table(headers, rows, title="T3 — PARSEC program characteristics"))
+
+
+def _parsec_contexts(args: argparse.Namespace, names: Sequence[str], title: str) -> None:
+    from repro.workloads.parsec.registry import parsec_workload
+
+    workloads = [parsec_workload(n) for n in names]
+    seeds = list(range(1, args.seeds + 1))
+    data = racy_contexts_table(workloads, _tools(args.k), seeds)
+    print(contexts_table(data, [c.name for c in _tools(args.k)], title))
+
+
+def cmd_t4(args: argparse.Namespace) -> None:
+    from repro.workloads.parsec.registry import WITH_ADHOC, WITHOUT_ADHOC
+
+    _parsec_contexts(
+        args, WITHOUT_ADHOC, "T4a — PARSEC programs without ad-hoc synchronization"
+    )
+    print()
+    _parsec_contexts(
+        args, WITH_ADHOC, "T4b — PARSEC programs with ad-hoc synchronization"
+    )
+
+
+def cmd_t5(args: argparse.Namespace) -> None:
+    from repro.workloads.parsec.registry import WITH_ADHOC, WITHOUT_ADHOC
+
+    _parsec_contexts(
+        args,
+        tuple(WITHOUT_ADHOC) + tuple(WITH_ADHOC),
+        "T5 — universal race detector summary (all 13 programs)",
+    )
+
+
+def _perf_rows(args: argparse.Namespace):
+    from repro.workloads import parsec_workloads
+
+    return measure_overhead(parsec_workloads(), k=args.k, repeats=args.repeats)
+
+
+def cmd_f1(args: argparse.Namespace) -> None:
+    rows = _perf_rows(args)
+    print(
+        format_table(
+            ["Program", "lib words", "lib+spin words", "overhead"],
+            [
+                [r.program, r.lib_words, r.spin_words, f"{r.memory_overhead:.3f}x"]
+                for r in rows
+            ],
+            title="F1 — detector memory consumption (spin feature off vs on)",
+        )
+    )
+    print(f"mean memory overhead: {overhead_summary(rows)['memory']:.3f}x")
+
+
+def cmd_cases(args: argparse.Namespace) -> None:
+    from repro.workloads import build_suite
+
+    suite = build_suite()
+    rows = [
+        [
+            wl.name,
+            wl.category,
+            wl.threads,
+            ", ".join(sorted(wl.racy_symbols)) or "-",
+        ]
+        for wl in suite
+    ]
+    print(
+        format_table(
+            ["Case", "Family", "Threads", "True racy symbols"],
+            rows,
+            title=f"The {len(suite)}-case suite",
+        )
+    )
+    racy = sum(1 for wl in suite if wl.racy_symbols)
+    print(f"{racy} racy / {len(suite) - racy} race-free")
+
+
+def cmd_oracle(args: argparse.Namespace) -> None:
+    from repro.harness.oracle import check_suite
+    from repro.workloads import build_suite
+
+    suite = build_suite()
+    verdicts = check_suite(suite, seeds=range(args.seeds))
+    rows = [
+        [v.workload, v.verdict, v.distinct_outcomes, v.schedules_tried]
+        for v in verdicts.values()
+        if v.verdict != "stable"
+    ]
+    print(
+        format_table(
+            ["Case", "Verdict", "Outcomes", "Schedules"],
+            rows,
+            title="Ground-truth oracle — non-stable cases",
+        )
+    )
+    stable = sum(1 for v in verdicts.values() if v.verdict == "stable")
+    print(f"{stable}/{len(verdicts)} cases schedule-stable")
+
+
+def cmd_f2(args: argparse.Namespace) -> None:
+    rows = _perf_rows(args)
+    print(
+        format_table(
+            ["Program", "bare s", "lib s", "lib+spin s", "overhead"],
+            [
+                [
+                    r.program,
+                    f"{r.bare_s:.3f}",
+                    f"{r.lib_s:.3f}",
+                    f"{r.spin_s:.3f}",
+                    f"{r.runtime_overhead:.3f}x",
+                ]
+                for r in rows
+            ],
+            title="F2 — detector runtime (spin feature off vs on)",
+        )
+    )
+    print(f"mean runtime overhead: {overhead_summary(rows)['runtime']:.3f}x")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("--k", type=int, default=7, help="spin window (default 7)")
+    parser.add_argument("--seeds", type=int, default=5, help="PARSEC seeds (default 5)")
+    parser.add_argument("--repeats", type=int, default=3, help="perf repeats")
+    parser.add_argument(
+        "experiment",
+        choices=["t1", "t2", "t3", "t4", "t5", "f1", "f2", "cases", "oracle", "all"],
+        help="which experiment to run",
+    )
+    args = parser.parse_args(argv)
+    commands = {
+        "t1": cmd_t1,
+        "t2": cmd_t2,
+        "t3": cmd_t3,
+        "t4": cmd_t4,
+        "t5": cmd_t5,
+        "f1": cmd_f1,
+        "f2": cmd_f2,
+        "cases": cmd_cases,
+        "oracle": cmd_oracle,
+    }
+    if args.experiment == "all":
+        for name in ("t1", "t2", "t3", "t4", "t5", "f1", "f2"):
+            commands[name](args)
+            print()
+    else:
+        commands[args.experiment](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

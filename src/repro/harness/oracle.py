@@ -1,0 +1,88 @@
+"""Ground-truth oracle: does a declared race actually manifest?
+
+A workload's ``racy_symbols`` declaration is a *claim* that some
+interleaving produces conflicting unordered accesses.  The oracle
+validates the claim empirically, without any detector: it executes the
+program under many adversarial schedules and checks whether the final
+memory image (or the program's outputs) diverge across seeds — the
+observable signature of a manifest race.
+
+This is deliberately weaker than race detection (a race can be real yet
+never change observable state — e.g. write-write of the same value, or
+read-side races), so the oracle reports three verdicts:
+
+* ``manifest`` — divergent outcomes observed: definitely racy;
+* ``stable`` — identical outcomes across all tried schedules: either
+  race-free or an outcome-invisible race;
+* ``abnormal`` — some schedule deadlocked or timed out.
+
+The test suite uses it as a sanity layer: every *race-free* workload
+must be ``stable``, and the plain-race family must be ``manifest``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from repro.harness.workload import Workload
+from repro.vm import AdversarialScheduler, Machine, RandomScheduler
+
+
+@dataclass(frozen=True)
+class OracleVerdict:
+    workload: str
+    verdict: str  # "manifest" | "stable" | "abnormal"
+    distinct_outcomes: int
+    schedules_tried: int
+
+    @property
+    def manifest(self) -> bool:
+        return self.verdict == "manifest"
+
+
+def _fingerprint(result) -> Tuple:
+    """Observable outcome of a run: printed outputs and thread results.
+
+    The raw memory image is deliberately excluded: synchronization
+    internals (ticket counters, generation words, poll counters) vary
+    with the schedule even in perfectly race-free programs.  A workload
+    whose race is only visible in memory should surface it through a
+    print or a thread return value.
+    """
+    return (
+        tuple(sorted(result.outputs)),
+        tuple(sorted((k, v) for k, v in result.thread_results.items())),
+    )
+
+
+def check_workload(
+    workload: Workload,
+    seeds: Sequence[int] = tuple(range(10)),
+    adversarial: bool = True,
+    max_steps: int = 400_000,
+) -> OracleVerdict:
+    """Run ``workload`` under many schedules and classify the outcome."""
+    outcomes = set()
+    tried = 0
+    for seed in seeds:
+        for scheduler in (
+            [AdversarialScheduler(seed), RandomScheduler(seed)]
+            if adversarial
+            else [RandomScheduler(seed)]
+        ):
+            program = workload.fresh_program()
+            machine = Machine(program, scheduler=scheduler, max_steps=max_steps)
+            result = machine.run()
+            tried += 1
+            if not result.ok:
+                return OracleVerdict(workload.name, "abnormal", len(outcomes), tried)
+            outcomes.add(_fingerprint(result))
+    verdict = "manifest" if len(outcomes) > 1 else "stable"
+    return OracleVerdict(workload.name, verdict, len(outcomes), tried)
+
+
+def check_suite(
+    workloads: Sequence[Workload], seeds: Sequence[int] = tuple(range(6))
+) -> Dict[str, OracleVerdict]:
+    return {wl.name: check_workload(wl, seeds) for wl in workloads}

@@ -1,0 +1,90 @@
+"""Performance measurements for the paper's two figures.
+
+Slide 31 (memory consumption) and slide 32 (runtime overhead) claim the
+spin-loop feature adds only *minor* overhead on top of Helgrind+.  Our
+equivalents:
+
+* **memory**: the detector-state footprint (shadow memory, vector
+  clocks, locksets, reports) plus the instrumentation marker tables and
+  ad-hoc engine state, in words, with the feature off (``lib``) and on
+  (``lib+spin``);
+* **runtime**: wall-clock seconds of machine + detector for the same two
+  configurations, plus the bare (no detector) machine as the common
+  baseline.
+
+The absolute numbers are meaningless outside this simulator; the figure
+of merit is the *ratio* between the two configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.detectors import ToolConfig
+from repro.harness.runner import run_bare, run_workload
+from repro.harness.workload import Workload
+
+
+@dataclass(frozen=True)
+class PerfRow:
+    """One program's overhead measurement."""
+
+    program: str
+    bare_s: float
+    lib_s: float
+    spin_s: float
+    lib_words: int
+    spin_words: int
+
+    @property
+    def runtime_overhead(self) -> float:
+        """Relative extra runtime of the spin feature (spin / lib)."""
+        return self.spin_s / self.lib_s if self.lib_s > 0 else float("nan")
+
+    @property
+    def memory_overhead(self) -> float:
+        """Relative extra detector memory of the spin feature."""
+        return self.spin_words / self.lib_words if self.lib_words else float("nan")
+
+
+def measure_overhead(
+    workloads: Sequence[Workload],
+    k: int = 7,
+    seed: int = 1,
+    repeats: int = 3,
+) -> List[PerfRow]:
+    """Measure both figures over ``workloads``.
+
+    ``repeats`` runs are taken and the *minimum* runtime kept (standard
+    practice for wall-clock micro-measurements; memory is deterministic).
+    """
+    lib_cfg = ToolConfig.helgrind_lib()
+    spin_cfg = ToolConfig.helgrind_lib_spin(k)
+    rows: List[PerfRow] = []
+    for wl in workloads:
+        bare = min(run_bare(wl, seed=seed) for _ in range(repeats))
+        lib_runs = [run_workload(wl, lib_cfg, seed=seed) for _ in range(repeats)]
+        spin_runs = [run_workload(wl, spin_cfg, seed=seed) for _ in range(repeats)]
+        lib_best = min(lib_runs, key=lambda r: r.duration_s)
+        spin_best = min(spin_runs, key=lambda r: r.duration_s)
+        rows.append(
+            PerfRow(
+                program=wl.name,
+                bare_s=bare,
+                lib_s=lib_best.duration_s,
+                spin_s=spin_best.duration_s,
+                lib_words=lib_best.detector_words,
+                spin_words=spin_best.detector_words + spin_best.imap_words,
+            )
+        )
+    return rows
+
+
+def overhead_summary(rows: Sequence[PerfRow]) -> Dict[str, float]:
+    """Geometric-ish means for the headline claim (minor overhead)."""
+    if not rows:
+        return {"runtime": float("nan"), "memory": float("nan")}
+    runtime = sum(r.runtime_overhead for r in rows) / len(rows)
+    memory = sum(r.memory_overhead for r in rows) / len(rows)
+    return {"runtime": runtime, "memory": memory}

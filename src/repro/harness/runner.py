@@ -1,0 +1,104 @@
+"""Execute one (workload, tool configuration, seed) triple."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis import InstrumentationMap, instrument_program, lock_site_locations
+from repro.detectors import RaceDetector, ToolConfig
+from repro.detectors.reports import Report
+from repro.harness.workload import Workload
+from repro.vm import Machine, RandomScheduler
+from repro.vm.machine import RunResult
+
+
+@dataclass
+class RunOutcome:
+    """Everything the metrics and perf layers need from one run."""
+
+    workload: Workload
+    config: ToolConfig
+    seed: int
+    report: Report
+    result: RunResult
+    #: wall-clock of machine + detector, seconds
+    duration_s: float
+    #: VM steps executed
+    steps: int
+    #: events delivered to the detector
+    events: int
+    #: detector state footprint at end of run, in words
+    detector_words: int
+    #: instrumentation (marker-table) footprint, in words
+    imap_words: int
+    #: number of spinning read loops the instrumentation phase found
+    spin_loops: int
+    #: happens-before edges the ad-hoc runtime phase established
+    adhoc_edges: int
+
+    @property
+    def ok(self) -> bool:
+        return self.result.ok
+
+
+def run_workload(
+    workload: Workload,
+    config: ToolConfig,
+    seed: Optional[int] = None,
+    max_steps: Optional[int] = None,
+) -> RunOutcome:
+    """Run ``workload`` under ``config`` with the given scheduler seed."""
+    program = workload.fresh_program()
+    imap: Optional[InstrumentationMap] = None
+    if config.spin:
+        imap = instrument_program(
+            program,
+            max_blocks=config.spin_max_blocks,
+            inline_depth=config.inline_depth,
+        )
+    lock_sites = lock_site_locations(program) if config.infer_locks else frozenset()
+    detector = RaceDetector(config, lock_sites=lock_sites)
+    machine = Machine(
+        program,
+        scheduler=RandomScheduler(seed if seed is not None else workload.seed),
+        listener=detector,
+        instrumentation=imap,
+        max_steps=max_steps or workload.max_steps,
+    )
+    detector.algorithm.symbolize = machine.memory.symbols.resolve
+    start = time.perf_counter()
+    result = machine.run()
+    duration = time.perf_counter() - start
+    return RunOutcome(
+        workload=workload,
+        config=config,
+        seed=seed if seed is not None else workload.seed,
+        report=detector.report,
+        result=result,
+        duration_s=duration,
+        steps=machine.step_count,
+        events=detector.events_processed,
+        detector_words=detector.memory_words(),
+        imap_words=imap.memory_words() if imap is not None else 0,
+        spin_loops=imap.num_loops if imap is not None else 0,
+        adhoc_edges=detector.adhoc.edges if detector.adhoc is not None else 0,
+    )
+
+
+def run_bare(workload: Workload, seed: Optional[int] = None) -> float:
+    """Run the workload with *no* detector attached; returns seconds.
+
+    The baseline for the paper's runtime-overhead figure (native execution
+    under plain Valgrind corresponds to our VM without a listener).
+    """
+    program = workload.fresh_program()
+    machine = Machine(
+        program,
+        scheduler=RandomScheduler(seed if seed is not None else workload.seed),
+        max_steps=workload.max_steps,
+    )
+    start = time.perf_counter()
+    machine.run()
+    return time.perf_counter() - start

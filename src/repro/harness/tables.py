@@ -1,0 +1,70 @@
+"""Plain-text table rendering for experiment output."""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned text table (monospace, pipe-separated)."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == int(value):
+            return str(int(value))
+        return f"{value:.1f}"
+    return str(value)
+
+
+def suite_table(scores: Sequence[Mapping[str, object]], title: str) -> str:
+    """Render Table-1/2 style suite scores."""
+    headers = ["Tool", "False alarms", "Missed races", "Failed", "Correct"]
+    rows = [
+        [
+            s["tool"],
+            s["false_alarms"],
+            s["missed_races"],
+            s["failed"],
+            s["correct"],
+        ]
+        for s in scores
+    ]
+    return format_table(headers, rows, title=title)
+
+
+def contexts_table(
+    data: Mapping[str, Mapping[str, float]],
+    tool_order: Sequence[str],
+    title: str,
+    meta: Optional[Mapping[str, Mapping[str, object]]] = None,
+) -> str:
+    """Render PARSEC racy-context tables (programs x tools)."""
+    headers = ["Program"]
+    if meta:
+        headers += ["Model", "Instrs"]
+    headers += list(tool_order)
+    rows: List[List[object]] = []
+    for program, per_tool in data.items():
+        row: List[object] = [program]
+        if meta:
+            m = meta.get(program, {})
+            row += [m.get("model", "?"), m.get("instructions", "?")]
+        row += [per_tool.get(t, "-") for t in tool_order]
+        rows.append(row)
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,104 @@
+"""Instruction set and program representation.
+
+The :mod:`repro.isa` package defines the register-machine intermediate
+representation that stands in for the x86 binaries the paper instruments
+under Valgrind.  Programs are collections of functions; functions are
+collections of basic blocks; blocks are straight-line instruction lists
+ending in a single terminator.  The representation is deliberately simple
+and fully introspectable so that the instrumentation phase
+(:mod:`repro.analysis`) can perform the control-flow and data-dependency
+analyses the paper describes.
+"""
+
+from repro.isa.instructions import (
+    AluOp,
+    CmpOp,
+    Instruction,
+    Const,
+    Mov,
+    Alu,
+    Cmp,
+    Not,
+    Load,
+    Store,
+    AtomicCas,
+    AtomicAdd,
+    AtomicXchg,
+    Fence,
+    Jmp,
+    Br,
+    Call,
+    ICall,
+    Ret,
+    Spawn,
+    Join,
+    Yield,
+    Alloc,
+    Addr,
+    FuncAddr,
+    Print,
+    Halt,
+    Nop,
+    TERMINATORS,
+    is_terminator,
+)
+from repro.isa.program import (
+    BasicBlock,
+    CodeLocation,
+    Function,
+    GlobalVar,
+    Program,
+    SyncAnnotation,
+    SyncKind,
+)
+from repro.isa.builder import FunctionBuilder, ProgramBuilder
+from repro.isa.validate import ValidationError, validate_function, validate_program
+from repro.isa.asm import assemble, disassemble, AsmError
+
+__all__ = [
+    "AluOp",
+    "CmpOp",
+    "Instruction",
+    "Const",
+    "Mov",
+    "Alu",
+    "Cmp",
+    "Not",
+    "Load",
+    "Store",
+    "AtomicCas",
+    "AtomicAdd",
+    "AtomicXchg",
+    "Fence",
+    "Jmp",
+    "Br",
+    "Call",
+    "ICall",
+    "Ret",
+    "Spawn",
+    "Join",
+    "Yield",
+    "Alloc",
+    "Addr",
+    "FuncAddr",
+    "Print",
+    "Halt",
+    "Nop",
+    "TERMINATORS",
+    "is_terminator",
+    "BasicBlock",
+    "CodeLocation",
+    "Function",
+    "GlobalVar",
+    "Program",
+    "SyncAnnotation",
+    "SyncKind",
+    "FunctionBuilder",
+    "ProgramBuilder",
+    "ValidationError",
+    "validate_function",
+    "validate_program",
+    "assemble",
+    "disassemble",
+    "AsmError",
+]

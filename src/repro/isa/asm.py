@@ -1,0 +1,335 @@
+"""Textual assembly for the repro IR.
+
+``disassemble`` renders a :class:`~repro.isa.program.Program` to a stable
+text form; ``assemble`` parses it back.  The format exists for three
+reasons: human inspection of generated workloads, golden-file tests, and a
+hypothesis round-trip property (``assemble(disassemble(p)) == p``).
+
+Grammar sketch::
+
+    program NAME entry=FUNC
+    global NAME size=N [init=a,b,c]
+    func NAME(p1, p2) [annotation=KIND:ARG] [library] {
+    label:
+        dst = const 42
+        dst = add a, b
+        store ptr+0, src
+        br cond, then, els
+        ...
+    }
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.isa import instructions as ins
+from repro.isa.program import (
+    BasicBlock,
+    Function,
+    GlobalVar,
+    Program,
+    SyncAnnotation,
+    SyncKind,
+)
+
+
+class AsmError(Exception):
+    """Raised on malformed assembly text."""
+
+    def __init__(self, message: str, line_no: Optional[int] = None):
+        self.line_no = line_no
+        prefix = f"line {line_no}: " if line_no is not None else ""
+        super().__init__(prefix + message)
+
+
+_ALU_NAMES = {op.value: op for op in ins.AluOp}
+_CMP_NAMES = {op.value: op for op in ins.CmpOp}
+_SYNC_NAMES = {k.value: k for k in SyncKind}
+
+
+# ---------------------------------------------------------------------------
+# Disassembly
+# ---------------------------------------------------------------------------
+
+
+def _fmt_instr(instr: ins.Instruction) -> str:
+    if isinstance(instr, ins.Const):
+        return f"{instr.dst} = const {instr.value}"
+    if isinstance(instr, ins.Mov):
+        return f"{instr.dst} = mov {instr.src}"
+    if isinstance(instr, ins.Alu):
+        return f"{instr.dst} = {instr.op.value} {instr.a}, {instr.b}"
+    if isinstance(instr, ins.Cmp):
+        return f"{instr.dst} = {instr.op.value} {instr.a}, {instr.b}"
+    if isinstance(instr, ins.Not):
+        return f"{instr.dst} = not {instr.src}"
+    if isinstance(instr, ins.Load):
+        return f"{instr.dst} = load {instr.addr}+{instr.offset}"
+    if isinstance(instr, ins.Store):
+        return f"store {instr.addr}+{instr.offset}, {instr.src}"
+    if isinstance(instr, ins.AtomicCas):
+        return (
+            f"{instr.dst} = cas {instr.addr}+{instr.offset}, "
+            f"{instr.expected}, {instr.new}"
+        )
+    if isinstance(instr, ins.AtomicAdd):
+        return f"{instr.dst} = fadd {instr.addr}+{instr.offset}, {instr.amount}"
+    if isinstance(instr, ins.AtomicXchg):
+        return f"{instr.dst} = xchg {instr.addr}+{instr.offset}, {instr.src}"
+    if isinstance(instr, ins.Fence):
+        return "fence"
+    if isinstance(instr, ins.Jmp):
+        return f"jmp {instr.target}"
+    if isinstance(instr, ins.Br):
+        return f"br {instr.cond}, {instr.then}, {instr.els}"
+    if isinstance(instr, ins.Call):
+        args = ", ".join(instr.args)
+        head = f"{instr.dst} = " if instr.dst else ""
+        return f"{head}call {instr.func}({args})"
+    if isinstance(instr, ins.ICall):
+        args = ", ".join(instr.args)
+        head = f"{instr.dst} = " if instr.dst else ""
+        return f"{head}icall {instr.target}({args})"
+    if isinstance(instr, ins.Ret):
+        return f"ret {instr.src}" if instr.src else "ret"
+    if isinstance(instr, ins.Halt):
+        return "halt"
+    if isinstance(instr, ins.Spawn):
+        args = ", ".join(instr.args)
+        return f"{instr.dst} = spawn {instr.func}({args})"
+    if isinstance(instr, ins.Join):
+        return f"join {instr.tid}"
+    if isinstance(instr, ins.Yield):
+        return "yield"
+    if isinstance(instr, ins.Alloc):
+        return f"{instr.dst} = alloc {instr.size}"
+    if isinstance(instr, ins.Addr):
+        return f"{instr.dst} = addr {instr.symbol}"
+    if isinstance(instr, ins.FuncAddr):
+        return f"{instr.dst} = funcaddr {instr.func}"
+    if isinstance(instr, ins.Print):
+        return f"print {instr.src}"
+    if isinstance(instr, ins.Nop):
+        return "nop"
+    raise AsmError(f"cannot format {instr!r}")
+
+
+def disassemble(program: Program) -> str:
+    """Render a program to its canonical text form."""
+    out: List[str] = [f"program {program.name} entry={program.entry}", ""]
+    for g in program.globals.values():
+        line = f"global {g.name} size={g.size}"
+        if g.init:
+            line += " init=" + ",".join(str(v) for v in g.init)
+        out.append(line)
+    if program.globals:
+        out.append("")
+    for func in program.functions.values():
+        params = ", ".join(func.params)
+        header = f"func {func.name}({params})"
+        if func.annotation is not None:
+            header += (
+                f" annotation={func.annotation.kind.value}:{func.annotation.obj_arg}"
+            )
+            if func.annotation.mutex_arg is not None:
+                header += f":{func.annotation.mutex_arg}"
+        if func.is_library:
+            header += " library"
+        out.append(header + " {")
+        for label, block in func.blocks.items():
+            out.append(f"{label}:")
+            for instr in block.instructions:
+                out.append(f"    {_fmt_instr(instr)}")
+        out.append("}")
+        out.append("")
+    return "\n".join(out)
+
+
+# ---------------------------------------------------------------------------
+# Assembly
+# ---------------------------------------------------------------------------
+
+_MEM_RE = re.compile(r"^(?P<addr>\S+)\+(?P<off>-?\d+)$")
+_CALL_RE = re.compile(r"^(?P<callee>[^\s(]+)\((?P<args>[^)]*)\)$")
+
+
+def _split_args(text: str) -> Tuple[str, ...]:
+    text = text.strip()
+    if not text:
+        return ()
+    return tuple(a.strip() for a in text.split(","))
+
+
+def _parse_mem(token: str, line_no: int) -> Tuple[str, int]:
+    m = _MEM_RE.match(token.strip())
+    if not m:
+        raise AsmError(f"expected ADDR+OFF, got {token!r}", line_no)
+    return m.group("addr"), int(m.group("off"))
+
+
+def _parse_rhs(dst: Optional[str], rhs: str, line_no: int) -> ins.Instruction:
+    parts = rhs.split(None, 1)
+    op = parts[0]
+    rest = parts[1] if len(parts) > 1 else ""
+
+    def need_dst() -> str:
+        if dst is None:
+            raise AsmError(f"{op} requires a destination register", line_no)
+        return dst
+
+    if op == "const":
+        return ins.Const(need_dst(), int(rest))
+    if op == "mov":
+        return ins.Mov(need_dst(), rest.strip())
+    if op in _ALU_NAMES:
+        a, b = _split_args(rest)
+        return ins.Alu(_ALU_NAMES[op], need_dst(), a, b)
+    if op in _CMP_NAMES:
+        a, b = _split_args(rest)
+        return ins.Cmp(_CMP_NAMES[op], need_dst(), a, b)
+    if op == "not":
+        return ins.Not(need_dst(), rest.strip())
+    if op == "load":
+        addr, off = _parse_mem(rest, line_no)
+        return ins.Load(need_dst(), addr, off)
+    if op == "store":
+        mem, src = _split_args(rest)
+        addr, off = _parse_mem(mem, line_no)
+        return ins.Store(addr, src, off)
+    if op == "cas":
+        mem, expected, new = _split_args(rest)
+        addr, off = _parse_mem(mem, line_no)
+        return ins.AtomicCas(need_dst(), addr, expected, new, off)
+    if op == "fadd":
+        mem, amount = _split_args(rest)
+        addr, off = _parse_mem(mem, line_no)
+        return ins.AtomicAdd(need_dst(), addr, amount, off)
+    if op == "xchg":
+        mem, src = _split_args(rest)
+        addr, off = _parse_mem(mem, line_no)
+        return ins.AtomicXchg(need_dst(), addr, src, off)
+    if op == "fence":
+        return ins.Fence()
+    if op == "jmp":
+        return ins.Jmp(rest.strip())
+    if op == "br":
+        cond, then, els = _split_args(rest)
+        return ins.Br(cond, then, els)
+    if op == "call":
+        m = _CALL_RE.match(rest.strip())
+        if not m:
+            raise AsmError(f"malformed call: {rest!r}", line_no)
+        return ins.Call(m.group("callee"), _split_args(m.group("args")), dst)
+    if op == "icall":
+        m = _CALL_RE.match(rest.strip())
+        if not m:
+            raise AsmError(f"malformed icall: {rest!r}", line_no)
+        return ins.ICall(m.group("callee"), _split_args(m.group("args")), dst)
+    if op == "ret":
+        return ins.Ret(rest.strip() or None)
+    if op == "halt":
+        return ins.Halt()
+    if op == "spawn":
+        m = _CALL_RE.match(rest.strip())
+        if not m:
+            raise AsmError(f"malformed spawn: {rest!r}", line_no)
+        return ins.Spawn(need_dst(), m.group("callee"), _split_args(m.group("args")))
+    if op == "join":
+        return ins.Join(rest.strip())
+    if op == "yield":
+        return ins.Yield()
+    if op == "alloc":
+        return ins.Alloc(need_dst(), rest.strip())
+    if op == "addr":
+        return ins.Addr(need_dst(), rest.strip())
+    if op == "funcaddr":
+        return ins.FuncAddr(need_dst(), rest.strip())
+    if op == "print":
+        return ins.Print(rest.strip())
+    if op == "nop":
+        return ins.Nop()
+    raise AsmError(f"unknown opcode {op!r}", line_no)
+
+
+def _parse_instr(line: str, line_no: int) -> ins.Instruction:
+    if "=" in line and not line.split(None, 1)[0] in ("store", "br"):
+        # 'dst = rhs' form — careful: 'store', 'br' never define registers
+        # and their operands can't contain '='.
+        dst, rhs = line.split("=", 1)
+        return _parse_rhs(dst.strip(), rhs.strip(), line_no)
+    return _parse_rhs(None, line.strip(), line_no)
+
+
+_FUNC_RE = re.compile(
+    r"^func\s+(?P<name>\S+?)\((?P<params>[^)]*)\)"
+    r"(?:\s+annotation=(?P<akind>[a-z_]+):(?P<aarg>\d+)(?::(?P<marg>\d+))?)?"
+    r"(?P<lib>\s+library)?\s*\{$"
+)
+
+
+def assemble(text: str) -> Program:
+    """Parse assembly text into a :class:`Program`."""
+    program = Program()
+    current_func: Optional[Function] = None
+    current_block: Optional[BasicBlock] = None
+    saw_header = False
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("program "):
+            m = re.match(r"^program\s+(\S+)\s+entry=(\S+)$", line)
+            if not m:
+                raise AsmError("malformed program header", line_no)
+            program.name, program.entry = m.group(1), m.group(2)
+            saw_header = True
+            continue
+        if line.startswith("global "):
+            m = re.match(
+                r"^global\s+(\S+)\s+size=(\d+)(?:\s+init=([\d,\-]+))?$", line
+            )
+            if not m:
+                raise AsmError("malformed global declaration", line_no)
+            init: Tuple[int, ...] = ()
+            if m.group(3):
+                init = tuple(int(v) for v in m.group(3).split(","))
+            program.add_global(GlobalVar(m.group(1), int(m.group(2)), init))
+            continue
+        if line.startswith("func "):
+            m = _FUNC_RE.match(line)
+            if not m:
+                raise AsmError("malformed function header", line_no)
+            annotation = None
+            if m.group("akind"):
+                kind = _SYNC_NAMES.get(m.group("akind"))
+                if kind is None:
+                    raise AsmError(f"unknown sync kind {m.group('akind')!r}", line_no)
+                marg = int(m.group("marg")) if m.group("marg") else None
+                annotation = SyncAnnotation(kind, int(m.group("aarg")), marg)
+            current_func = Function(
+                name=m.group("name"),
+                params=_split_args(m.group("params")),
+                annotation=annotation,
+                is_library=bool(m.group("lib")),
+            )
+            program.add_function(current_func)
+            current_block = None
+            continue
+        if line == "}":
+            current_func = None
+            current_block = None
+            continue
+        if line.endswith(":") and current_func is not None:
+            label = line[:-1].strip()
+            current_block = current_func.add_block(BasicBlock(label))
+            continue
+        if current_func is None or current_block is None:
+            raise AsmError(f"instruction outside block: {line!r}", line_no)
+        current_block.instructions.append(_parse_instr(line, line_no))
+
+    if not saw_header:
+        raise AsmError("missing 'program' header")
+    return program

@@ -1,0 +1,288 @@
+"""Fluent builders for constructing IR programs in Python.
+
+Workloads and tests build programs through :class:`ProgramBuilder` /
+:class:`FunctionBuilder` rather than instantiating instruction lists by
+hand.  The builder hands out fresh virtual registers, tracks the current
+block, and offers one helper per common idiom (load a global, spin on a
+flag, ...), which keeps the 100+ generated test programs readable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.isa import instructions as ins
+from repro.isa.program import (
+    BasicBlock,
+    Function,
+    GlobalVar,
+    Program,
+    SyncAnnotation,
+    SyncKind,
+)
+
+RegOrInt = Union[str, int]
+
+
+class FunctionBuilder:
+    """Builds one :class:`Function`, appending to a *current block*."""
+
+    def __init__(
+        self,
+        name: str,
+        params: Sequence[str] = (),
+        annotation: Optional[SyncAnnotation] = None,
+        is_library: bool = False,
+    ) -> None:
+        self.func = Function(
+            name=name,
+            params=tuple(params),
+            annotation=annotation,
+            is_library=is_library,
+        )
+        self._counter = 0
+        self._label_counter = 0
+        self._current: Optional[BasicBlock] = None
+        self.label("entry")
+
+    # -- structural -------------------------------------------------------
+
+    def reg(self, hint: str = "t") -> str:
+        """Return a fresh virtual register name."""
+        self._counter += 1
+        return f"%{hint}{self._counter}"
+
+    def fresh_label(self, hint: str = "L") -> str:
+        """Return a fresh, not-yet-created block label."""
+        self._label_counter += 1
+        return f"{hint}{self._label_counter}"
+
+    def label(self, name: str) -> str:
+        """Start (or switch to) the block called ``name``; returns the name."""
+        if name in self.func.blocks:
+            self._current = self.func.blocks[name]
+        else:
+            self._current = self.func.add_block(BasicBlock(name))
+        return name
+
+    @property
+    def current_label(self) -> str:
+        assert self._current is not None
+        return self._current.label
+
+    def emit(self, instr: ins.Instruction) -> ins.Instruction:
+        assert self._current is not None, "no current block"
+        if self._current.instructions and ins.is_terminator(
+            self._current.instructions[-1]
+        ):
+            raise ValueError(
+                f"block {self._current.label!r} already terminated; "
+                f"cannot append {instr!r}"
+            )
+        self._current.instructions.append(instr)
+        return instr
+
+    # -- values -----------------------------------------------------------
+
+    def const(self, value: int, dst: Optional[str] = None) -> str:
+        dst = dst or self.reg("c")
+        self.emit(ins.Const(dst, value))
+        return dst
+
+    def _as_reg(self, v: RegOrInt) -> str:
+        """Materialize an int as a register; pass registers through."""
+        return self.const(v) if isinstance(v, int) else v
+
+    def mov(self, src: str, dst: Optional[str] = None) -> str:
+        dst = dst or self.reg("m")
+        self.emit(ins.Mov(dst, src))
+        return dst
+
+    def alu(self, op: ins.AluOp, a: RegOrInt, b: RegOrInt, dst: Optional[str] = None) -> str:
+        dst = dst or self.reg("v")
+        self.emit(ins.Alu(op, dst, self._as_reg(a), self._as_reg(b)))
+        return dst
+
+    def add(self, a: RegOrInt, b: RegOrInt) -> str:
+        return self.alu(ins.AluOp.ADD, a, b)
+
+    def sub(self, a: RegOrInt, b: RegOrInt) -> str:
+        return self.alu(ins.AluOp.SUB, a, b)
+
+    def mul(self, a: RegOrInt, b: RegOrInt) -> str:
+        return self.alu(ins.AluOp.MUL, a, b)
+
+    def div(self, a: RegOrInt, b: RegOrInt) -> str:
+        return self.alu(ins.AluOp.DIV, a, b)
+
+    def mod(self, a: RegOrInt, b: RegOrInt) -> str:
+        return self.alu(ins.AluOp.MOD, a, b)
+
+    def and_(self, a: RegOrInt, b: RegOrInt) -> str:
+        return self.alu(ins.AluOp.AND, a, b)
+
+    def or_(self, a: RegOrInt, b: RegOrInt) -> str:
+        return self.alu(ins.AluOp.OR, a, b)
+
+    def xor(self, a: RegOrInt, b: RegOrInt) -> str:
+        return self.alu(ins.AluOp.XOR, a, b)
+
+    def cmp(self, op: ins.CmpOp, a: RegOrInt, b: RegOrInt, dst: Optional[str] = None) -> str:
+        dst = dst or self.reg("p")
+        self.emit(ins.Cmp(op, dst, self._as_reg(a), self._as_reg(b)))
+        return dst
+
+    def eq(self, a: RegOrInt, b: RegOrInt) -> str:
+        return self.cmp(ins.CmpOp.EQ, a, b)
+
+    def ne(self, a: RegOrInt, b: RegOrInt) -> str:
+        return self.cmp(ins.CmpOp.NE, a, b)
+
+    def lt(self, a: RegOrInt, b: RegOrInt) -> str:
+        return self.cmp(ins.CmpOp.LT, a, b)
+
+    def le(self, a: RegOrInt, b: RegOrInt) -> str:
+        return self.cmp(ins.CmpOp.LE, a, b)
+
+    def gt(self, a: RegOrInt, b: RegOrInt) -> str:
+        return self.cmp(ins.CmpOp.GT, a, b)
+
+    def ge(self, a: RegOrInt, b: RegOrInt) -> str:
+        return self.cmp(ins.CmpOp.GE, a, b)
+
+    def not_(self, src: str, dst: Optional[str] = None) -> str:
+        dst = dst or self.reg("n")
+        self.emit(ins.Not(dst, src))
+        return dst
+
+    # -- memory -----------------------------------------------------------
+
+    def addr(self, symbol: str, dst: Optional[str] = None) -> str:
+        dst = dst or self.reg("a")
+        self.emit(ins.Addr(dst, symbol))
+        return dst
+
+    def func_addr(self, func: str, dst: Optional[str] = None) -> str:
+        dst = dst or self.reg("f")
+        self.emit(ins.FuncAddr(dst, func))
+        return dst
+
+    def load(self, addr: str, offset: int = 0, dst: Optional[str] = None) -> str:
+        dst = dst or self.reg("l")
+        self.emit(ins.Load(dst, addr, offset))
+        return dst
+
+    def store(self, addr: str, src: RegOrInt, offset: int = 0) -> None:
+        self.emit(ins.Store(addr, self._as_reg(src), offset))
+
+    def load_global(self, symbol: str, offset: int = 0) -> str:
+        return self.load(self.addr(symbol), offset)
+
+    def store_global(self, symbol: str, src: RegOrInt, offset: int = 0) -> None:
+        self.store(self.addr(symbol), src, offset)
+
+    def atomic_cas(
+        self, addr: str, expected: RegOrInt, new: RegOrInt, offset: int = 0
+    ) -> str:
+        dst = self.reg("cas")
+        self.emit(
+            ins.AtomicCas(dst, addr, self._as_reg(expected), self._as_reg(new), offset)
+        )
+        return dst
+
+    def atomic_add(self, addr: str, amount: RegOrInt, offset: int = 0) -> str:
+        dst = self.reg("fad")
+        self.emit(ins.AtomicAdd(dst, addr, self._as_reg(amount), offset))
+        return dst
+
+    def atomic_xchg(self, addr: str, src: RegOrInt, offset: int = 0) -> str:
+        dst = self.reg("xch")
+        self.emit(ins.AtomicXchg(dst, addr, self._as_reg(src), offset))
+        return dst
+
+    def fence(self) -> None:
+        self.emit(ins.Fence())
+
+    def alloc(self, size: RegOrInt) -> str:
+        dst = self.reg("h")
+        self.emit(ins.Alloc(dst, self._as_reg(size)))
+        return dst
+
+    # -- control flow -----------------------------------------------------
+
+    def jmp(self, target: str) -> None:
+        self.emit(ins.Jmp(target))
+
+    def br(self, cond: str, then: str, els: str) -> None:
+        self.emit(ins.Br(cond, then, els))
+
+    def ret(self, src: Optional[RegOrInt] = None) -> None:
+        self.emit(ins.Ret(self._as_reg(src) if src is not None else None))
+
+    def halt(self) -> None:
+        self.emit(ins.Halt())
+
+    def call(
+        self, func: str, args: Sequence[RegOrInt] = (), want_result: bool = False
+    ) -> Optional[str]:
+        dst = self.reg("r") if want_result else None
+        self.emit(ins.Call(func, tuple(self._as_reg(a) for a in args), dst))
+        return dst
+
+    def icall(
+        self, target: str, args: Sequence[RegOrInt] = (), want_result: bool = False
+    ) -> Optional[str]:
+        dst = self.reg("r") if want_result else None
+        self.emit(ins.ICall(target, tuple(self._as_reg(a) for a in args), dst))
+        return dst
+
+    # -- threading --------------------------------------------------------
+
+    def spawn(self, func: str, args: Sequence[RegOrInt] = ()) -> str:
+        dst = self.reg("tid")
+        self.emit(ins.Spawn(dst, func, tuple(self._as_reg(a) for a in args)))
+        return dst
+
+    def join(self, tid: str) -> None:
+        self.emit(ins.Join(tid))
+
+    def yield_(self) -> None:
+        self.emit(ins.Yield())
+
+    def nop(self, n: int = 1) -> None:
+        for _ in range(n):
+            self.emit(ins.Nop())
+
+    def print_(self, src: RegOrInt) -> None:
+        self.emit(ins.Print(self._as_reg(src)))
+
+    def build(self) -> Function:
+        return self.func
+
+
+class ProgramBuilder:
+    """Builds one :class:`Program`."""
+
+    def __init__(self, name: str = "program", entry: str = "main") -> None:
+        self.program = Program(name=name, entry=entry)
+
+    def global_(self, name: str, size: int = 1, init: Sequence[int] = ()) -> str:
+        self.program.add_global(GlobalVar(name, size, tuple(init)))
+        return name
+
+    def function(
+        self,
+        name: str,
+        params: Sequence[str] = (),
+        annotation: Optional[SyncAnnotation] = None,
+        is_library: bool = False,
+    ) -> FunctionBuilder:
+        fb = FunctionBuilder(name, params, annotation, is_library)
+        self.program.add_function(fb.func)
+        return fb
+
+    def link(self, other: Program) -> None:
+        self.program.merge(other)
+
+    def build(self) -> Program:
+        return self.program

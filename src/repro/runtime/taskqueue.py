@@ -1,0 +1,117 @@
+"""Bounded MPMC task queue built on the library mutex + condvars.
+
+Layout: ``QUEUE_HEADER_SIZE + capacity`` words::
+
+    [0]                head index
+    [1]                element count
+    [2]                capacity
+    [3..4]             mutex
+    [5]                cv "not empty"
+    [6]                cv "not full"
+    [7..7+capacity)    slots
+
+This is the *library* task queue (producer/consumer pipelines in the
+PARSEC-like workloads use it).  The paper's problematic "obscure task
+queue" (dedup, ferret) is a different, ad-hoc implementation living in
+:mod:`repro.workloads` — deliberately *not* part of the annotated
+library.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import FunctionBuilder
+from repro.isa.program import Function
+
+from repro.runtime.condvar import CONDVAR_SIZE
+from repro.runtime.mutex import MUTEX_SIZE
+
+_HEAD = 0
+_COUNT = 1
+_CAP = 2
+_MUTEX = 3
+_CV_NOT_EMPTY = _MUTEX + MUTEX_SIZE
+_CV_NOT_FULL = _CV_NOT_EMPTY + CONDVAR_SIZE
+QUEUE_HEADER_SIZE = _CV_NOT_FULL + CONDVAR_SIZE
+_SLOTS = QUEUE_HEADER_SIZE
+
+
+def queue_size(capacity: int) -> int:
+    """Words needed for a queue of ``capacity`` slots."""
+    return QUEUE_HEADER_SIZE + capacity
+
+
+def build_init(name: str = "queue_init") -> Function:
+    fb = FunctionBuilder(name, params=("q", "capacity"))
+    fb.store("q", 0, offset=_HEAD)
+    fb.store("q", 0, offset=_COUNT)
+    fb.store("q", "capacity", offset=_CAP)
+    fb.store("q", 0, offset=_MUTEX)
+    fb.store("q", 0, offset=_MUTEX + 1)
+    fb.store("q", 0, offset=_CV_NOT_EMPTY)
+    fb.store("q", 0, offset=_CV_NOT_FULL)
+    fb.ret()
+    return fb.build()
+
+
+def build_push(name: str = "queue_push") -> Function:
+    fb = FunctionBuilder(name, params=("q", "item"))
+    m = fb.add("q", _MUTEX)
+    ne = fb.add("q", _CV_NOT_EMPTY)
+    nf = fb.add("q", _CV_NOT_FULL)
+    fb.call("mutex_lock", [m])
+    fb.jmp("check_full")
+
+    fb.label("check_full")
+    count = fb.load("q", offset=_COUNT)
+    cap = fb.load("q", offset=_CAP)
+    full = fb.ge(count, cap)
+    fb.br(full, "wait_room", "insert")
+
+    fb.label("wait_room")
+    fb.call("cv_wait", [nf, m])
+    fb.jmp("check_full")
+
+    fb.label("insert")
+    head = fb.load("q", offset=_HEAD)
+    pos = fb.add(head, count)
+    idx = fb.mod(pos, cap)
+    slot = fb.add("q", fb.add(idx, _SLOTS))
+    fb.store(slot, "item")
+    newcount = fb.add(count, 1)
+    fb.store("q", newcount, offset=_COUNT)
+    fb.call("cv_signal", [ne])
+    fb.call("mutex_unlock", [m])
+    fb.ret()
+    return fb.build()
+
+
+def build_pop(name: str = "queue_pop") -> Function:
+    fb = FunctionBuilder(name, params=("q",))
+    m = fb.add("q", _MUTEX)
+    ne = fb.add("q", _CV_NOT_EMPTY)
+    nf = fb.add("q", _CV_NOT_FULL)
+    fb.call("mutex_lock", [m])
+    fb.jmp("check_empty")
+
+    fb.label("check_empty")
+    count = fb.load("q", offset=_COUNT)
+    empty = fb.eq(count, 0)
+    fb.br(empty, "wait_item", "remove")
+
+    fb.label("wait_item")
+    fb.call("cv_wait", [ne, m])
+    fb.jmp("check_empty")
+
+    fb.label("remove")
+    head = fb.load("q", offset=_HEAD)
+    slot = fb.add("q", fb.add(head, _SLOTS))
+    item = fb.load(slot)
+    cap = fb.load("q", offset=_CAP)
+    nxt = fb.mod(fb.add(head, 1), cap)
+    fb.store("q", nxt, offset=_HEAD)
+    newcount = fb.sub(count, 1)
+    fb.store("q", newcount, offset=_COUNT)
+    fb.call("cv_signal", [nf])
+    fb.call("mutex_unlock", [m])
+    fb.ret(item)
+    return fb.build()

@@ -1,0 +1,26 @@
+"""Execution traces: record once, analyze under many tool configurations.
+
+A dynamic race detector's verdict depends on the observed interleaving.
+When comparing tool configurations it is therefore desirable to feed all
+of them the *same* execution — which is exactly what Valgrind-based
+tools cannot easily do (each run re-executes the program), but a
+deterministic substrate can.
+
+:func:`record_trace` executes a program once, with instrumentation wide
+enough for any spin window, and captures the full event stream plus the
+metadata needed to re-filter it per configuration (each marked loop's
+effective block count, the symbol map).  :func:`replay_trace` then runs
+any :class:`~repro.detectors.ToolConfig` over the recorded events:
+
+* spin-off configurations simply drop the marked-loop events;
+* ``spin(k)`` configurations drop events of loops wider than ``k``;
+* lib/nolib interception works unchanged (events carry ``in_library``);
+* lock-inference configurations get the recorded acquire sites.
+
+Traces also serialize to/from JSON for offline analysis.
+"""
+
+from repro.trace.trace import Trace, record_trace, replay_trace
+from repro.trace.hbgraph import HbGraph, HbNode, build_hb_graph
+
+__all__ = ["Trace", "record_trace", "replay_trace", "HbGraph", "HbNode", "build_hb_graph"]

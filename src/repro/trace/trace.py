@@ -1,0 +1,213 @@
+"""Trace recording, replay, and JSON serialization."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.analysis import instrument_program, lock_site_locations
+from repro.detectors import RaceDetector, ToolConfig
+from repro.isa.program import CodeLocation, Program, SyncKind
+from repro.vm import Machine, RandomScheduler
+from repro.vm import events as ev
+from repro.vm.memory import SymbolMap
+
+
+@dataclass
+class Trace:
+    """A recorded execution: events plus replay metadata."""
+
+    program_name: str
+    seed: int
+    events: List[ev.Event]
+    #: effective basic-block size per marked loop id (for spin(k) filtering)
+    loop_sizes: Dict[int, int]
+    #: statically inferred lock-acquire CAS sites (for infer_locks replays)
+    lock_sites: FrozenSet[CodeLocation]
+    #: symbol segments: (name, base, size)
+    symbols: List[Tuple[str, int, int]]
+    #: instrumentation settings used at record time
+    max_blocks: int
+    inline_depth: int
+    steps: int
+    ok: bool
+
+    def symbol_map(self) -> SymbolMap:
+        sm = SymbolMap()
+        for name, base, size in self.symbols:
+            sm.add(name, base, size)
+        return sm
+
+    # -- serialization ------------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "program": self.program_name,
+                "seed": self.seed,
+                "max_blocks": self.max_blocks,
+                "inline_depth": self.inline_depth,
+                "steps": self.steps,
+                "ok": self.ok,
+                "loop_sizes": self.loop_sizes,
+                "lock_sites": [_loc_str(l) for l in sorted(self.lock_sites, key=str)],
+                "symbols": self.symbols,
+                "events": [_encode_event(e) for e in self.events],
+            }
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "Trace":
+        data = json.loads(text)
+        return cls(
+            program_name=data["program"],
+            seed=data["seed"],
+            events=[_decode_event(e) for e in data["events"]],
+            loop_sizes={int(k): v for k, v in data["loop_sizes"].items()},
+            lock_sites=frozenset(_loc_parse(l) for l in data["lock_sites"]),
+            symbols=[tuple(s) for s in data["symbols"]],
+            max_blocks=data["max_blocks"],
+            inline_depth=data["inline_depth"],
+            steps=data["steps"],
+            ok=data["ok"],
+        )
+
+
+def record_trace(
+    program: Program,
+    seed: int = 1,
+    max_steps: int = 500_000,
+    max_blocks: int = 8,
+    inline_depth: int = 1,
+) -> Trace:
+    """Execute ``program`` once and capture everything replays need.
+
+    ``max_blocks`` should be at least the widest spin window any replay
+    will use (the paper's configurations top out at 8).
+    """
+    imap = instrument_program(program, max_blocks=max_blocks, inline_depth=inline_depth)
+    events: List[ev.Event] = []
+    machine = Machine(
+        program,
+        scheduler=RandomScheduler(seed),
+        listener=events.append,
+        instrumentation=imap,
+        max_steps=max_steps,
+    )
+    result = machine.run()
+    symbols = [
+        (seg.name, seg.base, seg.size) for seg in machine.memory.symbols._segments
+    ]
+    loop_sizes = {i: spin.effective_blocks for i, spin in enumerate(imap.loops)}
+    return Trace(
+        program_name=program.name,
+        seed=seed,
+        events=events,
+        loop_sizes=loop_sizes,
+        lock_sites=lock_site_locations(program),
+        symbols=symbols,
+        max_blocks=max_blocks,
+        inline_depth=inline_depth,
+        steps=machine.step_count,
+        ok=result.ok,
+    )
+
+
+def replay_trace(trace: Trace, config: ToolConfig) -> RaceDetector:
+    """Run one tool configuration over a recorded execution.
+
+    The replayed interleaving is identical for every configuration —
+    something re-execution-based tools cannot guarantee.
+    """
+    if config.spin:
+        if config.spin_max_blocks > trace.max_blocks:
+            raise ValueError(
+                f"trace recorded with max_blocks={trace.max_blocks}, "
+                f"cannot replay spin({config.spin_max_blocks})"
+            )
+        if config.inline_depth != trace.inline_depth:
+            raise ValueError(
+                f"trace recorded with inline_depth={trace.inline_depth}, "
+                f"cannot replay inline_depth={config.inline_depth}"
+            )
+    detector = RaceDetector(config, lock_sites=trace.lock_sites)
+    detector.algorithm.symbolize = trace.symbol_map().resolve
+    k = config.spin_max_blocks
+    marked = (ev.MarkedLoopEnter, ev.MarkedLoopExit, ev.MarkedCondRead)
+    for event in trace.events:
+        if isinstance(event, marked) and trace.loop_sizes.get(event.loop_id, 0) > k:
+            continue  # loop too wide for this spin window
+        detector(event)
+    return detector
+
+
+# ---------------------------------------------------------------------------
+# Event (de)serialization
+# ---------------------------------------------------------------------------
+
+
+def _loc_str(loc: CodeLocation) -> str:
+    return f"{loc.function}:{loc.block}:{loc.index}"
+
+
+def _loc_parse(text: str) -> CodeLocation:
+    func, block, index = text.rsplit(":", 2)
+    return CodeLocation(func, block, int(index))
+
+
+def _encode_event(e: ev.Event) -> list:
+    if isinstance(e, ev.MemRead):
+        return ["r", e.step, e.tid, e.addr, e.value, _loc_str(e.loc), int(e.atomic), int(e.in_library)]
+    if isinstance(e, ev.MemWrite):
+        return ["w", e.step, e.tid, e.addr, e.value, _loc_str(e.loc), int(e.atomic), int(e.in_library)]
+    if isinstance(e, ev.MarkedCondRead):
+        return ["cr", e.step, e.tid, e.loop_id, e.addr, e.value, _loc_str(e.loc), int(e.in_library)]
+    if isinstance(e, ev.MarkedLoopEnter):
+        return ["le", e.step, e.tid, e.loop_id, _loc_str(e.loc), int(e.in_library)]
+    if isinstance(e, ev.MarkedLoopExit):
+        return ["lx", e.step, e.tid, e.loop_id, _loc_str(e.loc), int(e.in_library)]
+    if isinstance(e, ev.LibEnter):
+        return ["li", e.step, e.tid, e.func, e.kind.value, e.obj_addr, _loc_str(e.loc), int(e.in_library), e.obj2_addr]
+    if isinstance(e, ev.LibExit):
+        return ["lo", e.step, e.tid, e.func, e.kind.value, e.obj_addr, _loc_str(e.loc), int(e.in_library), e.obj2_addr]
+    if isinstance(e, ev.ThreadSpawnEvent):
+        return ["sp", e.step, e.tid, e.child, _loc_str(e.loc)]
+    if isinstance(e, ev.ThreadJoinEvent):
+        return ["jn", e.step, e.tid, e.joined, _loc_str(e.loc)]
+    if isinstance(e, ev.ThreadStartEvent):
+        return ["ts", e.step, e.tid]
+    if isinstance(e, ev.ThreadExitEvent):
+        return ["tx", e.step, e.tid]
+    if isinstance(e, ev.PrintEvent):
+        return ["pr", e.step, e.tid, e.value, _loc_str(e.loc)]
+    raise TypeError(f"cannot encode {e!r}")
+
+
+def _decode_event(data: list) -> ev.Event:
+    kind = data[0]
+    if kind == "r":
+        return ev.MemRead(data[1], data[2], data[3], data[4], _loc_parse(data[5]), bool(data[6]), bool(data[7]))
+    if kind == "w":
+        return ev.MemWrite(data[1], data[2], data[3], data[4], _loc_parse(data[5]), bool(data[6]), bool(data[7]))
+    if kind == "cr":
+        return ev.MarkedCondRead(data[1], data[2], data[3], data[4], data[5], _loc_parse(data[6]), bool(data[7]))
+    if kind == "le":
+        return ev.MarkedLoopEnter(data[1], data[2], data[3], _loc_parse(data[4]), bool(data[5]))
+    if kind == "lx":
+        return ev.MarkedLoopExit(data[1], data[2], data[3], _loc_parse(data[4]), bool(data[5]))
+    if kind == "li":
+        return ev.LibEnter(data[1], data[2], data[3], SyncKind(data[4]), data[5], _loc_parse(data[6]), bool(data[7]), data[8])
+    if kind == "lo":
+        return ev.LibExit(data[1], data[2], data[3], SyncKind(data[4]), data[5], _loc_parse(data[6]), bool(data[7]), data[8])
+    if kind == "sp":
+        return ev.ThreadSpawnEvent(data[1], data[2], data[3], _loc_parse(data[4]))
+    if kind == "jn":
+        return ev.ThreadJoinEvent(data[1], data[2], data[3], _loc_parse(data[4]))
+    if kind == "ts":
+        return ev.ThreadStartEvent(data[1], data[2])
+    if kind == "tx":
+        return ev.ThreadExitEvent(data[1], data[2])
+    if kind == "pr":
+        return ev.PrintEvent(data[1], data[2], data[3], _loc_parse(data[4]))
+    raise ValueError(f"unknown event kind {kind!r}")

@@ -1,0 +1,64 @@
+"""Execution substrate: a deterministic multithreaded virtual machine.
+
+The VM stands in for the native execution + Valgrind instrumentation layer
+of the paper.  It interprets :mod:`repro.isa` programs, interleaving
+simulated threads one instruction at a time under a pluggable (seeded)
+scheduler, and emits the event stream the detectors consume: memory
+accesses, thread lifecycle, annotated library calls, and markers injected
+by the instrumentation phase (spin-loop enters/exits and condition reads).
+
+Because the interleaving is chosen by an explicit scheduler rather than a
+real OS, racy programs really do exhibit different outcomes under
+different seeds — which is what lets a *dynamic* detector miss races in
+some executions, exactly as on real hardware.
+"""
+
+from repro.vm.events import (
+    Event,
+    MemRead,
+    MemWrite,
+    ThreadSpawnEvent,
+    ThreadJoinEvent,
+    ThreadStartEvent,
+    ThreadExitEvent,
+    LibEnter,
+    LibExit,
+    MarkedLoopEnter,
+    MarkedLoopExit,
+    MarkedCondRead,
+    PrintEvent,
+)
+from repro.vm.memory import Memory, MemoryError_, SymbolMap
+from repro.vm.scheduler import (
+    Scheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    AdversarialScheduler,
+)
+from repro.vm.machine import Machine, MachineError, RunResult
+
+__all__ = [
+    "Event",
+    "MemRead",
+    "MemWrite",
+    "ThreadSpawnEvent",
+    "ThreadJoinEvent",
+    "ThreadStartEvent",
+    "ThreadExitEvent",
+    "LibEnter",
+    "LibExit",
+    "MarkedLoopEnter",
+    "MarkedLoopExit",
+    "MarkedCondRead",
+    "PrintEvent",
+    "Memory",
+    "MemoryError_",
+    "SymbolMap",
+    "Scheduler",
+    "RandomScheduler",
+    "RoundRobinScheduler",
+    "AdversarialScheduler",
+    "Machine",
+    "MachineError",
+    "RunResult",
+]

@@ -1,0 +1,156 @@
+"""Event taxonomy emitted by the VM and consumed by detectors.
+
+Each event carries the global step number at which it occurred (total
+order — the VM is sequentially consistent), the thread id, and a static
+:class:`~repro.isa.program.CodeLocation` where applicable.
+
+Memory events carry ``in_library``: whether the access happened inside a
+function flagged ``is_library``.  The lib-mode interceptor uses this to
+hide library-internal traffic from the race algorithm, the way Helgrind+
+hides the internals of intercepted pthread calls; nolib mode ignores it.
+
+``Marked*`` events are produced only when the machine is given an
+instrumentation map (the output of the paper's *instrumentation phase*);
+they drive the *runtime phase* in :mod:`repro.detectors.adhoc`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.isa.program import CodeLocation, SyncKind
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base class: something observable happened at ``step`` on ``tid``."""
+
+    step: int
+    tid: int
+
+
+@dataclass(frozen=True)
+class MemRead(Event):
+    """A load of ``value`` from ``addr``."""
+
+    addr: int
+    value: int
+    loc: CodeLocation
+    atomic: bool = False
+    in_library: bool = False
+
+
+@dataclass(frozen=True)
+class MemWrite(Event):
+    """A store of ``value`` to ``addr``."""
+
+    addr: int
+    value: int
+    loc: CodeLocation
+    atomic: bool = False
+    in_library: bool = False
+
+
+@dataclass(frozen=True)
+class ThreadStartEvent(Event):
+    """First instruction of thread ``tid`` is about to run."""
+
+
+@dataclass(frozen=True)
+class ThreadExitEvent(Event):
+    """Thread ``tid`` has finished."""
+
+
+@dataclass(frozen=True)
+class ThreadSpawnEvent(Event):
+    """``tid`` created ``child`` (induces a happens-before edge)."""
+
+    child: int
+    loc: CodeLocation
+
+
+@dataclass(frozen=True)
+class ThreadJoinEvent(Event):
+    """``tid`` observed the exit of ``joined`` (induces an hb edge)."""
+
+    joined: int
+    loc: CodeLocation
+
+
+@dataclass(frozen=True)
+class LibEnter(Event):
+    """``tid`` entered an *annotated* library function.
+
+    ``obj_addr`` is the runtime value of the annotated object parameter —
+    the identity of the lock / condvar / barrier / semaphore.
+    """
+
+    func: str
+    kind: SyncKind
+    obj_addr: int
+    loc: CodeLocation
+    #: True when this annotated call is nested inside another library
+    #: function (e.g. the mutex ops inside ``cv_wait``); the interceptor
+    #: only honours outermost annotated calls.
+    in_library: bool = False
+    #: second sync object (the mutex of a ``cv_wait``), when annotated
+    obj2_addr: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class LibExit(Event):
+    """``tid`` returned from an annotated library function."""
+
+    func: str
+    kind: SyncKind
+    obj_addr: int
+    loc: CodeLocation
+    in_library: bool = False
+    obj2_addr: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class MarkedLoopEnter(Event):
+    """Control entered an instrumented (suspected spinning read) loop."""
+
+    loop_id: int
+    loc: CodeLocation
+    in_library: bool = False
+
+
+@dataclass(frozen=True)
+class MarkedLoopExit(Event):
+    """Control left an instrumented loop via one of its exit edges.
+
+    The runtime phase reacts to this by locating the counterpart write
+    for the condition value(s) last read inside the loop.
+    """
+
+    loop_id: int
+    loc: CodeLocation
+    in_library: bool = False
+
+
+@dataclass(frozen=True)
+class MarkedCondRead(Event):
+    """A load inside an instrumented loop that feeds the loop condition.
+
+    Emitted *before* the corresponding ``MemRead`` so the runtime phase
+    can classify the address as a synchronization flag before the race
+    algorithm examines the access.
+    """
+
+    loop_id: int
+    addr: int
+    value: int
+    loc: CodeLocation
+    in_library: bool = False
+
+
+@dataclass(frozen=True)
+class PrintEvent(Event):
+    """Debug output from a ``Print`` instruction."""
+
+    value: int
+    loc: CodeLocation

@@ -1,0 +1,56 @@
+"""Call frames and per-thread interpreter state."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.isa.program import Function
+
+
+class ThreadStatus(enum.Enum):
+    RUNNABLE = "runnable"
+    BLOCKED_JOIN = "blocked_join"
+    EXITED = "exited"
+
+
+@dataclass
+class Frame:
+    """One activation record."""
+
+    function: Function
+    block: str
+    index: int = 0
+    regs: Dict[str, int] = field(default_factory=dict)
+    #: register in the *caller's* frame receiving our return value
+    ret_dst: Optional[str] = None
+    #: address of the annotated sync object if this frame is an annotated
+    #: library call (captured at entry so LibExit can report it)
+    sync_obj: Optional[int] = None
+    #: second annotated object (the mutex of a ``cv_wait``)
+    sync_obj2: Optional[int] = None
+
+
+@dataclass
+class ThreadState:
+    """Interpreter state for one simulated thread."""
+
+    tid: int
+    frames: List[Frame] = field(default_factory=list)
+    status: ThreadStatus = ThreadStatus.RUNNABLE
+    #: tid this thread is blocked joining on (when BLOCKED_JOIN)
+    join_target: Optional[int] = None
+    #: nesting depth of ``is_library`` functions on the stack
+    lib_depth: int = 0
+    #: value returned by the thread's top-level function
+    result: Optional[int] = None
+    started: bool = False
+
+    @property
+    def frame(self) -> Frame:
+        return self.frames[-1]
+
+    @property
+    def in_library(self) -> bool:
+        return self.lib_depth > 0

@@ -1,0 +1,491 @@
+"""The interpreter: executes programs one instruction per step.
+
+The machine owns memory, the thread table, and the event stream.  Each
+call to :meth:`Machine.step` asks the scheduler for a runnable thread and
+executes exactly one instruction of it, emitting events to the listener.
+This per-instruction interleaving is the precision level at which real
+races manifest (e.g. a non-atomic ``counter++`` is three instructions and
+can be preempted between them).
+
+If an *instrumentation map* (produced by the paper's instrumentation
+phase, :mod:`repro.analysis.instrument`) is supplied, the machine also
+emits ``MarkedLoopEnter`` / ``MarkedCondRead`` / ``MarkedLoopExit``
+events at the marked program points — the hooks the runtime phase of the
+ad-hoc synchronization detector consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.isa import instructions as ins
+from repro.isa.program import CodeLocation, Function, Program
+from repro.vm import events as ev
+from repro.vm.frames import Frame, ThreadState, ThreadStatus
+from repro.vm.memory import Memory
+from repro.vm.scheduler import RandomScheduler, Scheduler
+
+FUNC_BASE = 0x200000
+
+Listener = Callable[[ev.Event], None]
+
+
+class MachineError(Exception):
+    """Raised on interpreter-level failures (bad register, deadlock...)."""
+
+
+@dataclass
+class RunResult:
+    """Outcome of a complete machine run."""
+
+    steps: int
+    timed_out: bool
+    deadlocked: bool
+    outputs: List[Tuple[int, int]] = field(default_factory=list)
+    thread_results: Dict[int, Optional[int]] = field(default_factory=dict)
+    final_memory: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not (self.timed_out or self.deadlocked)
+
+
+class Machine:
+    """A single-run virtual machine instance."""
+
+    def __init__(
+        self,
+        program: Program,
+        scheduler: Optional[Scheduler] = None,
+        listener: Optional[Listener] = None,
+        instrumentation: Optional[object] = None,
+        max_steps: int = 2_000_000,
+    ) -> None:
+        self.program = program
+        self.scheduler = scheduler or RandomScheduler()
+        self.listener = listener
+        self.max_steps = max_steps
+        self.memory = Memory(program)
+        self.threads: Dict[int, ThreadState] = {}
+        self._next_tid = 0
+        self._waiters: Dict[int, List[int]] = {}
+        self.step_count = 0
+        self.event_count = 0
+        self.outputs: List[Tuple[int, int]] = []
+        self._halted = False
+        # Function-pointer table for ICall.
+        self._func_addrs: Dict[str, int] = {}
+        self._addr_funcs: Dict[int, str] = {}
+        for i, name in enumerate(program.functions):
+            addr = FUNC_BASE + i
+            self._func_addrs[name] = addr
+            self._addr_funcs[addr] = name
+        # Instrumentation lookup tables (empty when uninstrumented).
+        self._cond_loads: Dict[CodeLocation, int] = {}
+        self._exit_edges: Dict[Tuple[CodeLocation, str], int] = {}
+        self._loop_headers: Dict[Tuple[str, str], int] = {}
+        if instrumentation is not None:
+            self._cond_loads = dict(instrumentation.cond_loads)
+            self._exit_edges = dict(instrumentation.exit_edges)
+            self._loop_headers = dict(instrumentation.loop_headers)
+        self._spawn_thread(program.entry, (), parent=None)
+
+    # -- thread management --------------------------------------------------
+
+    def _spawn_thread(
+        self, func_name: str, args: Tuple[int, ...], parent: Optional[int]
+    ) -> int:
+        func = self.program.functions[func_name]
+        if len(args) != len(func.params):
+            raise MachineError(
+                f"spawn of {func_name!r}: expected {len(func.params)} args, "
+                f"got {len(args)}"
+            )
+        tid = self._next_tid
+        self._next_tid += 1
+        frame = Frame(function=func, block=func.entry, regs=dict(zip(func.params, args)))
+        thread = ThreadState(tid=tid, frames=[frame])
+        if func.is_library:
+            thread.lib_depth = 1
+        self.threads[tid] = thread
+        self.scheduler.on_spawn(tid)
+        return tid
+
+    def _runnable(self) -> List[int]:
+        return [
+            t.tid for t in self.threads.values() if t.status is ThreadStatus.RUNNABLE
+        ]
+
+    def _exit_thread(self, thread: ThreadState, value: Optional[int]) -> None:
+        thread.status = ThreadStatus.EXITED
+        thread.result = value
+        self._emit(ev.ThreadExitEvent(self.step_count, thread.tid))
+        for waiter_tid in self._waiters.pop(thread.tid, []):
+            waiter = self.threads[waiter_tid]
+            waiter.status = ThreadStatus.RUNNABLE
+
+    # -- event plumbing ------------------------------------------------------
+
+    def _emit(self, event: ev.Event) -> None:
+        self.event_count += 1
+        if self.listener is not None:
+            self.listener(event)
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self) -> RunResult:
+        """Run to completion (all threads exited, ``Halt``, or budget)."""
+        deadlocked = False
+        while not self._halted:
+            runnable = self._runnable()
+            if not runnable:
+                alive = [
+                    t
+                    for t in self.threads.values()
+                    if t.status is not ThreadStatus.EXITED
+                ]
+                deadlocked = bool(alive)
+                break
+            if self.step_count >= self.max_steps:
+                return self._result(timed_out=True, deadlocked=False)
+            tid = self.scheduler.pick(runnable)
+            self.step(tid)
+        return self._result(timed_out=False, deadlocked=deadlocked)
+
+    def _result(self, timed_out: bool, deadlocked: bool) -> RunResult:
+        return RunResult(
+            steps=self.step_count,
+            timed_out=timed_out,
+            deadlocked=deadlocked,
+            outputs=list(self.outputs),
+            thread_results={t.tid: t.result for t in self.threads.values()},
+            final_memory=self.memory.snapshot(),
+        )
+
+    def step(self, tid: int) -> None:
+        """Execute one instruction of thread ``tid``."""
+        thread = self.threads[tid]
+        if thread.status is not ThreadStatus.RUNNABLE:
+            raise MachineError(f"thread {tid} not runnable")
+        if not thread.started:
+            thread.started = True
+            self._emit(ev.ThreadStartEvent(self.step_count, tid))
+        frame = thread.frame
+        if frame.index == 0 and self._loop_headers:
+            loop_id = self._loop_headers.get((frame.function.name, frame.block))
+            if loop_id is not None:
+                self._emit(
+                    ev.MarkedLoopEnter(
+                        self.step_count,
+                        tid,
+                        loop_id,
+                        CodeLocation(frame.function.name, frame.block, 0),
+                        thread.in_library,
+                    )
+                )
+        block = frame.function.blocks[frame.block]
+        instr = block.instructions[frame.index]
+        loc = CodeLocation(frame.function.name, frame.block, frame.index)
+        self.step_count += 1
+        self._execute(thread, frame, instr, loc)
+
+    # -- helpers ---------------------------------------------------------
+
+    def _get(self, frame: Frame, reg: str, loc: CodeLocation) -> int:
+        try:
+            return frame.regs[reg]
+        except KeyError:
+            raise MachineError(f"{loc}: read of undefined register {reg!r}") from None
+
+    def _advance(self, frame: Frame) -> None:
+        frame.index += 1
+
+    def _goto(self, thread: ThreadState, frame: Frame, target: str, loc: CodeLocation) -> None:
+        if self._exit_edges:
+            loop_id = self._exit_edges.get((loc, target))
+            if loop_id is not None:
+                self._emit(
+                    ev.MarkedLoopExit(
+                        self.step_count, thread.tid, loop_id, loc, thread.in_library
+                    )
+                )
+        frame.block = target
+        frame.index = 0
+
+    def _enter_function(
+        self,
+        thread: ThreadState,
+        func: Function,
+        args: Tuple[int, ...],
+        ret_dst: Optional[str],
+        loc: CodeLocation,
+    ) -> None:
+        if len(args) != len(func.params):
+            raise MachineError(
+                f"{loc}: call of {func.name!r} with {len(args)} args, "
+                f"expected {len(func.params)}"
+            )
+        frame = Frame(
+            function=func,
+            block=func.entry,
+            regs=dict(zip(func.params, args)),
+            ret_dst=ret_dst,
+        )
+        if func.annotation is not None:
+            obj_addr = args[func.annotation.obj_arg]
+            frame.sync_obj = obj_addr
+            if func.annotation.mutex_arg is not None:
+                frame.sync_obj2 = args[func.annotation.mutex_arg]
+            self._emit(
+                ev.LibEnter(
+                    self.step_count,
+                    thread.tid,
+                    func.name,
+                    func.annotation.kind,
+                    obj_addr,
+                    loc,
+                    thread.in_library,
+                    frame.sync_obj2,
+                )
+            )
+        if func.is_library:
+            thread.lib_depth += 1
+        thread.frames.append(frame)
+
+    def _return(self, thread: ThreadState, value: Optional[int], loc: CodeLocation) -> None:
+        frame = thread.frames.pop()
+        func = frame.function
+        if func.is_library:
+            thread.lib_depth -= 1
+        if func.annotation is not None and frame.sync_obj is not None:
+            self._emit(
+                ev.LibExit(
+                    self.step_count,
+                    thread.tid,
+                    func.name,
+                    func.annotation.kind,
+                    frame.sync_obj,
+                    loc,
+                    thread.in_library,
+                    frame.sync_obj2,
+                )
+            )
+        if not thread.frames:
+            self._exit_thread(thread, value)
+            return
+        caller = thread.frame
+        if frame.ret_dst is not None:
+            if value is None:
+                raise MachineError(
+                    f"{loc}: {func.name!r} returned no value but caller expects one"
+                )
+            caller.regs[frame.ret_dst] = value
+        self._advance(caller)
+
+    # -- the dispatch ------------------------------------------------------
+
+    def _execute(
+        self, thread: ThreadState, frame: Frame, instr: ins.Instruction, loc: CodeLocation
+    ) -> None:
+        tid = thread.tid
+        regs = frame.regs
+        get = self._get
+
+        if isinstance(instr, ins.Const):
+            regs[instr.dst] = instr.value
+            self._advance(frame)
+        elif isinstance(instr, ins.Mov):
+            regs[instr.dst] = get(frame, instr.src, loc)
+            self._advance(frame)
+        elif isinstance(instr, ins.Alu):
+            a, b = get(frame, instr.a, loc), get(frame, instr.b, loc)
+            regs[instr.dst] = _ALU_FUNCS[instr.op](a, b, loc)
+            self._advance(frame)
+        elif isinstance(instr, ins.Cmp):
+            a, b = get(frame, instr.a, loc), get(frame, instr.b, loc)
+            regs[instr.dst] = 1 if _CMP_FUNCS[instr.op](a, b) else 0
+            self._advance(frame)
+        elif isinstance(instr, ins.Not):
+            regs[instr.dst] = 1 if get(frame, instr.src, loc) == 0 else 0
+            self._advance(frame)
+        elif isinstance(instr, ins.Load):
+            addr = get(frame, instr.addr, loc) + instr.offset
+            value = self.memory.load(addr)
+            regs[instr.dst] = value
+            if self._cond_loads:
+                loop_id = self._cond_loads.get(loc)
+                if loop_id is not None:
+                    self._emit(
+                        ev.MarkedCondRead(
+                            self.step_count,
+                            tid,
+                            loop_id,
+                            addr,
+                            value,
+                            loc,
+                            thread.in_library,
+                        )
+                    )
+            self._emit(
+                ev.MemRead(self.step_count, tid, addr, value, loc, False, thread.in_library)
+            )
+            self._advance(frame)
+        elif isinstance(instr, ins.Store):
+            addr = get(frame, instr.addr, loc) + instr.offset
+            value = get(frame, instr.src, loc)
+            self.memory.store(addr, value)
+            self._emit(
+                ev.MemWrite(self.step_count, tid, addr, value, loc, False, thread.in_library)
+            )
+            self._advance(frame)
+        elif isinstance(instr, ins.AtomicCas):
+            addr = get(frame, instr.addr, loc) + instr.offset
+            expected = get(frame, instr.expected, loc)
+            new = get(frame, instr.new, loc)
+            old = self.memory.load(addr)
+            regs[instr.dst] = old
+            self._emit(
+                ev.MemRead(self.step_count, tid, addr, old, loc, True, thread.in_library)
+            )
+            if old == expected:
+                self.memory.store(addr, new)
+                self._emit(
+                    ev.MemWrite(self.step_count, tid, addr, new, loc, True, thread.in_library)
+                )
+            self._advance(frame)
+        elif isinstance(instr, ins.AtomicAdd):
+            addr = get(frame, instr.addr, loc) + instr.offset
+            amount = get(frame, instr.amount, loc)
+            old = self.memory.load(addr)
+            regs[instr.dst] = old
+            self.memory.store(addr, old + amount)
+            self._emit(
+                ev.MemRead(self.step_count, tid, addr, old, loc, True, thread.in_library)
+            )
+            self._emit(
+                ev.MemWrite(
+                    self.step_count, tid, addr, old + amount, loc, True, thread.in_library
+                )
+            )
+            self._advance(frame)
+        elif isinstance(instr, ins.AtomicXchg):
+            addr = get(frame, instr.addr, loc) + instr.offset
+            new = get(frame, instr.src, loc)
+            old = self.memory.load(addr)
+            regs[instr.dst] = old
+            self.memory.store(addr, new)
+            self._emit(
+                ev.MemRead(self.step_count, tid, addr, old, loc, True, thread.in_library)
+            )
+            self._emit(
+                ev.MemWrite(self.step_count, tid, addr, new, loc, True, thread.in_library)
+            )
+            self._advance(frame)
+        elif isinstance(instr, ins.Fence):
+            self._advance(frame)
+        elif isinstance(instr, ins.Jmp):
+            self._goto(thread, frame, instr.target, loc)
+        elif isinstance(instr, ins.Br):
+            cond = get(frame, instr.cond, loc)
+            self._goto(thread, frame, instr.then if cond else instr.els, loc)
+        elif isinstance(instr, ins.Call):
+            func = self.program.functions.get(instr.func)
+            if func is None:
+                raise MachineError(f"{loc}: call to unknown function {instr.func!r}")
+            args = tuple(get(frame, a, loc) for a in instr.args)
+            self._enter_function(thread, func, args, instr.dst, loc)
+        elif isinstance(instr, ins.ICall):
+            target_addr = get(frame, instr.target, loc)
+            name = self._addr_funcs.get(target_addr)
+            if name is None:
+                raise MachineError(
+                    f"{loc}: indirect call to non-function address {hex(target_addr)}"
+                )
+            func = self.program.functions[name]
+            args = tuple(get(frame, a, loc) for a in instr.args)
+            self._enter_function(thread, func, args, instr.dst, loc)
+        elif isinstance(instr, ins.Ret):
+            value = get(frame, instr.src, loc) if instr.src else None
+            self._return(thread, value, loc)
+        elif isinstance(instr, ins.Halt):
+            self._halted = True
+            self._exit_thread(thread, None)
+        elif isinstance(instr, ins.Spawn):
+            args = tuple(get(frame, a, loc) for a in instr.args)
+            child = self._spawn_thread(instr.func, args, parent=tid)
+            regs[instr.dst] = child
+            self._emit(ev.ThreadSpawnEvent(self.step_count, tid, child, loc))
+            self._advance(frame)
+        elif isinstance(instr, ins.Join):
+            target = get(frame, instr.tid, loc)
+            if target not in self.threads:
+                raise MachineError(f"{loc}: join on unknown thread {target}")
+            if self.threads[target].status is ThreadStatus.EXITED:
+                self._emit(ev.ThreadJoinEvent(self.step_count, tid, target, loc))
+                self._advance(frame)
+            else:
+                # Re-execute the join once woken: do not advance yet.
+                thread.status = ThreadStatus.BLOCKED_JOIN
+                thread.join_target = target
+                self._waiters.setdefault(target, []).append(tid)
+        elif isinstance(instr, ins.Yield):
+            self.scheduler.on_yield(tid)
+            self._advance(frame)
+        elif isinstance(instr, ins.Alloc):
+            size = get(frame, instr.size, loc)
+            regs[instr.dst] = self.memory.alloc(size, loc)
+            self._advance(frame)
+        elif isinstance(instr, ins.Addr):
+            regs[instr.dst] = self.memory.global_base(instr.symbol)
+            self._advance(frame)
+        elif isinstance(instr, ins.FuncAddr):
+            try:
+                regs[instr.dst] = self._func_addrs[instr.func]
+            except KeyError:
+                raise MachineError(f"{loc}: unknown function {instr.func!r}") from None
+            self._advance(frame)
+        elif isinstance(instr, ins.Print):
+            value = get(frame, instr.src, loc)
+            self.outputs.append((tid, value))
+            self._emit(ev.PrintEvent(self.step_count, tid, value, loc))
+            self._advance(frame)
+        elif isinstance(instr, ins.Nop):
+            self._advance(frame)
+        else:  # pragma: no cover - exhaustiveness guard
+            raise MachineError(f"{loc}: unhandled instruction {instr!r}")
+
+
+def _div(a: int, b: int, loc: CodeLocation) -> int:
+    if b == 0:
+        raise MachineError(f"{loc}: division by zero")
+    return int(a / b) if (a < 0) != (b < 0) else a // b
+
+
+def _mod(a: int, b: int, loc: CodeLocation) -> int:
+    if b == 0:
+        raise MachineError(f"{loc}: modulo by zero")
+    return a - _div(a, b, loc) * b
+
+
+_ALU_FUNCS = {
+    ins.AluOp.ADD: lambda a, b, loc: a + b,
+    ins.AluOp.SUB: lambda a, b, loc: a - b,
+    ins.AluOp.MUL: lambda a, b, loc: a * b,
+    ins.AluOp.DIV: _div,
+    ins.AluOp.MOD: _mod,
+    ins.AluOp.AND: lambda a, b, loc: a & b,
+    ins.AluOp.OR: lambda a, b, loc: a | b,
+    ins.AluOp.XOR: lambda a, b, loc: a ^ b,
+    ins.AluOp.SHL: lambda a, b, loc: a << b,
+    ins.AluOp.SHR: lambda a, b, loc: a >> b,
+}
+
+_CMP_FUNCS = {
+    ins.CmpOp.EQ: lambda a, b: a == b,
+    ins.CmpOp.NE: lambda a, b: a != b,
+    ins.CmpOp.LT: lambda a, b: a < b,
+    ins.CmpOp.LE: lambda a, b: a <= b,
+    ins.CmpOp.GT: lambda a, b: a > b,
+    ins.CmpOp.GE: lambda a, b: a >= b,
+}

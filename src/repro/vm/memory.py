@@ -1,0 +1,122 @@
+"""Flat word-addressed memory with a symbol map and a bump allocator.
+
+Layout::
+
+    [GLOBAL_BASE ...)   globals, laid out in declaration order
+    [HEAP_BASE ...)     heap allocations (bump pointer, per-site tagging)
+
+The :class:`SymbolMap` turns raw addresses back into human-readable names
+(``"FLAG"``, ``"counters+3"``, ``"heap@main:entry:4+0"``), which is what
+race reports and the racy-context metric key on — mirroring how Valgrind
+tools symbolize data addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.isa.program import CodeLocation, Program
+
+GLOBAL_BASE = 0x1000
+HEAP_BASE = 0x100000
+
+
+class MemoryError_(Exception):
+    """Out-of-bounds or uninitialized access (a bug in the workload)."""
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A named address range ``[base, base + size)``."""
+
+    name: str
+    base: int
+    size: int
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.base + self.size
+
+
+class SymbolMap:
+    """Maps addresses to symbolic names for reporting."""
+
+    def __init__(self) -> None:
+        self._segments: List[Segment] = []
+
+    def add(self, name: str, base: int, size: int) -> None:
+        self._segments.append(Segment(name, base, size))
+
+    def resolve(self, addr: int) -> str:
+        """Symbolize ``addr``; falls back to hex for unknown addresses."""
+        for seg in self._segments:
+            if seg.contains(addr):
+                off = addr - seg.base
+                return seg.name if off == 0 and seg.size == 1 else f"{seg.name}+{off}"
+        return hex(addr)
+
+    def segment_of(self, addr: int) -> Optional[Segment]:
+        for seg in self._segments:
+            if seg.contains(addr):
+                return seg
+        return None
+
+    def base_of(self, name: str) -> int:
+        for seg in self._segments:
+            if seg.name == name:
+                return seg.base
+        raise KeyError(name)
+
+
+class Memory:
+    """Word-addressed memory backing a single VM instance."""
+
+    def __init__(self, program: Program) -> None:
+        self._words: Dict[int, int] = {}
+        self.symbols = SymbolMap()
+        self._global_bases: Dict[str, int] = {}
+        cursor = GLOBAL_BASE
+        for var in program.globals.values():
+            self._global_bases[var.name] = cursor
+            self.symbols.add(var.name, cursor, var.size)
+            for i, w in enumerate(var.initial_words()):
+                self._words[cursor + i] = w
+            cursor += var.size
+        self._heap_cursor = HEAP_BASE
+        self.allocated_words = cursor - GLOBAL_BASE
+
+    def global_base(self, name: str) -> int:
+        try:
+            return self._global_bases[name]
+        except KeyError:
+            raise MemoryError_(f"unknown global {name!r}") from None
+
+    def alloc(self, size: int, site: Optional[CodeLocation] = None) -> int:
+        """Bump-allocate ``size`` words; tags the block with its alloc site."""
+        if size <= 0:
+            raise MemoryError_(f"allocation of non-positive size {size}")
+        base = self._heap_cursor
+        self._heap_cursor += size
+        self.allocated_words += size
+        name = f"heap@{site}" if site is not None else f"heap@{hex(base)}"
+        self.symbols.add(name, base, size)
+        for i in range(size):
+            self._words[base + i] = 0
+        return base
+
+    def load(self, addr: int) -> int:
+        try:
+            return self._words[addr]
+        except KeyError:
+            raise MemoryError_(
+                f"load from unmapped address {hex(addr)}"
+            ) from None
+
+    def store(self, addr: int, value: int) -> None:
+        if addr not in self._words:
+            raise MemoryError_(f"store to unmapped address {hex(addr)}")
+        self._words[addr] = value
+
+    def snapshot(self) -> Dict[int, int]:
+        """Copy of all mapped words (tests use this to assert final state)."""
+        return dict(self._words)

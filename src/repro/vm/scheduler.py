@@ -1,0 +1,110 @@
+"""Thread schedulers.
+
+The scheduler decides, at every machine step, which runnable thread
+executes the next instruction.  All schedulers are deterministic given
+their seed, so every experiment is reproducible; *different* seeds yield
+different interleavings, which is how racy programs manifest (or fail to
+manifest) their races under a dynamic detector.
+
+Fairness matters: the threading library busy-waits in spin loops, so a
+scheduler that starves the writer thread would spin forever.  ``Yield``
+instructions (emitted in spin-loop bodies as backoff) ask the scheduler to
+deprioritize the spinning thread for a few steps.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence
+
+
+class Scheduler:
+    """Interface: pick the next thread to run."""
+
+    def pick(self, runnable: Sequence[int]) -> int:
+        raise NotImplementedError
+
+    def on_yield(self, tid: int) -> None:
+        """Called when ``tid`` executes a ``Yield`` (spin backoff hint)."""
+
+    def on_spawn(self, tid: int) -> None:
+        """Called when a new thread ``tid`` becomes schedulable."""
+
+
+class RoundRobinScheduler(Scheduler):
+    """Strict rotation among runnable threads; fully deterministic."""
+
+    def __init__(self) -> None:
+        self._last: int = -1
+
+    def pick(self, runnable: Sequence[int]) -> int:
+        later = [t for t in runnable if t > self._last]
+        chosen = min(later) if later else min(runnable)
+        self._last = chosen
+        return chosen
+
+
+class RandomScheduler(Scheduler):
+    """Uniform random preemption with yield-penalty fairness.
+
+    A thread that yields is skipped for the next ``penalty`` picks when
+    other threads are runnable, modelling the pause/backoff of a real
+    spin loop and guaranteeing writer progress.
+    """
+
+    def __init__(self, seed: int = 0, penalty: int = 8) -> None:
+        self._rng = random.Random(seed)
+        self._penalty_steps = penalty
+        self._penalties: Dict[int, int] = {}
+
+    def pick(self, runnable: Sequence[int]) -> int:
+        eligible: List[int] = [t for t in runnable if self._penalties.get(t, 0) == 0]
+        pool = eligible if eligible else list(runnable)
+        for t in runnable:
+            p = self._penalties.get(t, 0)
+            if p:
+                self._penalties[t] = p - 1
+        return pool[self._rng.randrange(len(pool))] if len(pool) > 1 else pool[0]
+
+    def on_yield(self, tid: int) -> None:
+        self._penalties[tid] = self._penalty_steps
+
+
+class AdversarialScheduler(Scheduler):
+    """Race-hunting scheduler: runs one thread in long bursts, then
+    switches — maximizing the chance that conflicting accesses from two
+    threads land in the same unsynchronized window.
+
+    Used by the ground-truth oracle in the harness to confirm that racy
+    test programs really can produce divergent outcomes.
+    """
+
+    def __init__(self, seed: int = 0, burst: int = 24) -> None:
+        self._rng = random.Random(seed)
+        self._burst = burst
+        self._remaining = 0
+        self._current: int = -1
+        self._penalties: Dict[int, int] = {}
+
+    def pick(self, runnable: Sequence[int]) -> int:
+        for t in runnable:
+            p = self._penalties.get(t, 0)
+            if p:
+                self._penalties[t] = p - 1
+        if (
+            self._remaining > 0
+            and self._current in runnable
+            and self._penalties.get(self._current, 0) == 0
+        ):
+            self._remaining -= 1
+            return self._current
+        eligible = [t for t in runnable if self._penalties.get(t, 0) == 0]
+        pool = eligible if eligible else list(runnable)
+        self._current = pool[self._rng.randrange(len(pool))] if len(pool) > 1 else pool[0]
+        self._remaining = self._rng.randrange(1, self._burst)
+        return self._current
+
+    def on_yield(self, tid: int) -> None:
+        self._penalties[tid] = 8
+        if tid == self._current:
+            self._remaining = 0

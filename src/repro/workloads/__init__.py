@@ -1,0 +1,15 @@
+"""Benchmark workloads.
+
+* :mod:`repro.workloads.dr_test` — the 120-case data-race-test style
+  suite (Tables 1 and 2 of the paper);
+* :mod:`repro.workloads.parsec` — the 13 PARSEC 2.0 stand-in programs
+  (Tables 3–5 and the two performance figures);
+* :mod:`repro.workloads.splash` — four SPLASH-2 stand-ins feeding the
+  slide-15 ad-hoc census experiment.
+"""
+
+from repro.workloads.dr_test.suite import build_suite
+from repro.workloads.parsec.registry import parsec_workloads
+from repro.workloads.splash import splash_workloads
+
+__all__ = ["build_suite", "parsec_workloads", "splash_workloads"]

@@ -1,0 +1,220 @@
+"""Shared IR idioms for workload generators.
+
+Every generated test program is built from a handful of recurring
+patterns: spawn/join scaffolding, counted loops, the canonical spinning
+read loop in several shapes and sizes, and padded pure condition
+helpers.  Centralizing them keeps the ~150 generated programs short and
+makes the *basic-block geometry* of each spin variant explicit — the
+geometry is what the spin(k) experiments measure.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.isa import instructions as ins
+from repro.isa.builder import FunctionBuilder, ProgramBuilder
+from repro.runtime import build_library
+
+
+def new_program(name: str, *, link_library: bool = True) -> ProgramBuilder:
+    """Program builder pre-linked with the threading library."""
+    pb = ProgramBuilder(name)
+    if link_library:
+        pb.link(build_library())
+    return pb
+
+
+def finish_main(mn: FunctionBuilder, tids: Sequence[str]) -> None:
+    """Join all worker threads and halt."""
+    for tid in tids:
+        mn.join(tid)
+    mn.halt()
+
+
+def counted_loop(
+    fb: FunctionBuilder,
+    n: int,
+    body: Callable[[FunctionBuilder, str], None],
+    label_hint: str = "loop",
+) -> None:
+    """Emit ``for i in range(n): body(fb, i_reg)`` around ``body``.
+
+    Compiled as do-while (the body always runs at least once), so ``n``
+    must be positive.
+    """
+    assert n >= 1, "counted_loop requires n >= 1"
+    i = fb.reg("i")
+    fb.emit(ins.Const(i, 0))
+    head = fb.fresh_label(f"{label_hint}_head")
+    done = fb.fresh_label(f"{label_hint}_done")
+    fb.jmp(head)
+    fb.label(head)
+    body(fb, i)
+    nxt = fb.add(i, 1)
+    fb.emit(ins.Mov(i, nxt))
+    limit = fb.const(n)
+    cont = fb.lt(i, limit)
+    fb.br(cont, head, done)
+    fb.label(done)
+
+
+def busy_nops(fb: FunctionBuilder, n: int) -> None:
+    """Deterministic delay: ``n`` nops (biases observed interleavings)."""
+    fb.nop(n)
+
+
+# ---------------------------------------------------------------------------
+# Spinning read loops of controlled basic-block geometry
+# ---------------------------------------------------------------------------
+
+
+def spin_flag_2bb(
+    fb: FunctionBuilder, flag_addr: str, expect: int = 1, offset: int = 0
+) -> None:
+    """The canonical 2-basic-block spinning read loop.
+
+    ``while (load(flag) != expect) { yield }`` — header computes the
+    condition from one load; body does nothing.  Effective size 2.
+    """
+    head = fb.fresh_label("spin_head")
+    body = fb.fresh_label("spin_body")
+    after = fb.fresh_label("spin_after")
+    fb.jmp(head)
+    fb.label(head)
+    v = fb.load(flag_addr, offset=offset)
+    ready = fb.eq(v, expect)
+    fb.br(ready, after, body)
+    fb.label(body)
+    fb.yield_()
+    fb.jmp(head)
+    fb.label(after)
+
+
+def spin_two_flags_3bb(
+    fb: FunctionBuilder, flag_addr: str, off1: int, off2: int
+) -> None:
+    """A 3-block spin: exit only when *both* flag words are set."""
+    h1 = fb.fresh_label("spin_h1")
+    h2 = fb.fresh_label("spin_h2")
+    body = fb.fresh_label("spin_body")
+    after = fb.fresh_label("spin_after")
+    fb.jmp(h1)
+    fb.label(h1)
+    v1 = fb.load(flag_addr, offset=off1)
+    p1 = fb.ne(v1, 0)
+    fb.br(p1, h2, body)
+    fb.label(h2)
+    v2 = fb.load(flag_addr, offset=off2)
+    p2 = fb.ne(v2, 0)
+    fb.br(p2, after, body)
+    fb.label(body)
+    fb.yield_()
+    fb.jmp(h1)
+    fb.label(after)
+
+
+def make_condition_helper(
+    pb: ProgramBuilder,
+    name: str,
+    blocks: int,
+    expect: int = 1,
+    offset: int = 0,
+) -> str:
+    """A *pure* condition helper of exactly ``blocks`` basic blocks.
+
+    ``check(flag) -> (load(flag+offset) == expect)``, padded with a chain
+    of pass-through blocks.  Models the paper's "templates and complex
+    function calls" in loop conditions: a 2-block spin loop calling a
+    ``blocks``-block helper has effective size ``2 + blocks`` for the
+    spin(k) window.
+    """
+    assert blocks >= 2, "helper needs at least entry + exit blocks"
+    fb = pb.function(name, params=("flag",))
+    v = fb.load("flag", offset=offset)
+    acc = fb.mov(v)
+    for i in range(blocks - 2):
+        nxt = fb.fresh_label("pad")
+        fb.jmp(nxt)
+        fb.label(nxt)
+        acc = fb.add(acc, 0)
+    last = fb.fresh_label("check")
+    fb.jmp(last)
+    fb.label(last)
+    result = fb.eq(acc, expect)
+    fb.ret(result)
+    return name
+
+
+def spin_with_helper(
+    fb: FunctionBuilder, helper: str, flag_addr: str
+) -> None:
+    """2-block spin loop whose condition is computed by ``helper``."""
+    head = fb.fresh_label("spin_head")
+    body = fb.fresh_label("spin_body")
+    after = fb.fresh_label("spin_after")
+    fb.jmp(head)
+    fb.label(head)
+    r = fb.call(helper, [flag_addr], want_result=True)
+    fb.br(r, after, body)
+    fb.label(body)
+    fb.yield_()
+    fb.jmp(head)
+    fb.label(after)
+
+
+def emit_user_lock_acquire(fb: FunctionBuilder, lock_addr: str) -> None:
+    """Hand-rolled spin-then-CAS lock acquisition (ad-hoc, not library).
+
+    The pure spin loop always executes before the CAS attempt, so the
+    runtime phase sees the release-store → spin-read dependency on every
+    acquisition and recovers mutual-exclusion ordering (unlike a
+    CAS-first fast path, which skips the loop when uncontended).
+    """
+    retry = fb.fresh_label("ul_retry")
+    head = fb.fresh_label("ul_head")
+    body = fb.fresh_label("ul_body")
+    got = fb.fresh_label("ul_got")
+    crit = fb.fresh_label("ul_crit")
+    fb.jmp(retry)
+    fb.label(retry)
+    fb.jmp(head)
+    fb.label(head)
+    v = fb.load(lock_addr)
+    free = fb.eq(v, 0)
+    fb.br(free, got, body)
+    fb.label(body)
+    fb.yield_()
+    fb.jmp(head)
+    fb.label(got)
+    old = fb.atomic_cas(lock_addr, 0, 1)
+    won = fb.eq(old, 0)
+    fb.br(won, crit, retry)
+    fb.label(crit)
+
+
+def emit_user_lock_release(fb: FunctionBuilder, lock_addr: str) -> None:
+    """Release the hand-rolled lock (the counterpart write)."""
+    fb.store(lock_addr, 0)
+
+
+def spin_with_funcptr(
+    fb: FunctionBuilder, helper: str, flag_addr: str
+) -> None:
+    """Spin loop whose condition goes through a *function pointer*.
+
+    Statically opaque (``ICall``): the paper's bodytrack/x264 pattern
+    that defeats spin detection and leaves residual false positives.
+    """
+    fp = fb.func_addr(helper)
+    head = fb.fresh_label("spin_head")
+    body = fb.fresh_label("spin_body")
+    after = fb.fresh_label("spin_after")
+    fb.jmp(head)
+    fb.label(head)
+    r = fb.icall(fp, [flag_addr], want_result=True)
+    fb.br(r, after, body)
+    fb.label(body)
+    fb.yield_()
+    fb.jmp(head)
+    fb.label(after)

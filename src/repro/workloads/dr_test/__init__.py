@@ -1,0 +1,20 @@
+"""The data-race-test style suite: 120 cases with ground truth.
+
+Generator families (one module each) mirror the difficulty axes of the
+Google data-race-test suite the paper evaluates on:
+
+* :mod:`locks` — mutex/spinlock-protected sharing (race-free);
+* :mod:`condvars` — signal/wait protocols (race-free);
+* :mod:`barriers` — phased computation (race-free);
+* :mod:`semaphores` — counting-semaphore protocols (race-free);
+* :mod:`queues` — library task-queue pipelines (race-free);
+* :mod:`adhoc` — ad-hoc spin-flag synchronization of controlled
+  basic-block geometry (race-free, the false-positive battleground);
+* :mod:`hard` — constructs designed to defeat spin detection:
+  function-pointer conditions, oversized windows, impure poll loops,
+  deep call chains (race-free but undetectable — residual FPs);
+* :mod:`racy` — true races, including schedule-masked ones that
+  separate the hybrid from the pure-hb baseline.
+
+:func:`repro.workloads.dr_test.suite.build_suite` assembles exactly 120.
+"""

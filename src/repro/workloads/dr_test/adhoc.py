@@ -1,0 +1,838 @@
+"""Race-free ad-hoc synchronization cases — the false-positive battleground.
+
+Every case here is *correctly synchronized*, but only through hand-rolled
+spinning read loops (no library primitives protect the data).  Detectors
+without spin-loop knowledge report false races on both the data
+(apparent races) and the flags (synchronization races).
+
+The cases are grouped by the *effective basic-block size* of their spin
+loops, because that is the knob the paper's Table on slide 25 turns:
+
+* ``eff2``/``eff3`` — simple flag loops, caught even by spin(3);
+* ``eff5`` — one mid-size case, caught by spin(6) and up;
+* ``eff7`` — loops whose condition goes through a padded pure helper
+  function ("templates and complex function calls"), caught only by
+  spin(7)/spin(8).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.isa.instructions import Const, Mov
+from repro.harness.workload import Workload
+from repro.workloads.common import (
+    busy_nops,
+    counted_loop,
+    emit_user_lock_acquire,
+    emit_user_lock_release,
+    finish_main,
+    make_condition_helper,
+    new_program,
+    spin_flag_2bb,
+    spin_two_flags_3bb,
+    spin_with_helper,
+)
+
+#: helper sizes giving effective loop sizes 5 and 7 (2 loop blocks + helper)
+_HELPER_EFF5 = 3
+_HELPER_EFF7 = 5
+
+
+def _ge_helper(pb, name: str, blocks: int, threshold: int, offset: int = 0) -> str:
+    """Pure helper: ``load(flag+offset) >= threshold``, ``blocks`` blocks."""
+    assert blocks >= 2
+    fb = pb.function(name, params=("flag",))
+    v = fb.load("flag", offset=offset)
+    acc = fb.mov(v)
+    for _ in range(blocks - 2):
+        nxt = fb.fresh_label("pad")
+        fb.jmp(nxt)
+        fb.label(nxt)
+        acc = fb.add(acc, 0)
+    last = fb.fresh_label("check")
+    fb.jmp(last)
+    fb.label(last)
+    result = fb.ge(acc, threshold)
+    fb.ret(result)
+    return name
+
+
+# ---------------------------------------------------------------------------
+# Effective size 2 (plus one 3): simple flag loops
+# ---------------------------------------------------------------------------
+
+
+def _flag_basic(consumers: int = 1, data_words: int = 1):
+    def build():
+        pb = new_program(f"adhoc_flag_{consumers}c")
+        pb.global_("FLAG", 1)
+        pb.global_("DATA", data_words)
+
+        prod = pb.function("producer")
+        d = prod.addr("DATA")
+        for k in range(data_words):
+            prod.store(d, 10 + k, offset=k)
+        prod.store_global("FLAG", 1)
+        prod.ret()
+
+        cons = pb.function("consumer")
+        f = cons.addr("FLAG")
+        spin_flag_2bb(cons, f, expect=1)
+        d = cons.addr("DATA")
+        s = cons.reg("s")
+        cons.emit(Const(s, 0))
+        for k in range(data_words):
+            cons.emit(Mov(s, cons.add(s, cons.load(d, offset=k))))
+        cons.ret(s)
+
+        mn = pb.function("main")
+        tids = [mn.spawn("consumer", []) for _ in range(consumers)]
+        tids.append(mn.spawn("producer", []))
+        finish_main(mn, tids)
+        return pb.build()
+
+    return build
+
+
+def _flag_reverse():
+    """Spin while the flag reads 1; producer *clears* it."""
+
+    def build():
+        pb = new_program("adhoc_flag_reverse")
+        pb.global_("BUSY", 1, init=(1,))
+        pb.global_("DATA", 1)
+
+        prod = pb.function("producer")
+        prod.store_global("DATA", 42)
+        prod.store_global("BUSY", 0)
+        prod.ret()
+
+        cons = pb.function("consumer")
+        f = cons.addr("BUSY")
+        spin_flag_2bb(cons, f, expect=0)
+        v = cons.load_global("DATA")
+        cons.ret(v)
+
+        mn = pb.function("main")
+        tids = [mn.spawn("consumer", []), mn.spawn("producer", [])]
+        finish_main(mn, tids)
+        return pb.build()
+
+    return build
+
+
+def _handshake():
+    """Bidirectional flags: A publishes, B consumes and replies."""
+
+    def build():
+        pb = new_program("adhoc_handshake")
+        pb.global_("F_AB", 1)
+        pb.global_("F_BA", 1)
+        pb.global_("X", 1)
+        pb.global_("Y", 1)
+
+        a = pb.function("alice")
+        a.store_global("X", 5)
+        a.store_global("F_AB", 1)
+        fba = a.addr("F_BA")
+        spin_flag_2bb(a, fba, expect=1)
+        v = a.load_global("Y")
+        a.ret(v)
+
+        b = pb.function("bob")
+        fab = b.addr("F_AB")
+        spin_flag_2bb(b, fab, expect=1)
+        x = b.load_global("X")
+        b.store_global("Y", b.mul(x, 2))
+        b.store_global("F_BA", 1)
+        b.ret()
+
+        mn = pb.function("main")
+        tids = [mn.spawn("alice", []), mn.spawn("bob", [])]
+        finish_main(mn, tids)
+        return pb.build()
+
+    return build
+
+
+def _generation_counter():
+    """Consumer spins until a generation counter advances past a target."""
+
+    def build():
+        pb = new_program("adhoc_generation")
+        pb.global_("GEN", 1)
+        pb.global_("DATA", 2)
+
+        prod = pb.function("producer")
+
+        def body(fb, i):
+            d = fb.addr("DATA")
+            fb.store(d, fb.add(i, 100), offset=0)
+            fb.store(d, fb.add(i, 200), offset=1)
+            g = fb.addr("GEN")
+            fb.store(g, fb.add(fb.load(g), 1))
+
+        counted_loop(prod, 3, body)
+        prod.ret()
+
+        cons = pb.function("consumer")
+        g = cons.addr("GEN")
+        head = "spin_head"
+        body = "spin_body"
+        cons.jmp(head)
+        cons.label(head)
+        v = cons.load(g)
+        done = cons.ge(v, 3)
+        cons.br(done, "after", body)
+        cons.label(body)
+        cons.yield_()
+        cons.jmp(head)
+        cons.label("after")
+        d = cons.addr("DATA")
+        s = cons.add(cons.load(d, offset=0), cons.load(d, offset=1))
+        cons.ret(s)
+
+        mn = pb.function("main")
+        tids = [mn.spawn("consumer", []), mn.spawn("producer", [])]
+        finish_main(mn, tids)
+        return pb.build()
+
+    return build
+
+
+def _user_spinlock(threads: int = 2, iters: int = 4):
+    """A hand-rolled spin-then-CAS lock (NOT the library one).
+
+    Every acquisition passes through the pure spin loop before attempting
+    the CAS, so the runtime phase always sees the release→spin-read
+    dependency and recovers mutual-exclusion ordering.
+    """
+
+    def build():
+        pb = new_program(f"adhoc_userlock_{threads}")
+        pb.global_("LK", 1)
+        pb.global_("COUNTER", 1)
+
+        w = pb.function("worker")
+
+        def body(fb, i):
+            lk = fb.addr("LK")
+            emit_user_lock_acquire(fb, lk)
+            a = fb.addr("COUNTER")
+            fb.store(a, fb.add(fb.load(a), 1))
+            emit_user_lock_release(fb, lk)
+
+        counted_loop(w, iters, body)
+        w.ret()
+
+        mn = pb.function("main")
+        tids = [mn.spawn("worker", []) for _ in range(threads)]
+        finish_main(mn, tids)
+        return pb.build()
+
+    return build
+
+
+def _two_flag_3bb():
+    """Exit requires two flags — a 3-block spin loop."""
+
+    def build():
+        pb = new_program("adhoc_two_flags")
+        pb.global_("FLAGS", 2)
+        pb.global_("DATA", 1)
+
+        p1 = pb.function("producer_a")
+        p1.store_global("DATA", 11)
+        f = p1.addr("FLAGS")
+        p1.store(f, 1, offset=0)
+        p1.ret()
+
+        p2 = pb.function("producer_b")
+        f = p2.addr("FLAGS")
+        p2.store(f, 1, offset=1)
+        p2.ret()
+
+        cons = pb.function("consumer")
+        f = cons.addr("FLAGS")
+        spin_two_flags_3bb(cons, f, 0, 1)
+        v = cons.load_global("DATA")
+        cons.ret(v)
+
+        mn = pb.function("main")
+        tids = [
+            mn.spawn("consumer", []),
+            mn.spawn("producer_a", []),
+            mn.spawn("producer_b", []),
+        ]
+        finish_main(mn, tids)
+        return pb.build()
+
+    return build
+
+
+def _split_condition_3bb():
+    """Single flag but the condition is computed across two blocks."""
+
+    def build():
+        pb = new_program("adhoc_split_cond")
+        pb.global_("FLAG", 1)
+        pb.global_("DATA", 1)
+
+        prod = pb.function("producer")
+        prod.store_global("DATA", 33)
+        prod.store_global("FLAG", 1)
+        prod.ret()
+
+        cons = pb.function("consumer")
+        f = cons.addr("FLAG")
+        cons.jmp("h1")
+        cons.label("h1")
+        v = cons.load(f)
+        cons.jmp("h2")
+        cons.label("h2")
+        p = cons.eq(v, 1)
+        cons.br(p, "after", "body")
+        cons.label("body")
+        cons.yield_()
+        cons.jmp("h1")
+        cons.label("after")
+        d = cons.load_global("DATA")
+        cons.ret(d)
+
+        mn = pb.function("main")
+        tids = [mn.spawn("consumer", []), mn.spawn("producer", [])]
+        finish_main(mn, tids)
+        return pb.build()
+
+    return build
+
+
+# ---------------------------------------------------------------------------
+# Helper-based loops (effective size 5 and 7)
+# ---------------------------------------------------------------------------
+
+
+def _helper_handoff(
+    name: str,
+    helper_blocks: int,
+    consumers: int = 1,
+    data_words: int = 2,
+    atomic_flag: bool = False,
+):
+    def build():
+        pb = new_program(name)
+        pb.global_("FLAG", 1)
+        pb.global_("DATA", data_words)
+        helper = make_condition_helper(pb, "check_ready", helper_blocks, expect=1)
+
+        prod = pb.function("producer")
+        d = prod.addr("DATA")
+        for k in range(data_words):
+            prod.store(d, 7 * (k + 1), offset=k)
+        f = prod.addr("FLAG")
+        if atomic_flag:
+            prod.atomic_xchg(f, 1)
+        else:
+            prod.store(f, 1)
+        prod.ret()
+
+        cons = pb.function("consumer")
+        f = cons.addr("FLAG")
+        spin_with_helper(cons, helper, f)
+        d = cons.addr("DATA")
+        s = cons.reg("s")
+        cons.emit(Const(s, 0))
+        for k in range(data_words):
+            cons.emit(Mov(s, cons.add(s, cons.load(d, offset=k))))
+        cons.ret(s)
+
+        mn = pb.function("main")
+        tids = [mn.spawn("consumer", []) for _ in range(consumers)]
+        tids.append(mn.spawn("producer", []))
+        finish_main(mn, tids)
+        return pb.build()
+
+    return build
+
+
+def _helper_handshake(name: str, helper_blocks: int):
+    def build():
+        pb = new_program(name)
+        pb.global_("F_AB", 1)
+        pb.global_("F_BA", 1)
+        pb.global_("X", 1)
+        pb.global_("Y", 1)
+        h_ab = make_condition_helper(pb, "check_ab", helper_blocks, expect=1)
+        h_ba = make_condition_helper(pb, "check_ba", helper_blocks, expect=1)
+
+        a = pb.function("alice")
+        a.store_global("X", 3)
+        a.store_global("F_AB", 1)
+        f = a.addr("F_BA")
+        spin_with_helper(a, h_ba, f)
+        v = a.load_global("Y")
+        a.ret(v)
+
+        b = pb.function("bob")
+        f = b.addr("F_AB")
+        spin_with_helper(b, h_ab, f)
+        x = b.load_global("X")
+        b.store_global("Y", b.add(x, 100))
+        b.store_global("F_BA", 1)
+        b.ret()
+
+        mn = pb.function("main")
+        tids = [mn.spawn("alice", []), mn.spawn("bob", [])]
+        finish_main(mn, tids)
+        return pb.build()
+
+    return build
+
+
+def _helper_reverse(name: str, helper_blocks: int):
+    def build():
+        pb = new_program(name)
+        pb.global_("BUSY", 1, init=(1,))
+        pb.global_("DATA", 1)
+        helper = make_condition_helper(pb, "check_idle", helper_blocks, expect=0)
+
+        prod = pb.function("producer")
+        prod.store_global("DATA", 55)
+        prod.store_global("BUSY", 0)
+        prod.ret()
+
+        cons = pb.function("consumer")
+        f = cons.addr("BUSY")
+        spin_with_helper(cons, helper, f)
+        v = cons.load_global("DATA")
+        cons.ret(v)
+
+        mn = pb.function("main")
+        tids = [mn.spawn("consumer", []), mn.spawn("producer", [])]
+        finish_main(mn, tids)
+        return pb.build()
+
+    return build
+
+
+def _helper_barrier(name: str, helper_blocks: int, threads: int = 3):
+    """Self-built barrier, following the paper's slide-18 sketch:
+    arrivals counted under an (ad-hoc) lock, then a helper-condition spin.
+
+    The lock matters: it chains happens-before between arrivals, so even
+    the *last* arriver (whose spin exits on its own counter write) is
+    ordered after every earlier thread's pre-barrier work.
+    """
+
+    def build():
+        pb = new_program(name)
+        pb.global_("ARRIVED", 1)
+        pb.global_("BLK", 1)
+        pb.global_("VALS", threads)
+        helper = _ge_helper(pb, "check_all_arrived", helper_blocks, threshold=threads)
+
+        w = pb.function("worker", params=("idx",))
+        base = w.addr("VALS")
+        w.store(w.add(base, "idx"), w.add("idx", 1))
+        blk = w.addr("BLK")
+        arr = w.addr("ARRIVED")
+        emit_user_lock_acquire(w, blk)
+        w.store(arr, w.add(w.load(arr), 1))
+        emit_user_lock_release(w, blk)
+        spin_with_helper(w, helper, arr)
+        s = w.reg("s")
+        w.emit(Const(s, 0))
+        for k in range(threads):
+            w.emit(Mov(s, w.add(s, w.load(base, offset=k))))
+        w.ret(s)
+
+        mn = pb.function("main")
+        tids = [mn.spawn("worker", [mn.const(i)]) for i in range(threads)]
+        finish_main(mn, tids)
+        return pb.build()
+
+    return build
+
+
+def _helper_ring(name: str, helper_blocks: int, items: int = 4):
+    """SPSC ring with a published-tail spin (>= threshold per item)."""
+
+    def build():
+        pb = new_program(name)
+        pb.global_("TAIL", 1)
+        pb.global_("RING", items)
+        pb.global_("OUT", 1)
+        helpers = [
+            _ge_helper(pb, f"check_tail_{i}", helper_blocks, threshold=i + 1)
+            for i in range(items)
+        ]
+
+        prod = pb.function("producer")
+        r = prod.addr("RING")
+        t = prod.addr("TAIL")
+        for i in range(items):
+            prod.store(r, (i + 1) * 3, offset=i)
+            prod.store(t, i + 1)
+        prod.ret()
+
+        cons = pb.function("consumer")
+        t = cons.addr("TAIL")
+        r = cons.addr("RING")
+        s = cons.reg("s")
+        cons.emit(Const(s, 0))
+        for i in range(items):
+            spin_with_helper(cons, helpers[i], t)
+            cons.emit(Mov(s, cons.add(s, cons.load(r, offset=i))))
+        o = cons.addr("OUT")
+        cons.store(o, s)
+        cons.ret(s)
+
+        mn = pb.function("main")
+        tids = [mn.spawn("consumer", []), mn.spawn("producer", [])]
+        finish_main(mn, tids)
+        return pb.build()
+
+    return build
+
+
+def _helper_double_buffer(name: str, helper_blocks: int):
+    """Writer fills the back buffer then flips CUR; reader spins on CUR."""
+
+    def build():
+        pb = new_program(name)
+        pb.global_("CUR", 1)
+        pb.global_("BUF", 4)  # two 2-word banks
+        helper = make_condition_helper(pb, "check_flipped", helper_blocks, expect=1)
+
+        wr = pb.function("writer")
+        b = wr.addr("BUF")
+        wr.store(b, 21, offset=2)
+        wr.store(b, 22, offset=3)
+        wr.store_global("CUR", 1)
+        wr.ret()
+
+        rd = pb.function("reader")
+        c = rd.addr("CUR")
+        spin_with_helper(rd, helper, c)
+        b = rd.addr("BUF")
+        v = rd.add(rd.load(b, offset=2), rd.load(b, offset=3))
+        rd.ret(v)
+
+        mn = pb.function("main")
+        tids = [mn.spawn("reader", []), mn.spawn("writer", [])]
+        finish_main(mn, tids)
+        return pb.build()
+
+    return build
+
+
+def _helper_chain(name: str, helper_blocks: int):
+    """A -> B -> C handoff chain, each link with its own flag + helper."""
+
+    def build():
+        pb = new_program(name)
+        pb.global_("F1", 1)
+        pb.global_("F2", 1)
+        pb.global_("V", 1)
+        h1 = make_condition_helper(pb, "check_f1", helper_blocks, expect=1)
+        h2 = make_condition_helper(pb, "check_f2", helper_blocks, expect=1)
+
+        a = pb.function("stage_a")
+        a.store_global("V", 1)
+        a.store_global("F1", 1)
+        a.ret()
+
+        b = pb.function("stage_b")
+        f1 = b.addr("F1")
+        spin_with_helper(b, h1, f1)
+        v = b.load_global("V")
+        b.store_global("V", b.add(v, 10))
+        b.store_global("F2", 1)
+        b.ret()
+
+        c = pb.function("stage_c")
+        f2 = c.addr("F2")
+        spin_with_helper(c, h2, f2)
+        v = c.load_global("V")
+        c.ret(v)
+
+        mn = pb.function("main")
+        tids = [mn.spawn("stage_c", []), mn.spawn("stage_b", []), mn.spawn("stage_a", [])]
+        finish_main(mn, tids)
+        return pb.build()
+
+    return build
+
+
+def _helper_pairs(name: str, helper_blocks: int):
+    """Two independent flag/data pairs, four threads."""
+
+    def build():
+        pb = new_program(name)
+        pb.global_("FLAG_A", 1)
+        pb.global_("FLAG_B", 1)
+        pb.global_("DA", 1)
+        pb.global_("DB", 1)
+        ha = make_condition_helper(pb, "check_a", helper_blocks, expect=1)
+        hb = make_condition_helper(pb, "check_b", helper_blocks, expect=1)
+
+        for suffix, helper in (("a", ha), ("b", hb)):
+            prod = pb.function(f"producer_{suffix}")
+            prod.store_global(f"D{suffix.upper()}", 77)
+            prod.store_global(f"FLAG_{suffix.upper()}", 1)
+            prod.ret()
+            cons = pb.function(f"consumer_{suffix}")
+            f = cons.addr(f"FLAG_{suffix.upper()}")
+            spin_with_helper(cons, helper, f)
+            v = cons.load_global(f"D{suffix.upper()}")
+            cons.ret(v)
+
+        mn = pb.function("main")
+        tids = [
+            mn.spawn("consumer_a", []),
+            mn.spawn("consumer_b", []),
+            mn.spawn("producer_a", []),
+            mn.spawn("producer_b", []),
+        ]
+        finish_main(mn, tids)
+        return pb.build()
+
+    return build
+
+
+def _helper_not_condition(name: str, helper_blocks: int):
+    """Spin on the *negation* of the helper result (``while helper()``)."""
+
+    def build():
+        pb = new_program(name)
+        pb.global_("WAITING", 1, init=(1,))
+        pb.global_("PAYLOAD", 1)
+        helper = make_condition_helper(pb, "check_waiting", helper_blocks, expect=1)
+
+        prod = pb.function("producer")
+        prod.store_global("PAYLOAD", 99)
+        prod.store_global("WAITING", 0)
+        prod.ret()
+
+        cons = pb.function("consumer")
+        f = cons.addr("WAITING")
+        head = cons.fresh_label("spin_head")
+        body = cons.fresh_label("spin_body")
+        after = cons.fresh_label("after")
+        cons.jmp(head)
+        cons.label(head)
+        r = cons.call(helper, [f], want_result=True)
+        done = cons.not_(r)
+        cons.br(done, after, body)
+        cons.label(body)
+        cons.yield_()
+        cons.jmp(head)
+        cons.label(after)
+        v = cons.load_global("PAYLOAD")
+        cons.ret(v)
+
+        mn = pb.function("main")
+        tids = [mn.spawn("consumer", []), mn.spawn("producer", [])]
+        finish_main(mn, tids)
+        return pb.build()
+
+    return build
+
+
+def _helper_main_waits(name: str, helper_blocks: int):
+    """The *main* thread is the spinner (completion-flag detection)."""
+
+    def build():
+        pb = new_program(name)
+        pb.global_("DONE", 1)
+        pb.global_("RESULT", 1)
+        helper = make_condition_helper(pb, "check_done", helper_blocks, expect=1)
+
+        w = pb.function("worker")
+        w.store_global("RESULT", 1234)
+        w.store_global("DONE", 1)
+        w.ret()
+
+        mn = pb.function("main")
+        t = mn.spawn("worker", [])
+        f = mn.addr("DONE")
+        spin_with_helper(mn, helper, f)
+        mn.print_(mn.load_global("RESULT"))
+        mn.join(t)
+        mn.halt()
+        return pb.build()
+
+    return build
+
+
+def _helper_reuse_values(name: str, helper_blocks: int):
+    """The flag carries successive values 1 then 2 (two rounds).
+
+    Each round publishes its own data word (``ROUND >= k`` conditions, so
+    a consumer that arrives late never waits for a value that has already
+    passed, and round-1 data is never overwritten).
+    """
+
+    def build():
+        pb = new_program(name)
+        pb.global_("ROUND", 1)
+        pb.global_("DATA", 2)
+        h1 = _ge_helper(pb, "check_r1", helper_blocks, threshold=1)
+        h2 = _ge_helper(pb, "check_r2", helper_blocks, threshold=2)
+
+        prod = pb.function("producer")
+        d = prod.addr("DATA")
+        prod.store(d, 1, offset=0)
+        prod.store_global("ROUND", 1)
+        busy_nops(prod, 8)
+        prod.store(d, 2, offset=1)
+        prod.store_global("ROUND", 2)
+        prod.ret()
+
+        cons = pb.function("consumer")
+        f = cons.addr("ROUND")
+        d = cons.addr("DATA")
+        spin_with_helper(cons, h1, f)
+        v1 = cons.load(d, offset=0)
+        spin_with_helper(cons, h2, f)
+        v2 = cons.load(d, offset=1)
+        cons.ret(cons.add(v1, v2))
+
+        mn = pb.function("main")
+        tids = [mn.spawn("consumer", []), mn.spawn("producer", [])]
+        finish_main(mn, tids)
+        return pb.build()
+
+    return build
+
+
+def cases() -> List[Workload]:
+    out: List[Workload] = []
+    # --- effective size 2 and 3 (8 cases) ---
+    out.append(
+        Workload(
+            name="adhoc_flag_basic",
+            build=_flag_basic(1),
+            threads=2,
+            category="adhoc",
+            description="classic DATA/FLAG handoff, 2-block spin loop",
+        )
+    )
+    out.append(
+        Workload(
+            name="adhoc_flag_multi",
+            build=_flag_basic(2, data_words=2),
+            threads=3,
+            category="adhoc",
+            description="one producer, two spinning consumers",
+        )
+    )
+    out.append(
+        Workload(
+            name="adhoc_flag_reverse",
+            build=_flag_reverse(),
+            threads=2,
+            category="adhoc",
+            description="spin until the flag is cleared",
+        )
+    )
+    out.append(
+        Workload(
+            name="adhoc_handshake",
+            build=_handshake(),
+            threads=2,
+            category="adhoc",
+            description="bidirectional flag handshake",
+        )
+    )
+    out.append(
+        Workload(
+            name="adhoc_generation",
+            build=_generation_counter(),
+            threads=2,
+            category="adhoc",
+            description="spin until a generation counter reaches a target",
+        )
+    )
+    out.append(
+        Workload(
+            name="adhoc_user_spinlock",
+            build=_user_spinlock(2),
+            threads=2,
+            category="adhoc",
+            description="hand-rolled spin-then-CAS lock around a counter",
+        )
+    )
+    out.append(
+        Workload(
+            name="adhoc_two_flags_3bb",
+            build=_two_flag_3bb(),
+            threads=3,
+            category="adhoc",
+            description="3-block spin loop over two flags",
+        )
+    )
+    out.append(
+        Workload(
+            name="adhoc_split_cond_3bb",
+            build=_split_condition_3bb(),
+            threads=2,
+            category="adhoc",
+            description="condition split across two blocks (3-block loop)",
+        )
+    )
+    # --- effective size 5 (1 case) ---
+    out.append(
+        Workload(
+            name="adhoc_helper_eff5",
+            build=_helper_handoff("adhoc_helper_eff5", _HELPER_EFF5),
+            threads=2,
+            category="adhoc",
+            description="flag handoff, condition helper of 3 blocks (eff 5)",
+        )
+    )
+    # --- effective size 7 (15 cases) ---
+    eff7 = [
+        ("adhoc7_handoff", _helper_handoff("adhoc7_handoff", _HELPER_EFF7), 2,
+         "flag handoff through a 5-block condition helper"),
+        ("adhoc7_handoff_3c", _helper_handoff("adhoc7_handoff_3c", _HELPER_EFF7, consumers=3), 4,
+         "three consumers spin through the helper"),
+        ("adhoc7_handoff_wide", _helper_handoff("adhoc7_handoff_wide", _HELPER_EFF7, data_words=6), 2,
+         "six data words guarded by one helper flag"),
+        ("adhoc7_handoff_atomic", _helper_handoff("adhoc7_handoff_atomic", _HELPER_EFF7, atomic_flag=True), 2,
+         "counterpart write is an atomic exchange"),
+        ("adhoc7_handshake", _helper_handshake("adhoc7_handshake", _HELPER_EFF7), 2,
+         "bidirectional handshake with helpers"),
+        ("adhoc7_reverse", _helper_reverse("adhoc7_reverse", _HELPER_EFF7), 2,
+         "cleared-flag polarity with helper"),
+        ("adhoc7_barrier3", _helper_barrier("adhoc7_barrier3", _HELPER_EFF7, threads=3), 3,
+         "self-built barrier, arrivals counted atomically"),
+        ("adhoc7_barrier4", _helper_barrier("adhoc7_barrier4", _HELPER_EFF7, threads=4), 4,
+         "self-built 4-way barrier"),
+        ("adhoc7_ring", _helper_ring("adhoc7_ring", _HELPER_EFF7), 2,
+         "SPSC ring buffer with published tail"),
+        ("adhoc7_double_buffer", _helper_double_buffer("adhoc7_double_buffer", _HELPER_EFF7), 2,
+         "double-buffer flip with helper condition"),
+        ("adhoc7_chain", _helper_chain("adhoc7_chain", _HELPER_EFF7), 3,
+         "three-stage flag chain"),
+        ("adhoc7_pairs", _helper_pairs("adhoc7_pairs", _HELPER_EFF7), 4,
+         "two independent flag/data pairs"),
+        ("adhoc7_not_cond", _helper_not_condition("adhoc7_not_cond", _HELPER_EFF7), 2,
+         "negated helper condition"),
+        ("adhoc7_main_waits", _helper_main_waits("adhoc7_main_waits", _HELPER_EFF7), 2,
+         "main thread spins on a completion flag"),
+        ("adhoc7_reuse", _helper_reuse_values("adhoc7_reuse", _HELPER_EFF7), 2,
+         "flag reused across two rounds with different values"),
+    ]
+    for name, build, threads, desc in eff7:
+        out.append(
+            Workload(
+                name=name,
+                build=build,
+                threads=threads,
+                category="adhoc",
+                description=desc,
+            )
+        )
+    return out

@@ -1,0 +1,100 @@
+"""Race-free barrier-phased computations."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.isa.instructions import Const, Mov
+from repro.harness.workload import Workload
+from repro.runtime import BARRIER_SIZE
+from repro.workloads.common import counted_loop, finish_main, new_program
+
+
+def _phase_sum(threads: int):
+    """Phase 1: each thread writes its slot; barrier; phase 2: all read all."""
+
+    def build():
+        pb = new_program(f"barrier_phase_{threads}")
+        pb.global_("B", BARRIER_SIZE)
+        pb.global_("VALS", threads)
+
+        w = pb.function("worker", params=("idx",))
+        b = w.addr("B")
+        base = w.addr("VALS")
+        slot = w.add(base, "idx")
+        w.store(slot, w.mul(w.add("idx", 1), 10))
+        w.call("barrier_wait", [b])
+        s = w.reg("s")
+        w.emit(Const(s, 0))
+        for k in range(threads):
+            w.emit(Mov(s, w.add(s, w.load(base, offset=k))))
+        w.ret(s)
+
+        mn = pb.function("main")
+        bm = mn.addr("B")
+        mn.call("barrier_init", [bm, mn.const(threads)])
+        tids = [mn.spawn("worker", [mn.const(i)]) for i in range(threads)]
+        finish_main(mn, tids)
+        return pb.build()
+
+    return build
+
+
+def _iterated_barrier(threads: int, phases: int):
+    """Repeated barrier inside a loop: classic stencil-style exchange."""
+
+    def build():
+        pb = new_program(f"barrier_iter_{threads}_{phases}")
+        pb.global_("B", BARRIER_SIZE)
+        pb.global_("GRID", threads * 2)
+
+        w = pb.function("worker", params=("idx",))
+
+        def body(fb, i):
+            b = fb.addr("B")
+            g = fb.addr("GRID")
+            # Write my cell in bank (i % 2), reading the other bank.
+            bank = fb.mod(i, 2)
+            other = fb.sub(1, bank)
+            mine = fb.add(fb.mul(bank, threads), "idx")
+            theirs = fb.add(fb.mul(other, threads), "idx")
+            src = fb.load(fb.add(g, theirs))
+            fb.store(fb.add(g, mine), fb.add(src, 1))
+            fb.call("barrier_wait", [b])
+
+        counted_loop(w, phases, body)
+        w.ret()
+
+        mn = pb.function("main")
+        bm = mn.addr("B")
+        mn.call("barrier_init", [bm, mn.const(threads)])
+        tids = [mn.spawn("worker", [mn.const(i)]) for i in range(threads)]
+        finish_main(mn, tids)
+        return pb.build()
+
+    return build
+
+
+def cases() -> List[Workload]:
+    out: List[Workload] = []
+    for threads in (2, 4, 8, 16):
+        out.append(
+            Workload(
+                name=f"barrier_phase_t{threads}",
+                build=_phase_sum(threads),
+                threads=threads,
+                category="barriers",
+                description="write-slot / barrier / read-all phases",
+            )
+        )
+    for threads, phases in ((2, 3), (4, 3), (4, 5)):
+        out.append(
+            Workload(
+                name=f"barrier_iter_t{threads}_p{phases}",
+                build=_iterated_barrier(threads, phases),
+                threads=threads,
+                category="barriers",
+                description="double-buffered stencil with repeated barrier",
+            )
+        )
+    return out

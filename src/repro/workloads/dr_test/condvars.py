@@ -1,0 +1,252 @@
+"""Race-free condition-variable protocols (signal/wait, broadcast)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.harness.workload import Workload
+from repro.runtime import CONDVAR_SIZE, MUTEX_SIZE
+from repro.workloads.common import counted_loop, finish_main, new_program
+
+
+def _signal_wait_handoff(consumers: int):
+    """Producer fills DATA, sets READY under a mutex, signals; consumers
+    use the canonical predicate loop around ``cv_wait``."""
+
+    def build():
+        pb = new_program(f"cv_handoff_{consumers}")
+        pb.global_("DATA", 4)
+        pb.global_("READY", 1)
+        pb.global_("M", MUTEX_SIZE)
+        pb.global_("CV", CONDVAR_SIZE)
+
+        prod = pb.function("producer")
+        d = prod.addr("DATA")
+        for k in range(4):
+            prod.store(d, 100 + k, offset=k)
+        m = prod.addr("M")
+        cv = prod.addr("CV")
+        prod.call("mutex_lock", [m])
+        prod.store_global("READY", 1)
+        prod.call("cv_broadcast", [cv])
+        prod.call("mutex_unlock", [m])
+        prod.ret()
+
+        cons = pb.function("consumer")
+        m = cons.addr("M")
+        cv = cons.addr("CV")
+        cons.call("mutex_lock", [m])
+        cons.jmp("check")
+        cons.label("check")
+        r = cons.load_global("READY")
+        ok = cons.ne(r, 0)
+        cons.br(ok, "go", "wait")
+        cons.label("wait")
+        cons.call("cv_wait", [cv, m])
+        cons.jmp("check")
+        cons.label("go")
+        cons.call("mutex_unlock", [m])
+        d = cons.addr("DATA")
+        s = cons.reg("s")
+        from repro.isa.instructions import Const, Mov
+
+        cons.emit(Const(s, 0))
+        for k in range(4):
+            cons.emit(Mov(s, cons.add(s, cons.load(d, offset=k))))
+        cons.ret(s)
+
+        mn = pb.function("main")
+        tids = [mn.spawn("consumer", []) for _ in range(consumers)]
+        tids.append(mn.spawn("producer", []))
+        finish_main(mn, tids)
+        return pb.build()
+
+    return build
+
+
+def _pingpong(rounds: int):
+    """Two threads alternate via two cv/flag pairs under one mutex."""
+
+    def build():
+        pb = new_program(f"cv_pingpong_{rounds}")
+        pb.global_("TURN", 1)  # 0 = ping's turn, 1 = pong's turn
+        pb.global_("BALL", 1)
+        pb.global_("M", MUTEX_SIZE)
+        pb.global_("CV", CONDVAR_SIZE)
+
+        def player(name: str, mine: int):
+            f = pb.function(name)
+
+            def body(fb, i):
+                m = fb.addr("M")
+                cv = fb.addr("CV")
+                fb.call("mutex_lock", [m])
+                chk = fb.fresh_label("chk")
+                wt = fb.fresh_label("wt")
+                go = fb.fresh_label("go")
+                fb.jmp(chk)
+                fb.label(chk)
+                t = fb.load_global("TURN")
+                ok = fb.eq(t, mine)
+                fb.br(ok, go, wt)
+                fb.label(wt)
+                fb.call("cv_wait", [cv, m])
+                fb.jmp(chk)
+                fb.label(go)
+                b = fb.addr("BALL")
+                fb.store(b, fb.add(fb.load(b), 1))
+                fb.store_global("TURN", 1 - mine)
+                fb.call("cv_broadcast", [cv])
+                fb.call("mutex_unlock", [m])
+
+            counted_loop(f, rounds, body)
+            f.ret()
+
+        player("ping", 0)
+        player("pong", 1)
+        mn = pb.function("main")
+        tids = [mn.spawn("ping", []), mn.spawn("pong", [])]
+        finish_main(mn, tids)
+        return pb.build()
+
+    return build
+
+
+def _staged_pipeline(stages: int):
+    """Chain of threads, each waits for the previous stage's flag."""
+
+    def build():
+        pb = new_program(f"cv_pipeline_{stages}")
+        pb.global_("STAGE", 1)
+        pb.global_("ITEM", 1)
+        pb.global_("M", MUTEX_SIZE)
+        pb.global_("CV", CONDVAR_SIZE)
+
+        w = pb.function("stage_worker", params=("idx",))
+        m = w.addr("M")
+        cv = w.addr("CV")
+        w.call("mutex_lock", [m])
+        w.jmp("check")
+        w.label("check")
+        s = w.load_global("STAGE")
+        ok = w.eq(s, "idx")
+        w.br(ok, "go", "wait")
+        w.label("wait")
+        w.call("cv_wait", [cv, m])
+        w.jmp("check")
+        w.label("go")
+        it = w.addr("ITEM")
+        w.store(it, w.add(w.load(it), "idx"))
+        w.store_global("STAGE", w.add(s, 1))
+        w.call("cv_broadcast", [cv])
+        w.call("mutex_unlock", [m])
+        w.ret()
+
+        mn = pb.function("main")
+        tids = [mn.spawn("stage_worker", [mn.const(i)]) for i in range(stages)]
+        finish_main(mn, tids)
+        return pb.build()
+
+    return build
+
+
+def _double_handoff():
+    """A value travels main -> worker -> main via two cv-protected flags."""
+
+    def build():
+        pb = new_program("cv_double_handoff")
+        pb.global_("REQ", 1)
+        pb.global_("REQ_FLAG", 1)
+        pb.global_("RESP", 1)
+        pb.global_("RESP_FLAG", 1)
+        pb.global_("M", MUTEX_SIZE)
+        pb.global_("CV", CONDVAR_SIZE)
+
+        w = pb.function("server")
+        m = w.addr("M")
+        cv = w.addr("CV")
+        w.call("mutex_lock", [m])
+        w.jmp("check")
+        w.label("check")
+        f = w.load_global("REQ_FLAG")
+        ok = w.ne(f, 0)
+        w.br(ok, "go", "wait")
+        w.label("wait")
+        w.call("cv_wait", [cv, m])
+        w.jmp("check")
+        w.label("go")
+        req = w.load_global("REQ")
+        w.store_global("RESP", w.mul(req, 2))
+        w.store_global("RESP_FLAG", 1)
+        w.call("cv_broadcast", [cv])
+        w.call("mutex_unlock", [m])
+        w.ret()
+
+        mn = pb.function("main")
+        mn.store_global("REQ", 21)
+        m = mn.addr("M")
+        cv = mn.addr("CV")
+        t = mn.spawn("server", [])
+        mn.call("mutex_lock", [m])
+        mn.store_global("REQ_FLAG", 1)
+        mn.call("cv_broadcast", [cv])
+        mn.jmp("check")
+        mn.label("check")
+        f = mn.load_global("RESP_FLAG")
+        ok = mn.ne(f, 0)
+        mn.br(ok, "go", "wait")
+        mn.label("wait")
+        mn.call("cv_wait", [cv, m])
+        mn.jmp("check")
+        mn.label("go")
+        mn.call("mutex_unlock", [m])
+        mn.print_(mn.load_global("RESP"))
+        mn.join(t)
+        mn.halt()
+        return pb.build()
+
+    return build
+
+
+def cases() -> List[Workload]:
+    out: List[Workload] = []
+    for consumers in (1, 3, 7):
+        out.append(
+            Workload(
+                name=f"cv_handoff_c{consumers}",
+                build=_signal_wait_handoff(consumers),
+                threads=consumers + 1,
+                category="condvars",
+                description="broadcast handoff with predicate loop",
+            )
+        )
+    for rounds in (2, 4):
+        out.append(
+            Workload(
+                name=f"cv_pingpong_r{rounds}",
+                build=_pingpong(rounds),
+                threads=2,
+                category="condvars",
+                description="two threads alternating turns via one condvar",
+            )
+        )
+    for stages in (3, 5):
+        out.append(
+            Workload(
+                name=f"cv_pipeline_s{stages}",
+                build=_staged_pipeline(stages),
+                threads=stages,
+                category="condvars",
+                description="stage chain gated by a shared stage counter",
+            )
+        )
+    out.append(
+        Workload(
+            name="cv_double_handoff",
+            build=_double_handoff(),
+            threads=2,
+            category="condvars",
+            description="request/response round trip through condvars",
+        )
+    )
+    return out

@@ -1,0 +1,326 @@
+"""Race-free but *undetectable* ad-hoc cases — the residual false positives.
+
+These reproduce the constructs the paper reports as defeating spin-loop
+detection even at spin(7)/spin(8) (slides 24/25/29):
+
+* conditions evaluated through **function pointers** (statically opaque);
+* spin loops whose effective window exceeds 8 basic blocks;
+* **impure** poll loops that write bookkeeping state while waiting
+  ("obscure implementation of task queue");
+* condition helpers nested deeper than the inlining budget;
+* conditions mixing the flag with loop-carried counters (the value of
+  the condition changes inside the loop).
+
+All eight are correctly synchronized, so every warning on them is a
+false alarm — they are the floor under the spin(k) curves.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.isa.instructions import Const, Mov
+from repro.harness.workload import Workload
+from repro.workloads.common import (
+    finish_main,
+    make_condition_helper,
+    new_program,
+    spin_with_funcptr,
+)
+
+
+def _funcptr_case(name: str, consumers: int):
+    def build():
+        pb = new_program(name)
+        pb.global_("FLAG", 1)
+        pb.global_("DATA", 2)
+        helper = make_condition_helper(pb, "check_ready", 2, expect=1)
+
+        prod = pb.function("producer")
+        d = prod.addr("DATA")
+        prod.store(d, 8, offset=0)
+        prod.store(d, 9, offset=1)
+        prod.store_global("FLAG", 1)
+        prod.ret()
+
+        cons = pb.function("consumer")
+        f = cons.addr("FLAG")
+        spin_with_funcptr(cons, helper, f)
+        d = cons.addr("DATA")
+        v = cons.add(cons.load(d, offset=0), cons.load(d, offset=1))
+        cons.ret(v)
+
+        mn = pb.function("main")
+        tids = [mn.spawn("consumer", []) for _ in range(consumers)]
+        tids.append(mn.spawn("producer", []))
+        finish_main(mn, tids)
+        return pb.build()
+
+    return build
+
+
+def _oversized(name: str, helper_blocks: int):
+    """Effective window 2 + helper_blocks > 8: outside every spin(k)."""
+
+    def build():
+        pb = new_program(name)
+        pb.global_("FLAG", 1)
+        pb.global_("DATA", 1)
+        helper = make_condition_helper(pb, "check_big", helper_blocks, expect=1)
+
+        prod = pb.function("producer")
+        prod.store_global("DATA", 64)
+        prod.store_global("FLAG", 1)
+        prod.ret()
+
+        cons = pb.function("consumer")
+        f = cons.addr("FLAG")
+        head = cons.fresh_label("spin_head")
+        body = cons.fresh_label("spin_body")
+        after = cons.fresh_label("after")
+        cons.jmp(head)
+        cons.label(head)
+        r = cons.call(helper, [f], want_result=True)
+        cons.br(r, after, body)
+        cons.label(body)
+        cons.yield_()
+        cons.jmp(head)
+        cons.label(after)
+        v = cons.load_global("DATA")
+        cons.ret(v)
+
+        mn = pb.function("main")
+        tids = [mn.spawn("consumer", []), mn.spawn("producer", [])]
+        finish_main(mn, tids)
+        return pb.build()
+
+    return build
+
+
+def _impure_poll(name: str):
+    """The wait loop *stores* a progress counter each iteration —
+    the body is not 'do nothing', so the loop is rejected."""
+
+    def build():
+        pb = new_program(name)
+        pb.global_("FLAG", 1)
+        pb.global_("DATA", 1)
+        pb.global_("POLLS", 1)
+
+        prod = pb.function("producer")
+        prod.store_global("DATA", 31)
+        prod.store_global("FLAG", 1)
+        prod.ret()
+
+        cons = pb.function("consumer")
+        f = cons.addr("FLAG")
+        p = cons.addr("POLLS")
+        cons.jmp("head")
+        cons.label("head")
+        v = cons.load(f)
+        ready = cons.ne(v, 0)
+        cons.br(ready, "after", "body")
+        cons.label("body")
+        cons.store(p, cons.add(cons.load(p), 1))
+        cons.yield_()
+        cons.jmp("head")
+        cons.label("after")
+        d = cons.load_global("DATA")
+        cons.ret(d)
+
+        mn = pb.function("main")
+        tids = [mn.spawn("consumer", []), mn.spawn("producer", [])]
+        finish_main(mn, tids)
+        return pb.build()
+
+    return build
+
+
+def _obscure_queue(name: str):
+    """Dedup/ferret-style obscure task queue: the consumer's wait loop
+    records its observed sequence number in shared memory while polling,
+    so it does not match the spinning-read pattern."""
+
+    def build():
+        pb = new_program(name)
+        pb.global_("SEQ", 1)
+        pb.global_("SLOT", 1)
+        pb.global_("LAST_SEEN", 1)
+        pb.global_("OUT", 1)
+
+        prod = pb.function("producer")
+        prod.store_global("SLOT", 123)
+        prod.store_global("SEQ", 1)
+        prod.ret()
+
+        cons = pb.function("consumer")
+        sq = cons.addr("SEQ")
+        seen = cons.addr("LAST_SEEN")
+        cons.jmp("head")
+        cons.label("head")
+        v = cons.load(sq)
+        cons.store(seen, v)  # bookkeeping write inside the wait loop
+        avail = cons.ne(v, 0)
+        cons.br(avail, "take", "body")
+        cons.label("body")
+        cons.yield_()
+        cons.jmp("head")
+        cons.label("take")
+        item = cons.load_global("SLOT")
+        cons.store_global("OUT", item)
+        cons.ret(item)
+
+        mn = pb.function("main")
+        tids = [mn.spawn("consumer", []), mn.spawn("producer", [])]
+        finish_main(mn, tids)
+        return pb.build()
+
+    return build
+
+
+def _deep_chain(name: str):
+    """Condition helper calls a second helper that does the load —
+    beyond the default inlining depth of 1."""
+
+    def build():
+        pb = new_program(name)
+        pb.global_("FLAG", 1)
+        pb.global_("DATA", 1)
+
+        inner = pb.function("check_inner", params=("flag",))
+        v = inner.load("flag")
+        r = inner.eq(v, 1)
+        inner.ret(r)
+
+        outer = pb.function("check_outer", params=("flag",))
+        r = outer.call("check_inner", ["flag"], want_result=True)
+        outer.ret(r)
+
+        prod = pb.function("producer")
+        prod.store_global("DATA", 17)
+        prod.store_global("FLAG", 1)
+        prod.ret()
+
+        cons = pb.function("consumer")
+        f = cons.addr("FLAG")
+        cons.jmp("head")
+        cons.label("head")
+        r = cons.call("check_outer", [f], want_result=True)
+        cons.br(r, "after", "body")
+        cons.label("body")
+        cons.yield_()
+        cons.jmp("head")
+        cons.label("after")
+        d = cons.load_global("DATA")
+        cons.ret(d)
+
+        mn = pb.function("main")
+        tids = [mn.spawn("consumer", []), mn.spawn("producer", [])]
+        finish_main(mn, tids)
+        return pb.build()
+
+    return build
+
+
+def _counted_timeout(name: str):
+    """Condition mixes the flag with a loop-carried attempt counter, so
+    the condition's value changes inside the loop — rejected by the
+    paper's criteria.  (The program still synchronizes correctly: the
+    attempt bound is astronomically larger than any schedule we run.)"""
+
+    def build():
+        pb = new_program(name)
+        pb.global_("FLAG", 1)
+        pb.global_("DATA", 1)
+
+        prod = pb.function("producer")
+        prod.store_global("DATA", 71)
+        prod.store_global("FLAG", 1)
+        prod.ret()
+
+        cons = pb.function("consumer")
+        f = cons.addr("FLAG")
+        attempts = cons.reg("attempts")
+        cons.emit(Const(attempts, 0))
+        cons.jmp("head")
+        cons.label("head")
+        v = cons.load(f)
+        got = cons.ne(v, 0)
+        timeout = cons.gt(attempts, 1_000_000_000)
+        stop = cons.or_(got, timeout)
+        cons.br(stop, "after", "body")
+        cons.label("body")
+        cons.emit(Mov(attempts, cons.add(attempts, 1)))
+        cons.yield_()
+        cons.jmp("head")
+        cons.label("after")
+        d = cons.load_global("DATA")
+        cons.ret(d)
+
+        mn = pb.function("main")
+        tids = [mn.spawn("consumer", []), mn.spawn("producer", [])]
+        finish_main(mn, tids)
+        return pb.build()
+
+    return build
+
+
+def cases() -> List[Workload]:
+    return [
+        Workload(
+            name="hard_funcptr",
+            build=_funcptr_case("hard_funcptr", 1),
+            threads=2,
+            category="hard",
+            description="spin condition behind a function pointer",
+        ),
+        Workload(
+            name="hard_funcptr_multi",
+            build=_funcptr_case("hard_funcptr_multi", 2),
+            threads=3,
+            category="hard",
+            description="two consumers spin through a function pointer",
+        ),
+        Workload(
+            name="hard_oversized_eff9",
+            build=_oversized("hard_oversized_eff9", 7),
+            threads=2,
+            category="hard",
+            description="effective window 9 basic blocks (beyond spin(8))",
+        ),
+        Workload(
+            name="hard_oversized_eff10",
+            build=_oversized("hard_oversized_eff10", 8),
+            threads=2,
+            category="hard",
+            description="effective window 10 basic blocks",
+        ),
+        Workload(
+            name="hard_impure_poll",
+            build=_impure_poll("hard_impure_poll"),
+            threads=2,
+            category="hard",
+            description="wait loop stores a progress counter (impure body)",
+        ),
+        Workload(
+            name="hard_obscure_queue",
+            build=_obscure_queue("hard_obscure_queue"),
+            threads=2,
+            category="hard",
+            description="obscure task queue writing bookkeeping while polling",
+        ),
+        Workload(
+            name="hard_deep_chain",
+            build=_deep_chain("hard_deep_chain"),
+            threads=2,
+            category="hard",
+            description="condition load nested two calls deep",
+        ),
+        Workload(
+            name="hard_counted_timeout",
+            build=_counted_timeout("hard_counted_timeout"),
+            threads=2,
+            category="hard",
+            description="condition mixes the flag with a loop-carried counter",
+        ),
+    ]

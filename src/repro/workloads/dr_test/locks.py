@@ -1,0 +1,303 @@
+"""Race-free lock-based cases: mutexes, spinlocks, multiple and nested locks."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.harness.workload import Workload
+from repro.runtime import MUTEX_SIZE, SPINLOCK_SIZE
+from repro.workloads.common import counted_loop, finish_main, new_program
+
+
+def _mutex_counter(threads: int, iters: int = 6):
+    def build():
+        pb = new_program(f"mutex_counter_{threads}")
+        pb.global_("COUNTER", 1)
+        pb.global_("M", MUTEX_SIZE)
+        w = pb.function("worker")
+
+        def body(fb, i):
+            m = fb.addr("M")
+            fb.call("mutex_lock", [m])
+            a = fb.addr("COUNTER")
+            fb.store(a, fb.add(fb.load(a), 1))
+            fb.call("mutex_unlock", [m])
+
+        counted_loop(w, iters, body)
+        w.ret()
+        mn = pb.function("main")
+        tids = [mn.spawn("worker", []) for _ in range(threads)]
+        finish_main(mn, tids)
+        return pb.build()
+
+    return build
+
+
+def _spinlock_counter(threads: int, iters: int = 6):
+    def build():
+        pb = new_program(f"spinlock_counter_{threads}")
+        pb.global_("COUNTER", 1)
+        pb.global_("L", SPINLOCK_SIZE)
+        w = pb.function("worker")
+
+        def body(fb, i):
+            l = fb.addr("L")
+            fb.call("spinlock_acquire", [l])
+            a = fb.addr("COUNTER")
+            fb.store(a, fb.add(fb.load(a), 1))
+            fb.call("spinlock_release", [l])
+
+        counted_loop(w, iters, body)
+        w.ret()
+        mn = pb.function("main")
+        tids = [mn.spawn("worker", []) for _ in range(threads)]
+        finish_main(mn, tids)
+        return pb.build()
+
+    return build
+
+
+def _two_locks_two_vars(threads: int, iters: int = 5):
+    """Each variable consistently guarded by its own lock."""
+
+    def build():
+        pb = new_program(f"two_locks_{threads}")
+        pb.global_("X", 1)
+        pb.global_("Y", 1)
+        pb.global_("MX", MUTEX_SIZE)
+        pb.global_("MY", MUTEX_SIZE)
+        w = pb.function("worker", params=("which",))
+
+        def body(fb, i):
+            mx = fb.addr("MX")
+            my = fb.addr("MY")
+            use_x = fb.eq("which", 0)
+            tx = fb.fresh_label("takex")
+            ty = fb.fresh_label("takey")
+            done = fb.fresh_label("took")
+            fb.br(use_x, tx, ty)
+            fb.label(tx)
+            fb.call("mutex_lock", [mx])
+            a = fb.addr("X")
+            fb.store(a, fb.add(fb.load(a), 1))
+            fb.call("mutex_unlock", [mx])
+            fb.jmp(done)
+            fb.label(ty)
+            fb.call("mutex_lock", [my])
+            a = fb.addr("Y")
+            fb.store(a, fb.add(fb.load(a), 1))
+            fb.call("mutex_unlock", [my])
+            fb.jmp(done)
+            fb.label(done)
+
+        counted_loop(w, iters, body)
+        w.ret()
+        mn = pb.function("main")
+        tids = [
+            mn.spawn("worker", [mn.const(i % 2)]) for i in range(threads)
+        ]
+        finish_main(mn, tids)
+        return pb.build()
+
+    return build
+
+
+def _nested_locks(threads: int, iters: int = 4):
+    """Consistent nesting order MA -> MB protecting one variable."""
+
+    def build():
+        pb = new_program(f"nested_locks_{threads}")
+        pb.global_("V", 1)
+        pb.global_("MA", MUTEX_SIZE)
+        pb.global_("MB", MUTEX_SIZE)
+        w = pb.function("worker")
+
+        def body(fb, i):
+            ma = fb.addr("MA")
+            mb = fb.addr("MB")
+            fb.call("mutex_lock", [ma])
+            fb.call("mutex_lock", [mb])
+            a = fb.addr("V")
+            fb.store(a, fb.add(fb.load(a), 1))
+            fb.call("mutex_unlock", [mb])
+            fb.call("mutex_unlock", [ma])
+
+        counted_loop(w, iters, body)
+        w.ret()
+        mn = pb.function("main")
+        tids = [mn.spawn("worker", []) for _ in range(threads)]
+        finish_main(mn, tids)
+        return pb.build()
+
+    return build
+
+
+def _lock_array(threads: int, slots: int = 8, iters: int = 6):
+    """Striped locking: slot i guarded by lock i % 2."""
+
+    def build():
+        pb = new_program(f"lock_array_{threads}")
+        pb.global_("ARR", slots)
+        pb.global_("M0", MUTEX_SIZE)
+        pb.global_("M1", MUTEX_SIZE)
+        w = pb.function("worker", params=("start",))
+
+        def body(fb, i):
+            idx = fb.mod(fb.add("start", i), slots)
+            stripe = fb.mod(idx, 2)
+            m0 = fb.addr("M0")
+            m1 = fb.addr("M1")
+            use0 = fb.eq(stripe, 0)
+            t0 = fb.fresh_label("s0")
+            t1 = fb.fresh_label("s1")
+            done = fb.fresh_label("sdone")
+            fb.br(use0, t0, t1)
+            for lbl, m in ((t0, m0), (t1, m1)):
+                fb.label(lbl)
+                fb.call("mutex_lock", [m])
+                a = fb.add(fb.addr("ARR"), idx)
+                fb.store(a, fb.add(fb.load(a), 1))
+                fb.call("mutex_unlock", [m])
+                fb.jmp(done)
+            fb.label(done)
+
+        counted_loop(w, iters, body)
+        w.ret()
+        mn = pb.function("main")
+        tids = [mn.spawn("worker", [mn.const(i * 3)]) for i in range(threads)]
+        finish_main(mn, tids)
+        return pb.build()
+
+    return build
+
+
+def _trylock_style(threads: int, iters: int = 5):
+    """Spinlock with contention on a shared accumulator and local work."""
+
+    def build():
+        pb = new_program(f"trylock_style_{threads}")
+        pb.global_("ACC", 1)
+        pb.global_("L", SPINLOCK_SIZE)
+        w = pb.function("worker", params=("k",))
+
+        def body(fb, i):
+            local = fb.mul(fb.add(i, "k"), 3)
+            l = fb.addr("L")
+            fb.call("spinlock_acquire", [l])
+            a = fb.addr("ACC")
+            fb.store(a, fb.add(fb.load(a), local))
+            fb.call("spinlock_release", [l])
+
+        counted_loop(w, iters, body)
+        w.ret()
+        mn = pb.function("main")
+        tids = [mn.spawn("worker", [mn.const(i + 1)]) for i in range(threads)]
+        finish_main(mn, tids)
+        return pb.build()
+
+    return build
+
+
+def _taslock_counter(threads: int, iters: int = 5):
+    """Counter under the CAS-retry TAS lock.
+
+    Race-free, and the ``lib`` configurations know the annotation — but
+    the universal (nolib) detector cannot recover a CAS-retry loop, so
+    this is the paper's "only one false positive more" case.
+    """
+
+    def build():
+        pb = new_program(f"taslock_counter_{threads}")
+        pb.global_("COUNTER", 1)
+        pb.global_("T", 1)
+        w = pb.function("worker")
+
+        def body(fb, i):
+            t = fb.addr("T")
+            fb.call("taslock_acquire", [t])
+            a = fb.addr("COUNTER")
+            fb.store(a, fb.add(fb.load(a), 1))
+            fb.call("taslock_release", [t])
+
+        counted_loop(w, iters, body)
+        w.ret()
+        mn = pb.function("main")
+        tids = [mn.spawn("worker", []) for _ in range(threads)]
+        finish_main(mn, tids)
+        return pb.build()
+
+    return build
+
+
+def cases() -> List[Workload]:
+    out: List[Workload] = []
+    for threads in (2, 4, 8, 16):
+        out.append(
+            Workload(
+                name=f"locks_mutex_counter_t{threads}",
+                build=_mutex_counter(threads),
+                threads=threads,
+                category="locks",
+                description=f"{threads} threads increment one counter under a mutex",
+            )
+        )
+    for threads in (2, 4, 8):
+        out.append(
+            Workload(
+                name=f"locks_spinlock_counter_t{threads}",
+                build=_spinlock_counter(threads),
+                threads=threads,
+                category="locks",
+                description=f"{threads} threads share a counter under a spinlock",
+            )
+        )
+    for threads in (2, 4, 8):
+        out.append(
+            Workload(
+                name=f"locks_two_locks_t{threads}",
+                build=_two_locks_two_vars(threads),
+                threads=threads,
+                category="locks",
+                description="two variables each guarded by their own mutex",
+            )
+        )
+    for threads in (2, 4):
+        out.append(
+            Workload(
+                name=f"locks_nested_t{threads}",
+                build=_nested_locks(threads),
+                threads=threads,
+                category="locks",
+                description="consistently ordered nested locks",
+            )
+        )
+    for threads in (2, 4, 8):
+        out.append(
+            Workload(
+                name=f"locks_striped_array_t{threads}",
+                build=_lock_array(threads),
+                threads=threads,
+                category="locks",
+                description="array slots under striped locks",
+            )
+        )
+    for threads in (2, 4):
+        out.append(
+            Workload(
+                name=f"locks_contended_spinlock_t{threads}",
+                build=_trylock_style(threads),
+                threads=threads,
+                category="locks",
+                description="contended spinlock around an accumulator",
+            )
+        )
+    out.append(
+        Workload(
+            name="locks_taslock_t2",
+            build=_taslock_counter(2),
+            threads=2,
+            category="locks",
+            description="CAS-retry TAS lock (unrecoverable for nolib)",
+        )
+    )
+    return out

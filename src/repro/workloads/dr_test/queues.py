@@ -1,0 +1,178 @@
+"""Race-free producer/consumer pipelines over the library task queue."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.harness.workload import Workload
+from repro.runtime import MUTEX_SIZE, queue_size
+from repro.workloads.common import counted_loop, finish_main, new_program
+
+
+def _spsc(items: int, capacity: int = 4):
+    def build():
+        pb = new_program(f"queue_spsc_{items}")
+        pb.global_("Q", queue_size(capacity))
+        pb.global_("SINK", 1)
+
+        prod = pb.function("producer")
+
+        def pbody(fb, i):
+            q = fb.addr("Q")
+            fb.call("queue_push", [q, fb.add(i, 1)])
+
+        counted_loop(prod, items, pbody)
+        prod.ret()
+
+        cons = pb.function("consumer")
+
+        def cbody(fb, i):
+            q = fb.addr("Q")
+            item = fb.call("queue_pop", [q], want_result=True)
+            a = fb.addr("SINK")
+            fb.store(a, fb.add(fb.load(a), item))
+
+        counted_loop(cons, items, cbody)
+        cons.ret()
+
+        mn = pb.function("main")
+        q = mn.addr("Q")
+        mn.call("queue_init", [q, mn.const(capacity)])
+        tids = [mn.spawn("producer", []), mn.spawn("consumer", [])]
+        finish_main(mn, tids)
+        return pb.build()
+
+    return build
+
+
+def _mpmc(producers: int, consumers: int, per_producer: int, capacity: int = 4):
+    """The SINK is guarded by a mutex (multiple consumers write it)."""
+
+    def build():
+        pb = new_program(f"queue_mpmc_{producers}x{consumers}")
+        pb.global_("Q", queue_size(capacity))
+        pb.global_("SINK", 1)
+        pb.global_("SM", MUTEX_SIZE)
+
+        prod = pb.function("producer", params=("base",))
+
+        def pbody(fb, i):
+            q = fb.addr("Q")
+            fb.call("queue_push", [q, fb.add("base", i)])
+
+        counted_loop(prod, per_producer, pbody)
+        prod.ret()
+
+        total = producers * per_producer
+        assert total % consumers == 0
+        per_consumer = total // consumers
+
+        cons = pb.function("consumer")
+
+        def cbody(fb, i):
+            q = fb.addr("Q")
+            item = fb.call("queue_pop", [q], want_result=True)
+            sm = fb.addr("SM")
+            fb.call("mutex_lock", [sm])
+            a = fb.addr("SINK")
+            fb.store(a, fb.add(fb.load(a), item))
+            fb.call("mutex_unlock", [sm])
+
+        counted_loop(cons, per_consumer, cbody)
+        cons.ret()
+
+        mn = pb.function("main")
+        q = mn.addr("Q")
+        mn.call("queue_init", [q, mn.const(capacity)])
+        tids = [mn.spawn("producer", [mn.const(100 * (i + 1))]) for i in range(producers)]
+        tids += [mn.spawn("consumer", []) for _ in range(consumers)]
+        finish_main(mn, tids)
+        return pb.build()
+
+    return build
+
+
+def _two_stage_pipeline(items: int, capacity: int = 3):
+    """producer -> Q1 -> transformer -> Q2 -> sink thread."""
+
+    def build():
+        pb = new_program(f"queue_pipeline_{items}")
+        pb.global_("Q1", queue_size(capacity))
+        pb.global_("Q2", queue_size(capacity))
+        pb.global_("OUT", 1)
+
+        prod = pb.function("producer")
+
+        def pbody(fb, i):
+            q = fb.addr("Q1")
+            fb.call("queue_push", [q, fb.add(i, 1)])
+
+        counted_loop(prod, items, pbody)
+        prod.ret()
+
+        trans = pb.function("transformer")
+
+        def tbody(fb, i):
+            q1 = fb.addr("Q1")
+            q2 = fb.addr("Q2")
+            item = fb.call("queue_pop", [q1], want_result=True)
+            fb.call("queue_push", [q2, fb.mul(item, 2)])
+
+        counted_loop(trans, items, tbody)
+        trans.ret()
+
+        sink = pb.function("sink")
+
+        def sbody(fb, i):
+            q2 = fb.addr("Q2")
+            item = fb.call("queue_pop", [q2], want_result=True)
+            a = fb.addr("OUT")
+            fb.store(a, fb.add(fb.load(a), item))
+
+        counted_loop(sink, items, sbody)
+        sink.ret()
+
+        mn = pb.function("main")
+        q1 = mn.addr("Q1")
+        q2 = mn.addr("Q2")
+        mn.call("queue_init", [q1, mn.const(capacity)])
+        mn.call("queue_init", [q2, mn.const(capacity)])
+        tids = [mn.spawn("producer", []), mn.spawn("transformer", []), mn.spawn("sink", [])]
+        finish_main(mn, tids)
+        return pb.build()
+
+    return build
+
+
+def cases() -> List[Workload]:
+    out: List[Workload] = []
+    for items in (6, 12):
+        out.append(
+            Workload(
+                name=f"queue_spsc_i{items}",
+                build=_spsc(items),
+                threads=2,
+                category="queues",
+                description="single producer, single consumer task queue",
+            )
+        )
+    for p, c in ((2, 2), (4, 2)):
+        out.append(
+            Workload(
+                name=f"queue_mpmc_{p}p{c}c",
+                build=_mpmc(p, c, 4),
+                threads=p + c,
+                category="queues",
+                description="multi-producer multi-consumer task queue",
+            )
+        )
+    out.append(
+        Workload(
+            name="queue_pipeline_2stage",
+            build=_two_stage_pipeline(6),
+            threads=3,
+            category="queues",
+            description="two queues chained through a transformer stage",
+        )
+    )
+    return out

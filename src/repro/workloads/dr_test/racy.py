@@ -1,0 +1,850 @@
+"""True-race cases, including schedule-masked races.
+
+Three sensitivity families, chosen to reproduce the *missed races*
+column structure of the paper's Table (slide 24):
+
+* **plain** — unsynchronized conflicting accesses; every tool must
+  report them;
+* **drd_miss** — races that the observed schedule happens to order
+  through *lock* happens-before (e.g. an access before one thread's
+  critical section vs. an access after another's).  The pure-hb DRD
+  baseline treats lock release→acquire as ordering and misses them; the
+  hybrid deliberately ignores lock-hb (locks belong to locksets) and
+  still reports.  This is why DRD misses 20 suite races where Helgrind+
+  misses 8.
+* **both_miss** — races masked by a *conditional* non-lock edge (a
+  semaphore token consumed only on the observed path): both algorithms
+  join the semaphore's clock and miss the race.  Dynamic detectors
+  fundamentally cannot see past this without schedule exploration.
+* **coarse_cv** — one race hidden only by the plain-lib configuration's
+  coarse lost-signal condvar heuristic; enabling spin detection replaces
+  the heuristic with precise dependency edges and *removes this false
+  negative* (slide 24: lib misses 8, lib+spin misses 7).
+
+The masked cases bias the schedule with deterministic nop delays; the
+suite seed is part of each case's identity.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.isa.instructions import Const, Mov
+from repro.harness.workload import Workload
+from repro.runtime import CONDVAR_SIZE, MUTEX_SIZE, SEM_SIZE, SPINLOCK_SIZE
+from repro.workloads.common import (
+    busy_nops,
+    counted_loop,
+    finish_main,
+    new_program,
+    spin_flag_2bb,
+)
+
+
+# ---------------------------------------------------------------------------
+# Plain races — everyone reports
+# ---------------------------------------------------------------------------
+
+
+def _plain_counter(threads: int, iters: int = 8):
+    def build():
+        pb = new_program(f"racy_counter_{threads}")
+        pb.global_("COUNTER", 1)
+        w = pb.function("worker")
+
+        def body(fb, i):
+            a = fb.addr("COUNTER")
+            fb.store(a, fb.add(fb.load(a), 1))
+
+        counted_loop(w, iters, body)
+        w.ret()
+        mn = pb.function("main")
+        tids = [mn.spawn("worker", []) for _ in range(threads)]
+        for t in tids:
+            mn.join(t)
+        # Print the final count: the lost updates make the race visible
+        # to the schedule oracle, not only to the detectors.
+        mn.print_(mn.load_global("COUNTER"))
+        mn.halt()
+        return pb.build()
+
+    return build
+
+
+def _plain_array_overlap():
+    """Two threads write overlapping array halves (off-by-one bug)."""
+
+    def build():
+        pb = new_program("racy_array_overlap")
+        pb.global_("ARR", 8)
+        w = pb.function("worker", params=("start", "end"))
+
+        def body(fb, i):
+            idx = fb.add("start", i)
+            inb = fb.lt(idx, "end")
+            wr = fb.fresh_label("wr")
+            skip = fb.fresh_label("skip")
+            fb.br(inb, wr, skip)
+            fb.label(wr)
+            a = fb.add(fb.addr("ARR"), idx)
+            fb.store(a, fb.add(fb.load(a), 1))
+            fb.jmp(skip)
+            fb.label(skip)
+
+        counted_loop(w, 5, body)
+        w.ret()
+        mn = pb.function("main")
+        # [0,5) and [4,8): slot 4 is written by both.
+        t1 = mn.spawn("worker", [mn.const(0), mn.const(5)])
+        t2 = mn.spawn("worker", [mn.const(4), mn.const(8)])
+        finish_main(mn, [t1, t2])
+        return pb.build()
+
+    return build
+
+
+def _plain_read_write():
+    def build():
+        pb = new_program("racy_read_write")
+        pb.global_("SHARED", 1)
+        wr = pb.function("writer")
+
+        def body(fb, i):
+            fb.store_global("SHARED", fb.add(i, 1))
+
+        counted_loop(wr, 6, body)
+        wr.ret()
+        rd = pb.function("reader")
+        acc = rd.reg("acc")
+        rd.emit(Const(acc, 0))
+
+        def rbody(fb, i):
+            v = fb.load_global("SHARED")
+            fb.emit(Mov(acc, fb.add(acc, v)))
+
+        counted_loop(rd, 6, rbody)
+        rd.ret(acc)
+        mn = pb.function("main")
+        tids = [mn.spawn("writer", []), mn.spawn("reader", [])]
+        finish_main(mn, tids)
+        return pb.build()
+
+    return build
+
+
+def _broken_flag():
+    """Consumer checks the flag ONCE (no loop) and proceeds regardless."""
+
+    def build():
+        pb = new_program("racy_broken_flag")
+        pb.global_("FLAG", 1)
+        pb.global_("DATA", 1)
+
+        prod = pb.function("producer")
+        prod.store_global("DATA", 5)
+        prod.store_global("FLAG", 1)
+        prod.ret()
+
+        cons = pb.function("consumer")
+        f = cons.load_global("FLAG")  # read but not obeyed — broken sync
+        d = cons.addr("DATA")
+        cons.store(d, cons.add(cons.load(d), f))
+        cons.ret()
+
+        mn = pb.function("main")
+        tids = [mn.spawn("consumer", []), mn.spawn("producer", [])]
+        finish_main(mn, tids)
+        return pb.build()
+
+    return build
+
+
+def _adhoc_then_race():
+    """Correct spin handoff, but the producer also writes DATA *after*
+    setting the flag — the spin edge must NOT suppress that race."""
+
+    def build():
+        pb = new_program("racy_adhoc_after")
+        pb.global_("FLAG", 1)
+        pb.global_("EARLY", 1)
+        pb.global_("LATE", 1)
+
+        prod = pb.function("producer")
+        prod.store_global("EARLY", 1)
+        prod.store_global("FLAG", 1)
+        busy_nops(prod, 6)
+        prod.store_global("LATE", 99)  # races with consumer's read
+        prod.ret()
+
+        cons = pb.function("consumer")
+        f = cons.addr("FLAG")
+        spin_flag_2bb(cons, f, expect=1)
+        e = cons.load_global("EARLY")  # properly ordered
+        l = cons.load_global("LATE")  # racy
+        cons.ret(cons.add(e, l))
+
+        mn = pb.function("main")
+        tids = [mn.spawn("consumer", []), mn.spawn("producer", [])]
+        finish_main(mn, tids)
+        return pb.build()
+
+    return build
+
+
+def _racy_adhoc_queue():
+    """Ad-hoc ring buffer that forgot to publish the tail before data."""
+
+    def build():
+        pb = new_program("racy_adhoc_queue")
+        pb.global_("TAIL", 1)
+        pb.global_("RING", 4)
+
+        prod = pb.function("producer")
+        r = prod.addr("RING")
+        t = prod.addr("TAIL")
+        for i in range(4):
+            prod.store(t, i + 1)  # BUG: tail published before the slot
+            prod.store(r, 10 * (i + 1), offset=i)
+        prod.ret()
+
+        cons = pb.function("consumer")
+        t = cons.addr("TAIL")
+        r = cons.addr("RING")
+        acc = cons.reg("acc")
+        cons.emit(Const(acc, 0))
+        for i in range(4):
+            head = cons.fresh_label("spin_head")
+            body = cons.fresh_label("spin_body")
+            after = cons.fresh_label("after")
+            cons.jmp(head)
+            cons.label(head)
+            v = cons.load(t)
+            ready = cons.ge(v, i + 1)
+            cons.br(ready, after, body)
+            cons.label(body)
+            cons.yield_()
+            cons.jmp(head)
+            cons.label(after)
+            cons.emit(Mov(acc, cons.add(acc, cons.load(r, offset=i))))
+        cons.ret(acc)
+
+        mn = pb.function("main")
+        tids = [mn.spawn("consumer", []), mn.spawn("producer", [])]
+        finish_main(mn, tids)
+        return pb.build()
+
+    return build
+
+
+def _racy_partial_barrier():
+    """Three threads, barrier initialized for two: the third writes
+    concurrently with post-barrier reads."""
+
+    def build():
+        from repro.runtime import BARRIER_SIZE
+
+        pb = new_program("racy_partial_barrier")
+        pb.global_("B", BARRIER_SIZE)
+        pb.global_("CELL", 1)
+
+        inb = pb.function("participant", params=("v",))
+        b = inb.addr("B")
+        c = inb.addr("CELL")
+        inb.store(c, "v")
+        inb.call("barrier_wait", [b])
+        r = inb.load(c)
+        inb.ret(r)
+
+        outsider = pb.function("outsider")
+        busy_nops(outsider, 12)
+        c = outsider.addr("CELL")
+        outsider.store(c, 777)  # not synchronized with anyone
+        outsider.ret()
+
+        mn = pb.function("main")
+        bm = mn.addr("B")
+        mn.call("barrier_init", [bm, mn.const(2)])
+        tids = [
+            mn.spawn("participant", [mn.const(1)]),
+            mn.spawn("participant", [mn.const(2)]),
+            mn.spawn("outsider", []),
+        ]
+        finish_main(mn, tids)
+        return pb.build()
+
+    return build
+
+
+# ---------------------------------------------------------------------------
+# drd_miss: lock-order-masked races (hybrid reports, pure-hb misses)
+# ---------------------------------------------------------------------------
+
+
+def _lock_masked(name: str, use_spinlock: bool = False, delay: int = 60):
+    """T1: x++ then an (empty) critical section; T2: delayed critical
+    section then x++.  Real race on X, but in the observed schedule the
+    lock chain T1.unlock -> T2.lock orders the accesses for pure hb.
+
+    The TAS lock is used deliberately: its CAS-retry loop is invisible to
+    the universal detector, so nolib+spin — like the hybrid — still sees
+    the race, while annotation-based pure hb (DRD) misses it.
+    ``use_spinlock`` selects the library spinlock variant instead (whose
+    spin loop nolib *does* recover, turning the case into a miss there
+    too — kept for coverage of that behaviour difference).
+    """
+
+    def build():
+        pb = new_program(name)
+        pb.global_("X", 1)
+        size = SPINLOCK_SIZE if use_spinlock else 1
+        pb.global_("M", size)
+        acq = "spinlock_acquire" if use_spinlock else "taslock_acquire"
+        rel = "spinlock_release" if use_spinlock else "taslock_release"
+
+        t1 = pb.function("early")
+        a = t1.addr("X")
+        t1.store(a, t1.add(t1.load(a), 1))
+        m = t1.addr("M")
+        t1.call(acq, [m])
+        t1.call(rel, [m])
+        t1.ret()
+
+        t2 = pb.function("late")
+        busy_nops(t2, delay)
+        m = t2.addr("M")
+        t2.call(acq, [m])
+        t2.call(rel, [m])
+        a = t2.addr("X")
+        t2.store(a, t2.add(t2.load(a), 1))
+        t2.ret()
+
+        mn = pb.function("main")
+        tids = [mn.spawn("early", []), mn.spawn("late", [])]
+        finish_main(mn, tids)
+        return pb.build()
+
+    return build
+
+
+def _lock_masked_read(name: str, delay: int = 60):
+    """Write-side before a CS, read-side after another CS."""
+
+    def build():
+        pb = new_program(name)
+        pb.global_("X", 1)
+        pb.global_("M", 1)
+
+        t1 = pb.function("early")
+        t1.store_global("X", 41)
+        m = t1.addr("M")
+        t1.call("taslock_acquire", [m])
+        t1.call("taslock_release", [m])
+        t1.ret()
+
+        t2 = pb.function("late")
+        busy_nops(t2, delay)
+        m = t2.addr("M")
+        t2.call("taslock_acquire", [m])
+        t2.call("taslock_release", [m])
+        v = t2.load_global("X")
+        t2.ret(v)
+
+        mn = pb.function("main")
+        tids = [mn.spawn("early", []), mn.spawn("late", [])]
+        finish_main(mn, tids)
+        return pb.build()
+
+    return build
+
+
+def _lock_masked_array(name: str, slots: int = 4, delay: int = 70):
+    def build():
+        pb = new_program(name)
+        pb.global_("ARR", slots)
+        pb.global_("M", 1)
+
+        t1 = pb.function("early")
+        a = t1.addr("ARR")
+        for k in range(slots):
+            t1.store(a, k + 1, offset=k)
+        m = t1.addr("M")
+        t1.call("taslock_acquire", [m])
+        t1.call("taslock_release", [m])
+        t1.ret()
+
+        t2 = pb.function("late")
+        busy_nops(t2, delay)
+        m = t2.addr("M")
+        t2.call("taslock_acquire", [m])
+        t2.call("taslock_release", [m])
+        a = t2.addr("ARR")
+        s = t2.reg("s")
+        t2.emit(Const(s, 0))
+        for k in range(slots):
+            t2.emit(Mov(s, t2.add(s, t2.load(a, offset=k))))
+        t2.ret(s)
+
+        mn = pb.function("main")
+        tids = [mn.spawn("early", []), mn.spawn("late", [])]
+        finish_main(mn, tids)
+        return pb.build()
+
+    return build
+
+
+def _lock_masked_multi(name: str, threads: int = 4, delay_step: int = 50):
+    """A chain of threads, each racing with the next, masked by one lock."""
+
+    def build():
+        pb = new_program(name)
+        pb.global_("X", 1)
+        pb.global_("M", 1)
+
+        w = pb.function("worker", params=("delay",))
+
+        def dbody(fb, i):
+            fb.nop(1)
+
+        counted_loop(w, 1, dbody)  # placeholder loop to vary shape
+        # Deterministic delay proportional to the thread's index.
+        dn = w.fresh_label("delay_head")
+        dd = w.fresh_label("delay_done")
+        i = w.reg("d")
+        w.emit(Const(i, 0))
+        w.jmp(dn)
+        w.label(dn)
+        w.emit(Mov(i, w.add(i, 1)))
+        c = w.lt(i, "delay")
+        w.br(c, dn, dd)
+        w.label(dd)
+        a = w.addr("X")
+        w.store(a, w.add(w.load(a), 1))
+        m = w.addr("M")
+        w.call("taslock_acquire", [m])
+        w.call("taslock_release", [m])
+        w.ret()
+
+        mn = pb.function("main")
+        tids = [
+            mn.spawn("worker", [mn.const(1 + i * delay_step)]) for i in range(threads)
+        ]
+        finish_main(mn, tids)
+        return pb.build()
+
+    return build
+
+
+def _lock_masked_nested(name: str, delay: int = 60):
+    def build():
+        pb = new_program(name)
+        pb.global_("X", 1)
+        pb.global_("MA", 1)
+        pb.global_("MB", 1)
+
+        t1 = pb.function("early")
+        t1.store_global("X", 3)
+        ma = t1.addr("MA")
+        mb = t1.addr("MB")
+        t1.call("taslock_acquire", [ma])
+        t1.call("taslock_acquire", [mb])
+        t1.call("taslock_release", [mb])
+        t1.call("taslock_release", [ma])
+        t1.ret()
+
+        t2 = pb.function("late")
+        busy_nops(t2, delay)
+        ma = t2.addr("MA")
+        mb = t2.addr("MB")
+        t2.call("taslock_acquire", [ma])
+        t2.call("taslock_acquire", [mb])
+        t2.call("taslock_release", [mb])
+        t2.call("taslock_release", [ma])
+        v = t2.load_global("X")
+        t2.store_global("X", t2.add(v, 1))
+        t2.ret()
+
+        mn = pb.function("main")
+        tids = [mn.spawn("early", []), mn.spawn("late", [])]
+        finish_main(mn, tids)
+        return pb.build()
+
+    return build
+
+
+def _cv_skip_masked(name: str, delay: int = 120):
+    """T2 arrives after the broadcast, sees the predicate already true,
+    skips the wait — ordered only by the mutex chain (DRD misses, the
+    hybrid reports because the cv edge was never taken)."""
+
+    def build():
+        pb = new_program(name)
+        pb.global_("X", 1)
+        pb.global_("READY", 1)
+        pb.global_("M", MUTEX_SIZE)
+        pb.global_("CV", CONDVAR_SIZE)
+
+        t1 = pb.function("early")
+        a = t1.addr("X")
+        t1.store(a, 9)
+        m = t1.addr("M")
+        cv = t1.addr("CV")
+        t1.call("mutex_lock", [m])
+        t1.store_global("READY", 1)
+        t1.call("cv_broadcast", [cv])
+        t1.call("mutex_unlock", [m])
+        t1.ret()
+
+        t2 = pb.function("late")
+        busy_nops(t2, delay)
+        m = t2.addr("M")
+        cv = t2.addr("CV")
+        t2.call("mutex_lock", [m])
+        t2.jmp("check")
+        t2.label("check")
+        r = t2.load_global("READY")
+        ok = t2.ne(r, 0)
+        t2.br(ok, "go", "wait")
+        t2.label("wait")
+        t2.call("cv_wait", [cv, m])
+        t2.jmp("check")
+        t2.label("go")
+        t2.call("mutex_unlock", [m])
+        a = t2.addr("X")
+        t2.store(a, t2.add(t2.load(a), 1))
+        t2.ret()
+
+        mn = pb.function("main")
+        tids = [mn.spawn("early", []), mn.spawn("late", [])]
+        finish_main(mn, tids)
+        return pb.build()
+
+    return build
+
+
+def _queue_nowait_masked(name: str, delay: int = 160):
+    """T2 pops after the item is already queued: the pop never waits on
+    the condvar, so only the queue mutex orders producer and consumer."""
+
+    def build():
+        from repro.runtime import queue_size
+
+        pb = new_program(name)
+        pb.global_("Q", queue_size(2))
+        pb.global_("X", 1)
+
+        t1 = pb.function("producer")
+        t1.store_global("X", 5)
+        q = t1.addr("Q")
+        t1.call("queue_push", [q, t1.const(1)])
+        t1.ret()
+
+        t2 = pb.function("consumer")
+        busy_nops(t2, delay)
+        q = t2.addr("Q")
+        t2.call("queue_pop", [q], want_result=True)
+        v = t2.load_global("X")
+        t2.ret(v)
+
+        mn = pb.function("main")
+        q = mn.addr("Q")
+        mn.call("queue_init", [q, mn.const(2)])
+        tids = [mn.spawn("producer", []), mn.spawn("consumer", [])]
+        finish_main(mn, tids)
+        return pb.build()
+
+    return build
+
+
+# ---------------------------------------------------------------------------
+# both_miss: semaphore-token-masked races (all dynamic tools miss)
+# ---------------------------------------------------------------------------
+
+
+def _sem_masked(name: str, racers: int = 1, payload_words: int = 1, delay: int = 80):
+    payload_words = max(payload_words, racers)
+    """T1: x++; atomically set FLAG; post.  T2 (delayed): atomically read
+    FLAG; if set, consume a token before x++ — on the observed path the
+    semaphore edge orders the accesses and *every* tool misses the race.
+
+    The flag is only ever touched atomically (a CAS read), so it does not
+    itself race.
+    """
+
+    def build():
+        pb = new_program(name)
+        pb.global_("X", payload_words)
+        pb.global_("FLAG", 1)
+        pb.global_("S", SEM_SIZE)
+
+        t1 = pb.function("early")
+        a = t1.addr("X")
+        for k in range(payload_words):
+            t1.store(a, 21 + k, offset=k)
+        f = t1.addr("FLAG")
+        t1.atomic_xchg(f, 1)
+        s = t1.addr("S")
+        t1.call("sem_post", [s])
+        t1.ret()
+
+        t2 = pb.function("late", params=("idx",))
+        busy_nops(t2, delay)
+        f = t2.addr("FLAG")
+        sentinel = t2.const(-1)
+        seen = t2.atomic_cas(f, sentinel, sentinel)  # atomic read
+        taken = t2.ne(seen, 0)
+        t2.br(taken, "slow", "fast")
+        t2.label("slow")
+        s = t2.addr("S")
+        t2.call("sem_wait", [s])
+        t2.call("sem_post", [s])  # put the token back for other racers
+        t2.jmp("touch")
+        t2.label("fast")
+        t2.jmp("touch")
+        t2.label("touch")
+        slot = t2.add(t2.addr("X"), "idx")
+        t2.store(slot, t2.add(t2.load(slot), 1))
+        t2.ret()
+
+        mn = pb.function("main")
+        tids = [mn.spawn("early", [])]
+        tids += [mn.spawn("late", [mn.const(i)]) for i in range(racers)]
+        finish_main(mn, tids)
+        return pb.build()
+
+    return build
+
+
+def _sem_as_mutex_masked(name: str, delay: int = 80):
+    """x++ outside semaphore-guarded sections; the observed wait/post
+    chain orders them for every hb-based tool (sem edges are non-lock
+    hb even in the hybrid)."""
+
+    def build():
+        pb = new_program(name)
+        pb.global_("X", 1)
+        pb.global_("S", SEM_SIZE, init=(1,))
+
+        t1 = pb.function("early")
+        a = t1.addr("X")
+        t1.store(a, t1.add(t1.load(a), 1))
+        s = t1.addr("S")
+        t1.call("sem_wait", [s])
+        t1.call("sem_post", [s])
+        t1.ret()
+
+        t2 = pb.function("late")
+        busy_nops(t2, delay)
+        s = t2.addr("S")
+        t2.call("sem_wait", [s])
+        t2.call("sem_post", [s])
+        a = t2.addr("X")
+        t2.store(a, t2.add(t2.load(a), 1))
+        t2.ret()
+
+        mn = pb.function("main")
+        tids = [mn.spawn("early", []), mn.spawn("late", [])]
+        finish_main(mn, tids)
+        return pb.build()
+
+    return build
+
+
+def _sem_trywait_masked(name: str, delay: int = 90):
+    """The consumer 'trywaits': reads the count atomically and only
+    waits when a token is visible — which it is, on the observed path."""
+
+    def build():
+        pb = new_program(name)
+        pb.global_("X", 1)
+        pb.global_("S", SEM_SIZE)
+
+        t1 = pb.function("early")
+        t1.store_global("X", 50)
+        s = t1.addr("S")
+        t1.call("sem_post", [s])
+        t1.ret()
+
+        t2 = pb.function("late")
+        busy_nops(t2, delay)
+        s = t2.addr("S")
+        sentinel = t2.const(-1)
+        c = t2.atomic_cas(s, sentinel, sentinel)  # atomic peek
+        avail = t2.gt(c, 0)
+        t2.br(avail, "wait", "skip")
+        t2.label("wait")
+        t2.call("sem_wait", [s])
+        t2.jmp("touch")
+        t2.label("skip")
+        t2.jmp("touch")
+        t2.label("touch")
+        v = t2.load_global("X")
+        t2.store_global("X", t2.add(v, 1))
+        t2.ret()
+
+        mn = pb.function("main")
+        tids = [mn.spawn("early", []), mn.spawn("late", [])]
+        finish_main(mn, tids)
+        return pb.build()
+
+    return build
+
+
+# ---------------------------------------------------------------------------
+# coarse_cv: the false negative that spin detection removes
+# ---------------------------------------------------------------------------
+
+
+def _coarse_cv_fn(name: str):
+    """T1 signals condvar A (nobody waits on it) after x++; T2 waits on
+    condvar B (signalled by T3) and then touches x.  The plain ``lib``
+    configuration's coarse lost-signal heuristic joins T2's wait with
+    *all* prior signals — including T1's unrelated one — and hides the
+    race; precise handling (DRD, and the spin configurations) reports it.
+    """
+
+    def build():
+        pb = new_program(name)
+        pb.global_("X", 1)
+        pb.global_("GO", 1)
+        pb.global_("MA", MUTEX_SIZE)
+        pb.global_("MB", MUTEX_SIZE)
+        pb.global_("CVA", CONDVAR_SIZE)
+        pb.global_("CVB", CONDVAR_SIZE)
+
+        t1 = pb.function("signaler_a")
+        a = t1.addr("X")
+        t1.store(a, 13)
+        ma = t1.addr("MA")
+        cva = t1.addr("CVA")
+        t1.call("mutex_lock", [ma])
+        t1.call("cv_signal", [cva])
+        t1.call("mutex_unlock", [ma])
+        t1.ret()
+
+        t3 = pb.function("signaler_b")
+        busy_nops(t3, 50)
+        mb = t3.addr("MB")
+        cvb = t3.addr("CVB")
+        t3.call("mutex_lock", [mb])
+        t3.store_global("GO", 1)
+        t3.call("cv_broadcast", [cvb])
+        t3.call("mutex_unlock", [mb])
+        t3.ret()
+
+        t2 = pb.function("waiter")
+        mb = t2.addr("MB")
+        cvb = t2.addr("CVB")
+        t2.call("mutex_lock", [mb])
+        t2.jmp("check")
+        t2.label("check")
+        g = t2.load_global("GO")
+        ok = t2.ne(g, 0)
+        t2.br(ok, "go", "wait")
+        t2.label("wait")
+        t2.call("cv_wait", [cvb, mb])
+        t2.jmp("check")
+        t2.label("go")
+        t2.call("mutex_unlock", [mb])
+        a = t2.addr("X")
+        t2.store(a, t2.add(t2.load(a), 1))
+        t2.ret()
+
+        mn = pb.function("main")
+        tids = [
+            mn.spawn("waiter", []),
+            mn.spawn("signaler_a", []),
+            mn.spawn("signaler_b", []),
+        ]
+        finish_main(mn, tids)
+        return pb.build()
+
+    return build
+
+
+def cases() -> List[Workload]:
+    out: List[Workload] = []
+    plain = [
+        ("racy_counter_t2", _plain_counter(2), 2, frozenset({"COUNTER"}),
+         "unprotected shared counter"),
+        ("racy_counter_t4", _plain_counter(4), 4, frozenset({"COUNTER"}),
+         "four threads on an unprotected counter"),
+        ("racy_array_overlap", _plain_array_overlap(), 2, frozenset({"ARR"}),
+         "overlapping array partitions"),
+        ("racy_read_write", _plain_read_write(), 2, frozenset({"SHARED"}),
+         "unsynchronized writer/reader pair"),
+        ("racy_broken_flag", _broken_flag(), 2, frozenset({"DATA", "FLAG"}),
+         "flag read once instead of a wait loop"),
+        ("racy_adhoc_after", _adhoc_then_race(), 2, frozenset({"LATE"}),
+         "write after the flag — the spin edge must not hide it"),
+        ("racy_adhoc_queue", _racy_adhoc_queue(), 2, frozenset({"RING", "TAIL"}),
+         "tail published before the slot is written"),
+        ("racy_partial_barrier", _racy_partial_barrier(), 3, frozenset({"CELL"}),
+         "outsider writes concurrently with barrier users"),
+    ]
+    for name, build, threads, syms, desc in plain:
+        out.append(
+            Workload(
+                name=name, build=build, racy_symbols=syms, threads=threads,
+                category="racy_plain", description=desc,
+            )
+        )
+
+    drd_miss = [
+        ("racy_lockmask_basic", _lock_masked("racy_lockmask_basic"), 2),
+        ("racy_lockmask_spin", _lock_masked("racy_lockmask_spin", use_spinlock=True), 2),
+        ("racy_lockmask_read", _lock_masked_read("racy_lockmask_read"), 2),
+        ("racy_lockmask_far", _lock_masked("racy_lockmask_far", delay=140), 2),
+        ("racy_lockmask_nested", _lock_masked_nested("racy_lockmask_nested"), 2),
+        ("racy_lockmask_multi", _lock_masked_multi("racy_lockmask_multi"), 4),
+        ("racy_cv_skip", _cv_skip_masked("racy_cv_skip"), 2),
+        ("racy_queue_nowait", _queue_nowait_masked("racy_queue_nowait"), 2),
+    ]
+    for name, build, threads in drd_miss:
+        syms = frozenset({"X"}) if "array" not in name else frozenset({"ARR"})
+        out.append(
+            Workload(
+                name=name, build=build, racy_symbols=syms, threads=threads,
+                category="racy_drd_miss",
+                description="race ordered only by lock hb in the observed run",
+            )
+        )
+    out.append(
+        Workload(
+            name="racy_lockmask_array",
+            build=_lock_masked_array("racy_lockmask_array"),
+            racy_symbols=frozenset({"ARR"}),
+            threads=2,
+            category="racy_drd_miss",
+            description="array race masked by a lock chain",
+        )
+    )
+
+    both_miss = [
+        ("racy_semmask_basic", _sem_masked("racy_semmask_basic"), 2),
+        ("racy_semmask_two", _sem_masked("racy_semmask_two", racers=2, delay=100), 3),
+        ("racy_semmask_wide", _sem_masked("racy_semmask_wide", payload_words=3), 2),
+        ("racy_semmask_far", _sem_masked("racy_semmask_far", delay=180), 2),
+        ("racy_semmutex_mask", _sem_as_mutex_masked("racy_semmutex_mask"), 2),
+        ("racy_semtry_mask", _sem_trywait_masked("racy_semtry_mask"), 2),
+        ("racy_semmask_deep", _sem_masked("racy_semmask_deep", delay=240), 2),
+    ]
+    for name, build, threads in both_miss:
+        out.append(
+            Workload(
+                name=name, build=build, racy_symbols=frozenset({"X"}),
+                threads=threads, category="racy_both_miss",
+                description="race masked by a conditionally-consumed sem token",
+            )
+        )
+
+    out.append(
+        Workload(
+            name="racy_coarse_cv_fn",
+            build=_coarse_cv_fn("racy_coarse_cv_fn"),
+            racy_symbols=frozenset({"X"}),
+            threads=3,
+            category="racy_coarse_cv",
+            description="race hidden only by the coarse condvar heuristic",
+        )
+    )
+    return out

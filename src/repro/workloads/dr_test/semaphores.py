@@ -1,0 +1,140 @@
+"""Race-free counting-semaphore protocols."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.harness.workload import Workload
+from repro.runtime import SEM_SIZE
+from repro.workloads.common import counted_loop, finish_main, new_program
+
+
+def _sem_as_mutex(threads: int, iters: int = 5):
+    """Binary semaphore protecting a counter."""
+
+    def build():
+        pb = new_program(f"sem_mutex_{threads}")
+        pb.global_("COUNTER", 1)
+        pb.global_("S", SEM_SIZE, init=(1,))
+        w = pb.function("worker")
+
+        def body(fb, i):
+            s = fb.addr("S")
+            fb.call("sem_wait", [s])
+            a = fb.addr("COUNTER")
+            fb.store(a, fb.add(fb.load(a), 1))
+            fb.call("sem_post", [s])
+
+        counted_loop(w, iters, body)
+        w.ret()
+        mn = pb.function("main")
+        tids = [mn.spawn("worker", []) for _ in range(threads)]
+        finish_main(mn, tids)
+        return pb.build()
+
+    return build
+
+
+def _sem_handoff(threads: int):
+    """Producer posts once per consumer after publishing its slot."""
+
+    def build():
+        pb = new_program(f"sem_handoff_{threads}")
+        pb.global_("SLOTS", threads)
+        pb.global_("S", SEM_SIZE, init=(0,))
+
+        prod = pb.function("producer")
+        base = prod.addr("SLOTS")
+        s = prod.addr("S")
+        for k in range(threads):
+            prod.store(base, 50 + k, offset=k)
+            prod.call("sem_post", [s])
+        prod.ret()
+
+        cons = pb.function("consumer", params=("idx",))
+        s = cons.addr("S")
+        cons.call("sem_wait", [s])
+        # Slot 0 is written before the first post, and any successful wait
+        # implies at least one post happened-before it — so reading slot 0
+        # is ordered for every consumer (reading slot ``idx`` would not be).
+        base = cons.addr("SLOTS")
+        v = cons.load(base, offset=0)
+        cons.ret(v)
+
+        mn = pb.function("main")
+        tids = [mn.spawn("consumer", [mn.const(i)]) for i in range(threads)]
+        tids.append(mn.spawn("producer", []))
+        finish_main(mn, tids)
+        return pb.build()
+
+    return build
+
+
+def _sem_rendezvous():
+    """Two threads each post for the other, then proceed (barrier of 2)."""
+
+    def build():
+        pb = new_program("sem_rendezvous")
+        pb.global_("A", 1)
+        pb.global_("B", 1)
+        pb.global_("SA", SEM_SIZE, init=(0,))
+        pb.global_("SB", SEM_SIZE, init=(0,))
+
+        t1 = pb.function("first")
+        t1.store_global("A", 7)
+        sa = t1.addr("SA")
+        sb = t1.addr("SB")
+        t1.call("sem_post", [sa])
+        t1.call("sem_wait", [sb])
+        v = t1.load_global("B")
+        t1.ret(v)
+
+        t2 = pb.function("second")
+        t2.store_global("B", 9)
+        sa = t2.addr("SA")
+        sb = t2.addr("SB")
+        t2.call("sem_post", [sb])
+        t2.call("sem_wait", [sa])
+        v = t2.load_global("A")
+        t2.ret(v)
+
+        mn = pb.function("main")
+        tids = [mn.spawn("first", []), mn.spawn("second", [])]
+        finish_main(mn, tids)
+        return pb.build()
+
+    return build
+
+
+def cases() -> List[Workload]:
+    out: List[Workload] = []
+    for threads in (2, 4):
+        out.append(
+            Workload(
+                name=f"sem_mutex_t{threads}",
+                build=_sem_as_mutex(threads),
+                threads=threads,
+                category="semaphores",
+                description="binary semaphore used as a mutex",
+            )
+        )
+    for threads in (2, 4):
+        out.append(
+            Workload(
+                name=f"sem_handoff_t{threads}",
+                build=_sem_handoff(threads),
+                threads=threads + 1,
+                category="semaphores",
+                description="producer posts tokens after publishing slots",
+            )
+        )
+    out.append(
+        Workload(
+            name="sem_rendezvous",
+            build=_sem_rendezvous(),
+            threads=2,
+            category="semaphores",
+            description="two-thread rendezvous via two semaphores",
+        )
+    )
+    return out

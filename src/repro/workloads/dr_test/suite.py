@@ -1,0 +1,199 @@
+"""Assemble the 120-case suite (the paper's data-race-test stand-in).
+
+The base generator families provide the structural variety; this module
+adds parameterized thread-count/size variants to reach exactly 120 cases
+(the paper: "120 different test cases (2-16 Threads)").
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.harness.workload import Workload
+from repro.workloads.dr_test import (
+    adhoc,
+    barriers,
+    condvars,
+    hard,
+    locks,
+    queues,
+    racy,
+    semaphores,
+)
+
+SUITE_SIZE = 120
+
+
+def _extras() -> List[Workload]:
+    """Parameterized variants extending the base families."""
+    out: List[Workload] = []
+    for threads in (3, 6, 12):
+        out.append(
+            Workload(
+                name=f"locks_mutex_counter_t{threads}",
+                build=locks._mutex_counter(threads),
+                threads=threads,
+                category="locks",
+                description=f"{threads} threads increment one counter under a mutex",
+            )
+        )
+    for consumers in (2, 5):
+        out.append(
+            Workload(
+                name=f"cv_handoff_c{consumers}",
+                build=condvars._signal_wait_handoff(consumers),
+                threads=consumers + 1,
+                category="condvars",
+                description="broadcast handoff with predicate loop",
+            )
+        )
+    out.append(
+        Workload(
+            name="cv_pipeline_s7",
+            build=condvars._staged_pipeline(7),
+            threads=7,
+            category="condvars",
+            description="seven-stage chain gated by a stage counter",
+        )
+    )
+    for threads in (3, 6):
+        out.append(
+            Workload(
+                name=f"barrier_phase_t{threads}",
+                build=barriers._phase_sum(threads),
+                threads=threads,
+                category="barriers",
+                description="write-slot / barrier / read-all phases",
+            )
+        )
+    out.append(
+        Workload(
+            name="barrier_iter_t8_p3",
+            build=barriers._iterated_barrier(8, 3),
+            threads=8,
+            category="barriers",
+            description="8-way double-buffered stencil",
+        )
+    )
+    out.append(
+        Workload(
+            name="sem_mutex_t8",
+            build=semaphores._sem_as_mutex(8),
+            threads=8,
+            category="semaphores",
+            description="binary semaphore as mutex, 8 threads",
+        )
+    )
+    out.append(
+        Workload(
+            name="sem_handoff_t8",
+            build=semaphores._sem_handoff(8),
+            threads=9,
+            category="semaphores",
+            description="producer posts 8 tokens after publishing slots",
+        )
+    )
+    out.append(
+        Workload(
+            name="queue_spsc_i18",
+            build=queues._spsc(18),
+            threads=2,
+            category="queues",
+            description="longer SPSC stream through the task queue",
+        )
+    )
+    out.append(
+        Workload(
+            name="queue_mpmc_2p4c",
+            build=queues._mpmc(2, 4, 6),
+            threads=6,
+            category="queues",
+            description="2 producers, 4 consumers",
+        )
+    )
+    out.append(
+        Workload(
+            name="adhoc_flag_quad",
+            build=adhoc._flag_basic(4, data_words=3),
+            threads=5,
+            category="adhoc",
+            description="one producer, four spinning consumers (2-block loops)",
+        )
+    )
+    out.append(
+        Workload(
+            name="adhoc7_handoff_5w",
+            build=adhoc._helper_handoff("adhoc7_handoff_5w", adhoc._HELPER_EFF7, data_words=5),
+            threads=2,
+            category="adhoc",
+            description="five payload words behind a helper-guarded flag",
+        )
+    )
+    out.append(
+        Workload(
+            name="adhoc7_chain_b",
+            build=adhoc._helper_chain("adhoc7_chain_b", adhoc._HELPER_EFF7),
+            threads=3,
+            category="adhoc",
+            description="second three-stage helper chain instance",
+        )
+    )
+    out.append(
+        Workload(
+            name="racy_counter_t8",
+            build=racy._plain_counter(8),
+            racy_symbols=frozenset({"COUNTER"}),
+            threads=8,
+            category="racy_plain",
+            description="eight threads on an unprotected counter",
+        )
+    )
+    out.append(
+        Workload(
+            name="racy_lockmask_mid",
+            build=racy._lock_masked("racy_lockmask_mid", delay=100),
+            racy_symbols=frozenset({"X"}),
+            threads=2,
+            category="racy_drd_miss",
+            description="lock-masked race, medium delay",
+        )
+    )
+    out.append(
+        Workload(
+            name="racy_lockmask_deep",
+            build=racy._lock_masked("racy_lockmask_deep", delay=200),
+            racy_symbols=frozenset({"X"}),
+            threads=2,
+            category="racy_drd_miss",
+            description="TAS-lock-masked race, large delay",
+        )
+    )
+    out.append(
+        Workload(
+            name="racy_semmask_mid",
+            build=racy._sem_masked("racy_semmask_mid", delay=140),
+            racy_symbols=frozenset({"X"}),
+            threads=2,
+            category="racy_both_miss",
+            description="sem-token masked race, medium delay",
+        )
+    )
+    return out
+
+
+def build_suite() -> List[Workload]:
+    """The full 120-case suite, deterministic order, unique names."""
+    cases: List[Workload] = []
+    cases += locks.cases()
+    cases += condvars.cases()
+    cases += barriers.cases()
+    cases += semaphores.cases()
+    cases += queues.cases()
+    cases += adhoc.cases()
+    cases += hard.cases()
+    cases += racy.cases()
+    cases += _extras()
+    names = [c.name for c in cases]
+    assert len(names) == len(set(names)), "duplicate workload names"
+    assert len(cases) == SUITE_SIZE, f"suite has {len(cases)} cases, want {SUITE_SIZE}"
+    return cases

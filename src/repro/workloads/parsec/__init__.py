@@ -1,0 +1,1 @@
+"""PARSEC 2.0 stand-in workloads (one module per program, see registry)."""

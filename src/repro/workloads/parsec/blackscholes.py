@@ -1,0 +1,58 @@
+"""blackscholes — POSIX, barrier-phased option pricing (race-free).
+
+Paper inventory (slide 26): barriers only; no ad-hoc synchronization.
+Racy contexts: 0 for every tool.
+"""
+
+from __future__ import annotations
+
+from repro.harness.workload import Workload
+from repro.runtime import BARRIER_SIZE
+from repro.workloads.common import finish_main, new_program
+
+THREADS = 4
+SLICE = 8
+
+
+def build():
+    pb = new_program("blackscholes")
+    pb.global_("B", BARRIER_SIZE)
+    pb.global_("PRICES", THREADS * SLICE, init=tuple(range(THREADS * SLICE)))
+    pb.global_("GREEKS", THREADS * SLICE)
+
+    w = pb.function("worker", params=("idx",))
+    start_reg = w.mul("idx", SLICE)
+    b = w.addr("B")
+    # Phase 1: price my slice.
+    base = w.addr("PRICES")
+    for k in range(SLICE):
+        cell = w.add(base, w.add(start_reg, k))
+        v = w.load(cell)
+        w.store(cell, w.mod(w.add(w.mul(v, 5), 11), 7919))
+    w.call("barrier_wait", [b])
+    # Phase 2: greeks from my own (partitioned) slice of prices.
+    g = w.addr("GREEKS")
+    for k in range(SLICE):
+        src = w.add(base, w.add(start_reg, k))
+        dst = w.add(g, w.add(start_reg, k))
+        w.store(dst, w.mul(w.load(src), 2))
+    w.call("barrier_wait", [b])
+    w.ret()
+
+    mn = pb.function("main")
+    b = mn.addr("B")
+    mn.call("barrier_init", [b, mn.const(THREADS)])
+    tids = [mn.spawn("worker", [mn.const(i)]) for i in range(THREADS)]
+    finish_main(mn, tids)
+    return pb.build()
+
+
+WORKLOAD = Workload(
+    name="blackscholes",
+    build=build,
+    threads=THREADS,
+    category="parsec",
+    description="barrier-phased option pricing (race-free)",
+    parallel_model="POSIX",
+    sync_inventory=frozenset({"barriers"}),
+)

@@ -1,0 +1,112 @@
+"""bodytrack — POSIX, particle filter with a function-pointer condition.
+
+Paper inventory: ad-hoc + condition variables + locks.  Three kinds of
+sharing:
+
+* detectable ad-hoc flags guarding pose scalars (spin detection fixes
+  these);
+* a *function-pointer* progress wait guarding a handful of scalars —
+  statically opaque, the residual contexts of the spin configurations
+  (slide 29: "function pointers for condition evaluation");
+* particle weights under the CAS-retry TAS lock — fine for annotated
+  configurations, unrecoverable for the universal detector (the source
+  of bodytrack's high nolib+spin column: 32.4 vs 3.6).
+
+Expected shape: lib ≈ 36.8, lib+spin ≈ 3.6, nolib+spin ≈ 32.4, DRD ≈ 34.6.
+"""
+
+from __future__ import annotations
+
+from repro.harness.workload import Workload
+from repro.runtime import CONDVAR_SIZE, MUTEX_SIZE
+from repro.workloads.common import counted_loop, finish_main, new_program
+from repro.workloads.parsec.common import (
+    adhoc_publish,
+    adhoc_spin,
+    declare_scalars,
+    funcptr_spin,
+    publish_scalars,
+    read_scalars,
+)
+
+WORKERS = 4
+POSES = 33  # detectable ad-hoc scalars: 33 contexts (1 read pass each)
+FP_SCALARS = 4  # function-pointer-guarded scalars: residual contexts
+PARTICLES = 14  # TAS-lock-protected: 2 contexts each for nolib
+
+
+def build():
+    pb = new_program("bodytrack")
+    pb.global_("POSE_FLAG", 1)
+    poses = declare_scalars(pb, "POSE", POSES)
+    pb.global_("FP_FLAG", 1)
+    fps = declare_scalars(pb, "FPDAT", FP_SCALARS)
+    parts = declare_scalars(pb, "PART", PARTICLES)
+    pb.global_("T", 1)  # TAS lock word
+    pb.global_("FRAME_READY", 1)
+    pb.global_("M", MUTEX_SIZE)
+    pb.global_("CV", CONDVAR_SIZE)
+
+    # Pose estimator: publishes pose scalars through a plain flag and the
+    # fp-guarded scalars through an opaque progress check.
+    est = pb.function("estimator")
+    publish_scalars(est, poses, base_value=300)
+    adhoc_publish(est, "POSE_FLAG")
+    publish_scalars(est, fps, base_value=900)
+    adhoc_publish(est, "FP_FLAG")
+    # cv handshake with main (frame completed).
+    m = est.addr("M")
+    cv = est.addr("CV")
+    est.call("mutex_lock", [m])
+    est.store_global("FRAME_READY", 1)
+    est.call("cv_broadcast", [cv])
+    est.call("mutex_unlock", [m])
+    est.ret()
+
+    w = pb.function("worker", params=("idx",))
+    adhoc_spin(w, "POSE_FLAG")
+    s1 = read_scalars(w, poses, passes=1)
+    funcptr_spin(pb, w, "check_fp_flag", "FP_FLAG")
+    s2 = read_scalars(w, fps, passes=1)
+    # Particle weight updates under the TAS lock.
+    t = w.addr("T")
+
+    def weights(fb, i):
+        fb.call("taslock_acquire", [t])
+        for name in parts:
+            a = fb.addr(name)
+            fb.store(a, fb.add(fb.load(a), 1))
+        fb.call("taslock_release", [t])
+
+    counted_loop(w, 2, weights)
+    w.ret(w.add(s1, s2))
+
+    mn = pb.function("main")
+    tids = [mn.spawn("worker", [mn.const(i)]) for i in range(WORKERS)]
+    tids.append(mn.spawn("estimator", []))
+    m = mn.addr("M")
+    cv = mn.addr("CV")
+    mn.call("mutex_lock", [m])
+    mn.jmp("check")
+    mn.label("check")
+    fr = mn.load_global("FRAME_READY")
+    ok = mn.ne(fr, 0)
+    mn.br(ok, "go", "wait")
+    mn.label("wait")
+    mn.call("cv_wait", [cv, m])
+    mn.jmp("check")
+    mn.label("go")
+    mn.call("mutex_unlock", [m])
+    finish_main(mn, tids)
+    return pb.build()
+
+
+WORKLOAD = Workload(
+    name="bodytrack",
+    build=build,
+    threads=WORKERS + 1,
+    category="parsec",
+    description="particle filter with fp-condition wait and TAS-locked weights",
+    parallel_model="POSIX",
+    sync_inventory=frozenset({"adhoc", "cvs", "locks"}),
+)

@@ -1,0 +1,76 @@
+"""canneal — POSIX, lock-ordered element swaps (race-free).
+
+Paper inventory: locks only.  Simulated-annealing style: each worker
+repeatedly picks two netlist slots and swaps them while holding both
+slot locks, acquired in index order to avoid deadlock.
+Racy contexts: 0 for every tool.
+"""
+
+from __future__ import annotations
+
+from repro.harness.workload import Workload
+from repro.runtime import MUTEX_SIZE
+from repro.workloads.common import counted_loop, finish_main, new_program
+
+THREADS = 4
+SLOTS = 4  # one lock per slot
+
+
+def build():
+    pb = new_program("canneal")
+    pb.global_("NETLIST", SLOTS, init=tuple(10 * (i + 1) for i in range(SLOTS)))
+    for s in range(SLOTS):
+        pb.global_(f"SLOT_M{s}", MUTEX_SIZE)
+
+    w = pb.function("worker", params=("seed",))
+
+    def body(fb, i):
+        mix = fb.add(fb.mul(i, 7), "seed")
+        a = fb.mod(mix, SLOTS)
+        b = fb.mod(fb.add(mix, 1), SLOTS)
+        # Order the pair: lo = min(a,b), hi = max(a,b); skip if equal.
+        done = fb.fresh_label("swap_done")
+        # Static dispatch over all ordered pairs keeps lock addresses static.
+        for lo in range(SLOTS):
+            for hi in range(lo + 1, SLOTS):
+                this = fb.fresh_label(f"pair{lo}_{hi}")
+                nxt = fb.fresh_label(f"skip{lo}_{hi}")
+                m1 = fb.and_(fb.eq(a, lo), fb.eq(b, hi))
+                m2 = fb.and_(fb.eq(a, hi), fb.eq(b, lo))
+                hit = fb.or_(m1, m2)
+                fb.br(hit, this, nxt)
+                fb.label(this)
+                ml = fb.addr(f"SLOT_M{lo}")
+                mh = fb.addr(f"SLOT_M{hi}")
+                fb.call("mutex_lock", [ml])
+                fb.call("mutex_lock", [mh])
+                g = fb.addr("NETLIST")
+                va = fb.load(g, offset=lo)
+                vb = fb.load(g, offset=hi)
+                fb.store(g, vb, offset=lo)
+                fb.store(g, va, offset=hi)
+                fb.call("mutex_unlock", [mh])
+                fb.call("mutex_unlock", [ml])
+                fb.jmp(done)
+                fb.label(nxt)
+        fb.jmp(done)
+        fb.label(done)
+
+    counted_loop(w, 5, body)
+    w.ret()
+
+    mn = pb.function("main")
+    tids = [mn.spawn("worker", [mn.const(i + 1)]) for i in range(THREADS)]
+    finish_main(mn, tids)
+    return pb.build()
+
+
+WORKLOAD = Workload(
+    name="canneal",
+    build=build,
+    threads=THREADS,
+    category="parsec",
+    description="lock-ordered netlist swaps (race-free)",
+    parallel_model="POSIX",
+    sync_inventory=frozenset({"locks"}),
+)

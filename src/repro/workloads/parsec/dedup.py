@@ -1,0 +1,118 @@
+"""dedup — POSIX, chunking pipeline where lock-hb and lockset disagree.
+
+Paper inventory: ad-hoc + condition variables + locks, with the famous
+column: lib = 1000, lib+spin = 0, nolib+spin = 2, **DRD = 0**.
+
+The producer writes hash-table slots *outside* any lock, then bumps a
+batch counter *inside* a mutex; consumers spin on the counter (ad-hoc),
+take and release the same mutex, and read the slots:
+
+* pure happens-before (DRD) is clean: slot writes precede the producer's
+  unlock, which precedes the consumer's lock — a lock-hb chain;
+* the hybrid's lockset sees the slots touched with no common lock, and
+  without spin detection it has *no* hb covering them → mass false
+  positives (capped at 1000);
+* with spin detection, the counter spin supplies the missing edges → 0;
+* the universal detector recovers the mutex and the spin, leaving only
+  TAS-locked statistics word → 2.
+"""
+
+from __future__ import annotations
+
+from repro.harness.workload import Workload
+from repro.runtime import CONDVAR_SIZE, MUTEX_SIZE
+from repro.workloads.common import finish_main, new_program
+from repro.workloads.parsec.common import adhoc_spin_ge, declare_scalars
+
+CONSUMERS = 3
+BUCKETS = 8
+BUCKET_WORDS = 130  # 8 x 130 = 1040 distinct (site-pair, symbol) contexts
+
+
+def build():
+    pb = new_program("dedup")
+    for b in range(BUCKETS):
+        pb.global_(f"HASHTBL{b}", BUCKET_WORDS)
+    pb.global_("BATCH", 1)
+    pb.global_("M", MUTEX_SIZE)
+    stats = declare_scalars(pb, "STAT", 1)
+    pb.global_("T", 1)
+    pb.global_("CV", CONDVAR_SIZE)
+    pb.global_("FLUSHED", 1)
+
+    prod = pb.function("producer")
+    # Unrolled slot writes: each offset is its own code site, so every
+    # slot contributes a distinct racy context for the lockset view.
+    for b in range(BUCKETS):
+        base = prod.addr(f"HASHTBL{b}")
+        for k in range(BUCKET_WORDS):
+            prod.store(base, (b * 1000 + k) % 613, offset=k)
+    m = prod.addr("M")
+    prod.call("mutex_lock", [m])
+    prod.store_global("BATCH", 1)
+    prod.call("mutex_unlock", [m])
+    prod.ret()
+
+    cons = pb.function("consumer", params=("idx",))
+    adhoc_spin_ge(cons, "BATCH", 1)
+    m = cons.addr("M")
+    cons.call("mutex_lock", [m])
+    cons.call("mutex_unlock", [m])
+    from repro.isa.instructions import Const, Mov
+
+    s = cons.reg("acc")
+    cons.emit(Const(s, 0))
+    for b in range(BUCKETS):
+        base = cons.addr(f"HASHTBL{b}")
+        for k in range(BUCKET_WORDS):
+            cons.emit(Mov(s, cons.add(s, cons.load(base, offset=k))))
+    # TAS-locked statistics (the two nolib residual contexts).
+    t = cons.addr("T")
+    cons.call("taslock_acquire", [t])
+    for name in stats:
+        a = cons.addr(name)
+        cons.store(a, cons.add(cons.load(a), 1))
+    cons.call("taslock_release", [t])
+    cons.ret(s)
+
+    # A cv-based flush handshake (inventory: dedup uses condvars too).
+    flusher = pb.function("flusher")
+    m = flusher.addr("M")
+    cv = flusher.addr("CV")
+    flusher.call("mutex_lock", [m])
+    flusher.store_global("FLUSHED", 1)
+    flusher.call("cv_broadcast", [cv])
+    flusher.call("mutex_unlock", [m])
+    flusher.ret()
+
+    mn = pb.function("main")
+    tids = [mn.spawn("consumer", [mn.const(i)]) for i in range(CONSUMERS)]
+    tids.append(mn.spawn("producer", []))
+    tids.append(mn.spawn("flusher", []))
+    m = mn.addr("M")
+    cv = mn.addr("CV")
+    mn.call("mutex_lock", [m])
+    mn.jmp("check")
+    mn.label("check")
+    v = mn.load_global("FLUSHED")
+    ok = mn.ne(v, 0)
+    mn.br(ok, "go", "wait")
+    mn.label("wait")
+    mn.call("cv_wait", [cv, m])
+    mn.jmp("check")
+    mn.label("go")
+    mn.call("mutex_unlock", [m])
+    finish_main(mn, tids)
+    return pb.build()
+
+
+WORKLOAD = Workload(
+    name="dedup",
+    build=build,
+    threads=CONSUMERS + 2,
+    category="parsec",
+    description="chunk pipeline: slot writes outside locks, count inside",
+    parallel_model="POSIX",
+    sync_inventory=frozenset({"adhoc", "cvs", "locks"}),
+    max_steps=900_000,
+)

@@ -1,0 +1,99 @@
+"""facesim — POSIX, mesh simulation with detectable ad-hoc handoff.
+
+Paper inventory: ad-hoc + condition variables + locks.  All ad-hoc
+synchronization here matches the spinning-read pattern, so the spin
+configurations eliminate every false positive.
+
+Expected shape: lib ≈ 113.8, lib+spin = 0, nolib+spin = 0, DRD = 1000.
+"""
+
+from __future__ import annotations
+
+from repro.harness.workload import Workload
+from repro.runtime import CONDVAR_SIZE, MUTEX_SIZE
+from repro.workloads.common import counted_loop, finish_main, new_program
+from repro.workloads.parsec.common import (
+    adhoc_publish,
+    adhoc_spin,
+    declare_scalars,
+    publish_scalars,
+    read_scalars,
+)
+
+WORKERS = 4
+NODES = 38  # 38 scalars x 3 read sweeps = 114 contexts for lib
+MESH = 950  # per-address explosion for DRD
+
+
+def build():
+    pb = new_program("facesim")
+    pb.global_("MESH_FLAG", 1)
+    pb.global_("MESH", MESH)
+    nodes = declare_scalars(pb, "NODE", NODES)
+    pb.global_("STEPS_DONE", 1)
+    pb.global_("M", MUTEX_SIZE)
+    pb.global_("CV", CONDVAR_SIZE)
+
+    solver = pb.function("solver")
+    base = solver.addr("MESH")
+
+    def fill(fb, i):
+        fb.store(fb.add(base, i), fb.mod(fb.mul(i, 13), 509))
+
+    counted_loop(solver, MESH, fill)
+    publish_scalars(solver, nodes, base_value=40)
+    adhoc_publish(solver, "MESH_FLAG")
+    solver.ret()
+
+    w = pb.function("worker")
+    adhoc_spin(w, "MESH_FLAG")
+    base = w.addr("MESH")
+    from repro.isa.instructions import Const, Mov
+
+    s = w.reg("acc")
+    w.emit(Const(s, 0))
+
+    def scan(fb, i):
+        fb.emit(Mov(s, fb.add(s, fb.load(fb.add(base, i)))))
+
+    counted_loop(w, MESH, scan)
+    d = read_scalars(w, nodes, passes=3)
+    m = w.addr("M")
+    cv = w.addr("CV")
+    w.call("mutex_lock", [m])
+    sd = w.addr("STEPS_DONE")
+    w.store(sd, w.add(w.load(sd), 1))
+    w.call("cv_broadcast", [cv])
+    w.call("mutex_unlock", [m])
+    w.ret(w.add(s, d))
+
+    mn = pb.function("main")
+    tids = [mn.spawn("worker", []) for _ in range(WORKERS)]
+    tids.append(mn.spawn("solver", []))
+    m = mn.addr("M")
+    cv = mn.addr("CV")
+    mn.call("mutex_lock", [m])
+    mn.jmp("check")
+    mn.label("check")
+    v = mn.load_global("STEPS_DONE")
+    done = mn.ge(v, WORKERS)
+    mn.br(done, "go", "wait")
+    mn.label("wait")
+    mn.call("cv_wait", [cv, m])
+    mn.jmp("check")
+    mn.label("go")
+    mn.call("mutex_unlock", [m])
+    finish_main(mn, tids)
+    return pb.build()
+
+
+WORKLOAD = Workload(
+    name="facesim",
+    build=build,
+    threads=WORKERS + 1,
+    category="parsec",
+    description="face mesh handoff through a detectable spin flag",
+    parallel_model="POSIX",
+    sync_inventory=frozenset({"adhoc", "cvs", "locks"}),
+    max_steps=800_000,
+)

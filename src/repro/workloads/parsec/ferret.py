@@ -1,0 +1,141 @@
+"""ferret — POSIX, similarity-search pipeline with an obscure queue.
+
+Paper inventory: ad-hoc + condition variables + locks.  Mix:
+
+* detectable ad-hoc flags guarding feature scalars and the query vector
+  (spin detection fixes these);
+* an **obscure task queue** whose poll loop writes bookkeeping state —
+  not a spinning *read* loop, so its two handoff scalars stay as residual
+  false positives even with spin detection (slide 29: "obscure
+  implementation of task queue");
+* ranking buckets under the TAS lock — lost on the universal detector.
+
+Expected shape: lib ≈ 111, lib+spin = 2, nolib+spin = 47, DRD ≈ 214.6.
+"""
+
+from __future__ import annotations
+
+from repro.harness.workload import Workload
+from repro.runtime import CONDVAR_SIZE, MUTEX_SIZE
+from repro.workloads.common import counted_loop, finish_main, new_program
+from repro.workloads.parsec.common import (
+    adhoc_publish,
+    adhoc_spin,
+    declare_scalars,
+    publish_scalars,
+    read_scalars,
+)
+
+WORKERS = 4
+FEATURES = 36  # 36 scalars x 3 sweeps = 108 contexts for lib
+QUERY = 105  # one extra loop-accessed array: +1 lib ctx, +105 DRD ctxs
+RANKS = 22  # TAS-locked buckets: ~45 contexts for nolib (2 each + flag)
+
+
+def build():
+    pb = new_program("ferret")
+    pb.global_("FEAT_FLAG", 1)
+    feats = declare_scalars(pb, "FEAT", FEATURES)
+    pb.global_("QUERY", QUERY)
+    # Obscure queue: one slot + sequence number + bookkeeping word.
+    pb.global_("OQ_SEQ", 1)
+    pb.global_("OQ_SLOT", 1)
+    pb.global_("OQ_SEEN", 1)
+    ranks = declare_scalars(pb, "RANK", RANKS)
+    pb.global_("T", 1)
+    pb.global_("M", MUTEX_SIZE)
+    pb.global_("CV", CONDVAR_SIZE)
+    pb.global_("DONE", 1)
+
+    loader = pb.function("loader")
+    base = loader.addr("QUERY")
+
+    def fill(fb, i):
+        fb.store(fb.add(base, i), fb.mod(fb.mul(i, 29), 401))
+
+    counted_loop(loader, QUERY, fill)
+    publish_scalars(loader, feats, base_value=70)
+    adhoc_publish(loader, "FEAT_FLAG")
+    # Push into the obscure queue: slot first, then the sequence bump.
+    loader.store_global("OQ_SLOT", 4242)
+    loader.store_global("OQ_SEQ", 1)
+    loader.ret()
+
+    w = pb.function("worker", params=("idx",))
+    adhoc_spin(w, "FEAT_FLAG")
+    s1 = read_scalars(w, feats, passes=3)
+    base = w.addr("QUERY")
+    from repro.isa.instructions import Const, Mov
+
+    s = w.reg("acc")
+    w.emit(Const(s, 0))
+
+    def scan(fb, i):
+        fb.emit(Mov(s, fb.add(s, fb.load(fb.add(base, i)))))
+
+    counted_loop(w, QUERY, scan)
+    # Rank updates under the TAS lock (lost in nolib mode).
+    t = w.addr("T")
+    w.call("taslock_acquire", [t])
+    for name in ranks:
+        a = w.addr(name)
+        w.store(a, w.add(w.load(a), 1))
+    w.call("taslock_release", [t])
+    w.ret(w.add(s, s1))
+
+    # The obscure consumer: polls OQ_SEQ while *recording* what it saw —
+    # an impure wait loop that defeats the spinning-read criteria.
+    oc = pb.function("obscure_consumer")
+    sq = oc.addr("OQ_SEQ")
+    seen = oc.addr("OQ_SEEN")
+    oc.jmp("head")
+    oc.label("head")
+    v = oc.load(sq)
+    oc.store(seen, v)
+    avail = oc.ne(v, 0)
+    oc.br(avail, "take", "body")
+    oc.label("body")
+    oc.yield_()
+    oc.jmp("head")
+    oc.label("take")
+    item = oc.load_global("OQ_SLOT")
+    # cv completion handshake with main.
+    m = oc.addr("M")
+    cv = oc.addr("CV")
+    oc.call("mutex_lock", [m])
+    oc.store_global("DONE", 1)
+    oc.call("cv_broadcast", [cv])
+    oc.call("mutex_unlock", [m])
+    oc.ret(item)
+
+    mn = pb.function("main")
+    tids = [mn.spawn("worker", [mn.const(i)]) for i in range(WORKERS)]
+    tids.append(mn.spawn("obscure_consumer", []))
+    tids.append(mn.spawn("loader", []))
+    m = mn.addr("M")
+    cv = mn.addr("CV")
+    mn.call("mutex_lock", [m])
+    mn.jmp("check")
+    mn.label("check")
+    v = mn.load_global("DONE")
+    ok = mn.ne(v, 0)
+    mn.br(ok, "go", "wait")
+    mn.label("wait")
+    mn.call("cv_wait", [cv, m])
+    mn.jmp("check")
+    mn.label("go")
+    mn.call("mutex_unlock", [m])
+    finish_main(mn, tids)
+    return pb.build()
+
+
+WORKLOAD = Workload(
+    name="ferret",
+    build=build,
+    threads=WORKERS + 2,
+    category="parsec",
+    description="search pipeline with obscure queue and TAS-locked ranks",
+    parallel_model="POSIX",
+    sync_inventory=frozenset({"adhoc", "cvs", "locks"}),
+    max_steps=800_000,
+)

@@ -1,0 +1,68 @@
+"""fluidanimate — POSIX, fine-grained per-stripe locks (race-free).
+
+Paper inventory: locks only.  Workers update fluid cells, taking the
+stripe mutex for any cell they touch (including neighbour exchanges).
+Racy contexts: 0 for every tool.
+"""
+
+from __future__ import annotations
+
+from repro.harness.workload import Workload
+from repro.runtime import MUTEX_SIZE
+from repro.workloads.common import counted_loop, finish_main, new_program
+
+THREADS = 4
+CELLS = 16
+STRIPES = 4
+
+
+def build():
+    pb = new_program("fluidanimate")
+    pb.global_("GRID", CELLS, init=tuple(range(CELLS)))
+    for s in range(STRIPES):
+        pb.global_(f"STRIPE_M{s}", MUTEX_SIZE)
+
+    w = pb.function("worker", params=("seed",))
+
+    def body(fb, i):
+        # Pick a cell from the thread's seed and the iteration counter.
+        cell_idx = fb.mod(fb.add(fb.mul(i, 5), "seed"), CELLS)
+        stripe = fb.mod(cell_idx, STRIPES)
+        g = fb.addr("GRID")
+        done = fb.fresh_label("cell_done")
+        # Dispatch to the right stripe lock (static lock addresses).
+        for s in range(STRIPES):
+            this = fb.fresh_label(f"stripe{s}")
+            nxt = fb.fresh_label(f"next{s}")
+            hit = fb.eq(stripe, s)
+            fb.br(hit, this, nxt)
+            fb.label(this)
+            m = fb.addr(f"STRIPE_M{s}")
+            fb.call("mutex_lock", [m])
+            cell = fb.add(g, cell_idx)
+            v = fb.load(cell)
+            fb.store(cell, fb.mod(fb.add(fb.mul(v, 3), 1), 997))
+            fb.call("mutex_unlock", [m])
+            fb.jmp(done)
+            fb.label(nxt)
+        fb.jmp(done)
+        fb.label(done)
+
+    counted_loop(w, 6, body)
+    w.ret()
+
+    mn = pb.function("main")
+    tids = [mn.spawn("worker", [mn.const(i * 3 + 1)]) for i in range(THREADS)]
+    finish_main(mn, tids)
+    return pb.build()
+
+
+WORKLOAD = Workload(
+    name="fluidanimate",
+    build=build,
+    threads=THREADS,
+    category="parsec",
+    description="per-stripe locking over a fluid grid (race-free)",
+    parallel_model="POSIX",
+    sync_inventory=frozenset({"locks"}),
+)

@@ -1,0 +1,156 @@
+"""freqmine — OpenMP, i.e. an *unknown* synchronization library.
+
+The paper's freqmine is parallelized with OpenMP, which Helgrind+'s
+interception tables do not cover.  We model this by giving the program
+its own ``omp_lock`` / ``omp_unlock`` / ``omp_barrier``, implemented on
+raw spin loops and atomics with **no annotations** — invisible to the
+``lib`` configurations, recoverable by spin detection.
+
+Expected shape (slide 27): lib ≈ 153 racy contexts, lib+spin = 2,
+nolib+spin = 2, DRD = 1000 (capped).  The two residual contexts come
+from a progress wait whose condition is evaluated through a function
+pointer.
+"""
+
+from __future__ import annotations
+
+from repro.harness.workload import Workload
+from repro.workloads.common import counted_loop, finish_main, new_program
+from repro.workloads.parsec.common import funcptr_spin
+
+THREADS = 4
+COUNTERS = 48
+PATTERNS = 900  # big array: explodes DRD's per-address contexts
+
+
+def _add_omp_runtime(pb) -> None:
+    """Unannotated spin-based lock + barrier (the 'unknown library')."""
+    lk = pb.function("omp_lock", params=("l",))
+    lk.jmp("spin_head")
+    lk.label("spin_head")
+    v = lk.load("l")
+    free = lk.eq(v, 0)
+    lk.br(free, "try", "spin_body")
+    lk.label("spin_body")
+    lk.yield_()
+    lk.jmp("spin_head")
+    lk.label("try")
+    old = lk.atomic_cas("l", 0, 1)
+    won = lk.eq(old, 0)
+    lk.br(won, "done", "spin_head")
+    lk.label("done")
+    lk.ret()
+
+    ul = pb.function("omp_unlock", params=("l",))
+    ul.store("l", 0)
+    ul.ret()
+
+    # Generation barrier guarded by its own omp lock (slide-18 pattern).
+    bw = pb.function("omp_barrier", params=("b", "n"))
+    l = bw.add("b", 2)  # [0]=arrived [1]=gen [2]=lock word
+    bw.call("omp_lock", [l])
+    gen = bw.load("b", offset=1)
+    arrived = bw.add(bw.load("b", offset=0), 1)
+    bw.store("b", arrived, offset=0)
+    last = bw.eq(arrived, "n")
+    bw.br(last, "release", "depart")
+    bw.label("release")
+    bw.store("b", 0, offset=0)
+    bw.store("b", bw.add(gen, 1), offset=1)
+    bw.call("omp_unlock", [l])
+    bw.jmp("done")
+    bw.label("depart")
+    bw.call("omp_unlock", [l])
+    bw.jmp("spin_head")
+    bw.label("spin_head")
+    now = bw.load("b", offset=1)
+    same = bw.eq(now, gen)
+    bw.br(same, "spin_body", "done")
+    bw.label("spin_body")
+    bw.yield_()
+    bw.jmp("spin_head")
+    bw.label("done")
+    bw.ret()
+
+
+def build():
+    pb = new_program("freqmine")
+    _add_omp_runtime(pb)
+    pb.global_("OMPL", 1)
+    pb.global_("OMPB", 3)
+    pb.global_("PROGRESS", 1)
+    pb.global_("HDR_A", 1)
+    for c in range(COUNTERS):
+        pb.global_(f"ITEM_{c:02d}", 1)
+    pb.global_("PATTERNS", PATTERNS, init=tuple(range(PATTERNS)))
+
+    w = pb.function("worker", params=("idx",))
+    l = w.addr("OMPL")
+    # Pass 1: bump every item counter under the (unknown) omp lock.
+    for c in range(COUNTERS):
+        w.call("omp_lock", [l])
+        a = w.addr(f"ITEM_{c:02d}")
+        w.store(a, w.add(w.load(a), 1))
+        w.call("omp_unlock", [l])
+    # Build phase: each worker transforms a private slice of PATTERNS.
+    slice_len = PATTERNS // THREADS
+    base = w.addr("PATTERNS")
+    start = w.mul("idx", slice_len)
+
+    def kernel(fb, i):
+        cell = fb.add(base, fb.add(start, i))
+        v = fb.load(cell)
+        fb.store(cell, fb.mod(fb.add(fb.mul(v, 3), 5), 4099))
+
+    counted_loop(w, slice_len, kernel)
+    b = w.addr("OMPB")
+    n = w.const(THREADS)
+    w.call("omp_barrier", [b, n])
+    # Pass 2 (after the unknown barrier): read everyone's patterns and
+    # re-bump a second site per counter.
+    s = w.reg("acc")
+    from repro.isa.instructions import Const, Mov
+
+    w.emit(Const(s, 0))
+
+    def reduce(fb, i):
+        cell = fb.add(base, i)
+        fb.emit(Mov(s, fb.add(s, fb.load(cell))))
+
+    counted_loop(w, PATTERNS, reduce)
+    # Read-only scan of the item counters (a second, load-only site).
+    for c in range(COUNTERS):
+        a = w.addr(f"ITEM_{c:02d}")
+        w.emit(Mov(s, w.add(s, w.load(a))))
+    w.ret(s)
+
+    # One header thread publishes two scalars guarded by a function-
+    # pointer progress wait: the residual 2 contexts of the spin configs.
+    hdr = pb.function("header")
+    hdr.store_global("HDR_A", 5)
+    hdr.store_global("PROGRESS", 1)
+    hdr.ret()
+
+    tail = pb.function("tail")
+    funcptr_spin(pb, tail, "check_progress", "PROGRESS")
+    va = tail.load_global("HDR_A")
+    tail.ret(va)
+
+    mn = pb.function("main")
+    tids = [mn.spawn("worker", [mn.const(i)]) for i in range(THREADS)]
+    tids.append(mn.spawn("tail", []))
+    tids.append(mn.spawn("header", []))
+    finish_main(mn, tids)
+    return pb.build()
+
+
+WORKLOAD = Workload(
+    name="freqmine",
+    build=build,
+    threads=THREADS + 2,
+    category="parsec",
+    description="frequent itemset mining over an unknown OpenMP runtime",
+    parallel_model="OpenMP",
+    sync_inventory=frozenset(),
+    max_steps=600_000,
+)

@@ -1,0 +1,99 @@
+"""raytrace — POSIX, ray bundle handoff through detectable spin flags.
+
+Paper inventory: ad-hoc + condition variables + locks.  All ad-hoc
+synchronization matches the spinning-read pattern.
+
+Expected shape: lib ≈ 106.4, lib+spin = 0, nolib+spin = 0, DRD = 1000.
+"""
+
+from __future__ import annotations
+
+from repro.harness.workload import Workload
+from repro.runtime import CONDVAR_SIZE, MUTEX_SIZE
+from repro.workloads.common import counted_loop, finish_main, new_program
+from repro.workloads.parsec.common import (
+    adhoc_publish,
+    adhoc_spin,
+    declare_scalars,
+    publish_scalars,
+    read_scalars,
+)
+
+WORKERS = 4
+BVH_NODES = 35  # 35 scalars x 3 sweeps = 105 contexts for lib
+RAYS = 980
+
+
+def build():
+    pb = new_program("raytrace")
+    pb.global_("SCENE_FLAG", 1)
+    nodes = declare_scalars(pb, "BVH", BVH_NODES)
+    pb.global_("RAYS", RAYS)
+    pb.global_("TILES_DONE", 1)
+    pb.global_("M", MUTEX_SIZE)
+    pb.global_("CV", CONDVAR_SIZE)
+
+    builder = pb.function("scene_builder")
+    base = builder.addr("RAYS")
+
+    def fill(fb, i):
+        fb.store(fb.add(base, i), fb.mod(fb.mul(i, 17), 769))
+
+    counted_loop(builder, RAYS, fill)
+    publish_scalars(builder, nodes, base_value=60)
+    adhoc_publish(builder, "SCENE_FLAG")
+    builder.ret()
+
+    w = pb.function("worker")
+    adhoc_spin(w, "SCENE_FLAG")
+    base = w.addr("RAYS")
+    from repro.isa.instructions import Const, Mov
+
+    s = w.reg("acc")
+    w.emit(Const(s, 0))
+
+    def trace(fb, i):
+        v = fb.load(fb.add(base, i))
+        fb.emit(Mov(s, fb.add(s, fb.mod(fb.mul(v, 3), 1021))))
+
+    counted_loop(w, RAYS, trace)
+    d = read_scalars(w, nodes, passes=3)
+    m = w.addr("M")
+    cv = w.addr("CV")
+    w.call("mutex_lock", [m])
+    td = w.addr("TILES_DONE")
+    w.store(td, w.add(w.load(td), 1))
+    w.call("cv_broadcast", [cv])
+    w.call("mutex_unlock", [m])
+    w.ret(w.add(s, d))
+
+    mn = pb.function("main")
+    tids = [mn.spawn("worker", []) for _ in range(WORKERS)]
+    tids.append(mn.spawn("scene_builder", []))
+    m = mn.addr("M")
+    cv = mn.addr("CV")
+    mn.call("mutex_lock", [m])
+    mn.jmp("check")
+    mn.label("check")
+    v = mn.load_global("TILES_DONE")
+    done = mn.ge(v, WORKERS)
+    mn.br(done, "go", "wait")
+    mn.label("wait")
+    mn.call("cv_wait", [cv, m])
+    mn.jmp("check")
+    mn.label("go")
+    mn.call("mutex_unlock", [m])
+    finish_main(mn, tids)
+    return pb.build()
+
+
+WORKLOAD = Workload(
+    name="raytrace",
+    build=build,
+    threads=WORKERS + 1,
+    category="parsec",
+    description="ray bundles handed off through a scene-ready spin flag",
+    parallel_model="POSIX",
+    sync_inventory=frozenset({"adhoc", "cvs", "locks"}),
+    max_steps=900_000,
+)

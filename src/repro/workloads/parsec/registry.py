@@ -1,0 +1,87 @@
+"""Registry of the 13 PARSEC 2.0 stand-in programs.
+
+Order and metadata follow the paper's Table on slide 26.  The nominal
+LOC column of the paper is replaced by our static instruction count
+(reported by :func:`program_metadata`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.harness.workload import Workload
+from repro.workloads.parsec import (
+    blackscholes,
+    bodytrack,
+    canneal,
+    dedup,
+    facesim,
+    ferret,
+    fluidanimate,
+    freqmine,
+    raytrace,
+    streamcluster,
+    swaptions,
+    vips,
+    x264,
+)
+
+#: the five programs the paper lists *without* ad-hoc synchronization
+WITHOUT_ADHOC = ("blackscholes", "swaptions", "fluidanimate", "canneal", "freqmine")
+#: the eight programs *with* ad-hoc synchronization
+WITH_ADHOC = (
+    "vips",
+    "bodytrack",
+    "facesim",
+    "ferret",
+    "x264",
+    "dedup",
+    "streamcluster",
+    "raytrace",
+)
+
+_MODULES = (
+    blackscholes,
+    swaptions,
+    fluidanimate,
+    canneal,
+    freqmine,
+    vips,
+    bodytrack,
+    facesim,
+    ferret,
+    x264,
+    dedup,
+    streamcluster,
+    raytrace,
+)
+
+
+def parsec_workloads() -> List[Workload]:
+    """All 13 programs in the paper's table order."""
+    return [m.WORKLOAD for m in _MODULES]
+
+
+def parsec_workload(name: str) -> Workload:
+    for m in _MODULES:
+        if m.WORKLOAD.name == name:
+            return m.WORKLOAD
+    raise KeyError(name)
+
+
+def program_metadata() -> Dict[str, Dict[str, object]]:
+    """Per-program metadata for the characteristics table (T3)."""
+    meta: Dict[str, Dict[str, object]] = {}
+    for m in _MODULES:
+        wl = m.WORKLOAD
+        program = wl.build()
+        meta[wl.name] = {
+            "model": wl.parallel_model,
+            "instructions": program.instruction_count(),
+            "threads": wl.threads,
+            "adhoc": "adhoc" in wl.sync_inventory,
+            "cvs": "cvs" in wl.sync_inventory,
+            "locks": "locks" in wl.sync_inventory,
+            "barriers": "barriers" in wl.sync_inventory,
+        }
+    return meta

@@ -1,0 +1,129 @@
+"""streamcluster — POSIX, clustering with coarse-heuristic-sensitive sync.
+
+Paper inventory: ad-hoc + condition variables + locks + barriers, with
+the striking column: lib = 4, lib+spin = 0, nolib+spin = 1, DRD = 1000.
+
+The coordinator publishes a large centers array, then signals an
+(unrelated) condvar, then writes a few late scalars, and finally raises
+the ad-hoc flag.  Workers gate on a *different* condvar (driven by a
+timer thread) before spinning on the flag:
+
+* plain ``lib`` relies on its coarse lost-signal condvar heuristic: the
+  waiters join with *every* prior signal, which covers the centers array
+  (signalled after it) but not the four late scalars → 4 contexts;
+* the spin configurations get precise flag edges covering everything →
+  0 (plus one TAS-locked scalar for nolib → 1);
+* DRD joins only the condvar actually waited on, so the centers array is
+  unordered for it → context explosion, capped at 1000.
+"""
+
+from __future__ import annotations
+
+from repro.harness.workload import Workload
+from repro.runtime import BARRIER_SIZE, CONDVAR_SIZE, MUTEX_SIZE
+from repro.workloads.common import busy_nops, counted_loop, finish_main, new_program
+from repro.workloads.parsec.common import adhoc_publish, adhoc_spin, declare_scalars
+
+WORKERS = 4
+CENTERS = 1050
+
+
+def build():
+    pb = new_program("streamcluster")
+    pb.global_("CENTERS", CENTERS)
+    late = declare_scalars(pb, "LATE", 3)
+    pb.global_("CENTER_FLAG", 1)
+    pb.global_("GO", 1)
+    pb.global_("MA", MUTEX_SIZE)
+    pb.global_("MB", MUTEX_SIZE)
+    pb.global_("CVA", CONDVAR_SIZE)
+    pb.global_("CVB", CONDVAR_SIZE)
+    pb.global_("B", BARRIER_SIZE)
+    pb.global_("TL", 1)
+    pb.global_("OPENED", 1)
+
+    coord = pb.function("coordinator")
+    base = coord.addr("CENTERS")
+
+    def fill(fb, i):
+        fb.store(fb.add(base, i), fb.mod(fb.mul(i, 31), 1009))
+
+    counted_loop(coord, CENTERS, fill)
+    ma = coord.addr("MA")
+    cva = coord.addr("CVA")
+    coord.call("mutex_lock", [ma])
+    coord.call("cv_signal", [cva])  # nobody waits on CVA: pool-only edge
+    coord.call("mutex_unlock", [ma])
+    for k, name in enumerate(late):
+        coord.store_global(name, 500 + k)
+    adhoc_publish(coord, "CENTER_FLAG")
+    coord.ret()
+
+    timer = pb.function("timer")
+    busy_nops(timer, 260)
+    mb = timer.addr("MB")
+    cvb = timer.addr("CVB")
+    timer.call("mutex_lock", [mb])
+    timer.store_global("GO", 1)
+    timer.call("cv_broadcast", [cvb])
+    timer.call("mutex_unlock", [mb])
+    timer.ret()
+
+    w = pb.function("worker", params=("idx",))
+    mb = w.addr("MB")
+    cvb = w.addr("CVB")
+    w.call("mutex_lock", [mb])
+    w.jmp("check")
+    w.label("check")
+    g = w.load_global("GO")
+    ok = w.ne(g, 0)
+    w.br(ok, "go", "wait")
+    w.label("wait")
+    w.call("cv_wait", [cvb, mb])
+    w.jmp("check")
+    w.label("go")
+    w.call("mutex_unlock", [mb])
+    adhoc_spin(w, "CENTER_FLAG")
+    base = w.addr("CENTERS")
+    from repro.isa.instructions import Const, Mov
+
+    s = w.reg("acc")
+    w.emit(Const(s, 0))
+
+    def scan(fb, i):
+        fb.emit(Mov(s, fb.add(s, fb.load(fb.add(base, i)))))
+
+    counted_loop(w, CENTERS, scan)
+    for name in late:
+        w.emit(Mov(s, w.add(s, w.load_global(name))))
+    # TAS-locked "cluster opened" scalar: the nolib residual context.
+    t = w.addr("TL")
+    w.call("taslock_acquire", [t])
+    o = w.addr("OPENED")
+    w.store(o, "idx")
+    w.call("taslock_release", [t])
+    # Barrier before the next (final) phase.
+    b = w.addr("B")
+    w.call("barrier_wait", [b])
+    w.ret(s)
+
+    mn = pb.function("main")
+    b = mn.addr("B")
+    mn.call("barrier_init", [b, mn.const(WORKERS)])
+    tids = [mn.spawn("worker", [mn.const(i)]) for i in range(WORKERS)]
+    tids.append(mn.spawn("coordinator", []))
+    tids.append(mn.spawn("timer", []))
+    finish_main(mn, tids)
+    return pb.build()
+
+
+WORKLOAD = Workload(
+    name="streamcluster",
+    build=build,
+    threads=WORKERS + 2,
+    category="parsec",
+    description="clustering where only the coarse cv heuristic saves lib",
+    parallel_model="POSIX",
+    sync_inventory=frozenset({"adhoc", "cvs", "locks", "barriers"}),
+    max_steps=1_000_000,
+)

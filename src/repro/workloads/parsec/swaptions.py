@@ -1,0 +1,46 @@
+"""swaptions — POSIX, embarrassingly parallel (race-free).
+
+Paper inventory: no synchronization primitives at all; workers price
+disjoint swaption slices and main aggregates after joining.
+Racy contexts: 0 for every tool.
+"""
+
+from __future__ import annotations
+
+from repro.harness.workload import Workload
+from repro.workloads.common import finish_main, new_program
+
+THREADS = 4
+SLICE = 10
+
+
+def build():
+    pb = new_program("swaptions")
+    pb.global_("SWAPTIONS", THREADS * SLICE, init=tuple(range(1, THREADS * SLICE + 1)))
+
+    w = pb.function("worker", params=("start",))
+    base = w.addr("SWAPTIONS")
+    # Monte-Carlo-ish per-cell simulation on a private slice.
+    for k in range(SLICE):
+        cell = w.add(base, w.add("start", k))
+        v = w.load(cell)
+        for _ in range(3):
+            v = w.mod(w.add(w.mul(v, 13), 17), 104729)
+        w.store(cell, v)
+    w.ret()
+
+    mn = pb.function("main")
+    tids = [mn.spawn("worker", [mn.const(i * SLICE)]) for i in range(THREADS)]
+    finish_main(mn, tids)
+    return pb.build()
+
+
+WORKLOAD = Workload(
+    name="swaptions",
+    build=build,
+    threads=THREADS,
+    category="parsec",
+    description="embarrassingly parallel pricing, join-only (race-free)",
+    parallel_model="POSIX",
+    sync_inventory=frozenset(),
+)

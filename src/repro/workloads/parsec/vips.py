@@ -1,0 +1,102 @@
+"""vips — GLIB, image pipeline with ad-hoc tile handoff.
+
+Paper inventory: ad-hoc + condition variables.  A generator thread fills
+tile buffers and region descriptors, publishes them through a plain flag
+(the ad-hoc part), and also drives a small cv-based completion protocol.
+
+Expected shape (slide 28): lib ≈ 50.8, lib+spin = 0, nolib+spin = 0,
+DRD ≈ 858.6.
+"""
+
+from __future__ import annotations
+
+from repro.harness.workload import Workload
+from repro.runtime import CONDVAR_SIZE, MUTEX_SIZE
+from repro.workloads.common import counted_loop, finish_main, new_program
+from repro.workloads.parsec.common import (
+    adhoc_publish,
+    adhoc_spin,
+    declare_scalars,
+    publish_scalars,
+    read_scalars,
+)
+
+WORKERS = 4
+DESCS = 17  # region descriptors: 17 scalars x 3 read sites = 51 contexts
+TILES = 806
+
+
+def build():
+    pb = new_program("vips")
+    pb.global_("TILE_FLAG", 1)
+    pb.global_("TILES", TILES)
+    descs = declare_scalars(pb, "DESC", DESCS)
+    pb.global_("DONE_COUNT", 1)
+    pb.global_("M", MUTEX_SIZE)
+    pb.global_("CV", CONDVAR_SIZE)
+
+    gen = pb.function("generator")
+    base = gen.addr("TILES")
+
+    def fill(fb, i):
+        fb.store(fb.add(base, i), fb.mod(fb.mul(i, 37), 251))
+
+    counted_loop(gen, TILES, fill)
+    publish_scalars(gen, descs)
+    adhoc_publish(gen, "TILE_FLAG")
+    gen.ret()
+
+    w = pb.function("worker")
+    adhoc_spin(w, "TILE_FLAG")
+    base = w.addr("TILES")
+    s = w.reg("acc")
+    from repro.isa.instructions import Const, Mov
+
+    w.emit(Const(s, 0))
+
+    def scan(fb, i):
+        fb.emit(Mov(s, fb.add(s, fb.load(fb.add(base, i)))))
+
+    counted_loop(w, TILES, scan)
+    d = read_scalars(w, descs, passes=3)
+    # cv-protocol: count myself done, last worker broadcasts to main.
+    m = w.addr("M")
+    cv = w.addr("CV")
+    w.call("mutex_lock", [m])
+    dc = w.addr("DONE_COUNT")
+    w.store(dc, w.add(w.load(dc), 1))
+    w.call("cv_broadcast", [cv])
+    w.call("mutex_unlock", [m])
+    w.ret(w.add(s, d))
+
+    mn = pb.function("main")
+    tids = [mn.spawn("worker", []) for _ in range(WORKERS)]
+    tids.append(mn.spawn("generator", []))
+    # main waits for all workers on the condvar (classic predicate loop).
+    m = mn.addr("M")
+    cv = mn.addr("CV")
+    mn.call("mutex_lock", [m])
+    mn.jmp("check")
+    mn.label("check")
+    dcv = mn.load_global("DONE_COUNT")
+    done = mn.ge(dcv, WORKERS)
+    mn.br(done, "go", "wait")
+    mn.label("wait")
+    mn.call("cv_wait", [cv, m])
+    mn.jmp("check")
+    mn.label("go")
+    mn.call("mutex_unlock", [m])
+    finish_main(mn, tids)
+    return pb.build()
+
+
+WORKLOAD = Workload(
+    name="vips",
+    build=build,
+    threads=WORKERS + 1,
+    category="parsec",
+    description="image tile pipeline with ad-hoc publication flag",
+    parallel_model="GLIB",
+    sync_inventory=frozenset({"adhoc", "cvs"}),
+    max_steps=800_000,
+)

@@ -1,0 +1,103 @@
+"""x264 — POSIX, frame encoder with function-pointer progress waits.
+
+Paper inventory: ad-hoc + condition variables + locks.  The encoder's
+macroblock rows are published through detectable ad-hoc flags on a large
+scale (the lib column saturates the 1000-context cap); the inter-frame
+dependency waits evaluate their conditions through function pointers
+(threaded x264 uses exactly this pattern), leaving ~19 residual contexts
+even with spin detection; a small TAS-locked rate-control state adds the
+nolib-only contexts.
+
+Expected shape: lib = 1000, lib+spin ≈ 19, nolib+spin ≈ 28, DRD = 1000.
+"""
+
+from __future__ import annotations
+
+from repro.harness.workload import Workload
+from repro.runtime import CONDVAR_SIZE, MUTEX_SIZE
+from repro.workloads.common import finish_main, new_program
+from repro.workloads.parsec.common import (
+    adhoc_publish,
+    adhoc_spin,
+    declare_scalars,
+    funcptr_spin,
+    publish_scalars,
+    read_scalars,
+)
+
+WORKERS = 4
+MACROBLOCKS = 340  # 340 scalars x 3 sweeps > 1000 -> cap for lib & DRD
+FP_SCALARS = 19  # fp-guarded frame references: the residual contexts
+RATE = 4  # TAS-locked rate-control words
+
+
+def build():
+    pb = new_program("x264")
+    pb.global_("ROW_FLAG", 1)
+    mbs = declare_scalars(pb, "MB", MACROBLOCKS)
+    pb.global_("REF_FLAG", 1)
+    refs = declare_scalars(pb, "REF", FP_SCALARS)
+    rates = declare_scalars(pb, "RATE", RATE)
+    pb.global_("T", 1)
+    pb.global_("M", MUTEX_SIZE)
+    pb.global_("CV", CONDVAR_SIZE)
+    pb.global_("FRAMES_DONE", 1)
+
+    enc = pb.function("encoder")
+    publish_scalars(enc, mbs, base_value=1000)
+    adhoc_publish(enc, "ROW_FLAG")
+    publish_scalars(enc, refs, base_value=7000)
+    adhoc_publish(enc, "REF_FLAG")
+    enc.ret()
+
+    w = pb.function("worker", params=("idx",))
+    adhoc_spin(w, "ROW_FLAG")
+    s1 = read_scalars(w, mbs, passes=3)
+    funcptr_spin(pb, w, "check_ref_flag", "REF_FLAG")
+    s2 = read_scalars(w, refs, passes=1)
+    t = w.addr("T")
+    w.call("taslock_acquire", [t])
+    for name in rates:
+        a = w.addr(name)
+        w.store(a, w.add(w.load(a), 1))
+    w.call("taslock_release", [t])
+    # cv completion protocol.
+    m = w.addr("M")
+    cv = w.addr("CV")
+    w.call("mutex_lock", [m])
+    fd = w.addr("FRAMES_DONE")
+    w.store(fd, w.add(w.load(fd), 1))
+    w.call("cv_broadcast", [cv])
+    w.call("mutex_unlock", [m])
+    w.ret(w.add(s1, s2))
+
+    mn = pb.function("main")
+    tids = [mn.spawn("worker", [mn.const(i)]) for i in range(WORKERS)]
+    tids.append(mn.spawn("encoder", []))
+    m = mn.addr("M")
+    cv = mn.addr("CV")
+    mn.call("mutex_lock", [m])
+    mn.jmp("check")
+    mn.label("check")
+    v = mn.load_global("FRAMES_DONE")
+    done = mn.ge(v, WORKERS)
+    mn.br(done, "go", "wait")
+    mn.label("wait")
+    mn.call("cv_wait", [cv, m])
+    mn.jmp("check")
+    mn.label("go")
+    mn.call("mutex_unlock", [m])
+    finish_main(mn, tids)
+    return pb.build()
+
+
+WORKLOAD = Workload(
+    name="x264",
+    build=build,
+    threads=WORKERS + 1,
+    category="parsec",
+    description="frame encoder: large ad-hoc row publication + fp waits",
+    parallel_model="POSIX",
+    sync_inventory=frozenset({"adhoc", "cvs", "locks"}),
+    max_steps=900_000,
+)

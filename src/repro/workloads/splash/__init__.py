@@ -1,0 +1,12 @@
+"""SPLASH-2 stand-in workloads.
+
+Slide 15 of the paper motivates ad-hoc synchronization with a census:
+"12 - 31 in SPLASH-2 and 32 - 329 in PARSEC 2.0".  These four programs
+(fft, lu, radix, barnes) model the SPLASH-2 style — barrier-phased
+scientific kernels whose hand-tuned inner synchronization is ad-hoc —
+and feed the census experiment (`benchmarks/test_s1_adhoc_census.py`).
+"""
+
+from repro.workloads.splash.registry import splash_workloads
+
+__all__ = ["splash_workloads"]

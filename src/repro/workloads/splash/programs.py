@@ -1,0 +1,244 @@
+"""The four SPLASH-2 stand-in kernels.
+
+Each follows the SPLASH-2 house style: library barriers for the big
+phase structure, plus hand-rolled ad-hoc synchronization in the inner
+loops (publication flags, self-built locks, rank handoffs) — the mix
+that gives SPLASH-2 its slide-15 ad-hoc census.  All four are race-free.
+"""
+
+from __future__ import annotations
+
+from repro.harness.workload import Workload
+from repro.isa.instructions import Const, Mov
+from repro.runtime import BARRIER_SIZE, MUTEX_SIZE
+from repro.workloads.common import (
+    counted_loop,
+    emit_user_lock_acquire,
+    emit_user_lock_release,
+    finish_main,
+    new_program,
+    spin_flag_2bb,
+)
+from repro.workloads.parsec.common import adhoc_publish, adhoc_spin, adhoc_spin_ge
+
+THREADS = 4
+
+
+def build_fft():
+    """Barrier-phased butterfly passes + an ad-hoc twiddle-table flag."""
+    pb = new_program("fft")
+    pb.global_("B", BARRIER_SIZE)
+    pb.global_("TWIDDLE", 16)
+    pb.global_("TW_READY", 1)
+    pb.global_("SIGNAL_RE", THREADS * 4, init=tuple(range(THREADS * 4)))
+
+    init = pb.function("twiddle_init")
+    base = init.addr("TWIDDLE")
+    for k in range(16):
+        init.store(base, (k * 37) % 256, offset=k)
+    adhoc_publish(init, "TW_READY")
+    init.ret()
+
+    w = pb.function("worker", params=("idx",))
+    adhoc_spin(w, "TW_READY")
+    tw = w.addr("TWIDDLE")
+    sig = w.addr("SIGNAL_RE")
+    b = w.addr("B")
+    start = w.mul("idx", 4)
+    for _phase in range(2):
+        for k in range(4):
+            cell = w.add(sig, w.add(start, k))
+            v = w.load(cell)
+            factor = w.load(tw, offset=k)
+            w.store(cell, w.mod(w.add(w.mul(v, factor), 1), 7919))
+        w.call("barrier_wait", [b])
+    w.ret()
+
+    mn = pb.function("main")
+    b = mn.addr("B")
+    mn.call("barrier_init", [b, mn.const(THREADS)])
+    tids = [mn.spawn("worker", [mn.const(i)]) for i in range(THREADS)]
+    tids.append(mn.spawn("twiddle_init", []))
+    finish_main(mn, tids)
+    return pb.build()
+
+
+def build_lu():
+    """Blocked LU: the pivot row is published through per-step flags;
+    eliminators spin on the flag of the step they need."""
+    steps = 3
+    pb = new_program("lu")
+    pb.global_("MATRIX", 16, init=tuple((i * 7 + 3) % 23 + 1 for i in range(16)))
+    pb.global_("STEP_FLAGS", steps)
+    pb.global_("B", BARRIER_SIZE)
+
+    pivot = pb.function("pivoter")
+    m = pivot.addr("MATRIX")
+    flags = pivot.addr("STEP_FLAGS")
+    for s in range(steps):
+        # normalize row s (toy arithmetic, nonzero by construction)
+        for c in range(4):
+            cell = pivot.add(m, 4 * s + c)
+            pivot.store(cell, pivot.add(pivot.load(cell), 100 * (s + 1)))
+        pivot.store(flags, 1, offset=s)
+    pivot.ret()
+
+    elim = pb.function("eliminator", params=("row",))
+    m = elim.addr("MATRIX")
+    flags = elim.addr("STEP_FLAGS")
+    acc = elim.reg("acc")
+    elim.emit(Const(acc, 0))
+    for s in range(steps):
+        spin_flag_2bb(elim, flags, expect=1, offset=s)
+        for c in range(4):
+            v = elim.load(m, offset=4 * s + c)
+            elim.emit(Mov(acc, elim.add(acc, v)))
+    b = elim.addr("B")
+    elim.call("barrier_wait", [b])
+    elim.ret(acc)
+
+    mn = pb.function("main")
+    b = mn.addr("B")
+    mn.call("barrier_init", [b, mn.const(THREADS - 1)])
+    tids = [mn.spawn("eliminator", [mn.const(i + 1)]) for i in range(THREADS - 1)]
+    tids.append(mn.spawn("pivoter", []))
+    finish_main(mn, tids)
+    return pb.build()
+
+
+def build_radix():
+    """Radix sort rank phase: histogram under a self-built lock, ranks
+    published through an ad-hoc generation counter."""
+    pb = new_program("radix")
+    pb.global_("HIST", 8)
+    pb.global_("HLOCK", 1)
+    pb.global_("RANK_GEN", 1)
+    pb.global_("KEYS", THREADS * 4, init=tuple((i * 13) % 8 for i in range(THREADS * 4)))
+
+    w = pb.function("worker", params=("idx",))
+    keys = w.addr("KEYS")
+    hist = w.addr("HIST")
+    lock = w.addr("HLOCK")
+    start = w.mul("idx", 4)
+
+    def count(fb, i):
+        k = fb.load(fb.add(keys, fb.add(start, i)))
+        emit_user_lock_acquire(fb, lock)
+        slot = fb.add(hist, k)
+        fb.store(slot, fb.add(fb.load(slot), 1))
+        emit_user_lock_release(fb, lock)
+
+    counted_loop(w, 4, count)
+    # Announce completion by bumping the generation (under the lock so
+    # arrivals chain, as in the slide-18 barrier sketch).
+    gen = w.addr("RANK_GEN")
+    emit_user_lock_acquire(w, lock)
+    w.store(gen, w.add(w.load(gen), 1))
+    emit_user_lock_release(w, lock)
+    # Wait until every worker has folded its keys in.
+    adhoc_spin_ge(w, "RANK_GEN", THREADS)
+    # Prefix-sum the histogram (each worker computes the same total in
+    # registers; writing a shared ranks array here would itself be a
+    # benign-but-reportable write-write race).
+    run = w.reg("run")
+    w.emit(Const(run, 0))
+    for b in range(8):
+        w.emit(Mov(run, w.add(run, w.load(hist, offset=b))))
+    w.ret(run)
+
+    mn = pb.function("main")
+    tids = [mn.spawn("worker", [mn.const(i)]) for i in range(THREADS)]
+    finish_main(mn, tids)
+    return pb.build()
+
+
+def build_barnes():
+    """Tree build: cell insertion under a self-built spin lock, then a
+    force pass gated by an ad-hoc 'tree done' flag."""
+    pb = new_program("barnes")
+    pb.global_("TREE", 12)
+    pb.global_("TREE_N", 1)
+    pb.global_("TLOCK", 1)
+    pb.global_("TREE_DONE", 1)
+    pb.global_("DONE_CT", 1)
+    pb.global_("M", MUTEX_SIZE)
+
+    builder = pb.function("builder", params=("body",))
+    lock = builder.addr("TLOCK")
+    tree = builder.addr("TREE")
+    n = builder.addr("TREE_N")
+
+    def insert(fb, i):
+        emit_user_lock_acquire(fb, lock)
+        count = fb.load(n)
+        fb.store(fb.add(tree, count), fb.add(fb.mul("body", 10), i))
+        fb.store(n, fb.add(count, 1))
+        emit_user_lock_release(fb, lock)
+
+    counted_loop(builder, 3, insert)
+    # The last finisher raises TREE_DONE (library mutex guards the count).
+    m = builder.addr("M")
+    builder.call("mutex_lock", [m])
+    d = builder.addr("DONE_CT")
+    done = builder.add(builder.load(d), 1)
+    builder.store(d, done)
+    last = builder.eq(done, THREADS)
+    builder.br(last, "raise_flag", "out")
+    builder.label("raise_flag")
+    builder.store_global("TREE_DONE", 1)
+    builder.jmp("out")
+    builder.label("out")
+    builder.call("mutex_unlock", [m])
+    # Force pass: everyone waits for the full tree, then reads it.
+    adhoc_spin(builder, "TREE_DONE")
+    acc = builder.reg("acc")
+    builder.emit(Const(acc, 0))
+    for k in range(12):
+        builder.emit(Mov(acc, builder.add(acc, builder.load(tree, offset=k))))
+    builder.ret(acc)
+
+    mn = pb.function("main")
+    tids = [mn.spawn("builder", [mn.const(i + 1)]) for i in range(THREADS)]
+    finish_main(mn, tids)
+    return pb.build()
+
+
+def workloads():
+    return [
+        Workload(
+            name="fft",
+            build=build_fft,
+            threads=THREADS + 1,
+            category="splash",
+            description="barrier-phased FFT with ad-hoc twiddle publication",
+            parallel_model="POSIX",
+            sync_inventory=frozenset({"adhoc", "barriers"}),
+        ),
+        Workload(
+            name="lu",
+            build=build_lu,
+            threads=THREADS,
+            category="splash",
+            description="blocked LU with per-step pivot flags",
+            parallel_model="POSIX",
+            sync_inventory=frozenset({"adhoc", "barriers"}),
+        ),
+        Workload(
+            name="radix",
+            build=build_radix,
+            threads=THREADS,
+            category="splash",
+            description="radix rank phase: user lock + generation handoff",
+            parallel_model="POSIX",
+            sync_inventory=frozenset({"adhoc"}),
+        ),
+        Workload(
+            name="barnes",
+            build=build_barnes,
+            threads=THREADS,
+            category="splash",
+            description="tree build under a user lock + done flag",
+            parallel_model="POSIX",
+            sync_inventory=frozenset({"adhoc", "locks"}),
+        ),
+    ]

@@ -1,0 +1,13 @@
+"""Registry of the SPLASH-2 stand-in programs."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.harness.workload import Workload
+from repro.workloads.splash import programs
+
+
+def splash_workloads() -> List[Workload]:
+    """The four SPLASH-2 stand-ins (fft, lu, radix, barnes)."""
+    return programs.workloads()

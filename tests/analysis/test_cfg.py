@@ -1,0 +1,180 @@
+"""CFG construction, reverse postorder, dominators."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import instructions as ins
+from repro.isa.builder import FunctionBuilder
+from repro.isa.program import BasicBlock, Function
+from repro.analysis.cfg import (
+    build_cfg,
+    dominates,
+    dominators,
+    reverse_postorder,
+)
+
+
+def _diamond() -> Function:
+    """entry -> (left|right) -> merge -> exit"""
+    fb = FunctionBuilder("f")
+    c = fb.const(1)
+    fb.br(c, "left", "right")
+    fb.label("left")
+    fb.jmp("merge")
+    fb.label("right")
+    fb.jmp("merge")
+    fb.label("merge")
+    fb.ret()
+    return fb.build()
+
+
+def _loop() -> Function:
+    fb = FunctionBuilder("f")
+    fb.jmp("head")
+    fb.label("head")
+    c = fb.const(1)
+    fb.br(c, "body", "exit")
+    fb.label("body")
+    fb.jmp("head")
+    fb.label("exit")
+    fb.ret()
+    return fb.build()
+
+
+class TestCfg:
+    def test_diamond_successors(self):
+        cfg = build_cfg(_diamond())
+        assert set(cfg.successors["entry"]) == {"left", "right"}
+        assert cfg.successors["left"] == ("merge",)
+        assert cfg.successors["merge"] == ()
+
+    def test_diamond_predecessors(self):
+        cfg = build_cfg(_diamond())
+        assert set(cfg.predecessors["merge"]) == {"left", "right"}
+        assert cfg.predecessors["entry"] == ()
+
+    def test_branch_with_equal_arms_single_successor(self):
+        fb = FunctionBuilder("f")
+        c = fb.const(0)
+        fb.br(c, "next", "next")
+        fb.label("next")
+        fb.ret()
+        cfg = build_cfg(fb.build())
+        assert cfg.successors["entry"] == ("next",)
+
+
+class TestReversePostorder:
+    def test_entry_first(self):
+        cfg = build_cfg(_diamond())
+        rpo = reverse_postorder(cfg)
+        assert rpo[0] == "entry"
+        assert rpo[-1] == "merge"
+
+    def test_unreachable_blocks_excluded(self):
+        f = _diamond()
+        f.add_block(BasicBlock("island", [ins.Ret(None)]))
+        rpo = reverse_postorder(build_cfg(f))
+        assert "island" not in rpo
+
+    def test_loop_order(self):
+        cfg = build_cfg(_loop())
+        rpo = reverse_postorder(cfg)
+        assert rpo.index("head") < rpo.index("body")
+
+
+class TestDominators:
+    def test_entry_dominates_all(self):
+        cfg = build_cfg(_diamond())
+        idom = dominators(cfg)
+        for b in ("left", "right", "merge"):
+            assert dominates(idom, "entry", b)
+
+    def test_merge_idom_is_entry(self):
+        idom = dominators(build_cfg(_diamond()))
+        assert idom["merge"] == "entry"
+
+    def test_branch_arms_do_not_dominate_merge(self):
+        idom = dominators(build_cfg(_diamond()))
+        assert not dominates(idom, "left", "merge")
+        assert not dominates(idom, "right", "merge")
+
+    def test_loop_header_dominates_body(self):
+        idom = dominators(build_cfg(_loop()))
+        assert dominates(idom, "head", "body")
+        assert not dominates(idom, "body", "head")
+
+    def test_dominance_is_reflexive(self):
+        idom = dominators(build_cfg(_loop()))
+        for b in idom:
+            assert dominates(idom, b, b)
+
+
+# --- property-based: random CFGs ------------------------------------------
+
+
+@st.composite
+def random_function(draw):
+    n = draw(st.integers(2, 8))
+    labels = [f"b{i}" for i in range(n)]
+    f = Function("f", entry="b0")
+    for i, label in enumerate(labels):
+        kind = draw(st.integers(0, 2))
+        if kind == 0 or i == n - 1:
+            body = [ins.Ret(None)]
+        elif kind == 1:
+            body = [ins.Jmp(draw(st.sampled_from(labels)))]
+        else:
+            body = [
+                ins.Const("c", 1),
+                ins.Br(
+                    "c",
+                    draw(st.sampled_from(labels)),
+                    draw(st.sampled_from(labels)),
+                ),
+            ]
+        f.add_block(BasicBlock(label, body))
+    return f
+
+
+@given(random_function())
+@settings(max_examples=120, deadline=None)
+def test_dominator_properties_on_random_cfgs(func):
+    cfg = build_cfg(func)
+    rpo = reverse_postorder(cfg)
+    idom = dominators(cfg)
+    # Every reachable block has an entry that dominates it.
+    for b in rpo:
+        assert dominates(idom, cfg.entry, b)
+    # The idom of any non-entry block is reachable and distinct.
+    for b, d in idom.items():
+        if b == cfg.entry:
+            assert d is None
+        else:
+            assert d in idom
+            assert d != b
+    # idom(b) strictly dominates b through every predecessor path:
+    # a block's idom must dominate all its reachable predecessors' idoms
+    # chains — checked via the definition: idom(b) dominates b.
+    for b in rpo:
+        if b != cfg.entry:
+            assert dominates(idom, idom[b], b)
+
+
+@given(random_function())
+@settings(max_examples=60, deadline=None)
+def test_rpo_contains_exactly_reachable_blocks(func):
+    cfg = build_cfg(func)
+    rpo = reverse_postorder(cfg)
+    # Reachability by BFS must match.
+    seen = {cfg.entry}
+    frontier = [cfg.entry]
+    while frontier:
+        nxt = []
+        for b in frontier:
+            for s in cfg.successors[b]:
+                if s not in seen:
+                    seen.add(s)
+                    nxt.append(s)
+        frontier = nxt
+    assert set(rpo) == seen
+    assert len(rpo) == len(set(rpo))

@@ -1,0 +1,98 @@
+"""Condition slicing tests."""
+
+from repro.isa import instructions as ins
+from repro.isa.builder import FunctionBuilder
+from repro.analysis.dataflow import condition_slice
+
+
+def _loop_func():
+    fb = FunctionBuilder("f")
+    target = fb.const(1)  # defined outside the loop
+    fb.jmp("head")
+    fb.label("head")
+    a = fb.const(0x1000)
+    v = fb.load(a)
+    doubled = fb.add(v, v)
+    ok = fb.eq(doubled, target)
+    fb.br(ok, "after", "body")
+    fb.label("body")
+    fb.yield_()
+    fb.jmp("head")
+    fb.label("after")
+    fb.ret()
+    return fb.build(), frozenset({"head", "body"}), ok, v, target
+
+
+class TestConditionSlice:
+    def test_load_reaches_condition(self):
+        func, body, cond, v, target = _loop_func()
+        sl = condition_slice(func, body, cond)
+        assert len(sl.load_locs) == 1
+        assert v in sl.regs
+
+    def test_invariant_inputs_detected(self):
+        func, body, cond, v, target = _loop_func()
+        sl = condition_slice(func, body, cond)
+        assert target in sl.invariant_inputs
+        assert v not in sl.invariant_inputs
+
+    def test_unrelated_instructions_excluded(self):
+        fb = FunctionBuilder("f")
+        fb.jmp("head")
+        fb.label("head")
+        a = fb.const(0x1000)
+        noise = fb.load(a, offset=5)  # not part of the condition
+        v = fb.load(a)
+        ok = fb.eq(v, fb.const(1))
+        fb.br(ok, "after", "body")
+        fb.label("body")
+        fb.yield_()
+        fb.jmp("head")
+        fb.label("after")
+        fb.ret()
+        func = fb.build()
+        sl = condition_slice(func, frozenset({"head", "body"}), ok)
+        assert len(sl.load_locs) == 1  # only the condition load
+        assert noise not in sl.regs
+
+    def test_call_target_recorded(self):
+        fb = FunctionBuilder("f")
+        fb.jmp("head")
+        fb.label("head")
+        a = fb.const(0x1000)
+        r = fb.call("helper", [a], want_result=True)
+        fb.br(r, "after", "body")
+        fb.label("body")
+        fb.jmp("head")
+        fb.label("after")
+        fb.ret()
+        sl = condition_slice(fb.build(), frozenset({"head", "body"}), r)
+        assert sl.call_targets == ("helper",)
+        assert not sl.has_icall
+
+    def test_icall_flagged(self):
+        fb = FunctionBuilder("f")
+        fp = fb.const(0x200000)
+        fb.jmp("head")
+        fb.label("head")
+        r = fb.icall(fp, [], want_result=True)
+        fb.br(r, "after", "body")
+        fb.label("body")
+        fb.jmp("head")
+        fb.label("after")
+        fb.ret()
+        sl = condition_slice(fb.build(), frozenset({"head", "body"}), r)
+        assert sl.has_icall
+
+    def test_atomic_rmw_counts_as_load(self):
+        fb = FunctionBuilder("f")
+        a = fb.const(0x1000)
+        fb.jmp("head")
+        fb.label("head")
+        old = fb.atomic_add(a, 0)
+        ok = fb.eq(old, 1)
+        fb.br(ok, "after", "head")
+        fb.label("after")
+        fb.ret()
+        sl = condition_slice(fb.build(), frozenset({"head"}), ok)
+        assert len(sl.load_locs) == 1

@@ -1,0 +1,157 @@
+"""Lock-acquire inference (the future-work extension)."""
+
+from repro.analysis.lockinfer import (
+    infer_lock_acquires,
+    lock_site_locations,
+)
+from repro.isa.builder import ProgramBuilder
+from repro.runtime import build_library
+from repro.workloads.common import emit_user_lock_acquire, emit_user_lock_release
+
+
+class TestStaticInference:
+    def test_library_cas_locks_found(self):
+        lib = build_library()
+        lib.entry = "spinlock_acquire"
+        funcs = {s.function for s in infer_lock_acquires(lib)}
+        assert "spinlock_acquire" in funcs
+        assert "taslock_acquire" in funcs
+
+    def test_semaphore_cas_not_matched(self):
+        """sem_wait's CAS has a dynamic expected value — not a 0->1 lock."""
+        lib = build_library()
+        funcs = {s.function for s in infer_lock_acquires(lib)}
+        assert "sem_wait" not in funcs
+
+    def test_ticket_mutex_not_matched(self):
+        """Ticket locks acquire by fetch-add — outside the heuristic."""
+        lib = build_library()
+        funcs = {s.function for s in infer_lock_acquires(lib)}
+        assert "mutex_lock" not in funcs
+
+    def test_user_lock_found(self):
+        pb = ProgramBuilder("t")
+        pb.global_("LK", 1)
+        mn = pb.function("main")
+        lk = mn.addr("LK")
+        emit_user_lock_acquire(mn, lk)
+        emit_user_lock_release(mn, lk)
+        mn.halt()
+        sites = infer_lock_acquires(pb.build())
+        assert len(sites) == 1
+        assert sites[0].function == "main"
+
+    def test_non_lock_cas_values_ignored(self):
+        pb = ProgramBuilder("t")
+        pb.global_("G", 1)
+        mn = pb.function("main")
+        g = mn.addr("G")
+        mn.atomic_cas(g, 3, 7)  # not a 0->1 transition
+        mn.halt()
+        assert infer_lock_acquires(pb.build()) == []
+
+    def test_reused_register_poisoned(self):
+        """A register with multiple definitions is not a known constant."""
+        from repro.isa import instructions as ins
+
+        pb = ProgramBuilder("t")
+        pb.global_("G", 1)
+        mn = pb.function("main")
+        g = mn.addr("G")
+        e = mn.reg("e")
+        mn.emit(ins.Const(e, 0))
+        mn.emit(ins.Const(e, 5))  # redefined: no longer provably 0
+        one = mn.const(1)
+        mn.emit(ins.AtomicCas(mn.reg(), g, e, one, 0))
+        mn.halt()
+        assert infer_lock_acquires(pb.build()) == []
+
+    def test_lock_site_locations_shape(self):
+        lib = build_library()
+        locs = lock_site_locations(lib)
+        assert locs
+        assert all(hasattr(l, "function") for l in locs)
+
+
+class TestRuntimeInference:
+    def _taslock_program(self):
+        from repro.isa.instructions import Const, Mov
+        from repro.workloads.common import counted_loop, new_program
+
+        pb = new_program("tas")
+        pb.global_("C", 1)
+        pb.global_("T", 1)
+        w = pb.function("worker")
+
+        def body(fb, i):
+            t = fb.addr("T")
+            fb.call("taslock_acquire", [t])
+            a = fb.addr("C")
+            fb.store(a, fb.add(fb.load(a), 1))
+            fb.call("taslock_release", [t])
+
+        counted_loop(w, 4, body)
+        w.ret()
+        mn = pb.function("main")
+        t1 = mn.spawn("worker", [])
+        t2 = mn.spawn("worker", [])
+        mn.join(t1)
+        mn.join(t2)
+        mn.halt()
+        return pb.build()
+
+    def _detect(self, config):
+        from repro.analysis import instrument_program, lock_site_locations
+        from repro.detectors import RaceDetector
+        from repro.vm import Machine, RandomScheduler
+
+        program = self._taslock_program()
+        imap = (
+            instrument_program(program, config.spin_max_blocks)
+            if config.spin
+            else None
+        )
+        sites = lock_site_locations(program) if config.infer_locks else frozenset()
+        det = RaceDetector(config, lock_sites=sites)
+        machine = Machine(
+            program,
+            scheduler=RandomScheduler(3),
+            listener=det,
+            instrumentation=imap,
+        )
+        det.algorithm.symbolize = machine.memory.symbols.resolve
+        result = machine.run()
+        assert result.ok
+        return det
+
+    def test_nolib_without_inference_fps_on_tas_data(self):
+        from repro.detectors import ToolConfig
+
+        det = self._detect(ToolConfig.helgrind_nolib_spin(7))
+        assert "C" in det.report.reported_base_symbols
+
+    def test_universal_hybrid_clean_on_tas_data(self):
+        from repro.detectors import ToolConfig
+
+        det = self._detect(ToolConfig.universal_hybrid(7))
+        assert det.report.racy_contexts == 0
+
+    def test_inferred_locks_registered(self):
+        from repro.detectors import ToolConfig
+
+        det = self._detect(ToolConfig.universal_hybrid(7))
+        assert det.adhoc is not None and det.adhoc.inferred_locks
+        # Lock released at end: nobody still holds it.
+        assert all(not held for held in det.algorithm._held.values())
+
+    def test_lock_sites_ignored_without_flag(self):
+        """Passing lock sites without infer_locks must be inert."""
+        from repro.analysis import lock_site_locations
+        from repro.detectors import RaceDetector, ToolConfig
+
+        program = self._taslock_program()
+        det = RaceDetector(
+            ToolConfig.helgrind_nolib_spin(7),
+            lock_sites=lock_site_locations(program),
+        )
+        assert det.lock_sites == frozenset()

@@ -1,0 +1,110 @@
+"""Natural loop discovery tests."""
+
+from repro.isa.builder import FunctionBuilder
+from repro.analysis.loops import find_loops
+
+
+def _simple_spin():
+    fb = FunctionBuilder("f")
+    fb.jmp("head")
+    fb.label("head")
+    a = fb.const(0x1000)
+    v = fb.load(a)
+    ok = fb.eq(v, 1)
+    fb.br(ok, "after", "body")
+    fb.label("body")
+    fb.yield_()
+    fb.jmp("head")
+    fb.label("after")
+    fb.ret()
+    return fb.build()
+
+
+class TestFindLoops:
+    def test_single_loop_found(self):
+        loops = find_loops(_simple_spin())
+        assert len(loops) == 1
+        loop = loops[0]
+        assert loop.header == "head"
+        assert loop.body == frozenset({"head", "body"})
+        assert loop.back_edge == ("body", "head")
+
+    def test_exit_edges(self):
+        loop = find_loops(_simple_spin())[0]
+        assert len(loop.exit_edges) == 1
+        branch_loc, target = loop.exit_edges[0]
+        assert branch_loc.block == "head"
+        assert target == "after"
+
+    def test_no_loops_in_straight_line(self):
+        fb = FunctionBuilder("f")
+        fb.nop(3)
+        fb.ret()
+        assert find_loops(fb.build()) == []
+
+    def test_nested_loops(self):
+        fb = FunctionBuilder("f")
+        fb.jmp("outer")
+        fb.label("outer")
+        c = fb.const(1)
+        fb.br(c, "inner", "exit")
+        fb.label("inner")
+        d = fb.const(1)
+        fb.br(d, "inner", "outer_latch")
+        fb.label("outer_latch")
+        fb.jmp("outer")
+        fb.label("exit")
+        fb.ret()
+        loops = find_loops(fb.build())
+        headers = sorted(l.header for l in loops)
+        assert headers == ["inner", "outer"]
+        inner = next(l for l in loops if l.header == "inner")
+        outer = next(l for l in loops if l.header == "outer")
+        assert inner.body < outer.body
+
+    def test_same_header_loops_not_merged(self):
+        """Two back edges to one header (retry pattern) stay distinct —
+        this is what lets the inner pure spin loop of sem_wait qualify."""
+        fb = FunctionBuilder("f")
+        fb.jmp("head")
+        fb.label("head")
+        a = fb.const(0x1000)
+        v = fb.load(a)
+        ok = fb.eq(v, 0)
+        fb.br(ok, "grab", "body")
+        fb.label("body")
+        fb.yield_()
+        fb.jmp("head")
+        fb.label("grab")
+        old = fb.atomic_cas(a, 0, 1)
+        won = fb.eq(old, 0)
+        fb.br(won, "done", "head")
+        fb.label("done")
+        fb.ret()
+        loops = find_loops(fb.build())
+        bodies = {l.body for l in loops}
+        # One loop per back edge: the pure spin loop {head, body} and the
+        # CAS retry loop {head, grab} stay separate.
+        assert frozenset({"head", "body"}) in bodies
+        assert frozenset({"head", "grab"}) in bodies
+
+    def test_self_loop(self):
+        fb = FunctionBuilder("f")
+        fb.jmp("s")
+        fb.label("s")
+        c = fb.const(1)
+        fb.br(c, "s", "out")
+        fb.label("out")
+        fb.ret()
+        loops = find_loops(fb.build())
+        assert any(l.body == frozenset({"s"}) for l in loops)
+
+    def test_library_primitives_each_have_spin_loop(self):
+        from repro.runtime import build_library
+
+        lib = build_library()
+        for name in ("spinlock_acquire", "mutex_lock", "cv_wait", "barrier_wait", "sem_wait"):
+            loops = find_loops(lib.functions[name])
+            assert any(
+                l.body == frozenset({"spin_head", "spin_body"}) for l in loops
+            ), name

@@ -1,0 +1,335 @@
+"""The spinning-read-loop detector: every criterion, accept and reject."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import instructions as ins
+from repro.isa.builder import ProgramBuilder
+from repro.analysis import SpinLoopDetector, instrument_program
+from repro.workloads.common import (
+    make_condition_helper,
+    spin_flag_2bb,
+    spin_two_flags_3bb,
+    spin_with_funcptr,
+    spin_with_helper,
+)
+
+
+def _program_with(main_body, extra=None):
+    pb = ProgramBuilder("t")
+    pb.global_("FLAG", 2)
+    if extra:
+        extra(pb)
+    mn = pb.function("main")
+    main_body(pb, mn)
+    mn.halt()
+    return pb.build()
+
+
+def _detect(prog, k=7, depth=1):
+    return SpinLoopDetector(prog, max_blocks=k, inline_depth=depth).detect_program()
+
+
+class TestAccepts:
+    def test_canonical_2bb_loop(self):
+        prog = _program_with(lambda pb, mn: spin_flag_2bb(mn, mn.addr("FLAG")))
+        spins = _detect(prog)
+        assert len(spins) == 1
+        assert spins[0].effective_blocks == 2
+        assert len(spins[0].cond_load_locs) == 1
+
+    def test_two_flag_3bb_loop_marks_both_loads(self):
+        prog = _program_with(
+            lambda pb, mn: spin_two_flags_3bb(mn, mn.addr("FLAG"), 0, 1)
+        )
+        spins = _detect(prog)
+        assert len(spins) == 1
+        assert spins[0].effective_blocks == 3
+        # Both flag loads feed the exit decision (control dependence).
+        assert len(spins[0].cond_load_locs) == 2
+
+    def test_invariant_register_condition(self):
+        """mutex-style: condition compares a load against a pre-loop reg."""
+
+        def body(pb, mn):
+            target = mn.const(3)
+            f = mn.addr("FLAG")
+            mn.jmp("head")
+            mn.label("head")
+            v = mn.load(f)
+            ok = mn.eq(v, target)
+            mn.br(ok, "after", "spin")
+            mn.label("spin")
+            mn.yield_()
+            mn.jmp("head")
+            mn.label("after")
+
+        assert len(_detect(_program_with(body))) == 1
+
+    def test_helper_condition_inlined(self):
+        def extra(pb):
+            make_condition_helper(pb, "chk", 5)
+
+        prog = _program_with(
+            lambda pb, mn: spin_with_helper(mn, "chk", mn.addr("FLAG")), extra
+        )
+        spins = _detect(prog, k=7)
+        assert len(spins) == 1
+        assert spins[0].effective_blocks == 7
+        assert spins[0].inlined_callees == ("chk",)
+        assert spins[0].cond_load_locs  # the helper's load is marked
+
+    def test_negated_condition(self):
+        def body(pb, mn):
+            f = mn.addr("FLAG")
+            mn.jmp("head")
+            mn.label("head")
+            v = mn.load(f)
+            busy = mn.ne(v, 0)
+            stop = mn.not_(busy)
+            mn.br(stop, "after", "spin")
+            mn.label("spin")
+            mn.yield_()
+            mn.jmp("head")
+            mn.label("after")
+
+        assert len(_detect(_program_with(body))) == 1
+
+    def test_library_spin_loops_detected(self):
+        from repro.runtime import build_library
+
+        lib = build_library()
+        det = SpinLoopDetector(lib, max_blocks=7)
+        detected = {s.loop.function for s in det.detect_program()}
+        assert detected == {
+            "spinlock_acquire",
+            "mutex_lock",
+            "cv_wait",
+            "barrier_wait",
+            "sem_wait",
+        }
+
+
+class TestWindow:
+    @pytest.mark.parametrize("helper_blocks,detected_at", [(2, 4), (3, 5), (5, 7)])
+    def test_effective_size_is_loop_plus_helper(self, helper_blocks, detected_at):
+        def extra(pb):
+            make_condition_helper(pb, "chk", helper_blocks)
+
+        prog = _program_with(
+            lambda pb, mn: spin_with_helper(mn, "chk", mn.addr("FLAG")), extra
+        )
+        assert len(_detect(prog, k=detected_at)) == 1
+        assert len(_detect(prog, k=detected_at - 1)) == 0
+
+    def test_oversized_rejected_at_8(self):
+        def extra(pb):
+            make_condition_helper(pb, "chk", 7)  # effective 9
+
+        prog = _program_with(
+            lambda pb, mn: spin_with_helper(mn, "chk", mn.addr("FLAG")), extra
+        )
+        assert len(_detect(prog, k=8)) == 0
+
+
+class TestRejects:
+    def test_store_in_loop_body(self):
+        def body(pb, mn):
+            f = mn.addr("FLAG")
+            mn.jmp("head")
+            mn.label("head")
+            v = mn.load(f)
+            mn.store(f, v, offset=1)  # the loop writes memory
+            ok = mn.eq(v, 1)
+            mn.br(ok, "after", "spin")
+            mn.label("spin")
+            mn.yield_()
+            mn.jmp("head")
+            mn.label("after")
+
+        assert _detect(_program_with(body)) == []
+
+    def test_no_load_in_condition(self):
+        def body(pb, mn):
+            c = mn.const(0)
+            mn.jmp("head")
+            mn.label("head")
+            ok = mn.eq(c, 1)
+            mn.br(ok, "after", "spin")
+            mn.label("spin")
+            mn.yield_()
+            mn.jmp("head")
+            mn.label("after")
+
+        assert _detect(_program_with(body)) == []
+
+    def test_function_pointer_condition_opaque(self):
+        def extra(pb):
+            make_condition_helper(pb, "chk", 2)
+
+        prog = _program_with(
+            lambda pb, mn: spin_with_funcptr(mn, "chk", mn.addr("FLAG")), extra
+        )
+        assert _detect(prog) == []
+
+    def test_loop_carried_counter_condition(self):
+        """'value of loop condition changed inside the loop' — rejected."""
+
+        def body(pb, mn):
+            f = mn.addr("FLAG")
+            i = mn.reg("i")
+            mn.emit(ins.Const(i, 0))
+            mn.jmp("head")
+            mn.label("head")
+            v = mn.load(f)
+            got = mn.ne(v, 0)
+            timeout = mn.gt(i, mn.const(1_000_000))
+            stop = mn.or_(got, timeout)
+            mn.br(stop, "after", "spin")
+            mn.label("spin")
+            mn.emit(ins.Mov(i, mn.add(i, 1)))
+            mn.yield_()
+            mn.jmp("head")
+            mn.label("after")
+
+        assert _detect(_program_with(body)) == []
+
+    def test_impure_helper_rejected(self):
+        def extra(pb):
+            h = pb.function("chk", params=("f",))
+            v = h.load("f")
+            h.store("f", v, offset=1)  # helper writes memory
+            h.ret(h.eq(v, 1))
+
+        prog = _program_with(
+            lambda pb, mn: spin_with_helper(mn, "chk", mn.addr("FLAG")), extra
+        )
+        assert _detect(prog) == []
+
+    def test_deep_call_chain_beyond_inline_depth(self):
+        def extra(pb):
+            inner = pb.function("inner", params=("f",))
+            inner.ret(inner.eq(inner.load("f"), 1))
+            outer = pb.function("outer", params=("f",))
+            outer.ret(outer.call("inner", ["f"], want_result=True))
+
+        prog = _program_with(
+            lambda pb, mn: spin_with_helper(mn, "outer", mn.addr("FLAG")), extra
+        )
+        assert _detect(prog, depth=1) == []
+        assert len(_detect(prog, depth=2)) == 1
+
+    def test_recursive_helper_rejected(self):
+        def extra(pb):
+            h = pb.function("chk", params=("f",))
+            h.ret(h.call("chk", ["f"], want_result=True))
+
+        prog = _program_with(
+            lambda pb, mn: spin_with_helper(mn, "chk", mn.addr("FLAG")), extra
+        )
+        assert _detect(prog, depth=5) == []
+
+    def test_counting_data_loop_not_marked(self):
+        """A reduce loop (load + accumulate into a loop-carried register)
+        is not a spin loop: its exit depends on the counter."""
+
+        def body(pb, mn):
+            f = mn.addr("FLAG")
+            i = mn.reg("i")
+            acc = mn.reg("acc")
+            mn.emit(ins.Const(i, 0))
+            mn.emit(ins.Const(acc, 0))
+            mn.jmp("head")
+            mn.label("head")
+            v = mn.load(f)
+            mn.emit(ins.Mov(acc, mn.add(acc, v)))
+            mn.emit(ins.Mov(i, mn.add(i, 1)))
+            c = mn.lt(i, mn.const(10))
+            mn.br(c, "head", "after")
+            mn.label("after")
+            mn.print_(acc)
+
+        assert _detect(_program_with(body)) == []
+
+    def test_loop_with_spawn_rejected(self):
+        def extra(pb):
+            w = pb.function("w")
+            w.ret()
+
+        def body(pb, mn):
+            f = mn.addr("FLAG")
+            mn.jmp("head")
+            mn.label("head")
+            mn.emit(ins.Spawn(mn.reg(), "w", ()))
+            v = mn.load(f)
+            ok = mn.eq(v, 1)
+            mn.br(ok, "after", "head")
+            mn.label("after")
+
+        assert _detect(_program_with(body, extra)) == []
+
+
+class TestInstrumentationMap:
+    def test_map_contents(self):
+        prog = _program_with(lambda pb, mn: spin_flag_2bb(mn, mn.addr("FLAG")))
+        imap = instrument_program(prog, max_blocks=7)
+        assert imap.num_loops == 1
+        assert len(imap.loop_headers) == 1
+        assert len(imap.cond_loads) == 1
+        assert len(imap.exit_edges) == 1
+        (func, header), loop_id = next(iter(imap.loop_headers.items()))
+        assert func == "main"
+        assert loop_id == 0
+
+    def test_memory_words_positive(self):
+        prog = _program_with(lambda pb, mn: spin_flag_2bb(mn, mn.addr("FLAG")))
+        imap = instrument_program(prog)
+        assert imap.memory_words() > 0
+
+    def test_empty_program_empty_map(self):
+        pb = ProgramBuilder("t")
+        mn = pb.function("main")
+        mn.halt()
+        imap = instrument_program(pb.build())
+        assert imap.num_loops == 0
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=60, deadline=None)
+def test_property_loops_with_stores_never_marked(seed):
+    """Invariant: no loop containing a store is ever classified as a
+    spinning read loop, for arbitrary store positions."""
+    import random
+
+    rng = random.Random(seed)
+    pb = ProgramBuilder("t")
+    pb.global_("FLAG", 2)
+    mn = pb.function("main")
+    f = mn.addr("FLAG")
+    mn.jmp("head")
+    mn.label("head")
+    if rng.random() < 0.5:
+        mn.store(f, mn.const(rng.randrange(5)), offset=1)
+    v = mn.load(f)
+    ok = mn.eq(v, 1)
+    mn.br(ok, "after", "spin")
+    mn.label("spin")
+    if rng.random() < 0.5:
+        mn.store(f, mn.const(rng.randrange(5)), offset=1)
+    else:
+        mn.yield_()
+    mn.jmp("head")
+    mn.label("after")
+    mn.halt()
+    prog = pb.build()
+    spins = SpinLoopDetector(prog, max_blocks=8).detect_program()
+    has_store_in_loop = any(
+        isinstance(i, ins.Store)
+        for label in ("head", "spin")
+        for i in prog.functions["main"].blocks[label].instructions
+    )
+    if has_store_in_loop:
+        assert spins == []
+    else:
+        assert len(spins) == 1

@@ -1,0 +1,102 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import pytest
+
+from repro.analysis import instrument_program
+from repro.detectors import RaceDetector, ToolConfig
+from repro.isa import ProgramBuilder, validate_program
+from repro.isa.program import Program
+from repro.runtime import build_library
+from repro.vm import Machine, RandomScheduler
+
+
+@pytest.fixture
+def library() -> Program:
+    return build_library()
+
+
+def run_program(
+    program: Program,
+    seed: int = 1,
+    max_steps: int = 300_000,
+    listener=None,
+    instrumentation=None,
+):
+    """Validate and run a program; returns (machine, result)."""
+    validate_program(program)
+    machine = Machine(
+        program,
+        scheduler=RandomScheduler(seed),
+        listener=listener,
+        instrumentation=instrumentation,
+        max_steps=max_steps,
+    )
+    result = machine.run()
+    return machine, result
+
+
+def detect(
+    program: Program,
+    config: ToolConfig,
+    seed: int = 1,
+    max_steps: int = 300_000,
+):
+    """Run a program under a detector config; returns (detector, result)."""
+    validate_program(program)
+    imap = None
+    if config.spin:
+        imap = instrument_program(
+            program, max_blocks=config.spin_max_blocks, inline_depth=config.inline_depth
+        )
+    detector = RaceDetector(config)
+    machine = Machine(
+        program,
+        scheduler=RandomScheduler(seed),
+        listener=detector,
+        instrumentation=imap,
+        max_steps=max_steps,
+    )
+    detector.algorithm.symbolize = machine.memory.symbols.resolve
+    result = machine.run()
+    return detector, result
+
+
+def flag_handoff_program() -> Program:
+    """The paper's motivating example (slide 15): DATA/FLAG handoff."""
+    pb = ProgramBuilder("flag_handoff")
+    pb.global_("FLAG", 1)
+    pb.global_("DATA", 1)
+
+    prod = pb.function("producer")
+    d = prod.addr("DATA")
+    prod.store(d, prod.add(prod.load(d), 1))
+    prod.store_global("FLAG", 1)
+    prod.ret()
+
+    cons = pb.function("consumer")
+    f = cons.addr("FLAG")
+    cons.jmp("spin")
+    cons.label("spin")
+    v = cons.load(f)
+    z = cons.eq(v, 0)
+    cons.br(z, "body", "after")
+    cons.label("body")
+    cons.yield_()
+    cons.jmp("spin")
+    cons.label("after")
+    d = cons.addr("DATA")
+    cons.store(d, cons.sub(cons.load(d), 1))
+    cons.ret()
+
+    mn = pb.function("main")
+    a = mn.spawn("producer", [])
+    b = mn.spawn("consumer", [])
+    mn.join(a)
+    mn.join(b)
+    mn.halt()
+    pb.link(build_library())
+    return pb.build()

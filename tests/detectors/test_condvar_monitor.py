@@ -1,0 +1,119 @@
+"""Condvar bug-pattern detection (Helgrind+'s slide-14 features)."""
+
+from repro.detectors import CondvarMonitor, ToolConfig
+from repro.isa.program import CodeLocation
+from repro.runtime import CONDVAR_SIZE, MUTEX_SIZE
+from repro.workloads.common import busy_nops, finish_main, new_program
+
+from tests.conftest import detect
+
+L = lambda i: CodeLocation("f", "b", i)
+
+
+class TestMonitorUnit:
+    def test_signal_then_wait_is_clean(self):
+        m = CondvarMonitor()
+        m.wait_enter(1, 0x10, L(0))
+        m.signal(0x10)
+        m.wait_exit(1, 0x10, L(1))
+        assert m.finalize() == []
+
+    def test_outstanding_wait_is_lost_signal(self):
+        m = CondvarMonitor()
+        m.signal(0x10)  # signal delivered BEFORE the wait started
+        m.wait_enter(1, 0x10, L(0))
+        warnings = m.finalize()
+        assert len(warnings) == 1
+        assert warnings[0].kind == "lost-signal"
+        assert warnings[0].tid == 1
+
+    def test_wait_exit_without_new_signal_is_spurious(self):
+        m = CondvarMonitor()
+        m.signal(0x10)
+        m.wait_enter(1, 0x10, L(0))  # entry count = 1
+        m.wait_exit(1, 0x10, L(1))  # no NEW signal since entry
+        warnings = m.finalize()
+        assert [w.kind for w in warnings] == ["spurious-wakeup"]
+
+    def test_signal_on_other_cv_does_not_pair(self):
+        m = CondvarMonitor()
+        m.wait_enter(1, 0x10, L(0))
+        m.signal(0x99)
+        m.wait_exit(1, 0x10, L(1))
+        assert [w.kind for w in m.finalize()] == ["spurious-wakeup"]
+
+    def test_multiple_waiters_one_broadcast(self):
+        m = CondvarMonitor()
+        m.wait_enter(1, 0x10, L(0))
+        m.wait_enter(2, 0x10, L(0))
+        m.signal(0x10)
+        m.wait_exit(1, 0x10, L(1))
+        m.wait_exit(2, 0x10, L(1))
+        assert m.finalize() == []
+
+    def test_memory_accounting(self):
+        m = CondvarMonitor()
+        m.wait_enter(1, 0x10, L(0))
+        assert m.memory_words() > 0
+
+
+def _lost_signal_program():
+    """Signal delivered before the waiter snapshots the generation: the
+    waiter spins forever (bounded by the step budget)."""
+    pb = new_program("lost_signal")
+    pb.global_("M", MUTEX_SIZE)
+    pb.global_("CV", CONDVAR_SIZE)
+
+    sig = pb.function("signaler")
+    m = sig.addr("M")
+    cv = sig.addr("CV")
+    sig.call("mutex_lock", [m])
+    sig.call("cv_signal", [cv])  # nobody is waiting yet: signal is lost
+    sig.call("mutex_unlock", [m])
+    sig.ret()
+
+    w = pb.function("waiter")
+    busy_nops(w, 120)  # guarantee the signal fires first
+    m = w.addr("M")
+    cv = w.addr("CV")
+    w.call("mutex_lock", [m])
+    # BUG: no predicate loop — waits unconditionally after the signal.
+    w.call("cv_wait", [cv, m])
+    w.call("mutex_unlock", [m])
+    w.ret()
+
+    mn = pb.function("main")
+    tids = [mn.spawn("signaler", []), mn.spawn("waiter", [])]
+    finish_main(mn, tids)
+    return pb.build()
+
+
+class TestEndToEnd:
+    def test_lost_signal_detected_on_hung_run(self):
+        det, result = detect(
+            _lost_signal_program(),
+            ToolConfig.helgrind_lib(),
+            seed=1,
+            max_steps=30_000,
+        )
+        assert result.timed_out  # the waiter spins forever
+        warnings = det.sync_warnings()
+        assert any(w.kind == "lost-signal" for w in warnings)
+
+    def test_correct_protocol_produces_no_warnings(self):
+        from repro.workloads.dr_test.condvars import _signal_wait_handoff
+
+        det, result = detect(
+            _signal_wait_handoff(2)(), ToolConfig.helgrind_lib(), seed=1
+        )
+        assert result.ok
+        assert det.sync_warnings() == []
+
+    def test_nolib_mode_has_no_monitor(self):
+        det, result = detect(
+            _lost_signal_program(),
+            ToolConfig.helgrind_nolib_spin(7),
+            seed=1,
+            max_steps=30_000,
+        )
+        assert det.sync_warnings() == []

@@ -1,0 +1,101 @@
+"""The detector façade: tool configs, interception, event routing."""
+
+import pytest
+
+from repro.detectors import RaceDetector, ToolConfig
+from repro.isa.builder import ProgramBuilder
+from repro.runtime import MUTEX_SIZE, build_library
+
+from tests.conftest import detect, flag_handoff_program
+
+
+class TestToolConfigs:
+    def test_paper_presets(self):
+        lib, lib_spin, nolib_spin, drd = ToolConfig.paper_tools(7)
+        assert lib.intercept_lib and not lib.spin and lib.coarse_cv
+        assert lib_spin.spin and lib_spin.spin_max_blocks == 7
+        assert not lib_spin.coarse_cv
+        assert not nolib_spin.intercept_lib and nolib_spin.spin
+        assert drd.algorithm == "hb" and not drd.spin
+        assert drd.context_granularity == "address"
+
+    def test_spin_k_in_name(self):
+        assert "spin(3)" in ToolConfig.helgrind_lib_spin(3).name
+
+    def test_with_name(self):
+        cfg = ToolConfig.drd().with_name("renamed")
+        assert cfg.name == "renamed" and cfg.algorithm == "hb"
+
+    def test_detector_algorithm_selection(self):
+        assert RaceDetector(ToolConfig.drd()).algorithm.name == "pure-hb"
+        assert RaceDetector(ToolConfig.helgrind_lib()).algorithm.name == "hybrid"
+
+    def test_spin_configs_have_adhoc_engine(self):
+        assert RaceDetector(ToolConfig.helgrind_lib_spin(7)).adhoc is not None
+        assert RaceDetector(ToolConfig.helgrind_lib()).adhoc is None
+
+
+def _locked_counter_program():
+    pb = ProgramBuilder("t")
+    pb.global_("C", 1)
+    pb.global_("M", MUTEX_SIZE)
+    w = pb.function("worker")
+    m = w.addr("M")
+    w.call("mutex_lock", [m])
+    a = w.addr("C")
+    w.store(a, w.add(w.load(a), 1))
+    w.call("mutex_unlock", [m])
+    w.ret()
+    mn = pb.function("main")
+    t1 = mn.spawn("worker", [])
+    t2 = mn.spawn("worker", [])
+    mn.join(t1)
+    mn.join(t2)
+    mn.halt()
+    pb.link(build_library())
+    return pb.build()
+
+
+class TestInterception:
+    def test_lib_mode_hides_library_internals(self):
+        det, _ = detect(_locked_counter_program(), ToolConfig.helgrind_lib())
+        # The mutex words are library-internal: no shadow cells for them
+        # beyond the user counter.
+        assert det.report.racy_contexts == 0
+        assert len(det.algorithm.shadow) == 1  # only the counter
+
+    def test_nolib_mode_sees_raw_traffic(self):
+        det, _ = detect(
+            _locked_counter_program(), ToolConfig.helgrind_nolib_spin(7)
+        )
+        assert len(det.algorithm.shadow) > 1  # lock words visible too
+
+    def test_lib_mode_tracks_locksets(self):
+        det, _ = detect(_locked_counter_program(), ToolConfig.helgrind_lib())
+        # After the run all locks are released.
+        assert all(not held for held in det.algorithm._held.values())
+
+    def test_events_processed_counted(self):
+        det, _ = detect(_locked_counter_program(), ToolConfig.helgrind_lib())
+        assert det.events_processed > 0
+
+    def test_memory_words_positive(self):
+        det, _ = detect(_locked_counter_program(), ToolConfig.helgrind_lib())
+        assert det.memory_words() > 0
+
+
+class TestFourToolsOnMotivatingExample:
+    @pytest.mark.parametrize("k", [7, 8])
+    def test_spin_configs_clean(self, k):
+        for cfg in (ToolConfig.helgrind_lib_spin(k), ToolConfig.helgrind_nolib_spin(k)):
+            det, result = detect(flag_handoff_program(), cfg)
+            assert result.ok
+            assert det.report.racy_contexts == 0, cfg.name
+
+    def test_non_spin_configs_report_apparent_and_sync_races(self):
+        for cfg in (ToolConfig.helgrind_lib(), ToolConfig.drd()):
+            det, result = detect(flag_handoff_program(), cfg)
+            assert result.ok
+            syms = det.report.reported_base_symbols
+            assert "DATA" in syms, cfg.name  # apparent race
+            assert "FLAG" in syms, cfg.name  # synchronization race

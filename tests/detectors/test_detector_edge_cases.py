@@ -1,0 +1,151 @@
+"""Detector corner cases: interception nuances, DRD granularity, caps."""
+
+from repro.detectors import RaceDetector, ToolConfig
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import Const, Mov
+from repro.runtime import CONDVAR_SIZE, MUTEX_SIZE, SEM_SIZE, build_library
+from repro.workloads.common import counted_loop, finish_main, new_program
+
+from tests.conftest import detect
+
+
+def _array_race_program(words: int):
+    pb = new_program("arr")
+    pb.global_("ARR", words)
+    w = pb.function("writer")
+    base = w.addr("ARR")
+    for k in range(words):
+        w.store(base, k, offset=k)
+    w.ret()
+    r = pb.function("reader")
+    base = r.addr("ARR")
+    s = r.reg("s")
+    r.emit(Const(s, 0))
+    for k in range(words):
+        r.emit(Mov(s, r.add(s, r.load(base, offset=k))))
+    r.ret(s)
+    mn = pb.function("main")
+    tids = [mn.spawn("writer", []), mn.spawn("reader", [])]
+    finish_main(mn, tids)
+    return pb.build()
+
+
+class TestGranularity:
+    def test_helgrind_collapses_array_to_symbol(self):
+        det, _ = detect(_array_race_program(12), ToolConfig.helgrind_lib(), seed=2)
+        # 12 racy elements, each with its own site pair -> 12 contexts at
+        # symbol granularity (sites differ), but all on one base symbol.
+        assert det.report.reported_base_symbols == {"ARR"}
+
+    def test_drd_counts_each_element(self):
+        hel, _ = detect(_array_race_program(12), ToolConfig.helgrind_lib(), seed=2)
+        drd, _ = detect(_array_race_program(12), ToolConfig.drd(), seed=2)
+        assert drd.report.racy_contexts >= hel.report.racy_contexts
+
+    def test_cap_respected_on_huge_conflict(self):
+        det, _ = detect(_array_race_program(40), ToolConfig.drd(), seed=2)
+        assert det.report.racy_contexts <= 1000
+
+
+class TestInterceptionNuances:
+    def test_cv_wait_reacquires_lock_in_lockset(self):
+        """After cv_wait returns, the waiter holds the mutex again —
+        accesses in the re-entered critical section must be excused."""
+        pb = new_program("cvw")
+        pb.global_("READY", 1)
+        pb.global_("SHARED", 1)
+        pb.global_("M", MUTEX_SIZE)
+        pb.global_("CV", CONDVAR_SIZE)
+        prod = pb.function("producer")
+        m = prod.addr("M")
+        cv = prod.addr("CV")
+        prod.call("mutex_lock", [m])
+        s = prod.addr("SHARED")
+        prod.store(s, 1)
+        prod.store_global("READY", 1)
+        prod.call("cv_broadcast", [cv])
+        prod.call("mutex_unlock", [m])
+        prod.ret()
+        cons = pb.function("consumer")
+        m = cons.addr("M")
+        cv = cons.addr("CV")
+        cons.call("mutex_lock", [m])
+        cons.jmp("check")
+        cons.label("check")
+        rdy = cons.load_global("READY")
+        cons.br(cons.ne(rdy, 0), "go", "wait")
+        cons.label("wait")
+        cons.call("cv_wait", [cv, m])
+        cons.jmp("check")
+        cons.label("go")
+        s = cons.addr("SHARED")
+        cons.store(s, cons.add(cons.load(s), 1))  # inside the CS
+        cons.call("mutex_unlock", [m])
+        cons.ret()
+        mn = pb.function("main")
+        tids = [mn.spawn("consumer", []), mn.spawn("producer", [])]
+        finish_main(mn, tids)
+        for seed in range(4):
+            det, result = detect(pb.build(), ToolConfig.helgrind_lib(), seed=seed)
+            assert result.ok
+            assert det.report.racy_contexts == 0, seed
+
+    def test_sem_multi_token_pool(self):
+        """A 2-token semaphore lets two holders run concurrently; their
+        accesses to disjoint slots are fine, and the conservative
+        join-all-posts hb never creates false ordering *reports*."""
+        pb = new_program("sem2")
+        pb.global_("S", SEM_SIZE, init=(2,))
+        pb.global_("SLOTS", 2)
+        w = pb.function("worker", params=("idx",))
+        s = w.addr("S")
+        w.call("sem_wait", [s])
+        base = w.addr("SLOTS")
+        w.store(w.add(base, "idx"), 1)
+        w.call("sem_post", [s])
+        w.ret()
+        mn = pb.function("main")
+        tids = [mn.spawn("worker", [mn.const(i)]) for i in range(2)]
+        finish_main(mn, tids)
+        det, result = detect(pb.build(), ToolConfig.helgrind_lib(), seed=1)
+        assert result.ok and det.report.racy_contexts == 0
+
+    def test_barrier_init_traffic_hidden_in_lib_mode(self):
+        pb = new_program("bi")
+        from repro.runtime import BARRIER_SIZE
+
+        pb.global_("B", BARRIER_SIZE)
+        mn = pb.function("main")
+        b = mn.addr("B")
+        mn.call("barrier_init", [b, mn.const(1)])
+        mn.call("barrier_wait", [b])
+        mn.halt()
+        det, result = detect(pb.build(), ToolConfig.helgrind_lib(), seed=1)
+        assert result.ok
+        assert len(det.algorithm.shadow) == 0  # all traffic was internal
+
+
+class TestSymbolizeDefaults:
+    def test_detector_without_symbolizer_uses_hex(self):
+        program = _array_race_program(2)
+        from repro.analysis import instrument_program
+        from repro.vm import Machine, RandomScheduler
+
+        det = RaceDetector(ToolConfig.helgrind_lib())
+        Machine(program, scheduler=RandomScheduler(2), listener=det).run()
+        if det.report.warnings:
+            assert det.report.warnings[0].symbol.startswith("0x")
+
+
+class TestEventsDropWhenIrrelevant:
+    def test_marked_events_ignored_without_spin(self):
+        """A spin-off detector fed marked events must not crash or
+        change verdicts (the trace replayer relies on this)."""
+        from repro.trace import record_trace, replay_trace
+
+        from tests.conftest import flag_handoff_program
+
+        trace = record_trace(flag_handoff_program(), seed=1)
+        det = replay_trace(trace, ToolConfig.helgrind_lib())
+        assert det.adhoc is None
+        assert det.report.racy_contexts > 0  # lib still FPs, as live

@@ -1,0 +1,175 @@
+"""Pure lockset analysis — the paper's background slides 8-12 as tests."""
+
+from repro.detectors import EraserAlgorithm, ToolConfig
+from repro.detectors.reports import Report
+from repro.isa.program import CodeLocation
+from repro.runtime import CONDVAR_SIZE, MUTEX_SIZE
+from repro.workloads.common import finish_main, new_program
+
+from tests.conftest import detect
+
+L = lambda i: CodeLocation("f", "b", i)
+
+
+def _eraser():
+    return EraserAlgorithm(Report("eraser"))
+
+
+class TestStateMachine:
+    def test_virgin_to_exclusive_no_warning(self):
+        a = _eraser()
+        a.write(1, 0x10, 1, L(0), False)
+        a.write(1, 0x10, 2, L(1), False)  # still exclusive to T1
+        assert a.report.racy_contexts == 0
+
+    def test_initialization_false_positive(self):
+        """v1 lockset's famous weakness: an unlocked initialization
+        empties the candidate set, so the first locked use by another
+        thread is (wrongly) flagged.  The Exclusive-state refinement of
+        the later Eraser paper fixes this; the slides present v1."""
+        a = _eraser()
+        a.write(0, 0x10, 1, L(0), False)  # main initializes, no locks
+        a.acquire_lock(1, 0xA)
+        a.write(1, 0x10, 2, L(1), False)  # C(v) = {} & {A} = {}
+        a.release_lock(1, 0xA)
+        assert a.report.racy_contexts == 1
+
+    def test_slide9_lockset_refinement_to_empty(self):
+        """The slide-9 run: v is used under m1 by both threads, then
+        accessed without any lock — the candidate set refines
+        {m1,m2,...} -> {m1} -> {m1} -> {} and the warning fires."""
+        a = _eraser()
+        a.acquire_lock(1, 0xA)  # Lock(m1)
+        a.write(1, 0x10, 1, L(0), False)  # v = v + 1   (Exclusive)
+        a.release_lock(1, 0xA)
+        a.acquire_lock(2, 0xA)  # thread 2, same lock
+        a.write(2, 0x10, 2, L(1), False)  # C(v) = {m1}
+        a.release_lock(2, 0xA)
+        assert a.report.racy_contexts == 0
+        a.write(1, 0x10, 3, L(2), False)  # no lock: C(v) = {} -> warn
+        assert a.report.racy_contexts == 1
+
+    def test_disjoint_locks_refine_to_empty(self):
+        a = _eraser()
+        a.acquire_lock(1, 0xA)
+        a.write(1, 0x10, 1, L(0), False)
+        a.release_lock(1, 0xA)
+        a.acquire_lock(2, 0xB)
+        a.write(2, 0x10, 2, L(1), False)  # C(v) = {A} & {B} = {}
+        a.release_lock(2, 0xB)
+        a.acquire_lock(1, 0xA)
+        a.write(1, 0x10, 3, L(2), False)  # {B} & {A} = {} -> warn
+        a.release_lock(1, 0xA)
+        assert a.report.racy_contexts >= 1
+
+    def test_consistent_lock_never_warns(self):
+        a = _eraser()
+        for tid in (1, 2, 1, 2):
+            a.acquire_lock(tid, 0xA)
+            a.write(tid, 0x10, tid, L(tid), False)
+            a.release_lock(tid, 0xA)
+        assert a.report.racy_contexts == 0
+
+    def test_read_only_sharing_is_quiet(self):
+        """A variable that is never written warns nothing, whatever the
+        locking discipline."""
+        a = _eraser()
+        a.read(1, 0x10, L(0), False)
+        a.read(2, 0x10, L(1), False)
+        a.read(3, 0x10, L(2), False)
+        assert a.report.racy_contexts == 0
+
+    def test_write_after_shared_reads_escalates(self):
+        a = _eraser()
+        a.write(1, 0x10, 1, L(0), False)
+        a.read(2, 0x10, L(1), False)  # pair (w, r), empty set -> warn
+        a.write(3, 0x10, 2, L(2), False)  # pair (r, w) -> warn
+        assert a.report.racy_contexts >= 1
+
+    def test_signal_wait_false_positive(self):
+        """Slide 10: lockset cannot see signal/wait — false alarm."""
+        a = _eraser()
+        a.write(1, 0x10, 0, L(0), False)  # X=0; X++ by thread 1
+        a.signal(1, 0xCC)  # Signal(CV) — invisible to lockset
+        a.wait_return(2, 0xCC)  # Wait(CV)
+        a.read(2, 0x10, L(1), False)  # T=X -> warning (wrongly)
+        assert a.report.racy_contexts == 1
+
+
+class TestEndToEnd:
+    def _cv_program(self):
+        pb = new_program("cv")
+        pb.global_("X", 1)
+        pb.global_("READY", 1)
+        pb.global_("M", MUTEX_SIZE)
+        pb.global_("CV", CONDVAR_SIZE)
+        prod = pb.function("producer")
+        prod.store_global("X", 1)
+        m = prod.addr("M")
+        cv = prod.addr("CV")
+        prod.call("mutex_lock", [m])
+        prod.store_global("READY", 1)
+        prod.call("cv_broadcast", [cv])
+        prod.call("mutex_unlock", [m])
+        prod.ret()
+        cons = pb.function("consumer")
+        m = cons.addr("M")
+        cv = cons.addr("CV")
+        cons.call("mutex_lock", [m])
+        cons.jmp("check")
+        cons.label("check")
+        r = cons.load_global("READY")
+        cons.br(cons.ne(r, 0), "go", "wait")
+        cons.label("wait")
+        cons.call("cv_wait", [cv, m])
+        cons.jmp("check")
+        cons.label("go")
+        cons.call("mutex_unlock", [m])
+        cons.print_(cons.load_global("X"))
+        cons.ret()
+        mn = pb.function("main")
+        tids = [mn.spawn("consumer", []), mn.spawn("producer", [])]
+        finish_main(mn, tids)
+        return pb.build()
+
+    def test_eraser_false_positive_on_condvar_program(self):
+        """The slide-10 scenario end-to-end: hb-aware tools are clean,
+        pure lockset flags X."""
+        eraser, result = detect(self._cv_program(), ToolConfig.eraser(), seed=1)
+        assert result.ok
+        assert "X" in eraser.report.reported_base_symbols
+
+        hb, _ = detect(self._cv_program(), ToolConfig.drd(), seed=1)
+        assert "X" not in hb.report.reported_base_symbols
+
+    def test_eraser_clean_on_locked_program(self):
+        pb = new_program("locked")
+        pb.global_("C", 1)
+        pb.global_("M", MUTEX_SIZE)
+        w = pb.function("worker")
+        m = w.addr("M")
+        w.call("mutex_lock", [m])
+        a = w.addr("C")
+        w.store(a, w.add(w.load(a), 1))
+        w.call("mutex_unlock", [m])
+        w.ret()
+        mn = pb.function("main")
+        tids = [mn.spawn("worker", []), mn.spawn("worker", [])]
+        finish_main(mn, tids)
+        det, result = detect(pb.build(), ToolConfig.eraser(), seed=1)
+        assert result.ok
+        assert det.report.racy_contexts == 0
+
+    def test_eraser_catches_schedule_masked_races(self):
+        """Lockset's strength: it reports lock-masked races that pure hb
+        misses, in *any* schedule."""
+        from repro.workloads.dr_test.suite import build_suite
+
+        wl = {w.name: w for w in build_suite()}["racy_lockmask_basic"]
+        det, result = detect(wl.build(), ToolConfig.eraser(), seed=wl.seed)
+        assert result.ok
+        assert "X" in det.report.reported_base_symbols
+
+    def test_eraser_memory_accounting(self):
+        det, _ = detect(self._cv_program(), ToolConfig.eraser(), seed=1)
+        assert det.memory_words() > 0

@@ -1,0 +1,103 @@
+"""The hybrid/pure-hb sensitivity split — the paper's core trade-off."""
+
+from repro.isa.program import CodeLocation
+from repro.detectors.happensbefore import PureHappensBeforeAlgorithm
+from repro.detectors.hybrid import HybridAlgorithm
+from repro.detectors.reports import Report
+
+L = lambda i: CodeLocation("f", "b", i)
+
+
+def _both():
+    return (
+        HybridAlgorithm(Report("hy")),
+        PureHappensBeforeAlgorithm(Report("hb")),
+    )
+
+
+def _lock_masked_trace(algo):
+    """T1: x++ then empty CS; T2: CS then x++ (observed in that order)."""
+    algo.write(1, 0x10, 1, L(0), False)
+    algo.acquire_lock(1, 0x99)
+    algo.release_lock(1, 0x99)
+    algo.acquire_lock(2, 0x99)
+    algo.release_lock(2, 0x99)
+    algo.write(2, 0x10, 2, L(1), False)
+
+
+def _common_lock_trace(algo):
+    algo.acquire_lock(1, 0x99)
+    algo.write(1, 0x10, 1, L(0), False)
+    algo.release_lock(1, 0x99)
+    algo.acquire_lock(2, 0x99)
+    algo.write(2, 0x10, 2, L(1), False)
+    algo.release_lock(2, 0x99)
+
+
+class TestLockMaskedRace:
+    def test_hybrid_reports_lock_masked_race(self):
+        hy, hb = _both()
+        _lock_masked_trace(hy)
+        assert hy.report.racy_contexts == 1
+
+    def test_pure_hb_misses_lock_masked_race(self):
+        hy, hb = _both()
+        _lock_masked_trace(hb)
+        assert hb.report.racy_contexts == 0
+
+
+class TestCommonLock:
+    def test_hybrid_excuses_common_lock(self):
+        hy, hb = _both()
+        _common_lock_trace(hy)
+        assert hy.report.racy_contexts == 0
+
+    def test_pure_hb_orders_via_lock_edges(self):
+        hy, hb = _both()
+        _common_lock_trace(hb)
+        assert hb.report.racy_contexts == 0
+
+
+class TestDisjointLocks:
+    def test_hybrid_reports_disjoint_locksets(self):
+        hy, _ = _both()
+        hy.acquire_lock(1, 0xA)
+        hy.write(1, 0x10, 1, L(0), False)
+        hy.release_lock(1, 0xA)
+        hy.acquire_lock(2, 0xB)
+        hy.write(2, 0x10, 2, L(1), False)
+        hy.release_lock(2, 0xB)
+        assert hy.report.racy_contexts == 1
+
+    def test_hybrid_nonlock_hb_still_excuses(self):
+        """Condvar/semaphore edges remain valid hb in the hybrid."""
+        hy, _ = _both()
+        hy.write(1, 0x10, 1, L(0), False)
+        hy.signal(1, 0xCC)
+        hy.wait_return(2, 0xCC)
+        hy.write(2, 0x10, 2, L(1), False)
+        assert hy.report.racy_contexts == 0
+
+    def test_hybrid_lockset_partial_overlap(self):
+        hy, _ = _both()
+        hy.acquire_lock(1, 0xA)
+        hy.acquire_lock(1, 0xB)
+        hy.write(1, 0x10, 1, L(0), False)
+        hy.release_lock(1, 0xB)
+        hy.release_lock(1, 0xA)
+        hy.acquire_lock(2, 0xB)
+        hy.write(2, 0x10, 2, L(1), False)
+        hy.release_lock(2, 0xB)
+        assert hy.report.racy_contexts == 0  # B is common
+
+
+class TestAdhocEdgeInBoth:
+    def test_adhoc_edge_orders_for_hybrid(self):
+        hy, _ = _both()
+        hy.write(1, 0x10, 1, L(0), False)  # data
+        hy.write(1, 0x20, 1, L(1), False)  # flag (counterpart write)
+        rec = hy.last_write(0x20)
+        hy.adhoc_acquire(2, rec.vc)
+        hy.read(2, 0x10, L(2), False)
+        assert hy.report.racy_contexts == 0
+        assert hy.adhoc_edges == 1

@@ -1,0 +1,90 @@
+"""Property-based invariants of lockset machinery (DESIGN.md §6)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detectors import EraserAlgorithm, HybridAlgorithm
+from repro.detectors.reports import Report
+from repro.isa.program import CodeLocation
+
+L = CodeLocation("f", "b", 0)
+
+#: random event streams: (op, tid, obj-or-addr, is_write)
+OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["acq", "rel", "read", "write"]),
+        st.integers(0, 3),  # tid
+        st.integers(0, 4),  # lock id / address selector
+    ),
+    max_size=60,
+)
+
+
+@given(OPS)
+@settings(max_examples=120, deadline=None)
+def test_eraser_candidate_sets_only_shrink(ops):
+    """Lockset monotonicity: once refined, a variable's candidate set
+    never grows, for arbitrary acquire/release/access interleavings."""
+    algo = EraserAlgorithm(Report("e"))
+    snapshots = {}
+    for op, tid, sel in ops:
+        if op == "acq":
+            algo.acquire_lock(tid, 0x100 + sel)
+        elif op == "rel":
+            algo.release_lock(tid, 0x100 + sel)
+        else:
+            addr = 0x10 + sel
+            if op == "write":
+                algo.write(tid, addr, 0, L, False)
+            else:
+                algo.read(tid, addr, L, False)
+            cell = algo._cells[addr]
+            prev = snapshots.get(addr)
+            if prev is not None and cell.lockset is not None:
+                assert cell.lockset <= prev, (addr, prev, cell.lockset)
+            if cell.lockset is not None:
+                snapshots[addr] = cell.lockset
+
+
+@given(OPS)
+@settings(max_examples=120, deadline=None)
+def test_held_locks_never_negative_or_phantom(ops):
+    """A thread's held-lock set contains exactly the locks it acquired
+    and has not released, for arbitrary sequences (double releases and
+    unmatched releases are tolerated as no-ops)."""
+    algo = HybridAlgorithm(Report("h"))
+    model = {}
+    for op, tid, sel in ops:
+        obj = 0x100 + sel
+        if op == "acq":
+            algo.acquire_lock(tid, obj)
+            model.setdefault(tid, set()).add(obj)
+        elif op == "rel":
+            algo.release_lock(tid, obj)
+            model.setdefault(tid, set()).discard(obj)
+        elif op == "write":
+            algo.write(tid, 0x10 + sel, 0, L, False)
+        else:
+            algo.read(tid, 0x10 + sel, L, False)
+        assert algo._locks(tid) == frozenset(model.get(tid, set()))
+
+
+@given(OPS)
+@settings(max_examples=80, deadline=None)
+def test_report_counts_bounded_by_accesses(ops):
+    """Sanity: a detector can never report more raw warnings than it
+    checked access pairs (each access checks at most threads+1 pairs)."""
+    algo = HybridAlgorithm(Report("h"))
+    accesses = 0
+    for op, tid, sel in ops:
+        if op == "acq":
+            algo.acquire_lock(tid, 0x100 + sel)
+        elif op == "rel":
+            algo.release_lock(tid, 0x100 + sel)
+        elif op == "write":
+            algo.write(tid, 0x10 + sel, 0, L, False)
+            accesses += 1
+        else:
+            algo.read(tid, 0x10 + sel, L, False)
+            accesses += 1
+    assert algo.report.raw_count <= accesses * 5

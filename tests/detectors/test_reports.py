@@ -1,0 +1,93 @@
+"""Race warnings, context deduplication, the 1000-context cap."""
+
+from repro.isa.program import CodeLocation
+from repro.detectors.reports import AccessInfo, RaceWarning, Report
+
+
+def _warning(symbol="X", addr=0x1000, loc1=("f", "a", 0), loc2=("g", "b", 1)):
+    return RaceWarning(
+        addr=addr,
+        symbol=symbol,
+        prev=AccessInfo(0, CodeLocation(*loc1), True),
+        cur=AccessInfo(1, CodeLocation(*loc2), False),
+        kind="write-read",
+    )
+
+
+class TestRaceWarning:
+    def test_base_symbol_strips_offset(self):
+        assert _warning(symbol="ARR+5").base_symbol == "ARR"
+        assert _warning(symbol="X").base_symbol == "X"
+
+    def test_context_key_is_unordered(self):
+        a = _warning(loc1=("f", "a", 0), loc2=("g", "b", 1))
+        b = _warning(loc1=("g", "b", 1), loc2=("f", "a", 0))
+        assert a.context_key() == b.context_key()
+
+    def test_context_granularity(self):
+        w = _warning(symbol="ARR+5")
+        assert w.context_key("symbol")[0] == "ARR"
+        assert w.context_key("address")[0] == "ARR+5"
+
+    def test_str_mentions_symbol_and_threads(self):
+        s = str(_warning())
+        assert "X" in s and "T0" in s and "T1" in s
+
+
+class TestReport:
+    def test_dedup_same_context(self):
+        r = Report("tool")
+        assert r.add(_warning())
+        assert not r.add(_warning())
+        assert r.racy_contexts == 1
+        assert r.raw_count == 2
+
+    def test_different_locations_are_new_contexts(self):
+        r = Report("tool")
+        r.add(_warning(loc2=("g", "b", 1)))
+        r.add(_warning(loc2=("g", "b", 2)))
+        assert r.racy_contexts == 2
+
+    def test_symbol_granularity_collapses_array(self):
+        r = Report("tool", granularity="symbol")
+        r.add(_warning(symbol="ARR+0", addr=0x1000))
+        r.add(_warning(symbol="ARR+1", addr=0x1001))
+        assert r.racy_contexts == 1
+
+    def test_address_granularity_keeps_elements(self):
+        r = Report("tool", granularity="address")
+        r.add(_warning(symbol="ARR+0", addr=0x1000))
+        r.add(_warning(symbol="ARR+1", addr=0x1001))
+        assert r.racy_contexts == 2
+
+    def test_cap_enforced(self):
+        r = Report("tool", cap=10)
+        for i in range(50):
+            r.add(_warning(symbol=f"V{i}", addr=0x1000 + i))
+        assert r.racy_contexts == 10
+        assert r.raw_count == 50
+
+    def test_reported_base_symbols(self):
+        r = Report("tool")
+        r.add(_warning(symbol="ARR+3"))
+        r.add(_warning(symbol="X"))
+        assert r.reported_base_symbols == {"ARR", "X"}
+
+    def test_warnings_for(self):
+        r = Report("tool")
+        r.add(_warning(symbol="ARR+3"))
+        r.add(_warning(symbol="X"))
+        assert len(r.warnings_for("ARR")) == 1
+
+    def test_summary_truncates(self):
+        r = Report("tool", granularity="address")
+        for i in range(30):
+            r.add(_warning(symbol=f"V{i}", addr=0x2000 + i))
+        text = r.summary()
+        assert "more" in text
+
+    def test_memory_words(self):
+        r = Report("tool")
+        assert r.memory_words() == 0
+        r.add(_warning())
+        assert r.memory_words() > 0

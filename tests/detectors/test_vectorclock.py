@@ -1,0 +1,133 @@
+"""Vector clock tests, including property-based lattice laws."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detectors.vectorclock import ThreadClock, vc_join, vc_leq
+
+VCS = st.dictionaries(st.integers(0, 5), st.integers(1, 100), max_size=6)
+
+
+class TestVcOps:
+    def test_join_is_pointwise_max(self):
+        a = {0: 3, 1: 5}
+        vc_join(a, {1: 2, 2: 7})
+        assert a == {0: 3, 1: 5, 2: 7}
+
+    def test_leq_basic(self):
+        assert vc_leq({0: 1}, {0: 2})
+        assert not vc_leq({0: 2}, {0: 1})
+        assert vc_leq({}, {0: 1})
+        assert not vc_leq({1: 1}, {0: 5})
+
+    def test_missing_components_are_zero(self):
+        assert vc_leq({0: 0}, {})
+
+
+class TestThreadClock:
+    def test_initial_epoch(self):
+        t = ThreadClock(3)
+        assert t.clock == 1
+        assert t.vc == {3: 1}
+
+    def test_tick_advances_own_component(self):
+        t = ThreadClock(0)
+        t.tick()
+        assert t.clock == 2
+
+    def test_join_absorbs(self):
+        t = ThreadClock(0)
+        t.join({1: 5})
+        assert t.saw(1, 5)
+        assert not t.saw(1, 6)
+
+    def test_snapshot_caching(self):
+        t = ThreadClock(0)
+        s1 = t.snapshot()
+        s2 = t.snapshot()
+        assert s1 is s2  # cached between clock changes
+        t.tick()
+        s3 = t.snapshot()
+        assert s3 is not s1
+        assert s1 == {0: 1}  # old snapshot unaffected by later ticks
+
+    def test_join_invalidates_snapshot_only_on_change(self):
+        t = ThreadClock(0)
+        s1 = t.snapshot()
+        t.join({0: 1})  # no change
+        assert t.snapshot() is s1
+        t.join({7: 2})  # change
+        assert t.snapshot() is not s1
+
+    def test_memory_words_positive(self):
+        assert ThreadClock(0).memory_words() > 0
+
+
+# --- lattice laws -----------------------------------------------------------
+
+
+@given(VCS, VCS)
+@settings(max_examples=150, deadline=None)
+def test_join_is_upper_bound(a, b):
+    j = dict(a)
+    vc_join(j, b)
+    assert vc_leq(a, j)
+    assert vc_leq(b, j)
+
+
+@given(VCS, VCS)
+@settings(max_examples=150, deadline=None)
+def test_join_commutative(a, b):
+    ab = dict(a)
+    vc_join(ab, b)
+    ba = dict(b)
+    vc_join(ba, a)
+    assert ab == ba
+
+
+@given(VCS, VCS, VCS)
+@settings(max_examples=100, deadline=None)
+def test_join_associative(a, b, c):
+    left = dict(a)
+    vc_join(left, b)
+    vc_join(left, c)
+    bc = dict(b)
+    vc_join(bc, c)
+    right = dict(a)
+    vc_join(right, bc)
+    assert left == right
+
+
+@given(VCS)
+@settings(max_examples=80, deadline=None)
+def test_join_idempotent(a):
+    j = dict(a)
+    vc_join(j, a)
+    assert j == a
+
+
+@given(VCS, VCS)
+@settings(max_examples=150, deadline=None)
+def test_leq_antisymmetry_modulo_zero_components(a, b):
+    if vc_leq(a, b) and vc_leq(b, a):
+        norm = lambda vc: {k: v for k, v in vc.items() if v != 0}
+        assert norm(a) == norm(b)
+
+
+@given(VCS, VCS, VCS)
+@settings(max_examples=100, deadline=None)
+def test_leq_transitive(a, b, c):
+    if vc_leq(a, b) and vc_leq(b, c):
+        assert vc_leq(a, c)
+
+
+@given(VCS, VCS)
+@settings(max_examples=100, deadline=None)
+def test_join_is_least_upper_bound(a, b):
+    """Any upper bound of a and b dominates join(a, b)."""
+    j = dict(a)
+    vc_join(j, b)
+    upper = dict(a)
+    vc_join(upper, b)
+    vc_join(upper, {99: 1})  # a strictly-bigger bound
+    assert vc_leq(j, upper)

@@ -1,0 +1,59 @@
+"""The repro-experiments command-line interface."""
+
+import pytest
+
+from repro.harness.cli import main
+
+
+class TestCli:
+    def test_t3_prints_characteristics(self, capsys):
+        assert main(["t3"]) == 0
+        out = capsys.readouterr().out
+        assert "T3" in out
+        assert "blackscholes" in out and "raytrace" in out
+        assert "OpenMP" in out and "GLIB" in out
+
+    def test_t2_prints_sensitivity(self, capsys):
+        assert main(["t2"]) == 0
+        out = capsys.readouterr().out
+        assert "spin(3)" in out and "spin(8)" in out
+        assert "False alarms" in out
+
+    def test_t1_prints_suite_scores(self, capsys):
+        assert main(["t1"]) == 0
+        out = capsys.readouterr().out
+        assert "Helgrind+ lib" in out and "DRD" in out
+        assert "Correct" in out
+
+    def test_k_flag_changes_tools(self, capsys):
+        assert main(["--k", "3", "t1"]) == 0
+        out = capsys.readouterr().out
+        assert "spin(3)" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["nope"])
+
+    def test_t4_with_one_seed(self, capsys):
+        assert main(["--seeds", "1", "t4"]) == 0
+        out = capsys.readouterr().out
+        assert "T4a" in out and "T4b" in out
+        assert "freqmine" in out and "dedup" in out
+
+    def test_f1_memory_figure(self, capsys):
+        assert main(["--repeats", "1", "f1"]) == 0
+        out = capsys.readouterr().out
+        assert "F1" in out and "mean memory overhead" in out
+
+    def test_cases_inventory(self, capsys):
+        assert main(["cases"]) == 0
+        out = capsys.readouterr().out
+        assert "120-case suite" in out
+        assert "racy_counter_t2" in out
+        assert "29 racy / 91 race-free" in out
+
+    def test_oracle_sweep(self, capsys):
+        assert main(["--seeds", "2", "oracle"]) == 0
+        out = capsys.readouterr().out
+        assert "schedule-stable" in out
+        assert "manifest" in out  # the plain races show up

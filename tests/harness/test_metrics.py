@@ -1,0 +1,103 @@
+"""Suite scoring and context averaging."""
+
+from repro.detectors import ToolConfig
+from repro.detectors.reports import AccessInfo, RaceWarning, Report
+from repro.harness.metrics import (
+    CaseScore,
+    SuiteScore,
+    racy_contexts_avg,
+    score_case,
+    score_suite,
+)
+from repro.harness.workload import Workload
+from repro.isa.program import CodeLocation
+
+from tests.conftest import flag_handoff_program
+
+
+def _report_with(symbols, tool="t"):
+    r = Report(tool)
+    for i, s in enumerate(symbols):
+        r.add(
+            RaceWarning(
+                addr=0x1000 + i,
+                symbol=s,
+                prev=AccessInfo(0, CodeLocation("f", "a", i), True),
+                cur=AccessInfo(1, CodeLocation("g", "b", i), False),
+                kind="write-read",
+            )
+        )
+    return r
+
+
+def _workload(racy=frozenset()):
+    return Workload(name="w", build=flag_handoff_program, racy_symbols=racy)
+
+
+class TestScoreCase:
+    def test_race_free_clean_report(self):
+        score = score_case(_workload(), _report_with([]))
+        assert score.correct and not score.false_alarm and not score.missed_race
+
+    def test_race_free_with_warning_is_false_alarm(self):
+        score = score_case(_workload(), _report_with(["DATA"]))
+        assert score.false_alarm and not score.missed_race
+        assert score.false_symbols == ("DATA",)
+
+    def test_racy_found(self):
+        score = score_case(_workload(frozenset({"X"})), _report_with(["X"]))
+        assert score.correct
+        assert score.true_symbols == ("X",)
+
+    def test_racy_missed(self):
+        score = score_case(_workload(frozenset({"X"})), _report_with([]))
+        assert score.missed_race and not score.false_alarm
+
+    def test_offset_symbols_collapse_to_base(self):
+        score = score_case(_workload(frozenset({"ARR"})), _report_with(["ARR+3"]))
+        assert score.correct
+
+    def test_racy_with_extra_false_symbol(self):
+        score = score_case(_workload(frozenset({"X"})), _report_with(["X", "Y"]))
+        assert score.false_alarm and not score.missed_race
+
+
+class TestSuiteScore:
+    def test_failed_is_fa_plus_mr(self):
+        s = SuiteScore("t")
+        s.cases = [
+            CaseScore("a", "t", False, False),
+            CaseScore("b", "t", True, False),
+            CaseScore("c", "t", False, True),
+            CaseScore("d", "t", True, True),
+        ]
+        assert s.false_alarms == 2
+        assert s.missed_races == 2
+        assert s.failed == 4  # paper convention: FA + MR
+        assert s.correct == 1  # only 'a'
+
+    def test_row_shape(self):
+        s = SuiteScore("t")
+        row = s.row()
+        assert set(row) == {"tool", "false_alarms", "missed_races", "failed", "correct"}
+
+
+class TestEndToEnd:
+    def test_score_suite_runs_each_case(self):
+        wls = [
+            Workload(name=f"w{i}", build=flag_handoff_program, seed=i)
+            for i in range(3)
+        ]
+        score, outcomes = score_suite(wls, ToolConfig.helgrind_lib_spin(7))
+        assert score.total == 3
+        assert len(outcomes) == 3
+        assert score.correct == 3  # the handoff is race-free under spin
+
+    def test_racy_contexts_avg(self):
+        wl = Workload(name="w", build=flag_handoff_program)
+        avg = racy_contexts_avg(wl, ToolConfig.helgrind_lib(), seeds=[1, 2, 3])
+        assert avg > 0  # lib FPs on the ad-hoc flag program
+        avg_spin = racy_contexts_avg(
+            wl, ToolConfig.helgrind_lib_spin(7), seeds=[1, 2, 3]
+        )
+        assert avg_spin == 0

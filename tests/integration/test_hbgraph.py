@@ -1,0 +1,105 @@
+"""Happens-before graph extraction from traces."""
+
+import pytest
+
+from repro.isa.program import SyncKind
+from repro.trace import record_trace
+from repro.trace.hbgraph import HbGraph, HbNode, build_hb_graph
+from repro.workloads.dr_test.suite import build_suite
+
+from tests.conftest import flag_handoff_program
+
+SUITE = {w.name: w for w in build_suite()}
+
+
+class TestAdhocEdges:
+    def test_flag_handoff_has_adhoc_edge(self):
+        trace = record_trace(flag_handoff_program(), seed=1)
+        graph = build_hb_graph(trace, spin_k=7)
+        adhoc = [e for e in graph.edges if e[2] == "adhoc"]
+        assert adhoc, "the counterpart write edge must appear"
+        labels = {n.label for n in graph.nodes}
+        assert any(l.startswith("write FLAG") for l in labels)
+        assert any(l.startswith("spin-read FLAG") for l in labels)
+
+    def test_adhoc_edge_orders_producer_before_consumer(self):
+        trace = record_trace(flag_handoff_program(), seed=1)
+        graph = build_hb_graph(trace, spin_k=7)
+        write = next(
+            n.index for n in graph.nodes if n.label.startswith("write FLAG")
+        )
+        consumer_exits = [
+            n.index
+            for n in graph.nodes
+            if n.label == "exit" and n.tid == 2  # consumer spawned second
+        ]
+        if consumer_exits:
+            assert graph.ordered(write, consumer_exits[0])
+
+    def test_spin_k_filters_wide_loops(self):
+        wl = SUITE["adhoc7_handoff"]
+        trace = record_trace(wl.build(), seed=wl.seed, max_blocks=8)
+        wide = build_hb_graph(trace, spin_k=7)
+        narrow = build_hb_graph(trace, spin_k=6)
+        assert any(e[2] == "adhoc" for e in wide.edges)
+        user_adhoc_narrow = [
+            e
+            for e in narrow.edges
+            if e[2] == "adhoc"
+        ]
+        assert len(user_adhoc_narrow) < len(
+            [e for e in wide.edges if e[2] == "adhoc"]
+        )
+
+
+class TestSyncEdges:
+    def test_lock_chain_edges(self):
+        wl = SUITE["locks_mutex_counter_t2"]
+        trace = record_trace(wl.build(), seed=wl.seed)
+        graph = build_hb_graph(trace)
+        kinds = {e[2] for e in graph.edges}
+        assert "sync" in kinds and "po" in kinds
+        labels = [n.label for n in graph.nodes]
+        assert any(l.startswith("lock") for l in labels)
+        assert any(l.startswith("unlock") for l in labels)
+
+    def test_join_edges_order_worker_exit(self):
+        wl = SUITE["locks_mutex_counter_t2"]
+        trace = record_trace(wl.build(), seed=wl.seed)
+        graph = build_hb_graph(trace)
+        exits = [n for n in graph.nodes if n.label == "exit" and n.tid != 0]
+        joins = [n for n in graph.nodes if n.label.startswith("join")]
+        assert exits and joins
+        # every worker exit happens-before some join of main
+        for x in exits:
+            assert any(graph.ordered(x.index, j.index) for j in joins)
+
+    def test_barrier_all_to_all(self):
+        wl = SUITE["barrier_phase_t2"]
+        trace = record_trace(wl.build(), seed=wl.seed)
+        graph = build_hb_graph(trace)
+        arrivals = [n for n in graph.nodes if n.label.startswith("barrier")]
+        resumes = [n for n in graph.nodes if n.label.startswith("resume")]
+        assert len(arrivals) == 2
+        for r in resumes:
+            for a in arrivals:
+                if a.tid != r.tid:
+                    assert graph.ordered(a.index, r.index)
+
+
+class TestDotExport:
+    def test_dot_output_well_formed(self):
+        trace = record_trace(flag_handoff_program(), seed=1)
+        graph = build_hb_graph(trace)
+        dot = graph.to_dot("demo")
+        assert dot.startswith("digraph hb {")
+        assert dot.rstrip().endswith("}")
+        assert "subgraph cluster_t0" in dot
+        assert "color=red" in dot  # the adhoc edge styling
+
+    def test_po_chains_are_forward(self):
+        trace = record_trace(flag_handoff_program(), seed=1)
+        graph = build_hb_graph(trace)
+        for src, dst, kind in graph.edges:
+            if kind == "po":
+                assert src < dst

@@ -1,0 +1,86 @@
+"""Integration tests pinning the paper's headline claims.
+
+Each test corresponds to a claim in the slides; the benchmark harness
+regenerates the full tables, these tests assert the *shape* holds.
+They run the full 120-case suite, so they are the slowest tests here
+(a few seconds per configuration).
+"""
+
+import pytest
+
+from repro.detectors import ToolConfig
+from repro.harness.metrics import score_suite
+from repro.workloads.dr_test.suite import build_suite
+
+SUITE = build_suite()
+
+
+@pytest.fixture(scope="module")
+def scores():
+    out = {}
+    for cfg in ToolConfig.paper_tools(7):
+        score, _ = score_suite(SUITE, cfg)
+        out[cfg.name] = score
+    return out
+
+
+class TestHeadlineClaims:
+    def test_spin_detection_reduces_false_alarms_dramatically(self, scores):
+        """Slide 24: 24 false positives removed (32 -> 8)."""
+        lib = scores["Helgrind+ lib"].false_alarms
+        spin = scores["Helgrind+ lib+spin(7)"].false_alarms
+        assert spin < lib / 3
+        assert lib - spin >= 20
+
+    def test_spin_detection_removes_a_false_negative(self, scores):
+        """Slide 24: missed races drop by one (8 -> 7)."""
+        lib = scores["Helgrind+ lib"].missed_races
+        spin = scores["Helgrind+ lib+spin(7)"].missed_races
+        assert spin == lib - 1
+
+    def test_universal_detector_close_to_lib_spin(self, scores):
+        """Slide 24: removing all library knowledge costs only a little."""
+        spin = scores["Helgrind+ lib+spin(7)"]
+        nolib = scores["Helgrind+ nolib+spin(7)"]
+        assert nolib.false_alarms - spin.false_alarms <= 2
+        assert nolib.correct >= spin.correct - 8
+
+    def test_lib_spin_dominates_every_tool(self, scores):
+        best = scores["Helgrind+ lib+spin(7)"]
+        for name, score in scores.items():
+            assert best.correct >= score.correct, name
+
+    def test_drd_misses_far_more_races_than_hybrid(self, scores):
+        """Slide 24: DRD 20 missed vs Helgrind+ 8."""
+        assert scores["DRD"].missed_races >= 2 * scores["Helgrind+ lib"].missed_races
+
+    def test_suite_magnitudes_near_paper(self, scores):
+        """Within-2x sanity band around the paper's absolute numbers."""
+        lib = scores["Helgrind+ lib"]
+        spin = scores["Helgrind+ lib+spin(7)"]
+        assert 20 <= lib.false_alarms <= 45  # paper: 32
+        assert 5 <= lib.missed_races <= 12  # paper: 8
+        assert spin.false_alarms == 8  # paper: 8
+        assert 90 <= spin.correct <= 110  # paper: 105
+
+
+class TestThresholdSaturation:
+    """Slide 25: spin(3) and spin(6) are much worse; spin(7) == spin(8)."""
+
+    @pytest.fixture(scope="class")
+    def by_k(self):
+        return {
+            k: score_suite(SUITE, ToolConfig.helgrind_lib_spin(k))[0]
+            for k in (3, 6, 7, 8)
+        }
+
+    def test_small_windows_leave_many_false_alarms(self, by_k):
+        assert by_k[3].false_alarms > 2 * by_k[7].false_alarms
+        assert by_k[6].false_alarms > 2 * by_k[7].false_alarms
+
+    def test_seven_saturates(self, by_k):
+        assert by_k[7].false_alarms == by_k[8].false_alarms
+        assert by_k[7].correct == by_k[8].correct
+
+    def test_monotone_improvement(self, by_k):
+        assert by_k[3].correct <= by_k[6].correct <= by_k[7].correct

@@ -1,0 +1,21 @@
+"""Suite-wide ground-truth sweep: every race-free case is schedule-stable.
+
+The strongest declaration check in the repository: all ~90 race-free
+suite cases are executed under several adversarial + random schedules
+with *no detector attached*; their observable outcomes must never
+diverge.  (Racy cases are checked individually in test_oracle.py —
+manifestation depends on the race's observability.)
+"""
+
+import pytest
+
+from repro.harness.oracle import check_workload
+from repro.workloads.dr_test.suite import build_suite
+
+RACE_FREE = [w for w in build_suite() if not w.is_racy]
+
+
+@pytest.mark.parametrize("wl", RACE_FREE, ids=lambda w: w.name)
+def test_race_free_case_is_schedule_stable(wl):
+    verdict = check_workload(wl, seeds=range(3))
+    assert verdict.verdict == "stable", verdict

@@ -1,0 +1,141 @@
+"""Unit tests for the textual assembler."""
+
+import pytest
+
+from repro.isa import instructions as ins
+from repro.isa.asm import AsmError, assemble, disassemble
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import SyncAnnotation, SyncKind
+from repro.runtime import build_library
+
+SAMPLE = """
+program demo entry=main
+
+global FLAG size=1 init=0
+global DATA size=4 init=1,2,3,4
+
+func helper(x) {
+entry:
+    r = add x, x
+    ret r
+}
+
+func lock_fn(l) annotation=lock_acquire:0 library {
+entry:
+    ret
+}
+
+func wait_fn(cv, m) annotation=cv_wait:0:1 library {
+entry:
+    ret
+}
+
+func main() {
+entry:
+    a = addr FLAG
+    v = load a+0
+    c = const 3
+    s = eq v, c
+    br s, done, loop
+loop:
+    yield
+    jmp entry
+done:
+    r = call helper(c)
+    t = spawn helper(r)
+    join t
+    fp = funcaddr helper
+    q = icall fp(r)
+    print q
+    halt
+}
+"""
+
+
+class TestAssemble:
+    def test_sample_parses(self):
+        p = assemble(SAMPLE)
+        assert p.name == "demo"
+        assert p.entry == "main"
+        assert p.globals["DATA"].init == (1, 2, 3, 4)
+        assert set(p.functions) == {"helper", "lock_fn", "wait_fn", "main"}
+
+    def test_annotation_parsed(self):
+        p = assemble(SAMPLE)
+        ann = p.functions["lock_fn"].annotation
+        assert ann.kind is SyncKind.LOCK_ACQUIRE
+        assert ann.obj_arg == 0
+        assert p.functions["lock_fn"].is_library
+
+    def test_cv_wait_mutex_arg_parsed(self):
+        p = assemble(SAMPLE)
+        ann = p.functions["wait_fn"].annotation
+        assert ann.kind is SyncKind.CV_WAIT
+        assert ann.mutex_arg == 1
+
+    def test_instructions_decoded(self):
+        p = assemble(SAMPLE)
+        entry = p.functions["main"].blocks["entry"]
+        assert isinstance(entry.instructions[0], ins.Addr)
+        assert isinstance(entry.instructions[1], ins.Load)
+        assert isinstance(entry.instructions[-1], ins.Br)
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "program p entry=main\n# comment\n\nfunc main() {\nentry:\n    halt  # trailing\n}\n"
+        p = assemble(text)
+        assert isinstance(p.functions["main"].blocks["entry"].instructions[0], ins.Halt)
+
+    def test_missing_header_raises(self):
+        with pytest.raises(AsmError, match="program"):
+            assemble("func main() {\nentry:\n    halt\n}")
+
+    def test_unknown_opcode_raises(self):
+        with pytest.raises(AsmError, match="unknown opcode"):
+            assemble("program p entry=m\nfunc m() {\nentry:\n    frobnicate x\n}")
+
+    def test_instruction_outside_block_raises(self):
+        with pytest.raises(AsmError, match="outside block"):
+            assemble("program p entry=m\nfunc m() {\n    halt\n}")
+
+    def test_malformed_memory_operand_raises(self):
+        with pytest.raises(AsmError, match="ADDR"):
+            assemble("program p entry=m\nfunc m() {\nentry:\n    x = load ptr\n}")
+
+    def test_line_numbers_in_errors(self):
+        try:
+            assemble("program p entry=m\nfunc m() {\nentry:\n    bogus op\n}")
+            assert False
+        except AsmError as e:
+            assert e.line_no == 4
+
+
+class TestRoundTrip:
+    def test_sample_round_trips(self):
+        p = assemble(SAMPLE)
+        text = disassemble(p)
+        p2 = assemble(text)
+        assert disassemble(p2) == text
+
+    def test_library_round_trips(self):
+        lib = build_library()
+        text = disassemble(lib)
+        lib2 = assemble(text)
+        assert disassemble(lib2) == text
+        for name, func in lib.functions.items():
+            assert lib2.functions[name].annotation == func.annotation
+            assert lib2.functions[name].is_library == func.is_library
+            assert lib2.functions[name].instruction_count() == func.instruction_count()
+
+    def test_builder_program_round_trips(self):
+        pb = ProgramBuilder("rt")
+        pb.global_("G", 3, init=(9, 8, 7))
+        mn = pb.function("main")
+        a = mn.addr("G")
+        mn.store(a, mn.atomic_add(a, 1, offset=2), offset=0)
+        mn.emit(ins.AtomicCas(mn.reg(), a, mn.const(0), mn.const(1), 1))
+        x = mn.atomic_xchg(a, 5)
+        mn.fence()
+        mn.print_(x)
+        mn.halt()
+        p = pb.build()
+        assert disassemble(assemble(disassemble(p))) == disassemble(p)

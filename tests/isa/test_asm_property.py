@@ -1,0 +1,100 @@
+"""Property-based tests: the assembler round-trips arbitrary programs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import instructions as ins
+from repro.isa.asm import assemble, disassemble
+from repro.isa.program import BasicBlock, Function, GlobalVar, Program
+
+REG_NAMES = st.sampled_from(["%r1", "%r2", "%tmp", "%x", "%acc"])
+LABELS = ["entry", "blk_a", "blk_b", "blk_c"]
+
+
+@st.composite
+def straight_line_instr(draw):
+    """A non-terminator instruction over a small register universe."""
+    kind = draw(st.integers(0, 10))
+    r = lambda: draw(REG_NAMES)
+    if kind == 0:
+        return ins.Const(r(), draw(st.integers(-1000, 1000)))
+    if kind == 1:
+        return ins.Mov(r(), r())
+    if kind == 2:
+        return ins.Alu(draw(st.sampled_from(list(ins.AluOp))), r(), r(), r())
+    if kind == 3:
+        return ins.Cmp(draw(st.sampled_from(list(ins.CmpOp))), r(), r(), r())
+    if kind == 4:
+        return ins.Not(r(), r())
+    if kind == 5:
+        return ins.Load(r(), r(), draw(st.integers(0, 8)))
+    if kind == 6:
+        return ins.Store(r(), r(), draw(st.integers(0, 8)))
+    if kind == 7:
+        return ins.AtomicCas(r(), r(), r(), r(), draw(st.integers(0, 4)))
+    if kind == 8:
+        return ins.AtomicAdd(r(), r(), r(), draw(st.integers(0, 4)))
+    if kind == 9:
+        return ins.Yield()
+    return ins.Nop()
+
+
+@st.composite
+def terminator(draw):
+    kind = draw(st.integers(0, 3))
+    if kind == 0:
+        return ins.Jmp(draw(st.sampled_from(LABELS)))
+    if kind == 1:
+        return ins.Br(
+            draw(REG_NAMES),
+            draw(st.sampled_from(LABELS)),
+            draw(st.sampled_from(LABELS)),
+        )
+    if kind == 2:
+        return ins.Ret(draw(st.one_of(st.none(), REG_NAMES)))
+    return ins.Halt()
+
+
+@st.composite
+def programs(draw):
+    p = Program(name="fuzz", entry="main")
+    n_globals = draw(st.integers(0, 3))
+    for g in range(n_globals):
+        size = draw(st.integers(1, 4))
+        init = tuple(
+            draw(st.lists(st.integers(-99, 99), max_size=size, min_size=0))
+        )
+        p.add_global(GlobalVar(f"G{g}", size, init))
+    f = Function("main")
+    for label in LABELS:
+        body = draw(st.lists(straight_line_instr(), min_size=0, max_size=5))
+        body.append(draw(terminator()))
+        f.add_block(BasicBlock(label, body))
+    p.add_function(f)
+    return p
+
+
+@given(programs())
+@settings(max_examples=120, deadline=None)
+def test_disassemble_assemble_fixpoint(program):
+    """assemble(disassemble(p)) prints identically to p."""
+    text = disassemble(program)
+    reparsed = assemble(text)
+    assert disassemble(reparsed) == text
+
+
+@given(programs())
+@settings(max_examples=60, deadline=None)
+def test_round_trip_preserves_structure(program):
+    reparsed = assemble(disassemble(program))
+    assert set(reparsed.functions) == set(program.functions)
+    assert set(reparsed.globals) == set(program.globals)
+    for name, func in program.functions.items():
+        other = reparsed.functions[name]
+        assert list(other.blocks) == list(func.blocks)
+        for label, block in func.blocks.items():
+            assert other.blocks[label].instructions == block.instructions
+    for name, g in program.globals.items():
+        og = reparsed.globals[name]
+        assert og.size == g.size
+        assert og.init == g.init

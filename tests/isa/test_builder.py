@@ -1,0 +1,136 @@
+"""Unit tests for the fluent IR builders."""
+
+import pytest
+
+from repro.isa import instructions as ins
+from repro.isa.builder import FunctionBuilder, ProgramBuilder
+from repro.isa.program import SyncAnnotation, SyncKind
+from repro.isa.validate import validate_program
+
+
+class TestFunctionBuilder:
+    def test_starts_in_entry_block(self):
+        fb = FunctionBuilder("f")
+        assert fb.current_label == "entry"
+        assert fb.func.entry == "entry"
+
+    def test_fresh_registers_unique(self):
+        fb = FunctionBuilder("f")
+        regs = {fb.reg() for _ in range(100)}
+        assert len(regs) == 100
+
+    def test_fresh_labels_unique(self):
+        fb = FunctionBuilder("f")
+        labels = {fb.fresh_label() for _ in range(50)}
+        assert len(labels) == 50
+
+    def test_emit_after_terminator_raises(self):
+        fb = FunctionBuilder("f")
+        fb.ret()
+        with pytest.raises(ValueError):
+            fb.nop()
+
+    def test_label_switches_blocks(self):
+        fb = FunctionBuilder("f")
+        fb.jmp("next")
+        fb.label("next")
+        fb.ret()
+        assert set(fb.func.blocks) == {"entry", "next"}
+
+    def test_label_can_reopen_unterminated_block(self):
+        fb = FunctionBuilder("f")
+        fb.nop()
+        fb.label("other")
+        fb.ret()
+        fb.label("entry")  # back to entry, which is unterminated
+        fb.jmp("other")
+        assert isinstance(fb.func.blocks["entry"].terminator, ins.Jmp)
+
+    def test_int_operands_materialized_as_consts(self):
+        fb = FunctionBuilder("f")
+        fb.add(1, 2)
+        kinds = [type(i) for i in fb.func.blocks["entry"].instructions]
+        assert kinds == [ins.Const, ins.Const, ins.Alu]
+
+    def test_call_with_result(self):
+        fb = FunctionBuilder("f")
+        r = fb.call("g", [], want_result=True)
+        assert r is not None
+        call = fb.func.blocks["entry"].instructions[-1]
+        assert isinstance(call, ins.Call) and call.dst == r
+
+    def test_call_void(self):
+        fb = FunctionBuilder("f")
+        assert fb.call("g", []) is None
+
+    def test_comparison_helpers(self):
+        fb = FunctionBuilder("f")
+        a, b = fb.const(1), fb.const(2)
+        for helper, op in [
+            (fb.eq, ins.CmpOp.EQ),
+            (fb.ne, ins.CmpOp.NE),
+            (fb.lt, ins.CmpOp.LT),
+            (fb.le, ins.CmpOp.LE),
+            (fb.gt, ins.CmpOp.GT),
+            (fb.ge, ins.CmpOp.GE),
+        ]:
+            helper(a, b)
+            cmp_instr = fb.func.blocks["entry"].instructions[-1]
+            assert isinstance(cmp_instr, ins.Cmp) and cmp_instr.op is op
+
+    def test_alu_helpers(self):
+        fb = FunctionBuilder("f")
+        a, b = fb.const(6), fb.const(3)
+        for helper, op in [
+            (fb.add, ins.AluOp.ADD),
+            (fb.sub, ins.AluOp.SUB),
+            (fb.mul, ins.AluOp.MUL),
+            (fb.div, ins.AluOp.DIV),
+            (fb.mod, ins.AluOp.MOD),
+            (fb.and_, ins.AluOp.AND),
+            (fb.or_, ins.AluOp.OR),
+            (fb.xor, ins.AluOp.XOR),
+        ]:
+            helper(a, b)
+            alu = fb.func.blocks["entry"].instructions[-1]
+            assert isinstance(alu, ins.Alu) and alu.op is op
+
+    def test_store_global_emits_addr_then_store(self):
+        fb = FunctionBuilder("f")
+        fb.store_global("G", 9)
+        kinds = [type(i) for i in fb.func.blocks["entry"].instructions]
+        assert kinds == [ins.Addr, ins.Const, ins.Store]
+
+
+class TestProgramBuilder:
+    def test_build_complete_program(self):
+        pb = ProgramBuilder("p")
+        pb.global_("G", 2, init=(1, 2))
+        mn = pb.function("main")
+        v = mn.load_global("G", offset=1)
+        mn.print_(v)
+        mn.halt()
+        prog = pb.build()
+        validate_program(prog)
+        assert prog.globals["G"].init == (1, 2)
+
+    def test_annotation_passed_through(self):
+        pb = ProgramBuilder("p")
+        f = pb.function(
+            "lk",
+            params=("l",),
+            annotation=SyncAnnotation(SyncKind.LOCK_ACQUIRE),
+            is_library=True,
+        )
+        f.ret()
+        assert pb.program.functions["lk"].annotation.kind is SyncKind.LOCK_ACQUIRE
+        assert pb.program.functions["lk"].is_library
+
+    def test_link_merges_library(self):
+        from repro.runtime import build_library
+
+        pb = ProgramBuilder("p")
+        mn = pb.function("main")
+        mn.halt()
+        pb.link(build_library())
+        assert "mutex_lock" in pb.program.functions

@@ -1,0 +1,136 @@
+"""Unit tests for instruction definitions: defs/uses and terminators."""
+
+import pytest
+
+from repro.isa import instructions as ins
+
+
+class TestDefsUses:
+    def test_const_defines_dst(self):
+        i = ins.Const("d", 5)
+        assert i.defs() == ("d",)
+        assert i.uses() == ()
+
+    def test_mov(self):
+        i = ins.Mov("d", "s")
+        assert i.defs() == ("d",)
+        assert i.uses() == ("s",)
+
+    def test_alu(self):
+        i = ins.Alu(ins.AluOp.ADD, "d", "a", "b")
+        assert i.defs() == ("d",)
+        assert i.uses() == ("a", "b")
+
+    def test_cmp(self):
+        i = ins.Cmp(ins.CmpOp.LT, "d", "a", "b")
+        assert i.defs() == ("d",)
+        assert i.uses() == ("a", "b")
+
+    def test_not(self):
+        i = ins.Not("d", "s")
+        assert i.defs() == ("d",)
+        assert i.uses() == ("s",)
+
+    def test_load(self):
+        i = ins.Load("d", "p", 3)
+        assert i.defs() == ("d",)
+        assert i.uses() == ("p",)
+
+    def test_store_defines_nothing(self):
+        i = ins.Store("p", "v", 1)
+        assert i.defs() == ()
+        assert set(i.uses()) == {"p", "v"}
+
+    def test_atomic_cas(self):
+        i = ins.AtomicCas("d", "p", "e", "n")
+        assert i.defs() == ("d",)
+        assert set(i.uses()) == {"p", "e", "n"}
+
+    def test_atomic_add(self):
+        i = ins.AtomicAdd("d", "p", "a")
+        assert i.defs() == ("d",)
+        assert set(i.uses()) == {"p", "a"}
+
+    def test_atomic_xchg(self):
+        i = ins.AtomicXchg("d", "p", "s")
+        assert i.defs() == ("d",)
+        assert set(i.uses()) == {"p", "s"}
+
+    def test_br_uses_condition(self):
+        i = ins.Br("c", "t", "e")
+        assert i.uses() == ("c",)
+        assert i.defs() == ()
+
+    def test_call_with_and_without_dst(self):
+        with_dst = ins.Call("f", ("a",), "d")
+        assert with_dst.defs() == ("d",)
+        assert with_dst.uses() == ("a",)
+        void = ins.Call("f", ("a",), None)
+        assert void.defs() == ()
+
+    def test_icall_uses_target(self):
+        i = ins.ICall("fp", ("a", "b"), "d")
+        assert i.uses() == ("fp", "a", "b")
+        assert i.defs() == ("d",)
+
+    def test_ret_optional_value(self):
+        assert ins.Ret("v").uses() == ("v",)
+        assert ins.Ret(None).uses() == ()
+
+    def test_spawn(self):
+        i = ins.Spawn("tid", "worker", ("x",))
+        assert i.defs() == ("tid",)
+        assert i.uses() == ("x",)
+
+    def test_join(self):
+        assert ins.Join("t").uses() == ("t",)
+
+    def test_alloc(self):
+        i = ins.Alloc("d", "n")
+        assert i.defs() == ("d",)
+        assert i.uses() == ("n",)
+
+    def test_addr_and_funcaddr(self):
+        assert ins.Addr("d", "G").defs() == ("d",)
+        assert ins.FuncAddr("d", "f").defs() == ("d",)
+
+    def test_print(self):
+        assert ins.Print("v").uses() == ("v",)
+
+
+class TestTerminators:
+    @pytest.mark.parametrize(
+        "instr",
+        [ins.Jmp("l"), ins.Br("c", "a", "b"), ins.Ret(None), ins.Halt()],
+    )
+    def test_terminators(self, instr):
+        assert ins.is_terminator(instr)
+
+    @pytest.mark.parametrize(
+        "instr",
+        [
+            ins.Const("d", 1),
+            ins.Call("f", (), None),
+            ins.Spawn("d", "f", ()),
+            ins.Join("t"),
+            ins.Yield(),
+            ins.Nop(),
+            ins.Fence(),
+        ],
+    )
+    def test_non_terminators(self, instr):
+        assert not ins.is_terminator(instr)
+
+
+class TestImmutability:
+    def test_instructions_are_frozen(self):
+        i = ins.Const("d", 1)
+        with pytest.raises(Exception):
+            i.dst = "other"  # type: ignore[misc]
+
+    def test_instructions_are_hashable(self):
+        assert {ins.Const("d", 1), ins.Const("d", 1)} == {ins.Const("d", 1)}
+
+    def test_mnemonic(self):
+        assert ins.Const("d", 1).mnemonic == "const"
+        assert ins.AtomicCas("d", "p", "e", "n").mnemonic == "atomiccas"

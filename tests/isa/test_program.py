@@ -1,0 +1,128 @@
+"""Unit tests for program/function/block containers."""
+
+import pytest
+
+from repro.isa import instructions as ins
+from repro.isa.program import (
+    BasicBlock,
+    CodeLocation,
+    Function,
+    GlobalVar,
+    Program,
+    SyncAnnotation,
+    SyncKind,
+)
+
+
+class TestBasicBlock:
+    def test_terminator_of_empty_block_raises(self):
+        with pytest.raises(ValueError):
+            BasicBlock("b").terminator
+
+    def test_terminator_returns_last(self):
+        b = BasicBlock("b", [ins.Nop(), ins.Ret(None)])
+        assert isinstance(b.terminator, ins.Ret)
+
+    def test_len_and_iter(self):
+        b = BasicBlock("b", [ins.Nop(), ins.Nop(), ins.Ret(None)])
+        assert len(b) == 3
+        assert len(list(b)) == 3
+
+
+class TestFunction:
+    def test_duplicate_block_rejected(self):
+        f = Function("f")
+        f.add_block(BasicBlock("entry"))
+        with pytest.raises(ValueError):
+            f.add_block(BasicBlock("entry"))
+
+    def test_locations_iterates_in_order(self):
+        f = Function("f")
+        f.add_block(BasicBlock("entry", [ins.Nop(), ins.Ret(None)]))
+        locs = list(f.locations())
+        assert locs[0][0] == CodeLocation("f", "entry", 0)
+        assert locs[1][0] == CodeLocation("f", "entry", 1)
+
+    def test_instruction_count(self):
+        f = Function("f")
+        f.add_block(BasicBlock("entry", [ins.Nop(), ins.Ret(None)]))
+        f.add_block(BasicBlock("other", [ins.Halt()]))
+        assert f.instruction_count() == 3
+
+
+class TestGlobalVar:
+    def test_initial_words_zero_filled(self):
+        g = GlobalVar("g", size=4, init=(7,))
+        assert g.initial_words() == (7, 0, 0, 0)
+
+    def test_initial_words_truncated_to_size(self):
+        g = GlobalVar("g", size=2, init=(1, 2, 3))
+        assert g.initial_words() == (1, 2)
+
+
+class TestProgram:
+    def _func(self, name: str) -> Function:
+        f = Function(name)
+        f.add_block(BasicBlock("entry", [ins.Ret(None)]))
+        return f
+
+    def test_duplicate_function_rejected(self):
+        p = Program()
+        p.add_function(self._func("f"))
+        with pytest.raises(ValueError):
+            p.add_function(self._func("f"))
+
+    def test_duplicate_global_rejected(self):
+        p = Program()
+        p.add_global(GlobalVar("g"))
+        with pytest.raises(ValueError):
+            p.add_global(GlobalVar("g"))
+
+    def test_merge_links_functions_and_globals(self):
+        a = Program()
+        a.add_function(self._func("main"))
+        b = Program()
+        b.add_function(self._func("helper"))
+        b.add_global(GlobalVar("g"))
+        a.merge(b)
+        assert "helper" in a.functions
+        assert "g" in a.globals
+        assert a.entry == "main"
+
+    def test_merge_collision_raises(self):
+        a = Program()
+        a.add_function(self._func("f"))
+        b = Program()
+        b.add_function(self._func("f"))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_instruction_at(self):
+        p = Program()
+        p.add_function(self._func("f"))
+        instr = p.instruction_at(CodeLocation("f", "entry", 0))
+        assert isinstance(instr, ins.Ret)
+
+    def test_instruction_count_sums_functions(self):
+        p = Program()
+        p.add_function(self._func("a"))
+        p.add_function(self._func("b"))
+        assert p.instruction_count() == 2
+
+
+class TestSyncAnnotation:
+    def test_cv_wait_carries_mutex_arg(self):
+        ann = SyncAnnotation(SyncKind.CV_WAIT, obj_arg=0, mutex_arg=1)
+        assert ann.mutex_arg == 1
+
+    def test_default_has_no_mutex_arg(self):
+        assert SyncAnnotation(SyncKind.LOCK_ACQUIRE).mutex_arg is None
+
+
+class TestCodeLocation:
+    def test_str_format(self):
+        assert str(CodeLocation("f", "b", 3)) == "f:b:3"
+
+    def test_hashable_and_equal(self):
+        assert CodeLocation("f", "b", 0) == CodeLocation("f", "b", 0)
+        assert len({CodeLocation("f", "b", 0), CodeLocation("f", "b", 0)}) == 1

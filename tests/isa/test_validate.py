@@ -1,0 +1,164 @@
+"""Unit tests for program validation — each error class is caught."""
+
+import pytest
+
+from repro.isa import instructions as ins
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import (
+    BasicBlock,
+    Function,
+    GlobalVar,
+    Program,
+    SyncAnnotation,
+    SyncKind,
+)
+from repro.isa.validate import ValidationError, validate_function, validate_program
+
+
+def _minimal() -> Program:
+    pb = ProgramBuilder("p")
+    mn = pb.function("main")
+    mn.halt()
+    return pb.build()
+
+
+def test_valid_program_passes():
+    validate_program(_minimal())
+
+
+def test_missing_entry_function():
+    p = Program(entry="main")
+    with pytest.raises(ValidationError, match="entry function"):
+        validate_program(p)
+
+
+def test_empty_block_rejected():
+    p = _minimal()
+    p.functions["main"].add_block(BasicBlock("empty"))
+    with pytest.raises(ValidationError, match="empty block"):
+        validate_program(p)
+
+
+def test_missing_terminator_rejected():
+    p = Program()
+    f = Function("main")
+    f.add_block(BasicBlock("entry", [ins.Nop()]))
+    p.add_function(f)
+    with pytest.raises(ValidationError, match="terminator"):
+        validate_program(p)
+
+
+def test_mid_block_terminator_rejected():
+    p = Program()
+    f = Function("main")
+    f.add_block(BasicBlock("entry", [ins.Halt(), ins.Halt()]))
+    p.add_function(f)
+    with pytest.raises(ValidationError, match="mid-block"):
+        validate_program(p)
+
+
+def test_unknown_jump_target():
+    p = Program()
+    f = Function("main")
+    f.add_block(BasicBlock("entry", [ins.Jmp("nowhere")]))
+    p.add_function(f)
+    with pytest.raises(ValidationError, match="unknown block"):
+        validate_program(p)
+
+
+def test_unknown_branch_target():
+    p = Program()
+    f = Function("main")
+    f.add_block(
+        BasicBlock("entry", [ins.Const("c", 1), ins.Br("c", "entry", "nope")])
+    )
+    p.add_function(f)
+    with pytest.raises(ValidationError, match="unknown block"):
+        validate_program(p)
+
+
+def test_unknown_call_target():
+    pb = ProgramBuilder("p")
+    mn = pb.function("main")
+    mn.call("ghost", [])
+    mn.halt()
+    with pytest.raises(ValidationError, match="unknown function"):
+        validate_program(pb.build())
+
+
+def test_call_arity_mismatch():
+    pb = ProgramBuilder("p")
+    g = pb.function("g", params=("a", "b"))
+    g.ret()
+    mn = pb.function("main")
+    mn.call("g", [mn.const(1)])
+    mn.halt()
+    with pytest.raises(ValidationError, match="takes 2"):
+        validate_program(pb.build())
+
+
+def test_spawn_arity_mismatch():
+    pb = ProgramBuilder("p")
+    w = pb.function("w", params=("a",))
+    w.ret()
+    mn = pb.function("main")
+    mn.emit(ins.Spawn("t", "w", ()))
+    mn.halt()
+    with pytest.raises(ValidationError, match="takes 1"):
+        validate_program(pb.build())
+
+
+def test_unknown_global():
+    pb = ProgramBuilder("p")
+    mn = pb.function("main")
+    mn.addr("GHOST")
+    mn.halt()
+    with pytest.raises(ValidationError, match="unknown global"):
+        validate_program(pb.build())
+
+
+def test_unknown_funcaddr():
+    pb = ProgramBuilder("p")
+    mn = pb.function("main")
+    mn.func_addr("ghost")
+    mn.halt()
+    with pytest.raises(ValidationError, match="unknown function"):
+        validate_program(pb.build())
+
+
+def test_undefined_register_use():
+    p = Program()
+    f = Function("main")
+    f.add_block(BasicBlock("entry", [ins.Print("never_set"), ins.Halt()]))
+    p.add_function(f)
+    with pytest.raises(ValidationError, match="never defined"):
+        validate_program(p)
+
+
+def test_annotation_obj_arg_out_of_range():
+    p = _minimal()
+    f = Function(
+        "lk", params=("l",), annotation=SyncAnnotation(SyncKind.LOCK_ACQUIRE, obj_arg=3)
+    )
+    f.add_block(BasicBlock("entry", [ins.Ret(None)]))
+    p.add_function(f)
+    with pytest.raises(ValidationError, match="out of range"):
+        validate_program(p)
+
+
+def test_validate_function_single():
+    p = _minimal()
+    validate_function(p.functions["main"], p)
+
+
+def test_error_collects_multiple_problems():
+    p = Program()
+    f = Function("main")
+    f.add_block(BasicBlock("entry", [ins.Jmp("a")]))
+    f.add_block(BasicBlock("x", [ins.Jmp("b")]))
+    p.add_function(f)
+    try:
+        validate_program(p)
+        assert False, "should have raised"
+    except ValidationError as e:
+        assert len(e.errors) >= 2

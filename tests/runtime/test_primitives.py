@@ -1,0 +1,374 @@
+"""Functional correctness of the IR threading library under many seeds."""
+
+import pytest
+
+from repro.isa import instructions as ins
+from repro.isa.builder import ProgramBuilder
+from repro.runtime import (
+    BARRIER_SIZE,
+    CONDVAR_SIZE,
+    MUTEX_SIZE,
+    SEM_SIZE,
+    SPINLOCK_SIZE,
+    TASLOCK_SIZE,
+    build_library,
+    library_function_names,
+    queue_size,
+)
+from repro.vm import Machine, RandomScheduler
+
+SEEDS = range(6)
+
+
+def _run(pb, seed):
+    prog = pb.build()
+    from repro.isa import validate_program
+
+    validate_program(prog)
+    result = Machine(prog, scheduler=RandomScheduler(seed), max_steps=400_000).run()
+    assert result.ok, (seed, result.deadlocked, result.timed_out)
+    return result
+
+
+def _counter_program(acquire: str, release: str, lock_global: str, lock_size: int):
+    pb = ProgramBuilder("t")
+    pb.global_("C", 1)
+    pb.global_(lock_global, lock_size)
+    w = pb.function("worker", params=("n",))
+    i = w.reg("i")
+    w.emit(ins.Const(i, 0))
+    w.jmp("loop")
+    w.label("loop")
+    l = w.addr(lock_global)
+    w.call(acquire, [l])
+    a = w.addr("C")
+    w.store(a, w.add(w.load(a), 1))
+    w.call(release, [l])
+    w.emit(ins.Mov(i, w.add(i, 1)))
+    w.br(w.lt(i, "n"), "loop", "done")
+    w.label("done")
+    w.ret()
+    mn = pb.function("main")
+    n = mn.const(15)
+    tids = [mn.spawn("worker", [n]) for _ in range(3)]
+    for t in tids:
+        mn.join(t)
+    mn.print_(mn.load_global("C"))
+    mn.halt()
+    pb.link(build_library())
+    return pb
+
+
+class TestLocks:
+    @pytest.mark.parametrize(
+        "acquire,release,size",
+        [
+            ("mutex_lock", "mutex_unlock", MUTEX_SIZE),
+            ("spinlock_acquire", "spinlock_release", SPINLOCK_SIZE),
+            ("taslock_acquire", "taslock_release", TASLOCK_SIZE),
+        ],
+    )
+    def test_mutual_exclusion(self, acquire, release, size):
+        for seed in SEEDS:
+            pb = _counter_program(acquire, release, "L", size)
+            result = _run(pb, seed)
+            assert result.outputs[0][1] == 45
+
+    def test_mutex_is_fifo_fair(self):
+        """Ticket mutex: a thread that took a ticket is served before a
+        later arrival — total count still exact under heavy contention."""
+        pb = _counter_program("mutex_lock", "mutex_unlock", "L", MUTEX_SIZE)
+        for seed in range(10):
+            result = _run(
+                _counter_program("mutex_lock", "mutex_unlock", "L", MUTEX_SIZE), seed
+            )
+            assert result.outputs[0][1] == 45
+
+
+class TestSemaphore:
+    def test_binary_semaphore_as_mutex(self):
+        for seed in SEEDS:
+            result = _run_semaphore_counter(seed)
+            assert result.outputs[0][1] == 30
+
+    def test_zero_semaphore_orders_handoff(self):
+        pb = ProgramBuilder("t")
+        pb.global_("D", 1)
+        pb.global_("S", SEM_SIZE)
+        prod = pb.function("producer")
+        prod.store_global("D", 7)
+        s = prod.addr("S")
+        prod.call("sem_post", [s])
+        prod.ret()
+        cons = pb.function("consumer")
+        s = cons.addr("S")
+        cons.call("sem_wait", [s])
+        cons.print_(cons.load_global("D"))
+        cons.ret()
+        mn = pb.function("main")
+        t1 = mn.spawn("consumer", [])
+        t2 = mn.spawn("producer", [])
+        mn.join(t1)
+        mn.join(t2)
+        mn.halt()
+        pb.link(build_library())
+        for seed in SEEDS:
+            result = _run(pb, seed)
+            assert (1, 7) in result.outputs
+
+
+def _run_semaphore_counter(seed):
+    pb = ProgramBuilder("t")
+    pb.global_("C", 1)
+    pb.global_("S", SEM_SIZE, init=(1,))
+    w = pb.function("worker", params=("n",))
+    i = w.reg("i")
+    w.emit(ins.Const(i, 0))
+    w.jmp("loop")
+    w.label("loop")
+    s = w.addr("S")
+    w.call("sem_wait", [s])
+    a = w.addr("C")
+    w.store(a, w.add(w.load(a), 1))
+    w.call("sem_post", [s])
+    w.emit(ins.Mov(i, w.add(i, 1)))
+    w.br(w.lt(i, "n"), "loop", "done")
+    w.label("done")
+    w.ret()
+    mn = pb.function("main")
+    n = mn.const(10)
+    tids = [mn.spawn("worker", [n]) for _ in range(3)]
+    for t in tids:
+        mn.join(t)
+    mn.print_(mn.load_global("C"))
+    mn.halt()
+    pb.link(build_library())
+    return _run(pb, seed)
+
+
+class TestCondvar:
+    def test_predicate_handoff(self):
+        for seed in SEEDS:
+            pb = ProgramBuilder("t")
+            pb.global_("READY", 1)
+            pb.global_("D", 1)
+            pb.global_("M", MUTEX_SIZE)
+            pb.global_("CV", CONDVAR_SIZE)
+            prod = pb.function("producer")
+            prod.store_global("D", 99)
+            m = prod.addr("M")
+            cv = prod.addr("CV")
+            prod.call("mutex_lock", [m])
+            prod.store_global("READY", 1)
+            prod.call("cv_broadcast", [cv])
+            prod.call("mutex_unlock", [m])
+            prod.ret()
+            cons = pb.function("consumer")
+            m = cons.addr("M")
+            cv = cons.addr("CV")
+            cons.call("mutex_lock", [m])
+            cons.jmp("check")
+            cons.label("check")
+            r = cons.load_global("READY")
+            cons.br(cons.ne(r, 0), "go", "wait")
+            cons.label("wait")
+            cons.call("cv_wait", [cv, m])
+            cons.jmp("check")
+            cons.label("go")
+            cons.call("mutex_unlock", [m])
+            cons.print_(cons.load_global("D"))
+            cons.ret()
+            mn = pb.function("main")
+            t1 = mn.spawn("consumer", [])
+            t2 = mn.spawn("producer", [])
+            mn.join(t1)
+            mn.join(t2)
+            mn.halt()
+            pb.link(build_library())
+            result = _run(pb, seed)
+            assert (1, 99) in result.outputs
+
+    def test_broadcast_wakes_all_waiters(self):
+        for seed in SEEDS:
+            pb = ProgramBuilder("t")
+            pb.global_("READY", 1)
+            pb.global_("M", MUTEX_SIZE)
+            pb.global_("CV", CONDVAR_SIZE)
+            w = pb.function("waiter")
+            m = w.addr("M")
+            cv = w.addr("CV")
+            w.call("mutex_lock", [m])
+            w.jmp("check")
+            w.label("check")
+            r = w.load_global("READY")
+            w.br(w.ne(r, 0), "go", "wait")
+            w.label("wait")
+            w.call("cv_wait", [cv, m])
+            w.jmp("check")
+            w.label("go")
+            w.call("mutex_unlock", [m])
+            w.ret(w.const(1))
+            b = pb.function("broadcaster")
+            b.nop(30)
+            m = b.addr("M")
+            cv = b.addr("CV")
+            b.call("mutex_lock", [m])
+            b.store_global("READY", 1)
+            b.call("cv_broadcast", [cv])
+            b.call("mutex_unlock", [m])
+            b.ret()
+            mn = pb.function("main")
+            waiters = [mn.spawn("waiter", []) for _ in range(3)]
+            bb = mn.spawn("broadcaster", [])
+            for t in waiters:
+                mn.join(t)
+            mn.join(bb)
+            mn.halt()
+            pb.link(build_library())
+            result = _run(pb, seed)
+            assert all(result.thread_results[t] == 1 for t in (1, 2, 3))
+
+
+class TestBarrier:
+    def test_all_see_pre_barrier_writes(self):
+        for seed in SEEDS:
+            pb = ProgramBuilder("t")
+            pb.global_("B", BARRIER_SIZE)
+            pb.global_("V", 4)
+            w = pb.function("worker", params=("idx",))
+            base = w.addr("V")
+            w.store(w.add(base, "idx"), w.add("idx", 1))
+            b = w.addr("B")
+            w.call("barrier_wait", [b])
+            s = w.reg("s")
+            w.emit(ins.Const(s, 0))
+            for k in range(4):
+                w.emit(ins.Mov(s, w.add(s, w.load(base, offset=k))))
+            w.ret(s)
+            mn = pb.function("main")
+            b = mn.addr("B")
+            mn.call("barrier_init", [b, mn.const(4)])
+            tids = [mn.spawn("worker", [mn.const(i)]) for i in range(4)]
+            for t in tids:
+                mn.join(t)
+            mn.halt()
+            pb.link(build_library())
+            result = _run(pb, seed)
+            for tid in (1, 2, 3, 4):
+                assert result.thread_results[tid] == 10
+
+    def test_barrier_reusable_across_phases(self):
+        for seed in range(4):
+            pb = ProgramBuilder("t")
+            pb.global_("B", BARRIER_SIZE)
+            pb.global_("PHASES", 1)
+            w = pb.function("worker")
+            b = w.addr("B")
+            for _ in range(3):
+                w.call("barrier_wait", [b])
+            w.ret()
+            mn = pb.function("main")
+            b = mn.addr("B")
+            mn.call("barrier_init", [b, mn.const(3)])
+            tids = [mn.spawn("worker", []) for _ in range(3)]
+            for t in tids:
+                mn.join(t)
+            mn.halt()
+            pb.link(build_library())
+            result = _run(pb, seed)
+            assert result.ok
+
+
+class TestTaskQueue:
+    def test_fifo_single_threaded(self):
+        pb = ProgramBuilder("t")
+        pb.global_("Q", queue_size(3))
+        mn = pb.function("main")
+        q = mn.addr("Q")
+        mn.call("queue_init", [q, mn.const(3)])
+        for v in (10, 20, 30):
+            mn.call("queue_push", [q, mn.const(v)])
+        for _ in range(3):
+            mn.print_(mn.call("queue_pop", [q], want_result=True))
+        mn.halt()
+        pb.link(build_library())
+        result = _run(pb, 0)
+        assert [v for _, v in result.outputs] == [10, 20, 30]
+
+    def test_blocking_pop_waits_for_push(self):
+        for seed in SEEDS:
+            pb = ProgramBuilder("t")
+            pb.global_("Q", queue_size(2))
+            prod = pb.function("producer")
+            prod.nop(40)
+            q = prod.addr("Q")
+            prod.call("queue_push", [q, prod.const(5)])
+            prod.ret()
+            cons = pb.function("consumer")
+            q = cons.addr("Q")
+            cons.print_(cons.call("queue_pop", [q], want_result=True))
+            cons.ret()
+            mn = pb.function("main")
+            q = mn.addr("Q")
+            mn.call("queue_init", [q, mn.const(2)])
+            t1 = mn.spawn("consumer", [])
+            t2 = mn.spawn("producer", [])
+            mn.join(t1)
+            mn.join(t2)
+            mn.halt()
+            pb.link(build_library())
+            result = _run(pb, seed)
+            assert (1, 5) in result.outputs
+
+    def test_bounded_push_blocks_when_full(self):
+        for seed in range(4):
+            pb = ProgramBuilder("t")
+            pb.global_("Q", queue_size(1))
+            prod = pb.function("producer")
+            q = prod.addr("Q")
+            for v in (1, 2, 3):
+                prod.call("queue_push", [q, prod.const(v)])
+            prod.ret()
+            cons = pb.function("consumer")
+            q = cons.addr("Q")
+            s = cons.reg("s")
+            cons.emit(ins.Const(s, 0))
+            for _ in range(3):
+                item = cons.call("queue_pop", [q], want_result=True)
+                cons.emit(ins.Mov(s, cons.add(s, item)))
+            cons.print_(s)
+            cons.ret()
+            mn = pb.function("main")
+            q = mn.addr("Q")
+            mn.call("queue_init", [q, mn.const(1)])
+            t1 = mn.spawn("producer", [])
+            t2 = mn.spawn("consumer", [])
+            mn.join(t1)
+            mn.join(t2)
+            mn.halt()
+            pb.link(build_library())
+            result = _run(pb, seed)
+            assert (2, 6) in result.outputs
+
+
+class TestLibraryStructure:
+    def test_all_declared_functions_exist(self):
+        lib = build_library()
+        for name in library_function_names():
+            assert name in lib.functions
+
+    def test_annotated_functions_are_library(self):
+        lib = build_library()
+        for func in lib.functions.values():
+            if func.annotation is not None:
+                assert func.is_library
+
+    def test_queue_functions_are_user_level(self):
+        """The task queue ships with the library but is *not* intercepted:
+        its internal mutex/cv calls must stay visible (is_library=False)."""
+        lib = build_library()
+        for name in ("queue_init", "queue_push", "queue_pop"):
+            assert not lib.functions[name].is_library
+
+    def test_fresh_module_per_call(self):
+        assert build_library() is not build_library()

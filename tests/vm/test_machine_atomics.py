@@ -1,0 +1,137 @@
+"""Atomic read-modify-write semantics."""
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa import instructions as ins
+from repro.vm import Machine, RandomScheduler
+
+from tests.conftest import run_program
+
+
+def _run(body):
+    pb = ProgramBuilder("t")
+    pb.global_("W", 1, init=(10,))
+    mn = pb.function("main")
+    body(mn)
+    mn.halt()
+    machine, result = run_program(pb.build())
+    return machine, result
+
+
+class TestCas:
+    def test_successful_swap_returns_old_and_writes(self):
+        def body(mn):
+            a = mn.addr("W")
+            old = mn.atomic_cas(a, 10, 99)
+            mn.print_(old)
+            mn.print_(mn.load(a))
+
+        _, result = _run(body)
+        assert [v for _, v in result.outputs] == [10, 99]
+
+    def test_failed_swap_leaves_memory(self):
+        def body(mn):
+            a = mn.addr("W")
+            old = mn.atomic_cas(a, 555, 99)
+            mn.print_(old)
+            mn.print_(mn.load(a))
+
+        _, result = _run(body)
+        assert [v for _, v in result.outputs] == [10, 10]
+
+
+class TestFetchAdd:
+    def test_returns_old_value(self):
+        def body(mn):
+            a = mn.addr("W")
+            mn.print_(mn.atomic_add(a, 5))
+            mn.print_(mn.load(a))
+
+        _, result = _run(body)
+        assert [v for _, v in result.outputs] == [10, 15]
+
+    def test_negative_amount(self):
+        def body(mn):
+            a = mn.addr("W")
+            mn.atomic_add(a, -3)
+            mn.print_(mn.load(a))
+
+        _, result = _run(body)
+        assert [v for _, v in result.outputs] == [7]
+
+
+class TestXchg:
+    def test_swap(self):
+        def body(mn):
+            a = mn.addr("W")
+            mn.print_(mn.atomic_xchg(a, 77))
+            mn.print_(mn.load(a))
+
+        _, result = _run(body)
+        assert [v for _, v in result.outputs] == [10, 77]
+
+
+class TestAtomicityUnderContention:
+    def test_fetch_add_never_loses_updates(self):
+        """Unlike plain load-add-store, fetch-and-add is one VM step and
+        cannot lose updates under any interleaving."""
+        pb = ProgramBuilder("t")
+        pb.global_("C", 1)
+        w = pb.function("worker", params=("n",))
+        i = w.reg("i")
+        w.emit(ins.Const(i, 0))
+        w.jmp("loop")
+        w.label("loop")
+        a = w.addr("C")
+        w.atomic_add(a, 1)
+        w.emit(ins.Mov(i, w.add(i, 1)))
+        w.br(w.lt(i, "n"), "loop", "done")
+        w.label("done")
+        w.ret()
+        mn = pb.function("main")
+        n = mn.const(25)
+        tids = [mn.spawn("worker", [n]) for _ in range(4)]
+        for t in tids:
+            mn.join(t)
+        mn.print_(mn.load_global("C"))
+        mn.halt()
+        prog = pb.build()
+        for seed in range(6):
+            result = Machine(prog, scheduler=RandomScheduler(seed)).run()
+            assert result.outputs[0][1] == 100
+
+    def test_cas_mutual_exclusion(self):
+        """A CAS-guarded critical section keeps a plain counter exact."""
+        pb = ProgramBuilder("t")
+        pb.global_("L", 1)
+        pb.global_("C", 1)
+        w = pb.function("worker", params=("n",))
+        i = w.reg("i")
+        w.emit(ins.Const(i, 0))
+        w.jmp("try")
+        w.label("try")
+        l = w.addr("L")
+        got = w.eq(w.atomic_cas(l, 0, 1), 0)
+        w.br(got, "crit", "back")
+        w.label("back")
+        w.yield_()
+        w.jmp("try")
+        w.label("crit")
+        c = w.addr("C")
+        w.store(c, w.add(w.load(c), 1))
+        w.store(l, 0)
+        w.emit(ins.Mov(i, w.add(i, 1)))
+        w.br(w.lt(i, "n"), "try", "done")
+        w.label("done")
+        w.ret()
+        mn = pb.function("main")
+        n = mn.const(20)
+        t1 = mn.spawn("worker", [n])
+        t2 = mn.spawn("worker", [n])
+        mn.join(t1)
+        mn.join(t2)
+        mn.print_(mn.load_global("C"))
+        mn.halt()
+        prog = pb.build()
+        for seed in range(5):
+            result = Machine(prog, scheduler=RandomScheduler(seed)).run()
+            assert result.outputs[0][1] == 40

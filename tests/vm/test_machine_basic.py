@@ -1,0 +1,199 @@
+"""Interpreter basics: arithmetic, control flow, calls, errors."""
+
+import pytest
+
+from repro.isa import instructions as ins
+from repro.isa.builder import ProgramBuilder
+from repro.vm import Machine, RoundRobinScheduler
+from repro.vm.machine import MachineError
+
+from tests.conftest import run_program
+
+
+def _run_main(build_body) -> list:
+    """Build main with build_body(fb), run, return printed values."""
+    pb = ProgramBuilder("t")
+    mn = pb.function("main")
+    build_body(pb, mn)
+    mn.halt()
+    _, result = run_program(pb.build())
+    return [v for (_tid, v) in result.outputs]
+
+
+class TestArithmetic:
+    def test_add_sub_mul(self):
+        def body(pb, mn):
+            mn.print_(mn.add(2, 3))
+            mn.print_(mn.sub(2, 3))
+            mn.print_(mn.mul(4, 5))
+
+        assert _run_main(body) == [5, -1, 20]
+
+    def test_div_truncates_toward_zero(self):
+        def body(pb, mn):
+            mn.print_(mn.div(7, 2))
+            mn.print_(mn.div(-7, 2))
+
+        assert _run_main(body) == [3, -3]
+
+    def test_mod_sign_follows_c_semantics(self):
+        def body(pb, mn):
+            mn.print_(mn.mod(7, 3))
+            mn.print_(mn.mod(-7, 3))
+
+        assert _run_main(body) == [1, -1]
+
+    def test_div_by_zero_raises(self):
+        pb = ProgramBuilder("t")
+        mn = pb.function("main")
+        mn.print_(mn.div(1, 0))
+        mn.halt()
+        with pytest.raises(MachineError, match="division"):
+            run_program(pb.build())
+
+    def test_bitwise(self):
+        def body(pb, mn):
+            mn.print_(mn.and_(6, 3))
+            mn.print_(mn.or_(6, 3))
+            mn.print_(mn.xor(6, 3))
+
+        assert _run_main(body) == [2, 7, 5]
+
+    def test_comparisons_produce_0_or_1(self):
+        def body(pb, mn):
+            mn.print_(mn.lt(1, 2))
+            mn.print_(mn.lt(2, 1))
+            mn.print_(mn.eq(2, 2))
+            mn.print_(mn.not_(mn.const(0)))
+            mn.print_(mn.not_(mn.const(7)))
+
+        assert _run_main(body) == [1, 0, 1, 1, 0]
+
+
+class TestControlFlow:
+    def test_branch_taken_and_not(self):
+        def body(pb, mn):
+            c = mn.eq(1, 1)
+            mn.br(c, "yes", "no")
+            mn.label("yes")
+            mn.print_(mn.const(10))
+            mn.jmp("end")
+            mn.label("no")
+            mn.print_(mn.const(20))
+            mn.jmp("end")
+            mn.label("end")
+
+        assert _run_main(body) == [10]
+
+    def test_loop_counts(self):
+        def body(pb, mn):
+            i = mn.reg("i")
+            mn.emit(ins.Const(i, 0))
+            mn.jmp("loop")
+            mn.label("loop")
+            mn.emit(ins.Mov(i, mn.add(i, 1)))
+            c = mn.lt(i, mn.const(5))
+            mn.br(c, "loop", "done")
+            mn.label("done")
+            mn.print_(i)
+
+        assert _run_main(body) == [5]
+
+
+class TestCalls:
+    def test_call_returns_value(self):
+        pb = ProgramBuilder("t")
+        double = pb.function("double", params=("x",))
+        double.ret(double.mul("x", 2))
+        mn = pb.function("main")
+        r = mn.call("double", [21], want_result=True)
+        mn.print_(r)
+        mn.halt()
+        _, result = run_program(pb.build())
+        assert result.outputs == [(0, 42)]
+
+    def test_recursion(self):
+        pb = ProgramBuilder("t")
+        fact = pb.function("fact", params=("n",))
+        is_base = fact.le("n", 1)
+        fact.br(is_base, "base", "rec")
+        fact.label("base")
+        fact.ret(1)
+        fact.label("rec")
+        sub = fact.call("fact", [fact.sub("n", 1)], want_result=True)
+        fact.ret(fact.mul("n", sub))
+        mn = pb.function("main")
+        mn.print_(mn.call("fact", [6], want_result=True))
+        mn.halt()
+        _, result = run_program(pb.build())
+        assert result.outputs == [(0, 720)]
+
+    def test_icall_through_function_pointer(self):
+        pb = ProgramBuilder("t")
+        inc = pb.function("inc", params=("x",))
+        inc.ret(inc.add("x", 1))
+        mn = pb.function("main")
+        fp = mn.func_addr("inc")
+        mn.print_(mn.icall(fp, [9], want_result=True))
+        mn.halt()
+        _, result = run_program(pb.build())
+        assert result.outputs == [(0, 10)]
+
+    def test_icall_bad_address_raises(self):
+        pb = ProgramBuilder("t")
+        mn = pb.function("main")
+        bogus = mn.const(12345)
+        mn.icall(bogus, [])
+        mn.halt()
+        with pytest.raises(MachineError, match="non-function"):
+            run_program(pb.build())
+
+    def test_void_return_into_dst_raises(self):
+        pb = ProgramBuilder("t")
+        v = pb.function("v")
+        v.ret()
+        mn = pb.function("main")
+        mn.call("v", [], want_result=True)
+        mn.halt()
+        with pytest.raises(MachineError, match="returned no value"):
+            run_program(pb.build())
+
+
+class TestErrors:
+    def test_undefined_register_read(self):
+        from repro.isa.program import BasicBlock, Function, Program
+
+        p = Program()
+        f = Function("main")
+        f.add_block(BasicBlock("entry", [ins.Print("ghost"), ins.Halt()]))
+        p.add_function(f)
+        with pytest.raises(MachineError, match="undefined register"):
+            Machine(p).run()
+
+
+class TestHeapAndGlobals:
+    def test_alloc_load_store(self):
+        def body(pb, mn):
+            base = mn.alloc(3)
+            mn.store(base, 7, offset=2)
+            mn.print_(mn.load(base, offset=2))
+
+        assert _run_main(body) == [7]
+
+    def test_global_init_visible(self):
+        pb = ProgramBuilder("t")
+        pb.global_("G", 2, init=(11, 22))
+        mn = pb.function("main")
+        mn.print_(mn.load_global("G", offset=1))
+        mn.halt()
+        _, result = run_program(pb.build())
+        assert result.outputs == [(0, 22)]
+
+    def test_final_memory_snapshot(self):
+        pb = ProgramBuilder("t")
+        pb.global_("G", 1)
+        mn = pb.function("main")
+        mn.store_global("G", 99)
+        mn.halt()
+        machine, result = run_program(pb.build())
+        assert result.final_memory[machine.memory.global_base("G")] == 99

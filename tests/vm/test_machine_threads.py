@@ -1,0 +1,168 @@
+"""Threading semantics: spawn/join, deadlock, timeout, racy interleaving."""
+
+import pytest
+
+from repro.isa import instructions as ins
+from repro.isa.builder import ProgramBuilder
+from repro.vm import Machine, RandomScheduler, RoundRobinScheduler
+
+from tests.conftest import run_program
+
+
+def _racy_counter(iters: int = 40):
+    pb = ProgramBuilder("racy")
+    pb.global_("C", 1)
+    w = pb.function("worker", params=("n",))
+    i = w.reg("i")
+    w.emit(ins.Const(i, 0))
+    w.jmp("loop")
+    w.label("loop")
+    a = w.addr("C")
+    w.store(a, w.add(w.load(a), 1))
+    w.emit(ins.Mov(i, w.add(i, 1)))
+    w.br(w.lt(i, "n"), "loop", "done")
+    w.label("done")
+    w.ret()
+    mn = pb.function("main")
+    n = mn.const(iters)
+    t1 = mn.spawn("worker", [n])
+    t2 = mn.spawn("worker", [n])
+    mn.join(t1)
+    mn.join(t2)
+    mn.print_(mn.load_global("C"))
+    mn.halt()
+    return pb.build()
+
+
+class TestSpawnJoin:
+    def test_join_waits_for_child(self):
+        pb = ProgramBuilder("t")
+        pb.global_("G", 1)
+        w = pb.function("worker")
+        w.nop(20)
+        w.store_global("G", 1)
+        w.ret()
+        mn = pb.function("main")
+        t = mn.spawn("worker", [])
+        mn.join(t)
+        mn.print_(mn.load_global("G"))
+        mn.halt()
+        for seed in range(5):
+            _, result = run_program(pb.build(), seed=seed)
+            assert result.outputs == [(0, 1)]
+
+    def test_thread_results_recorded(self):
+        pb = ProgramBuilder("t")
+        w = pb.function("worker", params=("x",))
+        w.ret(w.mul("x", 10))
+        mn = pb.function("main")
+        t = mn.spawn("worker", [7])
+        mn.join(t)
+        mn.halt()
+        _, result = run_program(pb.build())
+        assert result.thread_results[1] == 70
+
+    def test_spawn_passes_arguments(self):
+        pb = ProgramBuilder("t")
+        w = pb.function("worker", params=("a", "b"))
+        w.print_(w.add("a", "b"))
+        w.ret()
+        mn = pb.function("main")
+        t = mn.spawn("worker", [3, 4])
+        mn.join(t)
+        mn.halt()
+        _, result = run_program(pb.build())
+        assert (1, 7) in result.outputs
+
+    def test_many_threads(self):
+        pb = ProgramBuilder("t")
+        pb.global_("SLOTS", 16)
+        w = pb.function("worker", params=("idx",))
+        base = w.addr("SLOTS")
+        w.store(w.add(base, "idx"), "idx")
+        w.ret()
+        mn = pb.function("main")
+        tids = [mn.spawn("worker", [mn.const(i)]) for i in range(16)]
+        for t in tids:
+            mn.join(t)
+        mn.halt()
+        machine, result = run_program(pb.build())
+        base = machine.memory.global_base("SLOTS")
+        assert [result.final_memory[base + i] for i in range(16)] == list(range(16))
+
+
+class TestRaceVisibility:
+    def test_racy_counter_loses_updates_under_some_seed(self):
+        """The substrate must actually exhibit races: over several seeds,
+        at least one run of an unsynchronized counter loses an update."""
+        outcomes = set()
+        for seed in range(8):
+            _, result = run_program(_racy_counter(), seed=seed)
+            outcomes.add(result.outputs[0][1])
+        assert any(v < 80 for v in outcomes), outcomes
+
+    def test_round_robin_is_deterministic(self):
+        vals = set()
+        for _ in range(3):
+            prog = _racy_counter()
+            machine = Machine(prog, scheduler=RoundRobinScheduler())
+            result = machine.run()
+            vals.add(result.outputs[0][1])
+        assert len(vals) == 1
+
+    def test_same_seed_same_interleaving(self):
+        a = Machine(_racy_counter(), scheduler=RandomScheduler(3)).run()
+        b = Machine(_racy_counter(), scheduler=RandomScheduler(3)).run()
+        assert a.outputs == b.outputs
+        assert a.steps == b.steps
+
+
+class TestTermination:
+    def test_deadlock_detected(self):
+        pb = ProgramBuilder("t")
+        w = pb.function("worker")
+        w.ret()
+        mn = pb.function("main")
+        t = mn.spawn("worker", [])
+        mn.join(t)
+        # join a thread that never exits: main joins itself -> deadlock
+        self_tid = mn.const(0)
+        mn.emit(ins.Join(self_tid))
+        mn.halt()
+        _, result = run_program(pb.build())
+        assert result.deadlocked
+        assert not result.ok
+
+    def test_step_budget_timeout(self):
+        pb = ProgramBuilder("t")
+        mn = pb.function("main")
+        mn.jmp("spin")
+        mn.label("spin")
+        mn.jmp("spin")
+        prog = pb.build()
+        machine = Machine(prog, max_steps=500)
+        result = machine.run()
+        assert result.timed_out
+        assert machine.step_count == 500
+
+    def test_halt_stops_other_threads(self):
+        pb = ProgramBuilder("t")
+        w = pb.function("worker")
+        w.jmp("spin")
+        w.label("spin")
+        w.yield_()
+        w.jmp("spin")
+        mn = pb.function("main")
+        mn.spawn("worker", [])
+        mn.nop(5)
+        mn.halt()
+        _, result = run_program(pb.build(), max_steps=100_000)
+        assert not result.timed_out
+
+    def test_program_without_halt_ends_when_all_exit(self):
+        pb = ProgramBuilder("t")
+        mn = pb.function("main")
+        mn.print_(mn.const(1))
+        mn.ret()
+        _, result = run_program(pb.build())
+        assert result.ok and result.outputs == [(0, 1)]

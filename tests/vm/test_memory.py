@@ -1,0 +1,109 @@
+"""Unit tests for memory layout, allocation, and symbolization."""
+
+import pytest
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import CodeLocation
+from repro.vm.memory import GLOBAL_BASE, HEAP_BASE, Memory, MemoryError_
+
+
+def _program_with_globals():
+    pb = ProgramBuilder("p")
+    pb.global_("A", 2, init=(5, 6))
+    pb.global_("B", 3)
+    mn = pb.function("main")
+    mn.halt()
+    return pb.build()
+
+
+class TestLayout:
+    def test_globals_laid_out_in_order(self):
+        mem = Memory(_program_with_globals())
+        assert mem.global_base("A") == GLOBAL_BASE
+        assert mem.global_base("B") == GLOBAL_BASE + 2
+
+    def test_initial_values(self):
+        mem = Memory(_program_with_globals())
+        a = mem.global_base("A")
+        assert mem.load(a) == 5
+        assert mem.load(a + 1) == 6
+        b = mem.global_base("B")
+        assert mem.load(b) == 0
+
+    def test_unknown_global_raises(self):
+        mem = Memory(_program_with_globals())
+        with pytest.raises(MemoryError_):
+            mem.global_base("NOPE")
+
+
+class TestAccess:
+    def test_store_then_load(self):
+        mem = Memory(_program_with_globals())
+        a = mem.global_base("A")
+        mem.store(a, 42)
+        assert mem.load(a) == 42
+
+    def test_unmapped_load_raises(self):
+        mem = Memory(_program_with_globals())
+        with pytest.raises(MemoryError_, match="unmapped"):
+            mem.load(0xDEAD)
+
+    def test_unmapped_store_raises(self):
+        mem = Memory(_program_with_globals())
+        with pytest.raises(MemoryError_, match="unmapped"):
+            mem.store(0xDEAD, 1)
+
+
+class TestHeap:
+    def test_alloc_returns_zeroed_block(self):
+        mem = Memory(_program_with_globals())
+        base = mem.alloc(4)
+        assert base >= HEAP_BASE
+        assert all(mem.load(base + i) == 0 for i in range(4))
+
+    def test_alloc_blocks_disjoint(self):
+        mem = Memory(_program_with_globals())
+        a = mem.alloc(4)
+        b = mem.alloc(4)
+        assert b >= a + 4
+
+    def test_alloc_nonpositive_raises(self):
+        mem = Memory(_program_with_globals())
+        with pytest.raises(MemoryError_):
+            mem.alloc(0)
+
+    def test_alloc_site_tagged(self):
+        mem = Memory(_program_with_globals())
+        loc = CodeLocation("main", "entry", 3)
+        base = mem.alloc(2, site=loc)
+        assert "main:entry:3" in mem.symbols.resolve(base)
+
+
+class TestSymbolization:
+    def test_scalar_symbol_has_no_offset(self):
+        pb = ProgramBuilder("p")
+        pb.global_("X", 1)
+        mn = pb.function("main")
+        mn.halt()
+        mem = Memory(pb.build())
+        assert mem.symbols.resolve(mem.global_base("X")) == "X"
+
+    def test_array_symbol_with_offset(self):
+        mem = Memory(_program_with_globals())
+        assert mem.symbols.resolve(mem.global_base("B") + 2) == "B+2"
+
+    def test_unknown_address_is_hex(self):
+        mem = Memory(_program_with_globals())
+        assert mem.symbols.resolve(0xABCDEF) == hex(0xABCDEF)
+
+    def test_base_of(self):
+        mem = Memory(_program_with_globals())
+        assert mem.symbols.base_of("B") == mem.global_base("B")
+        with pytest.raises(KeyError):
+            mem.symbols.base_of("NOPE")
+
+    def test_segment_of(self):
+        mem = Memory(_program_with_globals())
+        seg = mem.symbols.segment_of(mem.global_base("A") + 1)
+        assert seg is not None and seg.name == "A"
+        assert mem.symbols.segment_of(0x1) is None

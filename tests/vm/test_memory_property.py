@@ -1,0 +1,64 @@
+"""Property-based allocator safety (DESIGN.md §6)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.builder import ProgramBuilder
+from repro.vm.memory import Memory
+
+
+def _memory():
+    pb = ProgramBuilder("p")
+    pb.global_("G", 4, init=(1, 2, 3, 4))
+    mn = pb.function("main")
+    mn.halt()
+    return Memory(pb.build())
+
+
+@given(st.lists(st.integers(1, 64), min_size=1, max_size=30))
+@settings(max_examples=100, deadline=None)
+def test_allocations_disjoint_and_zeroed(sizes):
+    mem = _memory()
+    blocks = [(mem.alloc(n), n) for n in sizes]
+    # pairwise disjoint
+    spans = sorted((base, base + n) for base, n in blocks)
+    for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+        assert e1 <= s2
+    # zero-initialized and writable end to end
+    for base, n in blocks:
+        assert all(mem.load(base + i) == 0 for i in range(n))
+        mem.store(base + n - 1, 7)
+        assert mem.load(base + n - 1) == 7
+
+
+@given(st.lists(st.integers(1, 16), min_size=1, max_size=20))
+@settings(max_examples=60, deadline=None)
+def test_allocations_never_overlap_globals(sizes):
+    mem = _memory()
+    g = mem.global_base("G")
+    for n in sizes:
+        base = mem.alloc(n)
+        assert base > g + 4
+    # the globals keep their values
+    assert [mem.load(g + i) for i in range(4)] == [1, 2, 3, 4]
+
+
+@given(st.lists(st.integers(1, 32), min_size=1, max_size=25))
+@settings(max_examples=60, deadline=None)
+def test_accounting_tracks_allocations(sizes):
+    mem = _memory()
+    before = mem.allocated_words
+    for n in sizes:
+        mem.alloc(n)
+    assert mem.allocated_words == before + sum(sizes)
+
+
+@given(st.lists(st.integers(1, 16), min_size=1, max_size=15))
+@settings(max_examples=60, deadline=None)
+def test_symbolization_covers_every_allocated_word(sizes):
+    mem = _memory()
+    for n in sizes:
+        base = mem.alloc(n)
+        for i in range(n):
+            sym = mem.symbols.resolve(base + i)
+            assert sym.startswith("heap@"), sym

@@ -1,0 +1,102 @@
+"""Scheduler determinism and fairness properties."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vm.scheduler import (
+    AdversarialScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+)
+
+
+class TestRoundRobin:
+    def test_rotates(self):
+        s = RoundRobinScheduler()
+        picks = [s.pick([0, 1, 2]) for _ in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_handles_changing_runnable_set(self):
+        s = RoundRobinScheduler()
+        assert s.pick([0, 1]) == 0
+        assert s.pick([1]) == 1
+        assert s.pick([0, 2]) == 2
+        assert s.pick([0, 2]) == 0
+
+
+class TestRandom:
+    def test_deterministic_per_seed(self):
+        a = [RandomScheduler(5).pick([0, 1, 2]) for _ in range(1)]
+        s1, s2 = RandomScheduler(5), RandomScheduler(5)
+        assert [s1.pick([0, 1, 2]) for _ in range(50)] == [
+            s2.pick([0, 1, 2]) for _ in range(50)
+        ]
+
+    def test_single_thread_fast_path(self):
+        s = RandomScheduler(0)
+        assert all(s.pick([3]) == 3 for _ in range(10))
+
+    def test_yield_penalty_skips_spinner(self):
+        s = RandomScheduler(0, penalty=8)
+        s.on_yield(0)
+        picks = [s.pick([0, 1]) for _ in range(8)]
+        assert all(p == 1 for p in picks)
+
+    def test_yielding_only_thread_still_runs(self):
+        s = RandomScheduler(0)
+        s.on_yield(0)
+        assert s.pick([0]) == 0
+
+
+class TestAdversarial:
+    def test_deterministic_per_seed(self):
+        s1, s2 = AdversarialScheduler(7), AdversarialScheduler(7)
+        assert [s1.pick([0, 1, 2]) for _ in range(60)] == [
+            s2.pick([0, 1, 2]) for _ in range(60)
+        ]
+
+    def test_runs_bursts(self):
+        s = AdversarialScheduler(1, burst=10)
+        picks = [s.pick([0, 1]) for _ in range(40)]
+        # bursts imply consecutive repeats somewhere
+        assert any(picks[i] == picks[i + 1] for i in range(len(picks) - 1))
+
+    def test_yield_ends_burst(self):
+        s = AdversarialScheduler(1, burst=50)
+        first = s.pick([0, 1])
+        s.on_yield(first)
+        nxt = s.pick([0, 1])
+        assert nxt != first
+
+
+@given(
+    seed=st.integers(0, 1000),
+    nthreads=st.integers(1, 8),
+    steps=st.integers(20, 200),
+)
+@settings(max_examples=60, deadline=None)
+def test_random_scheduler_fairness(seed, nthreads, steps):
+    """Property: every runnable thread is eventually picked — no thread
+    starves over a long window (required for spin loops to make progress)."""
+    s = RandomScheduler(seed)
+    runnable = list(range(nthreads))
+    picks = [s.pick(runnable) for _ in range(steps * nthreads)]
+    assert set(picks) == set(runnable)
+
+
+@given(seed=st.integers(0, 1000))
+@settings(max_examples=30, deadline=None)
+def test_random_scheduler_picks_only_runnable(seed):
+    s = RandomScheduler(seed)
+    for runnable in ([0], [4, 9], [1, 2, 3], [7]):
+        for _ in range(5):
+            assert s.pick(runnable) in runnable
+
+
+@given(seed=st.integers(0, 500))
+@settings(max_examples=30, deadline=None)
+def test_adversarial_picks_only_runnable(seed):
+    s = AdversarialScheduler(seed)
+    for runnable in ([0, 1], [2], [0, 3, 5]):
+        for _ in range(10):
+            assert s.pick(runnable) in runnable

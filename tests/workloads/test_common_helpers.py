@@ -1,0 +1,190 @@
+"""The shared workload-construction helpers."""
+
+import pytest
+
+from repro.analysis import SpinLoopDetector
+from repro.isa import validate_program
+from repro.isa.instructions import Const, Mov
+from repro.vm import Machine, RandomScheduler
+from repro.workloads.common import (
+    counted_loop,
+    emit_user_lock_acquire,
+    emit_user_lock_release,
+    make_condition_helper,
+    new_program,
+    spin_flag_2bb,
+    spin_two_flags_3bb,
+    spin_with_funcptr,
+    spin_with_helper,
+)
+
+
+class TestCountedLoop:
+    def test_executes_n_times(self):
+        pb = new_program("t", link_library=False)
+        pb.global_("N", 1)
+        mn = pb.function("main")
+
+        def body(fb, i):
+            a = fb.addr("N")
+            fb.store(a, fb.add(fb.load(a), 1))
+
+        counted_loop(mn, 7, body)
+        mn.print_(mn.load_global("N"))
+        mn.halt()
+        prog = pb.build()
+        validate_program(prog)
+        result = Machine(prog).run()
+        assert result.outputs == [(0, 7)]
+
+    def test_body_receives_iteration_register(self):
+        pb = new_program("t", link_library=False)
+        pb.global_("SUM", 1)
+        mn = pb.function("main")
+
+        def body(fb, i):
+            a = fb.addr("SUM")
+            fb.store(a, fb.add(fb.load(a), i))
+
+        counted_loop(mn, 5, body)  # 0+1+2+3+4
+        mn.print_(mn.load_global("SUM"))
+        mn.halt()
+        result = Machine(pb.build()).run()
+        assert result.outputs == [(0, 10)]
+
+    def test_zero_iterations_rejected(self):
+        pb = new_program("t", link_library=False)
+        mn = pb.function("main")
+        with pytest.raises(AssertionError):
+            counted_loop(mn, 0, lambda fb, i: None)
+
+    def test_nested_loops(self):
+        pb = new_program("t", link_library=False)
+        pb.global_("C", 1)
+        mn = pb.function("main")
+
+        def outer(fb, i):
+            def inner(fb2, j):
+                a = fb2.addr("C")
+                fb2.store(a, fb2.add(fb2.load(a), 1))
+
+            counted_loop(fb, 3, inner)
+
+        counted_loop(mn, 4, outer)
+        mn.print_(mn.load_global("C"))
+        mn.halt()
+        result = Machine(pb.build()).run()
+        assert result.outputs == [(0, 12)]
+
+
+class TestConditionHelper:
+    @pytest.mark.parametrize("blocks", [2, 3, 5, 7])
+    def test_block_count_exact(self, blocks):
+        pb = new_program("t", link_library=False)
+        name = make_condition_helper(pb, "chk", blocks)
+        assert len(pb.program.functions[name].blocks) == blocks
+
+    def test_helper_computes_equality(self):
+        pb = new_program("t", link_library=False)
+        pb.global_("F", 1, init=(5,))
+        make_condition_helper(pb, "chk", 4, expect=5)
+        mn = pb.function("main")
+        f = mn.addr("F")
+        mn.print_(mn.call("chk", [f], want_result=True))
+        mn.store(f, 6)
+        mn.print_(mn.call("chk", [f], want_result=True))
+        mn.halt()
+        result = Machine(pb.build()).run()
+        assert [v for _, v in result.outputs] == [1, 0]
+
+    def test_minimum_two_blocks(self):
+        pb = new_program("t", link_library=False)
+        with pytest.raises(AssertionError):
+            make_condition_helper(pb, "chk", 1)
+
+
+class TestSpinShapes:
+    def _spin_geometry(self, build, expected_eff):
+        pb = new_program("t", link_library=False)
+        pb.global_("FLAG", 2, init=(1, 1))
+        mn = pb.function("main")
+        build(pb, mn)
+        mn.halt()
+        prog = pb.build()
+        validate_program(prog)
+        spins = SpinLoopDetector(prog, max_blocks=9).detect_program()
+        assert [s.effective_blocks for s in spins] == [expected_eff]
+        # flag initialized to 1: the loop exits immediately; terminates.
+        result = Machine(prog, max_steps=10_000).run()
+        assert result.ok
+
+    def test_2bb_geometry(self):
+        self._spin_geometry(
+            lambda pb, mn: spin_flag_2bb(mn, mn.addr("FLAG"), expect=1), 2
+        )
+
+    def test_3bb_geometry(self):
+        self._spin_geometry(
+            lambda pb, mn: spin_two_flags_3bb(mn, mn.addr("FLAG"), 0, 1), 3
+        )
+
+    def test_helper_geometry(self):
+        def build(pb, mn):
+            make_condition_helper(pb, "chk", 4, expect=1)
+            spin_with_helper(mn, "chk", mn.addr("FLAG"))
+
+        self._spin_geometry(build, 6)
+
+    def test_funcptr_shape_is_invisible(self):
+        pb = new_program("t", link_library=False)
+        pb.global_("FLAG", 1, init=(1,))
+        make_condition_helper(pb, "chk", 2, expect=1)
+        mn = pb.function("main")
+        spin_with_funcptr(mn, "chk", mn.addr("FLAG"))
+        mn.halt()
+        prog = pb.build()
+        validate_program(prog)
+        assert SpinLoopDetector(prog, max_blocks=9).detect_program() == []
+
+
+class TestUserLock:
+    def test_mutual_exclusion(self):
+        pb = new_program("t", link_library=False)
+        pb.global_("LK", 1)
+        pb.global_("C", 1)
+        w = pb.function("worker")
+
+        def body(fb, i):
+            lk = fb.addr("LK")
+            emit_user_lock_acquire(fb, lk)
+            a = fb.addr("C")
+            fb.store(a, fb.add(fb.load(a), 1))
+            emit_user_lock_release(fb, lk)
+
+        counted_loop(w, 10, body)
+        w.ret()
+        mn = pb.function("main")
+        t1 = mn.spawn("worker", [])
+        t2 = mn.spawn("worker", [])
+        mn.join(t1)
+        mn.join(t2)
+        mn.print_(mn.load_global("C"))
+        mn.halt()
+        prog = pb.build()
+        for seed in range(5):
+            result = Machine(prog, scheduler=RandomScheduler(seed)).run()
+            assert result.outputs == [(0, 20)]
+
+    def test_spin_then_cas_always_detected(self):
+        """The helper's pre-CAS spin loop must qualify — that is the
+        whole point of the spin-then-CAS shape."""
+        pb = new_program("t", link_library=False)
+        pb.global_("LK", 1)
+        mn = pb.function("main")
+        lk = mn.addr("LK")
+        emit_user_lock_acquire(mn, lk)
+        emit_user_lock_release(mn, lk)
+        mn.halt()
+        prog = pb.build()
+        spins = SpinLoopDetector(prog, max_blocks=7).detect_program()
+        assert len(spins) == 1

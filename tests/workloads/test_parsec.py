@@ -1,0 +1,105 @@
+"""PARSEC stand-ins: structure, validity, and per-program shape."""
+
+import pytest
+
+from repro.detectors import ToolConfig
+from repro.isa import validate_program
+from repro.workloads.parsec.registry import (
+    WITH_ADHOC,
+    WITHOUT_ADHOC,
+    parsec_workload,
+    parsec_workloads,
+    program_metadata,
+)
+
+from tests.conftest import detect
+
+ALL = parsec_workloads()
+
+
+class TestRegistry:
+    def test_thirteen_programs(self):
+        assert len(ALL) == 13
+
+    def test_paper_partition(self):
+        names = {w.name for w in ALL}
+        assert set(WITHOUT_ADHOC) | set(WITH_ADHOC) == names
+        assert len(WITHOUT_ADHOC) == 5 and len(WITH_ADHOC) == 8
+
+    def test_lookup_by_name(self):
+        assert parsec_workload("dedup").name == "dedup"
+        with pytest.raises(KeyError):
+            parsec_workload("nope")
+
+    def test_metadata_matches_paper_models(self):
+        meta = program_metadata()
+        assert meta["freqmine"]["model"] == "OpenMP"
+        assert meta["vips"]["model"] == "GLIB"
+        assert meta["blackscholes"]["model"] == "POSIX"
+        assert meta["blackscholes"]["barriers"] and not meta["blackscholes"]["adhoc"]
+        assert meta["streamcluster"]["barriers"] and meta["streamcluster"]["adhoc"]
+
+    def test_adhoc_flag_matches_partition(self):
+        meta = program_metadata()
+        for name in WITH_ADHOC:
+            assert meta[name]["adhoc"], name
+        for name in WITHOUT_ADHOC:
+            assert not meta[name]["adhoc"], name
+
+
+@pytest.mark.parametrize("wl", ALL, ids=lambda w: w.name)
+def test_all_programs_validate(wl):
+    validate_program(wl.build())
+
+
+@pytest.mark.parametrize("wl", ALL, ids=lambda w: w.name)
+def test_all_programs_terminate(wl):
+    _, result = detect(
+        wl.build(), ToolConfig.helgrind_lib_spin(7), seed=2, max_steps=wl.max_steps
+    )
+    assert result.ok
+
+
+class TestShapes:
+    def _contexts(self, name, cfg, seed=1):
+        wl = parsec_workload(name)
+        det, result = detect(wl.build(), cfg, seed=seed, max_steps=wl.max_steps)
+        assert result.ok
+        return det.report.racy_contexts
+
+    @pytest.mark.parametrize("name", WITHOUT_ADHOC[:4])
+    def test_clean_programs_have_zero_contexts(self, name):
+        for cfg in ToolConfig.paper_tools(7):
+            assert self._contexts(name, cfg) == 0, (name, cfg.name)
+
+    def test_freqmine_unknown_library(self):
+        assert self._contexts("freqmine", ToolConfig.helgrind_lib()) > 100
+        assert self._contexts("freqmine", ToolConfig.helgrind_lib_spin(7)) <= 3
+        assert self._contexts("freqmine", ToolConfig.drd()) == 1000
+
+    @pytest.mark.parametrize("name", ["vips", "facesim", "raytrace"])
+    def test_detectable_adhoc_fully_fixed(self, name):
+        assert self._contexts(name, ToolConfig.helgrind_lib()) > 30
+        assert self._contexts(name, ToolConfig.helgrind_lib_spin(7)) == 0
+        assert self._contexts(name, ToolConfig.helgrind_nolib_spin(7)) == 0
+
+    def test_bodytrack_funcptr_residual_and_nolib_gap(self):
+        lib_spin = self._contexts("bodytrack", ToolConfig.helgrind_lib_spin(7))
+        nolib = self._contexts("bodytrack", ToolConfig.helgrind_nolib_spin(7))
+        assert 0 < lib_spin < 10
+        assert nolib > 3 * lib_spin  # TAS-locked data lost in nolib
+
+    def test_dedup_hybrid_vs_drd_inversion(self):
+        """dedup: hybrid-lib explodes, DRD is (nearly) clean."""
+        assert self._contexts("dedup", ToolConfig.helgrind_lib()) == 1000
+        assert self._contexts("dedup", ToolConfig.helgrind_lib_spin(7)) == 0
+        assert self._contexts("dedup", ToolConfig.drd()) <= 1
+
+    def test_streamcluster_coarse_heuristic(self):
+        assert self._contexts("streamcluster", ToolConfig.helgrind_lib()) <= 8
+        assert self._contexts("streamcluster", ToolConfig.drd()) == 1000
+        assert self._contexts("streamcluster", ToolConfig.helgrind_lib_spin(7)) == 0
+
+    def test_x264_cap_hit(self):
+        assert self._contexts("x264", ToolConfig.helgrind_lib()) == 1000
+        assert self._contexts("x264", ToolConfig.helgrind_lib_spin(7)) < 30

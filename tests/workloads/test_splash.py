@@ -1,0 +1,62 @@
+"""SPLASH-2 stand-ins: validity, ground truth, detector shapes."""
+
+import pytest
+
+from repro.detectors import ToolConfig
+from repro.harness.oracle import check_workload
+from repro.isa import validate_program
+from repro.vm import Machine, RandomScheduler
+from repro.workloads.splash import splash_workloads
+
+from tests.conftest import detect
+
+ALL = splash_workloads()
+
+
+class TestStructure:
+    def test_four_programs(self):
+        assert [w.name for w in ALL] == ["fft", "lu", "radix", "barnes"]
+
+    def test_all_declare_adhoc(self):
+        assert all("adhoc" in w.sync_inventory for w in ALL)
+
+
+@pytest.mark.parametrize("wl", ALL, ids=lambda w: w.name)
+class TestPerProgram:
+    def test_validates(self, wl):
+        validate_program(wl.build())
+
+    def test_schedule_stable(self, wl):
+        verdict = check_workload(wl, seeds=range(3))
+        assert verdict.verdict == "stable", verdict
+
+    def test_lib_false_positives(self, wl):
+        det, result = detect(wl.build(), ToolConfig.helgrind_lib(), seed=1)
+        assert result.ok
+        assert det.report.racy_contexts > 0, wl.name
+
+    def test_spin_clean(self, wl):
+        for cfg in (ToolConfig.helgrind_lib_spin(7), ToolConfig.helgrind_nolib_spin(7)):
+            det, result = detect(wl.build(), cfg, seed=1)
+            assert result.ok
+            assert det.report.racy_contexts == 0, (wl.name, cfg.name)
+
+
+class TestKernelResults:
+    def test_radix_total_equals_key_count(self):
+        wl = next(w for w in ALL if w.name == "radix")
+        result = Machine(wl.build(), scheduler=RandomScheduler(2)).run()
+        totals = {v for tid, v in result.thread_results.items() if v is not None}
+        assert totals == {16}  # 4 workers x 4 keys each
+
+    def test_lu_eliminators_agree(self):
+        wl = next(w for w in ALL if w.name == "lu")
+        result = Machine(wl.build(), scheduler=RandomScheduler(1)).run()
+        sums = {v for tid, v in result.thread_results.items() if v is not None}
+        assert len(sums) == 1  # every eliminator saw the same pivot rows
+
+    def test_barnes_tree_sum_agrees(self):
+        wl = next(w for w in ALL if w.name == "barnes")
+        result = Machine(wl.build(), scheduler=RandomScheduler(3)).run()
+        sums = {v for tid, v in result.thread_results.items() if v is not None}
+        assert len(sums) == 1

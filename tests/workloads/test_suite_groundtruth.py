@@ -1,0 +1,130 @@
+"""Behavioural ground truth of representative suite cases per tool.
+
+These tests pin the *mechanism* behind each suite family: which tool
+configuration flags/fixes/misses which case, and why.
+"""
+
+import pytest
+
+from repro.detectors import ToolConfig
+from repro.workloads.dr_test.suite import build_suite
+
+from tests.conftest import detect
+
+SUITE = {w.name: w for w in build_suite()}
+
+LIB = ToolConfig.helgrind_lib()
+LIB_SPIN = ToolConfig.helgrind_lib_spin(7)
+NOLIB_SPIN = ToolConfig.helgrind_nolib_spin(7)
+DRD = ToolConfig.drd()
+
+
+def _symbols(name, cfg):
+    wl = SUITE[name]
+    det, result = detect(wl.build(), cfg, seed=wl.seed, max_steps=wl.max_steps)
+    assert result.ok, (name, cfg.name)
+    return det.report.reported_base_symbols
+
+
+class TestRaceFreeLibraryCases:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "locks_mutex_counter_t2",
+            "locks_spinlock_counter_t2",
+            "cv_handoff_c1",
+            "barrier_phase_t4",
+            "sem_mutex_t2",
+            "queue_spsc_i6",
+        ],
+    )
+    @pytest.mark.parametrize("cfg", [LIB, LIB_SPIN, NOLIB_SPIN, DRD], ids=lambda c: c.name)
+    def test_clean_under_all_tools(self, name, cfg):
+        assert _symbols(name, cfg) == set()
+
+
+class TestAdhocCases:
+    def test_lib_reports_apparent_and_sync_races(self):
+        syms = _symbols("adhoc_flag_basic", LIB)
+        assert "DATA" in syms and "FLAG" in syms
+
+    def test_spin_eliminates_both(self):
+        assert _symbols("adhoc_flag_basic", LIB_SPIN) == set()
+        assert _symbols("adhoc_flag_basic", NOLIB_SPIN) == set()
+
+    def test_drd_reports_adhoc(self):
+        assert _symbols("adhoc_flag_basic", DRD) != set()
+
+    def test_eff7_case_needs_wide_window(self):
+        assert _symbols("adhoc7_handoff", LIB_SPIN) == set()
+        assert _symbols("adhoc7_handoff", ToolConfig.helgrind_lib_spin(6)) != set()
+
+    def test_eff3_case_caught_by_spin3(self):
+        assert _symbols("adhoc_flag_basic", ToolConfig.helgrind_lib_spin(3)) == set()
+
+    def test_user_spinlock_recovered(self):
+        assert _symbols("adhoc_user_spinlock", LIB_SPIN) == set()
+
+
+class TestHardCases:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "hard_funcptr",
+            "hard_oversized_eff9",
+            "hard_impure_poll",
+            "hard_obscure_queue",
+            "hard_deep_chain",
+            "hard_counted_timeout",
+        ],
+    )
+    def test_residual_false_positives_with_spin(self, name):
+        """These constructs defeat the instrumentation phase."""
+        assert _symbols(name, LIB_SPIN) != set()
+        assert _symbols(name, ToolConfig.helgrind_lib_spin(8)) != set()
+
+
+class TestNolibSpecifics:
+    def test_taslock_unrecoverable(self):
+        """The paper's 'only one false positive more' case."""
+        assert _symbols("locks_taslock_t2", LIB) == set()
+        assert _symbols("locks_taslock_t2", LIB_SPIN) == set()
+        assert _symbols("locks_taslock_t2", NOLIB_SPIN) != set()
+
+    def test_mutex_fully_recovered(self):
+        assert _symbols("locks_mutex_counter_t4", NOLIB_SPIN) == set()
+
+    def test_barrier_fully_recovered(self):
+        assert _symbols("barrier_phase_t8", NOLIB_SPIN) == set()
+
+    def test_condvar_fully_recovered(self):
+        assert _symbols("cv_pingpong_r2", NOLIB_SPIN) == set()
+
+    def test_semaphore_fully_recovered(self):
+        assert _symbols("sem_mutex_t4", NOLIB_SPIN) == set()
+
+
+class TestRacyCases:
+    def test_plain_race_found_by_all(self):
+        for cfg in (LIB, LIB_SPIN, NOLIB_SPIN, DRD):
+            assert "COUNTER" in _symbols("racy_counter_t2", cfg), cfg.name
+
+    def test_spin_edge_does_not_hide_late_write(self):
+        syms = _symbols("racy_adhoc_after", LIB_SPIN)
+        assert "LATE" in syms
+        assert "EARLY" not in syms  # properly ordered part stays clean
+
+    def test_lock_masked_race_splits_hybrid_from_drd(self):
+        assert "X" in _symbols("racy_lockmask_basic", LIB)
+        assert "X" in _symbols("racy_lockmask_basic", LIB_SPIN)
+        assert "X" not in _symbols("racy_lockmask_basic", DRD)
+
+    def test_sem_masked_race_missed_by_all(self):
+        for cfg in (LIB, LIB_SPIN, NOLIB_SPIN, DRD):
+            assert "X" not in _symbols("racy_semmask_basic", cfg), cfg.name
+
+    def test_coarse_cv_false_negative_removed_by_spin(self):
+        """The paper's removed false negative (slide 24: 8 -> 7 misses)."""
+        assert "X" not in _symbols("racy_coarse_cv_fn", LIB)  # hidden
+        assert "X" in _symbols("racy_coarse_cv_fn", LIB_SPIN)  # found
+        assert "X" in _symbols("racy_coarse_cv_fn", DRD)  # found

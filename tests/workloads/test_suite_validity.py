@@ -1,0 +1,51 @@
+"""Structural validity of the 120-case suite."""
+
+import pytest
+
+from repro.isa import validate_program
+from repro.workloads.dr_test.suite import SUITE_SIZE, build_suite
+
+SUITE = build_suite()
+
+
+class TestSuiteShape:
+    def test_exactly_120_cases(self):
+        assert len(SUITE) == SUITE_SIZE == 120
+
+    def test_unique_names(self):
+        names = [w.name for w in SUITE]
+        assert len(names) == len(set(names))
+
+    def test_thread_counts_in_paper_range(self):
+        assert all(2 <= w.threads <= 16 for w in SUITE)
+
+    def test_categories_present(self):
+        cats = {w.category for w in SUITE}
+        assert {
+            "locks",
+            "condvars",
+            "barriers",
+            "semaphores",
+            "queues",
+            "adhoc",
+            "hard",
+        } <= cats
+        assert any(c.startswith("racy") for c in cats)
+
+    def test_racy_and_racefree_mix(self):
+        racy = sum(1 for w in SUITE if w.is_racy)
+        assert 20 <= racy <= 40
+        assert 80 <= len(SUITE) - racy <= 100
+
+    def test_descriptions_nonempty(self):
+        assert all(w.description for w in SUITE)
+
+
+@pytest.mark.parametrize("wl", SUITE, ids=lambda w: w.name)
+def test_every_case_validates(wl):
+    validate_program(wl.build())
+
+
+def test_builds_are_fresh_programs():
+    wl = SUITE[0]
+    assert wl.build() is not wl.build()
