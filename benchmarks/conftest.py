@@ -7,7 +7,34 @@ inline; they are also echoed into the benchmark's ``extra_info``).
 
 from __future__ import annotations
 
+import os
+from typing import Optional
+
 import pytest
+
+
+def env_workers() -> int:
+    """Worker processes for sweep-shaped benchmarks (``REPRO_WORKERS``).
+
+    Defaults to 0 (serial in-process) so benchmark timings stay
+    comparable; set ``REPRO_WORKERS=4`` to fan the experiment sweeps out.
+    Scores are identical either way — the parallel runner is bit-exact.
+    """
+    return int(os.environ.get("REPRO_WORKERS", "0"))
+
+
+def env_cache():
+    """Result cache for sweep-shaped benchmarks (``REPRO_CACHE_DIR``).
+
+    When set, repeated benchmark invocations skip already-measured
+    (workload, config, seed) triples entirely.
+    """
+    cache_dir: Optional[str] = os.environ.get("REPRO_CACHE_DIR")
+    if not cache_dir:
+        return None
+    from repro.harness.parallel import ResultCache
+
+    return ResultCache(cache_dir)
 
 
 def run_once(benchmark, fn):

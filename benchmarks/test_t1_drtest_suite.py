@@ -12,7 +12,7 @@ from repro.detectors import ToolConfig
 from repro.harness.metrics import score_suite
 from repro.harness.tables import suite_table
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import env_cache, env_workers, run_once
 
 PAPER = {
     "Helgrind+ lib": (32, 8, 40, 80),
@@ -24,9 +24,10 @@ PAPER = {
 
 def test_t1_drtest_suite(benchmark, suite120):
     def experiment():
+        workers, cache = env_workers(), env_cache()
         rows = []
         for cfg in ToolConfig.paper_tools(7):
-            score, _ = score_suite(suite120, cfg)
+            score, _ = score_suite(suite120, cfg, workers=workers, cache=cache)
             rows.append(score.row())
         return rows
 

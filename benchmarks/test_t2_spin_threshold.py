@@ -12,14 +12,17 @@ from repro.detectors import ToolConfig
 from repro.harness.metrics import score_suite
 from repro.harness.tables import suite_table
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import env_cache, env_workers, run_once
 
 
 def test_t2_spin_threshold(benchmark, suite120):
     def experiment():
+        workers, cache = env_workers(), env_cache()
         rows = []
         for k in (3, 6, 7, 8):
-            score, _ = score_suite(suite120, ToolConfig.helgrind_lib_spin(k))
+            score, _ = score_suite(
+                suite120, ToolConfig.helgrind_lib_spin(k), workers=workers, cache=cache
+            )
             rows.append(score.row())
         return rows
 

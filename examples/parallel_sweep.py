@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Demonstrate the parallel, cache-backed sweep engine.
+
+Runs a PARSEC sweep three ways and prints the observability report:
+
+1. serially in-process (the reference path);
+2. fanned out over worker processes — results are bit-identical;
+3. again with the same cache — zero runs re-execute.
+
+Usage::
+
+    python examples/parallel_sweep.py [--workers 4] [--seeds 2]
+"""
+
+import argparse
+import sys
+import tempfile
+import time
+
+from repro.detectors import ToolConfig
+from repro.harness.parallel import ResultCache, run_sweep, sweep_specs
+from repro.harness.tables import sweep_records_table, sweep_summary_table
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--seeds", type=int, default=2)
+    parser.add_argument(
+        "--cache-dir", default=None, help="cache directory (default: fresh temp dir)"
+    )
+    args = parser.parse_args()
+
+    workloads = ["blackscholes", "bodytrack", "ferret", "dedup"]
+    configs = [ToolConfig.helgrind_lib(), ToolConfig.helgrind_lib_spin(7)]
+    seeds = list(range(1, args.seeds + 1))
+    specs = sweep_specs(workloads, configs, seeds)
+    print(f"{len(specs)} (workload, config, seed) triples\n")
+
+    t0 = time.perf_counter()
+    serial = run_sweep(specs, workers=0)
+    serial_s = time.perf_counter() - t0
+
+    cache = ResultCache(args.cache_dir or tempfile.mkdtemp(prefix="repro-cache-"))
+    t0 = time.perf_counter()
+    parallel = run_sweep(specs, workers=args.workers, cache=cache)
+    parallel_s = time.perf_counter() - t0
+
+    for a, b in zip(serial.outcomes, parallel.outcomes):
+        assert a is not None and b is not None
+        assert a.report.contexts == b.report.contexts
+        assert sorted(map(str, a.report.warnings)) == sorted(map(str, b.report.warnings))
+        assert (a.steps, a.events, a.detector_words) == (b.steps, b.events, b.detector_words)
+    print("parallel results are bit-identical to serial execution")
+    print(f"serial {serial_s:.2f}s | {args.workers} workers {parallel_s:.2f}s\n")
+
+    print(sweep_records_table(parallel.records, "Per-run observability"))
+    print()
+    print(sweep_summary_table(parallel.summary()))
+
+    t0 = time.perf_counter()
+    cached = run_sweep(specs, workers=args.workers, cache=cache)
+    cached_s = time.perf_counter() - t0
+    s = cached.summary()
+    print(
+        f"\ncached re-invocation: executed={s.executed} cached={s.cached} "
+        f"({cached_s:.2f}s)"
+    )
+    assert s.executed == 0, "second invocation must re-execute zero runs"
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

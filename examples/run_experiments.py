@@ -7,6 +7,12 @@ also works from a source checkout without installation:
     python examples/run_experiments.py t1
     python examples/run_experiments.py t4 --seeds 5
     python examples/run_experiments.py all
+
+Table sweeps fan out over worker processes (bit-identical results) and
+can reuse a content-keyed result cache across invocations::
+
+    python examples/run_experiments.py t4 --workers 4 --cache-dir .repro-cache
+    python examples/run_experiments.py sweep --workers 4
 """
 
 import sys

@@ -117,14 +117,18 @@ class EraserAlgorithm(VectorClockAlgorithm):
             and cell.last.tid != tid
         )
         if violating:
-            key = f"{cell.last.loc}|{loc}|{is_write}"
+            kind = (
+                "write-write"
+                if is_write and cell.last.is_write
+                else ("write-read" if cell.last.is_write else "read-write")
+            )
+            # Dedup on the *unordered* location pair plus access kind:
+            # the same conflicting pair must not be reported a second
+            # time just because the two threads' access orders swapped.
+            pair = "|".join(sorted((str(cell.last.loc), str(loc))))
+            key = f"{pair}|{'ww' if kind == 'write-write' else 'rw'}"
             if key not in cell.reported:
                 cell.reported.add(key)
-                kind = (
-                    "write-write"
-                    if is_write and cell.last.is_write
-                    else ("write-read" if cell.last.is_write else "read-write")
-                )
                 self.report.add(
                     RaceWarning(
                         addr=addr,

@@ -3,6 +3,11 @@
 * :mod:`repro.harness.workload` — the workload abstraction (program
   factory + ground truth);
 * :mod:`repro.harness.runner` — execute (workload, tool, seed) triples;
+* :mod:`repro.harness.registry` — name → workload resolution (pickling
+  and cross-process dispatch);
+* :mod:`repro.harness.parallel` — process-pool sweep engine with
+  content-keyed result caching, per-run timeout/retry, and structured
+  observability records;
 * :mod:`repro.harness.metrics` — suite scoring (false alarms / missed
   races / failed / correct) and racy-context averaging;
 * :mod:`repro.harness.tables` — text rendering of the paper's tables;
@@ -13,6 +18,16 @@
 
 from repro.harness.workload import Workload
 from repro.harness.runner import RunOutcome, run_workload
+from repro.harness.registry import register_workload, resolve_workload
+from repro.harness.parallel import (
+    ResultCache,
+    RunRecord,
+    RunSpec,
+    SweepResult,
+    SweepSummary,
+    run_sweep,
+    sweep_specs,
+)
 from repro.harness.metrics import (
     CaseScore,
     SuiteScore,
@@ -27,6 +42,15 @@ __all__ = [
     "Workload",
     "RunOutcome",
     "run_workload",
+    "register_workload",
+    "resolve_workload",
+    "ResultCache",
+    "RunRecord",
+    "RunSpec",
+    "SweepResult",
+    "SweepSummary",
+    "run_sweep",
+    "sweep_specs",
     "CaseScore",
     "SuiteScore",
     "score_case",

@@ -11,32 +11,56 @@ Subcommands::
     repro-experiments f2            # runtime-overhead figure
     repro-experiments cases         # list the 120 suite cases
     repro-experiments oracle        # detector-free ground-truth sweep
+    repro-experiments sweep         # parallel sweep + observability report
     repro-experiments all           # every table and figure, in order
+
+Global options wire every table through the parallel engine::
+
+    --workers N       fan (workload, tool, seed) triples over N processes
+    --cache-dir DIR   content-keyed result cache; repeat invocations of
+                      the same sweep re-execute zero runs
+    --timeout S       per-run wall-clock budget (parallel runs only)
+    --retries N       attempts after a timeout/crash before giving up
+
+The perf figures (f1/f2) always run serially: their wall-clock numbers
+would be polluted by co-scheduled sibling runs.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.detectors import ToolConfig
 from repro.harness.metrics import racy_contexts_table, score_suite
+from repro.harness.parallel import ResultCache, run_sweep, sweep_specs
 from repro.harness.perf import measure_overhead, overhead_summary
-from repro.harness.tables import contexts_table, format_table, suite_table
+from repro.harness.tables import (
+    contexts_table,
+    format_table,
+    suite_table,
+    sweep_records_table,
+    sweep_summary_table,
+)
 
 
 def _tools(k: int) -> Sequence[ToolConfig]:
     return ToolConfig.paper_tools(k)
 
 
+def _cache(args: argparse.Namespace) -> Optional[ResultCache]:
+    return ResultCache(args.cache_dir) if args.cache_dir else None
+
+
 def cmd_t1(args: argparse.Namespace) -> None:
     from repro.workloads import build_suite
 
     suite = build_suite()
+    cache = _cache(args)
     rows = []
     for cfg in _tools(args.k):
-        score, _ = score_suite(suite, cfg)
+        score, _ = score_suite(suite, cfg, workers=args.workers, cache=cache)
         rows.append(score.row())
     print(suite_table(rows, f"T1 — data-race-test suite ({len(suite)} cases)"))
 
@@ -45,9 +69,12 @@ def cmd_t2(args: argparse.Namespace) -> None:
     from repro.workloads import build_suite
 
     suite = build_suite()
+    cache = _cache(args)
     rows = []
     for k in (3, 6, 7, 8):
-        score, _ = score_suite(suite, ToolConfig.helgrind_lib_spin(k))
+        score, _ = score_suite(
+            suite, ToolConfig.helgrind_lib_spin(k), workers=args.workers, cache=cache
+        )
         rows.append(score.row())
     print(suite_table(rows, "T2 — spinning-read window sensitivity"))
 
@@ -78,7 +105,9 @@ def _parsec_contexts(args: argparse.Namespace, names: Sequence[str], title: str)
 
     workloads = [parsec_workload(n) for n in names]
     seeds = list(range(1, args.seeds + 1))
-    data = racy_contexts_table(workloads, _tools(args.k), seeds)
+    data = racy_contexts_table(
+        workloads, _tools(args.k), seeds, workers=args.workers, cache=_cache(args)
+    )
     print(contexts_table(data, [c.name for c in _tools(args.k)], title))
 
 
@@ -175,21 +204,52 @@ def cmd_f2(args: argparse.Namespace) -> None:
     rows = _perf_rows(args)
     print(
         format_table(
-            ["Program", "bare s", "lib s", "lib+spin s", "overhead"],
+            ["Program", "bare s", "lib s", "lib+spin s", "spin instr s", "overhead"],
             [
                 [
                     r.program,
                     f"{r.bare_s:.3f}",
                     f"{r.lib_s:.3f}",
                     f"{r.spin_s:.3f}",
+                    f"{r.spin_instr_s:.3f}",
                     f"{r.runtime_overhead:.3f}x",
                 ]
                 for r in rows
             ],
-            title="F2 — detector runtime (spin feature off vs on)",
+            title="F2 — detector runtime (spin feature off vs on, incl. instrumentation)",
         )
     )
     print(f"mean runtime overhead: {overhead_summary(rows)['runtime']:.3f}x")
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Fan a (workload, tool, seed) sweep out and print the run log."""
+    from repro.workloads import parsec_workloads
+
+    workloads = [wl.name for wl in parsec_workloads()]
+    if args.limit:
+        workloads = workloads[: args.limit]
+    configs = [ToolConfig.helgrind_lib(), ToolConfig.helgrind_lib_spin(args.k)]
+    seeds = list(range(1, args.seeds + 1))
+    specs = sweep_specs(workloads, configs, seeds)
+    result = run_sweep(
+        specs,
+        workers=args.workers,
+        cache=_cache(args),
+        timeout_s=args.timeout,
+        retries=args.retries,
+    )
+    title = (
+        f"Sweep — {len(workloads)} workload(s) x {len(configs)} tool(s) "
+        f"x {len(seeds)} seed(s) on {args.workers} worker(s)"
+    )
+    print(sweep_records_table(result.records, title))
+    print()
+    print(sweep_summary_table(result.summary()))
+    if result.failed:
+        print(f"\n{len(result.failed)} run(s) FAILED")
+        return 1
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -201,8 +261,36 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--seeds", type=int, default=5, help="PARSEC seeds (default 5)")
     parser.add_argument("--repeats", type=int, default=3, help="perf repeats")
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes for sweeps (0 = serial in-process)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="content-keyed result cache directory (default: no cache)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-run wall-clock timeout in seconds (parallel runs only)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="retries after a timeout/crash before a run is marked failed",
+    )
+    parser.add_argument(
+        "--limit", type=int, default=0, help="sweep: cap the workload count"
+    )
+    parser.add_argument(
         "experiment",
-        choices=["t1", "t2", "t3", "t4", "t5", "f1", "f2", "cases", "oracle", "all"],
+        choices=[
+            "t1", "t2", "t3", "t4", "t5", "f1", "f2", "cases", "oracle", "sweep", "all",
+        ],
         help="which experiment to run",
     )
     args = parser.parse_args(argv)
@@ -216,13 +304,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         "f2": cmd_f2,
         "cases": cmd_cases,
         "oracle": cmd_oracle,
+        "sweep": cmd_sweep,
     }
     if args.experiment == "all":
         for name in ("t1", "t2", "t3", "t4", "t5", "f1", "f2"):
             commands[name](args)
             print()
     else:
-        commands[args.experiment](args)
+        return commands[args.experiment](args) or 0
     return 0
 
 

@@ -14,12 +14,15 @@ The data-race-test style scoring follows the paper's Table on slide 24:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.detectors import ToolConfig
 from repro.detectors.reports import Report
 from repro.harness.runner import RunOutcome, run_workload
 from repro.harness.workload import Workload
+
+if TYPE_CHECKING:
+    from repro.harness.parallel import ResultCache
 
 
 @dataclass(frozen=True)
@@ -100,15 +103,47 @@ def score_case(workload: Workload, report: Report, abnormal: bool = False) -> Ca
     )
 
 
+def _sweep_outcomes(
+    workloads: Sequence[Workload],
+    configs: Sequence[ToolConfig],
+    seeds: Sequence[Optional[int]],
+    workers: int,
+    cache: Optional["ResultCache"],
+) -> List[RunOutcome]:
+    """Run the cross product via the parallel engine, workload-major.
+
+    Strict: a terminally failed run raises rather than silently skewing
+    the paper's metrics.  Results are bit-identical to serial execution.
+    """
+    from repro.harness.parallel import RunSpec, run_sweep
+
+    specs = [
+        RunSpec(workload=wl, config=cfg, seed=seed)
+        for wl in workloads
+        for cfg in configs
+        for seed in seeds
+    ]
+    result = run_sweep(specs, workers=workers, cache=cache, strict=True)
+    return [o for o in result.outcomes if o is not None]
+
+
 def score_suite(
-    workloads: Sequence[Workload], config: ToolConfig
+    workloads: Sequence[Workload],
+    config: ToolConfig,
+    workers: int = 0,
+    cache: Optional["ResultCache"] = None,
 ) -> Tuple[SuiteScore, List[RunOutcome]]:
-    """Run every case once (its own seed) under ``config`` and aggregate."""
+    """Run every case once (its own seed) under ``config`` and aggregate.
+
+    ``workers > 0`` fans the cases out over that many processes (with
+    optional result caching); scores are identical to the serial path.
+    """
     score = SuiteScore(tool=config.name)
-    outcomes: List[RunOutcome] = []
-    for wl in workloads:
-        outcome = run_workload(wl, config)
-        outcomes.append(outcome)
+    if workers > 0 or cache is not None:
+        outcomes = _sweep_outcomes(workloads, [config], [None], workers, cache)
+    else:
+        outcomes = [run_workload(wl, config) for wl in workloads]
+    for wl, outcome in zip(workloads, outcomes):
         score.cases.append(score_case(wl, outcome.report, abnormal=not outcome.ok))
     return score, outcomes
 
@@ -125,11 +160,27 @@ def racy_contexts_table(
     workloads: Sequence[Workload],
     configs: Sequence[ToolConfig],
     seeds: Sequence[int],
+    workers: int = 0,
+    cache: Optional["ResultCache"] = None,
 ) -> Dict[str, Dict[str, float]]:
-    """``{workload: {tool: avg contexts}}`` for the PARSEC tables."""
-    table: Dict[str, Dict[str, float]] = {}
-    for wl in workloads:
-        table[wl.name] = {
-            cfg.name: racy_contexts_avg(wl, cfg, seeds) for cfg in configs
-        }
-    return table
+    """``{workload: {tool: avg contexts}}`` for the PARSEC tables.
+
+    ``workers > 0`` runs all (workload, tool, seed) triples through the
+    parallel engine; averages are identical to the serial path.
+    """
+    if workers > 0 or cache is not None:
+        outcomes = _sweep_outcomes(workloads, configs, list(seeds), workers, cache)
+        table: Dict[str, Dict[str, float]] = {wl.name: {} for wl in workloads}
+        i = 0
+        for wl in workloads:
+            for cfg in configs:
+                counts = [
+                    outcomes[i + j].report.racy_contexts for j in range(len(seeds))
+                ]
+                table[wl.name][cfg.name] = sum(counts) / len(counts)
+                i += len(seeds)
+        return table
+    return {
+        wl.name: {cfg.name: racy_contexts_avg(wl, cfg, seeds) for cfg in configs}
+        for wl in workloads
+    }

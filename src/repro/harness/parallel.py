@@ -1,0 +1,548 @@
+"""Parallel, cache-backed experiment execution — the sweep engine.
+
+Every table and figure of the reproduction is a sweep over (workload,
+tool configuration, seed) triples, and each triple is an independent,
+deterministic computation: the seeded scheduler fixes the interleaving,
+so re-running a triple anywhere — another process, another day — yields
+a bit-identical :class:`~repro.harness.runner.RunOutcome`.  This module
+exploits that in three layers:
+
+* **fan-out** — :func:`run_sweep` executes :class:`RunSpec` triples on a
+  pool of worker *processes* (fork-based, one short-lived process per
+  run), preserving input order of results;
+* **robustness** — each run gets a configurable wall-clock timeout and
+  crash isolation; a diverging or crashing workload is killed, retried
+  up to ``retries`` times, and finally recorded as failed without
+  taking the sweep down;
+* **cache** — a :class:`ResultCache` keyed on *content*
+  (:meth:`~repro.isa.program.Program.fingerprint` of the built program +
+  tool configuration + seed + step budget) persists pickled outcomes,
+  so repeated sweeps and the benchmarks skip already-measured runs, and
+  editing a workload generator transparently invalidates its entries.
+
+Observability rides along: every run (executed, cached, or failed)
+produces a structured :class:`RunRecord` with throughput and detector
+statistics, and :func:`summarize_records` folds them into the
+:class:`SweepSummary` consumed by ``harness.tables`` and the CLI.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+import pickle
+import time
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.detectors import ToolConfig
+from repro.harness.registry import resolve_workload
+from repro.harness.runner import RunOutcome, run_workload
+from repro.harness.workload import Workload
+
+#: bump when RunOutcome's schema or run semantics change incompatibly —
+#: stale cache entries from an older layout must not be deserialized.
+CACHE_SCHEMA = 1
+
+
+class SweepError(RuntimeError):
+    """Raised by strict sweeps when at least one run failed terminally."""
+
+
+# ---------------------------------------------------------------------------
+# Run specifications
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One (workload, tool configuration, seed) triple of a sweep.
+
+    ``workload`` may be a registry name (preferred — names ship cheaply
+    between processes) or a :class:`Workload` object.
+    """
+
+    workload: Union[str, Workload]
+    config: ToolConfig
+    seed: Optional[int] = None
+    max_steps: Optional[int] = None
+
+    def resolve(self) -> Workload:
+        if isinstance(self.workload, str):
+            return resolve_workload(self.workload)
+        return self.workload
+
+    @property
+    def workload_name(self) -> str:
+        return self.workload if isinstance(self.workload, str) else self.workload.name
+
+    def effective_seed(self) -> int:
+        return self.seed if self.seed is not None else self.resolve().seed
+
+    def effective_max_steps(self) -> int:
+        return self.max_steps if self.max_steps is not None else self.resolve().max_steps
+
+
+def sweep_specs(
+    workloads: Iterable[Union[str, Workload]],
+    configs: Iterable[ToolConfig],
+    seeds: Iterable[Optional[int]] = (None,),
+) -> List[RunSpec]:
+    """The full cross product, workload-major, in deterministic order."""
+    configs = list(configs)
+    seeds = list(seeds)
+    return [
+        RunSpec(workload=wl, config=cfg, seed=seed)
+        for wl in workloads
+        for cfg in configs
+        for seed in seeds
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Result cache
+
+
+class ResultCache:
+    """Content-keyed on-disk cache of pickled :class:`RunOutcome` objects.
+
+    The key hashes the *built program* (not the workload name), so two
+    sweeps measuring the same program under the same configuration and
+    seed share entries, and any change to a workload generator changes
+    the fingerprint and misses cleanly.  Writes are atomic
+    (temp file + rename), so concurrent sweeps may share a directory.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    def key(self, spec: RunSpec) -> str:
+        import hashlib
+
+        wl = spec.resolve()
+        config_fields = sorted(dataclasses.asdict(spec.config).items())
+        payload = "\n".join(
+            [
+                f"schema={CACHE_SCHEMA}",
+                f"program={wl.fresh_program().fingerprint()}",
+                f"config={config_fields!r}",
+                f"seed={spec.effective_seed()}",
+                f"max_steps={spec.effective_max_steps()}",
+            ]
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[RunOutcome]:
+        try:
+            with open(self._path(key), "rb") as fh:
+                outcome = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return outcome
+
+    def put(self, key: str, outcome: RunOutcome) -> None:
+        tmp = self._path(key).with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "wb") as fh:
+            pickle.dump(outcome, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, self._path(key))
+        self.writes += 1
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.pkl"))
+
+    def clear(self) -> None:
+        for path in self.root.glob("*.pkl"):
+            path.unlink(missing_ok=True)
+
+
+# ---------------------------------------------------------------------------
+# Observability records
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """Structured per-run observability record (one row of the sweep log)."""
+
+    workload: str
+    tool: str
+    seed: int
+    #: "ok", "cached", "step-limit", "deadlock", "timeout", "crash", "error"
+    status: str
+    attempts: int = 1
+    duration_s: float = 0.0
+    instrument_s: float = 0.0
+    steps: int = 0
+    events: int = 0
+    detector_words: int = 0
+    spin_loops: int = 0
+    adhoc_edges: int = 0
+    racy_contexts: int = 0
+    error: str = ""
+
+    @property
+    def cached(self) -> bool:
+        return self.status == "cached"
+
+    @property
+    def failed(self) -> bool:
+        return self.status in ("timeout", "crash", "error")
+
+    @property
+    def steps_per_s(self) -> float:
+        return self.steps / self.duration_s if self.duration_s > 0 else 0.0
+
+    @property
+    def events_per_s(self) -> float:
+        return self.events / self.duration_s if self.duration_s > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class SweepSummary:
+    """Aggregate of a sweep's records — the observability headline."""
+
+    runs: int
+    executed: int
+    cached: int
+    failed: int
+    retried: int
+    wall_s: float
+    run_s: float
+    instrument_s: float
+    steps: int
+    events: int
+    detector_words: int
+    spin_loops: int
+    adhoc_edges: int
+    racy_contexts: int
+
+    @property
+    def steps_per_s(self) -> float:
+        """Aggregate executed throughput against sweep wall-clock."""
+        return self.steps / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def events_per_s(self) -> float:
+        return self.events / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def speedup(self) -> float:
+        """Serialized run time over wall time (≈ effective parallelism)."""
+        return self.run_s / self.wall_s if self.wall_s > 0 else 0.0
+
+
+def summarize_records(records: Sequence[RunRecord], wall_s: float) -> SweepSummary:
+    executed = [r for r in records if not r.cached and not r.failed]
+    return SweepSummary(
+        runs=len(records),
+        executed=len(executed),
+        cached=sum(1 for r in records if r.cached),
+        failed=sum(1 for r in records if r.failed),
+        retried=sum(max(0, r.attempts - 1) for r in records),
+        wall_s=wall_s,
+        run_s=sum(r.duration_s for r in executed),
+        instrument_s=sum(r.instrument_s for r in executed),
+        steps=sum(r.steps for r in executed),
+        events=sum(r.events for r in executed),
+        detector_words=sum(r.detector_words for r in executed),
+        spin_loops=sum(r.spin_loops for r in executed),
+        adhoc_edges=sum(r.adhoc_edges for r in executed),
+        racy_contexts=sum(r.racy_contexts for r in records if not r.failed),
+    )
+
+
+def _record_from_outcome(
+    spec: RunSpec, outcome: RunOutcome, attempts: int, cached: bool
+) -> RunRecord:
+    if cached:
+        status = "cached"
+    elif outcome.result.timed_out:
+        status = "step-limit"
+    elif outcome.result.deadlocked:
+        status = "deadlock"
+    else:
+        status = "ok"
+    return RunRecord(
+        workload=spec.workload_name,
+        tool=spec.config.name,
+        seed=outcome.seed,
+        status=status,
+        attempts=attempts,
+        duration_s=outcome.duration_s,
+        instrument_s=outcome.instrument_s,
+        steps=outcome.steps,
+        events=outcome.events,
+        detector_words=outcome.detector_words,
+        spin_loops=outcome.spin_loops,
+        adhoc_edges=outcome.adhoc_edges,
+        racy_contexts=outcome.report.racy_contexts,
+    )
+
+
+def _failure_record(spec: RunSpec, status: str, attempts: int, error: str) -> RunRecord:
+    return RunRecord(
+        workload=spec.workload_name,
+        tool=spec.config.name,
+        seed=spec.effective_seed(),
+        status=status,
+        attempts=attempts,
+        error=error,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The sweep engine
+
+
+@dataclass
+class SweepResult:
+    """Outcome of :func:`run_sweep`; results are ordered like the specs."""
+
+    specs: List[RunSpec]
+    #: one entry per spec; ``None`` where the run failed terminally
+    outcomes: List[Optional[RunOutcome]]
+    records: List[RunRecord]
+    wall_s: float
+
+    def summary(self) -> SweepSummary:
+        return summarize_records(self.records, self.wall_s)
+
+    @property
+    def failed(self) -> List[RunRecord]:
+        return [r for r in self.records if r.failed]
+
+
+def _child_main(spec: RunSpec, conn) -> None:
+    """Worker entry point: run one spec, ship the outcome back, exit."""
+    import gc
+
+    # The forked heap (workload registry, suite programs) is read-only
+    # ballast here; freezing it keeps collections off the shared pages
+    # (avoids copy-on-write faults) — measurably faster under fan-out.
+    gc.freeze()
+    try:
+        outcome = run_workload(
+            spec.resolve(), spec.config, seed=spec.seed, max_steps=spec.max_steps
+        )
+        conn.send(("ok", outcome))
+    except BaseException as exc:  # crash isolation: never take the pool down
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+def _run_serial(
+    specs: Sequence[RunSpec],
+    indices: Sequence[Tuple[int, str]],
+    outcomes: List[Optional[RunOutcome]],
+    records: List[Optional[RunRecord]],
+    cache: Optional[ResultCache],
+) -> None:
+    """In-process reference executor (``workers=0``) — no isolation."""
+    for i, key in indices:
+        spec = specs[i]
+        try:
+            outcome = run_workload(
+                spec.resolve(), spec.config, seed=spec.seed, max_steps=spec.max_steps
+            )
+        except Exception as exc:
+            records[i] = _failure_record(spec, "error", 1, f"{type(exc).__name__}: {exc}")
+            continue
+        outcomes[i] = outcome
+        records[i] = _record_from_outcome(spec, outcome, attempts=1, cached=False)
+        if cache is not None and key:
+            cache.put(key, outcome)
+
+
+def default_workers() -> int:
+    return max(1, os.cpu_count() or 1)
+
+
+def run_sweep(
+    specs: Iterable[RunSpec],
+    workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    timeout_s: Optional[float] = None,
+    retries: int = 1,
+    strict: bool = False,
+    poll_interval_s: float = 0.005,
+) -> SweepResult:
+    """Execute ``specs``, fanning out over ``workers`` processes.
+
+    :param workers: process count; ``None`` → one per CPU; ``0`` runs
+        everything in-process (the serial reference path — identical
+        results, no isolation).
+    :param cache: optional :class:`ResultCache`; hits skip execution
+        entirely, misses are written back after a successful run.
+    :param timeout_s: per-run wall-clock budget; an overrunning worker
+        is killed and the run retried (``workers >= 1`` only).
+    :param retries: extra attempts after a timeout/crash/error before
+        the run is recorded as failed.
+    :param strict: raise :class:`SweepError` if any run failed
+        terminally instead of returning ``None`` outcomes.
+
+    Results are deterministic and bit-identical to serial execution:
+    workers add no scheduling or RNG state of their own, so only the
+    *wall-clock fields* (``duration_s``, ``instrument_s``) vary between
+    runs of the same spec.
+    """
+    specs = list(specs)
+    start = time.perf_counter()
+    outcomes: List[Optional[RunOutcome]] = [None] * len(specs)
+    records: List[Optional[RunRecord]] = [None] * len(specs)
+
+    pending: deque = deque()  # (index, cache_key, attempt)
+    for i, spec in enumerate(specs):
+        key = ""
+        if cache is not None:
+            key = cache.key(spec)
+            hit = cache.get(key)
+            if hit is not None:
+                outcomes[i] = hit
+                records[i] = _record_from_outcome(spec, hit, attempts=0, cached=True)
+                continue
+        pending.append((i, key, 1))
+
+    if workers is None:
+        workers = default_workers()
+
+    if workers <= 0:
+        _run_serial(
+            specs, [(i, key) for i, key, _ in pending], outcomes, records, cache
+        )
+    elif pending:
+        _run_pool(
+            specs, pending, outcomes, records, cache, workers, timeout_s, retries,
+            poll_interval_s,
+        )
+
+    wall_s = time.perf_counter() - start
+    result = SweepResult(
+        specs=specs,
+        outcomes=outcomes,
+        records=[r for r in records if r is not None],
+        wall_s=wall_s,
+    )
+    if strict and result.failed:
+        lines = ", ".join(
+            f"{r.workload}/{r.tool}/seed={r.seed}: {r.status} {r.error}".strip()
+            for r in result.failed
+        )
+        raise SweepError(f"{len(result.failed)} run(s) failed: {lines}")
+    return result
+
+
+def _mp_context():
+    # Fork keeps locally registered workloads and closure-built Workload
+    # objects visible in children; fall back to the platform default
+    # (spawn) where fork is unavailable — there, specs must use registry
+    # names.
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+def _run_pool(
+    specs: Sequence[RunSpec],
+    pending: deque,
+    outcomes: List[Optional[RunOutcome]],
+    records: List[Optional[RunRecord]],
+    cache: Optional[ResultCache],
+    workers: int,
+    timeout_s: Optional[float],
+    retries: int,
+    poll_interval_s: float,
+) -> None:
+    ctx = _mp_context()
+    max_attempts = 1 + max(0, retries)
+    active: Dict = {}  # proc -> (index, cache_key, conn, deadline, attempt)
+
+    def finish_ok(i: int, key: str, outcome: RunOutcome, attempt: int) -> None:
+        outcomes[i] = outcome
+        records[i] = _record_from_outcome(specs[i], outcome, attempt, cached=False)
+        if cache is not None and key:
+            cache.put(key, outcome)
+
+    def retry_or_fail(i: int, key: str, attempt: int, status: str, error: str) -> None:
+        if attempt < max_attempts:
+            pending.append((i, key, attempt + 1))
+        else:
+            records[i] = _failure_record(specs[i], status, attempt, error)
+
+    try:
+        while pending or active:
+            while pending and len(active) < workers:
+                i, key, attempt = pending.popleft()
+                parent_conn, child_conn = ctx.Pipe(duplex=False)
+                proc = ctx.Process(
+                    target=_child_main, args=(specs[i], child_conn), daemon=True
+                )
+                proc.start()
+                child_conn.close()
+                deadline = (
+                    None if timeout_s is None else time.monotonic() + timeout_s
+                )
+                active[proc] = (i, key, parent_conn, deadline, attempt)
+
+            finished = []
+            for proc, (i, key, conn, deadline, attempt) in active.items():
+                if conn.poll(0):
+                    try:
+                        kind, payload = conn.recv()
+                    except (EOFError, pickle.UnpicklingError) as exc:
+                        kind, payload = "crash", f"unreadable result: {exc}"
+                    if kind == "ok":
+                        finish_ok(i, key, payload, attempt)
+                    else:
+                        retry_or_fail(i, key, attempt, "error", str(payload))
+                    _reap(proc)
+                    conn.close()
+                    finished.append(proc)
+                elif not proc.is_alive():
+                    # Died without delivering a result: hard crash.
+                    proc.join()
+                    retry_or_fail(
+                        i, key, attempt, "crash", f"exit code {proc.exitcode}"
+                    )
+                    conn.close()
+                    finished.append(proc)
+                elif deadline is not None and time.monotonic() > deadline:
+                    _kill(proc)
+                    retry_or_fail(
+                        i, key, attempt, "timeout", f"exceeded {timeout_s:.3g}s"
+                    )
+                    conn.close()
+                    finished.append(proc)
+            for proc in finished:
+                del active[proc]
+            if not finished and active:
+                time.sleep(poll_interval_s)
+    finally:
+        for proc in active:
+            _kill(proc)
+
+
+def _reap(proc) -> None:
+    proc.join(timeout=10)
+    if proc.is_alive():
+        _kill(proc)
+
+
+def _kill(proc) -> None:
+    proc.terminate()
+    proc.join(timeout=1)
+    if proc.is_alive():
+        proc.kill()
+        proc.join()

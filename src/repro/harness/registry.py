@@ -1,0 +1,93 @@
+"""Name → :class:`Workload` resolution across every benchmark family.
+
+The parallel runner ships run specifications between processes, and a
+:class:`~repro.harness.workload.Workload` carries an arbitrary ``build``
+callable — often a closure — that does not survive pickling.  The
+registry solves both problems: specs can name workloads by string, and a
+pickled :class:`~repro.harness.runner.RunOutcome` swaps the callable for
+a :class:`RegistryBuild` reference that re-resolves lazily on load.
+
+Built-in families (the 120-case suite, the 13 PARSEC stand-ins, the four
+SPLASH-2 stand-ins) are indexed lazily on first lookup; ad-hoc workloads
+(tests, user experiments) can be added with :func:`register_workload`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.harness.workload import Workload
+
+#: explicitly registered workloads; they shadow the built-in families
+_EXTRA: Dict[str, Workload] = {}
+_BUILTIN: Optional[Dict[str, Workload]] = None
+
+
+def _builtin_index() -> Dict[str, Workload]:
+    global _BUILTIN
+    if _BUILTIN is None:
+        # Imported lazily: the workload packages import repro.harness,
+        # so a module-level import here would be circular.
+        from repro.workloads import build_suite, parsec_workloads, splash_workloads
+
+        index: Dict[str, Workload] = {}
+        for wl in [*build_suite(), *parsec_workloads(), *splash_workloads()]:
+            if wl.name in index:
+                raise ValueError(f"duplicate built-in workload name {wl.name!r}")
+            index[wl.name] = wl
+        _BUILTIN = index
+    return _BUILTIN
+
+
+def register_workload(workload: Workload, replace: bool = False) -> Workload:
+    """Make ``workload`` resolvable by name (shadows built-ins)."""
+    if not replace and workload.name in _EXTRA:
+        raise ValueError(f"workload {workload.name!r} already registered")
+    _EXTRA[workload.name] = workload
+    return workload
+
+
+def unregister_workload(name: str) -> None:
+    _EXTRA.pop(name, None)
+
+
+def resolve_workload(name: str) -> Workload:
+    """Look up a workload by unique name; raises ``KeyError`` if unknown."""
+    if name in _EXTRA:
+        return _EXTRA[name]
+    index = _builtin_index()
+    if name in index:
+        return index[name]
+    raise KeyError(
+        f"unknown workload {name!r}; register it with "
+        f"repro.harness.registry.register_workload()"
+    )
+
+
+def workload_names() -> List[str]:
+    """All resolvable names, extras first, in deterministic order."""
+    names = list(_EXTRA)
+    names += [n for n in _builtin_index() if n not in _EXTRA]
+    return names
+
+
+class RegistryBuild:
+    """A picklable stand-in for a workload's ``build`` callable.
+
+    Calling it resolves the workload by name at call time, so unpickled
+    outcomes stay usable in any process that can resolve the name.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __call__(self):
+        return resolve_workload(self.name).fresh_program()
+
+    def __reduce__(self):
+        return (RegistryBuild, (self.name,))
+
+    def __repr__(self) -> str:
+        return f"RegistryBuild({self.name!r})"

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass
 from typing import Optional
@@ -9,6 +10,7 @@ from typing import Optional
 from repro.analysis import InstrumentationMap, instrument_program, lock_site_locations
 from repro.detectors import RaceDetector, ToolConfig
 from repro.detectors.reports import Report
+from repro.harness.registry import RegistryBuild
 from repro.harness.workload import Workload
 from repro.vm import Machine, RandomScheduler
 from repro.vm.machine import RunResult
@@ -16,7 +18,13 @@ from repro.vm.machine import RunResult
 
 @dataclass
 class RunOutcome:
-    """Everything the metrics and perf layers need from one run."""
+    """Everything the metrics and perf layers need from one run.
+
+    Instances are picklable: the workload's ``build`` callable (often an
+    unpicklable closure) is swapped for a by-name
+    :class:`~repro.harness.registry.RegistryBuild` reference during
+    pickling, which the parallel runner and the result cache rely on.
+    """
 
     workload: Workload
     config: ToolConfig
@@ -37,10 +45,25 @@ class RunOutcome:
     spin_loops: int
     #: happens-before edges the ad-hoc runtime phase established
     adhoc_edges: int
+    #: wall-clock of the instrumentation phase (spin-loop analysis and
+    #: lock-site inference), seconds; 0 when neither feature is on
+    instrument_s: float = 0.0
 
     @property
     def ok(self) -> bool:
         return self.result.ok
+
+    @property
+    def total_s(self) -> float:
+        """Full tool cost: instrumentation phase plus machine + detector."""
+        return self.duration_s + self.instrument_s
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        wl = state.get("workload")
+        if wl is not None and not isinstance(wl.build, RegistryBuild):
+            state["workload"] = dataclasses.replace(wl, build=RegistryBuild(wl.name))
+        return state
 
 
 def run_workload(
@@ -52,13 +75,19 @@ def run_workload(
     """Run ``workload`` under ``config`` with the given scheduler seed."""
     program = workload.fresh_program()
     imap: Optional[InstrumentationMap] = None
-    if config.spin:
-        imap = instrument_program(
-            program,
-            max_blocks=config.spin_max_blocks,
-            inline_depth=config.inline_depth,
-        )
-    lock_sites = lock_site_locations(program) if config.infer_locks else frozenset()
+    lock_sites = frozenset()
+    instrument_s = 0.0
+    if config.spin or config.infer_locks:
+        instrument_start = time.perf_counter()
+        if config.spin:
+            imap = instrument_program(
+                program,
+                max_blocks=config.spin_max_blocks,
+                inline_depth=config.inline_depth,
+            )
+        if config.infer_locks:
+            lock_sites = lock_site_locations(program)
+        instrument_s = time.perf_counter() - instrument_start
     detector = RaceDetector(config, lock_sites=lock_sites)
     machine = Machine(
         program,
@@ -78,6 +107,7 @@ def run_workload(
         report=detector.report,
         result=result,
         duration_s=duration,
+        instrument_s=instrument_s,
         steps=machine.step_count,
         events=detector.events_processed,
         detector_words=detector.memory_words(),

@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
-from typing import List, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, List, Mapping, Optional, Sequence
+
+if TYPE_CHECKING:
+    from repro.harness.parallel import RunRecord, SweepSummary
 
 
 def format_table(
@@ -68,3 +71,54 @@ def contexts_table(
         row += [per_tool.get(t, "-") for t in tool_order]
         rows.append(row)
     return format_table(headers, rows, title=title)
+
+
+def sweep_records_table(records: Sequence["RunRecord"], title: str) -> str:
+    """Render the per-run observability log of a parallel sweep."""
+    headers = [
+        "Workload", "Tool", "Seed", "Status", "Att", "Run s", "Instr s",
+        "Steps/s", "Events/s", "Det words", "Spins", "Adhoc", "Contexts",
+    ]
+    rows = [
+        [
+            r.workload,
+            r.tool,
+            r.seed,
+            r.status,
+            r.attempts,
+            f"{r.duration_s:.3f}",
+            f"{r.instrument_s:.3f}",
+            f"{r.steps_per_s:,.0f}",
+            f"{r.events_per_s:,.0f}",
+            r.detector_words,
+            r.spin_loops,
+            r.adhoc_edges,
+            r.racy_contexts,
+        ]
+        for r in records
+    ]
+    return format_table(headers, rows, title=title)
+
+
+def sweep_summary_table(summary: "SweepSummary", title: str = "Sweep summary") -> str:
+    """Render a sweep's aggregate observability summary."""
+    rows = [
+        ["runs", summary.runs],
+        ["executed", summary.executed],
+        ["cached", summary.cached],
+        ["failed", summary.failed],
+        ["retried", summary.retried],
+        ["wall clock", f"{summary.wall_s:.3f} s"],
+        ["serialized run time", f"{summary.run_s:.3f} s"],
+        ["instrumentation time", f"{summary.instrument_s:.3f} s"],
+        ["effective parallelism", f"{summary.speedup:.2f}x"],
+        ["VM steps", f"{summary.steps:,}"],
+        ["detector events", f"{summary.events:,}"],
+        ["aggregate steps/s", f"{summary.steps_per_s:,.0f}"],
+        ["aggregate events/s", f"{summary.events_per_s:,.0f}"],
+        ["detector words", f"{summary.detector_words:,}"],
+        ["spin loops found", summary.spin_loops],
+        ["ad-hoc hb edges", summary.adhoc_edges],
+        ["racy contexts", summary.racy_contexts],
+    ]
+    return format_table(["Metric", "Value"], rows, title=title)

@@ -11,6 +11,7 @@ tables in Helgrind+: the ``lib`` tool configurations honour it, the
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
@@ -181,3 +182,31 @@ class Program:
 
     def instruction_at(self, loc: CodeLocation) -> Instruction:
         return self.functions[loc.function].blocks[loc.block].instructions[loc.index]
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the whole program (hex sha256).
+
+        Two programs with identical functions, blocks, instructions,
+        globals, and entry point hash identically regardless of build
+        order or process (instructions are immutable dataclasses with
+        deterministic reprs).  The experiment result cache keys on this,
+        so a workload generator change transparently invalidates every
+        cached run of that workload.
+        """
+        h = hashlib.sha256()
+        h.update(f"program|{self.name}|{self.entry}\n".encode())
+        for gname in sorted(self.globals):
+            g = self.globals[gname]
+            h.update(f"global|{g.name}|{g.size}|{g.init!r}\n".encode())
+        for fname in sorted(self.functions):
+            f = self.functions[fname]
+            h.update(
+                f"function|{f.name}|{f.params!r}|{f.entry}"
+                f"|{f.is_library}|{f.annotation!r}\n".encode()
+            )
+            for label, block in f.blocks.items():
+                h.update(f"block|{label}\n".encode())
+                for instr in block.instructions:
+                    h.update(repr(instr).encode())
+                    h.update(b"\n")
+        return h.hexdigest()

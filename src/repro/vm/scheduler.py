@@ -18,6 +18,22 @@ import random
 from typing import Dict, List, Sequence
 
 
+def _decay_penalties(penalties: Dict[int, int]) -> None:
+    """Tick every outstanding yield penalty down by one.
+
+    Penalties model elapsed scheduling opportunities, so they must decay
+    on *every* pick — including for threads that are currently blocked.
+    A thread that yields and then blocks on a lock would otherwise wake
+    up still carrying its full penalty and be starved for another full
+    window, even though the backoff it asked for has long passed.
+    """
+    for tid, p in list(penalties.items()):
+        if p <= 1:
+            del penalties[tid]
+        else:
+            penalties[tid] = p - 1
+
+
 class Scheduler:
     """Interface: pick the next thread to run."""
 
@@ -60,10 +76,7 @@ class RandomScheduler(Scheduler):
     def pick(self, runnable: Sequence[int]) -> int:
         eligible: List[int] = [t for t in runnable if self._penalties.get(t, 0) == 0]
         pool = eligible if eligible else list(runnable)
-        for t in runnable:
-            p = self._penalties.get(t, 0)
-            if p:
-                self._penalties[t] = p - 1
+        _decay_penalties(self._penalties)
         return pool[self._rng.randrange(len(pool))] if len(pool) > 1 else pool[0]
 
     def on_yield(self, tid: int) -> None:
@@ -87,10 +100,7 @@ class AdversarialScheduler(Scheduler):
         self._penalties: Dict[int, int] = {}
 
     def pick(self, runnable: Sequence[int]) -> int:
-        for t in runnable:
-            p = self._penalties.get(t, 0)
-            if p:
-                self._penalties[t] = p - 1
+        _decay_penalties(self._penalties)
         if (
             self._remaining > 0
             and self._current in runnable

@@ -96,6 +96,35 @@ class TestStateMachine:
         assert a.report.racy_contexts == 1
 
 
+class TestDuplicateWarningDedup:
+    def test_swapped_order_pair_reports_once(self):
+        """Regression: the same (location pair, kind) conflict must not be
+        reported a second time when the two threads' access orders swap —
+        the dedup key is an *unordered* pair."""
+        a = _eraser()
+        a.write(1, 0x10, 1, L(0), False)  # T1 writes at L0
+        a.read(2, 0x10, L(1), False)  # T2 reads at L1 -> write-read warning
+        assert a.report.raw_count == 1
+        a.write(1, 0x10, 2, L(0), False)  # same pair, orders swapped
+        assert a.report.raw_count == 1
+        assert a.report.racy_contexts == 1
+
+    def test_swapped_order_write_write_reports_once(self):
+        a = _eraser()
+        a.write(1, 0x10, 1, L(0), False)
+        a.write(2, 0x10, 2, L(1), False)  # write-write warning
+        assert a.report.raw_count == 1
+        a.write(1, 0x10, 3, L(0), False)  # swapped order, same pair
+        assert a.report.raw_count == 1
+
+    def test_distinct_pairs_still_report(self):
+        a = _eraser()
+        a.write(1, 0x10, 1, L(0), False)
+        a.write(2, 0x10, 2, L(1), False)
+        a.write(1, 0x10, 3, L(2), False)  # genuinely new location pair
+        assert a.report.raw_count == 2
+
+
 class TestEndToEnd:
     def _cv_program(self):
         pb = new_program("cv")

@@ -1,0 +1,273 @@
+"""The parallel sweep engine: equivalence, cache, robustness, registry."""
+
+import pickle
+
+import pytest
+
+from repro.detectors import ToolConfig
+from repro.harness.parallel import (
+    ResultCache,
+    RunSpec,
+    SweepError,
+    run_sweep,
+    sweep_specs,
+    summarize_records,
+)
+from repro.harness.registry import (
+    RegistryBuild,
+    register_workload,
+    resolve_workload,
+    unregister_workload,
+)
+from repro.harness.runner import run_workload
+from repro.harness.workload import Workload
+from repro.isa import ProgramBuilder
+from repro.runtime import build_library
+
+from tests.conftest import flag_handoff_program
+
+
+def _handoff(name="par_handoff", seed=1):
+    return Workload(name=name, build=flag_handoff_program, seed=seed)
+
+
+def _spin_forever_program():
+    """A program that busy-waits on a flag nobody ever sets."""
+    pb = ProgramBuilder("spin_forever")
+    pb.global_("FLAG", 1)
+    mn = pb.function("main")
+    f = mn.addr("FLAG")
+    mn.jmp("spin")
+    mn.label("spin")
+    v = mn.load(f)
+    z = mn.eq(v, 0)
+    mn.br(z, "spin2", "after")
+    mn.label("spin2")
+    mn.jmp("spin")
+    mn.label("after")
+    mn.halt()
+    pb.link(build_library())
+    return pb.build()
+
+
+def _crashing_build():
+    raise RuntimeError("boom: generator bug")
+
+
+def _report_key(report):
+    """Canonical report identity (set iteration order is not part of it)."""
+    return (
+        report.tool,
+        sorted(map(str, report.warnings)),
+        report.contexts,
+        report.raw_count,
+    )
+
+
+class TestRegistry:
+    def test_resolves_builtin_families(self):
+        assert resolve_workload("vips").name == "vips"
+        assert resolve_workload("fft").name == "fft"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            resolve_workload("no-such-workload")
+
+    def test_register_and_shadow(self):
+        wl = _handoff(name="registry_extra")
+        register_workload(wl)
+        try:
+            assert resolve_workload("registry_extra") is wl
+            with pytest.raises(ValueError):
+                register_workload(wl)
+        finally:
+            unregister_workload("registry_extra")
+
+    def test_registry_build_pickles(self):
+        build = RegistryBuild("vips")
+        clone = pickle.loads(pickle.dumps(build))
+        assert clone.name == "vips"
+        assert clone().fingerprint() == resolve_workload("vips").fresh_program().fingerprint()
+
+
+class TestPicklableOutcome:
+    def test_outcome_roundtrip_with_closure_build(self):
+        out = run_workload(_handoff(), ToolConfig.helgrind_lib_spin(7))
+        clone = pickle.loads(pickle.dumps(out))
+        assert clone.workload.name == out.workload.name
+        assert _report_key(clone.report) == _report_key(out.report)
+        assert (clone.steps, clone.events, clone.seed) == (out.steps, out.events, out.seed)
+
+
+class TestCacheKey:
+    def test_key_is_stable(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = RunSpec(workload="blackscholes", config=ToolConfig.helgrind_lib(), seed=1)
+        assert cache.key(spec) == cache.key(spec)
+
+    def test_key_varies_with_config_seed_and_program(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        base = RunSpec(workload="blackscholes", config=ToolConfig.helgrind_lib(), seed=1)
+        keys = {
+            cache.key(base),
+            cache.key(RunSpec("blackscholes", ToolConfig.helgrind_lib_spin(7), 1)),
+            cache.key(RunSpec("blackscholes", ToolConfig.helgrind_lib(), 2)),
+            cache.key(RunSpec("swaptions", ToolConfig.helgrind_lib(), 1)),
+        }
+        assert len(keys) == 4
+
+    def test_same_program_different_name_shares_key_material(self, tmp_path):
+        # Content addressing: the key hashes the built program, so two
+        # workload wrappers around the same generator agree.
+        cache = ResultCache(tmp_path)
+        a = RunSpec(_handoff(name="wrap_a"), ToolConfig.helgrind_lib(), 1)
+        b = RunSpec(_handoff(name="wrap_b"), ToolConfig.helgrind_lib(), 1)
+        assert cache.key(a) == cache.key(b)
+
+
+class TestSweep:
+    CONFIGS = (ToolConfig.helgrind_lib(), ToolConfig.helgrind_lib_spin(7))
+    NAMES = ("blackscholes", "bodytrack", "par_eq_handoff")
+
+    def _specs(self):
+        register_workload(_handoff(name="par_eq_handoff"), replace=True)
+        return sweep_specs(self.NAMES, self.CONFIGS, [1, 2])
+
+    def test_parallel_matches_serial_bit_for_bit(self):
+        specs = self._specs()
+        assert len(specs) >= 8
+        serial = run_sweep(specs, workers=0)
+        parallel = run_sweep(specs, workers=2)
+        assert all(o is not None for o in parallel.outcomes)
+        for a, b in zip(serial.outcomes, parallel.outcomes):
+            assert _report_key(a.report) == _report_key(b.report)
+            assert (a.steps, a.events, a.detector_words, a.seed) == (
+                b.steps,
+                b.events,
+                b.detector_words,
+                b.seed,
+            )
+            assert a.result.final_memory == b.result.final_memory
+
+    def test_second_cached_invocation_executes_zero_runs(self, tmp_path):
+        specs = self._specs()
+        cache = ResultCache(tmp_path)
+        first = run_sweep(specs, workers=2, cache=cache).summary()
+        assert first.executed == len(specs) and first.cached == 0
+        second = run_sweep(specs, workers=2, cache=cache).summary()
+        assert second.executed == 0 and second.cached == len(specs)
+        # ... and cached outcomes still score identically
+        uncached = run_sweep(specs, workers=0)
+        cached = run_sweep(specs, workers=0, cache=cache)
+        for a, b in zip(uncached.outcomes, cached.outcomes):
+            assert _report_key(a.report) == _report_key(b.report)
+
+    def test_serial_path_also_writes_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        specs = [RunSpec(_handoff(), ToolConfig.helgrind_lib(), 1)]
+        run_sweep(specs, workers=0, cache=cache)
+        assert len(cache) == 1
+        summary = run_sweep(specs, workers=0, cache=cache).summary()
+        assert summary.cached == 1 and summary.executed == 0
+
+    def test_records_carry_observability(self):
+        specs = [RunSpec(_handoff(), ToolConfig.helgrind_lib_spin(7), 1)]
+        result = run_sweep(specs, workers=0)
+        (rec,) = result.records
+        assert rec.status == "ok"
+        assert rec.steps > 0 and rec.events > 0
+        assert rec.steps_per_s > 0 and rec.events_per_s > 0
+        assert rec.spin_loops >= 1 and rec.adhoc_edges >= 1
+        summary = result.summary()
+        assert summary.executed == 1 and summary.steps == rec.steps
+        assert summary.steps_per_s > 0
+
+
+class TestRobustness:
+    def test_timeout_kills_and_records_failure(self):
+        hang = Workload(
+            name="par_hang",
+            build=_spin_forever_program,
+            seed=1,
+            max_steps=500_000_000,
+        )
+        specs = [
+            RunSpec(hang, ToolConfig.helgrind_lib(), 1),
+            RunSpec(_handoff(), ToolConfig.helgrind_lib(), 1),
+        ]
+        result = run_sweep(specs, workers=2, timeout_s=0.3, retries=0)
+        hang_rec = next(r for r in result.records if r.workload == "par_hang")
+        ok_rec = next(r for r in result.records if r.workload != "par_hang")
+        assert hang_rec.status == "timeout"
+        assert result.outcomes[0] is None
+        # one diverging workload must not take the sweep down
+        assert ok_rec.status == "ok" and result.outcomes[1] is not None
+
+    def test_timeout_retries_are_bounded(self):
+        hang = Workload(
+            name="par_hang2",
+            build=_spin_forever_program,
+            seed=1,
+            max_steps=500_000_000,
+        )
+        result = run_sweep(
+            [RunSpec(hang, ToolConfig.helgrind_lib(), 1)],
+            workers=1,
+            timeout_s=0.2,
+            retries=2,
+        )
+        (rec,) = result.records
+        assert rec.status == "timeout" and rec.attempts == 3
+
+    def test_worker_error_is_isolated(self):
+        bad = Workload(name="par_crash", build=_crashing_build, seed=1)
+        specs = [
+            RunSpec(bad, ToolConfig.helgrind_lib(), 1),
+            RunSpec(_handoff(), ToolConfig.helgrind_lib(), 1),
+        ]
+        result = run_sweep(specs, workers=2, retries=0)
+        bad_rec = next(r for r in result.records if r.workload == "par_crash")
+        assert bad_rec.status == "error"
+        assert "boom" in bad_rec.error
+        assert result.outcomes[1] is not None
+
+    def test_strict_sweep_raises(self):
+        bad = Workload(name="par_crash2", build=_crashing_build, seed=1)
+        with pytest.raises(SweepError):
+            run_sweep(
+                [RunSpec(bad, ToolConfig.helgrind_lib(), 1)],
+                workers=1,
+                retries=0,
+                strict=True,
+            )
+
+
+class TestMetricsIntegration:
+    def test_score_suite_parallel_equals_serial(self):
+        from repro.harness.metrics import score_suite
+        from repro.workloads import build_suite
+
+        cases = build_suite()[:6]
+        cfg = ToolConfig.helgrind_lib_spin(7)
+        serial, _ = score_suite(cases, cfg)
+        parallel, _ = score_suite(cases, cfg, workers=2)
+        assert serial.row() == parallel.row()
+        assert [c.true_symbols for c in serial.cases] == [
+            c.true_symbols for c in parallel.cases
+        ]
+
+    def test_racy_contexts_table_parallel_equals_serial(self):
+        from repro.harness.metrics import racy_contexts_table
+        from repro.workloads.parsec.registry import parsec_workload
+
+        wls = [parsec_workload("blackscholes"), parsec_workload("bodytrack")]
+        cfgs = [ToolConfig.helgrind_lib(), ToolConfig.helgrind_lib_spin(7)]
+        serial = racy_contexts_table(wls, cfgs, [1, 2])
+        parallel = racy_contexts_table(wls, cfgs, [1, 2], workers=2)
+        assert serial == parallel
+
+
+class TestSummary:
+    def test_summarize_empty(self):
+        s = summarize_records([], wall_s=0.0)
+        assert s.runs == 0 and s.steps_per_s == 0.0 and s.speedup == 0.0

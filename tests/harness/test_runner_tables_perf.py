@@ -38,6 +38,18 @@ class TestRunner:
     def test_run_bare(self):
         assert run_bare(_wl()) >= 0
 
+    def test_instrumentation_phase_is_timed(self):
+        """Regression: the spin configuration pays a static analysis pass
+        before execution; it must be measured, not silently dropped."""
+        out = run_workload(_wl(), ToolConfig.helgrind_lib_spin(7))
+        assert out.instrument_s > 0
+        assert out.total_s == out.duration_s + out.instrument_s
+
+    def test_no_instrumentation_time_without_spin(self):
+        out = run_workload(_wl(), ToolConfig.helgrind_lib())
+        assert out.instrument_s == 0
+        assert out.total_s == out.duration_s
+
 
 class TestTables:
     def test_format_alignment(self):
@@ -82,6 +94,19 @@ class TestPerf:
         # accesses and eliminated warnings remove shadow/report words.
         assert 0.5 < row.memory_overhead < 2.0
         assert row.runtime_overhead > 0
+
+    def test_overhead_includes_instrumentation_phase(self):
+        """Regression: the runtime-overhead figure (slide 32) must charge
+        the spin configuration for its instrumentation phase."""
+        rows = measure_overhead([_wl()], repeats=1)
+        row = rows[0]
+        assert row.spin_instr_s > 0
+        assert row.spin_total_s == row.spin_s + row.spin_instr_s
+        expected = row.spin_total_s / row.lib_total_s
+        assert abs(row.runtime_overhead - expected) < 1e-12
+        # the instrumented configuration is strictly more expensive than
+        # its machine+detector time alone
+        assert row.spin_total_s > row.spin_s
 
     def test_overhead_summary(self):
         rows = measure_overhead([_wl()], repeats=1)

@@ -47,6 +47,37 @@ class TestRandom:
         s.on_yield(0)
         assert s.pick([0]) == 0
 
+    def test_penalty_decays_while_thread_is_blocked(self):
+        """Regression: a thread that yields and then blocks must not wake
+        up still carrying its full penalty — penalties decay on every
+        pick, not just for currently-runnable tids."""
+        s = RandomScheduler(0, penalty=4)
+        s.on_yield(0)
+        for _ in range(4):
+            assert s.pick([1]) == 1  # thread 0 is blocked meanwhile
+        assert s._penalties.get(0, 0) == 0
+        # Woken thread competes immediately: it shows up among the next
+        # few picks instead of being starved for another full window.
+        picks = [s.pick([0, 1]) for _ in range(10)]
+        assert 0 in picks
+
+    def test_woken_thread_not_starved_after_waking(self):
+        """End-to-end fairness: yielded-then-blocked thread 0 wakes after
+        its penalty window has elapsed and is eligible on the very first
+        pick (the eligible pool must contain it)."""
+        for seed in range(20):
+            s = RandomScheduler(seed, penalty=8)
+            s.on_yield(0)
+            for _ in range(8):
+                s.pick([1])
+            # Penalty fully decayed: with both runnable, thread 0 must be
+            # *eligible* — i.e. picked at least once across seeds quickly.
+            first_picks = [s.pick([0, 1]) for _ in range(4)]
+            if 0 in first_picks:
+                break
+        else:
+            raise AssertionError("woken thread was never picked promptly")
+
 
 class TestAdversarial:
     def test_deterministic_per_seed(self):
@@ -67,6 +98,15 @@ class TestAdversarial:
         s.on_yield(first)
         nxt = s.pick([0, 1])
         assert nxt != first
+
+    def test_penalty_decays_while_thread_is_blocked(self):
+        """Same regression as RandomScheduler: blocked threads' penalties
+        must decay with every pick."""
+        s = AdversarialScheduler(3)
+        s.on_yield(0)  # fixed penalty of 8
+        for _ in range(8):
+            assert s.pick([1]) == 1
+        assert s._penalties.get(0, 0) == 0
 
 
 @given(
