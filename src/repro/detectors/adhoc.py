@@ -105,6 +105,18 @@ class AdhocSyncEngine:
             self.algorithm.adhoc_acquire(tid, rec.vc)
             self.edges += 1
 
+    # -- end of stream ----------------------------------------------------
+
+    def finalize(self, partial: bool = False) -> None:
+        """Drop in-flight loop state.
+
+        A stream cut mid-marked-loop leaves entries on the per-thread
+        active stacks; they only gate future cond reads, so clearing them
+        is all a truncated run needs.  Classified ``sync_addrs`` stay —
+        the classification itself was sound at every prefix.
+        """
+        self._active.clear()
+
     # -- accounting -------------------------------------------------------
 
     def memory_words(self) -> int:

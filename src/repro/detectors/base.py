@@ -359,6 +359,17 @@ class VectorClockAlgorithm:
         # after the flag was raised must still be reported as racy.)
         t.tick()
 
+    # -- end of stream ----------------------------------------------------
+
+    def finalize(self, partial: bool = False) -> None:
+        """The event stream ended; ``partial`` means it was truncated.
+
+        Vector-clock state is valid at every prefix of the stream — every
+        warning already reported stands — so nothing needs repair.
+        Subclasses override to drop in-flight state that a truncated
+        stream can leave dangling; they must never raise.
+        """
+
     # -- accounting -------------------------------------------------------
 
     def memory_words(self) -> int:

@@ -74,10 +74,16 @@ class CondvarMonitor:
     # -- end-of-run analysis -------------------------------------------------
 
     def finalize(self) -> List[SyncWarning]:
-        """Classify still-outstanding waits as lost signals."""
+        """Classify still-outstanding waits as lost signals.
+
+        Idempotent: outstanding waits are drained on the first call, so
+        calling again (e.g. harness finalize followed by
+        ``sync_warnings()``) appends nothing new.
+        """
         for tid, (cv_addr, loc) in sorted(self._waiting.items()):
             self.warnings.append(SyncWarning("lost-signal", tid, cv_addr, loc))
         self._waiting.clear()
+        self._wait_entry_counts.clear()
         return self.warnings
 
     def memory_words(self) -> int:

@@ -195,6 +195,7 @@ class RaceDetector:
             CondvarMonitor() if config.intercept_lib else None
         )
         self.events_processed = 0
+        self._finalized = False
 
     def _is_sync_addr(self, addr: int) -> bool:
         return self.adhoc is not None and self.adhoc.is_sync_addr(addr)
@@ -293,6 +294,47 @@ class RaceDetector:
             algo.sem_wait_return(e.tid, e.obj_addr)
 
     # -- end-of-run diagnostics ------------------------------------------
+
+    def finalize(self, partial: bool = False) -> Report:
+        """Seal the detector after the event stream ended.
+
+        ``partial=True`` marks a truncated/faulted stream (livelock,
+        injected fault, clamped step budget): the report stays sound for
+        the observed prefix but is flagged non-exhaustive.  This method
+        never raises — graceful degradation is the contract the chaos
+        suite pins — so a component that fails to finalize turns into a
+        note on the report instead of an exception.  Idempotent: a
+        second call returns the sealed report unchanged.
+        """
+        if self._finalized:
+            return self.report
+        self._finalized = True
+        self.report.partial = partial
+
+        def finalize_cv() -> None:
+            if self.cv_monitor is None:
+                return
+            # Condvar protocol diagnostics ride along as report notes so
+            # they survive pickling of the outcome (the detector itself
+            # does not).
+            for w in self.cv_monitor.finalize():
+                self.report.notes.append(str(w))
+
+        for name, fn in (
+            ("algorithm", lambda: self.algorithm.finalize(partial=partial)),
+            (
+                "adhoc",
+                lambda: self.adhoc.finalize(partial=partial)
+                if self.adhoc is not None
+                else None,
+            ),
+            ("cv_monitor", finalize_cv),
+        ):
+            try:
+                fn()
+            except Exception as exc:  # pragma: no cover - defensive
+                self.report.notes.append(f"{name} finalize failed: {exc!r}")
+        return self.report
 
     def sync_warnings(self):
         """Condvar protocol diagnostics (lost signals, spurious wake-ups);

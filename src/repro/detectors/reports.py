@@ -77,6 +77,12 @@ class Report:
         self.contexts: Set[Tuple[str, FrozenSet[str]]] = set()
         #: total warning submissions, including beyond-cap and duplicates
         self.raw_count = 0
+        #: the event stream was truncated (fault/livelock/step budget):
+        #: warnings are sound for the observed prefix but not exhaustive
+        self.partial = False
+        #: finalize-time diagnostics (e.g. a component that failed to
+        #: finalize cleanly on a faulted stream)
+        self.notes: List[str] = []
 
     def add(self, warning: RaceWarning) -> bool:
         """Record ``warning``; returns True if it opened a new context."""
@@ -103,7 +109,8 @@ class Report:
         return [w for w in self.warnings if w.base_symbol == base_symbol]
 
     def summary(self) -> str:
-        lines = [f"[{self.tool}] {self.racy_contexts} racy context(s)"]
+        suffix = " (partial stream)" if self.partial else ""
+        lines = [f"[{self.tool}] {self.racy_contexts} racy context(s){suffix}"]
         lines.extend(f"  {w}" for w in self.warnings[:20])
         if len(self.warnings) > 20:
             lines.append(f"  ... and {len(self.warnings) - 20} more")

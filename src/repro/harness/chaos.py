@@ -1,0 +1,222 @@
+"""The chaos sweep: run every fault class against its oracle.
+
+Executes the :mod:`repro.workloads.dr_test.faults` cases through the
+parallel sweep engine, grouped by fault class, and verifies each run
+against its pinned expectation:
+
+* the harness status is one the case allows (``livelock``/``fault``/
+  ``ok`` — never ``error`` or ``crash``: detectors must not raise on
+  truncated or faulted streams);
+* a livelocked run's :class:`~repro.vm.faults.LivelockReport` names the
+  expected stuck loop and condition symbol;
+* expected condvar protocol notes (lost signal, spurious wake-up) are
+  present on the report.
+
+Infrastructure failures (timeout/crash of a worker process) are retried
+with a per-fault-class :class:`RetryPolicy` — faulted runs legitimately
+take longer (a livelock spins until the watchdog bound), so e.g. the
+drop-store class gets more patience than the clamp class.  Oracle
+*mismatches* are never retried: the runs are deterministic, so a
+mismatch is a bug, not flakiness.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.detectors import ToolConfig
+from repro.harness.parallel import ResultCache, RunRecord, RunSpec, run_sweep
+from repro.harness.runner import RunOutcome
+from repro.workloads.dr_test.faults import ChaosCase, chaos_cases
+
+#: statuses that mean the harness infrastructure (not the oracle) failed
+INFRA_FAILURES = ("timeout", "crash", "error")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry/backoff knobs for one fault class."""
+
+    retries: int = 1
+    backoff_s: float = 0.05
+
+
+#: default per-fault-class policies; classes that provoke long spins
+#: (watchdog-bounded livelocks) get more patience than instant faults
+DEFAULT_POLICIES: Dict[str, RetryPolicy] = {
+    "drop-store": RetryPolicy(retries=2, backoff_s=0.1),
+    "kill-thread": RetryPolicy(retries=2, backoff_s=0.1),
+    "starvation": RetryPolicy(retries=2, backoff_s=0.1),
+    "delay-store": RetryPolicy(retries=1, backoff_s=0.05),
+    "spurious-wakeup": RetryPolicy(retries=1, backoff_s=0.05),
+    "clamp-steps": RetryPolicy(retries=1, backoff_s=0.0),
+}
+
+
+@dataclass(frozen=True)
+class CaseVerdict:
+    """One chaos case checked against its oracle."""
+
+    case: str
+    workload: str
+    fault_class: str
+    status: str
+    passed: bool
+    detail: str = ""
+
+
+@dataclass
+class ChaosReport:
+    """Everything a chaos sweep produced."""
+
+    verdicts: List[CaseVerdict] = field(default_factory=list)
+    records: List[RunRecord] = field(default_factory=list)
+    wall_s: float = 0.0
+
+    @property
+    def failed(self) -> List[CaseVerdict]:
+        return [v for v in self.verdicts if not v.passed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+
+def chaos_spec(case: ChaosCase, config: ToolConfig) -> RunSpec:
+    """The :class:`RunSpec` executing one chaos case."""
+    return RunSpec(
+        workload=case.workload,
+        config=config,
+        seed=case.seed,
+        fault_plan=case.plan,
+        livelock_bound=case.livelock_bound,
+    )
+
+
+def verify_case(
+    case: ChaosCase, record: RunRecord, outcome: Optional[RunOutcome]
+) -> CaseVerdict:
+    """Check one run against the case's pinned expectations."""
+    problems: List[str] = []
+    status = record.status
+    if status in INFRA_FAILURES:
+        problems.append(f"infrastructure failure: {status} {record.error}".strip())
+    elif status == "cached":
+        # A cache hit replays the stored outcome; re-derive the status it
+        # would have had so the oracle still applies.
+        status = outcome.result.status if outcome is not None else "cached"
+        if status in ("deadlock", "step-limit") and outcome.result.faults_injected:
+            status = "fault"
+    if status not in INFRA_FAILURES and status not in case.expect_statuses:
+        problems.append(
+            f"status {status!r} not in expected {case.expect_statuses!r}"
+        )
+    livelock = outcome.result.livelock if outcome is not None else None
+    if case.expect_cond_symbol:
+        if livelock is None:
+            problems.append("expected a livelock report, got none")
+        elif not livelock.cond_symbol.startswith(case.expect_cond_symbol):
+            problems.append(
+                f"livelock names {livelock.cond_symbol!r}, "
+                f"expected {case.expect_cond_symbol!r}"
+            )
+    if case.expect_loop_function and livelock is not None:
+        if not livelock.loop_name.startswith(case.expect_loop_function):
+            problems.append(
+                f"livelock loop {livelock.loop_name!r} is not in "
+                f"{case.expect_loop_function!r}"
+            )
+    if case.expect_note:
+        notes = outcome.report.notes if outcome is not None else []
+        if not any(n.startswith(case.expect_note) for n in notes):
+            problems.append(f"missing expected note {case.expect_note!r}")
+    return CaseVerdict(
+        case=case.name,
+        workload=case.workload,
+        fault_class=case.fault_class,
+        status=record.status,
+        passed=not problems,
+        detail="; ".join(problems) if problems else record.error,
+    )
+
+
+def run_chaos(
+    cases: Optional[Sequence[ChaosCase]] = None,
+    config: Optional[ToolConfig] = None,
+    workers: int = 0,
+    cache: Optional[ResultCache] = None,
+    timeout_s: Optional[float] = None,
+    policies: Optional[Dict[str, RetryPolicy]] = None,
+) -> ChaosReport:
+    """Run the chaos suite grouped by fault class; verify every case."""
+    cases = list(cases if cases is not None else chaos_cases())
+    config = config or ToolConfig.helgrind_lib_spin(7)
+    policies = dict(DEFAULT_POLICIES, **(policies or {}))
+    start = time.perf_counter()
+    report = ChaosReport()
+
+    by_class: Dict[str, List[ChaosCase]] = {}
+    for case in cases:
+        by_class.setdefault(case.fault_class, []).append(case)
+
+    for fault_class in sorted(by_class):
+        group = by_class[fault_class]
+        policy = policies.get(fault_class, RetryPolicy())
+        specs = [chaos_spec(c, config) for c in group]
+        result = run_sweep(
+            specs,
+            workers=workers,
+            cache=cache,
+            timeout_s=timeout_s,
+            retries=policy.retries,
+        )
+        records = list(result.records)
+        outcomes = list(result.outcomes)
+        # One more class-level pass over infrastructure failures after a
+        # backoff: the whole point of chaos runs is surviving flaky
+        # environments without flaky verdicts.
+        stale = [i for i, r in enumerate(records) if r.status in INFRA_FAILURES]
+        if stale and policy.backoff_s >= 0:
+            time.sleep(policy.backoff_s)
+            redo = run_sweep(
+                [specs[i] for i in stale],
+                workers=workers,
+                cache=cache,
+                timeout_s=timeout_s,
+                retries=policy.retries,
+            )
+            for j, i in enumerate(stale):
+                if redo.records[j].status not in INFRA_FAILURES:
+                    records[i] = redo.records[j]
+                    outcomes[i] = redo.outcomes[j]
+        for case, record, outcome in zip(group, records, outcomes):
+            report.verdicts.append(verify_case(case, record, outcome))
+        report.records.extend(records)
+
+    report.wall_s = time.perf_counter() - start
+    return report
+
+
+def chaos_table(report: ChaosReport) -> str:
+    """Render the chaos verdicts with the shared table formatter."""
+    from repro.harness.tables import format_table
+
+    rows = [
+        [
+            v.case,
+            v.fault_class,
+            v.workload,
+            v.status,
+            "PASS" if v.passed else "FAIL",
+            v.detail[:60],
+        ]
+        for v in report.verdicts
+    ]
+    return format_table(
+        ["Case", "Fault class", "Workload", "Status", "Verdict", "Detail"],
+        rows,
+        title=f"Chaos suite — {len(report.verdicts)} case(s), "
+        f"{len(report.failed)} failing, {report.wall_s:.2f}s",
+    )

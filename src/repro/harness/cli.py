@@ -12,6 +12,7 @@ Subcommands::
     repro-experiments cases         # list the 120 suite cases
     repro-experiments oracle        # detector-free ground-truth sweep
     repro-experiments sweep         # parallel sweep + observability report
+    repro-experiments chaos         # fault-injection suite vs. its oracle
     repro-experiments all           # every table and figure, in order
 
 Global options wire every table through the parallel engine::
@@ -252,6 +253,25 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run the fault-injection suite and verify every oracle expectation."""
+    from repro.harness.chaos import chaos_table, run_chaos
+
+    report = run_chaos(
+        config=ToolConfig.helgrind_lib_spin(args.k),
+        workers=args.workers,
+        cache=_cache(args),
+        timeout_s=args.timeout,
+    )
+    print(chaos_table(report))
+    print()
+    print(sweep_records_table(report.records, "Chaos run log"))
+    if not report.ok:
+        print(f"\n{len(report.failed)} chaos case(s) FAILED")
+        return 1
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -289,7 +309,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument(
         "experiment",
         choices=[
-            "t1", "t2", "t3", "t4", "t5", "f1", "f2", "cases", "oracle", "sweep", "all",
+            "t1", "t2", "t3", "t4", "t5", "f1", "f2", "cases", "oracle", "sweep",
+            "chaos", "all",
         ],
         help="which experiment to run",
     )
@@ -305,6 +326,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "cases": cmd_cases,
         "oracle": cmd_oracle,
         "sweep": cmd_sweep,
+        "chaos": cmd_chaos,
     }
     if args.experiment == "all":
         for name in ("t1", "t2", "t3", "t4", "t5", "f1", "f2"):

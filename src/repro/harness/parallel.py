@@ -42,10 +42,12 @@ from repro.detectors import ToolConfig
 from repro.harness.registry import resolve_workload
 from repro.harness.runner import RunOutcome, run_workload
 from repro.harness.workload import Workload
+from repro.vm.faults import FaultPlan
 
 #: bump when RunOutcome's schema or run semantics change incompatibly —
 #: stale cache entries from an older layout must not be deserialized.
-CACHE_SCHEMA = 1
+#: 2: fault plans + livelock watchdog (RunOutcome/RunResult diagnostics).
+CACHE_SCHEMA = 2
 
 
 class SweepError(RuntimeError):
@@ -68,6 +70,10 @@ class RunSpec:
     config: ToolConfig
     seed: Optional[int] = None
     max_steps: Optional[int] = None
+    #: deterministic fault plan to inject (chaos sweeps)
+    fault_plan: Optional[FaultPlan] = None
+    #: livelock-watchdog bound; ``None`` leaves the watchdog off
+    livelock_bound: Optional[int] = None
 
     def resolve(self) -> Workload:
         if isinstance(self.workload, str):
@@ -134,6 +140,8 @@ class ResultCache:
                 f"config={config_fields!r}",
                 f"seed={spec.effective_seed()}",
                 f"max_steps={spec.effective_max_steps()}",
+                f"fault_plan={spec.fault_plan!r}",
+                f"livelock_bound={spec.livelock_bound!r}",
             ]
         )
         return hashlib.sha256(payload.encode()).hexdigest()
@@ -177,7 +185,12 @@ class RunRecord:
     workload: str
     tool: str
     seed: int
-    #: "ok", "cached", "step-limit", "deadlock", "timeout", "crash", "error"
+    #: "ok", "cached", "step-limit", "deadlock", "livelock", "fault",
+    #: "timeout", "crash", "error".  "livelock" is the watchdog firing on
+    #: a stuck marked loop; "fault" is an abnormal ending (deadlock or
+    #: exhausted budget) attributable to injected faults.  Neither counts
+    #: as *failed* — the run completed deterministically and its
+    #: diagnostics are the product.
     status: str
     attempts: int = 1
     duration_s: float = 0.0
@@ -188,6 +201,8 @@ class RunRecord:
     spin_loops: int = 0
     adhoc_edges: int = 0
     racy_contexts: int = 0
+    #: fault events injected during the run (chaos sweeps)
+    faults: int = 0
     error: str = ""
 
     @property
@@ -225,6 +240,8 @@ class SweepSummary:
     spin_loops: int
     adhoc_edges: int
     racy_contexts: int
+    #: fault events injected across the sweep (0 outside chaos sweeps)
+    faults: int = 0
 
     @property
     def steps_per_s(self) -> float:
@@ -258,20 +275,33 @@ def summarize_records(records: Sequence[RunRecord], wall_s: float) -> SweepSumma
         spin_loops=sum(r.spin_loops for r in executed),
         adhoc_edges=sum(r.adhoc_edges for r in executed),
         racy_contexts=sum(r.racy_contexts for r in records if not r.failed),
+        faults=sum(r.faults for r in records if not r.failed),
     )
 
 
 def _record_from_outcome(
     spec: RunSpec, outcome: RunOutcome, attempts: int, cached: bool
 ) -> RunRecord:
+    result = outcome.result
     if cached:
         status = "cached"
-    elif outcome.result.timed_out:
-        status = "step-limit"
-    elif outcome.result.deadlocked:
-        status = "deadlock"
+    elif getattr(result, "livelocked", False):
+        status = "livelock"
+    elif result.timed_out:
+        status = "fault" if getattr(result, "faults_injected", 0) else "step-limit"
+    elif result.deadlocked:
+        status = "fault" if getattr(result, "faults_injected", 0) else "deadlock"
     else:
         status = "ok"
+    # Abnormal endings ship their structured post-mortem in the failure
+    # log: which loop livelocked, what each thread was blocked on, who
+    # abandoned which lock.
+    error = ""
+    if status in ("livelock", "fault", "deadlock", "step-limit"):
+        try:
+            error = result.diagnose()
+        except Exception:  # pragma: no cover - old cached RunResult layout
+            error = ""
     return RunRecord(
         workload=spec.workload_name,
         tool=spec.config.name,
@@ -286,6 +316,8 @@ def _record_from_outcome(
         spin_loops=outcome.spin_loops,
         adhoc_edges=outcome.adhoc_edges,
         racy_contexts=outcome.report.racy_contexts,
+        faults=getattr(result, "faults_injected", 0),
+        error=error,
     )
 
 
@@ -332,7 +364,12 @@ def _child_main(spec: RunSpec, conn) -> None:
     gc.freeze()
     try:
         outcome = run_workload(
-            spec.resolve(), spec.config, seed=spec.seed, max_steps=spec.max_steps
+            spec.resolve(),
+            spec.config,
+            seed=spec.seed,
+            max_steps=spec.max_steps,
+            fault_plan=spec.fault_plan,
+            livelock_bound=spec.livelock_bound,
         )
         conn.send(("ok", outcome))
     except BaseException as exc:  # crash isolation: never take the pool down
@@ -356,7 +393,12 @@ def _run_serial(
         spec = specs[i]
         try:
             outcome = run_workload(
-                spec.resolve(), spec.config, seed=spec.seed, max_steps=spec.max_steps
+                spec.resolve(),
+                spec.config,
+                seed=spec.seed,
+                max_steps=spec.max_steps,
+                fault_plan=spec.fault_plan,
+                livelock_bound=spec.livelock_bound,
             )
         except Exception as exc:
             records[i] = _failure_record(spec, "error", 1, f"{type(exc).__name__}: {exc}")

@@ -28,10 +28,20 @@ def _builtin_index() -> Dict[str, Workload]:
     if _BUILTIN is None:
         # Imported lazily: the workload packages import repro.harness,
         # so a module-level import here would be circular.
-        from repro.workloads import build_suite, parsec_workloads, splash_workloads
+        from repro.workloads import (
+            build_suite,
+            chaos_workloads,
+            parsec_workloads,
+            splash_workloads,
+        )
 
         index: Dict[str, Workload] = {}
-        for wl in [*build_suite(), *parsec_workloads(), *splash_workloads()]:
+        for wl in [
+            *build_suite(),
+            *parsec_workloads(),
+            *splash_workloads(),
+            *chaos_workloads(),
+        ]:
             if wl.name in index:
                 raise ValueError(f"duplicate built-in workload name {wl.name!r}")
             index[wl.name] = wl

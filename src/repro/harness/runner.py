@@ -13,6 +13,7 @@ from repro.detectors.reports import Report
 from repro.harness.registry import RegistryBuild
 from repro.harness.workload import Workload
 from repro.vm import Machine, RandomScheduler
+from repro.vm.faults import FaultPlan
 from repro.vm.machine import RunResult
 
 
@@ -48,6 +49,10 @@ class RunOutcome:
     #: wall-clock of the instrumentation phase (spin-loop analysis and
     #: lock-site inference), seconds; 0 when neither feature is on
     instrument_s: float = 0.0
+    #: fault plan the run executed under (chaos runs only)
+    fault_plan: Optional[FaultPlan] = None
+    #: livelock-watchdog bound the machine ran with, if any
+    livelock_bound: Optional[int] = None
 
     @property
     def ok(self) -> bool:
@@ -71,8 +76,16 @@ def run_workload(
     config: ToolConfig,
     seed: Optional[int] = None,
     max_steps: Optional[int] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    livelock_bound: Optional[int] = None,
 ) -> RunOutcome:
-    """Run ``workload`` under ``config`` with the given scheduler seed."""
+    """Run ``workload`` under ``config`` with the given scheduler seed.
+
+    ``fault_plan`` injects deterministic faults
+    (:mod:`repro.vm.faults`); ``livelock_bound`` arms the machine's
+    livelock watchdog.  Both default to off, leaving normal runs
+    byte-identical to before.
+    """
     program = workload.fresh_program()
     imap: Optional[InstrumentationMap] = None
     lock_sites = frozenset()
@@ -88,18 +101,33 @@ def run_workload(
         if config.infer_locks:
             lock_sites = lock_site_locations(program)
         instrument_s = time.perf_counter() - instrument_start
+    # The watchdog consumes marked-loop events, so a machine with a
+    # livelock bound needs the instrumentation map even under a non-spin
+    # tool; that map is watchdog plumbing, not part of the tool being
+    # measured, so it is charged to neither instrument_s nor the spin
+    # statistics.
+    watch_imap = imap
+    if watch_imap is None and livelock_bound is not None:
+        watch_imap = instrument_program(
+            program,
+            max_blocks=config.spin_max_blocks,
+            inline_depth=config.inline_depth,
+        )
     detector = RaceDetector(config, lock_sites=lock_sites)
     machine = Machine(
         program,
         scheduler=RandomScheduler(seed if seed is not None else workload.seed),
         listener=detector,
-        instrumentation=imap,
+        instrumentation=watch_imap,
         max_steps=max_steps or workload.max_steps,
+        faults=fault_plan,
+        livelock_bound=livelock_bound,
     )
     detector.algorithm.symbolize = machine.memory.symbols.resolve
     start = time.perf_counter()
     result = machine.run()
     duration = time.perf_counter() - start
+    detector.finalize(partial=not result.ok)
     return RunOutcome(
         workload=workload,
         config=config,
@@ -114,6 +142,8 @@ def run_workload(
         imap_words=imap.memory_words() if imap is not None else 0,
         spin_loops=imap.num_loops if imap is not None else 0,
         adhoc_edges=detector.adhoc.edges if detector.adhoc is not None else 0,
+        fault_plan=fault_plan,
+        livelock_bound=livelock_bound,
     )
 
 

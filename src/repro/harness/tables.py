@@ -78,6 +78,7 @@ def sweep_records_table(records: Sequence["RunRecord"], title: str) -> str:
     headers = [
         "Workload", "Tool", "Seed", "Status", "Att", "Run s", "Instr s",
         "Steps/s", "Events/s", "Det words", "Spins", "Adhoc", "Contexts",
+        "Faults",
     ]
     rows = [
         [
@@ -94,6 +95,7 @@ def sweep_records_table(records: Sequence["RunRecord"], title: str) -> str:
             r.spin_loops,
             r.adhoc_edges,
             r.racy_contexts,
+            r.faults,
         ]
         for r in records
     ]
@@ -120,5 +122,6 @@ def sweep_summary_table(summary: "SweepSummary", title: str = "Sweep summary") -
         ["spin loops found", summary.spin_loops],
         ["ad-hoc hb edges", summary.adhoc_edges],
         ["racy contexts", summary.racy_contexts],
+        ["faults injected", summary.faults],
     ]
     return format_table(["Metric", "Value"], rows, title=title)

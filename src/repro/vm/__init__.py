@@ -27,6 +27,26 @@ from repro.vm.events import (
     MarkedLoopExit,
     MarkedCondRead,
     PrintEvent,
+    FaultEvent,
+    ThreadKilledEvent,
+    StoreDroppedEvent,
+    StoreDelayedEvent,
+    SpuriousWakeEvent,
+    StarvationEvent,
+    StepBudgetClampedEvent,
+)
+from repro.vm.faults import (
+    ClampSteps,
+    DelayStore,
+    DropStore,
+    Fault,
+    FaultInjector,
+    FaultPlan,
+    KillThread,
+    LivelockReport,
+    SpuriousWakeup,
+    StarveThread,
+    ThreadDiag,
 )
 from repro.vm.memory import Memory, MemoryError_, SymbolMap
 from repro.vm.scheduler import (
@@ -51,6 +71,24 @@ __all__ = [
     "MarkedLoopExit",
     "MarkedCondRead",
     "PrintEvent",
+    "FaultEvent",
+    "ThreadKilledEvent",
+    "StoreDroppedEvent",
+    "StoreDelayedEvent",
+    "SpuriousWakeEvent",
+    "StarvationEvent",
+    "StepBudgetClampedEvent",
+    "Fault",
+    "FaultPlan",
+    "FaultInjector",
+    "KillThread",
+    "DropStore",
+    "DelayStore",
+    "SpuriousWakeup",
+    "StarveThread",
+    "ClampSteps",
+    "LivelockReport",
+    "ThreadDiag",
     "Memory",
     "MemoryError_",
     "SymbolMap",

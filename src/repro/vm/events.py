@@ -154,3 +154,65 @@ class PrintEvent(Event):
 
     value: int
     loc: CodeLocation
+
+
+@dataclass(frozen=True)
+class FaultEvent(Event):
+    """Base class for injected faults (:mod:`repro.vm.faults`).
+
+    Fault events record *what the injector did and when*, so an abnormal
+    run's event stream carries its own explanation.  Detectors ignore
+    them; the harness counts them to distinguish a run that went wrong
+    on its own from one that was pushed.  ``tid`` is ``-1`` for faults
+    not attributable to any thread (e.g. a spurious wakeup).
+    """
+
+
+@dataclass(frozen=True)
+class ThreadKilledEvent(FaultEvent):
+    """Thread ``tid`` was terminated by a kill-thread fault.
+
+    Unlike :class:`ThreadExitEvent` this does *not* wake joiners and
+    does not release held locks — that is the point.
+    """
+
+
+@dataclass(frozen=True)
+class StoreDroppedEvent(FaultEvent):
+    """A plain store by ``tid`` was silently discarded (lost write)."""
+
+    addr: int
+    value: int
+    loc: CodeLocation
+
+
+@dataclass(frozen=True)
+class StoreDelayedEvent(FaultEvent):
+    """A plain store was buffered; its ``MemWrite`` lands ``delay`` steps later."""
+
+    addr: int
+    value: int
+    delay: int
+    loc: CodeLocation
+
+
+@dataclass(frozen=True)
+class SpuriousWakeEvent(FaultEvent):
+    """A condvar generation word at ``addr`` was bumped by no thread."""
+
+    addr: int
+    value: int
+
+
+@dataclass(frozen=True)
+class StarvationEvent(FaultEvent):
+    """Thread ``tid`` enters a scheduler-starvation window of ``duration`` steps."""
+
+    duration: int
+
+
+@dataclass(frozen=True)
+class StepBudgetClampedEvent(FaultEvent):
+    """The machine's step budget was clamped to ``max_steps`` by a fault plan."""
+
+    max_steps: int

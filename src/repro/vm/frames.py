@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 from repro.isa.program import Function
 
@@ -13,6 +13,9 @@ class ThreadStatus(enum.Enum):
     RUNNABLE = "runnable"
     BLOCKED_JOIN = "blocked_join"
     EXITED = "exited"
+    #: terminated by a kill-thread fault — never runs again, never wakes
+    #: joiners, and abandons any locks it held
+    KILLED = "killed"
 
 
 @dataclass
@@ -46,6 +49,9 @@ class ThreadState:
     #: value returned by the thread's top-level function
     result: Optional[int] = None
     started: bool = False
+    #: addresses of annotated locks currently held (acquire returned,
+    #: release not yet entered) — drives crashed-holder diagnostics
+    held_locks: Set[int] = field(default_factory=set)
 
     @property
     def frame(self) -> Frame:

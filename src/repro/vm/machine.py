@@ -20,8 +20,9 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.isa import instructions as ins
-from repro.isa.program import CodeLocation, Function, Program
+from repro.isa.program import CodeLocation, Function, Program, SyncKind
 from repro.vm import events as ev
+from repro.vm.faults import FaultInjector, FaultPlan, LivelockReport, ThreadDiag
 from repro.vm.frames import Frame, ThreadState, ThreadStatus
 from repro.vm.memory import Memory
 from repro.vm.scheduler import RandomScheduler, Scheduler
@@ -37,7 +38,15 @@ class MachineError(Exception):
 
 @dataclass
 class RunResult:
-    """Outcome of a complete machine run."""
+    """Outcome of a complete machine run.
+
+    Abnormal endings carry structured diagnostics rather than bare
+    booleans: a livelocked run names the stuck marked loop and condition
+    address (:class:`~repro.vm.faults.LivelockReport`), and every run
+    records a per-thread post-mortem (:class:`~repro.vm.faults.ThreadDiag`)
+    — what each thread was blocked on, who held the lock, and which
+    locks a killed thread abandoned.
+    """
 
     steps: int
     timed_out: bool
@@ -45,10 +54,43 @@ class RunResult:
     outputs: List[Tuple[int, int]] = field(default_factory=list)
     thread_results: Dict[int, Optional[int]] = field(default_factory=dict)
     final_memory: Dict[int, int] = field(default_factory=dict)
+    livelocked: bool = False
+    livelock: Optional[LivelockReport] = None
+    thread_diags: Dict[int, ThreadDiag] = field(default_factory=dict)
+    #: fault events the injector emitted during this run
+    faults_injected: int = 0
 
     @property
     def ok(self) -> bool:
-        return not (self.timed_out or self.deadlocked)
+        return not (self.timed_out or self.deadlocked or self.livelocked)
+
+    @property
+    def status(self) -> str:
+        """"ok" | "step-limit" | "deadlock" | "livelock"."""
+        if self.livelocked:
+            return "livelock"
+        if self.deadlocked:
+            return "deadlock"
+        if self.timed_out:
+            return "step-limit"
+        return "ok"
+
+    def diagnose(self) -> str:
+        """Human-readable explanation of how (and why) the run ended."""
+        lines: List[str] = []
+        if self.livelock is not None:
+            lines.append(str(self.livelock))
+        elif self.deadlocked:
+            lines.append("deadlock: no runnable threads")
+        elif self.timed_out:
+            lines.append(f"step budget exhausted after {self.steps} steps")
+        for tid in sorted(self.thread_diags):
+            diag = self.thread_diags[tid]
+            if diag.status != "exited":
+                lines.append(diag.describe())
+        if self.faults_injected:
+            lines.append(f"{self.faults_injected} fault(s) injected")
+        return "; ".join(lines)
 
 
 class Machine:
@@ -61,12 +103,25 @@ class Machine:
         listener: Optional[Listener] = None,
         instrumentation: Optional[object] = None,
         max_steps: int = 2_000_000,
+        faults: Optional[FaultPlan] = None,
+        livelock_bound: Optional[int] = None,
     ) -> None:
         self.program = program
         self.scheduler = scheduler or RandomScheduler()
         self.listener = listener
         self.max_steps = max_steps
         self.memory = Memory(program)
+        self.faults_injected = 0
+        self._injector: Optional[FaultInjector] = None
+        if faults:
+            self._injector = FaultInjector(faults)
+            self._injector.attach(self)
+            self.max_steps = self._injector.clamp_max_steps(self.max_steps)
+        # Livelock watchdog: counts condition reads per (tid, marked loop)
+        # between loop entry and exit; ``None`` disables it entirely.
+        self.livelock_bound = livelock_bound
+        self._livelock: Optional[LivelockReport] = None
+        self._spin_counts: Dict[Tuple[int, int], int] = {}
         self.threads: Dict[int, ThreadState] = {}
         self._next_tid = 0
         self._waiters: Dict[int, List[int]] = {}
@@ -89,6 +144,9 @@ class Machine:
             self._cond_loads = dict(instrumentation.cond_loads)
             self._exit_edges = dict(instrumentation.exit_edges)
             self._loop_headers = dict(instrumentation.loop_headers)
+        self._loop_names: Dict[int, str] = {
+            lid: f"{func}:{header}" for (func, header), lid in self._loop_headers.items()
+        }
         self._spawn_thread(program.entry, (), parent=None)
 
     # -- thread management --------------------------------------------------
@@ -117,6 +175,17 @@ class Machine:
             t.tid for t in self.threads.values() if t.status is ThreadStatus.RUNNABLE
         ]
 
+    def kill_thread(self, tid: int) -> None:
+        """Terminate ``tid`` abruptly (kill-thread fault).
+
+        Unlike a normal exit this neither wakes joiners nor releases the
+        thread's held locks: joiners stay blocked forever (the deadlock
+        surface) and the abandoned locks livelock later acquirers.
+        """
+        thread = self.threads[tid]
+        thread.status = ThreadStatus.KILLED
+        self._emit(ev.ThreadKilledEvent(self.step_count, tid))
+
     def _exit_thread(self, thread: ThreadState, value: Optional[int]) -> None:
         thread.status = ThreadStatus.EXITED
         thread.result = value
@@ -129,6 +198,8 @@ class Machine:
 
     def _emit(self, event: ev.Event) -> None:
         self.event_count += 1
+        if isinstance(event, ev.FaultEvent):
+            self.faults_injected += 1
         if self.listener is not None:
             self.listener(event)
 
@@ -138,22 +209,35 @@ class Machine:
         """Run to completion (all threads exited, ``Halt``, or budget)."""
         deadlocked = False
         while not self._halted:
+            if self._injector is not None:
+                self._injector.on_step(self)
             runnable = self._runnable()
             if not runnable:
+                # Killed threads are gone, not stuck: only still-blocked
+                # survivors make the quiescence a deadlock.
                 alive = [
                     t
                     for t in self.threads.values()
-                    if t.status is not ThreadStatus.EXITED
+                    if t.status
+                    not in (ThreadStatus.EXITED, ThreadStatus.KILLED)
                 ]
                 deadlocked = bool(alive)
                 break
             if self.step_count >= self.max_steps:
                 return self._result(timed_out=True, deadlocked=False)
+            if self._injector is not None:
+                runnable = self._injector.filter_runnable(self, runnable)
             tid = self.scheduler.pick(runnable)
             self.step(tid)
+            if self._livelock is not None:
+                return self._result(
+                    timed_out=False, deadlocked=False, livelocked=True
+                )
         return self._result(timed_out=False, deadlocked=deadlocked)
 
-    def _result(self, timed_out: bool, deadlocked: bool) -> RunResult:
+    def _result(
+        self, timed_out: bool, deadlocked: bool, livelocked: bool = False
+    ) -> RunResult:
         return RunResult(
             steps=self.step_count,
             timed_out=timed_out,
@@ -161,7 +245,52 @@ class Machine:
             outputs=list(self.outputs),
             thread_results={t.tid: t.result for t in self.threads.values()},
             final_memory=self.memory.snapshot(),
+            livelocked=livelocked,
+            livelock=self._livelock,
+            thread_diags=self._thread_diags(),
+            faults_injected=self.faults_injected,
         )
+
+    def _thread_diags(self) -> Dict[int, ThreadDiag]:
+        owners: Dict[int, int] = {}
+        for t in self.threads.values():
+            for addr in t.held_locks:
+                owners[addr] = t.tid
+        diags: Dict[int, ThreadDiag] = {}
+        for t in self.threads.values():
+            blocked_addr: Optional[int] = None
+            blocked_kind: Optional[str] = None
+            func_name = ""
+            if t.frames and t.status is not ThreadStatus.EXITED:
+                func_name = t.frame.function.name
+                for fr in reversed(t.frames):
+                    if fr.sync_obj is not None and fr.function.annotation is not None:
+                        blocked_addr = fr.sync_obj
+                        blocked_kind = fr.function.annotation.kind.value
+                        break
+            held = tuple(sorted(t.held_locks))
+            owner = owners.get(blocked_addr) if blocked_addr is not None else None
+            diags[t.tid] = ThreadDiag(
+                tid=t.tid,
+                status=t.status.value,
+                function=func_name,
+                blocked_on_tid=(
+                    t.join_target
+                    if t.status is ThreadStatus.BLOCKED_JOIN
+                    else None
+                ),
+                blocked_on_addr=blocked_addr,
+                blocked_on_kind=blocked_kind,
+                blocked_on_symbol=(
+                    self.memory.symbols.resolve(blocked_addr)
+                    if blocked_addr is not None
+                    else ""
+                ),
+                owner_tid=owner if owner != t.tid else None,
+                held_locks=held,
+                held_symbols=tuple(self.memory.symbols.resolve(a) for a in held),
+            )
+        return diags
 
     def step(self, tid: int) -> None:
         """Execute one instruction of thread ``tid``."""
@@ -210,8 +339,30 @@ class Machine:
                         self.step_count, thread.tid, loop_id, loc, thread.in_library
                     )
                 )
+                # The loop made progress: reset its watchdog counter.
+                self._spin_counts.pop((thread.tid, loop_id), None)
         frame.block = target
         frame.index = 0
+
+    def _note_cond_read(
+        self, tid: int, loop_id: int, addr: int, value: int, loc: CodeLocation
+    ) -> None:
+        """Watchdog: one more condition read without the loop exiting."""
+        key = (tid, loop_id)
+        count = self._spin_counts.get(key, 0) + 1
+        self._spin_counts[key] = count
+        if count > self.livelock_bound and self._livelock is None:
+            self._livelock = LivelockReport(
+                tid=tid,
+                loop_id=loop_id,
+                loop_name=self._loop_names.get(loop_id, f"loop{loop_id}"),
+                cond_addr=addr,
+                cond_symbol=self.memory.symbols.resolve(addr),
+                last_value=value,
+                spins=count,
+                step=self.step_count,
+                loc=loc,
+            )
 
     def _enter_function(
         self,
@@ -237,6 +388,8 @@ class Machine:
             frame.sync_obj = obj_addr
             if func.annotation.mutex_arg is not None:
                 frame.sync_obj2 = args[func.annotation.mutex_arg]
+            if func.annotation.kind is SyncKind.LOCK_RELEASE:
+                thread.held_locks.discard(obj_addr)
             self._emit(
                 ev.LibEnter(
                     self.step_count,
@@ -259,6 +412,8 @@ class Machine:
         if func.is_library:
             thread.lib_depth -= 1
         if func.annotation is not None and frame.sync_obj is not None:
+            if func.annotation.kind is SyncKind.LOCK_ACQUIRE:
+                thread.held_locks.add(frame.sync_obj)
             self._emit(
                 ev.LibExit(
                     self.step_count,
@@ -327,6 +482,8 @@ class Machine:
                             thread.in_library,
                         )
                     )
+                    if self.livelock_bound is not None:
+                        self._note_cond_read(tid, loop_id, addr, value, loc)
             self._emit(
                 ev.MemRead(self.step_count, tid, addr, value, loc, False, thread.in_library)
             )
@@ -334,10 +491,20 @@ class Machine:
         elif isinstance(instr, ins.Store):
             addr = get(frame, instr.addr, loc) + instr.offset
             value = get(frame, instr.src, loc)
-            self.memory.store(addr, value)
-            self._emit(
-                ev.MemWrite(self.step_count, tid, addr, value, loc, False, thread.in_library)
+            intercepted = (
+                self._injector.intercept_store(
+                    self, tid, addr, value, loc, thread.in_library
+                )
+                if self._injector is not None
+                else None
             )
+            if intercepted is None:
+                self.memory.store(addr, value)
+                self._emit(
+                    ev.MemWrite(
+                        self.step_count, tid, addr, value, loc, False, thread.in_library
+                    )
+                )
             self._advance(frame)
         elif isinstance(instr, ins.AtomicCas):
             addr = get(frame, instr.addr, loc) + instr.offset

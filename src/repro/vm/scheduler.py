@@ -48,16 +48,31 @@ class Scheduler:
 
 
 class RoundRobinScheduler(Scheduler):
-    """Strict rotation among runnable threads; fully deterministic."""
+    """Strict rotation among runnable threads; fully deterministic.
 
-    def __init__(self) -> None:
+    Honours ``on_yield`` backoff the same way the other schedulers do: a
+    thread that yields is skipped for the next ``penalty`` picks while
+    other threads are runnable, then rejoins the rotation where it would
+    naturally fall.  With no yields the schedule is the classic
+    0, 1, 2, 0, 1, 2, ... rotation.
+    """
+
+    def __init__(self, penalty: int = 8) -> None:
         self._last: int = -1
+        self._penalty_steps = penalty
+        self._penalties: Dict[int, int] = {}
 
     def pick(self, runnable: Sequence[int]) -> int:
-        later = [t for t in runnable if t > self._last]
-        chosen = min(later) if later else min(runnable)
+        eligible = [t for t in runnable if self._penalties.get(t, 0) == 0]
+        pool = eligible if eligible else list(runnable)
+        _decay_penalties(self._penalties)
+        later = [t for t in pool if t > self._last]
+        chosen = min(later) if later else min(pool)
         self._last = chosen
         return chosen
+
+    def on_yield(self, tid: int) -> None:
+        self._penalties[tid] = self._penalty_steps
 
 
 class RandomScheduler(Scheduler):

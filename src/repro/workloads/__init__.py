@@ -5,11 +5,21 @@
 * :mod:`repro.workloads.parsec` — the 13 PARSEC 2.0 stand-in programs
   (Tables 3–5 and the two performance figures);
 * :mod:`repro.workloads.splash` — four SPLASH-2 stand-ins feeding the
-  slide-15 ad-hoc census experiment.
+  slide-15 ad-hoc census experiment;
+* :mod:`repro.workloads.dr_test.faults` — the chaos family: programs
+  built to be broken by deterministic fault plans, with oracle
+  expectations (not part of the 120-case suite).
 """
 
+from repro.workloads.dr_test.faults import chaos_cases, chaos_workloads
 from repro.workloads.dr_test.suite import build_suite
 from repro.workloads.parsec.registry import parsec_workloads
 from repro.workloads.splash import splash_workloads
 
-__all__ = ["build_suite", "parsec_workloads", "splash_workloads"]
+__all__ = [
+    "build_suite",
+    "parsec_workloads",
+    "splash_workloads",
+    "chaos_workloads",
+    "chaos_cases",
+]

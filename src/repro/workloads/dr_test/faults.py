@@ -1,0 +1,337 @@
+"""Chaos workloads: programs built to be broken, with oracle expectations.
+
+Each :class:`ChaosCase` pairs a small program with a deterministic
+:class:`~repro.vm.faults.FaultPlan` and the *expected* abnormal outcome:
+the status the harness must report, the condition symbol and loop a
+livelock report must name, and any condvar protocol warning the detector
+must surface.  The cases pin, per fault class, that
+
+* the run degrades gracefully (structured diagnostics, no exceptions),
+* the livelock watchdog names the right loop and address, and
+* replay is deterministic (same seeds ⇒ identical streams and reports).
+
+The programs deliberately cover the paper's abnormal-execution shapes:
+a lost counterpart write under an ad-hoc flag handoff, a crashed thread
+abandoning a library mutex, a signal-before-wait lost signal, and a
+spurious condvar wake-up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.harness.workload import Workload
+from repro.runtime import CONDVAR_SIZE, MUTEX_SIZE
+from repro.vm.faults import (
+    ClampSteps,
+    DelayStore,
+    DropStore,
+    FaultPlan,
+    KillThread,
+    SpuriousWakeup,
+    StarveThread,
+)
+from repro.workloads.common import busy_nops, finish_main, new_program, spin_flag_2bb
+
+#: watchdog bound used by every chaos case: generous enough that benign
+#: delays (a delayed store, a starvation window) never trip it, small
+#: enough that genuine livelocks surface quickly
+CHAOS_LIVELOCK_BOUND = 2_000
+
+
+@dataclass(frozen=True)
+class ChaosCase:
+    """One chaos experiment: a workload, a fault plan, and the oracle."""
+
+    name: str
+    workload: str
+    fault_class: str
+    plan: FaultPlan
+    #: harness statuses the run may legitimately end with
+    expect_statuses: Tuple[str, ...]
+    #: livelock oracle: the report's cond symbol must start with this
+    expect_cond_symbol: str = ""
+    #: livelock oracle: the report's loop name must start with this
+    expect_loop_function: str = ""
+    #: a report note (condvar protocol warning) that must be present
+    expect_note: str = ""
+    livelock_bound: int = CHAOS_LIVELOCK_BOUND
+    seed: int = 1
+    description: str = ""
+
+
+# ---------------------------------------------------------------------------
+# The programs
+
+
+def _flag_handoff():
+    """Ad-hoc flag handoff: producer stores DATA then raises FLAG;
+    consumer spins on FLAG, then reads DATA."""
+
+    def build():
+        pb = new_program("chaos_flag_handoff")
+        pb.global_("DATA", 1)
+        pb.global_("FLAG", 1)
+
+        cons = pb.function("consumer")
+        f = cons.addr("FLAG")
+        spin_flag_2bb(cons, f)
+        d = cons.load_global("DATA")
+        cons.ret(d)
+
+        prod = pb.function("producer")
+        prod.store_global("DATA", 42)
+        prod.store_global("FLAG", 1)
+        prod.ret()
+
+        mn = pb.function("main")
+        tids = [mn.spawn("consumer", []), mn.spawn("producer", [])]
+        finish_main(mn, tids)
+        return pb.build()
+
+    return build
+
+
+def _lock_pair():
+    """Two workers increment COUNTER inside a library-mutex critical
+    section.  The first worker reaches the lock immediately; the second
+    is padded with nops so, under any schedule, the first acquires while
+    the second is still on its way — giving a crashed-holder fault a
+    deterministic victim ordering."""
+
+    def build():
+        pb = new_program("chaos_lock_pair")
+        pb.global_("COUNTER", 1)
+        pb.global_("M", MUTEX_SIZE)
+
+        def worker(name: str, lead_nops: int):
+            w = pb.function(name)
+            busy_nops(w, lead_nops)
+            m = w.addr("M")
+            w.call("mutex_lock", [m])
+            c = w.addr("COUNTER")
+            w.store(c, w.add(w.load(c), 1))
+            busy_nops(w, 40)
+            w.call("mutex_unlock", [m])
+            w.ret()
+
+        worker("worker_fast", 1)
+        worker("worker_slow", 400)
+
+        mn = pb.function("main")
+        tids = [mn.spawn("worker_fast", []), mn.spawn("worker_slow", [])]
+        finish_main(mn, tids)
+        return pb.build()
+
+    return build
+
+
+def _cv_lost_signal():
+    """Non-predicated condvar handoff: the waiter waits with no guard,
+    so a signal delivered before the wait is lost forever."""
+
+    def build():
+        pb = new_program("chaos_cv_lost_signal")
+        pb.global_("M", MUTEX_SIZE)
+        pb.global_("CV", CONDVAR_SIZE)
+
+        wt = pb.function("waiter")
+        m = wt.addr("M")
+        cv = wt.addr("CV")
+        wt.call("mutex_lock", [m])
+        wt.call("cv_wait", [cv, m])
+        wt.call("mutex_unlock", [m])
+        wt.ret()
+
+        sg = pb.function("signaler")
+        m = sg.addr("M")
+        cv = sg.addr("CV")
+        sg.call("mutex_lock", [m])
+        sg.call("cv_signal", [cv])
+        sg.call("mutex_unlock", [m])
+        sg.ret()
+
+        mn = pb.function("main")
+        tids = [mn.spawn("waiter", []), mn.spawn("signaler", [])]
+        finish_main(mn, tids)
+        return pb.build()
+
+    return build
+
+
+def _cv_spurious():
+    """A lone waiter with nobody to signal: only a spurious wake-up (the
+    injected fault) can release it."""
+
+    def build():
+        pb = new_program("chaos_cv_spurious")
+        pb.global_("M", MUTEX_SIZE)
+        pb.global_("CV", CONDVAR_SIZE)
+
+        wt = pb.function("waiter")
+        m = wt.addr("M")
+        cv = wt.addr("CV")
+        wt.call("mutex_lock", [m])
+        wt.call("cv_wait", [cv, m])
+        wt.call("mutex_unlock", [m])
+        wt.ret()
+
+        mn = pb.function("main")
+        tids = [mn.spawn("waiter", [])]
+        finish_main(mn, tids)
+        return pb.build()
+
+    return build
+
+
+def chaos_workloads() -> List[Workload]:
+    """The chaos programs as registry-resolvable workloads.
+
+    They are *not* part of :func:`~repro.workloads.build_suite` — the
+    120-case suite measures detector quality on normal executions; these
+    exist to be run under fault plans.
+    """
+    return [
+        Workload(
+            name="chaos_flag_handoff",
+            build=_flag_handoff(),
+            racy_symbols=frozenset(),
+            threads=2,
+            category="chaos",
+            description="ad-hoc FLAG handoff (drop/delay/kill/starve target)",
+            sync_inventory=frozenset({"adhoc"}),
+        ),
+        Workload(
+            name="chaos_lock_pair",
+            build=_lock_pair(),
+            racy_symbols=frozenset(),
+            threads=2,
+            category="chaos",
+            description="library-mutex pair (crashed-holder / clamp target)",
+            sync_inventory=frozenset({"locks"}),
+        ),
+        Workload(
+            name="chaos_cv_lost_signal",
+            build=_cv_lost_signal(),
+            racy_symbols=frozenset(),
+            threads=2,
+            category="chaos",
+            description="non-predicated condvar wait (lost-signal target)",
+            sync_inventory=frozenset({"cvs", "locks"}),
+        ),
+        Workload(
+            name="chaos_cv_spurious",
+            build=_cv_spurious(),
+            racy_symbols=frozenset(),
+            threads=1,
+            category="chaos",
+            description="lone condvar waiter (spurious-wakeup target)",
+            sync_inventory=frozenset({"cvs", "locks"}),
+        ),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# The oracle
+
+
+def chaos_cases() -> List[ChaosCase]:
+    """Every fault class, each with a pinned expected outcome."""
+    return [
+        ChaosCase(
+            name="drop-flag-store",
+            workload="chaos_flag_handoff",
+            fault_class="drop-store",
+            plan=FaultPlan(
+                faults=(DropStore(symbol="FLAG"),), name="drop-flag-store"
+            ),
+            expect_statuses=("livelock",),
+            expect_cond_symbol="FLAG",
+            expect_loop_function="consumer",
+            description="lost counterpart write: consumer spins on FLAG forever",
+        ),
+        ChaosCase(
+            name="delay-flag-store",
+            workload="chaos_flag_handoff",
+            fault_class="delay-store",
+            plan=FaultPlan(
+                faults=(DelayStore(symbol="FLAG", delay=400),),
+                name="delay-flag-store",
+            ),
+            expect_statuses=("ok",),
+            description="delayed visibility: consumer spins longer, then succeeds",
+        ),
+        ChaosCase(
+            name="kill-producer",
+            workload="chaos_flag_handoff",
+            fault_class="kill-thread",
+            plan=FaultPlan(
+                faults=(KillThread(tid=2, at_step=0),), name="kill-producer"
+            ),
+            expect_statuses=("livelock",),
+            expect_cond_symbol="FLAG",
+            expect_loop_function="consumer",
+            description="producer killed on spawn: FLAG is never raised",
+        ),
+        ChaosCase(
+            name="starve-consumer",
+            workload="chaos_flag_handoff",
+            fault_class="starvation",
+            plan=FaultPlan(
+                faults=(StarveThread(tid=1, start_step=0, duration=600),),
+                name="starve-consumer",
+            ),
+            expect_statuses=("ok",),
+            description="consumer starved past the handoff, then catches up",
+        ),
+        ChaosCase(
+            name="kill-lock-holder",
+            workload="chaos_lock_pair",
+            fault_class="kill-thread",
+            plan=FaultPlan(
+                faults=(KillThread(tid=1, at_step=5, when_holding=True),),
+                name="kill-lock-holder",
+            ),
+            expect_statuses=("livelock",),
+            expect_cond_symbol="M",
+            expect_loop_function="mutex_lock",
+            description="crashed holder abandons M; the peer spins in mutex_lock",
+        ),
+        ChaosCase(
+            name="clamp-lock-pair",
+            workload="chaos_lock_pair",
+            fault_class="clamp-steps",
+            plan=FaultPlan(
+                faults=(ClampSteps(max_steps=60),), name="clamp-lock-pair"
+            ),
+            expect_statuses=("fault",),
+            description="step budget clamped mid-critical-section (partial stream)",
+        ),
+        ChaosCase(
+            name="starve-waiter-lost-signal",
+            workload="chaos_cv_lost_signal",
+            fault_class="starvation",
+            plan=FaultPlan(
+                faults=(StarveThread(tid=1, start_step=0, duration=1500),),
+                name="starve-waiter-lost-signal",
+            ),
+            expect_statuses=("livelock",),
+            expect_cond_symbol="CV",
+            expect_loop_function="cv_wait",
+            expect_note="lost-signal",
+            description="signal-before-wait: the unpredicated wait never returns",
+        ),
+        ChaosCase(
+            name="spurious-wakeup",
+            workload="chaos_cv_spurious",
+            fault_class="spurious-wakeup",
+            plan=FaultPlan(
+                faults=(SpuriousWakeup(symbol="CV", at_step=600),),
+                name="spurious-wakeup",
+            ),
+            expect_statuses=("ok",),
+            expect_note="spurious-wakeup",
+            description="no signaler exists: only the injected wake-up releases it",
+        ),
+    ]

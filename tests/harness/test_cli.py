@@ -52,6 +52,13 @@ class TestCli:
         assert "racy_counter_t2" in out
         assert "29 racy / 91 race-free" in out
 
+    def test_chaos_suite_passes(self, capsys):
+        assert main(["chaos"]) == 0
+        out = capsys.readouterr().out
+        assert "Chaos suite" in out and "0 failing" in out
+        assert "drop-flag-store" in out and "livelock" in out
+        assert "Faults" in out  # run-log column
+
     def test_oracle_sweep(self, capsys):
         assert main(["--seeds", "2", "oracle"]) == 0
         out = capsys.readouterr().out

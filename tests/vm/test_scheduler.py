@@ -23,6 +23,39 @@ class TestRoundRobin:
         assert s.pick([0, 2]) == 2
         assert s.pick([0, 2]) == 0
 
+    def test_yield_penalty_skips_spinner(self):
+        s = RoundRobinScheduler(penalty=4)
+        s.on_yield(0)
+        picks = [s.pick([0, 1]) for _ in range(4)]
+        assert all(p == 1 for p in picks)
+        # penalty elapsed: thread 0 rejoins the rotation
+        assert 0 in [s.pick([0, 1]) for _ in range(2)]
+
+    def test_yielding_only_thread_still_runs(self):
+        s = RoundRobinScheduler()
+        s.on_yield(0)
+        assert s.pick([0]) == 0
+
+    def test_yield_handling_is_deterministic(self):
+        seqs = []
+        for _ in range(2):
+            s = RoundRobinScheduler(penalty=3)
+            picks = []
+            for i in range(12):
+                chosen = s.pick([0, 1, 2])
+                picks.append(chosen)
+                if i == 2:
+                    s.on_yield(chosen)
+            seqs.append(picks)
+        assert seqs[0] == seqs[1]
+
+    def test_penalty_decays_while_thread_is_blocked(self):
+        s = RoundRobinScheduler(penalty=4)
+        s.on_yield(0)
+        for _ in range(4):
+            assert s.pick([1]) == 1
+        assert s._penalties.get(0, 0) == 0
+
 
 class TestRandom:
     def test_deterministic_per_seed(self):
