@@ -9,16 +9,8 @@ the back bank of a buffer and flips CUR; the reader spins on CUR.
 Run:  python examples/assembly_workload.py
 """
 
-from repro import (
-    Machine,
-    RaceDetector,
-    RandomScheduler,
-    ToolConfig,
-    assemble,
-    disassemble,
-    instrument_program,
-    validate_program,
-)
+import repro
+from repro import ToolConfig, assemble, disassemble, validate_program
 
 SOURCE = """
 program double_buffer entry=main
@@ -87,23 +79,13 @@ def main():
     print()
 
     for config in (ToolConfig.helgrind_lib(), ToolConfig.helgrind_lib_spin(7)):
-        prog = assemble(source)
-        imap = instrument_program(prog, 7) if config.spin else None
-        detector = RaceDetector(config)
-        machine = Machine(
-            prog,
-            scheduler=RandomScheduler(2),
-            listener=detector,
-            instrumentation=imap,
-        )
-        detector.algorithm.symbolize = machine.memory.symbols.resolve
-        result = machine.run()
-        assert result.ok
-        print(f"=== {config.name}: reader printed {result.outputs}")
-        if imap is not None:
-            print(f"    spin loops found: {imap.num_loops}")
-        if detector.report.racy_contexts:
-            for warning in detector.report.warnings:
+        session = repro.run(assemble(source), config, seed=2)
+        assert session.ok
+        print(f"=== {config.name}: reader printed {session.result.outputs}")
+        if session.instrumentation is not None:
+            print(f"    spin loops found: {session.instrumentation.num_loops}")
+        if session.report.racy_contexts:
+            for warning in session.report.warnings:
                 print(f"    {warning}")
         else:
             print("    no races reported")

@@ -20,16 +20,8 @@ This example runs two programs through the whole ladder:
 Run:  python examples/detector_ladder.py
 """
 
-from repro import (
-    Machine,
-    ProgramBuilder,
-    RaceDetector,
-    RandomScheduler,
-    ToolConfig,
-    build_library,
-    instrument_program,
-)
-from repro.analysis import lock_site_locations
+import repro
+from repro import ProgramBuilder, ToolConfig, build_library
 from repro.runtime import CONDVAR_SIZE, MUTEX_SIZE
 
 
@@ -123,16 +115,9 @@ LADDER = (
 
 
 def run(build, config, seed=1):
-    program = build()
-    imap = instrument_program(program, config.spin_max_blocks) if config.spin else None
-    sites = lock_site_locations(program) if config.infer_locks else frozenset()
-    detector = RaceDetector(config, lock_sites=sites)
-    machine = Machine(
-        program, scheduler=RandomScheduler(seed), listener=detector, instrumentation=imap
-    )
-    detector.algorithm.symbolize = machine.memory.symbols.resolve
-    machine.run()
-    return detector.report
+    # One call replaces the old instrument/detector/machine/symbolize
+    # boilerplate; lock-site inference is driven by the config.
+    return repro.run(build, config, seed=seed).report
 
 
 def main():

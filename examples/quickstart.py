@@ -17,16 +17,8 @@ report nothing.
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    Machine,
-    ProgramBuilder,
-    RaceDetector,
-    RandomScheduler,
-    ToolConfig,
-    build_library,
-    instrument_program,
-    validate_program,
-)
+import repro
+from repro import ProgramBuilder, ToolConfig, build_library, validate_program
 
 
 def build_program():
@@ -69,25 +61,12 @@ def build_program():
 
 
 def run_under(config, seed=1):
-    program = build_program()
-    instrumentation = None
-    if config.spin:
-        # The paper's instrumentation phase: find small loops, classify
-        # spinning read loops, mark condition loads and exit edges.
-        instrumentation = instrument_program(
-            program, max_blocks=config.spin_max_blocks
-        )
-    detector = RaceDetector(config)
-    machine = Machine(
-        program,
-        scheduler=RandomScheduler(seed),
-        listener=detector,
-        instrumentation=instrumentation,
-    )
-    detector.algorithm.symbolize = machine.memory.symbols.resolve
-    result = machine.run()
-    assert result.ok
-    return detector
+    # repro.run() performs the whole pipeline: the instrumentation phase
+    # when the tool wants spin detection, detector + machine wiring
+    # (symbolization included), execution, and finalization.
+    session = repro.run(build_program(), config, seed=seed)
+    assert session.ok
+    return session.detector
 
 
 def main():

@@ -19,16 +19,8 @@ reports a (false) race on the data it protects.
 Run:  python examples/unknown_library.py
 """
 
-from repro import (
-    Machine,
-    ProgramBuilder,
-    RaceDetector,
-    RandomScheduler,
-    ToolConfig,
-    build_library,
-    instrument_program,
-    validate_program,
-)
+import repro
+from repro import ProgramBuilder, ToolConfig, build_library, validate_program
 from repro.isa.instructions import Const, Mov
 from repro.runtime import MUTEX_SIZE, TASLOCK_SIZE
 
@@ -68,20 +60,10 @@ def counter_program(acquire, release, lock_size):
 
 
 def analyze(program, config, seed=1):
-    instrumentation = None
-    if config.spin:
-        instrumentation = instrument_program(program, config.spin_max_blocks)
-    detector = RaceDetector(config)
-    machine = Machine(
-        program,
-        scheduler=RandomScheduler(seed),
-        listener=detector,
-        instrumentation=instrumentation,
-    )
-    detector.algorithm.symbolize = machine.memory.symbols.resolve
-    result = machine.run()
-    assert result.ok
-    return detector, result
+    # One call wires instrumentation, detector, machine and symbols.
+    session = repro.run(program, config, seed=seed)
+    assert session.ok
+    return session.detector, session.result
 
 
 def main():
@@ -120,21 +102,12 @@ def main():
 
     print()
     print("== the future work, implemented: universal hybrid (lock inference) ==")
-    from repro.analysis import lock_site_locations
-    from repro.vm import Machine as _M  # local import keeps the demo compact
-
     config = ToolConfig.universal_hybrid(7)
     program = counter_program("taslock_acquire", "taslock_release", TASLOCK_SIZE)
-    instrumentation = instrument_program(program, config.spin_max_blocks)
-    detector = RaceDetector(config, lock_sites=lock_site_locations(program))
-    machine = Machine(
-        program,
-        scheduler=RandomScheduler(1),
-        listener=detector,
-        instrumentation=instrumentation,
-    )
-    detector.algorithm.symbolize = machine.memory.symbols.resolve
-    result = machine.run()
+    # infer_locks configs get their statically identified lock-acquire
+    # sites wired by repro.run() as well.
+    session = repro.run(program, config)
+    detector, result = session.detector, session.result
     print(
         f"  {config.name:34s} counter={result.outputs[0][1]:3d} "
         f"contexts={detector.report.racy_contexts}  "

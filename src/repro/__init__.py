@@ -19,24 +19,24 @@ The package layers, bottom-up:
 
 Quickstart::
 
-    from repro import (
-        ProgramBuilder, Machine, RandomScheduler,
-        RaceDetector, ToolConfig, instrument_program, build_library,
-    )
+    import repro
 
-    pb = ProgramBuilder("demo")
+    pb = repro.ProgramBuilder("demo")
     ...                                  # build an IR program
-    pb.link(build_library())
-    program = pb.build()
+    pb.link(repro.build_library())
 
-    config = ToolConfig.helgrind_lib_spin(7)
-    imap = instrument_program(program, config.spin_max_blocks)
-    detector = RaceDetector(config)
-    machine = Machine(program, RandomScheduler(1), listener=detector,
-                      instrumentation=imap)
-    detector.algorithm.symbolize = machine.memory.symbols.resolve
-    machine.run()
-    print(detector.report.summary())
+    session = repro.run(pb, "helgrind-lib-spin7", seed=1)
+    print(session.report.summary())
+
+:func:`repro.run` performs the whole pipeline — instrumentation phase
+(when the tool wants spin detection or lock inference), detector and
+machine construction, symbol wiring, execution, finalization — and the
+returned :class:`~repro.session.SessionResult` keeps the live detector
+and machine for drill-down.  Tool configurations resolve by preset name
+(``repro.ToolConfig.presets()`` lists them) or can be passed as
+:class:`~repro.detectors.ToolConfig` instances.  The long-form
+constructors shown throughout :mod:`repro.vm` and :mod:`repro.detectors`
+remain available; ``run()`` is sugar, not a new execution path.
 """
 
 from repro.isa import (
@@ -57,6 +57,7 @@ from repro.runtime import build_library
 from repro.analysis import SpinLoopDetector, instrument_program
 from repro.detectors import RaceDetector, Report, ToolConfig
 from repro.harness import Workload, run_workload
+from repro.session import SessionResult, run
 from repro.trace import Trace, record_trace, replay_trace
 
 __version__ = "1.0.0"
@@ -80,6 +81,8 @@ __all__ = [
     "ToolConfig",
     "Workload",
     "run_workload",
+    "run",
+    "SessionResult",
     "Trace",
     "record_trace",
     "replay_trace",

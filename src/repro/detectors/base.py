@@ -26,6 +26,31 @@ interleaving ordered — at the cost of false positives on lock-free
 handoff patterns.  This is exactly the sensitivity trade-off visible in
 the paper's test-suite table (Helgrind+ misses 8 races where DRD misses
 20, while reporting more false alarms without spin detection).
+
+Epoch fast path (``fast_path=True``, the default)
+-------------------------------------------------
+
+FastTrack-style optimization of the two hot operations; reports are
+bit-identical to the full vector-clock path (``fast_path=False``, kept
+as the differential-testing reference):
+
+* **Writes are epochs.**  A :class:`WriteRecord` stores just
+  ``(tid, clock)`` plus a reference to the writer's join-stable *frame*
+  (see :meth:`~repro.detectors.vectorclock.ThreadClock.frame`); the full
+  write-time vector clock — needed only when the ad-hoc engine matches a
+  counterpart write — is materialized lazily.  Repeated stores by the
+  owning thread (the *exclusive* state) mutate the record in place:
+  O(1), no snapshot copy, no allocation.
+* **Reads in the same epoch are free.**  Each shadow cell caches the
+  shape of the last *silent* read check ``(tid, clock-version, write
+  record, location, lockset, atomicity)``.  A read that matches the
+  cache — same reader epoch, same last write, same access shape — would
+  provably repeat the previous (silent) outcome and is skipped entirely;
+  this is the read-same-epoch case that dominates spinning loops.  The
+  cache is dropped on any write to the cell (the *shared*/invalidated
+  transition), on any clock change of the reader, and is never populated
+  when the check reported (so ``long_run`` offense counting is
+  preserved).
 """
 
 from __future__ import annotations
@@ -42,19 +67,66 @@ Suppressor = Callable[[int], bool]
 _EMPTY: FrozenSet[int] = frozenset()
 
 
-@dataclass
 class WriteRecord:
-    """Last write to an address."""
+    """Last write to an address, stored as an epoch.
 
-    __slots__ = ("tid", "clock", "value", "loc", "atomic", "vc", "lockset")
+    The write-time vector clock is available as :attr:`vc` either
+    eagerly (legacy path: pass ``vc=``) or lazily from a join-stable
+    frame (fast path: pass ``frame=``) — the materialized dict is
+    identical either way: the frame's other-thread components are
+    current by construction and its own component is overridden with the
+    epoch ``clock``.
+    """
 
-    tid: int
-    clock: int
-    value: int
-    loc: CodeLocation
-    atomic: bool
-    vc: VC  # snapshot of the writer's clock at the write
-    lockset: FrozenSet[int]
+    __slots__ = ("tid", "clock", "value", "loc", "atomic", "lockset", "_frame", "_vc")
+
+    def __init__(
+        self,
+        tid: int,
+        clock: int,
+        value: int,
+        loc: CodeLocation,
+        atomic: bool,
+        lockset: FrozenSet[int],
+        frame: Optional[VC] = None,
+        vc: Optional[VC] = None,
+    ) -> None:
+        self.tid = tid
+        self.clock = clock
+        self.value = value
+        self.loc = loc
+        self.atomic = atomic
+        self.lockset = lockset
+        self._frame = frame
+        self._vc = vc
+
+    @property
+    def vc(self) -> VC:
+        """The writer's vector clock at the write (lazily materialized)."""
+        vc = self._vc
+        if vc is None:
+            vc = dict(self._frame or {})
+            vc[self.tid] = self.clock
+            self._vc = vc
+        return vc
+
+    def update(
+        self,
+        clock: int,
+        value: int,
+        loc: CodeLocation,
+        atomic: bool,
+        lockset: FrozenSet[int],
+        frame: VC,
+    ) -> None:
+        """In-place epoch advance for repeated same-thread stores."""
+        self.clock = clock
+        self.value = value
+        self.loc = loc
+        self.atomic = atomic
+        self.lockset = lockset
+        self._frame = frame
+        self._vc = None
 
 
 @dataclass
@@ -72,13 +144,16 @@ class ReadRecord:
 class _ShadowCell:
     """Per-address detector state."""
 
-    __slots__ = ("write", "reads", "offenses", "reported")
+    __slots__ = ("write", "reads", "offenses", "reported", "rcache")
 
     def __init__(self) -> None:
         self.write: Optional[WriteRecord] = None
         self.reads: Dict[int, ReadRecord] = {}
         self.offenses = 0
         self.reported: Set[Tuple[str, str, str]] = set()
+        #: epoch fast path: shape of the last *silent* read check —
+        #: ``(tid, clock version, write record, loc, lockset, atomic)``
+        self.rcache: Optional[tuple] = None
 
 
 class _BarrierEpisode:
@@ -104,12 +179,14 @@ class VectorClockAlgorithm:
         symbolize: Optional[Callable[[int], str]] = None,
         coarse_cv: bool = False,
         long_run: bool = False,
+        fast_path: bool = True,
     ) -> None:
         self.report = report
         self.suppressor = suppressor
         self.symbolize = symbolize or hex
         self.coarse_cv = coarse_cv
         self.long_run = long_run
+        self.fast_path = fast_path
         self.threads: Dict[int, ThreadClock] = {}
         self.shadow: Dict[int, _ShadowCell] = {}
         self._lock_vc: Dict[int, VC] = {}
@@ -294,7 +371,24 @@ class VectorClockAlgorithm:
         t = self.thread(tid)
         cell = self._cell(addr)
         cur_ls = self._locks(tid)
+        if self.fast_path:
+            rc = cell.rcache
+            if (
+                rc is not None
+                and rc[0] == tid
+                and rc[1] == t.version
+                and rc[2] is cell.write
+                and rc[4] is cur_ls
+                and rc[5] == atomic
+                and rc[3] == loc
+            ):
+                # Read-same-epoch: identical reader clock, last write,
+                # lockset and access shape as the previous (silent)
+                # check — the outcome and the stored read record would
+                # both repeat verbatim.
+                return
         w = cell.write
+        silent = True
         if (
             w is not None
             and w.tid != tid
@@ -302,6 +396,7 @@ class VectorClockAlgorithm:
             and not t.saw(w.tid, w.clock)
             and not self._excused(w.lockset, cur_ls)
         ):
+            silent = False
             self._report(
                 addr,
                 cell,
@@ -310,6 +405,8 @@ class VectorClockAlgorithm:
                 "write-read",
             )
         cell.reads[tid] = ReadRecord(t.clock, loc, atomic, cur_ls)
+        if self.fast_path:
+            cell.rcache = (tid, t.version, w, loc, cur_ls, atomic) if silent else None
 
     def write(
         self, tid: int, addr: int, value: int, loc: CodeLocation, atomic: bool
@@ -349,7 +446,21 @@ class VectorClockAlgorithm:
                         AccessInfo(tid, loc, True, atomic),
                         "read-write",
                     )
-        cell.write = WriteRecord(tid, t.clock, value, loc, atomic, t.snapshot(), cur_ls)
+        if self.fast_path:
+            w = cell.write
+            if w is not None and w.tid == tid:
+                # Exclusive epoch: the owning thread stores again — advance
+                # the record in place, no allocation, no clock copy.
+                w.update(t.clock, value, loc, atomic, cur_ls, t.frame())
+            else:
+                cell.write = WriteRecord(
+                    tid, t.clock, value, loc, atomic, cur_ls, frame=t.frame()
+                )
+            cell.rcache = None
+        else:
+            cell.write = WriteRecord(
+                tid, t.clock, value, loc, atomic, cur_ls, vc=t.snapshot()
+            )
         if cell.reads:
             cell.reads.clear()
         # Advance the writer's epoch after every write so that an ad-hoc

@@ -21,8 +21,9 @@
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, replace
-from typing import Callable, Optional
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from repro.isa.program import SyncKind
 from repro.vm import events as ev
@@ -70,6 +71,13 @@ class ToolConfig:
     #: sites and feed them to lockset analysis instead of hb edges
     #: (meaningful in nolib mode; see repro.analysis.lockinfer)
     infer_locks: bool = False
+    #: FastTrack-style epoch fast path in the algorithms (reports are
+    #: bit-identical either way; off = full-VC reference path)
+    epoch_fast_path: bool = True
+    #: let the VM deliver events in flat per-kind batches instead of one
+    #: listener call per event (ordering kept via in-batch sequence
+    #: numbers; reports are bit-identical either way)
+    batched: bool = True
 
     # -- the paper's presets ------------------------------------------------
 
@@ -153,6 +161,55 @@ class ToolConfig:
     def with_name(self, name: str) -> "ToolConfig":
         return replace(self, name=name)
 
+    # -- named preset registry ---------------------------------------------
+
+    @classmethod
+    def preset(cls, name: str, **overrides) -> "ToolConfig":
+        """Resolve a preset by name: ``ToolConfig.preset("helgrind-nolib-spin7")``.
+
+        Names are case-insensitive; ``_``/space are accepted for ``-``.
+        A trailing integer is parsed as the spin(k) bound and forwarded
+        as the factory's ``k`` argument ("drd" takes none, so "drd7" is
+        rejected by the factory).  Extra keyword arguments are forwarded
+        to the preset factory (e.g. ``long_run=True``).
+        """
+        key = name.strip().lower().replace("_", "-").replace(" ", "-")
+        factory = _PRESETS.get(key)
+        if factory is None:
+            m = re.fullmatch(r"(.*?)-?(\d+)", key)
+            if m and m.group(1) in _PRESETS:
+                factory = _PRESETS[m.group(1)]
+                overrides.setdefault("k", int(m.group(2)))
+        if factory is None:
+            known = ", ".join(cls.presets())
+            raise KeyError(f"unknown tool preset {name!r}; known presets: {known}")
+        return factory(**overrides)
+
+    @classmethod
+    def presets(cls) -> Tuple[str, ...]:
+        """The registered preset names, sorted."""
+        return tuple(sorted(_PRESETS))
+
+
+#: name -> factory; names resolve via :meth:`ToolConfig.preset`, which
+#: also accepts a trailing spin(k) digit suffix (``helgrind-nolib-spin7``).
+_PRESETS: Dict[str, Callable[..., ToolConfig]] = {
+    "helgrind-lib": ToolConfig.helgrind_lib,
+    "helgrind-lib-spin": ToolConfig.helgrind_lib_spin,
+    "helgrind-nolib-spin": ToolConfig.helgrind_nolib_spin,
+    "drd": ToolConfig.drd,
+    "eraser": ToolConfig.eraser,
+    "lockset": ToolConfig.eraser,
+    "universal": ToolConfig.universal_hybrid,
+    "universal-hybrid": ToolConfig.universal_hybrid,
+}
+
+
+def register_preset(name: str, factory: Callable[..., ToolConfig]) -> None:
+    """Register an extra named preset (for downstream experiment scripts)."""
+    key = name.strip().lower().replace("_", "-").replace(" ", "-")
+    _PRESETS[key] = factory
+
 
 class RaceDetector:
     """Event listener implementing one tool configuration."""
@@ -186,7 +243,9 @@ class RaceDetector:
             symbolize=symbolize,
             coarse_cv=config.coarse_cv,
             long_run=config.long_run,
+            fast_path=config.epoch_fast_path,
         )
+        self._symbolize_explicit = symbolize is not None
         if config.spin:
             self.adhoc = AdhocSyncEngine(self.algorithm)
         # Helgrind+'s condvar bug-pattern detectors (lib mode: needs the
@@ -199,6 +258,30 @@ class RaceDetector:
 
     def _is_sync_addr(self, addr: int) -> bool:
         return self.adhoc is not None and self.adhoc.is_sync_addr(addr)
+
+    # -- VM attachment -----------------------------------------------------
+
+    #: advertises batch delivery to the VM (see :meth:`consume_batch`)
+    @property
+    def batch_capable(self) -> bool:
+        return self.config.batched
+
+    @property
+    def skip_in_library_traffic(self) -> bool:
+        """In lib mode, library-internal memory/marker traffic is dropped
+        unconditionally — the VM may skip buffering it altogether."""
+        return self.config.intercept_lib
+
+    def on_attach(self, machine) -> None:
+        """Called by :class:`~repro.vm.machine.Machine` at construction.
+
+        Wires address symbolization to the machine's symbol table unless
+        a symbolizer was passed explicitly — this replaces the manual
+        ``detector.algorithm.symbolize = machine.memory.symbols.resolve``
+        step of the pre-session API.
+        """
+        if not self._symbolize_explicit:
+            self.algorithm.symbolize = machine.memory.symbols.resolve
 
     # -- the listener ----------------------------------------------------
 
@@ -241,18 +324,81 @@ class RaceDetector:
             self.algorithm.join(e.tid, e.joined)
         # ThreadStart/Exit/Print are not detector-relevant.
 
+    # -- batched delivery --------------------------------------------------
+
+    def consume_batch(
+        self,
+        reads: Sequence[tuple],
+        writes: Sequence[tuple],
+        ctrl: Sequence[tuple] = (),
+    ) -> None:
+        """Consume one VM event batch.
+
+        ``reads``/``writes`` are flat tuples
+        ``(seq, tid, addr, value, loc, atomic, in_library)``; ``ctrl`` is
+        ``(seq, event)`` with full :class:`~repro.vm.events.Event`
+        objects for the rare control/sync events.  ``seq`` is the VM's
+        global event counter, so a three-way merge on it replays the
+        exact per-event order of the unbatched listener — the ad-hoc
+        counterpart-write matcher and the condvar monitor observe the
+        same interleaving and reports stay bit-identical.
+        """
+        nr, nw, nc = len(reads), len(writes), len(ctrl)
+        self.events_processed += nr + nw
+        cfg = self.config
+        skip_lib = cfg.intercept_lib
+        algo = self.algorithm
+        aread, awrite = algo.read, algo.write
+        sync_read = (
+            self.adhoc.sync_read
+            if self.adhoc is not None and cfg.adhoc_variable_level
+            else None
+        )
+        lock_sites = self.lock_sites
+        i = j = k = 0
+        inf = float("inf")
+        while i < nr or j < nw or k < nc:
+            rs = reads[i][0] if i < nr else inf
+            ws = writes[j][0] if j < nw else inf
+            cs = ctrl[k][0] if k < nc else inf
+            if rs < ws and rs < cs:
+                r = reads[i]
+                i += 1
+                if skip_lib and r[6]:
+                    continue
+                if sync_read is not None:
+                    sync_read(r[1], r[2], r[3])
+                aread(r[1], r[2], r[4], r[5])
+            elif ws < cs:
+                w = writes[j]
+                j += 1
+                if skip_lib and w[6]:
+                    continue
+                if lock_sites:
+                    self._inferred_lock_write_fields(w[1], w[2], w[3], w[4], w[5])
+                awrite(w[1], w[2], w[3], w[4], w[5])
+            else:
+                e = ctrl[k][1]
+                k += 1
+                self(e)
+
     # -- inferred-lock handling (future work, slide 33) ------------------
 
     def _inferred_lock_write(self, e: ev.MemWrite) -> None:
+        self._inferred_lock_write_fields(e.tid, e.addr, e.value, e.loc, e.atomic)
+
+    def _inferred_lock_write_fields(
+        self, tid: int, addr: int, value: int, loc, atomic: bool
+    ) -> None:
         """Successful CAS at an inferred acquire site = lock acquire;
         the holder's store of 0 to the lock word = release."""
-        if e.atomic and e.loc in self.lock_sites:
-            self.algorithm.acquire_lock(e.tid, e.addr)
+        if atomic and loc in self.lock_sites:
+            self.algorithm.acquire_lock(tid, addr)
             if self.adhoc is not None:
-                self.adhoc.inferred_locks.add(e.addr)
-                self.adhoc.sync_addrs.add(e.addr)
-        elif e.value == 0 and self.algorithm.holds(e.tid, e.addr):
-            self.algorithm.release_lock(e.tid, e.addr)
+                self.adhoc.inferred_locks.add(addr)
+                self.adhoc.sync_addrs.add(addr)
+        elif value == 0 and self.algorithm.holds(tid, addr):
+            self.algorithm.release_lock(tid, addr)
 
     # -- annotation semantics ---------------------------------------------
 

@@ -152,9 +152,18 @@ class EraserAlgorithm(VectorClockAlgorithm):
         t = self.thread(tid)
         from repro.detectors.base import WriteRecord
 
-        super_cell.write = WriteRecord(
-            tid, t.clock, value, loc, atomic, t.snapshot(), self._locks(tid)
-        )
+        if self.fast_path:
+            w = super_cell.write
+            if w is not None and w.tid == tid:
+                w.update(t.clock, value, loc, atomic, self._locks(tid), t.frame())
+            else:
+                super_cell.write = WriteRecord(
+                    tid, t.clock, value, loc, atomic, self._locks(tid), frame=t.frame()
+                )
+        else:
+            super_cell.write = WriteRecord(
+                tid, t.clock, value, loc, atomic, self._locks(tid), vc=t.snapshot()
+            )
         t.tick()
 
     def memory_words(self) -> int:

@@ -116,5 +116,28 @@ class Report:
             lines.append(f"  ... and {len(self.warnings) - 20} more")
         return "\n".join(lines)
 
+    def fingerprint(self) -> str:
+        """Canonical serialization of everything the report contains.
+
+        Two runs produced identical reports iff their fingerprints are
+        byte-equal: every warning field in emission order, the context
+        set (sorted), the raw submission count, the partial flag, and
+        the finalize notes.  The differential tests pin the epoch fast
+        path and the batched pipeline against the reference paths with
+        this.
+        """
+        contexts = sorted((name, tuple(sorted(locs))) for name, locs in self.contexts)
+        return repr(
+            (
+                self.tool,
+                self.granularity,
+                [repr(w) for w in self.warnings],
+                contexts,
+                self.raw_count,
+                self.partial,
+                list(self.notes),
+            )
+        )
+
     def memory_words(self) -> int:
         return 8 * len(self.warnings) + 4 * len(self.contexts)

@@ -1,11 +1,25 @@
 """Vector clocks (Lamport/Mattern) for happens-before reasoning.
 
 Clocks are plain ``dict[tid, int]`` for speed.  :class:`ThreadClock`
-wraps a thread's clock with *snapshot caching*: shadow-memory write
-records store a reference to the thread's clock at write time, and
-because a thread's clock only changes at synchronization operations (not
-on every access), the snapshot can be shared by every write between two
-sync ops — O(1) per write instead of O(threads).
+wraps a thread's clock with two flavours of cached snapshot, both
+central to the FastTrack-style epoch fast path in
+:mod:`repro.detectors.base`:
+
+* :meth:`snapshot` — a full immutable-by-convention copy, shared between
+  sync operations; invalidated by *any* clock change (tick or join).
+  Sync-object clocks (lock release, signal, barrier) use this.
+* :meth:`frame` — a copy whose *other-thread components* are guaranteed
+  current but whose own component may be stale.  Only a join can change
+  other components, so ticking (which writers do after every store) does
+  **not** invalidate the frame.  A write record can therefore be a pure
+  epoch ``(tid, clock)`` plus a shared frame reference, and the full
+  vector clock of the write — needed only when the ad-hoc engine matches
+  a counterpart write — is materialized lazily as ``frame | {tid: clock}``,
+  making the common-case write O(1) instead of O(threads).
+
+``version`` increments on every clock change (tick or effective join);
+shadow-memory caches use it to decide whether a previously computed
+race-check outcome is still valid.
 """
 
 from __future__ import annotations
@@ -33,12 +47,15 @@ def vc_leq(a: Mapping[int, int], b: Mapping[int, int]) -> bool:
 class ThreadClock:
     """A thread's vector clock with cheap immutable snapshots."""
 
-    __slots__ = ("tid", "vc", "_snapshot")
+    __slots__ = ("tid", "vc", "version", "_snapshot", "_frame")
 
     def __init__(self, tid: int) -> None:
         self.tid = tid
         self.vc: VC = {tid: 1}
+        #: bumped on every clock change; epoch caches key on it
+        self.version = 0
         self._snapshot: VC | None = None
+        self._frame: VC | None = None
 
     @property
     def clock(self) -> int:
@@ -46,8 +63,14 @@ class ThreadClock:
         return self.vc[self.tid]
 
     def tick(self) -> None:
-        """Advance this thread's own component (at release-like ops)."""
+        """Advance this thread's own component (at release-like ops).
+
+        Invalidates the full snapshot but *not* the frame: a tick never
+        changes other threads' components, and the frame's own component
+        is overridden at materialization time anyway.
+        """
         self.vc[self.tid] += 1
+        self.version += 1
         self._snapshot = None
 
     def join(self, other: Mapping[int, int]) -> None:
@@ -59,13 +82,27 @@ class ThreadClock:
                 vc[tid] = clock
                 changed = True
         if changed:
+            self.version += 1
             self._snapshot = None
+            self._frame = None
 
     def snapshot(self) -> VC:
         """Immutable-by-convention snapshot, shared between sync points."""
         if self._snapshot is None:
             self._snapshot = dict(self.vc)
         return self._snapshot
+
+    def frame(self) -> VC:
+        """Join-stable snapshot for epoch write records.
+
+        Other-thread components are current; the own component may lag
+        behind :attr:`clock` (ticks do not refresh it) and must be
+        overridden with the epoch clock when the frame is materialized
+        into a full write-time vector clock.
+        """
+        if self._frame is None:
+            self._frame = dict(self.vc)
+        return self._frame
 
     def saw(self, tid: int, clock: int) -> bool:
         """Whether the event ``(tid, clock)`` happens-before this thread."""

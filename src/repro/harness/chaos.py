@@ -24,10 +24,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.detectors import ToolConfig
 from repro.harness.parallel import ResultCache, RunRecord, RunSpec, run_sweep
+from repro.harness.registry import resolve_tool
 from repro.harness.runner import RunOutcome
 from repro.workloads.dr_test.faults import ChaosCase, chaos_cases
 
@@ -144,15 +145,19 @@ def verify_case(
 
 def run_chaos(
     cases: Optional[Sequence[ChaosCase]] = None,
-    config: Optional[ToolConfig] = None,
+    config: Optional[Union[str, ToolConfig]] = None,
     workers: int = 0,
     cache: Optional[ResultCache] = None,
     timeout_s: Optional[float] = None,
     policies: Optional[Dict[str, RetryPolicy]] = None,
 ) -> ChaosReport:
-    """Run the chaos suite grouped by fault class; verify every case."""
+    """Run the chaos suite grouped by fault class; verify every case.
+
+    ``config`` may be a :class:`ToolConfig` or a preset name resolved
+    through :func:`repro.harness.registry.resolve_tool`.
+    """
     cases = list(cases if cases is not None else chaos_cases())
-    config = config or ToolConfig.helgrind_lib_spin(7)
+    config = resolve_tool(config) if config else ToolConfig.helgrind_lib_spin(7)
     policies = dict(DEFAULT_POLICIES, **(policies or {}))
     start = time.perf_counter()
     report = ChaosReport()

@@ -9,10 +9,12 @@ Subcommands::
     repro-experiments t5 [--seeds N]  # universal-detector summary
     repro-experiments f1            # memory-overhead figure
     repro-experiments f2            # runtime-overhead figure
+    repro-experiments f3            # pipeline throughput (fast vs legacy)
     repro-experiments cases         # list the 120 suite cases
     repro-experiments oracle        # detector-free ground-truth sweep
     repro-experiments sweep         # parallel sweep + observability report
     repro-experiments chaos         # fault-injection suite vs. its oracle
+    repro-experiments tools         # list the named tool presets
     repro-experiments all           # every table and figure, in order
 
 Global options wire every table through the parallel engine::
@@ -22,21 +24,29 @@ Global options wire every table through the parallel engine::
                       the same sweep re-execute zero runs
     --timeout S       per-run wall-clock budget (parallel runs only)
     --retries N       attempts after a timeout/crash before giving up
+    --tools A,B       tool presets to sweep (see ``tools``); tables
+                      default to the paper's four columns
 
-The perf figures (f1/f2) always run serially: their wall-clock numbers
-would be polluted by co-scheduled sibling runs.
+Tool names resolve through the shared preset registry
+(:meth:`repro.detectors.ToolConfig.preset`): ``helgrind-lib``,
+``helgrind-nolib-spin7``, ``drd``, ``eraser``, ...  A trailing integer
+sets the spin(k) window.
+
+The perf figures (f1/f2/f3) always run serially: their wall-clock
+numbers would be polluted by co-scheduled sibling runs.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.detectors import ToolConfig
 from repro.harness.metrics import racy_contexts_table, score_suite
 from repro.harness.parallel import ResultCache, run_sweep, sweep_specs
 from repro.harness.perf import measure_overhead, overhead_summary
+from repro.harness.registry import resolve_tool
 from repro.harness.tables import (
     contexts_table,
     format_table,
@@ -46,8 +56,11 @@ from repro.harness.tables import (
 )
 
 
-def _tools(k: int) -> Sequence[ToolConfig]:
-    return ToolConfig.paper_tools(k)
+def _tools(args: argparse.Namespace) -> Sequence[ToolConfig]:
+    """The tool columns: ``--tools`` preset names, or the paper's four."""
+    if getattr(args, "tools", None):
+        return [resolve_tool(name.strip()) for name in args.tools.split(",") if name.strip()]
+    return ToolConfig.paper_tools(args.k)
 
 
 def _cache(args: argparse.Namespace) -> Optional[ResultCache]:
@@ -60,7 +73,7 @@ def cmd_t1(args: argparse.Namespace) -> None:
     suite = build_suite()
     cache = _cache(args)
     rows = []
-    for cfg in _tools(args.k):
+    for cfg in _tools(args):
         score, _ = score_suite(suite, cfg, workers=args.workers, cache=cache)
         rows.append(score.row())
     print(suite_table(rows, f"T1 — data-race-test suite ({len(suite)} cases)"))
@@ -74,7 +87,7 @@ def cmd_t2(args: argparse.Namespace) -> None:
     rows = []
     for k in (3, 6, 7, 8):
         score, _ = score_suite(
-            suite, ToolConfig.helgrind_lib_spin(k), workers=args.workers, cache=cache
+            suite, resolve_tool(f"helgrind-lib-spin{k}"), workers=args.workers, cache=cache
         )
         rows.append(score.row())
     print(suite_table(rows, "T2 — spinning-read window sensitivity"))
@@ -106,10 +119,11 @@ def _parsec_contexts(args: argparse.Namespace, names: Sequence[str], title: str)
 
     workloads = [parsec_workload(n) for n in names]
     seeds = list(range(1, args.seeds + 1))
+    tools = _tools(args)
     data = racy_contexts_table(
-        workloads, _tools(args.k), seeds, workers=args.workers, cache=_cache(args)
+        workloads, tools, seeds, workers=args.workers, cache=_cache(args)
     )
-    print(contexts_table(data, [c.name for c in _tools(args.k)], title))
+    print(contexts_table(data, [c.name for c in tools], title))
 
 
 def cmd_t4(args: argparse.Namespace) -> None:
@@ -223,6 +237,70 @@ def cmd_f2(args: argparse.Namespace) -> None:
     print(f"mean runtime overhead: {overhead_summary(rows)['runtime']:.3f}x")
 
 
+def cmd_f3(args: argparse.Namespace) -> int:
+    """Pipeline throughput: epoch fast path + batching vs the reference."""
+    from repro.harness.perf import (
+        measure_pipeline,
+        pipeline_summary,
+        write_pipeline_bench,
+    )
+    from repro.workloads import build_suite, parsec_workloads
+
+    suite = build_suite()
+    parsec = parsec_workloads()
+    if args.limit:
+        suite = suite[: args.limit]
+        parsec = parsec[: args.limit]
+    tools = (
+        [resolve_tool(n.strip()) for n in args.tools.split(",") if n.strip()]
+        if args.tools
+        else [resolve_tool("helgrind-lib"), resolve_tool(f"helgrind-lib-spin{args.k}")]
+    )
+    suite_rows = measure_pipeline(suite, tools, repeats=args.repeats)
+    parsec_rows = measure_pipeline(parsec, tools, repeats=args.repeats)
+    for name, rows in (("t1 suite", suite_rows), ("PARSEC", parsec_rows)):
+        s = pipeline_summary(rows)
+        print(
+            f"F3 {name}: {s['events']} events — fast "
+            f"{s['fast_events_per_s']:.0f} ev/s vs legacy "
+            f"{s['legacy_events_per_s']:.0f} ev/s "
+            f"(pipeline {s['speedup']:.2f}x, wall {s['wall_speedup']:.2f}x), "
+            f"{s['mismatches']} report mismatch(es)"
+        )
+    mismatches = sum(
+        1 for r in [*suite_rows, *parsec_rows] if not r.reports_match
+    )
+    if args.out:
+        write_pipeline_bench(
+            args.out, {"t1_suite": suite_rows, "parsec": parsec_rows}
+        )
+        print(f"wrote {args.out}")
+    return 1 if mismatches else 0
+
+
+def cmd_tools(args: argparse.Namespace) -> None:
+    """List the named tool presets the registry resolves."""
+    rows = []
+    for name in ToolConfig.presets():
+        cfg = ToolConfig.preset(name)
+        rows.append(
+            [
+                name,
+                cfg.name,
+                cfg.algorithm,
+                "lib" if cfg.intercept_lib else "nolib",
+                f"spin({cfg.spin_max_blocks})" if cfg.spin else "-",
+            ]
+        )
+    print(
+        format_table(
+            ["Preset", "Tool", "Algorithm", "Interception", "Spin"],
+            rows,
+            title="Named tool presets (ToolConfig.preset)",
+        )
+    )
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     """Fan a (workload, tool, seed) sweep out and print the run log."""
     from repro.workloads import parsec_workloads
@@ -230,7 +308,12 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     workloads = [wl.name for wl in parsec_workloads()]
     if args.limit:
         workloads = workloads[: args.limit]
-    configs = [ToolConfig.helgrind_lib(), ToolConfig.helgrind_lib_spin(args.k)]
+    # RunSpec resolves preset names itself; ship strings, not configs.
+    configs: Sequence = (
+        [n.strip() for n in args.tools.split(",") if n.strip()]
+        if args.tools
+        else ["helgrind-lib", f"helgrind-lib-spin{args.k}"]
+    )
     seeds = list(range(1, args.seeds + 1))
     specs = sweep_specs(workloads, configs, seeds)
     result = run_sweep(
@@ -258,7 +341,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     from repro.harness.chaos import chaos_table, run_chaos
 
     report = run_chaos(
-        config=ToolConfig.helgrind_lib_spin(args.k),
+        config=args.tool or f"helgrind-lib-spin{args.k}",
         workers=args.workers,
         cache=_cache(args),
         timeout_s=args.timeout,
@@ -307,10 +390,25 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--limit", type=int, default=0, help="sweep: cap the workload count"
     )
     parser.add_argument(
+        "--tools",
+        default=None,
+        help="comma-separated tool presets (see `tools`); default per table",
+    )
+    parser.add_argument(
+        "--tool",
+        default=None,
+        help="single tool preset for chaos (default helgrind-lib-spin<k>)",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_pipeline.json",
+        help="f3: benchmark JSON output path ('' to skip writing)",
+    )
+    parser.add_argument(
         "experiment",
         choices=[
-            "t1", "t2", "t3", "t4", "t5", "f1", "f2", "cases", "oracle", "sweep",
-            "chaos", "all",
+            "t1", "t2", "t3", "t4", "t5", "f1", "f2", "f3", "cases", "oracle",
+            "sweep", "chaos", "tools", "all",
         ],
         help="which experiment to run",
     )
@@ -323,13 +421,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         "t5": cmd_t5,
         "f1": cmd_f1,
         "f2": cmd_f2,
+        "f3": cmd_f3,
         "cases": cmd_cases,
         "oracle": cmd_oracle,
         "sweep": cmd_sweep,
         "chaos": cmd_chaos,
+        "tools": cmd_tools,
     }
     if args.experiment == "all":
-        for name in ("t1", "t2", "t3", "t4", "t5", "f1", "f2"):
+        for name in ("t1", "t2", "t3", "t4", "t5", "f1", "f2", "f3"):
             commands[name](args)
             print()
     else:

@@ -47,7 +47,9 @@ from repro.vm.faults import FaultPlan
 #: bump when RunOutcome's schema or run semantics change incompatibly —
 #: stale cache entries from an older layout must not be deserialized.
 #: 2: fault plans + livelock watchdog (RunOutcome/RunResult diagnostics).
-CACHE_SCHEMA = 2
+#: 3: epoch fast path + batched event pipeline (ToolConfig gained
+#:    epoch_fast_path/batched; event accounting changed in lib mode).
+CACHE_SCHEMA = 3
 
 
 class SweepError(RuntimeError):
@@ -63,11 +65,13 @@ class RunSpec:
     """One (workload, tool configuration, seed) triple of a sweep.
 
     ``workload`` may be a registry name (preferred — names ship cheaply
-    between processes) or a :class:`Workload` object.
+    between processes) or a :class:`Workload` object; ``config`` may
+    likewise be a :meth:`~repro.detectors.ToolConfig.preset` name
+    (``"helgrind-nolib-spin7"``) or a :class:`ToolConfig`.
     """
 
     workload: Union[str, Workload]
-    config: ToolConfig
+    config: Union[str, ToolConfig]
     seed: Optional[int] = None
     max_steps: Optional[int] = None
     #: deterministic fault plan to inject (chaos sweeps)
@@ -79,6 +83,11 @@ class RunSpec:
         if isinstance(self.workload, str):
             return resolve_workload(self.workload)
         return self.workload
+
+    def tool(self) -> ToolConfig:
+        if isinstance(self.config, str):
+            return ToolConfig.preset(self.config)
+        return self.config
 
     @property
     def workload_name(self) -> str:
@@ -93,7 +102,7 @@ class RunSpec:
 
 def sweep_specs(
     workloads: Iterable[Union[str, Workload]],
-    configs: Iterable[ToolConfig],
+    configs: Iterable[Union[str, ToolConfig]],
     seeds: Iterable[Optional[int]] = (None,),
 ) -> List[RunSpec]:
     """The full cross product, workload-major, in deterministic order."""
@@ -132,7 +141,7 @@ class ResultCache:
         import hashlib
 
         wl = spec.resolve()
-        config_fields = sorted(dataclasses.asdict(spec.config).items())
+        config_fields = sorted(dataclasses.asdict(spec.tool()).items())
         payload = "\n".join(
             [
                 f"schema={CACHE_SCHEMA}",
@@ -304,7 +313,7 @@ def _record_from_outcome(
             error = ""
     return RunRecord(
         workload=spec.workload_name,
-        tool=spec.config.name,
+        tool=outcome.config.name,
         seed=outcome.seed,
         status=status,
         attempts=attempts,
@@ -324,7 +333,7 @@ def _record_from_outcome(
 def _failure_record(spec: RunSpec, status: str, attempts: int, error: str) -> RunRecord:
     return RunRecord(
         workload=spec.workload_name,
-        tool=spec.config.name,
+        tool=spec.tool().name,
         seed=spec.effective_seed(),
         status=status,
         attempts=attempts,
@@ -365,7 +374,7 @@ def _child_main(spec: RunSpec, conn) -> None:
     try:
         outcome = run_workload(
             spec.resolve(),
-            spec.config,
+            spec.tool(),
             seed=spec.seed,
             max_steps=spec.max_steps,
             fault_plan=spec.fault_plan,
@@ -394,7 +403,7 @@ def _run_serial(
         try:
             outcome = run_workload(
                 spec.resolve(),
-                spec.config,
+                spec.tool(),
                 seed=spec.seed,
                 max_steps=spec.max_steps,
                 fault_plan=spec.fault_plan,

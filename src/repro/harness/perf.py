@@ -18,8 +18,10 @@ of merit is the *ratio* between the two configurations.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Sequence
+import json
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.detectors import ToolConfig
 from repro.harness.runner import run_bare, run_workload
@@ -108,3 +110,232 @@ def overhead_summary(rows: Sequence[PerfRow]) -> Dict[str, float]:
     runtime = sum(r.runtime_overhead for r in rows) / len(rows)
     memory = sum(r.memory_overhead for r in rows) / len(rows)
     return {"runtime": runtime, "memory": memory}
+
+
+# ---------------------------------------------------------------------------
+# F3 — analysis-pipeline throughput (epoch fast path + batched delivery)
+
+
+@dataclass(frozen=True)
+class PipelineRow:
+    """One (workload, tool) pair measured under both pipelines.
+
+    ``fast`` is the shipping pipeline (epoch fast path + batched event
+    delivery); ``legacy`` is the pre-optimization reference
+    (``epoch_fast_path=False, batched=False``).  Both process the same
+    deterministic event stream, so throughput uses a *shared* numerator
+    — the reference pipeline's delivered event count (in lib mode the
+    fast pipeline legitimately skips buffering library-internal traffic,
+    so its own delivered count would undercount the work done).
+
+    The denominator is *analysis time*: wall-clock with the detector
+    attached minus the bare interpreter's wall-clock on the same
+    schedule (``run_bare``, the same accounting as the F2 overhead
+    figure).  The interpreter stands in for native execution under
+    Valgrind — its cost is the program's, not the pipeline's — so
+    events / analysis-seconds is the throughput of the analysis
+    pipeline itself, and the fast/legacy ratio is the pipeline speedup.
+    """
+
+    workload: str
+    tool: str
+    spin: bool
+    #: events the reference pipeline delivered to the detector
+    events: int
+    #: wall-clock with the detector attached (machine + detector)
+    fast_s: float
+    legacy_s: float
+    #: wall-clock of the bare interpreter, no listener (shared baseline)
+    bare_s: float
+    #: detector shadow-state footprint, in words (8-byte words)
+    fast_words: int
+    legacy_words: int
+    racy_contexts: int
+    #: the two pipelines produced byte-identical reports
+    reports_match: bool
+
+    # Timer noise can push a tiny workload's analysis time to ~0 or even
+    # below zero; anything under ~2% of the with-detector wall-clock is
+    # beneath measurement resolution, so clamp the denominator there
+    # (aggregate over a full sweep via pipeline_summary for the headline
+    # figures — the floor never binds on sweeps of realistic size).
+    _FLOOR = 0.02
+
+    @property
+    def fast_analysis_s(self) -> float:
+        return max(self.fast_s - self.bare_s, self.fast_s * self._FLOOR, 1e-9)
+
+    @property
+    def legacy_analysis_s(self) -> float:
+        return max(self.legacy_s - self.bare_s, self.legacy_s * self._FLOOR, 1e-9)
+
+    @property
+    def fast_events_per_s(self) -> float:
+        return self.events / self.fast_analysis_s
+
+    @property
+    def legacy_events_per_s(self) -> float:
+        return self.events / self.legacy_analysis_s
+
+    @property
+    def speedup(self) -> float:
+        """Pipeline speedup: legacy analysis time over fast analysis time."""
+        return self.legacy_analysis_s / self.fast_analysis_s
+
+    @property
+    def wall_speedup(self) -> float:
+        """End-to-end wall-clock ratio, interpreter included."""
+        return self.legacy_s / self.fast_s if self.fast_s > 0 else float("nan")
+
+
+def fast_variant(config: ToolConfig) -> ToolConfig:
+    return replace(config, epoch_fast_path=True, batched=True)
+
+
+def legacy_variant(config: ToolConfig) -> ToolConfig:
+    """The pre-optimization reference pipeline for ``config``."""
+    return replace(config, epoch_fast_path=False, batched=False)
+
+
+def measure_pipeline(
+    workloads: Sequence[Workload],
+    configs: Sequence[ToolConfig],
+    seed: int = 1,
+    repeats: int = 2,
+) -> List[PipelineRow]:
+    """Measure fast-vs-legacy pipeline throughput over a sweep.
+
+    Every (workload, config) pair runs ``repeats`` times under each
+    pipeline (minimum wall-clock kept) and the two reports are checked
+    for byte-identity — a perf number from a pipeline that changed
+    verdicts would be meaningless.
+    """
+    rows: List[PipelineRow] = []
+    for wl in workloads:
+        bare_s = min(run_bare(wl, seed=seed) for _ in range(repeats))
+        for cfg in configs:
+            fast_cfg = fast_variant(cfg)
+            legacy_cfg = legacy_variant(cfg)
+            legacy_runs = [
+                run_workload(wl, legacy_cfg, seed=seed) for _ in range(repeats)
+            ]
+            fast_runs = [run_workload(wl, fast_cfg, seed=seed) for _ in range(repeats)]
+            legacy_best = min(legacy_runs, key=lambda r: r.duration_s)
+            fast_best = min(fast_runs, key=lambda r: r.duration_s)
+            rows.append(
+                PipelineRow(
+                    workload=wl.name,
+                    tool=cfg.name,
+                    spin=cfg.spin,
+                    events=legacy_best.events,
+                    fast_s=fast_best.duration_s,
+                    legacy_s=legacy_best.duration_s,
+                    bare_s=bare_s,
+                    fast_words=fast_best.detector_words,
+                    legacy_words=legacy_best.detector_words,
+                    racy_contexts=fast_best.report.racy_contexts,
+                    reports_match=fast_best.report.fingerprint()
+                    == legacy_best.report.fingerprint(),
+                )
+            )
+    return rows
+
+
+def pipeline_summary(rows: Sequence[PipelineRow]) -> Dict[str, float]:
+    """Aggregate throughput over a row set (sum events / sum analysis-s).
+
+    Analysis seconds are summed *before* dividing so timer noise on tiny
+    workloads averages out instead of being clamped row by row.
+    """
+    if not rows:
+        return {
+            "events": 0,
+            "fast_analysis_s": 0.0,
+            "legacy_analysis_s": 0.0,
+            "fast_events_per_s": 0.0,
+            "legacy_events_per_s": 0.0,
+            "speedup": float("nan"),
+            "wall_speedup": float("nan"),
+            "fast_words": 0,
+            "legacy_words": 0,
+            "mismatches": 0,
+        }
+    events = sum(r.events for r in rows)
+    fast_s = sum(r.fast_s for r in rows)
+    legacy_s = sum(r.legacy_s for r in rows)
+    bare_s = sum(r.bare_s for r in rows)
+    floor = PipelineRow._FLOOR
+    fast_an = max(fast_s - bare_s, fast_s * floor, 1e-9)
+    legacy_an = max(legacy_s - bare_s, legacy_s * floor, 1e-9)
+    return {
+        "events": events,
+        "fast_analysis_s": fast_an,
+        "legacy_analysis_s": legacy_an,
+        "fast_events_per_s": events / fast_an,
+        "legacy_events_per_s": events / legacy_an,
+        "speedup": legacy_an / fast_an,
+        "wall_speedup": legacy_s / fast_s if fast_s > 0 else float("nan"),
+        "fast_words": sum(r.fast_words for r in rows),
+        "legacy_words": sum(r.legacy_words for r in rows),
+        "mismatches": sum(1 for r in rows if not r.reports_match),
+    }
+
+
+def write_pipeline_bench(
+    path: Union[str, Path],
+    groups: Mapping[str, Sequence[PipelineRow]],
+    extra: Optional[Mapping[str, object]] = None,
+) -> Dict[str, object]:
+    """Write ``BENCH_pipeline.json``: per-group summaries + per-row data.
+
+    ``groups`` maps a sweep name (``"t1_suite"``, ``"parsec"``) to its
+    rows; the committed file is the trajectory baseline the CI perf-smoke
+    job gates regressions against.
+    """
+    payload: Dict[str, object] = {
+        "schema": 1,
+        "figure": "F3 — analysis-pipeline throughput (fast vs legacy)",
+        "groups": {},
+        "rows": [],
+    }
+    if extra:
+        payload.update(extra)
+    for name, rows in groups.items():
+        payload["groups"][name] = {
+            k: (round(v, 3) if isinstance(v, float) else v)
+            for k, v in pipeline_summary(rows).items()
+        }
+        for r in rows:
+            payload["rows"].append(
+                {
+                    "group": name,
+                    "workload": r.workload,
+                    "tool": r.tool,
+                    "spin": r.spin,
+                    "events": r.events,
+                    "fast_s": round(r.fast_s, 6),
+                    "legacy_s": round(r.legacy_s, 6),
+                    "bare_s": round(r.bare_s, 6),
+                    "fast_events_per_s": round(r.fast_events_per_s, 1),
+                    "legacy_events_per_s": round(r.legacy_events_per_s, 1),
+                    "speedup": round(r.speedup, 3),
+                    "wall_speedup": round(r.wall_speedup, 3),
+                    "fast_words": r.fast_words,
+                    "legacy_words": r.legacy_words,
+                    "racy_contexts": r.racy_contexts,
+                    "reports_match": r.reports_match,
+                }
+            )
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+    return payload
+
+
+def load_pipeline_baseline(path: Union[str, Path]) -> Optional[Dict[str, object]]:
+    """Load a committed ``BENCH_pipeline.json`` (``None`` if absent)."""
+    p = Path(path)
+    if not p.exists():
+        return None
+    try:
+        return json.loads(p.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None

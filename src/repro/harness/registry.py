@@ -81,6 +81,27 @@ def workload_names() -> List[str]:
     return names
 
 
+def resolve_tool(name_or_config):
+    """Resolve a tool by preset name; :class:`ToolConfig` passes through.
+
+    Thin delegation to :meth:`repro.detectors.ToolConfig.preset` so that
+    harness entry points (CLI, chaos, sweeps) share one string→config
+    mapping instead of growing their own.
+    """
+    from repro.detectors import ToolConfig
+
+    if isinstance(name_or_config, str):
+        return ToolConfig.preset(name_or_config)
+    return name_or_config
+
+
+def tool_names() -> List[str]:
+    """The registered tool preset names."""
+    from repro.detectors import ToolConfig
+
+    return list(ToolConfig.presets())
+
+
 class RegistryBuild:
     """A picklable stand-in for a workload's ``build`` callable.
 

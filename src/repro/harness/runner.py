@@ -123,7 +123,7 @@ def run_workload(
         faults=fault_plan,
         livelock_bound=livelock_bound,
     )
-    detector.algorithm.symbolize = machine.memory.symbols.resolve
+    # Symbolization is wired by Machine construction (detector.on_attach).
     start = time.perf_counter()
     result = machine.run()
     duration = time.perf_counter() - start

@@ -12,6 +12,25 @@ phase, :mod:`repro.analysis.instrument`) is supplied, the machine also
 emits ``MarkedLoopEnter`` / ``MarkedCondRead`` / ``MarkedLoopExit``
 events at the marked program points — the hooks the runtime phase of the
 ad-hoc synchronization detector consumes.
+
+Batched delivery
+----------------
+
+A listener that advertises ``batch_capable = True`` and implements
+``consume_batch(reads, writes, ctrl)`` gets events in flat per-kind
+buffers instead of one Python call (and one frozen-dataclass allocation)
+per event: memory accesses become plain tuples
+``(seq, tid, addr, value, loc, atomic, in_library)`` and the rare
+control/sync events ride in a ``(seq, Event)`` buffer.  ``seq`` is the
+global event counter, so the consumer can merge the buffers back into
+the exact per-event order of the unbatched path.  Buffers are flushed at
+sync points (library-call annotations), marked-loop exits, at a size cap
+checked at scheduler-switch boundaries (between steps), and at the end
+of the run.  Batching is active only inside :meth:`Machine.run`; driving
+:meth:`Machine.step` directly delivers per-event as before.  If the
+listener also sets ``skip_in_library_traffic``, library-internal memory
+and marker events (which such a listener drops unconditionally) are not
+buffered — or counted — at all.
 """
 
 from __future__ import annotations
@@ -105,11 +124,29 @@ class Machine:
         max_steps: int = 2_000_000,
         faults: Optional[FaultPlan] = None,
         livelock_bound: Optional[int] = None,
+        batch_size: int = 4096,
     ) -> None:
         self.program = program
         self.scheduler = scheduler or RandomScheduler()
         self.listener = listener
         self.max_steps = max_steps
+        # Batched delivery (see module docstring): engaged during run()
+        # when the listener opts in.
+        self.batch_size = batch_size
+        self._sink = (
+            listener
+            if listener is not None
+            and getattr(listener, "batch_capable", False)
+            and callable(getattr(listener, "consume_batch", None))
+            else None
+        )
+        self._skip_lib = self._sink is not None and bool(
+            getattr(listener, "skip_in_library_traffic", False)
+        )
+        self._read_buf: Optional[list] = None
+        self._write_buf: Optional[list] = None
+        self._ctrl_buf: Optional[list] = None
+        self._pending = 0
         self.memory = Memory(program)
         self.faults_injected = 0
         self._injector: Optional[FaultInjector] = None
@@ -148,6 +185,11 @@ class Machine:
             lid: f"{func}:{header}" for (func, header), lid in self._loop_headers.items()
         }
         self._spawn_thread(program.entry, (), parent=None)
+        # Let the listener wire itself to this machine (e.g. the race
+        # detector picks up the symbol table for address symbolization).
+        attach = getattr(listener, "on_attach", None)
+        if callable(attach):
+            attach(self)
 
     # -- thread management --------------------------------------------------
 
@@ -200,14 +242,65 @@ class Machine:
         self.event_count += 1
         if isinstance(event, ev.FaultEvent):
             self.faults_injected += 1
+        ctrl = self._ctrl_buf
+        if ctrl is not None:
+            ctrl.append((self.event_count, event))
+            self._pending += 1
+            return
         if self.listener is not None:
             self.listener(event)
+
+    def _emit_read(
+        self, tid: int, addr: int, value: int, loc: CodeLocation, atomic: bool, in_lib: bool
+    ) -> None:
+        buf = self._read_buf
+        if buf is None:
+            self._emit(ev.MemRead(self.step_count, tid, addr, value, loc, atomic, in_lib))
+            return
+        if in_lib and self._skip_lib:
+            return
+        self.event_count += 1
+        buf.append((self.event_count, tid, addr, value, loc, atomic, in_lib))
+        self._pending += 1
+
+    def _emit_write(
+        self, tid: int, addr: int, value: int, loc: CodeLocation, atomic: bool, in_lib: bool
+    ) -> None:
+        buf = self._write_buf
+        if buf is None:
+            self._emit(ev.MemWrite(self.step_count, tid, addr, value, loc, atomic, in_lib))
+            return
+        if in_lib and self._skip_lib:
+            return
+        self.event_count += 1
+        buf.append((self.event_count, tid, addr, value, loc, atomic, in_lib))
+        self._pending += 1
+
+    def flush_events(self) -> None:
+        """Deliver any buffered events to the batch-capable listener now."""
+        if self._pending:
+            reads, writes, ctrl = self._read_buf, self._write_buf, self._ctrl_buf
+            self._read_buf, self._write_buf, self._ctrl_buf = [], [], []
+            self._pending = 0
+            self._sink.consume_batch(reads, writes, ctrl)
 
     # -- execution -----------------------------------------------------------
 
     def run(self) -> RunResult:
         """Run to completion (all threads exited, ``Halt``, or budget)."""
+        batching = self._sink is not None
+        if batching:
+            self._read_buf, self._write_buf, self._ctrl_buf = [], [], []
+        try:
+            return self._run_loop()
+        finally:
+            if batching:
+                self.flush_events()
+                self._read_buf = self._write_buf = self._ctrl_buf = None
+
+    def _run_loop(self) -> RunResult:
         deadlocked = False
+        batch_size = self.batch_size
         while not self._halted:
             if self._injector is not None:
                 self._injector.on_step(self)
@@ -229,6 +322,9 @@ class Machine:
                 runnable = self._injector.filter_runnable(self, runnable)
             tid = self.scheduler.pick(runnable)
             self.step(tid)
+            # Size cap, checked at the scheduler-switch boundary.
+            if self._pending >= batch_size:
+                self.flush_events()
             if self._livelock is not None:
                 return self._result(
                     timed_out=False, deadlocked=False, livelocked=True
@@ -303,7 +399,7 @@ class Machine:
         frame = thread.frame
         if frame.index == 0 and self._loop_headers:
             loop_id = self._loop_headers.get((frame.function.name, frame.block))
-            if loop_id is not None:
+            if loop_id is not None and not (self._skip_lib and thread.in_library):
                 self._emit(
                     ev.MarkedLoopEnter(
                         self.step_count,
@@ -334,11 +430,15 @@ class Machine:
         if self._exit_edges:
             loop_id = self._exit_edges.get((loc, target))
             if loop_id is not None:
-                self._emit(
-                    ev.MarkedLoopExit(
-                        self.step_count, thread.tid, loop_id, loc, thread.in_library
+                if not (self._skip_lib and thread.in_library):
+                    self._emit(
+                        ev.MarkedLoopExit(
+                            self.step_count, thread.tid, loop_id, loc, thread.in_library
+                        )
                     )
-                )
+                    # Marked-loop boundary: a sync-relevant point — flush
+                    # so the ad-hoc engine sees the exit promptly.
+                    self.flush_events()
                 # The loop made progress: reset its watchdog counter.
                 self._spin_counts.pop((thread.tid, loop_id), None)
         frame.block = target
@@ -402,6 +502,9 @@ class Machine:
                     frame.sync_obj2,
                 )
             )
+            # Sync point: flush so the detector applies the operation's
+            # happens-before/lockset effects before further buffering.
+            self.flush_events()
         if func.is_library:
             thread.lib_depth += 1
         thread.frames.append(frame)
@@ -426,6 +529,7 @@ class Machine:
                     frame.sync_obj2,
                 )
             )
+            self.flush_events()
         if not thread.frames:
             self._exit_thread(thread, value)
             return
@@ -468,25 +572,27 @@ class Machine:
             addr = get(frame, instr.addr, loc) + instr.offset
             value = self.memory.load(addr)
             regs[instr.dst] = value
+            in_lib = thread.in_library
             if self._cond_loads:
                 loop_id = self._cond_loads.get(loc)
                 if loop_id is not None:
-                    self._emit(
-                        ev.MarkedCondRead(
-                            self.step_count,
-                            tid,
-                            loop_id,
-                            addr,
-                            value,
-                            loc,
-                            thread.in_library,
+                    if not (self._skip_lib and in_lib):
+                        self._emit(
+                            ev.MarkedCondRead(
+                                self.step_count,
+                                tid,
+                                loop_id,
+                                addr,
+                                value,
+                                loc,
+                                in_lib,
+                            )
                         )
-                    )
+                    # The livelock watchdog is machine-side state: it
+                    # counts spins regardless of event delivery.
                     if self.livelock_bound is not None:
                         self._note_cond_read(tid, loop_id, addr, value, loc)
-            self._emit(
-                ev.MemRead(self.step_count, tid, addr, value, loc, False, thread.in_library)
-            )
+            self._emit_read(tid, addr, value, loc, False, in_lib)
             self._advance(frame)
         elif isinstance(instr, ins.Store):
             addr = get(frame, instr.addr, loc) + instr.offset
@@ -500,11 +606,7 @@ class Machine:
             )
             if intercepted is None:
                 self.memory.store(addr, value)
-                self._emit(
-                    ev.MemWrite(
-                        self.step_count, tid, addr, value, loc, False, thread.in_library
-                    )
-                )
+                self._emit_write(tid, addr, value, loc, False, thread.in_library)
             self._advance(frame)
         elif isinstance(instr, ins.AtomicCas):
             addr = get(frame, instr.addr, loc) + instr.offset
@@ -512,14 +614,11 @@ class Machine:
             new = get(frame, instr.new, loc)
             old = self.memory.load(addr)
             regs[instr.dst] = old
-            self._emit(
-                ev.MemRead(self.step_count, tid, addr, old, loc, True, thread.in_library)
-            )
+            in_lib = thread.in_library
+            self._emit_read(tid, addr, old, loc, True, in_lib)
             if old == expected:
                 self.memory.store(addr, new)
-                self._emit(
-                    ev.MemWrite(self.step_count, tid, addr, new, loc, True, thread.in_library)
-                )
+                self._emit_write(tid, addr, new, loc, True, in_lib)
             self._advance(frame)
         elif isinstance(instr, ins.AtomicAdd):
             addr = get(frame, instr.addr, loc) + instr.offset
@@ -527,14 +626,9 @@ class Machine:
             old = self.memory.load(addr)
             regs[instr.dst] = old
             self.memory.store(addr, old + amount)
-            self._emit(
-                ev.MemRead(self.step_count, tid, addr, old, loc, True, thread.in_library)
-            )
-            self._emit(
-                ev.MemWrite(
-                    self.step_count, tid, addr, old + amount, loc, True, thread.in_library
-                )
-            )
+            in_lib = thread.in_library
+            self._emit_read(tid, addr, old, loc, True, in_lib)
+            self._emit_write(tid, addr, old + amount, loc, True, in_lib)
             self._advance(frame)
         elif isinstance(instr, ins.AtomicXchg):
             addr = get(frame, instr.addr, loc) + instr.offset
@@ -542,12 +636,9 @@ class Machine:
             old = self.memory.load(addr)
             regs[instr.dst] = old
             self.memory.store(addr, new)
-            self._emit(
-                ev.MemRead(self.step_count, tid, addr, old, loc, True, thread.in_library)
-            )
-            self._emit(
-                ev.MemWrite(self.step_count, tid, addr, new, loc, True, thread.in_library)
-            )
+            in_lib = thread.in_library
+            self._emit_read(tid, addr, old, loc, True, in_lib)
+            self._emit_write(tid, addr, new, loc, True, in_lib)
             self._advance(frame)
         elif isinstance(instr, ins.Fence):
             self._advance(frame)

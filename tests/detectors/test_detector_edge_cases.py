@@ -126,15 +126,29 @@ class TestInterceptionNuances:
 
 
 class TestSymbolizeDefaults:
-    def test_detector_without_symbolizer_uses_hex(self):
+    def test_detector_auto_wires_symbolizer_on_attach(self):
+        """Machine construction wires the detector to the symbol table
+        (the old manual ``algorithm.symbolize = ...`` hack is folded in)."""
         program = _array_race_program(2)
-        from repro.analysis import instrument_program
         from repro.vm import Machine, RandomScheduler
 
         det = RaceDetector(ToolConfig.helgrind_lib())
         Machine(program, scheduler=RandomScheduler(2), listener=det).run()
         if det.report.warnings:
-            assert det.report.warnings[0].symbol.startswith("0x")
+            assert not det.report.warnings[0].symbol.startswith("0x")
+
+    def test_unattached_detector_falls_back_to_hex(self):
+        det = RaceDetector(ToolConfig.helgrind_lib())
+        assert det.algorithm.symbolize(0x1234) == "0x1234"
+
+    def test_explicit_symbolizer_survives_attach(self):
+        program = _array_race_program(2)
+        from repro.vm import Machine, RandomScheduler
+
+        det = RaceDetector(ToolConfig.helgrind_lib(), symbolize=lambda a: f"<{a}>")
+        Machine(program, scheduler=RandomScheduler(2), listener=det).run()
+        if det.report.warnings:
+            assert det.report.warnings[0].symbol.startswith("<")
 
 
 class TestEventsDropWhenIrrelevant:

@@ -1,0 +1,82 @@
+"""Differential oracle: the fast pipeline must not change a single report.
+
+The epoch fast path and the batched event delivery are *pure*
+optimizations — every (workload, tool, seed) triple must produce a
+byte-identical :class:`~repro.detectors.reports.Report` (same warnings
+in the same order, same contexts, same notes, same partial flag) with
+them on or off.  :meth:`Report.fingerprint` canonicalizes exactly that
+surface; these tests sweep it across the whole 120-case dr_test suite
+and the 8-case chaos suite, for lib/nolib interception crossed with the
+spin feature on/off.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.detectors import ToolConfig
+from repro.harness.perf import fast_variant, legacy_variant
+from repro.harness.registry import resolve_workload
+from repro.harness.runner import run_workload
+from repro.workloads import build_suite
+from repro.workloads.dr_test.faults import chaos_cases
+
+# lib/nolib crossed with spin off/on.  The nolib+nospin corner is not a
+# paper configuration (library synchronization becomes invisible without
+# the spin feature) but the two pipelines must still agree on it.
+CONFIGS = (
+    ToolConfig.helgrind_lib(),
+    ToolConfig.helgrind_lib_spin(7),
+    replace(ToolConfig.helgrind_nolib_spin(7), spin=False, name="Helgrind+ nolib"),
+    ToolConfig.helgrind_nolib_spin(7),
+)
+
+
+def _mismatch(workload, config, fast, legacy):
+    return (
+        f"{workload} under {config.name}: fast pipeline changed the report\n"
+        f"  fast:   {fast.report.fingerprint()}\n"
+        f"  legacy: {legacy.report.fingerprint()}"
+    )
+
+
+@pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.name)
+def test_suite_reports_identical(config):
+    mismatches = []
+    for wl in build_suite():
+        fast = run_workload(wl, fast_variant(config))
+        legacy = run_workload(wl, legacy_variant(config))
+        if fast.report.fingerprint() != legacy.report.fingerprint():
+            mismatches.append(_mismatch(wl.name, config, fast, legacy))
+    assert not mismatches, "\n".join(mismatches)
+
+
+@pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.name)
+def test_chaos_reports_identical(config):
+    """Fault-injected runs (dropped stores, stuck threads, partial
+    reports from watchdog kills) must also be pipeline-invariant."""
+    mismatches = []
+    for case in chaos_cases():
+        wl = resolve_workload(case.workload)
+        runs = {}
+        for label, variant in (("fast", fast_variant), ("legacy", legacy_variant)):
+            runs[label] = run_workload(
+                wl,
+                variant(config),
+                seed=case.seed,
+                fault_plan=case.plan,
+                livelock_bound=case.livelock_bound,
+            )
+        if runs["fast"].report.fingerprint() != runs["legacy"].report.fingerprint():
+            mismatches.append(
+                _mismatch(case.name, config, runs["fast"], runs["legacy"])
+            )
+    assert not mismatches, "\n".join(mismatches)
+
+
+def test_fast_variants_round_trip():
+    base = ToolConfig.helgrind_lib_spin(7)
+    legacy = legacy_variant(base)
+    assert not legacy.epoch_fast_path and not legacy.batched
+    fast = fast_variant(legacy)
+    assert fast == base

@@ -1,0 +1,66 @@
+"""The named tool-preset registry (ToolConfig.preset / presets)."""
+
+import pytest
+
+from repro.detectors import ToolConfig
+from repro.detectors.detector import register_preset
+from repro.harness.registry import resolve_tool, tool_names
+
+
+def test_presets_lists_known_names():
+    names = ToolConfig.presets()
+    assert "helgrind-lib" in names
+    assert "helgrind-nolib-spin" in names
+    assert "drd" in names
+    assert "eraser" in names
+    assert names == tuple(sorted(names))
+
+
+def test_preset_resolves_paper_tools():
+    assert ToolConfig.preset("helgrind-lib") == ToolConfig.helgrind_lib()
+    assert ToolConfig.preset("drd") == ToolConfig.drd()
+    assert ToolConfig.preset("eraser") == ToolConfig.eraser()
+
+
+def test_trailing_digits_set_spin_window():
+    assert ToolConfig.preset("helgrind-lib-spin3") == ToolConfig.helgrind_lib_spin(3)
+    assert ToolConfig.preset("helgrind-nolib-spin7") == ToolConfig.helgrind_nolib_spin(7)
+    assert ToolConfig.preset("universal9") == ToolConfig.universal_hybrid(9)
+
+
+def test_name_normalization():
+    canonical = ToolConfig.preset("helgrind-lib-spin7")
+    assert ToolConfig.preset("Helgrind_Lib_Spin7") == canonical
+    assert ToolConfig.preset("helgrind lib spin 7") == canonical
+
+
+def test_unknown_name_raises_with_suggestions():
+    with pytest.raises(KeyError) as err:
+        ToolConfig.preset("no-such-tool")
+    assert "no-such-tool" in str(err.value)
+
+
+def test_overrides_forwarded():
+    cfg = ToolConfig.preset("helgrind-lib-spin7", long_run=True)
+    assert cfg.long_run
+
+
+def test_register_preset_extends_registry():
+    def factory(**kwargs):
+        return ToolConfig.drd()
+
+    register_preset("test-only-drd-alias", factory)
+    try:
+        assert ToolConfig.preset("test-only-drd-alias") == ToolConfig.drd()
+        assert "test-only-drd-alias" in ToolConfig.presets()
+    finally:
+        from repro.detectors.detector import _PRESETS
+
+        _PRESETS.pop("test-only-drd-alias", None)
+
+
+def test_resolve_tool_passthrough_and_names():
+    cfg = ToolConfig.helgrind_lib()
+    assert resolve_tool(cfg) is cfg
+    assert resolve_tool("helgrind-lib") == cfg
+    assert tuple(tool_names()) == ToolConfig.presets()
