@@ -1,0 +1,128 @@
+"""F4 — interpreter throughput: pre-decoded threaded code vs isinstance.
+
+Runs the 13 PARSEC stand-ins bare (no detector) under the shipping
+pre-decoded threaded-code interpreter (:mod:`repro.vm.decode`) and the
+legacy per-step ``isinstance`` dispatcher (``predecode=False``).  Both
+interpreters execute the identical schedule — identical scheduler
+decisions, step counts, outputs, and final memory — so steps per second
+is a pure dispatch-cost comparison.
+
+The acceptance bar is a >=2x aggregate speedup on the PARSEC sweep, with
+byte-identical final machine state on every row.  Results are written to
+``BENCH_interpreter.json`` (set ``REPRO_BENCH_OUT=`` to skip) and
+compared against the committed copy when one exists: a >30% steps/sec
+regression fails the run.
+
+``REPRO_PERF_SUBSET=N`` caps the sweep at N workloads for the CI
+perf-smoke job; the 2x bar is only enforced on the full sweep (small
+subsets are timer-noise dominated), the regression gate and the
+state-identity oracle always are.
+"""
+
+import os
+
+from repro.harness.perf import (
+    interpreter_summary,
+    load_interpreter_baseline,
+    measure_interpreter,
+    write_interpreter_bench,
+)
+from repro.harness.tables import format_table
+
+from benchmarks.conftest import run_once
+
+BASELINE = os.path.join(os.path.dirname(__file__), "..", "BENCH_interpreter.json")
+
+
+def _subset():
+    raw = os.environ.get("REPRO_PERF_SUBSET", "")
+    return int(raw) if raw else 0
+
+
+def test_f4_interpreter_throughput(benchmark, parsec13):
+    subset = _subset()
+    parsec = parsec13[:subset] if subset else parsec13
+
+    def sweep():
+        # min-of-5 per interpreter: bare runs are short and the 2x gate
+        # rides on the wall-clock ratio, so squeeze the timer noise hard.
+        return {"parsec": measure_interpreter(parsec, repeats=5)}
+
+    groups = run_once(benchmark, sweep)
+    rows = groups["parsec"]
+    s = interpreter_summary(rows)
+
+    print()
+    print(
+        format_table(
+            ["Workload", "Steps", "decoded st/s", "legacy st/s", "speedup"],
+            [
+                [
+                    r.workload,
+                    r.steps,
+                    f"{r.decoded_steps_per_s:.0f}",
+                    f"{r.legacy_steps_per_s:.0f}",
+                    f"{r.speedup:.2f}x",
+                ]
+                for r in rows
+            ],
+            title=f"F4 PARSEC — interpreter throughput "
+            f"(aggregate {s['speedup']:.2f}x, one-time decode {s['decode_s']:.3f}s)",
+        )
+    )
+    benchmark.extra_info["parsec_speedup"] = round(s["speedup"], 3)
+    benchmark.extra_info["parsec_decoded_steps_per_s"] = round(
+        s["decoded_steps_per_s"], 1
+    )
+
+    # Decoding must be invisible in execution — every row, every run.
+    mismatched = [r.workload for r in rows if not r.states_match]
+    assert not mismatched, f"decoded interpreter changed execution: {mismatched}"
+
+    if not subset:
+        # Acceptance bar: >=2x aggregate steps/sec on the PARSEC sweep.
+        assert s["speedup"] >= 2.0, (
+            f"interpreter speedup {s['speedup']:.2f}x below the 2x acceptance bar"
+        )
+
+    out = os.environ.get("REPRO_BENCH_OUT", None)
+    if out is None:
+        out = BASELINE if not subset else ""
+    baseline = load_interpreter_baseline(BASELINE)
+    if out:
+        write_interpreter_bench(out, groups)
+        print(f"wrote {os.path.abspath(out)}")
+
+    # Regression gate vs the committed baseline: >30% decoded steps/sec
+    # drop fails.  The baseline throughput is recomputed over exactly the
+    # rows measured this run, so the subset CI job compares the same
+    # workload mix as the committed full sweep.
+    committed = _baseline_throughput(baseline, "parsec", rows)
+    if committed is not None:
+        current = sum(r.steps for r in rows) / sum(r.decoded_s for r in rows)
+        benchmark.extra_info["baseline_steps_per_s"] = round(committed, 1)
+        benchmark.extra_info["steps_per_s"] = round(current, 1)
+        assert current >= 0.7 * committed, (
+            f"decoded interpreter throughput regressed >30%: "
+            f"{current:.0f} steps/s vs committed {committed:.0f} steps/s"
+        )
+
+
+def _baseline_throughput(baseline, group, measured_rows):
+    """Committed decoded steps/sec over the measured workload rows.
+
+    Returns ``None`` when there is no committed baseline covering them.
+    """
+    if not baseline:
+        return None
+    wanted = {r.workload for r in measured_rows}
+    steps = decoded_s = 0.0
+    hits = 0
+    for row in baseline.get("rows", ()):
+        if row.get("group") == group and row["workload"] in wanted:
+            steps += row["steps"]
+            decoded_s += row["decoded_s"]
+            hits += 1
+    if hits < len(wanted) or decoded_s <= 0:
+        return None
+    return steps / decoded_s

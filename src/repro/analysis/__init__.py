@@ -15,7 +15,13 @@ from repro.analysis.cfg import CFG, build_cfg, dominators, reverse_postorder
 from repro.analysis.loops import NaturalLoop, find_loops
 from repro.analysis.dataflow import condition_slice, SliceResult
 from repro.analysis.spin import SpinLoop, SpinLoopDetector
-from repro.analysis.instrument import InstrumentationMap, instrument_program
+from repro.analysis.instrument import (
+    InstrumentationMap,
+    clear_instrument_cache,
+    instrument_cache_info,
+    instrument_program,
+    instrument_program_cached,
+)
 from repro.analysis.lockinfer import LockAcquireSite, infer_lock_acquires, lock_site_locations
 
 __all__ = [
@@ -31,6 +37,9 @@ __all__ = [
     "SpinLoopDetector",
     "InstrumentationMap",
     "instrument_program",
+    "instrument_program_cached",
+    "instrument_cache_info",
+    "clear_instrument_cache",
     "LockAcquireSite",
     "infer_lock_acquires",
     "lock_site_locations",

@@ -17,6 +17,7 @@ loop) keep distinct ids; the runtime phase tracks a per-thread stack.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
@@ -64,3 +65,56 @@ def instrument_program(
         for branch_loc, target in spin.loop.exit_edges:
             imap.exit_edges[(branch_loc, target)] = loop_id
     return imap
+
+
+#: static-phase memo: (program fingerprint, max_blocks, inline_depth) ->
+#: InstrumentationMap, LRU-bounded.  Content-keyed, so two fresh builds
+#: of the same workload share one analysis; a different spin window or
+#: inline depth misses.
+_IMAP_CACHE: "OrderedDict[Tuple[str, int, int], InstrumentationMap]" = OrderedDict()
+_IMAP_CACHE_MAX = 256
+_IMAP_HITS = 0
+_IMAP_MISSES = 0
+
+
+def instrument_program_cached(
+    program: Program, max_blocks: int = 7, inline_depth: int = 1
+) -> InstrumentationMap:
+    """Content-keyed cached :func:`instrument_program`.
+
+    The CFG → dominators → loops → spin-classification pipeline is pure
+    static analysis: its output depends only on program content and the
+    two knobs, so repeats and configs sharing them reuse one map.  The
+    returned map is shared — callers must treat it as immutable (the VM
+    and the decoder only read it).
+    """
+    global _IMAP_HITS, _IMAP_MISSES
+    key = (program.fingerprint(), max_blocks, inline_depth)
+    cached = _IMAP_CACHE.get(key)
+    if cached is not None:
+        _IMAP_HITS += 1
+        _IMAP_CACHE.move_to_end(key)
+        return cached
+    _IMAP_MISSES += 1
+    imap = instrument_program(program, max_blocks=max_blocks, inline_depth=inline_depth)
+    _IMAP_CACHE[key] = imap
+    while len(_IMAP_CACHE) > _IMAP_CACHE_MAX:
+        _IMAP_CACHE.popitem(last=False)
+    return imap
+
+
+def instrument_cache_info() -> Dict[str, int]:
+    """Static-phase cache statistics (entries, hits, misses)."""
+    return {
+        "entries": len(_IMAP_CACHE),
+        "hits": _IMAP_HITS,
+        "misses": _IMAP_MISSES,
+    }
+
+
+def clear_instrument_cache() -> None:
+    """Drop every cached instrumentation map (tests; never required)."""
+    global _IMAP_HITS, _IMAP_MISSES
+    _IMAP_CACHE.clear()
+    _IMAP_HITS = 0
+    _IMAP_MISSES = 0

@@ -78,6 +78,10 @@ class ToolConfig:
     #: listener call per event (ordering kept via in-batch sequence
     #: numbers; reports are bit-identical either way)
     batched: bool = True
+    #: run programs through the pre-decoded threaded-code interpreter
+    #: (:mod:`repro.vm.decode`); off = the legacy per-step isinstance
+    #: dispatcher (reports are bit-identical either way)
+    predecoded: bool = True
 
     # -- the paper's presets ------------------------------------------------
 

@@ -25,6 +25,7 @@ from repro.harness.parallel import (
     RunSpec,
     SweepResult,
     SweepSummary,
+    prewarm_static,
     run_sweep,
     sweep_specs,
 )
@@ -49,6 +50,7 @@ __all__ = [
     "RunSpec",
     "SweepResult",
     "SweepSummary",
+    "prewarm_static",
     "run_sweep",
     "sweep_specs",
     "CaseScore",

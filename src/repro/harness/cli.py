@@ -10,6 +10,7 @@ Subcommands::
     repro-experiments f1            # memory-overhead figure
     repro-experiments f2            # runtime-overhead figure
     repro-experiments f3            # pipeline throughput (fast vs legacy)
+    repro-experiments f4            # interpreter throughput (decoded vs isinstance)
     repro-experiments cases         # list the 120 suite cases
     repro-experiments oracle        # detector-free ground-truth sweep
     repro-experiments sweep         # parallel sweep + observability report
@@ -32,7 +33,7 @@ Tool names resolve through the shared preset registry
 ``helgrind-nolib-spin7``, ``drd``, ``eraser``, ...  A trailing integer
 sets the spin(k) window.
 
-The perf figures (f1/f2/f3) always run serially: their wall-clock
+The perf figures (f1/f2/f3/f4) always run serially: their wall-clock
 numbers would be polluted by co-scheduled sibling runs.
 """
 
@@ -270,12 +271,39 @@ def cmd_f3(args: argparse.Namespace) -> int:
     mismatches = sum(
         1 for r in [*suite_rows, *parsec_rows] if not r.reports_match
     )
-    if args.out:
-        write_pipeline_bench(
-            args.out, {"t1_suite": suite_rows, "parsec": parsec_rows}
-        )
-        print(f"wrote {args.out}")
+    out = args.out if args.out is not None else "BENCH_pipeline.json"
+    if out:
+        write_pipeline_bench(out, {"t1_suite": suite_rows, "parsec": parsec_rows})
+        print(f"wrote {out}")
     return 1 if mismatches else 0
+
+
+def cmd_f4(args: argparse.Namespace) -> int:
+    """Interpreter throughput: pre-decoded threaded code vs isinstance."""
+    from repro.harness.perf import (
+        interpreter_summary,
+        measure_interpreter,
+        write_interpreter_bench,
+    )
+    from repro.workloads import parsec_workloads
+
+    parsec = parsec_workloads()
+    if args.limit:
+        parsec = parsec[: args.limit]
+    rows = measure_interpreter(parsec, repeats=args.repeats)
+    s = interpreter_summary(rows)
+    print(
+        f"F4 PARSEC: {s['steps']} steps — decoded "
+        f"{s['decoded_steps_per_s']:.0f} steps/s vs legacy "
+        f"{s['legacy_steps_per_s']:.0f} steps/s "
+        f"({s['speedup']:.2f}x; one-time decode {s['decode_s']:.3f}s), "
+        f"{s['mismatches']} state mismatch(es)"
+    )
+    out = args.out if args.out is not None else "BENCH_interpreter.json"
+    if out:
+        write_interpreter_bench(out, {"parsec": rows})
+        print(f"wrote {out}")
+    return 1 if s["mismatches"] else 0
 
 
 def cmd_tools(args: argparse.Namespace) -> None:
@@ -401,14 +429,17 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     parser.add_argument(
         "--out",
-        default="BENCH_pipeline.json",
-        help="f3: benchmark JSON output path ('' to skip writing)",
+        default=None,
+        help=(
+            "f3/f4: benchmark JSON output path (default BENCH_pipeline.json "
+            "/ BENCH_interpreter.json; '' to skip writing)"
+        ),
     )
     parser.add_argument(
         "experiment",
         choices=[
-            "t1", "t2", "t3", "t4", "t5", "f1", "f2", "f3", "cases", "oracle",
-            "sweep", "chaos", "tools", "all",
+            "t1", "t2", "t3", "t4", "t5", "f1", "f2", "f3", "f4", "cases",
+            "oracle", "sweep", "chaos", "tools", "all",
         ],
         help="which experiment to run",
     )
@@ -422,6 +453,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "f1": cmd_f1,
         "f2": cmd_f2,
         "f3": cmd_f3,
+        "f4": cmd_f4,
         "cases": cmd_cases,
         "oracle": cmd_oracle,
         "sweep": cmd_sweep,
@@ -429,7 +461,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "tools": cmd_tools,
     }
     if args.experiment == "all":
-        for name in ("t1", "t2", "t3", "t4", "t5", "f1", "f2", "f3"):
+        for name in ("t1", "t2", "t3", "t4", "t5", "f1", "f2", "f3", "f4"):
             commands[name](args)
             print()
     else:

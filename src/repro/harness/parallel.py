@@ -39,7 +39,7 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.detectors import ToolConfig
-from repro.harness.registry import resolve_workload
+from repro.harness.registry import program_fingerprint, resolve_workload
 from repro.harness.runner import RunOutcome, run_workload
 from repro.harness.workload import Workload
 from repro.vm.faults import FaultPlan
@@ -49,7 +49,10 @@ from repro.vm.faults import FaultPlan
 #: 2: fault plans + livelock watchdog (RunOutcome/RunResult diagnostics).
 #: 3: epoch fast path + batched event pipeline (ToolConfig gained
 #:    epoch_fast_path/batched; event accounting changed in lib mode).
-CACHE_SCHEMA = 3
+#: 4: pre-decoded threaded-code interpreter (ToolConfig gained
+#:    predecoded; RunOutcome gained decode_s; instrument_s now reflects
+#:    the cached static phase).
+CACHE_SCHEMA = 4
 
 
 class SweepError(RuntimeError):
@@ -140,12 +143,18 @@ class ResultCache:
     def key(self, spec: RunSpec) -> str:
         import hashlib
 
-        wl = spec.resolve()
+        # Registry-named workloads get the memoized fingerprint — the
+        # cache probe of a large sweep would otherwise rebuild (and
+        # re-hash) every program once per spec sharing it.
+        if isinstance(spec.workload, str):
+            fingerprint = program_fingerprint(spec.workload)
+        else:
+            fingerprint = spec.resolve().fresh_program().fingerprint()
         config_fields = sorted(dataclasses.asdict(spec.tool()).items())
         payload = "\n".join(
             [
                 f"schema={CACHE_SCHEMA}",
-                f"program={wl.fresh_program().fingerprint()}",
+                f"program={fingerprint}",
                 f"config={config_fields!r}",
                 f"seed={spec.effective_seed()}",
                 f"max_steps={spec.effective_max_steps()}",
@@ -204,6 +213,8 @@ class RunRecord:
     attempts: int = 1
     duration_s: float = 0.0
     instrument_s: float = 0.0
+    #: one-time threaded-code decode cost (near zero on a cache hit)
+    decode_s: float = 0.0
     steps: int = 0
     events: int = 0
     detector_words: int = 0
@@ -251,6 +262,9 @@ class SweepSummary:
     racy_contexts: int
     #: fault events injected across the sweep (0 outside chaos sweeps)
     faults: int = 0
+    #: total threaded-code decode cost across executed runs; with warm
+    #: caches this stays near zero even for 100-case sweeps
+    decode_s: float = 0.0
 
     @property
     def steps_per_s(self) -> float:
@@ -285,6 +299,7 @@ def summarize_records(records: Sequence[RunRecord], wall_s: float) -> SweepSumma
         adhoc_edges=sum(r.adhoc_edges for r in executed),
         racy_contexts=sum(r.racy_contexts for r in records if not r.failed),
         faults=sum(r.faults for r in records if not r.failed),
+        decode_s=sum(r.decode_s for r in executed),
     )
 
 
@@ -319,6 +334,7 @@ def _record_from_outcome(
         attempts=attempts,
         duration_s=outcome.duration_s,
         instrument_s=outcome.instrument_s,
+        decode_s=getattr(outcome, "decode_s", 0.0),
         steps=outcome.steps,
         events=outcome.events,
         detector_words=outcome.detector_words,
@@ -505,6 +521,61 @@ def _mp_context():
     return multiprocessing.get_context("fork" if "fork" in methods else None)
 
 
+def prewarm_static(specs: Iterable[RunSpec]) -> int:
+    """Fill the decode and instrumentation caches for ``specs``.
+
+    Each run-per-process worker starts with cold in-process caches, so
+    without this a pool sweep decodes every program once per run.  The
+    pool calls this in the parent just before forking: children inherit
+    the warm caches copy-on-write and hit them on first use.  Workload
+    builds are deterministic (the result-cache contract), so the
+    content-keyed entries warmed here match what each child computes.
+
+    Returns the number of distinct (program, markers, watchdog)
+    combinations warmed.  Safe to call directly before a serial sweep or
+    from user harnesses; failures during a workload build are left for
+    the run itself to report.
+    """
+    from repro.analysis import instrument_program_cached
+    from repro.vm.decode import get_decoded_program
+
+    warmed = 0
+    seen = set()
+    programs: Dict[str, object] = {}
+    for spec in specs:
+        tool = spec.tool()
+        armed = spec.livelock_bound is not None
+        combo = (
+            spec.workload_name,
+            tool.spin,
+            tool.spin_max_blocks,
+            tool.inline_depth,
+            armed,
+            tool.predecoded,
+        )
+        if combo in seen:
+            continue
+        seen.add(combo)
+        try:
+            program = programs.get(spec.workload_name)
+            if program is None:
+                program = spec.resolve().fresh_program()
+                programs[spec.workload_name] = program
+            imap = None
+            if tool.spin or armed:
+                imap = instrument_program_cached(
+                    program,
+                    max_blocks=tool.spin_max_blocks,
+                    inline_depth=tool.inline_depth,
+                )
+            if tool.predecoded:
+                get_decoded_program(program, imap, armed)
+        except Exception:
+            continue
+        warmed += 1
+    return warmed
+
+
 def _run_pool(
     specs: Sequence[RunSpec],
     pending: deque,
@@ -517,6 +588,11 @@ def _run_pool(
     poll_interval_s: float,
 ) -> None:
     ctx = _mp_context()
+    if ctx.get_start_method() == "fork":
+        # Warm the decode/instrumentation caches once in the parent so
+        # every forked child inherits them copy-on-write; a 120-case
+        # sweep then decodes each distinct program once, not per run.
+        prewarm_static(specs[i] for i, _, _ in pending)
     max_attempts = 1 + max(0, retries)
     active: Dict = {}  # proc -> (index, cache_key, conn, deadline, attempt)
 

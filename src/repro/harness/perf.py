@@ -339,3 +339,202 @@ def load_pipeline_baseline(path: Union[str, Path]) -> Optional[Dict[str, object]
         return json.loads(p.read_text())
     except (OSError, json.JSONDecodeError):
         return None
+
+
+# ---------------------------------------------------------------------------
+# F4 — interpreter throughput (pre-decoded threaded code vs isinstance
+# dispatch)
+
+
+@dataclass(frozen=True)
+class InterpRow:
+    """One workload measured under both interpreters, no detector.
+
+    ``decoded`` is the shipping pre-decoded threaded-code interpreter
+    (:mod:`repro.vm.decode`); ``legacy`` is the per-step ``isinstance``
+    dispatcher (``predecode=False``).  Both execute the identical
+    schedule — same scheduler decisions, same step count, same final
+    machine state — so steps / wall-clock is a pure dispatch-cost
+    comparison, the interpreter-side analogue of F3's pipeline figure.
+
+    ``decode_s`` is the one-time translation cost measured on a *cold*
+    decode cache; it is reported separately and not charged to
+    ``decoded_s`` (the cache amortizes it across every later run of the
+    same program, exactly as ``instrument_s`` amortizes the static
+    phase).
+    """
+
+    workload: str
+    #: VM steps executed (identical under both interpreters by design)
+    steps: int
+    #: min wall-clock over the repeats, pre-decoded interpreter
+    decoded_s: float
+    #: min wall-clock over the repeats, isinstance dispatcher
+    legacy_s: float
+    #: one-time decode (translation) cost, cold cache
+    decode_s: float
+    #: step count, halt status, outputs, and final memory snapshot all
+    #: byte-identical between the two interpreters
+    states_match: bool
+
+    @property
+    def decoded_steps_per_s(self) -> float:
+        return self.steps / self.decoded_s if self.decoded_s > 0 else 0.0
+
+    @property
+    def legacy_steps_per_s(self) -> float:
+        return self.steps / self.legacy_s if self.legacy_s > 0 else 0.0
+
+    @property
+    def speedup(self) -> float:
+        """Interpreter speedup: legacy wall-clock over decoded wall-clock."""
+        return self.legacy_s / self.decoded_s if self.decoded_s > 0 else float("nan")
+
+
+def _interp_run(wl: Workload, seed: int, predecode: bool):
+    """One bare run; returns (wall_s, decode_s, state fingerprint)."""
+    import hashlib
+    import time
+
+    from repro.vm import Machine, RandomScheduler
+
+    program = wl.fresh_program()
+    machine = Machine(
+        program,
+        scheduler=RandomScheduler(seed),
+        max_steps=wl.max_steps,
+        predecode=predecode,
+    )
+    start = time.perf_counter()
+    result = machine.run()
+    wall = time.perf_counter() - start
+    mem = hashlib.sha256(
+        repr(sorted(machine.memory.snapshot().items())).encode()
+    ).hexdigest()
+    state = (result.status, machine.step_count, tuple(machine.outputs), mem)
+    return wall, machine.decode_s, state
+
+
+def measure_interpreter(
+    workloads: Sequence[Workload],
+    seed: int = 7,
+    repeats: int = 3,
+) -> List[InterpRow]:
+    """Measure decoded-vs-legacy interpreter throughput over workloads.
+
+    Each workload runs ``repeats`` times under each interpreter with the
+    minimum wall-clock kept; the final machine states are checked for
+    identity — a dispatch optimization that changed execution would make
+    the number meaningless.  The first decoded run per workload starts
+    from a cold decode cache so ``decode_s`` reflects the real one-time
+    translation cost.
+    """
+    from repro.vm.decode import clear_decode_cache
+
+    rows: List[InterpRow] = []
+    for wl in workloads:
+        clear_decode_cache()
+        decoded = [_interp_run(wl, seed, True) for _ in range(repeats)]
+        legacy = [_interp_run(wl, seed, False) for _ in range(repeats)]
+        decoded_s = min(w for w, _, _ in decoded)
+        legacy_s = min(w for w, _, _ in legacy)
+        decode_s = decoded[0][1]  # cold-cache translation cost
+        states = {s for _, _, s in decoded} | {s for _, _, s in legacy}
+        steps = decoded[0][2][1]
+        rows.append(
+            InterpRow(
+                workload=wl.name,
+                steps=steps,
+                decoded_s=decoded_s,
+                legacy_s=legacy_s,
+                decode_s=decode_s,
+                states_match=len(states) == 1,
+            )
+        )
+    return rows
+
+
+def interpreter_summary(rows: Sequence[InterpRow]) -> Dict[str, float]:
+    """Aggregate throughput (sum steps / sum seconds) over a row set.
+
+    Seconds are summed before dividing so timer noise on tiny workloads
+    averages out; the aggregate speedup is what the ≥2x acceptance gate
+    reads.
+    """
+    if not rows:
+        return {
+            "steps": 0,
+            "decoded_s": 0.0,
+            "legacy_s": 0.0,
+            "decode_s": 0.0,
+            "decoded_steps_per_s": 0.0,
+            "legacy_steps_per_s": 0.0,
+            "speedup": float("nan"),
+            "mismatches": 0,
+        }
+    steps = sum(r.steps for r in rows)
+    decoded_s = sum(r.decoded_s for r in rows)
+    legacy_s = sum(r.legacy_s for r in rows)
+    return {
+        "steps": steps,
+        "decoded_s": decoded_s,
+        "legacy_s": legacy_s,
+        "decode_s": sum(r.decode_s for r in rows),
+        "decoded_steps_per_s": steps / decoded_s if decoded_s > 0 else 0.0,
+        "legacy_steps_per_s": steps / legacy_s if legacy_s > 0 else 0.0,
+        "speedup": legacy_s / decoded_s if decoded_s > 0 else float("nan"),
+        "mismatches": sum(1 for r in rows if not r.states_match),
+    }
+
+
+def write_interpreter_bench(
+    path: Union[str, Path],
+    groups: Mapping[str, Sequence[InterpRow]],
+    extra: Optional[Mapping[str, object]] = None,
+) -> Dict[str, object]:
+    """Write ``BENCH_interpreter.json``: per-group summaries + rows.
+
+    The committed file is the trajectory baseline the CI perf-smoke job
+    gates interpreter regressions against.
+    """
+    payload: Dict[str, object] = {
+        "schema": 1,
+        "figure": "F4 — interpreter throughput (pre-decoded vs isinstance)",
+        "groups": {},
+        "rows": [],
+    }
+    if extra:
+        payload.update(extra)
+    for name, rows in groups.items():
+        payload["groups"][name] = {
+            k: (round(v, 3) if isinstance(v, float) else v)
+            for k, v in interpreter_summary(rows).items()
+        }
+        for r in rows:
+            payload["rows"].append(
+                {
+                    "group": name,
+                    "workload": r.workload,
+                    "steps": r.steps,
+                    "decoded_s": round(r.decoded_s, 6),
+                    "legacy_s": round(r.legacy_s, 6),
+                    "decode_s": round(r.decode_s, 6),
+                    "decoded_steps_per_s": round(r.decoded_steps_per_s, 1),
+                    "legacy_steps_per_s": round(r.legacy_steps_per_s, 1),
+                    "speedup": round(r.speedup, 3),
+                    "states_match": r.states_match,
+                }
+            )
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+    return payload
+
+
+def load_interpreter_baseline(path: Union[str, Path]) -> Optional[Dict[str, object]]:
+    """Load a committed ``BENCH_interpreter.json`` (``None`` if absent)."""
+    p = Path(path)
+    if not p.exists():
+        return None
+    try:
+        return json.loads(p.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None

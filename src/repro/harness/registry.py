@@ -21,6 +21,10 @@ from repro.harness.workload import Workload
 #: explicitly registered workloads; they shadow the built-in families
 _EXTRA: Dict[str, Workload] = {}
 _BUILTIN: Optional[Dict[str, Workload]] = None
+#: name → program fingerprint memo; workload builds are deterministic
+#: (the result-cache contract), so the fingerprint of a registered name
+#: is stable until the name is re-registered.
+_FINGERPRINTS: Dict[str, str] = {}
 
 
 def _builtin_index() -> Dict[str, Workload]:
@@ -54,11 +58,27 @@ def register_workload(workload: Workload, replace: bool = False) -> Workload:
     if not replace and workload.name in _EXTRA:
         raise ValueError(f"workload {workload.name!r} already registered")
     _EXTRA[workload.name] = workload
+    _FINGERPRINTS.pop(workload.name, None)
     return workload
 
 
 def unregister_workload(name: str) -> None:
     _EXTRA.pop(name, None)
+    _FINGERPRINTS.pop(name, None)
+
+
+def program_fingerprint(name: str) -> str:
+    """Fingerprint of the named workload's program, memoized.
+
+    Sweep cache probes hash the same program once per spec; the memo
+    turns that into one build + hash per distinct workload name.
+    Invalidated when the name is (re-)registered or unregistered.
+    """
+    fp = _FINGERPRINTS.get(name)
+    if fp is None:
+        fp = resolve_workload(name).fresh_program().fingerprint()
+        _FINGERPRINTS[name] = fp
+    return fp
 
 
 def resolve_workload(name: str) -> Workload:

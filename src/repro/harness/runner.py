@@ -7,7 +7,11 @@ import time
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.analysis import InstrumentationMap, instrument_program, lock_site_locations
+from repro.analysis import (
+    InstrumentationMap,
+    instrument_program_cached,
+    lock_site_locations,
+)
 from repro.detectors import RaceDetector, ToolConfig
 from repro.detectors.reports import Report
 from repro.harness.registry import RegistryBuild
@@ -49,6 +53,11 @@ class RunOutcome:
     #: wall-clock of the instrumentation phase (spin-loop analysis and
     #: lock-site inference), seconds; 0 when neither feature is on
     instrument_s: float = 0.0
+    #: wall-clock of the threaded-code decode pass, seconds; near zero on
+    #: a decode-cache hit and exactly zero with ``predecoded=False``.
+    #: One-time translation, like ``instrument_s`` — not charged to
+    #: ``duration_s``
+    decode_s: float = 0.0
     #: fault plan the run executed under (chaos runs only)
     fault_plan: Optional[FaultPlan] = None
     #: livelock-watchdog bound the machine ran with, if any
@@ -93,7 +102,11 @@ def run_workload(
     if config.spin or config.infer_locks:
         instrument_start = time.perf_counter()
         if config.spin:
-            imap = instrument_program(
+            # Content-keyed cached: repeats and sibling configs with the
+            # same spin window reuse one static analysis; ``instrument_s``
+            # then reflects what the run actually paid (near zero on a
+            # hit), keeping amortized cost out of the per-run figure.
+            imap = instrument_program_cached(
                 program,
                 max_blocks=config.spin_max_blocks,
                 inline_depth=config.inline_depth,
@@ -108,7 +121,7 @@ def run_workload(
     # statistics.
     watch_imap = imap
     if watch_imap is None and livelock_bound is not None:
-        watch_imap = instrument_program(
+        watch_imap = instrument_program_cached(
             program,
             max_blocks=config.spin_max_blocks,
             inline_depth=config.inline_depth,
@@ -122,6 +135,7 @@ def run_workload(
         max_steps=max_steps or workload.max_steps,
         faults=fault_plan,
         livelock_bound=livelock_bound,
+        predecode=config.predecoded,
     )
     # Symbolization is wired by Machine construction (detector.on_attach).
     start = time.perf_counter()
@@ -136,6 +150,7 @@ def run_workload(
         result=result,
         duration_s=duration,
         instrument_s=instrument_s,
+        decode_s=machine.decode_s,
         steps=machine.step_count,
         events=detector.events_processed,
         detector_words=detector.memory_words(),
@@ -147,17 +162,22 @@ def run_workload(
     )
 
 
-def run_bare(workload: Workload, seed: Optional[int] = None) -> float:
+def run_bare(
+    workload: Workload, seed: Optional[int] = None, predecode: bool = True
+) -> float:
     """Run the workload with *no* detector attached; returns seconds.
 
     The baseline for the paper's runtime-overhead figure (native execution
     under plain Valgrind corresponds to our VM without a listener).
+    ``predecode=False`` selects the legacy isinstance dispatcher — the
+    comparison the F4 interpreter-throughput figure draws.
     """
     program = workload.fresh_program()
     machine = Machine(
         program,
         scheduler=RandomScheduler(seed if seed is not None else workload.seed),
         max_steps=workload.max_steps,
+        predecode=predecode,
     )
     start = time.perf_counter()
     machine.run()

@@ -150,17 +150,23 @@ class Program:
     globals: Dict[str, GlobalVar] = field(default_factory=dict)
     entry: str = "main"
     name: str = "program"
+    #: memoized :meth:`fingerprint`; every structural mutation clears it
+    _fingerprint: Optional[str] = field(
+        default=None, repr=False, compare=False
+    )
 
     def add_function(self, func: Function) -> Function:
         if func.name in self.functions:
             raise ValueError(f"duplicate function {func.name!r}")
         self.functions[func.name] = func
+        self._fingerprint = None
         return func
 
     def add_global(self, var: GlobalVar) -> GlobalVar:
         if var.name in self.globals:
             raise ValueError(f"duplicate global {var.name!r}")
         self.globals[var.name] = var
+        self._fingerprint = None
         return var
 
     def function(self, name: str) -> Function:
@@ -192,7 +198,16 @@ class Program:
         deterministic reprs).  The experiment result cache keys on this,
         so a workload generator change transparently invalidates every
         cached run of that workload.
+
+        Memoized: the decode cache keys every Machine construction on
+        this, so re-hashing per run would eat the decode win.  The memo
+        is cleared by :meth:`add_function` / :meth:`add_global` (and so
+        by :meth:`merge`); mutating instruction lists of an already-added
+        function in place is not supported by any builder and would go
+        unnoticed here.
         """
+        if self._fingerprint is not None:
+            return self._fingerprint
         h = hashlib.sha256()
         h.update(f"program|{self.name}|{self.entry}\n".encode())
         for gname in sorted(self.globals):
@@ -209,4 +224,5 @@ class Program:
                 for instr in block.instructions:
                     h.update(repr(instr).encode())
                     h.update(b"\n")
-        return h.hexdigest()
+        self._fingerprint = h.hexdigest()
+        return self._fingerprint

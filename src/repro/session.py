@@ -33,7 +33,11 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Optional, Union
 
-from repro.analysis import InstrumentationMap, instrument_program, lock_site_locations
+from repro.analysis import (
+    InstrumentationMap,
+    instrument_program_cached,
+    lock_site_locations,
+)
 from repro.detectors import RaceDetector, ToolConfig
 from repro.detectors.reports import Report
 from repro.harness.registry import resolve_tool, resolve_workload
@@ -66,6 +70,9 @@ class SessionResult:
     instrumentation: Optional[InstrumentationMap] = None
     #: wall-clock of the instrumentation phase, seconds
     instrument_s: float = 0.0
+    #: wall-clock of the threaded-code decode pass, seconds (near zero on
+    #: a decode-cache hit; zero under ``predecoded=False``)
+    decode_s: float = 0.0
     #: wall-clock of machine + detector, seconds
     run_s: float = 0.0
 
@@ -157,7 +164,7 @@ def run(
     if tool.spin or tool.infer_locks:
         instrument_start = time.perf_counter()
         if tool.spin:
-            imap = instrument_program(
+            imap = instrument_program_cached(
                 program,
                 max_blocks=tool.spin_max_blocks,
                 inline_depth=tool.inline_depth,
@@ -170,7 +177,7 @@ def run(
     # charged to the tool being measured).
     watch_imap = imap
     if watch_imap is None and livelock_bound is not None:
-        watch_imap = instrument_program(
+        watch_imap = instrument_program_cached(
             program,
             max_blocks=tool.spin_max_blocks,
             inline_depth=tool.inline_depth,
@@ -185,6 +192,7 @@ def run(
         max_steps=max_steps,
         faults=faults,
         livelock_bound=livelock_bound,
+        predecode=tool.predecoded,
     )
     start = time.perf_counter()
     result = machine.run()
@@ -201,5 +209,6 @@ def run(
         workload=workload,
         instrumentation=imap,
         instrument_s=instrument_s,
+        decode_s=machine.decode_s,
         run_s=run_s,
     )

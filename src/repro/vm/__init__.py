@@ -48,6 +48,15 @@ from repro.vm.faults import (
     StarveThread,
     ThreadDiag,
 )
+from repro.vm.decode import (
+    DecodedBlock,
+    DecodedProgram,
+    clear_decode_cache,
+    decode_cache_info,
+    decode_key,
+    decode_program,
+    get_decoded_program,
+)
 from repro.vm.memory import Memory, MemoryError_, SymbolMap
 from repro.vm.scheduler import (
     Scheduler,
@@ -99,4 +108,11 @@ __all__ = [
     "Machine",
     "MachineError",
     "RunResult",
+    "DecodedBlock",
+    "DecodedProgram",
+    "decode_program",
+    "decode_key",
+    "get_decoded_program",
+    "decode_cache_info",
+    "clear_decode_cache",
 ]

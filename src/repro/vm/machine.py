@@ -35,12 +35,14 @@ buffered — or counted — at all.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.isa import instructions as ins
 from repro.isa.program import CodeLocation, Function, Program, SyncKind
 from repro.vm import events as ev
+from repro.vm.decode import get_decoded_program
 from repro.vm.faults import FaultInjector, FaultPlan, LivelockReport, ThreadDiag
 from repro.vm.frames import Frame, ThreadState, ThreadStatus
 from repro.vm.memory import Memory
@@ -125,6 +127,7 @@ class Machine:
         faults: Optional[FaultPlan] = None,
         livelock_bound: Optional[int] = None,
         batch_size: int = 4096,
+        predecode: bool = True,
     ) -> None:
         self.program = program
         self.scheduler = scheduler or RandomScheduler()
@@ -162,6 +165,11 @@ class Machine:
         self.threads: Dict[int, ThreadState] = {}
         self._next_tid = 0
         self._waiters: Dict[int, List[int]] = {}
+        # Runnable-set memo: rebuilding the list each scheduler pick is
+        # per-step overhead, but the set only changes on spawn / exit /
+        # kill / join-block / wake — every such site flips the dirty bit.
+        self._runnable_dirty = True
+        self._runnable_cache: List[int] = []
         self.step_count = 0
         self.event_count = 0
         self.outputs: List[Tuple[int, int]] = []
@@ -184,6 +192,20 @@ class Machine:
         self._loop_names: Dict[int, str] = {
             lid: f"{func}:{header}" for (func, header), lid in self._loop_headers.items()
         }
+        # Pre-decoded threaded code (see :mod:`repro.vm.decode`): resolved
+        # before the entry thread spawns so every frame carries its
+        # DecodedBlock.  ``decode_s`` is the one-time translation cost
+        # (near zero on a decode-cache hit) so the harness can keep it out
+        # of measured run time.  The watchdog-armed flag is baked into the
+        # decoded handlers, hence part of the cache key.
+        self._dcode = None
+        self.decode_s = 0.0
+        if predecode:
+            t0 = time.perf_counter()
+            self._dcode = get_decoded_program(
+                program, instrumentation, livelock_bound is not None
+            )
+            self.decode_s = time.perf_counter() - t0
         self._spawn_thread(program.entry, (), parent=None)
         # Let the listener wire itself to this machine (e.g. the race
         # detector picks up the symbol table for address symbolization).
@@ -205,17 +227,25 @@ class Machine:
         tid = self._next_tid
         self._next_tid += 1
         frame = Frame(function=func, block=func.entry, regs=dict(zip(func.params, args)))
+        if self._dcode is not None:
+            frame.code = self._dcode.entries[func_name]
         thread = ThreadState(tid=tid, frames=[frame])
         if func.is_library:
             thread.lib_depth = 1
         self.threads[tid] = thread
+        self._runnable_dirty = True
         self.scheduler.on_spawn(tid)
         return tid
 
     def _runnable(self) -> List[int]:
-        return [
-            t.tid for t in self.threads.values() if t.status is ThreadStatus.RUNNABLE
-        ]
+        if self._runnable_dirty:
+            self._runnable_cache = [
+                t.tid
+                for t in self.threads.values()
+                if t.status is ThreadStatus.RUNNABLE
+            ]
+            self._runnable_dirty = False
+        return self._runnable_cache
 
     def kill_thread(self, tid: int) -> None:
         """Terminate ``tid`` abruptly (kill-thread fault).
@@ -226,11 +256,13 @@ class Machine:
         """
         thread = self.threads[tid]
         thread.status = ThreadStatus.KILLED
+        self._runnable_dirty = True
         self._emit(ev.ThreadKilledEvent(self.step_count, tid))
 
     def _exit_thread(self, thread: ThreadState, value: Optional[int]) -> None:
         thread.status = ThreadStatus.EXITED
         thread.result = value
+        self._runnable_dirty = True
         self._emit(ev.ThreadExitEvent(self.step_count, thread.tid))
         for waiter_tid in self._waiters.pop(thread.tid, []):
             waiter = self.threads[waiter_tid]
@@ -255,6 +287,11 @@ class Machine:
     ) -> None:
         buf = self._read_buf
         if buf is None:
+            if self.listener is None:
+                # Bare run: the event is unobservable — count it (the
+                # harness reads ``event_count``) without allocating it.
+                self.event_count += 1
+                return
             self._emit(ev.MemRead(self.step_count, tid, addr, value, loc, atomic, in_lib))
             return
         if in_lib and self._skip_lib:
@@ -268,6 +305,9 @@ class Machine:
     ) -> None:
         buf = self._write_buf
         if buf is None:
+            if self.listener is None:
+                self.event_count += 1
+                return
             self._emit(ev.MemWrite(self.step_count, tid, addr, value, loc, atomic, in_lib))
             return
         if in_lib and self._skip_lib:
@@ -301,10 +341,25 @@ class Machine:
     def _run_loop(self) -> RunResult:
         deadlocked = False
         batch_size = self.batch_size
+        # Per-step overhead is the whole game here: hoist the loop-stable
+        # attribute chains into locals.
+        injector = self._injector
+        threads = self.threads
+        threads_values = threads.values()
+        scheduler_pick = self.scheduler.pick
+        step = self.step
+        runnable_status = ThreadStatus.RUNNABLE
+        dcode = self._dcode
+        skip_lib = self._skip_lib
         while not self._halted:
-            if self._injector is not None:
-                self._injector.on_step(self)
-            runnable = self._runnable()
+            if injector is not None:
+                injector.on_step(self)
+            if self._runnable_dirty:
+                self._runnable_cache = [
+                    t.tid for t in threads_values if t.status is runnable_status
+                ]
+                self._runnable_dirty = False
+            runnable = self._runnable_cache
             if not runnable:
                 # Killed threads are gone, not stuck: only still-blocked
                 # survivors make the quiescence a deadlock.
@@ -318,10 +373,39 @@ class Machine:
                 break
             if self.step_count >= self.max_steps:
                 return self._result(timed_out=True, deadlocked=False)
-            if self._injector is not None:
-                runnable = self._injector.filter_runnable(self, runnable)
-            tid = self.scheduler.pick(runnable)
-            self.step(tid)
+            if injector is not None:
+                runnable = injector.filter_runnable(self, runnable)
+            tid = scheduler_pick(runnable)
+            if dcode is None:
+                step(tid)
+            else:
+                # Inlined decoded step: identical to the decoded branch
+                # of :meth:`step`, minus one method call per instruction.
+                thread = threads[tid]
+                if thread.status is not runnable_status:
+                    raise MachineError(f"thread {tid} not runnable")
+                if not thread.started:
+                    thread.started = True
+                    self._emit(ev.ThreadStartEvent(self.step_count, tid))
+                frame = thread.frames[-1]
+                code = frame.code
+                index = frame.index
+                if index == 0:
+                    loop_id = code.loop_id
+                    if loop_id is not None and not (
+                        skip_lib and thread.lib_depth > 0
+                    ):
+                        self._emit(
+                            ev.MarkedLoopEnter(
+                                self.step_count,
+                                tid,
+                                loop_id,
+                                code.entry_loc,
+                                thread.lib_depth > 0,
+                            )
+                        )
+                self.step_count += 1
+                code.handlers[index](self, thread, frame)
             # Size cap, checked at the scheduler-switch boundary.
             if self._pending >= batch_size:
                 self.flush_events()
@@ -396,7 +480,31 @@ class Machine:
         if not thread.started:
             thread.started = True
             self._emit(ev.ThreadStartEvent(self.step_count, tid))
-        frame = thread.frame
+        frame = thread.frames[-1]
+        code = frame.code
+        if code is not None:
+            # Threaded-code path: the frame's DecodedBlock already holds
+            # the handler array, the loop-header marker, and the entry
+            # location — no dict probes, no CodeLocation allocation, no
+            # isinstance chain.
+            index = frame.index
+            if index == 0:
+                loop_id = code.loop_id
+                if loop_id is not None and not (
+                    self._skip_lib and thread.lib_depth > 0
+                ):
+                    self._emit(
+                        ev.MarkedLoopEnter(
+                            self.step_count,
+                            tid,
+                            loop_id,
+                            code.entry_loc,
+                            thread.lib_depth > 0,
+                        )
+                    )
+            self.step_count += 1
+            code.handlers[index](self, thread, frame)
+            return
         if frame.index == 0 and self._loop_headers:
             loop_id = self._loop_headers.get((frame.function.name, frame.block))
             if loop_id is not None and not (self._skip_lib and thread.in_library):
@@ -483,6 +591,8 @@ class Machine:
             regs=dict(zip(func.params, args)),
             ret_dst=ret_dst,
         )
+        if self._dcode is not None:
+            frame.code = self._dcode.entries[func.name]
         if func.annotation is not None:
             obj_addr = args[func.annotation.obj_arg]
             frame.sync_obj = obj_addr
@@ -686,6 +796,7 @@ class Machine:
                 # Re-execute the join once woken: do not advance yet.
                 thread.status = ThreadStatus.BLOCKED_JOIN
                 thread.join_target = target
+                self._runnable_dirty = True
                 self._waiters.setdefault(target, []).append(tid)
         elif isinstance(instr, ins.Yield):
             self.scheduler.on_yield(tid)

@@ -63,10 +63,18 @@ class RoundRobinScheduler(Scheduler):
         self._penalties: Dict[int, int] = {}
 
     def pick(self, runnable: Sequence[int]) -> int:
-        eligible = [t for t in runnable if self._penalties.get(t, 0) == 0]
-        pool = eligible if eligible else list(runnable)
-        _decay_penalties(self._penalties)
-        later = [t for t in pool if t > self._last]
+        # No outstanding penalties (the common case): every runnable
+        # thread is eligible and decay is a no-op, so skip both.  The
+        # chosen thread is identical to the slow path's.
+        penalties = self._penalties
+        if penalties:
+            eligible = [t for t in runnable if penalties.get(t, 0) == 0]
+            pool = eligible if eligible else list(runnable)
+            _decay_penalties(penalties)
+        else:
+            pool = runnable
+        last = self._last
+        later = [t for t in pool if t > last]
         chosen = min(later) if later else min(pool)
         self._last = chosen
         return chosen
@@ -89,9 +97,19 @@ class RandomScheduler(Scheduler):
         self._penalties: Dict[int, int] = {}
 
     def pick(self, runnable: Sequence[int]) -> int:
-        eligible: List[int] = [t for t in runnable if self._penalties.get(t, 0) == 0]
+        penalties = self._penalties
+        if not penalties:
+            # Fast path: no outstanding penalties — the eligible pool is
+            # ``runnable`` itself (same contents, same order), and decay
+            # is a no-op, so the pick and the RNG draw are unchanged.
+            return (
+                runnable[self._rng.randrange(len(runnable))]
+                if len(runnable) > 1
+                else runnable[0]
+            )
+        eligible: List[int] = [t for t in runnable if penalties.get(t, 0) == 0]
         pool = eligible if eligible else list(runnable)
-        _decay_penalties(self._penalties)
+        _decay_penalties(penalties)
         return pool[self._rng.randrange(len(pool))] if len(pool) > 1 else pool[0]
 
     def on_yield(self, tid: int) -> None:
@@ -115,16 +133,24 @@ class AdversarialScheduler(Scheduler):
         self._penalties: Dict[int, int] = {}
 
     def pick(self, runnable: Sequence[int]) -> int:
-        _decay_penalties(self._penalties)
-        if (
-            self._remaining > 0
-            and self._current in runnable
-            and self._penalties.get(self._current, 0) == 0
-        ):
-            self._remaining -= 1
-            return self._current
-        eligible = [t for t in runnable if self._penalties.get(t, 0) == 0]
-        pool = eligible if eligible else list(runnable)
+        penalties = self._penalties
+        if not penalties:
+            # Fast path: decay is a no-op and every thread is eligible.
+            if self._remaining > 0 and self._current in runnable:
+                self._remaining -= 1
+                return self._current
+            pool = runnable
+        else:
+            _decay_penalties(penalties)
+            if (
+                self._remaining > 0
+                and self._current in runnable
+                and penalties.get(self._current, 0) == 0
+            ):
+                self._remaining -= 1
+                return self._current
+            eligible = [t for t in runnable if penalties.get(t, 0) == 0]
+            pool = eligible if eligible else list(runnable)
         self._current = pool[self._rng.randrange(len(pool))] if len(pool) > 1 else pool[0]
         self._remaining = self._rng.randrange(1, self._burst)
         return self._current

@@ -1,0 +1,91 @@
+"""Differential oracle: pre-decoding must not change a single run.
+
+The threaded-code interpreter (:mod:`repro.vm.decode`) is a *pure*
+dispatch optimization — every (workload, tool, seed) triple must make
+the same scheduler decisions, execute the same number of steps, deliver
+the same events, and produce a byte-identical
+:class:`~repro.detectors.reports.Report` with ``predecoded`` on or off.
+These tests sweep the whole 120-case dr_test suite and the 8-case chaos
+suite for lib/nolib interception crossed with the spin feature on/off —
+the same grid the pipeline differential uses.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.detectors import ToolConfig
+from repro.harness.registry import resolve_workload
+from repro.harness.runner import run_workload
+from repro.workloads import build_suite
+from repro.workloads.dr_test.faults import chaos_cases
+
+CONFIGS = (
+    ToolConfig.helgrind_lib(),
+    ToolConfig.helgrind_lib_spin(7),
+    replace(ToolConfig.helgrind_nolib_spin(7), spin=False, name="Helgrind+ nolib"),
+    ToolConfig.helgrind_nolib_spin(7),
+)
+
+
+def _compare(name, config, decoded, legacy, mismatches):
+    """Execution surface + report must be identical between interpreters."""
+    problems = []
+    if decoded.result.status != legacy.result.status:
+        problems.append(
+            f"status {decoded.result.status!r} != {legacy.result.status!r}"
+        )
+    if decoded.steps != legacy.steps:
+        problems.append(f"steps {decoded.steps} != {legacy.steps}")
+    if decoded.events != legacy.events:
+        problems.append(f"events {decoded.events} != {legacy.events}")
+    if decoded.report.fingerprint() != legacy.report.fingerprint():
+        problems.append(
+            f"report\n  decoded: {decoded.report.fingerprint()}"
+            f"\n  legacy:  {legacy.report.fingerprint()}"
+        )
+    if problems:
+        mismatches.append(f"{name} under {config.name}: " + "; ".join(problems))
+
+
+@pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.name)
+def test_suite_runs_identical(config):
+    mismatches = []
+    for wl in build_suite():
+        decoded = run_workload(wl, replace(config, predecoded=True))
+        legacy = run_workload(wl, replace(config, predecoded=False))
+        _compare(wl.name, config, decoded, legacy, mismatches)
+    assert not mismatches, "\n".join(mismatches)
+
+
+@pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.name)
+def test_chaos_runs_identical(config):
+    """Fault-injected runs (dropped stores, stuck threads, watchdog
+    kills mid-loop) must also be interpreter-invariant."""
+    mismatches = []
+    for case in chaos_cases():
+        wl = resolve_workload(case.workload)
+        runs = {}
+        for label, predecoded in (("decoded", True), ("legacy", False)):
+            runs[label] = run_workload(
+                wl,
+                replace(config, predecoded=predecoded),
+                seed=case.seed,
+                fault_plan=case.plan,
+                livelock_bound=case.livelock_bound,
+            )
+        _compare(case.name, config, runs["decoded"], runs["legacy"], mismatches)
+    assert not mismatches, "\n".join(mismatches)
+
+
+def test_decode_cost_not_charged_to_duration():
+    """decode_s is reported on the outcome, separate from duration_s."""
+    wl = build_suite()[0]
+    decoded = run_workload(wl, ToolConfig.helgrind_lib_spin(7))
+    assert decoded.decode_s >= 0.0
+    legacy = run_workload(
+        wl, replace(ToolConfig.helgrind_lib_spin(7), predecoded=False)
+    )
+    assert legacy.decode_s == 0.0
+    # total_s deliberately excludes the amortized one-time decode.
+    assert decoded.total_s == decoded.duration_s + decoded.instrument_s
