@@ -6,8 +6,12 @@
 * :mod:`repro.harness.registry` — name → workload resolution (pickling
   and cross-process dispatch);
 * :mod:`repro.harness.parallel` — process-pool sweep engine with
-  content-keyed result caching, per-run timeout/retry, and structured
-  observability records;
+  content-keyed result caching, per-run timeout/retry, worker
+  supervision, and structured observability records;
+* :mod:`repro.harness.checkpoint` — fsynced sweep journals for
+  crash-safe ``resume=True`` sweeps;
+* :mod:`repro.harness.triage` — failure forensics: replayable trace
+  artifacts and the ddmin repro shrinker;
 * :mod:`repro.harness.metrics` — suite scoring (false alarms / missed
   races / failed / correct) and racy-context averaging;
 * :mod:`repro.harness.tables` — text rendering of the paper's tables;
@@ -20,6 +24,7 @@ from repro.harness.workload import Workload
 from repro.harness.runner import RunOutcome, run_workload
 from repro.harness.registry import register_workload, resolve_workload
 from repro.harness.parallel import (
+    CacheDoctorReport,
     ResultCache,
     RunRecord,
     RunSpec,
@@ -29,6 +34,8 @@ from repro.harness.parallel import (
     run_sweep,
     sweep_specs,
 )
+from repro.harness.checkpoint import SweepJournal, spec_key, sweep_digest
+from repro.harness.triage import ShrinkResult, capture_failure, shrink_failure
 from repro.harness.metrics import (
     CaseScore,
     SuiteScore,
@@ -45,13 +52,20 @@ __all__ = [
     "run_workload",
     "register_workload",
     "resolve_workload",
+    "CacheDoctorReport",
     "ResultCache",
     "RunRecord",
     "RunSpec",
+    "ShrinkResult",
+    "SweepJournal",
     "SweepResult",
     "SweepSummary",
+    "capture_failure",
     "prewarm_static",
     "run_sweep",
+    "shrink_failure",
+    "spec_key",
+    "sweep_digest",
     "sweep_specs",
     "CaseScore",
     "SuiteScore",

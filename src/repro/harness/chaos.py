@@ -22,8 +22,10 @@ mismatch is a bug, not flakiness.
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.detectors import ToolConfig
@@ -32,8 +34,10 @@ from repro.harness.registry import resolve_tool
 from repro.harness.runner import RunOutcome
 from repro.workloads.dr_test.faults import ChaosCase, chaos_cases
 
+log = logging.getLogger(__name__)
+
 #: statuses that mean the harness infrastructure (not the oracle) failed
-INFRA_FAILURES = ("timeout", "crash", "error")
+INFRA_FAILURES = ("timeout", "crash", "error", "hung")
 
 
 @dataclass(frozen=True)
@@ -150,11 +154,26 @@ def run_chaos(
     cache: Optional[ResultCache] = None,
     timeout_s: Optional[float] = None,
     policies: Optional[Dict[str, RetryPolicy]] = None,
+    journal_dir: Optional[Union[str, Path]] = None,
+    resume: bool = False,
+    heartbeat_s: Optional[float] = None,
+    poison_threshold: Optional[int] = None,
+    forensics_dir: Optional[Union[str, Path]] = None,
 ) -> ChaosReport:
     """Run the chaos suite grouped by fault class; verify every case.
 
     ``config`` may be a :class:`ToolConfig` or a preset name resolved
     through :func:`repro.harness.registry.resolve_tool`.
+
+    Durability and supervision knobs (``journal_dir``/``resume``,
+    ``heartbeat_s``, ``poison_threshold``) pass straight through to
+    :func:`~repro.harness.parallel.run_sweep`.  Pair ``resume`` with a
+    ``cache``: the journal restores records, but note/livelock oracles
+    also inspect detector outcomes, which only the cache can replay.  With ``forensics_dir``
+    set, infrastructure failures are captured by the sweep engine and
+    *oracle mismatches* are captured here — re-executed under
+    ``record_trace`` with the case's fault plan, shrunk via ddmin with
+    the oracle itself as the "still fails" predicate.
     """
     cases = list(cases if cases is not None else chaos_cases())
     config = resolve_tool(config) if config else ToolConfig.helgrind_lib_spin(7)
@@ -176,6 +195,11 @@ def run_chaos(
             cache=cache,
             timeout_s=timeout_s,
             retries=policy.retries,
+            journal_dir=journal_dir,
+            resume=resume,
+            heartbeat_s=heartbeat_s,
+            poison_threshold=poison_threshold,
+            forensics_dir=forensics_dir,
         )
         records = list(result.records)
         outcomes = list(result.outcomes)
@@ -196,8 +220,28 @@ def run_chaos(
                 if redo.records[j].status not in INFRA_FAILURES:
                     records[i] = redo.records[j]
                     outcomes[i] = redo.outcomes[j]
-        for case, record, outcome in zip(group, records, outcomes):
-            report.verdicts.append(verify_case(case, record, outcome))
+        for i, (case, record, outcome) in enumerate(zip(group, records, outcomes)):
+            verdict = verify_case(case, record, outcome)
+            report.verdicts.append(verdict)
+            # Oracle mismatches get a forensic artifact too: the runs are
+            # deterministic, so a mismatch is a reproducible bug worth a
+            # shrunk repro with the oracle as the failure predicate.
+            if (
+                forensics_dir is not None
+                and not verdict.passed
+                and record.status not in INFRA_FAILURES
+            ):
+                from repro.harness.triage import capture_failure, chaos_oracle_predicate
+
+                try:
+                    capture_failure(
+                        specs[i],
+                        record,
+                        forensics_dir,
+                        predicate=chaos_oracle_predicate(case, config),
+                    )
+                except Exception as exc:  # forensics must never sink chaos
+                    log.warning("chaos forensics failed for %s: %s", case.name, exc)
         report.records.extend(records)
 
     report.wall_s = time.perf_counter() - start

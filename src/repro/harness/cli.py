@@ -16,6 +16,8 @@ Subcommands::
     repro-experiments sweep         # parallel sweep + observability report
     repro-experiments chaos         # fault-injection suite vs. its oracle
     repro-experiments tools         # list the named tool presets
+    repro-experiments cache doctor  # scan/quarantine/purge the result cache
+    repro-experiments triage replay ARTIFACT  # replay a forensic artifact
     repro-experiments all           # every table and figure, in order
 
 Global options wire every table through the parallel engine::
@@ -27,6 +29,14 @@ Global options wire every table through the parallel engine::
     --retries N       attempts after a timeout/crash before giving up
     --tools A,B       tool presets to sweep (see ``tools``); tables
                       default to the paper's four columns
+
+Durability and triage options (sweep/chaos)::
+
+    --journal-dir DIR    fsynced checkpoint journal of completed runs
+    --resume             skip specs already journaled by a killed run
+    --heartbeat S        worker heartbeat interval (hung/slow detection)
+    --poison-threshold N quarantine a spec after N worker kills/hangs
+    --forensics-dir DIR  capture + ddmin-shrink failed runs as artifacts
 
 Tool names resolve through the shared preset registry
 (:meth:`repro.detectors.ToolConfig.preset`): ``helgrind-lib``,
@@ -350,6 +360,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         cache=_cache(args),
         timeout_s=args.timeout,
         retries=args.retries,
+        journal_dir=args.journal_dir,
+        resume=args.resume,
+        heartbeat_s=args.heartbeat,
+        poison_threshold=args.poison_threshold,
+        forensics_dir=args.forensics_dir,
     )
     title = (
         f"Sweep — {len(workloads)} workload(s) x {len(configs)} tool(s) "
@@ -358,6 +373,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     print(sweep_records_table(result.records, title))
     print()
     print(sweep_summary_table(result.summary()))
+    if result.resumed:
+        print(f"\n{result.resumed} run(s) served from the checkpoint journal")
+    if result.interrupted:
+        print(f"\ninterrupted — {len(result.records)} completed record(s) kept")
+        return 130
     if result.failed:
         print(f"\n{len(result.failed)} run(s) FAILED")
         return 1
@@ -373,6 +393,11 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         workers=args.workers,
         cache=_cache(args),
         timeout_s=args.timeout,
+        journal_dir=args.journal_dir,
+        resume=args.resume,
+        heartbeat_s=args.heartbeat,
+        poison_threshold=args.poison_threshold,
+        forensics_dir=args.forensics_dir,
     )
     print(chaos_table(report))
     print()
@@ -381,6 +406,70 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         print(f"\n{len(report.failed)} chaos case(s) FAILED")
         return 1
     return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    """``cache doctor``: scan the result cache, quarantine, optionally purge."""
+    verb = args.rest[0] if args.rest else "doctor"
+    if verb != "doctor":
+        print(f"unknown cache command {verb!r} (expected: doctor)", file=sys.stderr)
+        return 2
+    if not args.cache_dir:
+        print("cache doctor requires --cache-dir", file=sys.stderr)
+        return 2
+    cache = ResultCache(args.cache_dir)
+    report = cache.doctor(purge=args.purge)
+    print(
+        f"cache doctor — {args.cache_dir}: {report.scanned} entries scanned, "
+        f"{report.ok} ok, {len(report.quarantined)} newly quarantined, "
+        f"{report.corrupt_entries} in corrupt/"
+        + (f", {report.purged} purged" if args.purge else "")
+    )
+    for q in report.quarantined:
+        print(f"  quarantined {q.key[:16]}…: {q.reason} -> {q.path}")
+    return 0
+
+
+def cmd_triage(args: argparse.Namespace) -> int:
+    """``triage replay ARTIFACT``: replay a forensic trace artifact.
+
+    Exit code 1 means the failure *reproduced* (abnormal machine status
+    or racy contexts on replay) — the artifact is still a live repro.
+    """
+    from repro.harness.triage import load_artifact, replay_artifact
+
+    if not args.rest or args.rest[0] != "replay":
+        print("usage: repro-experiments triage replay ARTIFACT_DIR", file=sys.stderr)
+        return 2
+    if len(args.rest) < 2:
+        print("triage replay: missing ARTIFACT_DIR", file=sys.stderr)
+        return 2
+    path = args.rest[1]
+    meta = load_artifact(path)
+    trace, detector = replay_artifact(path, config=args.tool, shrunk=args.shrunk)
+    which = "shrunk repro" if args.shrunk else "full trace"
+    print(
+        f"triage replay — {meta['workload']} under "
+        f"{args.tool or meta['tool']} ({which})"
+    )
+    print(
+        f"  recorded: status={meta['record']['status']} "
+        f"error={meta['record'].get('error', '')!r}"
+    )
+    if meta.get("shrink"):
+        s = meta["shrink"]
+        print(
+            f"  shrink: {s['nopped']}/{s['candidates']} instruction(s) nopped, "
+            f"seed {s['original_seed']} -> {s['seed']}, "
+            f"{s['trials']} trial(s), {s['steps_spent']} VM steps"
+        )
+    print(
+        f"  replayed: status={trace.status} steps={trace.steps} "
+        f"events={len(trace.events)} racy_contexts={detector.report.racy_contexts}"
+    )
+    reproduced = trace.status != "ok" or detector.report.racy_contexts > 0
+    print(f"  failure {'REPRODUCED' if reproduced else 'not reproduced'}")
+    return 1 if reproduced else 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -436,12 +525,54 @@ def main(argv: Sequence[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--journal-dir",
+        default=None,
+        help="sweep/chaos: fsynced checkpoint journal directory",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="sweep/chaos: skip specs already journaled (requires --journal-dir)",
+    )
+    parser.add_argument(
+        "--heartbeat",
+        type=float,
+        default=None,
+        help="sweep/chaos: worker heartbeat interval in seconds",
+    )
+    parser.add_argument(
+        "--poison-threshold",
+        type=int,
+        default=None,
+        help="sweep/chaos: quarantine a spec after N worker kills/hangs",
+    )
+    parser.add_argument(
+        "--forensics-dir",
+        default=None,
+        help="sweep/chaos: capture + shrink failed runs as replayable artifacts",
+    )
+    parser.add_argument(
+        "--purge",
+        action="store_true",
+        help="cache doctor: delete quarantined corrupt/ entries",
+    )
+    parser.add_argument(
+        "--shrunk",
+        action="store_true",
+        help="triage replay: replay the minimized repro instead of the full trace",
+    )
+    parser.add_argument(
         "experiment",
         choices=[
             "t1", "t2", "t3", "t4", "t5", "f1", "f2", "f3", "f4", "cases",
-            "oracle", "sweep", "chaos", "tools", "all",
+            "oracle", "sweep", "chaos", "tools", "cache", "triage", "all",
         ],
         help="which experiment to run",
+    )
+    parser.add_argument(
+        "rest",
+        nargs="*",
+        help="subcommand arguments (cache doctor [...], triage replay ARTIFACT)",
     )
     args = parser.parse_args(argv)
     commands = {
@@ -459,6 +590,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "sweep": cmd_sweep,
         "chaos": cmd_chaos,
         "tools": cmd_tools,
+        "cache": cmd_cache,
+        "triage": cmd_triage,
     }
     if args.experiment == "all":
         for name in ("t1", "t2", "t3", "t4", "t5", "f1", "f2", "f3", "f4"):

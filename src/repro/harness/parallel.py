@@ -5,7 +5,7 @@ tool configuration, seed) triples, and each triple is an independent,
 deterministic computation: the seeded scheduler fixes the interleaving,
 so re-running a triple anywhere — another process, another day — yields
 a bit-identical :class:`~repro.harness.runner.RunOutcome`.  This module
-exploits that in three layers:
+exploits that in four layers:
 
 * **fan-out** — :func:`run_sweep` executes :class:`RunSpec` triples on a
   pool of worker *processes* (fork-based, one short-lived process per
@@ -13,12 +13,21 @@ exploits that in three layers:
 * **robustness** — each run gets a configurable wall-clock timeout and
   crash isolation; a diverging or crashing workload is killed, retried
   up to ``retries`` times, and finally recorded as failed without
-  taking the sweep down;
+  taking the sweep down.  With heartbeats on, the parent distinguishes
+  a *hung* worker (no VM progress) from a merely *slow* one, and a spec
+  that keeps killing workers can be quarantined as a **poison spec**;
+* **durability** — every completed record can be appended to an fsynced
+  :class:`~repro.harness.checkpoint.SweepJournal`; ``resume=True``
+  serves journaled specs without re-execution, so a SIGKILL/OOM/Ctrl-C
+  mid-sweep loses only the in-flight runs.  ``KeyboardInterrupt``
+  returns (and journals) the partial result instead of discarding it;
 * **cache** — a :class:`ResultCache` keyed on *content*
   (:meth:`~repro.isa.program.Program.fingerprint` of the built program +
-  tool configuration + seed + step budget) persists pickled outcomes,
-  so repeated sweeps and the benchmarks skip already-measured runs, and
-  editing a workload generator transparently invalidates its entries.
+  tool configuration + seed + step budget) persists pickled outcomes
+  behind a checksummed frame, so repeated sweeps and the benchmarks skip
+  already-measured runs, a torn or corrupted entry is quarantined (never
+  a crash), and editing a workload generator transparently invalidates
+  its entries.
 
 Observability rides along: every run (executed, cached, or failed)
 produces a structured :class:`RunRecord` with throughput and detector
@@ -28,31 +37,49 @@ statistics, and :func:`summarize_records` folds them into the
 
 from __future__ import annotations
 
-import dataclasses
+import hashlib
+import logging
 import multiprocessing
 import os
 import pickle
+import struct
 import time
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.detectors import ToolConfig
-from repro.harness.registry import program_fingerprint, resolve_workload
+from repro.harness.checkpoint import (
+    CACHE_SCHEMA,
+    SweepJournal,
+    spec_key,
+    sweep_digest,
+)
+from repro.harness.registry import resolve_workload
 from repro.harness.runner import RunOutcome, run_workload
 from repro.harness.workload import Workload
 from repro.vm.faults import FaultPlan
 
-#: bump when RunOutcome's schema or run semantics change incompatibly —
-#: stale cache entries from an older layout must not be deserialized.
-#: 2: fault plans + livelock watchdog (RunOutcome/RunResult diagnostics).
-#: 3: epoch fast path + batched event pipeline (ToolConfig gained
-#:    epoch_fast_path/batched; event accounting changed in lib mode).
-#: 4: pre-decoded threaded-code interpreter (ToolConfig gained
-#:    predecoded; RunOutcome gained decode_s; instrument_s now reflects
-#:    the cached static phase).
-CACHE_SCHEMA = 4
+log = logging.getLogger(__name__)
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "CacheDoctorReport",
+    "CacheQuarantine",
+    "ResultCache",
+    "RunRecord",
+    "RunSpec",
+    "SweepError",
+    "SweepResult",
+    "SweepSummary",
+    "default_workers",
+    "outcome_status",
+    "prewarm_static",
+    "run_sweep",
+    "summarize_records",
+    "sweep_specs",
+]
 
 
 class SweepError(RuntimeError):
@@ -123,14 +150,58 @@ def sweep_specs(
 # Result cache
 
 
+@dataclass(frozen=True)
+class CacheQuarantine:
+    """One cache entry moved aside instead of deserialized."""
+
+    key: str
+    reason: str
+    path: str
+
+
+@dataclass
+class CacheDoctorReport:
+    """Outcome of a :meth:`ResultCache.doctor` scan."""
+
+    scanned: int = 0
+    ok: int = 0
+    quarantined: List[CacheQuarantine] = field(default_factory=list)
+    #: entries sitting in ``corrupt/`` (including ones this scan moved)
+    corrupt_entries: int = 0
+    purged: int = 0
+
+
+class _CacheCorruption(Exception):
+    """Internal: a cache entry failed integrity validation."""
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+#: framed-entry header: magic, frame version, cache schema
+_CACHE_MAGIC = b"RPRC"
+_CACHE_FRAME_VERSION = 1
+_CACHE_HEADER = struct.Struct("<4sBI")
+_DIGEST_LEN = 32
+
+
 class ResultCache:
     """Content-keyed on-disk cache of pickled :class:`RunOutcome` objects.
 
     The key hashes the *built program* (not the workload name), so two
     sweeps measuring the same program under the same configuration and
     seed share entries, and any change to a workload generator changes
-    the fingerprint and misses cleanly.  Writes are atomic
-    (temp file + rename), so concurrent sweeps may share a directory.
+    the fingerprint and misses cleanly.
+
+    Integrity: every entry is framed as ``magic + frame version + cache
+    schema + sha256(payload) + payload`` and written atomically (temp
+    file, fsync, rename), so concurrent sweeps may share a directory and
+    a process killed mid-write can never poison later sweeps.  An entry
+    that fails validation — torn, truncated, bit-flipped, or written by
+    an incompatible schema — is *quarantined*: moved to a ``corrupt/``
+    sidecar directory next to a JSON note, logged as a structured
+    warning, and treated as a miss.  Corruption never raises.
     """
 
     def __init__(self, root: Union[str, Path]) -> None:
@@ -139,48 +210,98 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        self.quarantined: List[CacheQuarantine] = []
 
     def key(self, spec: RunSpec) -> str:
-        import hashlib
-
-        # Registry-named workloads get the memoized fingerprint — the
-        # cache probe of a large sweep would otherwise rebuild (and
-        # re-hash) every program once per spec sharing it.
-        if isinstance(spec.workload, str):
-            fingerprint = program_fingerprint(spec.workload)
-        else:
-            fingerprint = spec.resolve().fresh_program().fingerprint()
-        config_fields = sorted(dataclasses.asdict(spec.tool()).items())
-        payload = "\n".join(
-            [
-                f"schema={CACHE_SCHEMA}",
-                f"program={fingerprint}",
-                f"config={config_fields!r}",
-                f"seed={spec.effective_seed()}",
-                f"max_steps={spec.effective_max_steps()}",
-                f"fault_plan={spec.fault_plan!r}",
-                f"livelock_bound={spec.livelock_bound!r}",
-            ]
-        )
-        return hashlib.sha256(payload.encode()).hexdigest()
+        return spec_key(spec)
 
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.pkl"
 
-    def get(self, key: str) -> Optional[RunOutcome]:
+    @property
+    def corrupt_dir(self) -> Path:
+        return self.root / "corrupt"
+
+    # -- framing ------------------------------------------------------------
+
+    @staticmethod
+    def _frame(payload: bytes) -> bytes:
+        header = _CACHE_HEADER.pack(_CACHE_MAGIC, _CACHE_FRAME_VERSION, CACHE_SCHEMA)
+        return header + hashlib.sha256(payload).digest() + payload
+
+    @staticmethod
+    def _unframe(data: bytes) -> bytes:
+        """Validate a framed entry; returns the payload or raises."""
+        if len(data) < _CACHE_HEADER.size + _DIGEST_LEN:
+            raise _CacheCorruption("truncated")
+        magic, version, schema = _CACHE_HEADER.unpack_from(data)
+        if magic != _CACHE_MAGIC:
+            raise _CacheCorruption("bad-magic")
+        if version != _CACHE_FRAME_VERSION:
+            raise _CacheCorruption(f"frame-version-{version}")
+        if schema != CACHE_SCHEMA:
+            raise _CacheCorruption(f"schema-{schema}")
+        digest = data[_CACHE_HEADER.size : _CACHE_HEADER.size + _DIGEST_LEN]
+        payload = data[_CACHE_HEADER.size + _DIGEST_LEN :]
+        if hashlib.sha256(payload).digest() != digest:
+            raise _CacheCorruption("checksum-mismatch")
+        return payload
+
+    def _decode(self, data: bytes) -> RunOutcome:
+        payload = self._unframe(data)
         try:
-            with open(self._path(key), "rb") as fh:
-                outcome = pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            return pickle.loads(payload)
+        except Exception as exc:  # schema drift, truncated pickle, ...
+            raise _CacheCorruption(f"unpicklable: {type(exc).__name__}") from exc
+
+    def _quarantine(self, path: Path, key: str, reason: str) -> None:
+        """Move a bad entry to ``corrupt/`` with a note; never raises."""
+        dest = self.corrupt_dir / path.name
+        try:
+            self.corrupt_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, dest)
+            note = dest.with_suffix(".note.json")
+            import json
+
+            note.write_text(
+                json.dumps({"key": key, "reason": reason, "schema": CACHE_SCHEMA})
+            )
+        except OSError:
+            pass
+        entry = CacheQuarantine(key=key, reason=reason, path=str(dest))
+        self.quarantined.append(entry)
+        log.warning(
+            "cache entry quarantined: key=%s reason=%s moved_to=%s",
+            key[:16],
+            reason,
+            dest,
+        )
+
+    # -- the cache API ------------------------------------------------------
+
+    def get(self, key: str) -> Optional[RunOutcome]:
+        path = self._path(key)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            outcome = self._decode(data)
+        except _CacheCorruption as exc:
+            self._quarantine(path, key, exc.reason)
             self.misses += 1
             return None
         self.hits += 1
         return outcome
 
     def put(self, key: str, outcome: RunOutcome) -> None:
+        payload = pickle.dumps(outcome, protocol=pickle.HIGHEST_PROTOCOL)
         tmp = self._path(key).with_suffix(f".tmp.{os.getpid()}")
         with open(tmp, "wb") as fh:
-            pickle.dump(outcome, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            fh.write(self._frame(payload))
+            fh.flush()
+            os.fsync(fh.fileno())
         os.replace(tmp, self._path(key))
         self.writes += 1
 
@@ -191,9 +312,48 @@ class ResultCache:
         for path in self.root.glob("*.pkl"):
             path.unlink(missing_ok=True)
 
+    # -- the doctor ---------------------------------------------------------
+
+    def doctor(self, purge: bool = False) -> CacheDoctorReport:
+        """Scan every entry, quarantine the bad ones, optionally purge.
+
+        Validation is the same frame + checksum + unpickle path ``get``
+        uses, so a clean doctor run guarantees every later probe of the
+        current population is a clean hit or a clean miss.
+        """
+        report = CacheDoctorReport()
+        for path in sorted(self.root.glob("*.pkl")):
+            key = path.stem
+            report.scanned += 1
+            try:
+                data = path.read_bytes()
+                self._decode(data)
+            except _CacheCorruption as exc:
+                self._quarantine(path, key, exc.reason)
+                report.quarantined.append(self.quarantined[-1])
+                continue
+            except OSError:
+                continue
+            report.ok += 1
+        corrupt = list(self.corrupt_dir.glob("*.pkl"))
+        report.corrupt_entries = len(corrupt)
+        if purge:
+            for path in self.corrupt_dir.glob("*"):
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                if path.suffix == ".pkl":
+                    report.purged += 1
+        return report
+
 
 # ---------------------------------------------------------------------------
 # Observability records
+
+
+#: statuses that count as terminal harness failures
+FAILED_STATUSES = ("timeout", "crash", "error", "hung")
 
 
 @dataclass(frozen=True)
@@ -204,11 +364,13 @@ class RunRecord:
     tool: str
     seed: int
     #: "ok", "cached", "step-limit", "deadlock", "livelock", "fault",
-    #: "timeout", "crash", "error".  "livelock" is the watchdog firing on
-    #: a stuck marked loop; "fault" is an abnormal ending (deadlock or
-    #: exhausted budget) attributable to injected faults.  Neither counts
-    #: as *failed* — the run completed deterministically and its
-    #: diagnostics are the product.
+    #: "timeout", "crash", "hung", "poison", "error".  "livelock" is the
+    #: watchdog firing on a stuck marked loop; "fault" is an abnormal
+    #: ending (deadlock or exhausted budget) attributable to injected
+    #: faults — neither counts as *failed*.  "hung" is a supervised
+    #: worker making no VM progress; "poison" is a spec quarantined
+    #: after repeatedly killing/hanging workers (reported in the
+    #: summary, not counted as a sweep failure).
     status: str
     attempts: int = 1
     duration_s: float = 0.0
@@ -231,7 +393,11 @@ class RunRecord:
 
     @property
     def failed(self) -> bool:
-        return self.status in ("timeout", "crash", "error")
+        return self.status in FAILED_STATUSES
+
+    @property
+    def poisoned(self) -> bool:
+        return self.status == "poison"
 
     @property
     def steps_per_s(self) -> float:
@@ -265,6 +431,8 @@ class SweepSummary:
     #: total threaded-code decode cost across executed runs; with warm
     #: caches this stays near zero even for 100-case sweeps
     decode_s: float = 0.0
+    #: specs quarantined after repeatedly killing/hanging workers
+    poisoned: int = 0
 
     @property
     def steps_per_s(self) -> float:
@@ -282,7 +450,9 @@ class SweepSummary:
 
 
 def summarize_records(records: Sequence[RunRecord], wall_s: float) -> SweepSummary:
-    executed = [r for r in records if not r.cached and not r.failed]
+    executed = [
+        r for r in records if not r.cached and not r.failed and not r.poisoned
+    ]
     return SweepSummary(
         runs=len(records),
         executed=len(executed),
@@ -297,26 +467,32 @@ def summarize_records(records: Sequence[RunRecord], wall_s: float) -> SweepSumma
         detector_words=sum(r.detector_words for r in executed),
         spin_loops=sum(r.spin_loops for r in executed),
         adhoc_edges=sum(r.adhoc_edges for r in executed),
-        racy_contexts=sum(r.racy_contexts for r in records if not r.failed),
-        faults=sum(r.faults for r in records if not r.failed),
+        racy_contexts=sum(
+            r.racy_contexts for r in records if not r.failed and not r.poisoned
+        ),
+        faults=sum(r.faults for r in records if not r.failed and not r.poisoned),
         decode_s=sum(r.decode_s for r in executed),
+        poisoned=sum(1 for r in records if r.poisoned),
     )
+
+
+def outcome_status(outcome: RunOutcome) -> str:
+    """Harness status of a completed outcome (livelock/fault/... mapping)."""
+    result = outcome.result
+    if getattr(result, "livelocked", False):
+        return "livelock"
+    if result.timed_out:
+        return "fault" if getattr(result, "faults_injected", 0) else "step-limit"
+    if result.deadlocked:
+        return "fault" if getattr(result, "faults_injected", 0) else "deadlock"
+    return "ok"
 
 
 def _record_from_outcome(
     spec: RunSpec, outcome: RunOutcome, attempts: int, cached: bool
 ) -> RunRecord:
     result = outcome.result
-    if cached:
-        status = "cached"
-    elif getattr(result, "livelocked", False):
-        status = "livelock"
-    elif result.timed_out:
-        status = "fault" if getattr(result, "faults_injected", 0) else "step-limit"
-    elif result.deadlocked:
-        status = "fault" if getattr(result, "faults_injected", 0) else "deadlock"
-    else:
-        status = "ok"
+    status = "cached" if cached else outcome_status(outcome)
     # Abnormal endings ship their structured post-mortem in the failure
     # log: which loop livelocked, what each thread was blocked on, who
     # abandoned which lock.
@@ -370,6 +546,11 @@ class SweepResult:
     outcomes: List[Optional[RunOutcome]]
     records: List[RunRecord]
     wall_s: float
+    #: True when the sweep was cut short by KeyboardInterrupt; the
+    #: records list then holds every run that *did* finish
+    interrupted: bool = False
+    #: specs served from the checkpoint journal without re-execution
+    resumed: int = 0
 
     def summary(self) -> SweepSummary:
         return summarize_records(self.records, self.wall_s)
@@ -378,15 +559,40 @@ class SweepResult:
     def failed(self) -> List[RunRecord]:
         return [r for r in self.records if r.failed]
 
+    @property
+    def poisoned(self) -> List[RunRecord]:
+        return [r for r in self.records if r.poisoned]
 
-def _child_main(spec: RunSpec, conn) -> None:
-    """Worker entry point: run one spec, ship the outcome back, exit."""
+
+def _child_main(spec: RunSpec, conn, heartbeat_s: Optional[float] = None) -> None:
+    """Worker entry point: run one spec, ship the outcome back, exit.
+
+    With ``heartbeat_s`` set, a daemon thread reports the machine's step
+    counter over the pipe at that interval, letting the parent tell a
+    hung worker (counter frozen) from a slow one (counter advancing).
+    """
     import gc
+    import threading
 
     # The forked heap (workload registry, suite programs) is read-only
     # ballast here; freezing it keeps collections off the shared pages
     # (avoids copy-on-write faults) — measurably faster under fan-out.
     gc.freeze()
+    send_lock = threading.Lock()
+    machine_box: dict = {}
+    stop = threading.Event()
+    if heartbeat_s:
+        def _beat() -> None:
+            while not stop.wait(heartbeat_s):
+                machine = machine_box.get("machine")
+                steps = machine.step_count if machine is not None else -1
+                try:
+                    with send_lock:
+                        conn.send(("hb", steps))
+                except Exception:
+                    return
+
+        threading.Thread(target=_beat, daemon=True).start()
     try:
         outcome = run_workload(
             spec.resolve(),
@@ -395,11 +601,16 @@ def _child_main(spec: RunSpec, conn) -> None:
             max_steps=spec.max_steps,
             fault_plan=spec.fault_plan,
             livelock_bound=spec.livelock_bound,
+            machine_sink=lambda m: machine_box.__setitem__("machine", m),
         )
-        conn.send(("ok", outcome))
+        stop.set()
+        with send_lock:
+            conn.send(("ok", outcome))
     except BaseException as exc:  # crash isolation: never take the pool down
+        stop.set()
         try:
-            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+            with send_lock:
+                conn.send(("error", f"{type(exc).__name__}: {exc}"))
         except Exception:
             pass
     finally:
@@ -412,6 +623,7 @@ def _run_serial(
     outcomes: List[Optional[RunOutcome]],
     records: List[Optional[RunRecord]],
     cache: Optional[ResultCache],
+    journal: Optional[SweepJournal] = None,
 ) -> None:
     """In-process reference executor (``workers=0``) — no isolation."""
     for i, key in indices:
@@ -425,13 +637,19 @@ def _run_serial(
                 fault_plan=spec.fault_plan,
                 livelock_bound=spec.livelock_bound,
             )
+        except KeyboardInterrupt:
+            raise
         except Exception as exc:
             records[i] = _failure_record(spec, "error", 1, f"{type(exc).__name__}: {exc}")
+            if journal is not None and key:
+                journal.append(key, records[i])
             continue
         outcomes[i] = outcome
         records[i] = _record_from_outcome(spec, outcome, attempts=1, cached=False)
         if cache is not None and key:
             cache.put(key, outcome)
+        if journal is not None and key:
+            journal.append(key, records[i])
 
 
 def default_workers() -> int:
@@ -446,6 +664,13 @@ def run_sweep(
     retries: int = 1,
     strict: bool = False,
     poll_interval_s: float = 0.005,
+    journal_dir: Optional[Union[str, Path]] = None,
+    resume: bool = False,
+    heartbeat_s: Optional[float] = None,
+    hung_after_s: Optional[float] = None,
+    slow_grace: float = 4.0,
+    poison_threshold: Optional[int] = None,
+    forensics_dir: Optional[Union[str, Path]] = None,
 ) -> SweepResult:
     """Execute ``specs``, fanning out over ``workers`` processes.
 
@@ -459,42 +684,123 @@ def run_sweep(
     :param retries: extra attempts after a timeout/crash/error before
         the run is recorded as failed.
     :param strict: raise :class:`SweepError` if any run failed
-        terminally instead of returning ``None`` outcomes.
+        terminally instead of returning ``None`` outcomes (skipped when
+        the sweep was interrupted — the partial result is returned).
+    :param journal_dir: directory for the fsynced checkpoint journal;
+        every completed record is appended durably.
+    :param resume: with ``journal_dir``, serve specs already journaled
+        by an earlier (possibly killed) run of the *same* sweep without
+        re-executing them.  Without ``resume`` an existing journal for
+        this sweep is discarded and rewritten.
+    :param heartbeat_s: interval at which workers report VM progress
+        over the result pipe; enables hung/slow discrimination.
+    :param hung_after_s: kill a worker whose step counter has not
+        advanced for this long (default ``10 * heartbeat_s``); recorded
+        as status ``"hung"``.
+    :param slow_grace: a worker past ``timeout_s`` that *is* making
+        progress is granted up to ``slow_grace * timeout_s`` total
+        wall-clock before being killed as a timeout.
+    :param poison_threshold: a spec whose workers are killed or hang
+        this many times is quarantined as a **poison spec** (status
+        ``"poison"``, reported in the summary, not a sweep failure) and
+        never retried again.
+    :param forensics_dir: capture a replayable trace artifact (plus an
+        auto-shrunk repro) for every failed or poisoned run — see
+        :mod:`repro.harness.triage`.
 
     Results are deterministic and bit-identical to serial execution:
     workers add no scheduling or RNG state of their own, so only the
     *wall-clock fields* (``duration_s``, ``instrument_s``) vary between
     runs of the same spec.
+
+    A ``KeyboardInterrupt`` mid-sweep kills and reaps every live
+    worker, flushes the journal, and returns the partial result with
+    ``interrupted=True`` instead of losing the finished records.
     """
     specs = list(specs)
     start = time.perf_counter()
     outcomes: List[Optional[RunOutcome]] = [None] * len(specs)
     records: List[Optional[RunRecord]] = [None] * len(specs)
 
+    # Content keys are needed by the cache, the journal, and forensics
+    # artifact naming; compute them once (registry-named workloads hit
+    # the memoized fingerprint).
+    need_keys = cache is not None or journal_dir is not None or forensics_dir is not None
+    keys: List[str] = [spec_key(s) for s in specs] if need_keys else [""] * len(specs)
+
+    journal: Optional[SweepJournal] = None
+    journaled: Dict[str, RunRecord] = {}
+    if journal_dir is not None:
+        journal = SweepJournal(journal_dir, sweep_digest(keys))
+        if resume:
+            journaled = journal.load()
+        else:
+            journal.reset()
+    elif resume:
+        raise ValueError("resume=True requires journal_dir")
+
+    resumed = 0
     pending: deque = deque()  # (index, cache_key, attempt)
     for i, spec in enumerate(specs):
-        key = ""
+        key = keys[i]
+        prior = journaled.get(key)
+        if prior is not None:
+            # Finished by an earlier run of this sweep: serve the
+            # journaled record verbatim (timing fields included) and the
+            # cached outcome when one exists.
+            records[i] = prior
+            resumed += 1
+            if cache is not None and key and not prior.failed:
+                outcomes[i] = cache.get(key)
+            continue
         if cache is not None:
-            key = cache.key(spec)
             hit = cache.get(key)
             if hit is not None:
                 outcomes[i] = hit
                 records[i] = _record_from_outcome(spec, hit, attempts=0, cached=True)
+                if journal is not None:
+                    journal.append(key, records[i])
                 continue
         pending.append((i, key, 1))
 
     if workers is None:
         workers = default_workers()
 
-    if workers <= 0:
-        _run_serial(
-            specs, [(i, key) for i, key, _ in pending], outcomes, records, cache
-        )
-    elif pending:
-        _run_pool(
-            specs, pending, outcomes, records, cache, workers, timeout_s, retries,
-            poll_interval_s,
-        )
+    interrupted = False
+    try:
+        if workers <= 0:
+            _run_serial(
+                specs,
+                [(i, key) for i, key, _ in pending],
+                outcomes,
+                records,
+                cache,
+                journal,
+            )
+        elif pending:
+            _run_pool(
+                specs,
+                pending,
+                outcomes,
+                records,
+                cache,
+                workers,
+                timeout_s,
+                retries,
+                poll_interval_s,
+                journal=journal,
+                heartbeat_s=heartbeat_s,
+                hung_after_s=hung_after_s,
+                slow_grace=slow_grace,
+                poison_threshold=poison_threshold,
+            )
+    except KeyboardInterrupt:
+        # Children are already reaped (the pool's finally); keep every
+        # finished record instead of throwing the sweep away.
+        interrupted = True
+    finally:
+        if journal is not None:
+            journal.close()
 
     wall_s = time.perf_counter() - start
     result = SweepResult(
@@ -502,8 +808,21 @@ def run_sweep(
         outcomes=outcomes,
         records=[r for r in records if r is not None],
         wall_s=wall_s,
+        interrupted=interrupted,
+        resumed=resumed,
     )
-    if strict and result.failed:
+    if forensics_dir is not None and not interrupted:
+        from repro.harness.triage import capture_failure
+
+        for i, rec in enumerate(records):
+            if rec is not None and (rec.failed or rec.poisoned):
+                try:
+                    capture_failure(specs[i], rec, forensics_dir, key=keys[i])
+                except Exception as exc:  # forensics must never sink a sweep
+                    log.warning(
+                        "forensics capture failed for %s: %s", rec.workload, exc
+                    )
+    if strict and result.failed and not interrupted:
         lines = ", ".join(
             f"{r.workload}/{r.tool}/seed={r.seed}: {r.status} {r.error}".strip()
             for r in result.failed
@@ -576,6 +895,22 @@ def prewarm_static(specs: Iterable[RunSpec]) -> int:
     return warmed
 
 
+@dataclass
+class _Worker:
+    """Parent-side supervision state for one live worker process."""
+
+    index: int
+    key: str
+    conn: object
+    attempt: int
+    start_t: float
+    deadline: Optional[float]
+    #: most recent VM step counter reported over the heartbeat channel
+    last_steps: int = -1
+    #: monotonic time of the last *advancing* heartbeat (or spawn)
+    last_progress_t: float = 0.0
+
+
 def _run_pool(
     specs: Sequence[RunSpec],
     pending: deque,
@@ -586,6 +921,11 @@ def _run_pool(
     timeout_s: Optional[float],
     retries: int,
     poll_interval_s: float,
+    journal: Optional[SweepJournal] = None,
+    heartbeat_s: Optional[float] = None,
+    hung_after_s: Optional[float] = None,
+    slow_grace: float = 4.0,
+    poison_threshold: Optional[int] = None,
 ) -> None:
     ctx = _mp_context()
     if ctx.get_start_method() == "fork":
@@ -594,19 +934,43 @@ def _run_pool(
         # sweep then decodes each distinct program once, not per run.
         prewarm_static(specs[i] for i, _, _ in pending)
     max_attempts = 1 + max(0, retries)
-    active: Dict = {}  # proc -> (index, cache_key, conn, deadline, attempt)
+    if heartbeat_s is not None and hung_after_s is None:
+        hung_after_s = 10.0 * heartbeat_s
+    active: Dict = {}  # proc -> _Worker
+    #: per-spec count of kill-class failures (timeout/crash/hung)
+    infra_counts: Dict[int, int] = {}
+
+    def commit(i: int, key: str, record: RunRecord) -> None:
+        records[i] = record
+        if journal is not None and key:
+            journal.append(key, record)
 
     def finish_ok(i: int, key: str, outcome: RunOutcome, attempt: int) -> None:
         outcomes[i] = outcome
-        records[i] = _record_from_outcome(specs[i], outcome, attempt, cached=False)
         if cache is not None and key:
             cache.put(key, outcome)
+        commit(i, key, _record_from_outcome(specs[i], outcome, attempt, cached=False))
 
     def retry_or_fail(i: int, key: str, attempt: int, status: str, error: str) -> None:
+        if status in ("timeout", "crash", "hung"):
+            infra_counts[i] = infra_counts.get(i, 0) + 1
+            if poison_threshold is not None and infra_counts[i] >= poison_threshold:
+                commit(
+                    i,
+                    key,
+                    _failure_record(
+                        specs[i],
+                        "poison",
+                        attempt,
+                        f"quarantined after {infra_counts[i]} worker "
+                        f"kill(s)/hang(s); last: {status} {error}",
+                    ),
+                )
+                return
         if attempt < max_attempts:
             pending.append((i, key, attempt + 1))
         else:
-            records[i] = _failure_record(specs[i], status, attempt, error)
+            commit(i, key, _failure_record(specs[i], status, attempt, error))
 
     try:
         while pending or active:
@@ -614,30 +978,53 @@ def _run_pool(
                 i, key, attempt = pending.popleft()
                 parent_conn, child_conn = ctx.Pipe(duplex=False)
                 proc = ctx.Process(
-                    target=_child_main, args=(specs[i], child_conn), daemon=True
+                    target=_child_main,
+                    args=(specs[i], child_conn, heartbeat_s),
+                    daemon=True,
                 )
                 proc.start()
                 child_conn.close()
-                deadline = (
-                    None if timeout_s is None else time.monotonic() + timeout_s
+                now = time.monotonic()
+                active[proc] = _Worker(
+                    index=i,
+                    key=key,
+                    conn=parent_conn,
+                    attempt=attempt,
+                    start_t=now,
+                    deadline=None if timeout_s is None else now + timeout_s,
                 )
-                active[proc] = (i, key, parent_conn, deadline, attempt)
+                active[proc].last_progress_t = now
 
             finished = []
-            for proc, (i, key, conn, deadline, attempt) in active.items():
-                if conn.poll(0):
+            for proc, w in active.items():
+                i, key, conn, attempt = w.index, w.key, w.conn, w.attempt
+                done = False
+                while conn.poll(0):
                     try:
                         kind, payload = conn.recv()
                     except (EOFError, pickle.UnpicklingError) as exc:
                         kind, payload = "crash", f"unreadable result: {exc}"
+                    if kind == "hb":
+                        now = time.monotonic()
+                        if payload > w.last_steps:
+                            w.last_steps = payload
+                            w.last_progress_t = now
+                        continue
                     if kind == "ok":
                         finish_ok(i, key, payload, attempt)
+                    elif kind == "crash":
+                        retry_or_fail(i, key, attempt, "crash", str(payload))
                     else:
                         retry_or_fail(i, key, attempt, "error", str(payload))
                     _reap(proc)
                     conn.close()
                     finished.append(proc)
-                elif not proc.is_alive():
+                    done = True
+                    break
+                if done:
+                    continue
+                now = time.monotonic()
+                if not proc.is_alive():
                     # Died without delivering a result: hard crash.
                     proc.join()
                     retry_or_fail(
@@ -645,10 +1032,40 @@ def _run_pool(
                     )
                     conn.close()
                     finished.append(proc)
-                elif deadline is not None and time.monotonic() > deadline:
+                elif (
+                    heartbeat_s is not None
+                    and hung_after_s is not None
+                    and now - w.last_progress_t > hung_after_s
+                ):
+                    # No VM progress for the whole hang window: hung,
+                    # regardless of how much flat timeout remains.
                     _kill(proc)
                     retry_or_fail(
-                        i, key, attempt, "timeout", f"exceeded {timeout_s:.3g}s"
+                        i,
+                        key,
+                        attempt,
+                        "hung",
+                        f"no VM progress for {hung_after_s:.3g}s "
+                        f"(last step count {w.last_steps})",
+                    )
+                    conn.close()
+                    finished.append(proc)
+                elif w.deadline is not None and now > w.deadline:
+                    progressing = (
+                        heartbeat_s is not None
+                        and now - w.last_progress_t <= hung_after_s
+                        and now < w.start_t + timeout_s * max(slow_grace, 1.0)
+                    )
+                    if progressing:
+                        continue  # slow but advancing: grant grace
+                    _kill(proc)
+                    limit = (
+                        timeout_s * max(slow_grace, 1.0)
+                        if heartbeat_s is not None
+                        else timeout_s
+                    )
+                    retry_or_fail(
+                        i, key, attempt, "timeout", f"exceeded {limit:.3g}s"
                     )
                     conn.close()
                     finished.append(proc)
@@ -657,8 +1074,15 @@ def _run_pool(
             if not finished and active:
                 time.sleep(poll_interval_s)
     finally:
-        for proc in active:
+        # Runs on normal exit, KeyboardInterrupt, and errors alike:
+        # every live child is killed *and reaped* (no zombies), every
+        # pipe closed.
+        for proc, w in active.items():
             _kill(proc)
+            try:
+                w.conn.close()
+            except Exception:
+                pass
 
 
 def _reap(proc) -> None:

@@ -5,7 +5,7 @@ from __future__ import annotations
 import dataclasses
 import time
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.analysis import (
     InstrumentationMap,
@@ -87,13 +87,16 @@ def run_workload(
     max_steps: Optional[int] = None,
     fault_plan: Optional[FaultPlan] = None,
     livelock_bound: Optional[int] = None,
+    machine_sink: Optional[Callable[[Machine], None]] = None,
 ) -> RunOutcome:
     """Run ``workload`` under ``config`` with the given scheduler seed.
 
     ``fault_plan`` injects deterministic faults
     (:mod:`repro.vm.faults`); ``livelock_bound`` arms the machine's
     livelock watchdog.  Both default to off, leaving normal runs
-    byte-identical to before.
+    byte-identical to before.  ``machine_sink``, if given, receives the
+    constructed :class:`Machine` before execution starts — the worker
+    heartbeat thread uses it to observe ``step_count`` from the side.
     """
     program = workload.fresh_program()
     imap: Optional[InstrumentationMap] = None
@@ -138,6 +141,8 @@ def run_workload(
         predecode=config.predecoded,
     )
     # Symbolization is wired by Machine construction (detector.on_attach).
+    if machine_sink is not None:
+        machine_sink(machine)
     start = time.perf_counter()
     result = machine.run()
     duration = time.perf_counter() - start

@@ -109,6 +109,7 @@ def sweep_summary_table(summary: "SweepSummary", title: str = "Sweep summary") -
         ["executed", summary.executed],
         ["cached", summary.cached],
         ["failed", summary.failed],
+        ["poisoned", summary.poisoned],
         ["retried", summary.retried],
         ["wall clock", f"{summary.wall_s:.3f} s"],
         ["serialized run time", f"{summary.run_s:.3f} s"],

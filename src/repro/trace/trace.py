@@ -4,13 +4,14 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.analysis import instrument_program, lock_site_locations
 from repro.detectors import RaceDetector, ToolConfig
 from repro.isa.program import CodeLocation, Program, SyncKind
 from repro.vm import Machine, RandomScheduler
 from repro.vm import events as ev
+from repro.vm.faults import FaultPlan
 from repro.vm.memory import SymbolMap
 
 
@@ -32,6 +33,9 @@ class Trace:
     inline_depth: int
     steps: int
     ok: bool
+    #: machine termination status ("ok", "step-limit", "deadlock",
+    #: "livelock") — richer than the boolean, used by failure triage
+    status: str = "ok"
 
     def symbol_map(self) -> SymbolMap:
         sm = SymbolMap()
@@ -50,6 +54,7 @@ class Trace:
                 "inline_depth": self.inline_depth,
                 "steps": self.steps,
                 "ok": self.ok,
+                "status": self.status,
                 "loop_sizes": self.loop_sizes,
                 "lock_sites": [_loc_str(l) for l in sorted(self.lock_sites, key=str)],
                 "symbols": self.symbols,
@@ -71,6 +76,8 @@ class Trace:
             inline_depth=data["inline_depth"],
             steps=data["steps"],
             ok=data["ok"],
+            # traces recorded before the status field default sensibly
+            status=data.get("status", "ok" if data["ok"] else "step-limit"),
         )
 
 
@@ -80,11 +87,16 @@ def record_trace(
     max_steps: int = 500_000,
     max_blocks: int = 8,
     inline_depth: int = 1,
+    fault_plan: Optional[FaultPlan] = None,
+    livelock_bound: Optional[int] = None,
 ) -> Trace:
     """Execute ``program`` once and capture everything replays need.
 
     ``max_blocks`` should be at least the widest spin window any replay
-    will use (the paper's configurations top out at 8).
+    will use (the paper's configurations top out at 8).  ``fault_plan``
+    and ``livelock_bound`` reproduce a chaos run's machine environment —
+    failure forensics records failing runs under the same faults that
+    made them fail.
     """
     imap = instrument_program(program, max_blocks=max_blocks, inline_depth=inline_depth)
     events: List[ev.Event] = []
@@ -94,6 +106,8 @@ def record_trace(
         listener=events.append,
         instrumentation=imap,
         max_steps=max_steps,
+        faults=fault_plan,
+        livelock_bound=livelock_bound,
     )
     result = machine.run()
     symbols = [
@@ -111,6 +125,7 @@ def record_trace(
         inline_depth=inline_depth,
         steps=machine.step_count,
         ok=result.ok,
+        status=result.status,
     )
 
 
@@ -181,6 +196,20 @@ def _encode_event(e: ev.Event) -> list:
         return ["tx", e.step, e.tid]
     if isinstance(e, ev.PrintEvent):
         return ["pr", e.step, e.tid, e.value, _loc_str(e.loc)]
+    # Injected-fault events (chaos runs): the stream carries its own
+    # explanation, so forensic trace artifacts must round-trip them.
+    if isinstance(e, ev.ThreadKilledEvent):
+        return ["fk", e.step, e.tid]
+    if isinstance(e, ev.StoreDroppedEvent):
+        return ["fd", e.step, e.tid, e.addr, e.value, _loc_str(e.loc)]
+    if isinstance(e, ev.StoreDelayedEvent):
+        return ["fy", e.step, e.tid, e.addr, e.value, e.delay, _loc_str(e.loc)]
+    if isinstance(e, ev.SpuriousWakeEvent):
+        return ["fw", e.step, e.tid, e.addr, e.value]
+    if isinstance(e, ev.StarvationEvent):
+        return ["fs", e.step, e.tid, e.duration]
+    if isinstance(e, ev.StepBudgetClampedEvent):
+        return ["fc", e.step, e.tid, e.max_steps]
     raise TypeError(f"cannot encode {e!r}")
 
 
@@ -210,4 +239,16 @@ def _decode_event(data: list) -> ev.Event:
         return ev.ThreadExitEvent(data[1], data[2])
     if kind == "pr":
         return ev.PrintEvent(data[1], data[2], data[3], _loc_parse(data[4]))
+    if kind == "fk":
+        return ev.ThreadKilledEvent(data[1], data[2])
+    if kind == "fd":
+        return ev.StoreDroppedEvent(data[1], data[2], data[3], data[4], _loc_parse(data[5]))
+    if kind == "fy":
+        return ev.StoreDelayedEvent(data[1], data[2], data[3], data[4], data[5], _loc_parse(data[6]))
+    if kind == "fw":
+        return ev.SpuriousWakeEvent(data[1], data[2], data[3], data[4])
+    if kind == "fs":
+        return ev.StarvationEvent(data[1], data[2], data[3])
+    if kind == "fc":
+        return ev.StepBudgetClampedEvent(data[1], data[2], data[3])
     raise ValueError(f"unknown event kind {kind!r}")

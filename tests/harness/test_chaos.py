@@ -97,6 +97,33 @@ class TestDeterminism:
         assert all(r.status == "cached" for r in second.records)
 
 
+class TestDurability:
+    def test_infra_failures_cover_supervision_verdicts(self):
+        # a hung worker is an infrastructure failure, not an oracle failure
+        assert set(INFRA_FAILURES) == {"timeout", "crash", "error", "hung"}
+
+    def test_resumed_chaos_matches_fresh_verdicts(self, tmp_path):
+        # journal gives record durability; the cache supplies the detector
+        # outcomes that note/livelock oracles inspect on resume
+        cache = ResultCache(tmp_path / "cache")
+        jdir = tmp_path / "journal"
+        fresh = run_chaos(workers=0, cache=cache, journal_dir=jdir)
+        resumed = run_chaos(
+            workers=0, cache=cache, journal_dir=jdir, resume=True
+        )
+        assert fresh.ok and resumed.ok
+        assert [(v.case, v.status, v.passed) for v in fresh.verdicts] == [
+            (v.case, v.status, v.passed) for v in resumed.verdicts
+        ]
+        # every record came straight from the journals (one per fault class)
+        assert len(resumed.records) == len(fresh.records)
+        journaled = sum(
+            len(f.read_text().splitlines()) - 1
+            for f in jdir.glob("sweep-*.jsonl")
+        )
+        assert journaled == len(fresh.records)
+
+
 class TestCacheKey:
     def test_key_varies_with_fault_plan_and_bound(self, tmp_path):
         cache = ResultCache(tmp_path)

@@ -64,3 +64,65 @@ class TestCli:
         out = capsys.readouterr().out
         assert "schedule-stable" in out
         assert "manifest" in out  # the plain races show up
+
+
+class TestDurabilityCli:
+    SWEEP = [
+        "--limit", "1", "--seeds", "1", "--tools", "helgrind-lib", "sweep"
+    ]
+
+    def test_sweep_journal_then_resume(self, tmp_path, capsys):
+        jdir = str(tmp_path / "journal")
+        assert main([*self.SWEEP, "--journal-dir", jdir]) == 0
+        capsys.readouterr()
+        assert main([*self.SWEEP, "--journal-dir", jdir, "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "1 run(s) served from the checkpoint journal" in out
+
+    def test_cache_doctor_quarantines_and_purges(self, tmp_path, capsys):
+        cdir = str(tmp_path / "cache")
+        assert main([*self.SWEEP, "--cache-dir", cdir]) == 0
+        capsys.readouterr()
+        # flip one payload bit so the checksum no longer matches
+        (entry,) = (tmp_path / "cache").glob("*.pkl")
+        blob = bytearray(entry.read_bytes())
+        blob[-1] ^= 0xFF
+        entry.write_bytes(bytes(blob))
+        assert main(["--cache-dir", cdir, "cache", "doctor"]) == 0
+        out = capsys.readouterr().out
+        assert "1 newly quarantined" in out and "checksum-mismatch" in out
+        assert main(["--cache-dir", cdir, "cache", "doctor", "--purge"]) == 0
+        out = capsys.readouterr().out
+        assert "1 purged" in out
+        assert not list((tmp_path / "cache" / "corrupt").glob("*.pkl"))
+
+    def test_cache_doctor_usage_errors(self, capsys):
+        assert main(["cache", "doctor"]) == 2  # no --cache-dir
+        assert main(["--cache-dir", "/tmp/x", "cache", "fsck"]) == 2
+        err = capsys.readouterr().err
+        assert "--cache-dir" in err and "unknown cache command" in err
+
+    def test_triage_usage_errors(self, capsys):
+        assert main(["triage"]) == 2
+        assert main(["triage", "replay"]) == 2
+        err = capsys.readouterr().err
+        assert "usage" in err and "ARTIFACT" in err
+
+    def test_triage_replay_reproduces_artifact(self, tmp_path, capsys):
+        from repro.detectors import ToolConfig
+        from repro.harness.chaos import chaos_spec
+        from repro.harness.parallel import _failure_record
+        from repro.harness.triage import capture_failure
+        from repro.workloads import chaos_cases
+
+        case = next(c for c in chaos_cases() if c.name == "drop-flag-store")
+        spec = chaos_spec(case, ToolConfig.helgrind_lib_spin(7))
+        record = _failure_record(spec, "livelock", 1, "")
+        dest = capture_failure(spec, record, tmp_path, isolate=False)
+        # exit 1 = the failure reproduced: the artifact is a live repro
+        assert main(["triage", "replay", str(dest)]) == 1
+        out = capsys.readouterr().out
+        assert "failure REPRODUCED" in out
+        assert main(["--shrunk", "triage", "replay", str(dest)]) == 1
+        out = capsys.readouterr().out
+        assert "shrunk repro" in out and "REPRODUCED" in out

@@ -1,6 +1,9 @@
 """The parallel sweep engine: equivalence, cache, robustness, registry."""
 
+import json
+import os
 import pickle
+import time
 
 import pytest
 
@@ -240,6 +243,177 @@ class TestRobustness:
                 retries=0,
                 strict=True,
             )
+
+
+class TestCacheIntegrity:
+    def _prime(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = RunSpec(_handoff(), ToolConfig.helgrind_lib(), 1)
+        run_sweep([spec], workers=0, cache=cache)
+        key = cache.key(spec)
+        assert cache.get(key) is not None
+        return cache, key
+
+    def test_put_is_atomic_no_tmp_left_behind(self, tmp_path):
+        cache, key = self._prime(tmp_path)
+        assert not list(tmp_path.glob("*.tmp*"))
+        assert cache._path(key).exists()
+
+    def test_truncated_entry_quarantined_not_crash(self, tmp_path):
+        cache, key = self._prime(tmp_path)
+        path = cache._path(key)
+        path.write_bytes(path.read_bytes()[:40])
+        assert cache.get(key) is None  # a miss, never a raise
+        assert not path.exists()
+        (q,) = [e for e in cache.quarantined if e.key == key]
+        assert q.reason in ("truncated", "checksum-mismatch")
+        note = json.loads(
+            (cache.corrupt_dir / f"{key}.note.json").read_text()
+        )
+        assert note["key"] == key and note["reason"] == q.reason
+
+    def test_bitflip_fails_checksum(self, tmp_path):
+        cache, key = self._prime(tmp_path)
+        path = cache._path(key)
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF
+        path.write_bytes(bytes(data))
+        assert cache.get(key) is None
+        assert cache.quarantined[-1].reason == "checksum-mismatch"
+
+    def test_foreign_blob_is_bad_magic(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache._path("f" * 64).write_bytes(b"not a cache entry at all" * 4)
+        assert cache.get("f" * 64) is None
+        assert cache.quarantined[-1].reason == "bad-magic"
+
+    def test_legacy_unframed_pickle_is_quarantined(self, tmp_path):
+        # an entry written by the pre-framing layout must not deserialize
+        cache = ResultCache(tmp_path)
+        cache._path("e" * 64).write_bytes(pickle.dumps({"old": "layout"}))
+        assert cache.get("e" * 64) is None
+        assert cache.quarantined
+
+    def test_corrupted_sweep_reexecutes_and_heals(self, tmp_path):
+        cache, key = self._prime(tmp_path)
+        path = cache._path(key)
+        path.write_bytes(b"RPRC garbage")
+        spec = RunSpec(_handoff(), ToolConfig.helgrind_lib(), 1)
+        summary = run_sweep([spec], workers=0, cache=cache).summary()
+        assert summary.executed == 1 and summary.cached == 0
+        assert cache.get(key) is not None  # rewritten cleanly
+
+    def test_doctor_scans_and_purges(self, tmp_path):
+        cache, key = self._prime(tmp_path)
+        spec2 = RunSpec(_handoff(), ToolConfig.helgrind_lib(), 2)
+        run_sweep([spec2], workers=0, cache=cache)
+        bad = cache._path(key)
+        bad.write_bytes(bad.read_bytes()[:30])
+        report = cache.doctor()
+        assert report.scanned == 2 and report.ok == 1
+        assert len(report.quarantined) == 1 and report.corrupt_entries == 1
+        report2 = cache.doctor(purge=True)
+        assert report2.purged == 1
+        assert not list(cache.corrupt_dir.glob("*"))
+
+
+def _child_only_hang_workload(name):
+    """A workload whose build hangs in worker children but not the parent
+    (prewarm_static runs builds in the parent before forking)."""
+    parent = os.getpid()
+
+    def build():
+        if os.getpid() != parent:
+            while True:
+                time.sleep(0.02)
+        return flag_handoff_program()
+
+    return Workload(name=name, build=build, seed=1)
+
+
+class TestSupervision:
+    CFG = ToolConfig.helgrind_lib()
+
+    def test_hung_worker_detected_before_flat_timeout(self):
+        hang = _child_only_hang_workload("sup_hang")
+        start = time.monotonic()
+        result = run_sweep(
+            [RunSpec(hang, self.CFG, 1)],
+            workers=1,
+            timeout_s=60,
+            retries=0,
+            heartbeat_s=0.05,
+            hung_after_s=0.5,
+        )
+        (rec,) = result.records
+        assert rec.status == "hung"
+        assert "no VM progress" in rec.error
+        assert time.monotonic() - start < 30  # far under the flat timeout
+
+    def test_progressing_run_with_heartbeats_completes(self):
+        result = run_sweep(
+            [RunSpec(_handoff(), self.CFG, 1)],
+            workers=1,
+            timeout_s=30,
+            heartbeat_s=0.02,
+        )
+        (rec,) = result.records
+        assert rec.status == "ok"
+
+    def test_hung_counts_as_failed_in_summary(self):
+        hang = _child_only_hang_workload("sup_hang2")
+        result = run_sweep(
+            [RunSpec(hang, self.CFG, 1)],
+            workers=1,
+            retries=0,
+            heartbeat_s=0.05,
+            hung_after_s=0.4,
+        )
+        assert result.summary().failed == 1
+
+    def test_poison_spec_quarantined_not_failed(self):
+        hang = _child_only_hang_workload("sup_poison")
+        specs = [
+            RunSpec(hang, self.CFG, 1),
+            RunSpec(_handoff(), self.CFG, 1),
+        ]
+        result = run_sweep(
+            specs,
+            workers=2,
+            retries=5,
+            heartbeat_s=0.05,
+            hung_after_s=0.3,
+            poison_threshold=2,
+        )
+        poison = next(r for r in result.records if r.workload == "sup_poison")
+        ok = next(r for r in result.records if r.workload != "sup_poison")
+        assert poison.status == "poison" and "quarantined" in poison.error
+        assert ok.status == "ok"
+        summary = result.summary()
+        assert summary.poisoned == 1 and summary.failed == 0
+        assert result.poisoned == [poison]
+        # poison is not a sweep failure: strict sweeps don't raise on it
+        assert not result.failed
+
+    def test_poison_threshold_bounds_worker_kills(self):
+        parent = os.getpid()
+
+        def exit_build():
+            if os.getpid() != parent:  # spare the parent's prewarm pass
+                os._exit(23)
+            return flag_handoff_program()
+
+        # crash-class failures also count toward poisoning
+        crash = Workload(name="sup_exit", build=exit_build, seed=1)
+        result = run_sweep(
+            [RunSpec(crash, self.CFG, 1)],
+            workers=1,
+            retries=10,
+            poison_threshold=3,
+        )
+        (rec,) = result.records
+        assert rec.status == "poison"
+        assert rec.attempts == 3
 
 
 class TestMetricsIntegration:

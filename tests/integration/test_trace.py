@@ -86,6 +86,54 @@ class TestSerialization:
         assert back.lock_sites == trace.lock_sites
         assert back.symbols == trace.symbols
         assert back.events == trace.events
+        assert back.status == trace.status == "ok"
+
+    def test_json_is_stable_across_cache_schema_bumps(self, monkeypatch):
+        """Trace artifacts outlive cache generations: the JSON layout must
+        not depend on the harness CACHE_SCHEMA in any way."""
+        import repro.harness.checkpoint as checkpoint
+
+        trace = record_trace(flag_handoff_program(), seed=3)
+        before = trace.to_json()
+        monkeypatch.setattr(checkpoint, "CACHE_SCHEMA", checkpoint.CACHE_SCHEMA + 1)
+        assert trace.to_json() == before
+        back = Trace.from_json(before)
+        assert back.events == trace.events and back.status == trace.status
+
+    def test_from_json_tolerates_pre_status_traces(self):
+        """Artifacts recorded before the status field still load."""
+        import json
+
+        trace = record_trace(flag_handoff_program(), seed=3)
+        data = json.loads(trace.to_json())
+        del data["status"]
+        back = Trace.from_json(json.dumps(data))
+        assert back.status == "ok"
+        data["ok"] = False
+        assert Trace.from_json(json.dumps(data)).status == "step-limit"
+
+    def test_fault_events_round_trip(self):
+        """Chaos traces carry injected-fault events; forensics needs them
+        to survive serialization."""
+        from repro.harness.chaos import chaos_spec
+        from repro.detectors import ToolConfig as TC
+        from repro.vm import events as ev
+        from repro.workloads.dr_test.faults import chaos_cases
+
+        case = next(c for c in chaos_cases() if c.name == "drop-flag-store")
+        spec = chaos_spec(case, TC.helgrind_lib_spin(7))
+        trace = record_trace(
+            spec.resolve().fresh_program(),
+            seed=spec.effective_seed(),
+            max_steps=spec.effective_max_steps(),
+            fault_plan=spec.fault_plan,
+            livelock_bound=spec.livelock_bound,
+        )
+        assert trace.status == "livelock"
+        assert any(isinstance(e, ev.StoreDroppedEvent) for e in trace.events)
+        back = Trace.from_json(trace.to_json())
+        assert back.events == trace.events
+        assert back.status == "livelock"
 
     def test_round_tripped_trace_replays_identically(self):
         trace = record_trace(flag_handoff_program(), seed=3)
