@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Record-once-analyze-anywhere smoke test for the trace store.
+
+1. Runs a live serial baseline of a PARSEC subset under two presets.
+2. Runs the same sweep in replay mode on 2 workers: the parent records
+   each (program, seed) cell once into the trace store, workers analyze
+   detector-only, and every outcome's report fingerprint must equal the
+   live baseline's.
+3. Re-analyzes the *same* recordings under a second preset set (drd,
+   eraser) — zero new recordings may be made — and checks those
+   fingerprints against live runs too.
+4. Asserts the store holds exactly one entry per cell (the recording is
+   shared across presets) and that a cached replay re-run executes
+   nothing.
+
+Exits non-zero (with a message) on any violation.  Used by the CI
+``replay-smoke`` job; safe to run locally from the repo root.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import shutil
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.harness.parallel import (  # noqa: E402
+    ResultCache,
+    run_sweep,
+    sweep_specs,
+)
+from repro.trace import TraceStore  # noqa: E402
+
+FIRST_TOOLS = ["helgrind-lib", "helgrind-lib-spin7"]
+SECOND_TOOLS = ["drd", "eraser"]
+SEEDS = [1]
+LIMIT = 4
+
+WORK = REPO / ".replay-smoke"
+
+
+def _specs(tools, trace_mode):
+    from repro.workloads import parsec_workloads
+
+    names = [wl.name for wl in parsec_workloads()][:LIMIT]
+    return [
+        dataclasses.replace(s, trace_mode=trace_mode)
+        for s in sweep_specs(names, tools, SEEDS)
+    ]
+
+
+def fail(msg: str) -> None:
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def fingerprints(result):
+    return {
+        (o.workload.name, o.config.name, o.seed): o.report.fingerprint()
+        for o in result.outcomes
+    }
+
+
+def main() -> None:
+    shutil.rmtree(WORK, ignore_errors=True)
+    trace_dir = WORK / "traces"
+
+    # 1. live baseline, both preset sets
+    live = run_sweep(_specs(FIRST_TOOLS + SECOND_TOOLS, "live"), workers=0)
+    if live.failed:
+        fail(f"live baseline failed: {live.failed}")
+    baseline = fingerprints(live)
+
+    # 2. replay-mode sweep on 2 workers, first preset set
+    replayed = run_sweep(
+        _specs(FIRST_TOOLS, "replay"), workers=2, trace_dir=trace_dir
+    )
+    if replayed.failed:
+        fail(f"replay sweep failed: {replayed.failed}")
+    for key, fp in fingerprints(replayed).items():
+        if fp != baseline[key]:
+            fail(f"replayed fingerprint diverged from live for {key}")
+    for o in replayed.outcomes:
+        if o.trace_mode != "replay":
+            fail(f"outcome {o.workload.name}/{o.config.name} not marked replay")
+
+    store = TraceStore(trace_dir)
+    if len(store) != LIMIT:
+        fail(f"expected {LIMIT} recordings (one per cell), store has {len(store)}")
+
+    # 3. second preset set over the SAME recordings: no new recordings
+    second = run_sweep(
+        _specs(SECOND_TOOLS, "replay"), workers=2, trace_dir=trace_dir
+    )
+    if second.failed:
+        fail(f"second replay sweep failed: {second.failed}")
+    for key, fp in fingerprints(second).items():
+        if fp != baseline[key]:
+            fail(f"second-preset fingerprint diverged from live for {key}")
+    if len(store) != LIMIT:
+        fail(f"second preset set grew the store to {len(store)} entries")
+
+    # 4. cached replay re-run executes nothing
+    cache = ResultCache(WORK / "cache")
+    first = run_sweep(_specs(FIRST_TOOLS, "replay"), workers=0, cache=cache)
+    again = run_sweep(_specs(FIRST_TOOLS, "replay"), workers=0, cache=cache)
+    if again.summary().executed != 0 or again.summary().cached != len(first.records):
+        fail("cached replay re-run re-executed instead of serving the cache")
+
+    shutil.rmtree(WORK, ignore_errors=True)
+    print(
+        f"replay smoke OK: {len(baseline)} live cells matched across "
+        f"{len(FIRST_TOOLS) + len(SECOND_TOOLS)} presets from {LIMIT} recordings"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -234,10 +234,19 @@ class VectorClockAlgorithm:
         self,
         addr: int,
         cell: _ShadowCell,
-        prev: AccessInfo,
-        cur: AccessInfo,
+        prev_tid: int,
+        prev_loc: CodeLocation,
+        prev_is_write: bool,
+        prev_atomic: bool,
+        cur_tid: int,
+        cur_loc: CodeLocation,
+        cur_is_write: bool,
+        cur_atomic: bool,
         kind: str,
     ) -> None:
+        """Report one offending pair; raw fields (not ``AccessInfo``) so
+        the per-cell duplicate check runs before any allocation — racy
+        loops resubmit the same pair thousands of times."""
         if self.long_run:
             # Long-run state machine: tolerate the first offending pair on
             # an address (it may be initialization); report from the
@@ -246,13 +255,17 @@ class VectorClockAlgorithm:
             cell.offenses += 1
             if cell.offenses < 2:
                 return
-        key = (str(prev.loc), str(cur.loc), kind)
+        key = (prev_loc, cur_loc, kind)
         if key in cell.reported:
             return
         cell.reported.add(key)
         self.report.add(
             RaceWarning(
-                addr=addr, symbol=self.symbolize(addr), prev=prev, cur=cur, kind=kind
+                addr=addr,
+                symbol=self.symbolize(addr),
+                prev=AccessInfo(prev_tid, prev_loc, prev_is_write, prev_atomic),
+                cur=AccessInfo(cur_tid, cur_loc, cur_is_write, cur_atomic),
+                kind=kind,
             )
         )
 
@@ -398,11 +411,8 @@ class VectorClockAlgorithm:
         ):
             silent = False
             self._report(
-                addr,
-                cell,
-                AccessInfo(w.tid, w.loc, True, w.atomic),
-                AccessInfo(tid, loc, False, atomic),
-                "write-read",
+                addr, cell, w.tid, w.loc, True, w.atomic,
+                tid, loc, False, atomic, "write-read",
             )
         cell.reads[tid] = ReadRecord(t.clock, loc, atomic, cur_ls)
         if self.fast_path:
@@ -426,11 +436,8 @@ class VectorClockAlgorithm:
                 and not self._excused(w.lockset, cur_ls)
             ):
                 self._report(
-                    addr,
-                    cell,
-                    AccessInfo(w.tid, w.loc, True, w.atomic),
-                    AccessInfo(tid, loc, True, atomic),
-                    "write-write",
+                    addr, cell, w.tid, w.loc, True, w.atomic,
+                    tid, loc, True, atomic, "write-write",
                 )
             for rtid, r in cell.reads.items():
                 if (
@@ -440,11 +447,8 @@ class VectorClockAlgorithm:
                     and not self._excused(r.lockset, cur_ls)
                 ):
                     self._report(
-                        addr,
-                        cell,
-                        AccessInfo(rtid, r.loc, False, r.atomic),
-                        AccessInfo(tid, loc, True, atomic),
-                        "read-write",
+                        addr, cell, rtid, r.loc, False, r.atomic,
+                        tid, loc, True, atomic, "read-write",
                     )
         if self.fast_path:
             w = cell.write

@@ -22,7 +22,7 @@ off on load, never propagated.
 
 Format (one JSON object per line)::
 
-    {"journal": "repro-sweep", "version": 1, "schema": 5, "sweep": "<digest>"}
+    {"journal": "repro-sweep", "version": 1, "schema": 6, "sweep": "<digest>"}
     {"key": "<spec digest>", "record": {"workload": ..., "status": ...}}
     ...
 
@@ -50,7 +50,10 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 #: 5: checksummed cache entries (framed header + sha256) and journaled
 #:    checkpoints; entries written by the unframed layout are
 #:    quarantined, not read.
-CACHE_SCHEMA = 5
+#: 6: trace store + offline analysis (RunSpec gained scheduler and
+#:    trace_mode; both enter the key, so a replayed cell never collides
+#:    with a live one).
+CACHE_SCHEMA = 6
 
 #: bump on incompatible journal layout changes
 JOURNAL_VERSION = 1
@@ -72,6 +75,8 @@ def spec_key(spec) -> str:
         fingerprint = program_fingerprint(spec.workload)
     else:
         fingerprint = spec.resolve().fresh_program().fingerprint()
+    from repro.harness.registry import canonical_scheduler
+
     config_fields = sorted(dataclasses.asdict(spec.tool()).items())
     payload = "\n".join(
         [
@@ -82,6 +87,8 @@ def spec_key(spec) -> str:
             f"max_steps={spec.effective_max_steps()}",
             f"fault_plan={spec.fault_plan!r}",
             f"livelock_bound={spec.livelock_bound!r}",
+            f"scheduler={canonical_scheduler(getattr(spec, 'scheduler', None))}",
+            f"trace_mode={getattr(spec, 'trace_mode', 'live')}",
         ]
     )
     return hashlib.sha256(payload.encode()).hexdigest()

@@ -11,6 +11,7 @@ Subcommands::
     repro-experiments f2            # runtime-overhead figure
     repro-experiments f3            # pipeline throughput (fast vs legacy)
     repro-experiments f4            # interpreter throughput (decoded vs isinstance)
+    repro-experiments f6            # replay throughput (stored trace vs live)
     repro-experiments cases         # list the 120 suite cases
     repro-experiments oracle        # detector-free ground-truth sweep
     repro-experiments sweep         # parallel sweep + observability report
@@ -18,6 +19,10 @@ Subcommands::
     repro-experiments tools         # list the named tool presets
     repro-experiments cache doctor  # scan/quarantine/purge the result cache
     repro-experiments triage replay ARTIFACT  # replay a forensic artifact
+    repro-experiments trace record WORKLOAD [SEED]   # record one execution
+    repro-experiments trace analyze WORKLOAD [SEED]  # re-analyze, no VM
+    repro-experiments trace ls      # list the trace store
+    repro-experiments trace gc      # reclaim trace-store space
     repro-experiments all           # every table and figure, in order
 
 Global options wire every table through the parallel engine::
@@ -38,6 +43,16 @@ Durability and triage options (sweep/chaos)::
     --poison-threshold N quarantine a spec after N worker kills/hangs
     --forensics-dir DIR  capture + ddmin-shrink failed runs as artifacts
 
+Record-once-analyze-anywhere options (sweep/trace)::
+
+    --trace-dir DIR      content-addressed trace store (default
+                         <cache-dir>/traces when --cache-dir is set)
+    --trace-mode MODE    sweep: live (default), record (re-record every
+                         cell), or replay (analyze from stored traces,
+                         recording each missing cell once)
+    --scheduler SPEC     scheduling policy spec ("random",
+                         "round-robin", "adversarial:burst=12")
+
 Tool names resolve through the shared preset registry
 (:meth:`repro.detectors.ToolConfig.preset`): ``helgrind-lib``,
 ``helgrind-nolib-spin7``, ``drd``, ``eraser``, ...  A trailing integer
@@ -50,6 +65,8 @@ numbers would be polluted by co-scheduled sibling runs.
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import hashlib
 import sys
 from typing import List, Optional, Sequence
 
@@ -316,6 +333,40 @@ def cmd_f4(args: argparse.Namespace) -> int:
     return 1 if s["mismatches"] else 0
 
 
+def cmd_f6(args: argparse.Namespace) -> int:
+    """Replay throughput: stored-trace analysis vs live execution."""
+    from repro.harness.perf import measure_replay, replay_summary, write_replay_bench
+    from repro.workloads import parsec_workloads
+
+    parsec = parsec_workloads()
+    if args.limit:
+        parsec = parsec[: args.limit]
+    tools = (
+        [resolve_tool(n.strip()) for n in args.tools.split(",") if n.strip()]
+        if args.tools
+        else [
+            resolve_tool("helgrind-lib"),
+            resolve_tool(f"helgrind-lib-spin{args.k}"),
+            resolve_tool("drd"),
+        ]
+    )
+    rows = measure_replay(parsec, tools, repeats=args.repeats)
+    s = replay_summary(rows)
+    print(
+        f"F6 PARSEC: {s['events']} events — replay "
+        f"{s['replay_events_per_s']:.0f} ev/s vs live "
+        f"{s['live_events_per_s']:.0f} ev/s ({s['speedup']:.2f}x; "
+        f"{s['configs_per_recording']:.0f} configs/recording, "
+        f"one-time record {s['record_s']:.3f}s), "
+        f"{s['mismatches']} fingerprint mismatch(es)"
+    )
+    out = args.out if args.out is not None else "BENCH_replay.json"
+    if out:
+        write_replay_bench(out, {"parsec": rows})
+        print(f"wrote {out}")
+    return 1 if s["mismatches"] else 0
+
+
 def cmd_tools(args: argparse.Namespace) -> None:
     """List the named tool presets the registry resolves."""
     rows = []
@@ -354,6 +405,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     )
     seeds = list(range(1, args.seeds + 1))
     specs = sweep_specs(workloads, configs, seeds)
+    if args.trace_mode != "live" or args.scheduler:
+        specs = [
+            dataclasses.replace(s, trace_mode=args.trace_mode, scheduler=args.scheduler)
+            for s in specs
+        ]
     result = run_sweep(
         specs,
         workers=args.workers,
@@ -365,6 +421,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         heartbeat_s=args.heartbeat,
         poison_threshold=args.poison_threshold,
         forensics_dir=args.forensics_dir,
+        trace_dir=args.trace_dir,
     )
     title = (
         f"Sweep — {len(workloads)} workload(s) x {len(configs)} tool(s) "
@@ -472,6 +529,139 @@ def cmd_triage(args: argparse.Namespace) -> int:
     return 1 if reproduced else 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """``trace record|analyze|ls|gc``: the content-addressed trace store.
+
+    ``record`` runs one instrumented execution and persists it;
+    ``analyze`` re-runs every ``--tools`` preset (default: lib, lib+spin,
+    drd) over the stored recording with no VM in the loop, recording the
+    cell first if it is missing.  ``ls`` and ``gc`` inspect and reclaim
+    the store.
+    """
+    from repro.harness.parallel import RunSpec, prewarm_traces
+    from repro.harness.runner import run_workload_offline
+    from repro.trace import TraceStore, key_for_spec
+
+    verb = args.rest[0] if args.rest else "ls"
+    if verb not in ("record", "analyze", "ls", "gc"):
+        print(
+            f"unknown trace command {verb!r} (expected: record, analyze, ls, gc)",
+            file=sys.stderr,
+        )
+        return 2
+    if not args.trace_dir:
+        print("trace commands require --trace-dir", file=sys.stderr)
+        return 2
+    store = TraceStore(args.trace_dir)
+
+    if verb == "ls":
+        rows = [
+            [
+                key[:16] + "…",
+                meta["program"],
+                meta["scheduler"],
+                meta["seed"],
+                meta["status"],
+                meta["events"],
+                f"{size / 1024:.1f}K",
+            ]
+            for key, meta, size in store.entries()
+        ]
+        print(
+            format_table(
+                ["Key", "Program", "Scheduler", "Seed", "Status", "Events", "Size"],
+                rows,
+                title=f"Trace store — {args.trace_dir} ({len(rows)} entries)",
+            )
+        )
+        return 0
+
+    if verb == "gc":
+        stats = store.gc(purge_corrupt=True)
+        print(
+            f"trace gc — {args.trace_dir}: {stats['kept']} kept, "
+            f"{stats['removed']} removed, {stats['purged']} corrupt purged"
+        )
+        return 0
+
+    if len(args.rest) < 2:
+        print(f"trace {verb}: missing WORKLOAD", file=sys.stderr)
+        return 2
+    workload = args.rest[1]
+    seed = int(args.rest[2]) if len(args.rest) > 2 else 1
+
+    if verb == "record":
+        spec = RunSpec(
+            workload=workload,
+            config=args.tool or f"helgrind-lib-spin{args.k}",
+            seed=seed,
+            scheduler=args.scheduler,
+            trace_mode="record",
+        )
+        prewarm_traces([spec], args.trace_dir)
+        key = key_for_spec(spec)
+        trace = store.get(key)
+        if trace is None:
+            print(f"trace record: store round-trip failed for {key}", file=sys.stderr)
+            return 1
+        print(
+            f"recorded {workload} seed {seed} scheduler {trace.scheduler} "
+            f"-> {key[:16]}…: status={trace.status} steps={trace.steps} "
+            f"events={len(trace.events)}"
+        )
+        return 0
+
+    # analyze: fan every preset over one stored recording, VM-free.
+    names = (
+        [n.strip() for n in args.tools.split(",") if n.strip()]
+        if args.tools
+        else ["helgrind-lib", f"helgrind-lib-spin{args.k}", "drd"]
+    )
+    specs = [
+        RunSpec(
+            workload=workload,
+            config=name,
+            seed=seed,
+            scheduler=args.scheduler,
+            trace_mode="replay",
+        )
+        for name in names
+    ]
+    recorded = prewarm_traces(specs, args.trace_dir)
+    rows = []
+    for spec in specs:
+        trace = store.get(key_for_spec(spec))
+        if trace is None:
+            print(f"trace analyze: no usable recording for {spec.config}", file=sys.stderr)
+            return 1
+        outcome = run_workload_offline(spec.resolve(), spec.tool(), trace, seed=seed)
+        # fingerprint() is a structured tuple; digest it for display
+        digest = hashlib.sha256(
+            repr(outcome.report.fingerprint()).encode()
+        ).hexdigest()
+        rows.append(
+            [
+                spec.tool().name,
+                outcome.result.status,
+                outcome.report.racy_contexts,
+                outcome.events,
+                f"{outcome.duration_s * 1000:.1f}ms",
+                digest[:12],
+            ]
+        )
+    print(
+        format_table(
+            ["Tool", "Status", "Racy ctx", "Events", "Analysis", "Fingerprint"],
+            rows,
+            title=(
+                f"trace analyze — {workload} seed {seed} "
+                f"({recorded} recording(s) made, {len(names)} preset(s) served)"
+            ),
+        )
+    )
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -520,8 +710,33 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--out",
         default=None,
         help=(
-            "f3/f4: benchmark JSON output path (default BENCH_pipeline.json "
-            "/ BENCH_interpreter.json; '' to skip writing)"
+            "f3/f4/f6: benchmark JSON output path (default BENCH_pipeline.json "
+            "/ BENCH_interpreter.json / BENCH_replay.json; '' to skip writing)"
+        ),
+    )
+    parser.add_argument(
+        "--trace-dir",
+        default=None,
+        help=(
+            "sweep/trace: content-addressed trace store directory "
+            "(default <cache-dir>/traces for non-live sweeps)"
+        ),
+    )
+    parser.add_argument(
+        "--trace-mode",
+        choices=["live", "record", "replay"],
+        default="live",
+        help=(
+            "sweep: live VM runs (default), record every cell fresh, or "
+            "replay detector-only from stored traces"
+        ),
+    )
+    parser.add_argument(
+        "--scheduler",
+        default=None,
+        help=(
+            "sweep/trace: scheduling policy spec (random, round-robin, "
+            "adversarial:burst=12); default seeded-random"
         ),
     )
     parser.add_argument(
@@ -564,15 +779,18 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument(
         "experiment",
         choices=[
-            "t1", "t2", "t3", "t4", "t5", "f1", "f2", "f3", "f4", "cases",
-            "oracle", "sweep", "chaos", "tools", "cache", "triage", "all",
+            "t1", "t2", "t3", "t4", "t5", "f1", "f2", "f3", "f4", "f6", "cases",
+            "oracle", "sweep", "chaos", "tools", "cache", "triage", "trace", "all",
         ],
         help="which experiment to run",
     )
     parser.add_argument(
         "rest",
         nargs="*",
-        help="subcommand arguments (cache doctor [...], triage replay ARTIFACT)",
+        help=(
+            "subcommand arguments (cache doctor [...], triage replay ARTIFACT, "
+            "trace record|analyze WORKLOAD [SEED] | ls | gc)"
+        ),
     )
     args = parser.parse_args(argv)
     commands = {
@@ -585,6 +803,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "f2": cmd_f2,
         "f3": cmd_f3,
         "f4": cmd_f4,
+        "f6": cmd_f6,
         "cases": cmd_cases,
         "oracle": cmd_oracle,
         "sweep": cmd_sweep,
@@ -592,9 +811,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         "tools": cmd_tools,
         "cache": cmd_cache,
         "triage": cmd_triage,
+        "trace": cmd_trace,
     }
     if args.experiment == "all":
-        for name in ("t1", "t2", "t3", "t4", "t5", "f1", "f2", "f3", "f4"):
+        for name in ("t1", "t2", "t3", "t4", "t5", "f1", "f2", "f3", "f4", "f6"):
             commands[name](args)
             print()
     else:

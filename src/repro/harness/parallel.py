@@ -73,9 +73,11 @@ __all__ = [
     "SweepError",
     "SweepResult",
     "SweepSummary",
+    "TRACE_MODES",
     "default_workers",
     "outcome_status",
     "prewarm_static",
+    "prewarm_traces",
     "run_sweep",
     "summarize_records",
     "sweep_specs",
@@ -84,6 +86,10 @@ __all__ = [
 
 class SweepError(RuntimeError):
     """Raised by strict sweeps when at least one run failed terminally."""
+
+
+#: valid values of :attr:`RunSpec.trace_mode`
+TRACE_MODES = ("live", "record", "replay")
 
 
 # ---------------------------------------------------------------------------
@@ -108,6 +114,15 @@ class RunSpec:
     fault_plan: Optional[FaultPlan] = None
     #: livelock-watchdog bound; ``None`` leaves the watchdog off
     livelock_bound: Optional[int] = None
+    #: canonical scheduler spec (:func:`~repro.harness.registry.
+    #: canonical_scheduler`); ``None`` keeps the seeded-random default
+    scheduler: Optional[str] = None
+    #: "live" executes under the VM; "record" (re-)records the cell's
+    #: trace then analyzes it offline; "replay" analyzes the stored
+    #: trace, recording it first only on a store miss.  Record/replay
+    #: cells with the same (program, scheduler, seed, instrumentation,
+    #: faults) coordinates share one recording across tool configs.
+    trace_mode: str = "live"
 
     def resolve(self) -> Workload:
         if isinstance(self.workload, str):
@@ -564,7 +579,106 @@ class SweepResult:
         return [r for r in self.records if r.poisoned]
 
 
-def _child_main(spec: RunSpec, conn, heartbeat_s: Optional[float] = None) -> None:
+def _record_spec_trace(spec: RunSpec):
+    """Record the trace a record/replay spec's cell maps to.
+
+    Instrumentation is widened to ``max(8, spin window)`` — matching
+    :func:`repro.trace.store.key_for_spec` — so one recording serves
+    every spin window up to the paper's maximum.
+    """
+    from repro.trace import record_trace
+
+    tool = spec.tool()
+    return record_trace(
+        spec.resolve().fresh_program(),
+        seed=spec.effective_seed(),
+        max_steps=spec.effective_max_steps(),
+        max_blocks=max(8, tool.spin_max_blocks),
+        inline_depth=tool.inline_depth,
+        fault_plan=spec.fault_plan,
+        livelock_bound=spec.livelock_bound,
+        scheduler=spec.scheduler,
+    )
+
+
+def prewarm_traces(specs: Iterable[RunSpec], trace_dir: Union[str, Path]) -> int:
+    """Record each distinct missing trace cell once, in the parent.
+
+    The record/replay analogue of :func:`prewarm_static`: a sweep that
+    fans N tool configs over one ``(program, scheduler, seed, faults)``
+    cell must execute the program exactly once, so the parent records
+    every cell the store is missing before any worker dispatch — workers
+    then only ever *read* traces.  ``record``-mode cells are re-recorded
+    fresh (once per distinct key); ``replay`` cells are recorded only on
+    a store miss.  Returns the number of recordings written.
+    """
+    from repro.trace.store import TraceStore, key_for_spec
+
+    store = TraceStore(trace_dir)
+    recorded = 0
+    seen = set()
+    for spec in specs:
+        if spec.trace_mode == "live":
+            continue
+        key = key_for_spec(spec)
+        if key in seen:
+            continue
+        seen.add(key)
+        if spec.trace_mode != "record" and store.get(key) is not None:
+            continue
+        store.put(key, _record_spec_trace(spec))
+        recorded += 1
+    return recorded
+
+
+def _execute_spec(
+    spec: RunSpec,
+    trace_dir: Optional[Union[str, Path]] = None,
+    machine_sink=None,
+) -> RunOutcome:
+    """Run one spec in its trace mode (the worker/serial shared path)."""
+    if spec.trace_mode == "live":
+        return run_workload(
+            spec.resolve(),
+            spec.tool(),
+            seed=spec.seed,
+            max_steps=spec.max_steps,
+            fault_plan=spec.fault_plan,
+            livelock_bound=spec.livelock_bound,
+            machine_sink=machine_sink,
+            scheduler=spec.scheduler,
+        )
+    from repro.harness.runner import run_workload_offline
+    from repro.trace.store import TraceStore, key_for_spec
+
+    if trace_dir is None:
+        raise ValueError(
+            f"trace_mode={spec.trace_mode!r} requires a trace store directory"
+        )
+    store = TraceStore(trace_dir)
+    key = key_for_spec(spec)
+    trace = store.get(key)
+    if trace is None:
+        # Prewarm normally guarantees a hit; recording here keeps a
+        # quarantined/raced-away entry from failing the run.
+        trace = _record_spec_trace(spec)
+        store.put(key, trace)
+    return run_workload_offline(
+        spec.resolve(),
+        spec.tool(),
+        trace,
+        seed=spec.effective_seed(),
+        fault_plan=spec.fault_plan,
+        livelock_bound=spec.livelock_bound,
+    )
+
+
+def _child_main(
+    spec: RunSpec,
+    conn,
+    heartbeat_s: Optional[float] = None,
+    trace_dir: Optional[Union[str, Path]] = None,
+) -> None:
     """Worker entry point: run one spec, ship the outcome back, exit.
 
     With ``heartbeat_s`` set, a daemon thread reports the machine's step
@@ -594,13 +708,9 @@ def _child_main(spec: RunSpec, conn, heartbeat_s: Optional[float] = None) -> Non
 
         threading.Thread(target=_beat, daemon=True).start()
     try:
-        outcome = run_workload(
-            spec.resolve(),
-            spec.tool(),
-            seed=spec.seed,
-            max_steps=spec.max_steps,
-            fault_plan=spec.fault_plan,
-            livelock_bound=spec.livelock_bound,
+        outcome = _execute_spec(
+            spec,
+            trace_dir=trace_dir,
             machine_sink=lambda m: machine_box.__setitem__("machine", m),
         )
         stop.set()
@@ -624,19 +734,13 @@ def _run_serial(
     records: List[Optional[RunRecord]],
     cache: Optional[ResultCache],
     journal: Optional[SweepJournal] = None,
+    trace_dir: Optional[Union[str, Path]] = None,
 ) -> None:
     """In-process reference executor (``workers=0``) — no isolation."""
     for i, key in indices:
         spec = specs[i]
         try:
-            outcome = run_workload(
-                spec.resolve(),
-                spec.tool(),
-                seed=spec.seed,
-                max_steps=spec.max_steps,
-                fault_plan=spec.fault_plan,
-                livelock_bound=spec.livelock_bound,
-            )
+            outcome = _execute_spec(spec, trace_dir=trace_dir)
         except KeyboardInterrupt:
             raise
         except Exception as exc:
@@ -671,6 +775,7 @@ def run_sweep(
     slow_grace: float = 4.0,
     poison_threshold: Optional[int] = None,
     forensics_dir: Optional[Union[str, Path]] = None,
+    trace_dir: Optional[Union[str, Path]] = None,
 ) -> SweepResult:
     """Execute ``specs``, fanning out over ``workers`` processes.
 
@@ -707,6 +812,12 @@ def run_sweep(
     :param forensics_dir: capture a replayable trace artifact (plus an
         auto-shrunk repro) for every failed or poisoned run — see
         :mod:`repro.harness.triage`.
+    :param trace_dir: :class:`~repro.trace.TraceStore` directory for
+        record/replay-mode specs.  Defaults to ``<cache>/traces`` when a
+        result cache is given; required (explicitly or via ``cache``)
+        when any spec has ``trace_mode != "live"``.  Each distinct
+        trace cell is recorded at most once, in the parent, before any
+        fan-out (:func:`prewarm_traces`).
 
     Results are deterministic and bit-identical to serial execution:
     workers add no scheduling or RNG state of their own, so only the
@@ -718,6 +829,20 @@ def run_sweep(
     ``interrupted=True`` instead of losing the finished records.
     """
     specs = list(specs)
+    for spec in specs:
+        if spec.trace_mode not in TRACE_MODES:
+            raise ValueError(
+                f"unknown trace_mode {spec.trace_mode!r}; expected one of "
+                f"{TRACE_MODES}"
+            )
+    needs_traces = any(s.trace_mode != "live" for s in specs)
+    if needs_traces and trace_dir is None:
+        if cache is None:
+            raise ValueError(
+                "record/replay trace modes require trace_dir (or a cache "
+                "to default next to)"
+            )
+        trace_dir = cache.root / "traces"
     start = time.perf_counter()
     outcomes: List[Optional[RunOutcome]] = [None] * len(specs)
     records: List[Optional[RunRecord]] = [None] * len(specs)
@@ -768,6 +893,12 @@ def run_sweep(
 
     interrupted = False
     try:
+        if needs_traces and pending:
+            # Record every missing cell once, before any dispatch: the
+            # whole point of record/replay sweeps is one execution per
+            # (program, scheduler, seed, faults) cell, however many tool
+            # configs fan out over it.
+            prewarm_traces((specs[i] for i, _, _ in pending), trace_dir)
         if workers <= 0:
             _run_serial(
                 specs,
@@ -776,6 +907,7 @@ def run_sweep(
                 records,
                 cache,
                 journal,
+                trace_dir=trace_dir,
             )
         elif pending:
             _run_pool(
@@ -793,6 +925,7 @@ def run_sweep(
                 hung_after_s=hung_after_s,
                 slow_grace=slow_grace,
                 poison_threshold=poison_threshold,
+                trace_dir=trace_dir,
             )
     except KeyboardInterrupt:
         # Children are already reaped (the pool's finally); keep every
@@ -926,6 +1059,7 @@ def _run_pool(
     hung_after_s: Optional[float] = None,
     slow_grace: float = 4.0,
     poison_threshold: Optional[int] = None,
+    trace_dir: Optional[Union[str, Path]] = None,
 ) -> None:
     ctx = _mp_context()
     if ctx.get_start_method() == "fork":
@@ -979,7 +1113,7 @@ def _run_pool(
                 parent_conn, child_conn = ctx.Pipe(duplex=False)
                 proc = ctx.Process(
                     target=_child_main,
-                    args=(specs[i], child_conn, heartbeat_s),
+                    args=(specs[i], child_conn, heartbeat_s, trace_dir),
                     daemon=True,
                 )
                 proc.start()

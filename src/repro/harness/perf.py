@@ -538,3 +538,204 @@ def load_interpreter_baseline(path: Union[str, Path]) -> Optional[Dict[str, obje
         return json.loads(p.read_text())
     except (OSError, json.JSONDecodeError):
         return None
+
+
+# ---------------------------------------------------------------------------
+# F6 — replay throughput (stored-trace analysis vs live execution)
+
+
+@dataclass(frozen=True)
+class ReplayRow:
+    """One (workload, tool) pair analyzed live and from a stored trace.
+
+    ``live_s`` is machine + detector wall-clock (the cost every tool
+    configuration pays again under record-once-analyze-everywhere's
+    alternative: re-executing the VM per config); ``replay_s`` is
+    detector-only wall-clock over the recorded event stream
+    (:func:`repro.trace.analyze_trace` — delivery plus finalize).  The
+    recording itself (``record_s``, paid once per *cell*, not per tool)
+    and the flat-batch priming are one-time costs reported separately,
+    exactly as F4 reports ``decode_s`` outside the throughput number.
+
+    Throughput shares the live run's delivered event count as numerator
+    for both sides, mirroring F3's shared-numerator convention.
+    """
+
+    workload: str
+    tool: str
+    spin: bool
+    #: events the live run delivered to the detector
+    events: int
+    #: one-time recording cost for the cell (instrumented VM run + capture)
+    record_s: float
+    #: min wall-clock over the repeats, live machine + detector
+    live_s: float
+    #: min wall-clock over the repeats, detector over the stored trace
+    replay_s: float
+    #: live and replayed report fingerprints are byte-identical
+    fingerprints_match: bool
+
+    @property
+    def live_events_per_s(self) -> float:
+        return self.events / self.live_s if self.live_s > 0 else 0.0
+
+    @property
+    def replay_events_per_s(self) -> float:
+        return self.events / self.replay_s if self.replay_s > 0 else 0.0
+
+    @property
+    def speedup(self) -> float:
+        """Re-analysis speedup: live wall-clock over replay wall-clock."""
+        return self.live_s / self.replay_s if self.replay_s > 0 else float("nan")
+
+
+def measure_replay(
+    workloads: Sequence[Workload],
+    configs: Sequence[ToolConfig],
+    seed: int = 1,
+    repeats: int = 3,
+) -> List[ReplayRow]:
+    """Measure live-vs-replay analysis cost over a (workload, tool) sweep.
+
+    Each workload is recorded *once* with instrumentation wide enough for
+    every config in the sweep (the store's ``max(8, spin window)``
+    convention), then every config analyzes both ways, ``repeats`` times
+    each with the minimum wall-clock kept.  Replay fingerprints are
+    checked against the live reports — a throughput number from a replay
+    that changed verdicts would be meaningless.
+    """
+    import time
+
+    from repro.trace import analyze_trace, record_trace
+
+    rows: List[ReplayRow] = []
+    max_blocks = max([8, *(c.spin_max_blocks for c in configs)])
+    inline_depth = max(c.inline_depth for c in configs)
+    for wl in workloads:
+        record_start = time.perf_counter()
+        trace = record_trace(
+            wl.fresh_program(),
+            seed=seed,
+            max_steps=wl.max_steps,
+            max_blocks=max_blocks,
+            inline_depth=inline_depth,
+        )
+        record_s = time.perf_counter() - record_start
+        # Prime the flat-batch cache outside the timed region: it is
+        # built once per loaded trace and shared by every config, the
+        # replay-side analogue of F4's one-time decode.
+        trace.batches()
+        for cfg in configs:
+            live_runs = [run_workload(wl, cfg, seed=seed) for _ in range(repeats)]
+            live_best = min(live_runs, key=lambda r: r.duration_s)
+            analyses = [analyze_trace(trace, cfg) for _ in range(repeats)]
+            replay_best = min(analyses, key=lambda a: a.duration_s)
+            rows.append(
+                ReplayRow(
+                    workload=wl.name,
+                    tool=cfg.name,
+                    spin=cfg.spin,
+                    events=live_best.events,
+                    record_s=record_s,
+                    live_s=live_best.duration_s,
+                    replay_s=replay_best.duration_s,
+                    fingerprints_match=replay_best.report.fingerprint()
+                    == live_best.report.fingerprint(),
+                )
+            )
+    return rows
+
+
+def replay_summary(rows: Sequence[ReplayRow]) -> Dict[str, float]:
+    """Aggregate replay throughput (sum events / sum seconds) over rows.
+
+    Seconds are summed before dividing so timer noise on tiny workloads
+    averages out; the aggregate speedup is what the ≥5x acceptance gate
+    reads.  ``record_s`` is summed over *distinct* workloads (one
+    recording serves every tool row of its cell).
+    """
+    if not rows:
+        return {
+            "events": 0,
+            "live_s": 0.0,
+            "replay_s": 0.0,
+            "record_s": 0.0,
+            "live_events_per_s": 0.0,
+            "replay_events_per_s": 0.0,
+            "speedup": float("nan"),
+            "configs_per_recording": 0.0,
+            "mismatches": 0,
+        }
+    events = sum(r.events for r in rows)
+    live_s = sum(r.live_s for r in rows)
+    replay_s = sum(r.replay_s for r in rows)
+    per_workload: Dict[str, float] = {}
+    for r in rows:
+        per_workload[r.workload] = r.record_s
+    record_s = sum(per_workload.values())
+    return {
+        "events": events,
+        "live_s": live_s,
+        "replay_s": replay_s,
+        "record_s": record_s,
+        "live_events_per_s": events / live_s if live_s > 0 else 0.0,
+        "replay_events_per_s": events / replay_s if replay_s > 0 else 0.0,
+        "speedup": live_s / replay_s if replay_s > 0 else float("nan"),
+        "configs_per_recording": len(rows) / len(per_workload),
+        "mismatches": sum(1 for r in rows if not r.fingerprints_match),
+    }
+
+
+def write_replay_bench(
+    path: Union[str, Path],
+    groups: Mapping[str, Sequence[ReplayRow]],
+    extra: Optional[Mapping[str, object]] = None,
+) -> Dict[str, object]:
+    """Write ``BENCH_replay.json``: per-group summaries + per-row data.
+
+    The committed file is the trajectory baseline the CI perf-smoke job
+    gates replay regressions against.
+    """
+    payload: Dict[str, object] = {
+        "schema": 1,
+        "figure": "F6 — replay throughput (stored-trace analysis vs live)",
+        "groups": {},
+        "rows": [],
+    }
+    if extra:
+        payload.update(extra)
+    for name, rows in groups.items():
+        payload["groups"][name] = {
+            k: (round(v, 3) if isinstance(v, float) else v)
+            for k, v in replay_summary(rows).items()
+        }
+        for r in rows:
+            payload["rows"].append(
+                {
+                    "group": name,
+                    "workload": r.workload,
+                    "tool": r.tool,
+                    "spin": r.spin,
+                    "events": r.events,
+                    "record_s": round(r.record_s, 6),
+                    "live_s": round(r.live_s, 6),
+                    "replay_s": round(r.replay_s, 6),
+                    "live_events_per_s": round(r.live_events_per_s, 1),
+                    "replay_events_per_s": round(r.replay_events_per_s, 1),
+                    "speedup": round(r.speedup, 3),
+                    "fingerprints_match": r.fingerprints_match,
+                }
+            )
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+    return payload
+
+
+def load_replay_baseline(path: Union[str, Path]) -> Optional[Dict[str, object]]:
+    """Load a committed ``BENCH_replay.json`` (``None`` if absent)."""
+    p = Path(path)
+    if not p.exists():
+        return None
+    try:
+        return json.loads(p.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None

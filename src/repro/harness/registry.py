@@ -122,6 +122,102 @@ def tool_names() -> List[str]:
     return list(ToolConfig.presets())
 
 
+# ---------------------------------------------------------------------------
+# Scheduler specs
+# ---------------------------------------------------------------------------
+#
+# Specs are canonical strings (``"random"``, ``"round-robin:penalty=4"``,
+# ``"adversarial:burst=12"``) so they survive pickling, hash into cache
+# keys, and round-trip through trace JSON.  The run seed is supplied
+# separately at build time — a spec names a scheduling *policy*, not one
+# concrete interleaving.
+
+#: scheduler kind → (constructor params that accept the run seed, other
+#: accepted integer parameters)
+_SCHEDULER_KINDS: Dict[str, tuple] = {
+    "random": (True, ("penalty",)),
+    "round-robin": (False, ("penalty",)),
+    "adversarial": (True, ("burst",)),
+}
+
+DEFAULT_SCHEDULER = "random"
+
+
+def scheduler_names() -> List[str]:
+    """The recognized scheduler kinds."""
+    return list(_SCHEDULER_KINDS)
+
+
+def canonical_scheduler(spec: Optional[str] = None) -> str:
+    """Normalize a scheduler spec string; ``None`` means the default.
+
+    The canonical form is ``kind`` or ``kind:key=value,...`` with the
+    parameters sorted by name, so two spellings of the same policy hash
+    to the same cache/trace key.  Raises ``ValueError`` for unknown
+    kinds or parameters.
+    """
+    if spec is None or spec == "":
+        return DEFAULT_SCHEDULER
+    kind, _, rest = spec.partition(":")
+    kind = kind.strip()
+    if kind not in _SCHEDULER_KINDS:
+        raise ValueError(
+            f"unknown scheduler {kind!r}; expected one of "
+            f"{sorted(_SCHEDULER_KINDS)}"
+        )
+    _, allowed = _SCHEDULER_KINDS[kind]
+    params: Dict[str, int] = {}
+    if rest.strip():
+        for item in rest.split(","):
+            key, sep, value = item.partition("=")
+            key = key.strip()
+            if not sep or key not in allowed:
+                raise ValueError(
+                    f"scheduler {kind!r} does not accept parameter {key!r}; "
+                    f"allowed: {sorted(allowed)}"
+                )
+            try:
+                params[key] = int(value)
+            except ValueError:
+                raise ValueError(
+                    f"scheduler parameter {key}={value.strip()!r} is not an "
+                    f"integer"
+                ) from None
+    if not params:
+        return kind
+    args = ",".join(f"{k}={v}" for k, v in sorted(params.items()))
+    return f"{kind}:{args}"
+
+
+def build_scheduler(spec: Optional[str], seed: int):
+    """Construct the scheduler a canonical spec describes.
+
+    ``None`` builds the historical default, ``RandomScheduler(seed)``,
+    so every pre-spec call site keeps its exact behavior (and its cache
+    keys).  Seeded kinds take ``seed``; unseeded kinds ignore it.
+    """
+    from repro.vm.scheduler import (
+        AdversarialScheduler,
+        RandomScheduler,
+        RoundRobinScheduler,
+    )
+
+    spec = canonical_scheduler(spec)
+    kind, _, rest = spec.partition(":")
+    params: Dict[str, int] = {}
+    if rest:
+        for item in rest.split(","):
+            key, _, value = item.partition("=")
+            params[key] = int(value)
+    if kind == "random":
+        return RandomScheduler(seed, **params)
+    if kind == "round-robin":
+        return RoundRobinScheduler(**params)
+    if kind == "adversarial":
+        return AdversarialScheduler(seed, **params)
+    raise ValueError(f"unknown scheduler {kind!r}")  # pragma: no cover
+
+
 class RegistryBuild:
     """A picklable stand-in for a workload's ``build`` callable.
 

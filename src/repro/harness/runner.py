@@ -14,7 +14,7 @@ from repro.analysis import (
 )
 from repro.detectors import RaceDetector, ToolConfig
 from repro.detectors.reports import Report
-from repro.harness.registry import RegistryBuild
+from repro.harness.registry import RegistryBuild, build_scheduler
 from repro.harness.workload import Workload
 from repro.vm import Machine, RandomScheduler
 from repro.vm.faults import FaultPlan
@@ -62,6 +62,8 @@ class RunOutcome:
     fault_plan: Optional[FaultPlan] = None
     #: livelock-watchdog bound the machine ran with, if any
     livelock_bound: Optional[int] = None
+    #: "live" for VM executions, "replay" for VM-free trace analyses
+    trace_mode: str = "live"
 
     @property
     def ok(self) -> bool:
@@ -88,6 +90,7 @@ def run_workload(
     fault_plan: Optional[FaultPlan] = None,
     livelock_bound: Optional[int] = None,
     machine_sink: Optional[Callable[[Machine], None]] = None,
+    scheduler: Optional[str] = None,
 ) -> RunOutcome:
     """Run ``workload`` under ``config`` with the given scheduler seed.
 
@@ -97,6 +100,9 @@ def run_workload(
     byte-identical to before.  ``machine_sink``, if given, receives the
     constructed :class:`Machine` before execution starts — the worker
     heartbeat thread uses it to observe ``step_count`` from the side.
+    ``scheduler`` is a canonical spec string (see
+    :func:`repro.harness.registry.canonical_scheduler`); ``None`` keeps
+    the seeded-random default.
     """
     program = workload.fresh_program()
     imap: Optional[InstrumentationMap] = None
@@ -132,7 +138,7 @@ def run_workload(
     detector = RaceDetector(config, lock_sites=lock_sites)
     machine = Machine(
         program,
-        scheduler=RandomScheduler(seed if seed is not None else workload.seed),
+        scheduler=build_scheduler(scheduler, seed if seed is not None else workload.seed),
         listener=detector,
         instrumentation=watch_imap,
         max_steps=max_steps or workload.max_steps,
@@ -164,6 +170,52 @@ def run_workload(
         adhoc_edges=detector.adhoc.edges if detector.adhoc is not None else 0,
         fault_plan=fault_plan,
         livelock_bound=livelock_bound,
+    )
+
+
+def run_workload_offline(
+    workload: Workload,
+    config: ToolConfig,
+    trace,
+    seed: Optional[int] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    livelock_bound: Optional[int] = None,
+) -> RunOutcome:
+    """Build a :class:`RunOutcome` from a stored trace — no VM in the loop.
+
+    The offline twin of :func:`run_workload` for replay-mode sweep
+    cells: the detector consumes the recorded event stream through
+    :func:`repro.trace.analyze_trace` and the machine-level result is
+    synthesized from the trace's termination status, so the outcome's
+    report fingerprint is bit-identical to the live run's.  One-time
+    costs that a live run charges separately (``instrument_s``,
+    ``decode_s``) are zero here: a replay pays neither.
+    """
+    from repro.trace import analyze_trace, synthesize_result
+
+    analysis = analyze_trace(trace, config)
+    detector = analysis.detector
+    spin_loops = (
+        sum(1 for s in trace.loop_sizes.values() if s <= config.spin_max_blocks)
+        if config.spin
+        else 0
+    )
+    return RunOutcome(
+        workload=workload,
+        config=config,
+        seed=seed if seed is not None else trace.seed,
+        report=analysis.report,
+        result=synthesize_result(trace),
+        duration_s=analysis.duration_s,
+        steps=trace.steps,
+        events=analysis.events,
+        detector_words=detector.memory_words(),
+        imap_words=0,
+        spin_loops=spin_loops,
+        adhoc_edges=detector.adhoc.edges if detector.adhoc is not None else 0,
+        fault_plan=fault_plan,
+        livelock_bound=livelock_bound,
+        trace_mode="replay",
     )
 
 

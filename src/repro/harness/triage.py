@@ -72,12 +72,12 @@ def failure_predicate(status: str) -> Callable[[Trace], bool]:
 def chaos_oracle_predicate(case, config) -> Callable[[Trace], bool]:
     """"Still violates the case oracle" check for a chaos mismatch.
 
-    Status-level check plus, when the oracle pins a detector note, a
-    replay of the trace under ``config`` to confirm the note is still
-    missing.  ``case`` is a
+    Status-level check plus, when the oracle pins a detector note, an
+    offline analysis of the trace under ``config`` to confirm the note
+    is still missing.  ``case`` is a
     :class:`~repro.workloads.dr_test.faults.ChaosCase`.
     """
-    from repro.trace import replay_trace
+    from repro.trace import analyze_trace
 
     def pred(trace: Trace) -> bool:
         status = trace.status
@@ -88,11 +88,11 @@ def chaos_oracle_predicate(case, config) -> Callable[[Trace], bool]:
             if not (status in ("deadlock", "step-limit") and "fault" in allowed):
                 return True
         if case.expect_note:
-            detector = replay_trace(trace, config)
-            detector.finalize(partial=not trace.ok)
-            if not any(
-                n.startswith(case.expect_note) for n in detector.report.notes
-            ):
+            # analyze_trace finalizes from trace.status, so a deadlock
+            # or livelock trace is sealed as partial (not mislabeled by
+            # the lossy ``not trace.ok`` boolean).
+            report = analyze_trace(trace, config).report
+            if not any(n.startswith(case.expect_note) for n in report.notes):
                 return True
         return False
 
@@ -186,6 +186,7 @@ def shrink_failure(
     fault_plan=None,
     livelock_bound: Optional[int] = None,
     step_budget: int = DEFAULT_STEP_BUDGET,
+    scheduler: Optional[str] = None,
 ) -> Tuple[Optional[Trace], ShrinkResult]:
     """ddmin-minimize a failing program and its schedule seed.
 
@@ -212,6 +213,7 @@ def shrink_failure(
                 inline_depth=inline_depth,
                 fault_plan=fault_plan,
                 livelock_bound=livelock_bound,
+                scheduler=scheduler,
             )
         except Exception:
             # Nopping can orphan registers or thread structure; a run
@@ -374,6 +376,10 @@ def _capture_inline(
     seed = spec.effective_seed()
     max_steps = spec.effective_max_steps()
     max_blocks = max(8, config.spin_max_blocks)
+    # A round-robin/adversarial failure must be recorded under the same
+    # scheduling policy — a random-scheduler stand-in replays a
+    # different interleaving than the failure being triaged.
+    scheduler = getattr(spec, "scheduler", None)
     if predicate is None:
         predicate = failure_predicate(record.status)
 
@@ -385,6 +391,7 @@ def _capture_inline(
         inline_depth=config.inline_depth,
         fault_plan=spec.fault_plan,
         livelock_bound=spec.livelock_bound,
+        scheduler=scheduler,
     )
 
     shrunk: Optional[Trace] = None
@@ -400,6 +407,7 @@ def _capture_inline(
             fault_plan=spec.fault_plan,
             livelock_bound=spec.livelock_bound,
             step_budget=step_budget,
+            scheduler=scheduler,
         )
 
     dest.mkdir(parents=True, exist_ok=True)
@@ -416,6 +424,7 @@ def _capture_inline(
         "max_steps": max_steps,
         "fault_plan": repr(spec.fault_plan) if spec.fault_plan else None,
         "livelock_bound": spec.livelock_bound,
+        "scheduler": trace.scheduler,
         "key": key,
         "record": dataclasses.asdict(record),
         "trace": "trace.json",
@@ -457,8 +466,7 @@ def replay_artifact(
     replays the minimized repro instead of the full trace.
     """
     from repro.detectors import ToolConfig
-    from repro.harness.registry import resolve_tool
-    from repro.trace import replay_trace
+    from repro.trace import analyze_trace
 
     path = Path(path)
     meta = load_artifact(path)
@@ -468,8 +476,6 @@ def replay_artifact(
     trace = Trace.from_json((path / name).read_text())
     if config is None:
         config = ToolConfig(**meta["config"])
-    else:
-        config = resolve_tool(config)
-    detector = replay_trace(trace, config)
-    detector.finalize(partial=not trace.ok)
-    return trace, detector
+    # analyze_trace resolves preset names and finalizes the detector
+    # from the trace's termination status.
+    return trace, analyze_trace(trace, config).detector

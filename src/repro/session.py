@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable, Optional, Union
 
 from repro.analysis import (
@@ -40,9 +41,10 @@ from repro.analysis import (
 )
 from repro.detectors import RaceDetector, ToolConfig
 from repro.detectors.reports import Report
-from repro.harness.registry import resolve_tool, resolve_workload
+from repro.harness.registry import build_scheduler, resolve_tool, resolve_workload
 from repro.harness.workload import Workload
 from repro.isa import Program, ProgramBuilder
+from repro.trace import Trace, analyze_trace, synthesize_result
 from repro.vm import Machine, RandomScheduler
 from repro.vm.faults import FaultPlan
 from repro.vm.machine import RunResult
@@ -50,19 +52,25 @@ from repro.vm.scheduler import Scheduler
 
 ProgramLike = Union[Program, ProgramBuilder, Workload, str, Callable[[], Program]]
 ConfigLike = Union[ToolConfig, str, None]
+TraceLike = Union[Trace, str, Path, None]
 
 
 @dataclass
 class SessionResult:
-    """Everything one :func:`run` call produced, live objects included."""
+    """Everything one :func:`run` call produced, live objects included.
 
-    program: Program
+    Offline sessions (``run(trace=...)``) have no program or machine —
+    those fields are ``None`` and ``trace`` holds the analyzed recording
+    with a synthesized :class:`~repro.vm.machine.RunResult`.
+    """
+
+    program: Optional[Program]
     config: ToolConfig
     seed: int
     report: Report
     result: RunResult
     detector: RaceDetector
-    machine: Machine
+    machine: Optional[Machine]
     #: the workload the session ran, when one was given (else ``None``)
     workload: Optional[Workload] = None
     #: marker tables from the instrumentation phase (``None`` when the
@@ -75,6 +83,8 @@ class SessionResult:
     decode_s: float = 0.0
     #: wall-clock of machine + detector, seconds
     run_s: float = 0.0
+    #: the recording an offline session analyzed (``None`` for live runs)
+    trace: Optional[Trace] = None
 
     @property
     def ok(self) -> bool:
@@ -93,8 +103,13 @@ class SessionResult:
         return self.report.summary()
 
     def __str__(self) -> str:
+        name = (
+            self.program.name
+            if self.program is not None
+            else self.trace.program_name if self.trace is not None else "?"
+        )
         return (
-            f"SessionResult({self.program.name!r}, tool={self.config.name!r}, "
+            f"SessionResult({name!r}, tool={self.config.name!r}, "
             f"seed={self.seed}, status={self.result.status!r}, "
             f"racy_contexts={self.racy_contexts})"
         )
@@ -124,21 +139,23 @@ def _build_program(target: ProgramLike) -> tuple[Program, Optional[Workload]]:
 
 
 def run(
-    program_or_workload: ProgramLike,
+    program_or_workload: ProgramLike = None,
     config: ConfigLike = None,
     *,
     seed: Optional[int] = None,
     max_steps: Optional[int] = None,
     faults: Optional[FaultPlan] = None,
     livelock_bound: Optional[int] = None,
-    scheduler: Optional[Scheduler] = None,
+    scheduler: Union[Scheduler, str, None] = None,
     symbolize: Optional[Callable[[int], str]] = None,
+    trace: TraceLike = None,
 ) -> SessionResult:
     """Run one program under one tool configuration, end to end.
 
     :param program_or_workload: a :class:`Program`, a
         :class:`ProgramBuilder` (built for you), a :class:`Workload`, a
         registry workload name, or a zero-argument program factory.
+        Omit it (and pass ``trace``) for an offline session.
     :param config: a :class:`ToolConfig`, a preset name resolved through
         :meth:`ToolConfig.preset` (e.g. ``"helgrind-nolib-spin7"``), or
         ``None`` for the paper's default tool, ``Helgrind+ lib+spin(7)``.
@@ -147,11 +164,48 @@ def run(
     :param faults: a deterministic :class:`~repro.vm.faults.FaultPlan`
         to inject (chaos-style runs).
     :param livelock_bound: arm the machine's livelock watchdog.
-    :param scheduler: custom scheduler; overrides ``seed``.
+    :param scheduler: custom scheduler — a
+        :class:`~repro.vm.scheduler.Scheduler` instance or a canonical
+        spec string (``"round-robin"``, ``"adversarial:burst=12"``);
+        an instance overrides ``seed``, a spec string is seeded with it.
     :param symbolize: custom address symbolizer; default is the
         machine's symbol table, wired automatically at attachment.
+    :param trace: a recorded :class:`~repro.trace.Trace` (or a path to
+        its JSON serialization) to analyze offline — no VM runs, the
+        report fingerprint matches the live run's, and the session's
+        ``result`` is synthesized from the trace's termination status.
+        Mutually exclusive with ``program_or_workload``.
     """
     tool = resolve_tool(config) if config is not None else ToolConfig.helgrind_lib_spin(7)
+
+    if trace is not None:
+        if program_or_workload is not None:
+            raise ValueError("pass either a program/workload or a trace, not both")
+        for arg, name in ((faults, "faults"), (scheduler, "scheduler"),
+                          (max_steps, "max_steps"), (livelock_bound, "livelock_bound"),
+                          (symbolize, "symbolize")):
+            if arg is not None:
+                raise ValueError(
+                    f"{name} shapes a live execution; a trace session "
+                    f"analyzes an already-recorded one"
+                )
+        if isinstance(trace, (str, Path)):
+            trace = Trace.from_json(Path(trace).read_text())
+        analysis = analyze_trace(trace, tool)
+        return SessionResult(
+            program=None,
+            config=tool,
+            seed=trace.seed,
+            report=analysis.report,
+            result=synthesize_result(trace),
+            detector=analysis.detector,
+            machine=None,
+            run_s=analysis.duration_s,
+            trace=trace,
+        )
+
+    if program_or_workload is None:
+        raise ValueError("pass a program/workload or a trace")
     program, workload = _build_program(program_or_workload)
     if seed is None:
         seed = workload.seed if workload is not None else 1
@@ -184,6 +238,8 @@ def run(
         )
 
     detector = RaceDetector(tool, symbolize=symbolize, lock_sites=lock_sites)
+    if isinstance(scheduler, str):
+        scheduler = build_scheduler(scheduler, seed)
     machine = Machine(
         program,
         scheduler=scheduler or RandomScheduler(seed),

@@ -9,18 +9,49 @@ deterministic substrate can.
 :func:`record_trace` executes a program once, with instrumentation wide
 enough for any spin window, and captures the full event stream plus the
 metadata needed to re-filter it per configuration (each marked loop's
-effective block count, the symbol map).  :func:`replay_trace` then runs
-any :class:`~repro.detectors.ToolConfig` over the recorded events:
+effective block count, the symbol map).  :func:`analyze_trace` then runs
+any :class:`~repro.detectors.ToolConfig` over the recorded events with
+no VM in the loop, and its report fingerprint is bit-identical to a
+live run's:
 
-* spin-off configurations simply drop the marked-loop events;
+* spin-off configurations see the marked-loop events and ignore them,
+  exactly as a live detector does (filtering them out would diverge);
 * ``spin(k)`` configurations drop events of loops wider than ``k``;
 * lib/nolib interception works unchanged (events carry ``in_library``);
-* lock-inference configurations get the recorded acquire sites.
+* lock-inference configurations get the recorded acquire sites;
+* batched configs route through the ``consume_batch`` fast path, and
+  the report is finalized from the trace's termination status so
+  partial (deadlock/livelock/fault-truncated) runs replay faithfully.
 
-Traces also serialize to/from JSON for offline analysis.
+:class:`TraceStore` persists recordings content-addressed by
+``(program fingerprint, scheduler, seed, instrumentation, faults)`` —
+compressed, checksummed, and quarantined-on-corruption like the sweep
+result cache — so one recording can serve any number of offline
+analyses.  Traces also serialize to/from JSON for ad-hoc use.
 """
 
-from repro.trace.trace import Trace, record_trace, replay_trace
+from repro.trace.trace import (
+    Trace,
+    TraceAnalysis,
+    analyze_trace,
+    record_trace,
+    replay_trace,
+    synthesize_result,
+)
+from repro.trace.store import TraceStore, key_for_spec, trace_key
 from repro.trace.hbgraph import HbGraph, HbNode, build_hb_graph
 
-__all__ = ["Trace", "record_trace", "replay_trace", "HbGraph", "HbNode", "build_hb_graph"]
+__all__ = [
+    "Trace",
+    "TraceAnalysis",
+    "TraceStore",
+    "analyze_trace",
+    "record_trace",
+    "replay_trace",
+    "synthesize_result",
+    "key_for_spec",
+    "trace_key",
+    "HbGraph",
+    "HbNode",
+    "build_hb_graph",
+]

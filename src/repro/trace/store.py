@@ -1,0 +1,387 @@
+"""Content-addressed on-disk store of recorded executions.
+
+The offline-analysis counterpart of the sweep engine's result cache: a
+:class:`TraceStore` persists each recording once, keyed by everything
+that determines the event stream — the built program's fingerprint, the
+scheduler policy, the seed, the instrumentation parameters, the step
+budget, and any injected fault plan — and *nothing* that doesn't (the
+tool configuration in particular), so one stored trace serves any
+number of :func:`~repro.trace.trace.analyze_trace` calls.
+
+Entries follow the result cache's integrity discipline: a framed header
+(magic ``RPRT`` + frame version + trace schema) over a sha256-checksummed
+payload, written atomically (temp file, fsync, rename).  The payload is
+gzip-compressed JSONL — one metadata line followed by one line per
+event — so a multi-hundred-thousand-event recording stays a few hundred
+kilobytes on disk.  An entry that fails validation is quarantined into a
+``corrupt/`` sidecar directory with a JSON note and treated as a miss;
+corruption never raises.
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import json
+import logging
+import os
+import struct
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.trace.trace import Trace, _decode_event, _encode_event, _loc_parse, _loc_str
+
+log = logging.getLogger(__name__)
+
+#: bump when the trace payload layout changes incompatibly.  Deliberately
+#: independent of the harness CACHE_SCHEMA: trace artifacts outlive
+#: result-cache generations (a detector change invalidates outcomes but
+#: not recordings — that is the whole point of the store).
+TRACE_SCHEMA = 1
+
+_TRACE_MAGIC = b"RPRT"
+_TRACE_FRAME_VERSION = 1
+_TRACE_HEADER = struct.Struct("<4sBI")
+_DIGEST_LEN = 32
+
+
+def trace_key(
+    program_fingerprint: str,
+    seed: int,
+    max_steps: int,
+    scheduler: Optional[str] = None,
+    max_blocks: int = 8,
+    inline_depth: int = 1,
+    fault_plan=None,
+    livelock_bound: Optional[int] = None,
+) -> str:
+    """Content digest of one recording — everything that shapes the
+    event stream, nothing that merely interprets it (no tool config)."""
+    from repro.harness.registry import canonical_scheduler  # lazy: cycle
+
+    payload = "\n".join(
+        [
+            f"trace-schema={TRACE_SCHEMA}",
+            f"program={program_fingerprint}",
+            f"scheduler={canonical_scheduler(scheduler)}",
+            f"seed={seed}",
+            f"max_steps={max_steps}",
+            f"max_blocks={max_blocks}",
+            f"inline_depth={inline_depth}",
+            f"fault_plan={fault_plan!r}",
+            f"livelock_bound={livelock_bound!r}",
+        ]
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def key_for_spec(spec) -> str:
+    """The trace key a sweep cell records under.
+
+    Instrumentation is widened to ``max(8, spin window)`` so every
+    paper preset sharing the cell's ``(program, scheduler, seed,
+    faults)`` coordinates — whatever its spin window — maps to the
+    *same* recording; only a differing inline depth forces a separate
+    one.
+    """
+    from repro.harness.registry import program_fingerprint  # lazy: cycle
+
+    if isinstance(spec.workload, str):
+        fingerprint = program_fingerprint(spec.workload)
+    else:
+        fingerprint = spec.resolve().fresh_program().fingerprint()
+    tool = spec.tool()
+    return trace_key(
+        fingerprint,
+        seed=spec.effective_seed(),
+        max_steps=spec.effective_max_steps(),
+        scheduler=getattr(spec, "scheduler", None),
+        max_blocks=max(8, tool.spin_max_blocks),
+        inline_depth=tool.inline_depth,
+        fault_plan=spec.fault_plan,
+        livelock_bound=spec.livelock_bound,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Payload codec: gzip-compressed JSONL (meta line, then one line/event)
+# ---------------------------------------------------------------------------
+
+
+def _trace_meta(trace: Trace) -> dict:
+    return {
+        "program": trace.program_name,
+        "seed": trace.seed,
+        "scheduler": trace.scheduler,
+        "max_blocks": trace.max_blocks,
+        "inline_depth": trace.inline_depth,
+        "steps": trace.steps,
+        "ok": trace.ok,
+        "status": trace.status,
+        "events": len(trace.events),
+        "loop_sizes": trace.loop_sizes,
+        "lock_sites": [_loc_str(l) for l in sorted(trace.lock_sites, key=str)],
+        "symbols": trace.symbols,
+    }
+
+
+def _encode_payload(trace: Trace) -> bytes:
+    lines = [json.dumps(_trace_meta(trace), separators=(",", ":"))]
+    lines.extend(
+        json.dumps(_encode_event(e), separators=(",", ":")) for e in trace.events
+    )
+    # mtime=0 keeps the compressed bytes deterministic for a given trace
+    return gzip.compress("\n".join(lines).encode(), mtime=0)
+
+
+def _decode_payload(payload: bytes) -> Trace:
+    lines = gzip.decompress(payload).decode().split("\n")
+    meta = json.loads(lines[0])
+    events = [_decode_event(json.loads(line)) for line in lines[1:] if line]
+    if len(events) != meta["events"]:
+        raise _TraceCorruption(
+            f"event-count-mismatch: meta says {meta['events']}, got {len(events)}"
+        )
+    return Trace(
+        program_name=meta["program"],
+        seed=meta["seed"],
+        events=events,
+        loop_sizes={int(k): v for k, v in meta["loop_sizes"].items()},
+        lock_sites=frozenset(_loc_parse(l) for l in meta["lock_sites"]),
+        symbols=[tuple(s) for s in meta["symbols"]],
+        max_blocks=meta["max_blocks"],
+        inline_depth=meta["inline_depth"],
+        steps=meta["steps"],
+        ok=meta["ok"],
+        status=meta["status"],
+        scheduler=meta.get("scheduler", "random"),
+    )
+
+
+# ---------------------------------------------------------------------------
+# The store
+# ---------------------------------------------------------------------------
+
+
+class _TraceCorruption(Exception):
+    """Internal: a stored trace failed integrity validation."""
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class TraceQuarantine:
+    """One store entry moved aside instead of deserialized."""
+
+    key: str
+    reason: str
+    path: str
+
+
+@dataclass
+class TraceDoctorReport:
+    """Outcome of a :meth:`TraceStore.doctor` scan."""
+
+    scanned: int = 0
+    ok: int = 0
+    quarantined: List[TraceQuarantine] = field(default_factory=list)
+    corrupt_entries: int = 0
+    purged: int = 0
+
+
+class TraceStore:
+    """Checksummed, quarantining on-disk store of :class:`Trace` objects.
+
+    Lives next to the sweep :class:`~repro.harness.parallel.ResultCache`
+    (conventionally ``<cache>/traces/``) and follows the same contract:
+    atomic writes, validation on every read, corruption quarantined into
+    ``corrupt/`` and reported — never raised.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.quarantined: List[TraceQuarantine] = []
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.trc"
+
+    @property
+    def corrupt_dir(self) -> Path:
+        return self.root / "corrupt"
+
+    # -- framing ------------------------------------------------------------
+
+    @staticmethod
+    def _frame(payload: bytes) -> bytes:
+        header = _TRACE_HEADER.pack(_TRACE_MAGIC, _TRACE_FRAME_VERSION, TRACE_SCHEMA)
+        return header + hashlib.sha256(payload).digest() + payload
+
+    @staticmethod
+    def _unframe(data: bytes) -> bytes:
+        if len(data) < _TRACE_HEADER.size + _DIGEST_LEN:
+            raise _TraceCorruption("truncated")
+        magic, version, schema = _TRACE_HEADER.unpack_from(data)
+        if magic != _TRACE_MAGIC:
+            raise _TraceCorruption("bad-magic")
+        if version != _TRACE_FRAME_VERSION:
+            raise _TraceCorruption(f"frame-version-{version}")
+        if schema != TRACE_SCHEMA:
+            raise _TraceCorruption(f"schema-{schema}")
+        digest = data[_TRACE_HEADER.size : _TRACE_HEADER.size + _DIGEST_LEN]
+        payload = data[_TRACE_HEADER.size + _DIGEST_LEN :]
+        if hashlib.sha256(payload).digest() != digest:
+            raise _TraceCorruption("checksum-mismatch")
+        return payload
+
+    def _decode(self, data: bytes) -> Trace:
+        payload = self._unframe(data)
+        try:
+            return _decode_payload(payload)
+        except _TraceCorruption:
+            raise
+        except Exception as exc:  # gzip/json/codec drift
+            raise _TraceCorruption(f"undecodable: {type(exc).__name__}") from exc
+
+    def _quarantine(self, path: Path, key: str, reason: str) -> None:
+        dest = self.corrupt_dir / path.name
+        try:
+            self.corrupt_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, dest)
+            note = dest.with_suffix(".note.json")
+            note.write_text(
+                json.dumps({"key": key, "reason": reason, "schema": TRACE_SCHEMA})
+            )
+        except OSError:
+            pass
+        entry = TraceQuarantine(key=key, reason=reason, path=str(dest))
+        self.quarantined.append(entry)
+        log.warning(
+            "trace entry quarantined: key=%s reason=%s moved_to=%s",
+            key[:16],
+            reason,
+            dest,
+        )
+
+    # -- the store API ------------------------------------------------------
+
+    def get(self, key: str) -> Optional[Trace]:
+        path = self._path(key)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            trace = self._decode(data)
+        except _TraceCorruption as exc:
+            self._quarantine(path, key, exc.reason)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return trace
+
+    def put(self, key: str, trace: Trace) -> None:
+        payload = _encode_payload(trace)
+        tmp = self._path(key).with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "wb") as fh:
+            fh.write(self._frame(payload))
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self._path(key))
+        self.writes += 1
+
+    def has(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def keys(self) -> List[str]:
+        return sorted(path.stem for path in self.root.glob("*.trc"))
+
+    def entries(self) -> Iterator[Tuple[str, dict, int]]:
+        """Yield ``(key, metadata, size_bytes)`` per valid entry.
+
+        Reads only each entry's metadata line (events stay compressed on
+        disk conceptually — the whole payload is decompressed but not
+        event-decoded), so listing a large store stays cheap.  Invalid
+        entries are quarantined as a side effect, exactly like ``get``.
+        """
+        for path in sorted(self.root.glob("*.trc")):
+            key = path.stem
+            try:
+                data = path.read_bytes()
+                payload = self._unframe(data)
+                meta = json.loads(gzip.decompress(payload).decode().split("\n", 1)[0])
+            except _TraceCorruption as exc:
+                self._quarantine(path, key, exc.reason)
+                continue
+            except (OSError, ValueError) as exc:
+                self._quarantine(path, key, f"unreadable: {type(exc).__name__}")
+                continue
+            yield key, meta, len(data)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.trc"))
+
+    def clear(self) -> None:
+        for path in self.root.glob("*.trc"):
+            path.unlink(missing_ok=True)
+
+    # -- maintenance --------------------------------------------------------
+
+    def doctor(self, purge: bool = False) -> TraceDoctorReport:
+        """Validate every entry; quarantine the bad, optionally purge."""
+        report = TraceDoctorReport()
+        for path in sorted(self.root.glob("*.trc")):
+            key = path.stem
+            report.scanned += 1
+            try:
+                self._decode(path.read_bytes())
+            except _TraceCorruption as exc:
+                self._quarantine(path, key, exc.reason)
+                report.quarantined.append(self.quarantined[-1])
+                continue
+            except OSError:
+                continue
+            report.ok += 1
+        report.corrupt_entries = len(list(self.corrupt_dir.glob("*.trc")))
+        if purge:
+            for path in self.corrupt_dir.glob("*"):
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                if path.suffix == ".trc":
+                    report.purged += 1
+        return report
+
+    def gc(self, keep=None, purge_corrupt: bool = True) -> Dict[str, int]:
+        """Reclaim space: drop entries outside ``keep``, purge corrupt/.
+
+        ``keep=None`` keeps every valid entry (only the quarantine is
+        emptied); with a collection of keys, entries not in it are
+        deleted.  Returns ``{"removed": n, "purged": m, "kept": k}``.
+        """
+        removed = kept = 0
+        keep_set = None if keep is None else set(keep)
+        for path in sorted(self.root.glob("*.trc")):
+            if keep_set is not None and path.stem not in keep_set:
+                path.unlink(missing_ok=True)
+                removed += 1
+            else:
+                kept += 1
+        purged = 0
+        if purge_corrupt:
+            for path in self.corrupt_dir.glob("*"):
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                if path.suffix == ".trc":
+                    purged += 1
+        return {"removed": removed, "purged": purged, "kept": kept}

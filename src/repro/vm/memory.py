@@ -13,6 +13,7 @@ tools symbolize data addresses.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -39,23 +40,55 @@ class Segment:
 
 
 class SymbolMap:
-    """Maps addresses to symbolic names for reporting."""
+    """Maps addresses to symbolic names for reporting.
+
+    ``Memory`` registers segments in increasing-base order (globals in
+    layout order, then heap blocks from a bump allocator), so lookups
+    bisect over the bases and memoize per address — race reporting
+    symbolizes every racy access, and a linear scan over all globals
+    plus heap blocks was the hottest part of racy workloads' detector
+    time.  Out-of-order registration (never produced by ``Memory``)
+    falls back to the original first-match scan.
+    """
 
     def __init__(self) -> None:
         self._segments: List[Segment] = []
+        self._bases: List[int] = []
+        self._monotone = True
+        self._memo: Dict[int, str] = {}
 
     def add(self, name: str, base: int, size: int) -> None:
+        if self._bases and base < self._bases[-1]:
+            self._monotone = False
         self._segments.append(Segment(name, base, size))
+        self._bases.append(base)
 
     def resolve(self, addr: int) -> str:
         """Symbolize ``addr``; falls back to hex for unknown addresses."""
-        for seg in self._segments:
-            if seg.contains(addr):
-                off = addr - seg.base
-                return seg.name if off == 0 and seg.size == 1 else f"{seg.name}+{off}"
-        return hex(addr)
+        name = self._memo.get(addr)
+        if name is not None:
+            return name
+        seg = self.segment_of(addr)
+        if seg is None:
+            # Unmapped today, but a later alloc may map it — don't memoize.
+            return hex(addr)
+        off = addr - seg.base
+        name = seg.name if off == 0 and seg.size == 1 else f"{seg.name}+{off}"
+        self._memo[addr] = name
+        return name
+
+    def segments(self) -> List[Segment]:
+        """All named segments, in registration order (globals then heap)."""
+        return list(self._segments)
 
     def segment_of(self, addr: int) -> Optional[Segment]:
+        if self._monotone:
+            i = bisect_right(self._bases, addr) - 1
+            if i >= 0:
+                seg = self._segments[i]
+                if addr - seg.base < seg.size:
+                    return seg
+            return None
         for seg in self._segments:
             if seg.contains(addr):
                 return seg

@@ -1,0 +1,317 @@
+"""Record-once-analyze-anywhere differential gate.
+
+The tentpole guarantee: for any recorded execution, running any tool
+preset over the stored trace (:func:`repro.trace.analyze_trace`) yields
+a report whose *full fingerprint* is bit-identical to a live run of the
+same (program, seed, faults) cell under that preset — across the whole
+120-case suite, every named preset, and the chaos cases whose traces
+truncate partially (deadlock / livelock / fault-killed threads).
+
+Also pinned here: the no-spin wide-loop regression (the replay filter
+must only apply under spin configurations), scheduler-spec recording,
+``RunSpec.trace_mode`` sweep plumbing, and the ``repro.run(trace=...)``
+session front door.
+"""
+
+import dataclasses
+
+import pytest
+
+import repro
+from repro.detectors import ToolConfig
+from repro.harness.chaos import chaos_spec
+from repro.harness.parallel import RunSpec, prewarm_traces, run_sweep, sweep_specs
+from repro.harness.registry import resolve_tool
+from repro.harness.runner import run_workload
+from repro.trace import Trace, TraceStore, analyze_trace, record_trace
+from repro.workloads.dr_test.faults import chaos_cases
+from repro.workloads.dr_test.suite import build_suite
+
+from tests.conftest import flag_handoff_program
+
+SUITE = build_suite()
+PRESET_NAMES = ToolConfig.presets()
+PRESETS = [resolve_tool(name) for name in PRESET_NAMES]
+
+#: instrumentation wide enough for every preset (the store convention)
+MAX_BLOCKS = max([8, *(c.spin_max_blocks for c in PRESETS)])
+
+_trace_memo = {}
+
+
+def _recorded(wl):
+    """One recording per suite case, shared across the preset params."""
+    if wl.name not in _trace_memo:
+        _trace_memo[wl.name] = record_trace(
+            wl.build(), seed=wl.seed, max_steps=wl.max_steps, max_blocks=MAX_BLOCKS
+        )
+    return _trace_memo[wl.name]
+
+
+class TestSuiteDifferential:
+    def test_presets_share_one_instrumentation_depth(self):
+        # The shared-recording convention relies on every preset using
+        # the same inline depth; a new preset that changes it needs its
+        # own recording tier, and this test is the tripwire.
+        assert len({c.inline_depth for c in PRESETS}) == 1
+
+    @pytest.mark.parametrize("preset", PRESET_NAMES)
+    def test_replay_fingerprint_equals_live_across_the_suite(self, preset):
+        cfg = resolve_tool(preset)
+        mismatches = []
+        for wl in SUITE:
+            live = run_workload(wl, cfg, seed=wl.seed)
+            replayed = analyze_trace(_recorded(wl), cfg)
+            if replayed.report.fingerprint() != live.report.fingerprint():
+                mismatches.append(wl.name)
+        assert not mismatches, f"{preset}: replay diverged on {mismatches}"
+
+
+class TestChaosDifferential:
+    """Partial traces: fault-truncated runs must replay faithfully."""
+
+    @pytest.mark.parametrize("case", [c.name for c in chaos_cases()])
+    def test_chaos_replay_matches_live_for_every_preset(self, case):
+        spec = chaos_spec(
+            next(c for c in chaos_cases() if c.name == case),
+            ToolConfig.helgrind_lib_spin(7),
+        )
+        wl = spec.resolve()
+        trace = record_trace(
+            wl.fresh_program(),
+            seed=spec.effective_seed(),
+            max_steps=spec.effective_max_steps(),
+            max_blocks=MAX_BLOCKS,
+            fault_plan=spec.fault_plan,
+            livelock_bound=spec.livelock_bound,
+        )
+        mismatches = []
+        for cfg in PRESETS:
+            live = run_workload(
+                wl,
+                cfg,
+                seed=spec.effective_seed(),
+                max_steps=spec.effective_max_steps(),
+                fault_plan=spec.fault_plan,
+                livelock_bound=spec.livelock_bound,
+            )
+            replayed = analyze_trace(trace, cfg)
+            assert replayed.report.partial == (trace.status != "ok")
+            if replayed.report.fingerprint() != live.report.fingerprint():
+                mismatches.append(cfg.name)
+        assert not mismatches, f"{case}: replay diverged under {mismatches}"
+
+    def test_chaos_suite_contains_partial_traces(self):
+        """The gate above must actually exercise non-ok finalization."""
+        statuses = set()
+        for c in chaos_cases():
+            spec = chaos_spec(c, ToolConfig.helgrind_lib_spin(7))
+            trace = record_trace(
+                spec.resolve().fresh_program(),
+                seed=spec.effective_seed(),
+                max_steps=spec.effective_max_steps(),
+                fault_plan=spec.fault_plan,
+                livelock_bound=spec.livelock_bound,
+            )
+            statuses.add(trace.status)
+        assert statuses - {"ok"}, "no chaos case produced a partial trace"
+
+
+class TestNoSpinWideLoopRegression:
+    """The replay-side loop filter is a spin(k) feature: a preset with
+    ``spin=False`` must see every recorded event regardless of its
+    (latent) ``spin_max_blocks`` value.
+
+    Regression: ``replay_trace`` used to apply the wide-loop filter from
+    ``spin_max_blocks`` unconditionally, silently dropping the marked
+    events of wider loops — events a live no-spin run delivers as plain
+    reads — and diverging from the live fingerprint.
+    """
+
+    def _case(self):
+        return next(wl for wl in SUITE if wl.name == "adhoc7_handoff")
+
+    def test_no_spin_preset_with_narrow_latent_window(self):
+        wl = self._case()
+        trace = record_trace(wl.build(), seed=wl.seed, max_blocks=8)
+        # the recording must contain a loop wider than the latent window
+        assert any(size > 3 for size in trace.loop_sizes.values())
+        cfg = dataclasses.replace(resolve_tool("helgrind-lib"), spin_max_blocks=3)
+        assert not cfg.spin
+        live = run_workload(wl, cfg, seed=wl.seed)
+        replayed = analyze_trace(trace, cfg)
+        assert replayed.report.fingerprint() == live.report.fingerprint()
+
+    def test_spin_preset_still_filters(self):
+        wl = self._case()
+        trace = record_trace(wl.build(), seed=wl.seed, max_blocks=8)
+        narrow = analyze_trace(trace, ToolConfig.helgrind_lib_spin(6))
+        wide = analyze_trace(trace, ToolConfig.helgrind_lib_spin(7))
+        assert narrow.report.racy_contexts > 0
+        assert wide.report.racy_contexts == 0
+
+
+class TestSchedulerRecording:
+    def test_round_robin_replay_matches_live(self):
+        program = flag_handoff_program()
+        cfg = ToolConfig.helgrind_lib_spin(7)
+        live = repro.run(flag_handoff_program, cfg, seed=2, scheduler="round-robin")
+        trace = record_trace(program, seed=2, scheduler="round-robin")
+        assert trace.scheduler == "round-robin"
+        replayed = analyze_trace(trace, cfg)
+        assert replayed.report.fingerprint() == live.report.fingerprint()
+
+    def test_adversarial_recording_is_deterministic(self):
+        a = record_trace(flag_handoff_program(), seed=5, scheduler="adversarial")
+        b = record_trace(flag_handoff_program(), seed=5, scheduler="adversarial")
+        assert a.scheduler == b.scheduler == "adversarial"
+        assert a.events == b.events
+
+    def test_scheduler_changes_the_interleaving_key_not_just_metadata(self):
+        rnd = record_trace(flag_handoff_program(), seed=2)
+        rr = record_trace(flag_handoff_program(), seed=2, scheduler="round-robin")
+        assert rnd.scheduler == "random"
+        assert rnd.events != rr.events
+
+    def test_scheduler_survives_json(self):
+        trace = record_trace(flag_handoff_program(), seed=2, scheduler="round-robin")
+        assert Trace.from_json(trace.to_json()).scheduler == "round-robin"
+
+    def test_pre_scheduler_json_defaults_to_random(self):
+        import json
+
+        trace = record_trace(flag_handoff_program(), seed=2)
+        data = json.loads(trace.to_json())
+        del data["scheduler"]
+        assert Trace.from_json(json.dumps(data)).scheduler == "random"
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(ValueError, match="scheduler"):
+            record_trace(flag_handoff_program(), scheduler="fifo")
+
+
+TOOLS3 = ["helgrind-lib", "helgrind-lib-spin7", "drd"]
+
+
+class TestSweepTraceModes:
+    def _specs(self, mode):
+        specs = sweep_specs(["adhoc7_handoff"], TOOLS3, seeds=[1])
+        return [dataclasses.replace(s, trace_mode=mode) for s in specs]
+
+    def test_replay_sweep_matches_live_sweep(self, tmp_path):
+        live = run_sweep(self._specs("live"), workers=0)
+        replay = run_sweep(self._specs("replay"), workers=0, trace_dir=tmp_path)
+        assert len(replay.outcomes) == len(live.outcomes) == 3
+        by_key = {
+            (o.workload.name, o.config.name, o.seed): o for o in live.outcomes
+        }
+        for o in replay.outcomes:
+            assert o.trace_mode == "replay"
+            twin = by_key[(o.workload.name, o.config.name, o.seed)]
+            assert twin.trace_mode == "live"
+            assert o.report.fingerprint() == twin.report.fingerprint()
+            assert o.result.status == twin.result.status
+            assert o.steps == twin.steps
+
+    def test_one_recording_serves_all_configs(self, tmp_path):
+        run_sweep(self._specs("replay"), workers=0, trace_dir=tmp_path)
+        assert len(TraceStore(tmp_path)) == 1
+
+    def test_prewarm_record_mode_rerecords(self, tmp_path):
+        replay_specs = self._specs("replay")
+        assert prewarm_traces(replay_specs, tmp_path) == 1
+        assert prewarm_traces(replay_specs, tmp_path) == 0  # store hit
+        record_specs = self._specs("record")
+        assert prewarm_traces(record_specs, tmp_path) == 1  # forced
+        assert prewarm_traces(record_specs, tmp_path) == 1  # forced again
+
+    def test_trace_dir_defaults_under_the_cache(self, tmp_path):
+        from repro.harness.parallel import ResultCache
+
+        cache = ResultCache(tmp_path / "cache")
+        run_sweep(self._specs("replay"), workers=0, cache=cache)
+        assert len(TraceStore(tmp_path / "cache" / "traces")) == 1
+
+    def test_non_live_without_store_location_rejected(self):
+        with pytest.raises(ValueError, match="trace_dir"):
+            run_sweep(self._specs("replay"), workers=0)
+
+    def test_unknown_trace_mode_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="trace_mode"):
+            run_sweep(self._specs("offline"), workers=0, trace_dir=tmp_path)
+
+    def test_pool_replay_sweep_matches_serial(self, tmp_path):
+        serial = run_sweep(self._specs("replay"), workers=0, trace_dir=tmp_path)
+        pooled = run_sweep(
+            self._specs("replay"), workers=2, trace_dir=tmp_path
+        )
+        assert len(TraceStore(tmp_path)) == 1  # prewarmed once, shared
+        by_key = {
+            (o.workload.name, o.config.name): o.report.fingerprint()
+            for o in serial.outcomes
+        }
+        for o in pooled.outcomes:
+            assert o.report.fingerprint() == by_key[(o.workload.name, o.config.name)]
+
+
+class TestSessionTraceRuns:
+    def test_session_replay_matches_live(self):
+        cfg = "helgrind-lib-spin7"
+        live = repro.run(flag_handoff_program, cfg, seed=2)
+        trace = record_trace(flag_handoff_program(), seed=2)
+        offline = repro.run(config=cfg, trace=trace)
+        assert offline.report.fingerprint() == live.report.fingerprint()
+        assert offline.program is None and offline.machine is None
+        assert offline.trace is trace
+        assert offline.seed == 2
+        assert offline.result.ok and offline.result.status == "ok"
+        assert "flag_handoff" in str(offline)
+
+    def test_session_accepts_a_trace_file(self, tmp_path):
+        trace = record_trace(flag_handoff_program(), seed=2)
+        path = tmp_path / "t.json"
+        path.write_text(trace.to_json())
+        offline = repro.run(config="helgrind-lib-spin7", trace=path)
+        assert (
+            offline.report.fingerprint()
+            == repro.run(config="helgrind-lib-spin7", trace=trace).report.fingerprint()
+        )
+
+    def test_session_synthesizes_partial_status(self):
+        case = next(c for c in chaos_cases() if c.name == "drop-flag-store")
+        spec = chaos_spec(case, ToolConfig.helgrind_lib_spin(7))
+        trace = record_trace(
+            spec.resolve().fresh_program(),
+            seed=spec.effective_seed(),
+            max_steps=spec.effective_max_steps(),
+            fault_plan=spec.fault_plan,
+            livelock_bound=spec.livelock_bound,
+        )
+        offline = repro.run(config="helgrind-lib-spin7", trace=trace)
+        assert offline.result.status == trace.status == "livelock"
+        assert not offline.ok
+        assert offline.report.partial
+
+    def test_trace_and_program_are_mutually_exclusive(self):
+        trace = record_trace(flag_handoff_program(), seed=2)
+        with pytest.raises(ValueError, match="not both"):
+            repro.run(flag_handoff_program, trace=trace)
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"faults": object()},
+            {"scheduler": "round-robin"},
+            {"max_steps": 10},
+            {"livelock_bound": 5},
+            {"symbolize": str},
+        ],
+    )
+    def test_live_only_knobs_rejected_for_trace_sessions(self, kw):
+        trace = record_trace(flag_handoff_program(), seed=2)
+        with pytest.raises(ValueError, match="live execution"):
+            repro.run(trace=trace, **kw)
+
+    def test_neither_program_nor_trace_rejected(self):
+        with pytest.raises(ValueError, match="program/workload or a trace"):
+            repro.run()

@@ -1,0 +1,132 @@
+"""Trace event codec: every event kind round-trips, and the wire format
+is pinned by a committed golden file.
+
+The trace store persists recordings across cache generations (its
+TRACE_SCHEMA is deliberately independent of CACHE_SCHEMA), so the
+encoded form of every event kind — including all six injected-fault
+codes ``fk fd fy fw fs fc`` — is a compatibility surface.  A codec
+change that breaks decoding of stored traces must show up here as a
+golden-file diff, not as silent quarantining in the field.
+"""
+
+import json
+from pathlib import Path
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.program import CodeLocation, SyncKind
+from repro.trace.trace import _decode_event, _encode_event, _loc_parse, _loc_str
+from repro.vm import events as ev
+
+GOLDEN = Path(__file__).parent.parent / "data" / "trace_codec_golden.json"
+
+# -- strategies -------------------------------------------------------------
+
+_ident = st.from_regex(r"[a-z_][a-z0-9_]{0,12}", fullmatch=True)
+_step = st.integers(min_value=0, max_value=2**40)
+_tid = st.integers(min_value=0, max_value=255)
+_addr = st.integers(min_value=0, max_value=2**32)
+_value = st.integers(min_value=-(2**31), max_value=2**31)
+_loop = st.integers(min_value=0, max_value=1000)
+_loc = st.builds(CodeLocation, _ident, _ident, st.integers(min_value=0, max_value=999))
+_kind = st.sampled_from(list(SyncKind))
+_obj2 = st.none() | _addr
+
+_events = st.one_of(
+    st.builds(ev.MemRead, _step, _tid, _addr, _value, _loc, st.booleans(), st.booleans()),
+    st.builds(ev.MemWrite, _step, _tid, _addr, _value, _loc, st.booleans(), st.booleans()),
+    st.builds(ev.MarkedCondRead, _step, _tid, _loop, _addr, _value, _loc, st.booleans()),
+    st.builds(ev.MarkedLoopEnter, _step, _tid, _loop, _loc, st.booleans()),
+    st.builds(ev.MarkedLoopExit, _step, _tid, _loop, _loc, st.booleans()),
+    st.builds(ev.LibEnter, _step, _tid, _ident, _kind, _addr, _loc, st.booleans(), _obj2),
+    st.builds(ev.LibExit, _step, _tid, _ident, _kind, _addr, _loc, st.booleans(), _obj2),
+    st.builds(ev.ThreadSpawnEvent, _step, _tid, _tid, _loc),
+    st.builds(ev.ThreadJoinEvent, _step, _tid, _tid, _loc),
+    st.builds(ev.ThreadStartEvent, _step, _tid),
+    st.builds(ev.ThreadExitEvent, _step, _tid),
+    st.builds(ev.PrintEvent, _step, _tid, _value, _loc),
+    st.builds(ev.ThreadKilledEvent, _step, _tid),
+    st.builds(ev.StoreDroppedEvent, _step, _tid, _addr, _value, _loc),
+    st.builds(ev.StoreDelayedEvent, _step, _tid, _addr, _value, _loop, _loc),
+    st.builds(ev.SpuriousWakeEvent, _step, _tid, _addr, _value),
+    st.builds(ev.StarvationEvent, _step, _tid, _loop),
+    st.builds(ev.StepBudgetClampedEvent, _step, _tid, _step),
+)
+
+#: every wire code the codec emits, fault codes included
+ALL_CODES = {
+    "r", "w", "cr", "le", "lx", "li", "lo", "sp", "jn", "ts", "tx", "pr",
+    "fk", "fd", "fy", "fw", "fs", "fc",
+}
+
+
+class TestRoundTrip:
+    @settings(max_examples=400)
+    @given(_events)
+    def test_decode_inverts_encode(self, event):
+        assert _decode_event(_encode_event(event)) == event
+
+    @settings(max_examples=200)
+    @given(_events)
+    def test_json_transport_is_lossless(self, event):
+        # The store ships events through JSON lines; ints/strings/None
+        # must survive serialization, not merely the in-process lists.
+        wire = json.loads(json.dumps(_encode_event(event)))
+        assert _decode_event(wire) == event
+        assert _encode_event(_decode_event(wire)) == _encode_event(event)
+
+    @settings(max_examples=200)
+    @given(_loc)
+    def test_location_round_trip(self, loc):
+        assert _loc_parse(_loc_str(loc)) == loc
+
+    @given(_events)
+    @settings(max_examples=100)
+    def test_codes_are_known(self, event):
+        assert _encode_event(event)[0] in ALL_CODES
+
+
+def _golden_events():
+    """One representative instance per wire code, in golden-file order."""
+    loc = CodeLocation("main", "entry", 3)
+    return [
+        ev.MemRead(10, 1, 4096, 7, loc, False, False),
+        ev.MemWrite(11, 2, 4097, -1, loc, True, True),
+        ev.MarkedCondRead(12, 1, 5, 4098, 0, loc, False),
+        ev.MarkedLoopEnter(13, 1, 5, loc, False),
+        ev.MarkedLoopExit(14, 1, 5, loc, True),
+        ev.LibEnter(15, 2, "lock_acquire", SyncKind.LOCK_ACQUIRE, 8192, loc, False, None),
+        ev.LibExit(16, 2, "cv_wait", SyncKind.CV_WAIT, 8193, loc, True, 8200),
+        ev.ThreadSpawnEvent(17, 0, 1, loc),
+        ev.ThreadJoinEvent(18, 0, 1, loc),
+        ev.ThreadStartEvent(19, 1),
+        ev.ThreadExitEvent(20, 1),
+        ev.PrintEvent(21, 1, 42, loc),
+        ev.ThreadKilledEvent(22, 3),
+        ev.StoreDroppedEvent(23, 3, 4099, 9, loc),
+        ev.StoreDelayedEvent(24, 3, 4100, 9, 6, loc),
+        ev.SpuriousWakeEvent(25, 3, 8194, 1),
+        ev.StarvationEvent(26, 3, 50),
+        ev.StepBudgetClampedEvent(27, 0, 100000),
+    ]
+
+
+class TestGoldenFile:
+    """The committed golden file pins the wire format.
+
+    A failure here means the codec changed shape: either fix the codec
+    or bump TRACE_SCHEMA *and* regenerate the golden file deliberately.
+    """
+
+    def test_golden_covers_every_code(self):
+        golden = json.loads(GOLDEN.read_text())
+        assert {row[0] for row in golden} == ALL_CODES
+
+    def test_encode_matches_golden(self):
+        golden = json.loads(GOLDEN.read_text())
+        assert [_encode_event(e) for e in _golden_events()] == golden
+
+    def test_golden_decodes_to_expected_events(self):
+        golden = json.loads(GOLDEN.read_text())
+        assert [_decode_event(row) for row in golden] == _golden_events()

@@ -171,8 +171,8 @@ class TestFingerprintMemo:
 
 
 class TestResultCacheKey:
-    def test_schema_is_5(self):
-        assert CACHE_SCHEMA == 5
+    def test_schema_is_6(self):
+        assert CACHE_SCHEMA == 6
 
     def test_predecoded_is_part_of_the_key(self, tmp_path):
         cache = ResultCache(tmp_path)
