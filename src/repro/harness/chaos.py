@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Sequence, Union
 
 from repro.detectors import ToolConfig
 from repro.harness.parallel import ResultCache, RunRecord, RunSpec, run_sweep
+from repro.harness.resources import ResourceBudget
 from repro.harness.registry import resolve_tool
 from repro.harness.runner import RunOutcome
 from repro.workloads.dr_test.faults import ChaosCase, chaos_cases
@@ -159,6 +160,7 @@ def run_chaos(
     heartbeat_s: Optional[float] = None,
     poison_threshold: Optional[int] = None,
     forensics_dir: Optional[Union[str, Path]] = None,
+    budget: Optional[ResourceBudget] = None,
 ) -> ChaosReport:
     """Run the chaos suite grouped by fault class; verify every case.
 
@@ -166,8 +168,8 @@ def run_chaos(
     through :func:`repro.harness.registry.resolve_tool`.
 
     Durability and supervision knobs (``journal_dir``/``resume``,
-    ``heartbeat_s``, ``poison_threshold``) pass straight through to
-    :func:`~repro.harness.parallel.run_sweep`.  Pair ``resume`` with a
+    ``heartbeat_s``, ``poison_threshold``, ``budget``) pass straight
+    through to :func:`~repro.harness.parallel.run_sweep`.  Pair ``resume`` with a
     ``cache``: the journal restores records, but note/livelock oracles
     also inspect detector outcomes, which only the cache can replay.  With ``forensics_dir``
     set, infrastructure failures are captured by the sweep engine and
@@ -200,6 +202,7 @@ def run_chaos(
             heartbeat_s=heartbeat_s,
             poison_threshold=poison_threshold,
             forensics_dir=forensics_dir,
+            budget=budget,
         )
         records = list(result.records)
         outcomes = list(result.outcomes)
@@ -215,6 +218,7 @@ def run_chaos(
                 cache=cache,
                 timeout_s=timeout_s,
                 retries=policy.retries,
+                budget=budget,
             )
             for j, i in enumerate(stale):
                 if redo.records[j].status not in INFRA_FAILURES:

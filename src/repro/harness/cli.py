@@ -12,6 +12,7 @@ Subcommands::
     repro-experiments f3            # pipeline throughput (fast vs legacy)
     repro-experiments f4            # interpreter throughput (decoded vs isinstance)
     repro-experiments f6            # replay throughput (stored trace vs live)
+    repro-experiments f7            # streaming-decode peak memory (vs in-memory)
     repro-experiments cases         # list the 120 suite cases
     repro-experiments oracle        # detector-free ground-truth sweep
     repro-experiments sweep         # parallel sweep + observability report
@@ -42,6 +43,18 @@ Durability and triage options (sweep/chaos)::
     --heartbeat S        worker heartbeat interval (hung/slow detection)
     --poison-threshold N quarantine a spec after N worker kills/hangs
     --forensics-dir DIR  capture + ddmin-shrink failed runs as artifacts
+
+Resource-governance options (sweep/chaos)::
+
+    --mem-budget SIZE    per-worker RSS cap ("256m", "2g"); over-budget
+                         workers are preempted and retried in degraded
+                         (streaming) mode, then quarantined
+    --disk-quota SIZE    byte quota for the result cache and the trace
+                         store (LRU eviction; full disk degrades to
+                         cache-off instead of failing the sweep)
+    --wall-budget S      stop dispatching new sweep work after S seconds
+                         (in-flight runs finish; the rest get structured
+                         "wall-budget" records)
 
 Record-once-analyze-anywhere options (sweep/trace)::
 
@@ -93,6 +106,18 @@ def _tools(args: argparse.Namespace) -> Sequence[ToolConfig]:
 
 def _cache(args: argparse.Namespace) -> Optional[ResultCache]:
     return ResultCache(args.cache_dir) if args.cache_dir else None
+
+
+def _budget(args: argparse.Namespace):
+    """A :class:`ResourceBudget` from the governance flags (or ``None``)."""
+    from repro.harness.resources import ResourceBudget
+
+    budget = ResourceBudget.of(
+        mem_budget=args.mem_budget,
+        disk_quota=args.disk_quota,
+        wall_budget_s=args.wall_budget,
+    )
+    return budget if budget.governed else None
 
 
 def cmd_t1(args: argparse.Namespace) -> None:
@@ -367,6 +392,36 @@ def cmd_f6(args: argparse.Namespace) -> int:
     return 1 if s["mismatches"] else 0
 
 
+def cmd_f7(args: argparse.Namespace) -> int:
+    """Streaming-decode peak memory: bounded-memory vs in-memory analysis."""
+    from repro.harness.perf import (
+        F7_WORKLOADS,
+        measure_streaming,
+        streaming_summary,
+        write_streaming_bench,
+    )
+    from repro.workloads import parsec_workloads
+
+    by_name = {wl.name: wl for wl in parsec_workloads()}
+    names = F7_WORKLOADS[: args.limit] if args.limit else F7_WORKLOADS
+    tool = args.tool or f"helgrind-lib-spin{args.k}"
+    rows = measure_streaming([by_name[n] for n in names], tool, repeats=args.repeats)
+    s = streaming_summary(rows)
+    print(
+        f"F7 streaming: {s['events']} events — peak alloc "
+        f"{s['inmem_peak_alloc'] >> 10}KB in-memory vs "
+        f"{s['stream_peak_alloc'] >> 10}KB streamed "
+        f"({s['reduction_min']:.1f}x worst-row, "
+        f"{s['reduction_aggregate']:.1f}x aggregate), "
+        f"{s['mismatches']} fingerprint mismatch(es)"
+    )
+    out = args.out if args.out is not None else "BENCH_streaming.json"
+    if out:
+        write_streaming_bench(out, {"parsec": rows})
+        print(f"wrote {out}")
+    return 1 if s["mismatches"] else 0
+
+
 def cmd_tools(args: argparse.Namespace) -> None:
     """List the named tool presets the registry resolves."""
     rows = []
@@ -422,6 +477,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         poison_threshold=args.poison_threshold,
         forensics_dir=args.forensics_dir,
         trace_dir=args.trace_dir,
+        budget=_budget(args),
     )
     title = (
         f"Sweep — {len(workloads)} workload(s) x {len(configs)} tool(s) "
@@ -430,6 +486,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     print(sweep_records_table(result.records, title))
     print()
     print(sweep_summary_table(result.summary()))
+    for note in result.notes:
+        print(f"note: {note}")
     if result.resumed:
         print(f"\n{result.resumed} run(s) served from the checkpoint journal")
     if result.interrupted:
@@ -455,6 +513,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         heartbeat_s=args.heartbeat,
         poison_threshold=args.poison_threshold,
         forensics_dir=args.forensics_dir,
+        budget=_budget(args),
     )
     print(chaos_table(report))
     print()
@@ -710,8 +769,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--out",
         default=None,
         help=(
-            "f3/f4/f6: benchmark JSON output path (default BENCH_pipeline.json "
-            "/ BENCH_interpreter.json / BENCH_replay.json; '' to skip writing)"
+            "f3/f4/f6/f7: benchmark JSON output path (default BENCH_pipeline.json "
+            "/ BENCH_interpreter.json / BENCH_replay.json / BENCH_streaming.json; "
+            "'' to skip writing)"
         ),
     )
     parser.add_argument(
@@ -767,6 +827,28 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="sweep/chaos: capture + shrink failed runs as replayable artifacts",
     )
     parser.add_argument(
+        "--mem-budget",
+        default=None,
+        help=(
+            "sweep/chaos: per-worker RSS cap (e.g. 256m, 2g); over-budget "
+            "workers are preempted and retried in streaming mode"
+        ),
+    )
+    parser.add_argument(
+        "--disk-quota",
+        default=None,
+        help=(
+            "sweep/chaos: byte quota for the result cache and trace store "
+            "(LRU eviction on overflow, cache-off degradation on ENOSPC)"
+        ),
+    )
+    parser.add_argument(
+        "--wall-budget",
+        type=float,
+        default=None,
+        help="sweep/chaos: stop dispatching new work after S seconds",
+    )
+    parser.add_argument(
         "--purge",
         action="store_true",
         help="cache doctor: delete quarantined corrupt/ entries",
@@ -779,8 +861,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument(
         "experiment",
         choices=[
-            "t1", "t2", "t3", "t4", "t5", "f1", "f2", "f3", "f4", "f6", "cases",
-            "oracle", "sweep", "chaos", "tools", "cache", "triage", "trace", "all",
+            "t1", "t2", "t3", "t4", "t5", "f1", "f2", "f3", "f4", "f6", "f7",
+            "cases", "oracle", "sweep", "chaos", "tools", "cache", "triage",
+            "trace", "all",
         ],
         help="which experiment to run",
     )
@@ -804,6 +887,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "f3": cmd_f3,
         "f4": cmd_f4,
         "f6": cmd_f6,
+        "f7": cmd_f7,
         "cases": cmd_cases,
         "oracle": cmd_oracle,
         "sweep": cmd_sweep,
@@ -814,7 +898,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "trace": cmd_trace,
     }
     if args.experiment == "all":
-        for name in ("t1", "t2", "t3", "t4", "t5", "f1", "f2", "f3", "f4", "f6"):
+        for name in ("t1", "t2", "t3", "t4", "t5", "f1", "f2", "f3", "f4", "f6", "f7"):
             commands[name](args)
             print()
     else:

@@ -37,6 +37,7 @@ statistics, and :func:`summarize_records` folds them into the
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import logging
 import multiprocessing
@@ -45,7 +46,7 @@ import pickle
 import struct
 import time
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -57,6 +58,12 @@ from repro.harness.checkpoint import (
     sweep_digest,
 )
 from repro.harness.registry import resolve_workload
+from repro.harness.resources import (
+    ResourceBudget,
+    current_rss_bytes,
+    retry_io,
+    test_ballast_bytes,
+)
 from repro.harness.runner import RunOutcome, run_workload
 from repro.harness.workload import Workload
 from repro.vm.faults import FaultPlan
@@ -67,6 +74,7 @@ __all__ = [
     "CACHE_SCHEMA",
     "CacheDoctorReport",
     "CacheQuarantine",
+    "ResourceBudget",
     "ResultCache",
     "RunRecord",
     "RunSpec",
@@ -219,9 +227,28 @@ class ResultCache:
     warning, and treated as a miss.  Corruption never raises.
     """
 
-    def __init__(self, root: Union[str, Path]) -> None:
+    def __init__(
+        self,
+        root: Union[str, Path],
+        quota_bytes: Optional[int] = None,
+        io_attempts: int = 3,
+        io_backoff_s: float = 0.01,
+    ) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        #: byte quota for valid entries; oldest (LRU by mtime) entries
+        #: are evicted after each ``put`` that pushes the cache over
+        self.quota_bytes = quota_bytes
+        self.io_attempts = io_attempts
+        self.io_backoff_s = io_backoff_s
+        #: True once the cache degraded to write-off after persistent
+        #: I/O failure (ENOSPC after freeing, exhausted retries); reads
+        #: keep working, further ``put`` calls are silent no-ops
+        self.disabled = False
+        #: structured degradation notes ("cache-off: ..."), surfaced on
+        #: the sweep result and by the CLI
+        self.notes: List[str] = []
+        self.evictions = 0
         self.hits = 0
         self.misses = 0
         self.writes = 0
@@ -269,12 +296,21 @@ class ResultCache:
         except Exception as exc:  # schema drift, truncated pickle, ...
             raise _CacheCorruption(f"unpicklable: {type(exc).__name__}") from exc
 
-    def _quarantine(self, path: Path, key: str, reason: str) -> None:
+    def _quarantine(
+        self, path: Path, key: str, reason: str
+    ) -> Optional[CacheQuarantine]:
         """Move a bad entry to ``corrupt/`` with a note; never raises."""
         dest = self.corrupt_dir / path.name
         try:
             self.corrupt_dir.mkdir(parents=True, exist_ok=True)
             os.replace(path, dest)
+        except FileNotFoundError:
+            # A concurrent writer/gc removed the entry between our
+            # listing and the move: nothing to quarantine after all.
+            return None
+        except OSError:
+            pass
+        try:
             note = dest.with_suffix(".note.json")
             import json
 
@@ -291,6 +327,7 @@ class ResultCache:
             reason,
             dest,
         )
+        return entry
 
     # -- the cache API ------------------------------------------------------
 
@@ -308,17 +345,114 @@ class ResultCache:
             self.misses += 1
             return None
         self.hits += 1
+        try:
+            os.utime(path)  # LRU recency for quota eviction
+        except OSError:
+            pass
         return outcome
 
-    def put(self, key: str, outcome: RunOutcome) -> None:
-        payload = pickle.dumps(outcome, protocol=pickle.HIGHEST_PROTOCOL)
-        tmp = self._path(key).with_suffix(f".tmp.{os.getpid()}")
+    def _atomic_write(self, tmp: Path, path: Path, data: bytes) -> None:
+        """The raw write step (temp + fsync + rename) — the I/O-failure
+        injection point for the degradation tests."""
         with open(tmp, "wb") as fh:
-            fh.write(self._frame(payload))
+            fh.write(data)
             fh.flush()
             os.fsync(fh.fileno())
-        os.replace(tmp, self._path(key))
+        os.replace(tmp, path)
+
+    def _disable(self, note: str) -> None:
+        self.disabled = True
+        self.notes.append(note)
+        log.warning("result cache degraded: %s", note)
+
+    def put(self, key: str, outcome: RunOutcome) -> None:
+        if self.disabled:
+            return
+        payload = pickle.dumps(outcome, protocol=pickle.HIGHEST_PROTOCOL)
+        data = self._frame(payload)
+        path = self._path(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+
+        def write() -> None:
+            retry_io(
+                lambda: self._atomic_write(tmp, path, data),
+                attempts=self.io_attempts,
+                base_delay_s=self.io_backoff_s,
+                token=key,
+            )
+
+        try:
+            try:
+                write()
+            except OSError as exc:
+                if exc.errno != errno.ENOSPC:
+                    raise
+                # Full disk: reclaim what we can (quarantine debris,
+                # LRU entries over quota), then one more attempt.
+                self._free_space()
+                write()
+        except OSError as exc:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            self._disable(
+                f"cache-off: put failed after retries "
+                f"({errno.errorcode.get(exc.errno, 'OSError')}): {exc}"
+            )
+            return
         self.writes += 1
+        self._enforce_quota(protect=key)
+
+    def total_bytes(self) -> int:
+        """Bytes held by valid entries (quarantine debris excluded)."""
+        total = 0
+        for path in self.root.glob("*.pkl"):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        return total
+
+    def _entry_stats(self) -> List[Tuple[float, int, Path]]:
+        """``(mtime, size, path)`` per entry, oldest first; race-tolerant."""
+        stats = []
+        for path in self.root.glob("*.pkl"):
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            stats.append((st.st_mtime, st.st_size, path))
+        stats.sort(key=lambda t: (t[0], t[2].name))
+        return stats
+
+    def _enforce_quota(self, protect: str = "") -> None:
+        """Evict LRU entries until the cache fits its quota; the
+        just-written key is protected from its own eviction pass."""
+        if self.quota_bytes is None:
+            return
+        stats = self._entry_stats()
+        total = sum(size for _, size, _ in stats)
+        for _, size, path in stats:
+            if total <= self.quota_bytes:
+                break
+            if path.stem == protect:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            self.evictions += 1
+
+    def _free_space(self) -> None:
+        """ENOSPC pressure valve: purge quarantine debris, enforce quota."""
+        for path in self.corrupt_dir.glob("*"):
+            try:
+                path.unlink()
+            except OSError:
+                continue
+        self._enforce_quota()
 
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*.pkl"))
@@ -339,15 +473,20 @@ class ResultCache:
         report = CacheDoctorReport()
         for path in sorted(self.root.glob("*.pkl")):
             key = path.stem
-            report.scanned += 1
             try:
                 data = path.read_bytes()
+            except FileNotFoundError:
+                continue  # raced away between listing and read
+            except OSError:
+                report.scanned += 1
+                continue
+            report.scanned += 1
+            try:
                 self._decode(data)
             except _CacheCorruption as exc:
-                self._quarantine(path, key, exc.reason)
-                report.quarantined.append(self.quarantined[-1])
-                continue
-            except OSError:
+                entry = self._quarantine(path, key, exc.reason)
+                if entry is not None:
+                    report.quarantined.append(entry)
                 continue
             report.ok += 1
         corrupt = list(self.corrupt_dir.glob("*.pkl"))
@@ -379,13 +518,16 @@ class RunRecord:
     tool: str
     seed: int
     #: "ok", "cached", "step-limit", "deadlock", "livelock", "fault",
-    #: "timeout", "crash", "hung", "poison", "error".  "livelock" is the
-    #: watchdog firing on a stuck marked loop; "fault" is an abnormal
-    #: ending (deadlock or exhausted budget) attributable to injected
-    #: faults — neither counts as *failed*.  "hung" is a supervised
-    #: worker making no VM progress; "poison" is a spec quarantined
-    #: after repeatedly killing/hanging workers (reported in the
-    #: summary, not counted as a sweep failure).
+    #: "timeout", "crash", "hung", "poison", "wall-budget", "error".
+    #: "livelock" is the watchdog firing on a stuck marked loop; "fault"
+    #: is an abnormal ending (deadlock or exhausted budget) attributable
+    #: to injected faults — neither counts as *failed*.  "hung" is a
+    #: supervised worker making no VM progress; "poison" is a spec
+    #: quarantined after repeatedly killing/hanging workers *or* after
+    #: exhausting its memory-budget preemptions; "wall-budget" is a spec
+    #: left undispatched when the sweep's wall budget ran out.  Poison
+    #: and wall-budget are reported in the summary, not counted as
+    #: sweep failures.
     status: str
     attempts: int = 1
     duration_s: float = 0.0
@@ -401,6 +543,14 @@ class RunRecord:
     #: fault events injected during the run (chaos sweeps)
     faults: int = 0
     error: str = ""
+    #: highest worker RSS observed over the run's heartbeats, bytes
+    #: (0 without heartbeats or on cached/serial records)
+    peak_rss: int = 0
+    #: the run completed in degraded (streaming-decode) mode after a
+    #: memory-budget preemption
+    degraded: bool = False
+    #: times a worker for this spec was preempted over the RSS budget
+    oom_preempts: int = 0
 
     @property
     def cached(self) -> bool:
@@ -413,6 +563,11 @@ class RunRecord:
     @property
     def poisoned(self) -> bool:
         return self.status == "poison"
+
+    @property
+    def skipped(self) -> bool:
+        """Structurally not-executed, not a failure (poison/wall-budget)."""
+        return self.status in ("poison", "wall-budget")
 
     @property
     def steps_per_s(self) -> float:
@@ -446,8 +601,17 @@ class SweepSummary:
     #: total threaded-code decode cost across executed runs; with warm
     #: caches this stays near zero even for 100-case sweeps
     decode_s: float = 0.0
-    #: specs quarantined after repeatedly killing/hanging workers
+    #: specs quarantined after repeatedly killing/hanging workers (or
+    #: exhausting their memory-budget preemptions)
     poisoned: int = 0
+    #: highest worker RSS observed across the sweep, bytes
+    peak_rss: int = 0
+    #: runs that completed in degraded (streaming) mode
+    degraded: int = 0
+    #: worker preemptions over the per-worker RSS budget
+    oom_preempted: int = 0
+    #: specs left undispatched when the wall budget ran out
+    wall_budget_stopped: int = 0
 
     @property
     def steps_per_s(self) -> float:
@@ -466,7 +630,7 @@ class SweepSummary:
 
 def summarize_records(records: Sequence[RunRecord], wall_s: float) -> SweepSummary:
     executed = [
-        r for r in records if not r.cached and not r.failed and not r.poisoned
+        r for r in records if not r.cached and not r.failed and not r.skipped
     ]
     return SweepSummary(
         runs=len(records),
@@ -483,11 +647,15 @@ def summarize_records(records: Sequence[RunRecord], wall_s: float) -> SweepSumma
         spin_loops=sum(r.spin_loops for r in executed),
         adhoc_edges=sum(r.adhoc_edges for r in executed),
         racy_contexts=sum(
-            r.racy_contexts for r in records if not r.failed and not r.poisoned
+            r.racy_contexts for r in records if not r.failed and not r.skipped
         ),
-        faults=sum(r.faults for r in records if not r.failed and not r.poisoned),
+        faults=sum(r.faults for r in records if not r.failed and not r.skipped),
         decode_s=sum(r.decode_s for r in executed),
         poisoned=sum(1 for r in records if r.poisoned),
+        peak_rss=max((r.peak_rss for r in records), default=0),
+        degraded=sum(1 for r in records if r.degraded),
+        oom_preempted=sum(r.oom_preempts for r in records),
+        wall_budget_stopped=sum(1 for r in records if r.status == "wall-budget"),
     )
 
 
@@ -566,6 +734,9 @@ class SweepResult:
     interrupted: bool = False
     #: specs served from the checkpoint journal without re-execution
     resumed: int = 0
+    #: structured degradation notes from the governed layers (cache-off
+    #: on ENOSPC, trace-store write-off, ...); empty on a healthy sweep
+    notes: List[str] = field(default_factory=list)
 
     def summary(self) -> SweepSummary:
         return summarize_records(self.records, self.wall_s)
@@ -601,7 +772,11 @@ def _record_spec_trace(spec: RunSpec):
     )
 
 
-def prewarm_traces(specs: Iterable[RunSpec], trace_dir: Union[str, Path]) -> int:
+def prewarm_traces(
+    specs: Iterable[RunSpec],
+    trace_dir: Union[str, Path],
+    store=None,
+) -> int:
     """Record each distinct missing trace cell once, in the parent.
 
     The record/replay analogue of :func:`prewarm_static`: a sweep that
@@ -610,11 +785,14 @@ def prewarm_traces(specs: Iterable[RunSpec], trace_dir: Union[str, Path]) -> int
     every cell the store is missing before any worker dispatch — workers
     then only ever *read* traces.  ``record``-mode cells are re-recorded
     fresh (once per distinct key); ``replay`` cells are recorded only on
-    a store miss.  Returns the number of recordings written.
+    a store miss.  Returns the number of recordings written.  ``store``
+    lets the caller supply an already-governed :class:`TraceStore`
+    (quota, degradation notes) instead of a fresh ungoverned one.
     """
     from repro.trace.store import TraceStore, key_for_spec
 
-    store = TraceStore(trace_dir)
+    if store is None:
+        store = TraceStore(trace_dir)
     recorded = 0
     seen = set()
     for spec in specs:
@@ -635,8 +813,16 @@ def _execute_spec(
     spec: RunSpec,
     trace_dir: Optional[Union[str, Path]] = None,
     machine_sink=None,
+    streaming: bool = False,
 ) -> RunOutcome:
-    """Run one spec in its trace mode (the worker/serial shared path)."""
+    """Run one spec in its trace mode (the worker/serial shared path).
+
+    ``streaming=True`` is the degraded replay path a memory-preempted
+    worker retries on: the stored trace is analyzed per-event off the
+    decoder (:func:`~repro.harness.runner.run_workload_offline_streaming`)
+    instead of being materialized — same report fingerprint, bounded
+    RSS.  Live specs ignore the flag (there is nothing to stream).
+    """
     if spec.trace_mode == "live":
         return run_workload(
             spec.resolve(),
@@ -657,6 +843,25 @@ def _execute_spec(
         )
     store = TraceStore(trace_dir)
     key = key_for_spec(spec)
+    if streaming:
+        from repro.harness.runner import run_workload_offline_streaming
+        from repro.trace.stream import TraceStreamCorruption
+
+        stream = store.open_stream(key)
+        if stream is not None:
+            try:
+                return run_workload_offline_streaming(
+                    spec.resolve(),
+                    spec.tool(),
+                    stream,
+                    seed=spec.effective_seed(),
+                    fault_plan=spec.fault_plan,
+                    livelock_bound=spec.livelock_bound,
+                )
+            except TraceStreamCorruption as exc:
+                # Checksum-valid but malformed payload: quarantine and
+                # fall through to re-record + in-memory analysis.
+                store.quarantine_stream(stream, exc.reason)
     trace = store.get(key)
     if trace is None:
         # Prewarm normally guarantees a hit; recording here keeps a
@@ -678,12 +883,17 @@ def _child_main(
     conn,
     heartbeat_s: Optional[float] = None,
     trace_dir: Optional[Union[str, Path]] = None,
+    degraded: bool = False,
 ) -> None:
     """Worker entry point: run one spec, ship the outcome back, exit.
 
     With ``heartbeat_s`` set, a daemon thread reports the machine's step
-    counter over the pipe at that interval, letting the parent tell a
-    hung worker (counter frozen) from a slow one (counter advancing).
+    counter *and the worker's self-sampled RSS* over the pipe at that
+    interval: the parent tells a hung worker (counter frozen) from a
+    slow one (counter advancing) and preempts one whose RSS exceeds the
+    sweep's memory budget.  ``degraded`` marks a post-preemption retry:
+    replay specs then analyze their trace in streaming mode instead of
+    materializing it.
     """
     import gc
     import threading
@@ -692,18 +902,32 @@ def _child_main(
     # ballast here; freezing it keeps collections off the shared pages
     # (avoids copy-on-write faults) — measurably faster under fan-out.
     gc.freeze()
+    # Deterministic memory pressure for the budget smoke test; None in
+    # normal operation.  Held alive for the duration of the run.
+    ballast = test_ballast_bytes(degraded)  # noqa: F841 — liveness is the point
     send_lock = threading.Lock()
     machine_box: dict = {}
     stop = threading.Event()
     if heartbeat_s:
         def _beat() -> None:
-            while not stop.wait(heartbeat_s):
+            # First beat immediately: startup allocations (imports, the
+            # smoke-test ballast) are resident *now*, and the pipe is
+            # FIFO — an over-budget worker's RSS reaches the parent
+            # before any result it might race to deliver, so budget
+            # preemption cannot be dodged by finishing fast.
+            while True:
                 machine = machine_box.get("machine")
                 steps = machine.step_count if machine is not None else -1
                 try:
-                    with send_lock:
-                        conn.send(("hb", steps))
+                    rss = current_rss_bytes()
                 except Exception:
+                    rss = 0
+                try:
+                    with send_lock:
+                        conn.send(("hb", steps, rss))
+                except Exception:
+                    return
+                if stop.wait(heartbeat_s):
                     return
 
         threading.Thread(target=_beat, daemon=True).start()
@@ -712,6 +936,7 @@ def _child_main(
             spec,
             trace_dir=trace_dir,
             machine_sink=lambda m: machine_box.__setitem__("machine", m),
+            streaming=degraded,
         )
         stop.set()
         with send_lock:
@@ -776,6 +1001,7 @@ def run_sweep(
     poison_threshold: Optional[int] = None,
     forensics_dir: Optional[Union[str, Path]] = None,
     trace_dir: Optional[Union[str, Path]] = None,
+    budget: Optional[ResourceBudget] = None,
 ) -> SweepResult:
     """Execute ``specs``, fanning out over ``workers`` processes.
 
@@ -818,6 +1044,18 @@ def run_sweep(
         when any spec has ``trace_mode != "live"``.  Each distinct
         trace cell is recorded at most once, in the parent, before any
         fan-out (:func:`prewarm_traces`).
+    :param budget: a :class:`~repro.harness.resources.ResourceBudget`.
+        With ``max_rss_bytes`` set (and heartbeats on), a worker whose
+        self-sampled RSS exceeds the cap is preempted and retried once
+        in degraded (streaming-decode) mode; a second preemption
+        quarantines the spec as poison — statuses stay structured, the
+        sweep never crashes.  ``disk_quota_bytes`` is applied to the
+        result cache and the trace store (LRU eviction on put,
+        cache-off degradation on ENOSPC — see ``SweepResult.notes``).
+        ``wall_budget_s`` stops dispatching new runs once exceeded;
+        undispatched specs are recorded as ``"wall-budget"``.  Budgets
+        need worker isolation: the serial path (``workers=0``) runs
+        ungoverned.
 
     Results are deterministic and bit-identical to serial execution:
     workers add no scheduling or RNG state of their own, so only the
@@ -843,6 +1081,17 @@ def run_sweep(
                 "to default next to)"
             )
         trace_dir = cache.root / "traces"
+    trace_store = None
+    if budget is not None and budget.disk_quota_bytes is not None:
+        if cache is not None and cache.quota_bytes is None:
+            cache.quota_bytes = budget.disk_quota_bytes
+    if needs_traces:
+        from repro.trace.store import TraceStore
+
+        trace_store = TraceStore(
+            trace_dir,
+            quota_bytes=budget.disk_quota_bytes if budget is not None else None,
+        )
     start = time.perf_counter()
     outcomes: List[Optional[RunOutcome]] = [None] * len(specs)
     records: List[Optional[RunRecord]] = [None] * len(specs)
@@ -865,7 +1114,7 @@ def run_sweep(
         raise ValueError("resume=True requires journal_dir")
 
     resumed = 0
-    pending: deque = deque()  # (index, cache_key, attempt)
+    pending: deque = deque()  # (index, cache_key, attempt, degraded)
     for i, spec in enumerate(specs):
         key = keys[i]
         prior = journaled.get(key)
@@ -886,7 +1135,7 @@ def run_sweep(
                 if journal is not None:
                     journal.append(key, records[i])
                 continue
-        pending.append((i, key, 1))
+        pending.append((i, key, 1, False))
 
     if workers is None:
         workers = default_workers()
@@ -898,11 +1147,13 @@ def run_sweep(
             # whole point of record/replay sweeps is one execution per
             # (program, scheduler, seed, faults) cell, however many tool
             # configs fan out over it.
-            prewarm_traces((specs[i] for i, _, _ in pending), trace_dir)
+            prewarm_traces(
+                (specs[i] for i, *_ in pending), trace_dir, store=trace_store
+            )
         if workers <= 0:
             _run_serial(
                 specs,
-                [(i, key) for i, key, _ in pending],
+                [(i, key) for i, key, *_ in pending],
                 outcomes,
                 records,
                 cache,
@@ -926,6 +1177,7 @@ def run_sweep(
                 slow_grace=slow_grace,
                 poison_threshold=poison_threshold,
                 trace_dir=trace_dir,
+                budget=budget,
             )
     except KeyboardInterrupt:
         # Children are already reaped (the pool's finally); keep every
@@ -936,6 +1188,11 @@ def run_sweep(
             journal.close()
 
     wall_s = time.perf_counter() - start
+    notes: List[str] = []
+    if cache is not None:
+        notes.extend(cache.notes)
+    if trace_store is not None:
+        notes.extend(trace_store.notes)
     result = SweepResult(
         specs=specs,
         outcomes=outcomes,
@@ -943,6 +1200,7 @@ def run_sweep(
         wall_s=wall_s,
         interrupted=interrupted,
         resumed=resumed,
+        notes=notes,
     )
     if forensics_dir is not None and not interrupted:
         from repro.harness.triage import capture_failure
@@ -1042,6 +1300,11 @@ class _Worker:
     last_steps: int = -1
     #: monotonic time of the last *advancing* heartbeat (or spawn)
     last_progress_t: float = 0.0
+    #: highest self-sampled RSS reported over the heartbeat channel
+    peak_rss: int = 0
+    #: the worker is a degraded (streaming-mode) retry after an
+    #: over-budget preemption
+    degraded: bool = False
 
 
 def _run_pool(
@@ -1060,60 +1323,151 @@ def _run_pool(
     slow_grace: float = 4.0,
     poison_threshold: Optional[int] = None,
     trace_dir: Optional[Union[str, Path]] = None,
+    budget: Optional[ResourceBudget] = None,
 ) -> None:
     ctx = _mp_context()
     if ctx.get_start_method() == "fork":
         # Warm the decode/instrumentation caches once in the parent so
         # every forked child inherits them copy-on-write; a 120-case
         # sweep then decodes each distinct program once, not per run.
-        prewarm_static(specs[i] for i, _, _ in pending)
+        prewarm_static(specs[i] for i, *_ in pending)
     max_attempts = 1 + max(0, retries)
     if heartbeat_s is not None and hung_after_s is None:
         hung_after_s = 10.0 * heartbeat_s
+    rss_cap = budget.max_rss_bytes if budget is not None else None
+    wall_budget_s = budget.wall_budget_s if budget is not None else None
+    pool_start = time.monotonic()
     active: Dict = {}  # proc -> _Worker
     #: per-spec count of kill-class failures (timeout/crash/hung)
     infra_counts: Dict[int, int] = {}
+    #: per-spec count of over-budget preemptions
+    oom_counts: Dict[int, int] = {}
+    #: per-spec high-water RSS across attempts
+    peak_rss_by_index: Dict[int, int] = {}
+
+    def govern(i: int, record: RunRecord, degraded: bool) -> RunRecord:
+        """Stamp the governance observability fields onto a record."""
+        peak = peak_rss_by_index.get(i, 0)
+        ooms = oom_counts.get(i, 0)
+        if not peak and not ooms and not degraded:
+            return record
+        return replace(
+            record, peak_rss=peak, degraded=degraded, oom_preempts=ooms
+        )
 
     def commit(i: int, key: str, record: RunRecord) -> None:
         records[i] = record
         if journal is not None and key:
             journal.append(key, record)
 
-    def finish_ok(i: int, key: str, outcome: RunOutcome, attempt: int) -> None:
+    def finish_ok(
+        i: int, key: str, outcome: RunOutcome, attempt: int, degraded: bool = False
+    ) -> None:
         outcomes[i] = outcome
         if cache is not None and key:
             cache.put(key, outcome)
-        commit(i, key, _record_from_outcome(specs[i], outcome, attempt, cached=False))
+        record = _record_from_outcome(specs[i], outcome, attempt, cached=False)
+        commit(i, key, govern(i, record, degraded))
 
-    def retry_or_fail(i: int, key: str, attempt: int, status: str, error: str) -> None:
+    def retry_or_fail(
+        i: int,
+        key: str,
+        attempt: int,
+        status: str,
+        error: str,
+        degraded: bool = False,
+    ) -> None:
         if status in ("timeout", "crash", "hung"):
             infra_counts[i] = infra_counts.get(i, 0) + 1
             if poison_threshold is not None and infra_counts[i] >= poison_threshold:
                 commit(
                     i,
                     key,
-                    _failure_record(
-                        specs[i],
-                        "poison",
-                        attempt,
-                        f"quarantined after {infra_counts[i]} worker "
-                        f"kill(s)/hang(s); last: {status} {error}",
+                    govern(
+                        i,
+                        _failure_record(
+                            specs[i],
+                            "poison",
+                            attempt,
+                            f"quarantined after {infra_counts[i]} worker "
+                            f"kill(s)/hang(s); last: {status} {error}",
+                        ),
+                        degraded,
                     ),
                 )
                 return
         if attempt < max_attempts:
-            pending.append((i, key, attempt + 1))
+            pending.append((i, key, attempt + 1, degraded))
         else:
-            commit(i, key, _failure_record(specs[i], status, attempt, error))
+            commit(
+                i, key, govern(i, _failure_record(specs[i], status, attempt, error),
+                               degraded)
+            )
+
+    def preempt_oom(proc, w: "_Worker", rss: int) -> None:
+        """Kill an over-budget worker; degraded retry, then quarantine.
+
+        Never a terminal failure: the first preemption re-queues the
+        spec in degraded (streaming) mode *outside* the normal attempt
+        budget; a repeat offender — over budget even degraded — goes to
+        the poison quarantine.  Either way the sweep keeps going.
+        """
+        i, key = w.index, w.key
+        _kill(proc)
+        oom_counts[i] = oom_counts.get(i, 0) + 1
+        log.warning(
+            "worker oom-preempted: spec=%d rss=%d cap=%d attempt=%d degraded=%s",
+            i, rss, rss_cap, w.attempt, w.degraded,
+        )
+        if not w.degraded:
+            pending.append((i, key, w.attempt + 1, True))
+        else:
+            commit(
+                i,
+                key,
+                govern(
+                    i,
+                    _failure_record(
+                        specs[i],
+                        "poison",
+                        w.attempt,
+                        f"oom-preempted: rss {rss} over budget {rss_cap} "
+                        f"({oom_counts[i]} preemption(s), degraded retry "
+                        f"included)",
+                    ),
+                    True,
+                ),
+            )
 
     try:
         while pending or active:
+            if (
+                wall_budget_s is not None
+                and pending
+                and time.monotonic() - pool_start > wall_budget_s
+            ):
+                # Wall budget exhausted: stop dispatching.  In-flight
+                # workers finish under the normal supervision rules;
+                # everything undispatched gets a structured record.
+                while pending:
+                    i, key, attempt, _deg = pending.popleft()
+                    commit(
+                        i,
+                        key,
+                        _failure_record(
+                            specs[i],
+                            "wall-budget",
+                            attempt - 1,
+                            f"undispatched: wall budget "
+                            f"{wall_budget_s:.3g}s exhausted",
+                        ),
+                    )
             while pending and len(active) < workers:
-                i, key, attempt = pending.popleft()
+                i, key, attempt, degraded = pending.popleft()
                 parent_conn, child_conn = ctx.Pipe(duplex=False)
                 proc = ctx.Process(
                     target=_child_main,
-                    args=(specs[i], child_conn, heartbeat_s, trace_dir),
+                    args=(specs[i], child_conn, heartbeat_s, trace_dir, degraded),
                     daemon=True,
                 )
                 proc.start()
@@ -1126,6 +1480,7 @@ def _run_pool(
                     attempt=attempt,
                     start_t=now,
                     deadline=None if timeout_s is None else now + timeout_s,
+                    degraded=degraded,
                 )
                 active[proc].last_progress_t = now
 
@@ -1135,7 +1490,8 @@ def _run_pool(
                 done = False
                 while conn.poll(0):
                     try:
-                        kind, payload = conn.recv()
+                        msg = conn.recv()
+                        kind, payload = msg[0], msg[1]
                     except (EOFError, pickle.UnpicklingError) as exc:
                         kind, payload = "crash", f"unreadable result: {exc}"
                     if kind == "hb":
@@ -1143,13 +1499,30 @@ def _run_pool(
                         if payload > w.last_steps:
                             w.last_steps = payload
                             w.last_progress_t = now
+                        rss = msg[2] if len(msg) > 2 else 0
+                        if rss > w.peak_rss:
+                            w.peak_rss = rss
+                            if rss > peak_rss_by_index.get(i, 0):
+                                peak_rss_by_index[i] = rss
+                        if rss_cap is not None and rss > rss_cap:
+                            preempt_oom(proc, w, rss)
+                            conn.close()
+                            finished.append(proc)
+                            done = True
+                            break
                         continue
                     if kind == "ok":
-                        finish_ok(i, key, payload, attempt)
+                        finish_ok(i, key, payload, attempt, degraded=w.degraded)
                     elif kind == "crash":
-                        retry_or_fail(i, key, attempt, "crash", str(payload))
+                        retry_or_fail(
+                            i, key, attempt, "crash", str(payload),
+                            degraded=w.degraded,
+                        )
                     else:
-                        retry_or_fail(i, key, attempt, "error", str(payload))
+                        retry_or_fail(
+                            i, key, attempt, "error", str(payload),
+                            degraded=w.degraded,
+                        )
                     _reap(proc)
                     conn.close()
                     finished.append(proc)
@@ -1162,7 +1535,8 @@ def _run_pool(
                     # Died without delivering a result: hard crash.
                     proc.join()
                     retry_or_fail(
-                        i, key, attempt, "crash", f"exit code {proc.exitcode}"
+                        i, key, attempt, "crash", f"exit code {proc.exitcode}",
+                        degraded=w.degraded,
                     )
                     conn.close()
                     finished.append(proc)
@@ -1181,6 +1555,7 @@ def _run_pool(
                         "hung",
                         f"no VM progress for {hung_after_s:.3g}s "
                         f"(last step count {w.last_steps})",
+                        degraded=w.degraded,
                     )
                     conn.close()
                     finished.append(proc)
@@ -1199,7 +1574,8 @@ def _run_pool(
                         else timeout_s
                     )
                     retry_or_fail(
-                        i, key, attempt, "timeout", f"exceeded {limit:.3g}s"
+                        i, key, attempt, "timeout", f"exceeded {limit:.3g}s",
+                        degraded=w.degraded,
                     )
                     conn.close()
                     finished.append(proc)

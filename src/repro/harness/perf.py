@@ -739,3 +739,292 @@ def load_replay_baseline(path: Union[str, Path]) -> Optional[Dict[str, object]]:
         return json.loads(p.read_text())
     except (OSError, json.JSONDecodeError):
         return None
+
+
+# ---------------------------------------------------------------------------
+# F7 — streaming-decode peak memory (trace analysis RSS, in-memory vs stream)
+# ---------------------------------------------------------------------------
+
+#: resolution floor for the memory-reduction ratio.  A streaming pass
+#: holds one decode chunk at a time, so its peak traced allocation can
+#: be arbitrarily small; flooring the denominator at 64 KiB keeps the
+#: figure finite and conservative.
+_ALLOC_FLOOR_BYTES = 64 << 10
+
+#: the PARSEC stand-ins with the largest recorded traces (descending) —
+#: the workloads where decode strategy actually moves peak memory, and
+#: the default F7 measurement set.
+F7_WORKLOADS = ("raytrace", "facesim", "vips", "streamcluster")
+
+
+@dataclass(frozen=True)
+class StreamingRow:
+    """One workload's trace analyzed in-memory and in streaming mode.
+
+    Each analysis runs in a fresh interpreter so nothing leaks between
+    strategies.  The gated figure is the *peak traced allocation* of
+    the store-read + analysis region (``tracemalloc``, byte-precise):
+    process-level ``ru_maxrss`` ticks in kilobytes and carries several
+    megabytes of import-transient slack that can swallow a whole
+    materialization, so it is reported alongside as supporting data
+    (``*_total_peak``) but not gated on.
+    """
+
+    workload: str
+    tool: str
+    #: events the analysis delivered to the detector (identical by oracle)
+    events: int
+    #: peak traced allocation of the in-memory analysis region, bytes
+    inmem_peak_alloc: int
+    #: peak traced allocation of the streaming analysis region, bytes
+    stream_peak_alloc: int
+    #: whole-process peak RSS of each probe child, bytes
+    inmem_total_peak: int
+    stream_total_peak: int
+    #: min analysis wall-clock over the repeats, seconds (measured under
+    #: tracemalloc — comparable across modes, inflated vs production)
+    inmem_s: float
+    stream_s: float
+    #: both decode paths produced byte-identical report fingerprints
+    fingerprints_match: bool
+
+    @property
+    def reduction(self) -> float:
+        """Peak-memory reduction factor, streamed vs materialized."""
+        return self.inmem_peak_alloc / max(self.stream_peak_alloc, _ALLOC_FLOOR_BYTES)
+
+
+def _streaming_probe(mode: str, trace_dir: str, key: str, tool_name: str) -> Dict:
+    """Probe-child body: analyze one stored trace, report peak RSS.
+
+    Runs inside a fresh interpreter (see :func:`_run_probe`); measures
+    the high-water delta across exactly the store-read + analysis
+    region (``get`` + :func:`~repro.trace.analyze_trace`, or
+    ``open_stream`` + :func:`~repro.trace.analyze_trace_streaming` —
+    materialization cost is the thing being measured, so it stays
+    inside the window).
+    """
+    import time as _time
+    import tracemalloc
+
+    from repro.harness.registry import resolve_tool
+    from repro.harness.resources import peak_rss_bytes
+    from repro.trace import TraceStore, analyze_trace, analyze_trace_streaming
+
+    store = TraceStore(trace_dir)
+    cfg = resolve_tool(tool_name)
+    tracemalloc.start()
+    t0 = _time.perf_counter()
+    if mode == "stream":
+        stream = store.open_stream(key)
+        if stream is None:
+            raise RuntimeError(f"trace {key[:16]}… missing from probe store")
+        analysis = analyze_trace_streaming(stream, cfg)
+    else:
+        trace = store.get(key)
+        if trace is None:
+            raise RuntimeError(f"trace {key[:16]}… missing from probe store")
+        analysis = analyze_trace(trace, cfg)
+    duration = _time.perf_counter() - t0
+    _, peak_alloc = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return {
+        "peak_alloc": peak_alloc,
+        "total_peak": peak_rss_bytes(),
+        "duration_s": duration,
+        "events": analysis.events,
+        "fingerprint": analysis.report.fingerprint(),
+    }
+
+
+#: ``python -c`` body the probe children run: argv is (mode, trace_dir,
+#: key, tool_name); the measurement travels back as JSON on stdout.
+_PROBE_SNIPPET = (
+    "import json, sys\n"
+    "from repro.harness.perf import _streaming_probe\n"
+    "print(json.dumps(_streaming_probe(*sys.argv[1:5])))\n"
+)
+
+
+def _run_probe(mode: str, trace_dir: str, key: str, tool_name: str) -> Dict:
+    """Run one probe in a fresh interpreter (``subprocess``, not fork).
+
+    A forked child inherits the parent's RSS high-water, which can
+    swallow the analysis delta entirely; a clean ``python -c`` child
+    starts from the interpreter's own baseline.  ``PYTHONPATH`` is
+    extended with this package's root so the child resolves ``repro``
+    regardless of how the parent was launched.
+    """
+    import os as _os
+    import subprocess
+    import sys as _sys
+
+    pkg_root = str(Path(__file__).resolve().parents[2])
+    env = dict(_os.environ)
+    env["PYTHONPATH"] = _os.pathsep.join(
+        p for p in (pkg_root, env.get("PYTHONPATH", "")) if p
+    )
+    proc = subprocess.run(
+        [_sys.executable, "-c", _PROBE_SNIPPET, mode, trace_dir, key, tool_name],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=600,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"F7 {mode} probe failed (exit {proc.returncode}): "
+            f"{proc.stderr.strip()[-500:]}"
+        )
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def measure_streaming(
+    workloads: Sequence[Workload],
+    config: str = "helgrind-lib-spin7",
+    seed: int = 1,
+    repeats: int = 2,
+) -> List[StreamingRow]:
+    """Measure peak analysis RSS, in-memory vs streaming, per workload.
+
+    Records each workload once into a throwaway :class:`TraceStore`,
+    then analyzes the entry both ways in fresh spawned subprocesses —
+    ``repeats`` probes per mode, minimum delta and wall-clock kept
+    (RSS high-water is monotone within a process, so each repeat needs
+    its own).  Fingerprints are compared across the two modes; a
+    memory figure from a decode path that changed verdicts would be
+    meaningless.
+    """
+    import tempfile
+
+    from repro.harness.registry import resolve_tool
+    from repro.trace import TraceStore, record_trace, trace_key
+
+    if not isinstance(config, str):
+        raise TypeError(
+            "measure_streaming takes a tool *preset name* — the probe "
+            "children resolve it in their own interpreter"
+        )
+    cfg = resolve_tool(config)
+    rows: List[StreamingRow] = []
+    with tempfile.TemporaryDirectory(prefix="repro-f7-") as tmp:
+        store = TraceStore(tmp)
+        for wl in workloads:
+            program = wl.fresh_program()
+            max_blocks = max(8, cfg.spin_max_blocks)
+            trace = record_trace(
+                program,
+                seed=seed,
+                max_steps=wl.max_steps,
+                max_blocks=max_blocks,
+                inline_depth=cfg.inline_depth,
+            )
+            key = trace_key(
+                program.fingerprint(),
+                seed=seed,
+                max_steps=wl.max_steps,
+                max_blocks=max_blocks,
+                inline_depth=cfg.inline_depth,
+            )
+            store.put(key, trace)
+            probes = {
+                mode: [
+                    _run_probe(mode, tmp, key, config)
+                    for _ in range(max(1, repeats))
+                ]
+                for mode in ("inmem", "stream")
+            }
+            inmem = min(probes["inmem"], key=lambda p: p["peak_alloc"])
+            stream = min(probes["stream"], key=lambda p: p["peak_alloc"])
+            rows.append(
+                StreamingRow(
+                    workload=wl.name,
+                    tool=cfg.name,
+                    events=inmem["events"],
+                    inmem_peak_alloc=inmem["peak_alloc"],
+                    stream_peak_alloc=stream["peak_alloc"],
+                    inmem_total_peak=inmem["total_peak"],
+                    stream_total_peak=stream["total_peak"],
+                    inmem_s=min(p["duration_s"] for p in probes["inmem"]),
+                    stream_s=min(p["duration_s"] for p in probes["stream"]),
+                    fingerprints_match=(
+                        inmem["fingerprint"] == stream["fingerprint"]
+                        and inmem["events"] == stream["events"]
+                    ),
+                )
+            )
+    return rows
+
+
+def streaming_summary(rows: Sequence[StreamingRow]) -> Dict[str, float]:
+    """Aggregate F7: the gate reads ``reduction_min`` (worst row wins)."""
+    if not rows:
+        return {
+            "events": 0,
+            "inmem_peak_alloc": 0,
+            "stream_peak_alloc": 0,
+            "reduction_min": float("nan"),
+            "reduction_aggregate": float("nan"),
+            "mismatches": 0,
+        }
+    inmem = sum(r.inmem_peak_alloc for r in rows)
+    stream = sum(r.stream_peak_alloc for r in rows)
+    return {
+        "events": sum(r.events for r in rows),
+        "inmem_peak_alloc": inmem,
+        "stream_peak_alloc": stream,
+        "reduction_min": min(r.reduction for r in rows),
+        "reduction_aggregate": inmem / max(stream, _ALLOC_FLOOR_BYTES),
+        "mismatches": sum(1 for r in rows if not r.fingerprints_match),
+    }
+
+
+def write_streaming_bench(
+    path: Union[str, Path],
+    groups: Mapping[str, Sequence[StreamingRow]],
+    extra: Optional[Mapping[str, object]] = None,
+) -> Dict[str, object]:
+    """Write ``BENCH_streaming.json``: per-group summaries + rows."""
+    payload: Dict[str, object] = {
+        "schema": 1,
+        "figure": "F7 — streaming-decode peak memory (trace analysis RSS)",
+        "groups": {},
+        "rows": [],
+    }
+    if extra:
+        payload.update(extra)
+    for name, rows in groups.items():
+        payload["groups"][name] = {
+            k: (round(v, 3) if isinstance(v, float) else v)
+            for k, v in streaming_summary(rows).items()
+        }
+        for r in rows:
+            payload["rows"].append(
+                {
+                    "group": name,
+                    "workload": r.workload,
+                    "tool": r.tool,
+                    "events": r.events,
+                    "inmem_peak_alloc": r.inmem_peak_alloc,
+                    "stream_peak_alloc": r.stream_peak_alloc,
+                    "inmem_total_peak": r.inmem_total_peak,
+                    "stream_total_peak": r.stream_total_peak,
+                    "inmem_s": round(r.inmem_s, 6),
+                    "stream_s": round(r.stream_s, 6),
+                    "reduction": round(r.reduction, 3),
+                    "fingerprints_match": r.fingerprints_match,
+                }
+            )
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+    return payload
+
+
+def load_streaming_baseline(path: Union[str, Path]) -> Optional[Dict[str, object]]:
+    """Load a committed ``BENCH_streaming.json`` (``None`` if absent)."""
+    p = Path(path)
+    if not p.exists():
+        return None
+    try:
+        return json.loads(p.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None

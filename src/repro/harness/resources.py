@@ -1,0 +1,220 @@
+"""Resource governance: budgets, RSS sampling, and I/O retry policy.
+
+Long sweeps die three ways in practice: a worker balloons past physical
+memory and the kernel OOM-kills the whole process group, the result
+cache / trace store fills the disk mid-sweep, or an unattended run
+simply overstays its window.  This module centralizes the knobs that
+prevent all three:
+
+* :class:`ResourceBudget` — a frozen bundle of per-worker RSS cap, disk
+  quota (applied to the result cache and the trace store), and sweep
+  wall-clock budget, parsed from human sizes (``"256m"``, ``"2g"``);
+* :func:`current_rss_bytes` / :func:`peak_rss_bytes` — dependency-free
+  self-sampling (``/proc/self/statm`` when available, ``getrusage``
+  high-water otherwise) that worker heartbeats piggyback on;
+* :func:`retry_io` — bounded retries with deterministic jittered
+  backoff for transient filesystem errors, shared by the store layers.
+
+Everything degrades instead of failing: over-budget workers are
+preempted and retried in a degraded (streaming) mode, over-quota stores
+evict LRU entries, a full disk turns the cache off with a structured
+note — a governed sweep finishes with honest records, it never crashes.
+"""
+
+from __future__ import annotations
+
+import errno
+import hashlib
+import os
+import resource
+import sys
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, TypeVar, Union
+
+__all__ = [
+    "ResourceBudget",
+    "current_rss_bytes",
+    "parse_size",
+    "peak_rss_bytes",
+    "retry_io",
+    "test_ballast_bytes",
+]
+
+_T = TypeVar("_T")
+
+_PAGE_SIZE = os.sysconf("SC_PAGE_SIZE") if hasattr(os, "sysconf") else 4096
+
+#: OS error numbers worth retrying — transient by nature (interrupted
+#: call, temporary resource exhaustion) rather than structural.
+TRANSIENT_ERRNOS = frozenset(
+    {errno.EINTR, errno.EAGAIN, errno.EBUSY, errno.ENFILE, errno.EMFILE}
+)
+
+
+def current_rss_bytes() -> int:
+    """This process's resident set size right now, in bytes.
+
+    Reads ``/proc/self/statm`` (Linux; second field is resident pages).
+    Where procfs is unavailable, falls back to the ``getrusage``
+    high-water mark — monotone rather than instantaneous, which is the
+    conservative direction for budget enforcement.
+    """
+    try:
+        with open("/proc/self/statm", "rb") as fh:
+            return int(fh.read().split()[1]) * _PAGE_SIZE
+    except (OSError, ValueError, IndexError):
+        return peak_rss_bytes()
+
+
+def peak_rss_bytes() -> int:
+    """This process's peak resident set size, in bytes (high-water mark)."""
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is kilobytes on Linux, bytes on macOS.
+    return peak if sys.platform == "darwin" else peak * 1024
+
+
+_UNITS = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30, "t": 1 << 40}
+
+
+def parse_size(text: Union[str, int, None]) -> Optional[int]:
+    """Parse a human byte size (``"256m"``, ``"2g"``, ``"1048576"``).
+
+    Accepts a bare int (passed through), ``None`` (no limit), and an
+    optional trailing ``b`` (``"256mb"``).  Raises ``ValueError`` on
+    anything else — a silently misparsed budget is worse than no budget.
+    """
+    if text is None or isinstance(text, int):
+        return text
+    s = text.strip().lower().rstrip("b")
+    if not s:
+        raise ValueError(f"empty size {text!r}")
+    if s[-1] in _UNITS:
+        mult, s = _UNITS[s[-1]], s[:-1]
+    else:
+        mult = 1
+    try:
+        value = float(s)
+    except ValueError:
+        raise ValueError(f"cannot parse size {text!r}") from None
+    if value < 0:
+        raise ValueError(f"negative size {text!r}")
+    return int(value * mult)
+
+
+@dataclass(frozen=True)
+class ResourceBudget:
+    """Resource envelope one sweep (or session) must stay inside.
+
+    All fields optional — ``None`` means ungoverned, so the zero-value
+    budget is exactly today's behavior.  ``max_rss_bytes`` is enforced
+    per *worker* against its self-sampled heartbeat RSS;
+    ``disk_quota_bytes`` is enforced independently by the result cache
+    and the trace store (each may hold up to the quota);
+    ``wall_budget_s`` stops a sweep from dispatching new work past the
+    budget — already-running workers finish, undispatched specs are
+    recorded with the structured ``"wall-budget"`` status.
+    """
+
+    max_rss_bytes: Optional[int] = None
+    disk_quota_bytes: Optional[int] = None
+    wall_budget_s: Optional[float] = None
+
+    @classmethod
+    def of(
+        cls,
+        mem_budget: Union[str, int, None] = None,
+        disk_quota: Union[str, int, None] = None,
+        wall_budget_s: Optional[float] = None,
+    ) -> "ResourceBudget":
+        """Build from human-readable sizes (the CLI entry point)."""
+        return cls(
+            max_rss_bytes=parse_size(mem_budget),
+            disk_quota_bytes=parse_size(disk_quota),
+            wall_budget_s=wall_budget_s,
+        )
+
+    @property
+    def governed(self) -> bool:
+        return (
+            self.max_rss_bytes is not None
+            or self.disk_quota_bytes is not None
+            or self.wall_budget_s is not None
+        )
+
+
+def _jitter(token: str, attempt: int) -> float:
+    """Deterministic jitter fraction in [0, 1) from a stable token.
+
+    Derived from a hash rather than a RNG so retry timing is
+    reproducible for a given (key, attempt) — the same property every
+    other layer of the harness guarantees.
+    """
+    digest = hashlib.sha256(f"{token}:{attempt}".encode()).digest()
+    return int.from_bytes(digest[:4], "big") / 2**32
+
+
+def retry_io(
+    fn: Callable[[], _T],
+    attempts: int = 3,
+    base_delay_s: float = 0.01,
+    token: str = "",
+    sleep: Callable[[float], None] = time.sleep,
+) -> _T:
+    """Call ``fn``, retrying transient ``OSError`` with jittered backoff.
+
+    Only errnos in :data:`TRANSIENT_ERRNOS` are retried; structural
+    errors (``ENOSPC``, ``EACCES``, ...) propagate immediately so the
+    caller can take its degradation path.  Backoff doubles per attempt
+    with a deterministic jitter fraction keyed on ``token``.
+    """
+    last: Optional[OSError] = None
+    for attempt in range(attempts):
+        try:
+            return fn()
+        except OSError as exc:
+            if exc.errno not in TRANSIENT_ERRNOS:
+                raise
+            last = exc
+            if attempt + 1 < attempts:
+                delay = base_delay_s * (2**attempt) * (1.0 + _jitter(token, attempt))
+                sleep(delay)
+    assert last is not None
+    raise last
+
+
+#: test-only knob (see ``scripts/oom_smoke.py``): workers allocate this
+#: many MiB of touched pages on *non-degraded* attempts, making memory
+#: pressure deterministic for the budget-enforcement smoke test.  A
+#: trailing ``!`` (``"200!"``) keeps the ballast on degraded attempts
+#: too, which drives the second-preemption → poison path.
+BALLAST_ENV = "REPRO_RSS_BALLAST_MB"
+
+
+def test_ballast_bytes(degraded: bool) -> Optional[bytearray]:
+    """Allocate the smoke-test RSS ballast, if the env knob is set.
+
+    Returns the live buffer (the caller must keep a reference for the
+    ballast to stay resident) or ``None``.  Degraded attempts skip the
+    ballast unless the value carries the ``!`` suffix — that is the
+    point: the smoke test proves an over-budget worker is preempted and
+    then *succeeds* on its degraded retry, while the ``!`` form proves
+    a worker over budget even when degraded is quarantined, not looped.
+    """
+    raw = os.environ.get(BALLAST_ENV)
+    if not raw:
+        return None
+    always = raw.endswith("!")
+    if degraded and not always:
+        return None
+    try:
+        mb = int(raw.rstrip("!"))
+    except ValueError:
+        return None
+    if mb <= 0:
+        return None
+    buf = bytearray(mb << 20)
+    # Touch every page so the allocation is resident, not just reserved.
+    for off in range(0, len(buf), _PAGE_SIZE):
+        buf[off] = 1
+    return buf

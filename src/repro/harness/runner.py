@@ -219,6 +219,53 @@ def run_workload_offline(
     )
 
 
+def run_workload_offline_streaming(
+    workload: Workload,
+    config: ToolConfig,
+    stream,
+    seed: Optional[int] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    livelock_bound: Optional[int] = None,
+) -> RunOutcome:
+    """Bounded-memory twin of :func:`run_workload_offline`.
+
+    Analyzes a :class:`~repro.trace.TraceStream` through
+    :func:`repro.trace.analyze_trace_streaming` instead of a
+    materialized :class:`~repro.trace.Trace` — the degraded path a
+    memory-governed sweep retries an ``oom-preempted`` replay worker
+    on.  The report fingerprint is identical to the in-memory path; the
+    only difference is peak RSS.  Propagates
+    :class:`~repro.trace.TraceStreamCorruption` — the caller owns the
+    store and the quarantine/fallback decision.
+    """
+    from repro.trace import analyze_trace_streaming
+
+    analysis = analyze_trace_streaming(stream, config)
+    detector = analysis.detector
+    spin_loops = (
+        sum(1 for s in stream.loop_sizes().values() if s <= config.spin_max_blocks)
+        if config.spin
+        else 0
+    )
+    return RunOutcome(
+        workload=workload,
+        config=config,
+        seed=seed if seed is not None else stream.seed,
+        report=analysis.report,
+        result=analysis.result,
+        duration_s=analysis.duration_s,
+        steps=stream.steps,
+        events=analysis.events,
+        detector_words=detector.memory_words(),
+        imap_words=0,
+        spin_loops=spin_loops,
+        adhoc_edges=detector.adhoc.edges if detector.adhoc is not None else 0,
+        fault_plan=fault_plan,
+        livelock_bound=livelock_bound,
+        trace_mode="replay",
+    )
+
+
 def run_bare(
     workload: Workload, seed: Optional[int] = None, predecode: bool = True
 ) -> float:

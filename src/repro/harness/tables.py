@@ -74,18 +74,27 @@ def contexts_table(
 
 
 def sweep_records_table(records: Sequence["RunRecord"], title: str) -> str:
-    """Render the per-run observability log of a parallel sweep."""
+    """Render the per-run observability log of a parallel sweep.
+
+    The RSS column only appears when at least one record carries a
+    sampled peak (heartbeats enabled) — ungoverned serial sweeps keep
+    the compact legacy layout.
+    """
+    show_rss = any(r.peak_rss for r in records)
     headers = [
         "Workload", "Tool", "Seed", "Status", "Att", "Run s", "Instr s",
         "Steps/s", "Events/s", "Det words", "Spins", "Adhoc", "Contexts",
         "Faults",
     ]
-    rows = [
-        [
+    if show_rss:
+        headers.append("Peak RSS")
+    rows = []
+    for r in records:
+        row = [
             r.workload,
             r.tool,
             r.seed,
-            r.status,
+            r.status + ("*" if r.degraded else ""),
             r.attempts,
             f"{r.duration_s:.3f}",
             f"{r.instrument_s:.3f}",
@@ -97,9 +106,11 @@ def sweep_records_table(records: Sequence["RunRecord"], title: str) -> str:
             r.racy_contexts,
             r.faults,
         ]
-        for r in records
-    ]
-    return format_table(headers, rows, title=title)
+        if show_rss:
+            row.append(f"{r.peak_rss >> 20}M" if r.peak_rss else "-")
+        rows.append(row)
+    note = "\n(* = degraded/streaming attempt)" if any(r.degraded for r in records) else ""
+    return format_table(headers, rows, title=title) + note
 
 
 def sweep_summary_table(summary: "SweepSummary", title: str = "Sweep summary") -> str:
@@ -125,4 +136,12 @@ def sweep_summary_table(summary: "SweepSummary", title: str = "Sweep summary") -
         ["racy contexts", summary.racy_contexts],
         ["faults injected", summary.faults],
     ]
+    if summary.peak_rss:
+        rows.append(["peak worker RSS", f"{summary.peak_rss >> 20} MiB"])
+    if summary.degraded:
+        rows.append(["degraded (streaming) runs", summary.degraded])
+    if summary.oom_preempted:
+        rows.append(["oom preemptions", summary.oom_preempted])
+    if summary.wall_budget_stopped:
+        rows.append(["wall-budget stopped", summary.wall_budget_stopped])
     return format_table(["Metric", "Value"], rows, title=title)

@@ -32,7 +32,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Optional, Union
+from typing import Callable, Optional, Tuple, Union
 
 from repro.analysis import (
     InstrumentationMap,
@@ -44,7 +44,13 @@ from repro.detectors.reports import Report
 from repro.harness.registry import build_scheduler, resolve_tool, resolve_workload
 from repro.harness.workload import Workload
 from repro.isa import Program, ProgramBuilder
-from repro.trace import Trace, analyze_trace, synthesize_result
+from repro.trace import (
+    Trace,
+    analyze_trace,
+    analyze_trace_streaming,
+    open_trace_file,
+    synthesize_result,
+)
 from repro.vm import Machine, RandomScheduler
 from repro.vm.faults import FaultPlan
 from repro.vm.machine import RunResult
@@ -83,8 +89,12 @@ class SessionResult:
     decode_s: float = 0.0
     #: wall-clock of machine + detector, seconds
     run_s: float = 0.0
-    #: the recording an offline session analyzed (``None`` for live runs)
+    #: the recording an offline session analyzed (``None`` for live runs
+    #: and for streaming sessions, which never materialize one)
     trace: Optional[Trace] = None
+    #: structured provenance/degradation notes (e.g. ``"streaming-decode"``
+    #: when a framed trace file was analyzed without materialization)
+    notes: Tuple[str, ...] = ()
 
     @property
     def ok(self) -> bool:
@@ -171,10 +181,13 @@ def run(
     :param symbolize: custom address symbolizer; default is the
         machine's symbol table, wired automatically at attachment.
     :param trace: a recorded :class:`~repro.trace.Trace` (or a path to
-        its JSON serialization) to analyze offline — no VM runs, the
-        report fingerprint matches the live run's, and the session's
-        ``result`` is synthesized from the trace's termination status.
-        Mutually exclusive with ``program_or_workload``.
+        its JSON serialization, or a path to an RPRT-framed store file)
+        to analyze offline — no VM runs, the report fingerprint matches
+        the live run's, and the session's ``result`` is synthesized from
+        the trace's termination status.  Framed (``.trc``) files are
+        analyzed in streaming mode — constant memory, never
+        materialized — and the session carries a ``"streaming-decode"``
+        note.  Mutually exclusive with ``program_or_workload``.
     """
     tool = resolve_tool(config) if config is not None else ToolConfig.helgrind_lib_spin(7)
 
@@ -190,7 +203,26 @@ def run(
                     f"analyzes an already-recorded one"
                 )
         if isinstance(trace, (str, Path)):
-            trace = Trace.from_json(Path(trace).read_text())
+            path = Path(trace)
+            with open(path, "rb") as fh:
+                framed = fh.read(4) == b"RPRT"
+            if framed:
+                # A store-framed file: stream it — constant memory, no
+                # materialized Trace, identical report fingerprint.
+                stream = open_trace_file(path)
+                analysis = analyze_trace_streaming(stream, tool)
+                return SessionResult(
+                    program=None,
+                    config=tool,
+                    seed=stream.seed,
+                    report=analysis.report,
+                    result=analysis.result,
+                    detector=analysis.detector,
+                    machine=None,
+                    run_s=analysis.duration_s,
+                    notes=analysis.notes,
+                )
+            trace = Trace.from_json(path.read_text())
         analysis = analyze_trace(trace, tool)
         return SessionResult(
             program=None,

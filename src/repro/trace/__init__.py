@@ -38,18 +38,29 @@ from repro.trace.trace import (
     replay_trace,
     synthesize_result,
 )
-from repro.trace.store import TraceStore, key_for_spec, trace_key
+from repro.trace.stream import (
+    StreamAnalysis,
+    TraceStream,
+    TraceStreamCorruption,
+    analyze_trace_streaming,
+)
+from repro.trace.store import TraceStore, key_for_spec, open_trace_file, trace_key
 from repro.trace.hbgraph import HbGraph, HbNode, build_hb_graph
 
 __all__ = [
+    "StreamAnalysis",
     "Trace",
     "TraceAnalysis",
     "TraceStore",
+    "TraceStream",
+    "TraceStreamCorruption",
     "analyze_trace",
+    "analyze_trace_streaming",
     "record_trace",
     "replay_trace",
     "synthesize_result",
     "key_for_spec",
+    "open_trace_file",
     "trace_key",
     "HbGraph",
     "HbNode",

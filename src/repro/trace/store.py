@@ -20,6 +20,7 @@ corruption never raises.
 
 from __future__ import annotations
 
+import errno
 import gzip
 import hashlib
 import json
@@ -30,6 +31,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Tuple, Union
 
+from repro.trace.stream import TraceStream, read_meta_line
 from repro.trace.trace import Trace, _decode_event, _encode_event, _loc_parse, _loc_str
 
 log = logging.getLogger(__name__)
@@ -201,9 +203,28 @@ class TraceStore:
     ``corrupt/`` and reported — never raised.
     """
 
-    def __init__(self, root: Union[str, Path]) -> None:
+    def __init__(
+        self,
+        root: Union[str, Path],
+        quota_bytes: Optional[int] = None,
+        io_attempts: int = 3,
+        io_backoff_s: float = 0.01,
+    ) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        #: byte quota for valid entries; oldest (LRU by mtime) entries
+        #: are evicted after each ``put`` that pushes the store over
+        self.quota_bytes = quota_bytes
+        self.io_attempts = io_attempts
+        self.io_backoff_s = io_backoff_s
+        #: True once the store degraded to write-off after persistent
+        #: I/O failure (ENOSPC after freeing, exhausted retries); reads
+        #: keep working, further ``put`` calls are silent no-ops
+        self.disabled = False
+        #: structured degradation notes ("store-off: ..."), surfaced by
+        #: the sweep engine and the CLI
+        self.notes: List[str] = []
+        self.evictions = 0
         self.hits = 0
         self.misses = 0
         self.writes = 0
@@ -249,11 +270,20 @@ class TraceStore:
         except Exception as exc:  # gzip/json/codec drift
             raise _TraceCorruption(f"undecodable: {type(exc).__name__}") from exc
 
-    def _quarantine(self, path: Path, key: str, reason: str) -> None:
+    def _quarantine(
+        self, path: Path, key: str, reason: str
+    ) -> Optional[TraceQuarantine]:
         dest = self.corrupt_dir / path.name
         try:
             self.corrupt_dir.mkdir(parents=True, exist_ok=True)
             os.replace(path, dest)
+        except FileNotFoundError:
+            # A concurrent writer/gc removed the entry between our
+            # listing and the move: nothing to quarantine after all.
+            return None
+        except OSError:
+            pass
+        try:
             note = dest.with_suffix(".note.json")
             note.write_text(
                 json.dumps({"key": key, "reason": reason, "schema": TRACE_SCHEMA})
@@ -268,6 +298,7 @@ class TraceStore:
             reason,
             dest,
         )
+        return entry
 
     # -- the store API ------------------------------------------------------
 
@@ -285,17 +316,193 @@ class TraceStore:
             self.misses += 1
             return None
         self.hits += 1
+        self._touch(path)
         return trace
 
-    def put(self, key: str, trace: Trace) -> None:
-        payload = _encode_payload(trace)
-        tmp = self._path(key).with_suffix(f".tmp.{os.getpid()}")
+    def open_stream(self, key: str) -> Optional[TraceStream]:
+        """Open an entry for per-event iteration, without materializing it.
+
+        Verifies the frame (header + full sha256, streamed in chunks)
+        and decodes only the metadata line, then hands back a
+        :class:`~repro.trace.stream.TraceStream` positioned at the
+        payload.  Misses and corruption behave exactly like :meth:`get`
+        — quarantine, count, return ``None``.  Corruption that only
+        manifests *mid-stream* (checksum-valid but malformed payload)
+        raises :class:`~repro.trace.stream.TraceStreamCorruption` from
+        the iterator; pass it to :meth:`quarantine_stream`.
+        """
+        path = self._path(key)
+        try:
+            offset = self._verify_frame_file(path)
+        except OSError:
+            self.misses += 1
+            return None
+        except _TraceCorruption as exc:
+            self._quarantine(path, key, exc.reason)
+            self.misses += 1
+            return None
+        try:
+            meta = read_meta_line(path, offset)
+        except (OSError, EOFError, ValueError, TypeError) as exc:
+            self._quarantine(path, key, f"undecodable: {type(exc).__name__}")
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._touch(path)
+        return TraceStream(path=path, payload_offset=offset, meta=meta, key=key)
+
+    def quarantine_stream(self, stream: TraceStream, reason: str) -> None:
+        """Quarantine the entry behind a stream that corrupted mid-read."""
+        path = Path(stream.path)
+        self._quarantine(path, stream.key or path.stem, reason)
+        self.misses += 1
+
+    @staticmethod
+    def _verify_frame_file(path: Path) -> int:
+        """Validate header + checksum without loading the payload.
+
+        Streams the file through sha256 in bounded chunks; returns the
+        payload's byte offset.  Raises ``OSError`` on a miss and
+        :class:`_TraceCorruption` on an invalid frame — same contract
+        as ``_unframe``, constant memory.
+        """
+        header_len = _TRACE_HEADER.size + _DIGEST_LEN
+        hasher = hashlib.sha256()
+        with open(path, "rb") as fh:
+            head = fh.read(header_len)
+            if len(head) < header_len:
+                raise _TraceCorruption("truncated")
+            magic, version, schema = _TRACE_HEADER.unpack_from(head)
+            if magic != _TRACE_MAGIC:
+                raise _TraceCorruption("bad-magic")
+            if version != _TRACE_FRAME_VERSION:
+                raise _TraceCorruption(f"frame-version-{version}")
+            if schema != TRACE_SCHEMA:
+                raise _TraceCorruption(f"schema-{schema}")
+            digest = head[_TRACE_HEADER.size :]
+            while True:
+                chunk = fh.read(1 << 20)
+                if not chunk:
+                    break
+                hasher.update(chunk)
+        if hasher.digest() != digest:
+            raise _TraceCorruption("checksum-mismatch")
+        return header_len
+
+    @staticmethod
+    def _touch(path: Path) -> None:
+        """Refresh an entry's mtime — the LRU recency signal for quota GC."""
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+
+    def _atomic_write(self, tmp: Path, path: Path, data: bytes) -> None:
+        """The raw write step (temp + fsync + rename) — the I/O-failure
+        injection point for the degradation tests."""
         with open(tmp, "wb") as fh:
-            fh.write(self._frame(payload))
+            fh.write(data)
             fh.flush()
             os.fsync(fh.fileno())
-        os.replace(tmp, self._path(key))
+        os.replace(tmp, path)
+
+    def _disable(self, note: str) -> None:
+        self.disabled = True
+        self.notes.append(note)
+        log.warning("trace store degraded: %s", note)
+
+    def put(self, key: str, trace: Trace) -> None:
+        if self.disabled:
+            return
+        data = self._frame(_encode_payload(trace))
+        path = self._path(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        from repro.harness.resources import retry_io  # lazy: package cycle
+
+        def write() -> None:
+            retry_io(
+                lambda: self._atomic_write(tmp, path, data),
+                attempts=self.io_attempts,
+                base_delay_s=self.io_backoff_s,
+                token=key,
+            )
+
+        try:
+            try:
+                write()
+            except OSError as exc:
+                if exc.errno != errno.ENOSPC:
+                    raise
+                # Full disk: reclaim what we can (quarantine debris,
+                # LRU entries over quota), then one more attempt.
+                self._free_space()
+                write()
+        except OSError as exc:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            self._disable(
+                f"store-off: put failed after retries "
+                f"({errno.errorcode.get(exc.errno, 'OSError')}): {exc}"
+            )
+            return
         self.writes += 1
+        self._enforce_quota(protect=key)
+
+    def total_bytes(self) -> int:
+        """Bytes held by valid entries (quarantine debris excluded)."""
+        total = 0
+        for path in self.root.glob("*.trc"):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        return total
+
+    def _entry_stats(self) -> List[Tuple[float, int, Path]]:
+        """``(mtime, size, path)`` per entry, oldest first; race-tolerant."""
+        stats = []
+        for path in self.root.glob("*.trc"):
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            stats.append((st.st_mtime, st.st_size, path))
+        stats.sort(key=lambda t: (t[0], t[2].name))
+        return stats
+
+    def _enforce_quota(self, protect: str = "") -> None:
+        """Evict LRU entries until the store fits its quota.
+
+        The just-written key is protected — a quota smaller than one
+        entry degrades to keeping only the latest, never to evicting
+        what the caller is about to read back.
+        """
+        if self.quota_bytes is None:
+            return
+        stats = self._entry_stats()
+        total = sum(size for _, size, _ in stats)
+        for _, size, path in stats:
+            if total <= self.quota_bytes:
+                break
+            if path.stem == protect:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            self.evictions += 1
+
+    def _free_space(self) -> None:
+        """ENOSPC pressure valve: purge quarantine debris, enforce quota."""
+        for path in self.corrupt_dir.glob("*"):
+            try:
+                path.unlink()
+            except OSError:
+                continue
+        self._enforce_quota()
 
     def has(self, key: str) -> bool:
         return self._path(key).exists()
@@ -315,6 +522,12 @@ class TraceStore:
             key = path.stem
             try:
                 data = path.read_bytes()
+            except FileNotFoundError:
+                continue  # raced away between listing and read: not corrupt
+            except OSError as exc:
+                self._quarantine(path, key, f"unreadable: {type(exc).__name__}")
+                continue
+            try:
                 payload = self._unframe(data)
                 meta = json.loads(gzip.decompress(payload).decode().split("\n", 1)[0])
             except _TraceCorruption as exc:
@@ -339,14 +552,20 @@ class TraceStore:
         report = TraceDoctorReport()
         for path in sorted(self.root.glob("*.trc")):
             key = path.stem
+            try:
+                data = path.read_bytes()
+            except FileNotFoundError:
+                continue  # raced away between listing and read
+            except OSError:
+                report.scanned += 1
+                continue
             report.scanned += 1
             try:
-                self._decode(path.read_bytes())
+                self._decode(data)
             except _TraceCorruption as exc:
-                self._quarantine(path, key, exc.reason)
-                report.quarantined.append(self.quarantined[-1])
-                continue
-            except OSError:
+                entry = self._quarantine(path, key, exc.reason)
+                if entry is not None:
+                    report.quarantined.append(entry)
                 continue
             report.ok += 1
         report.corrupt_entries = len(list(self.corrupt_dir.glob("*.trc")))
@@ -370,8 +589,17 @@ class TraceStore:
         removed = kept = 0
         keep_set = None if keep is None else set(keep)
         for path in sorted(self.root.glob("*.trc")):
+            # Membership is re-checked at delete time (not against a
+            # pre-computed doomed list), and a FileNotFoundError means a
+            # concurrent writer/gc got there first — neither is an error
+            # and neither counts as a removal.
             if keep_set is not None and path.stem not in keep_set:
-                path.unlink(missing_ok=True)
+                try:
+                    path.unlink()
+                except FileNotFoundError:
+                    continue
+                except OSError:
+                    continue
                 removed += 1
             else:
                 kept += 1
@@ -385,3 +613,29 @@ class TraceStore:
                 if path.suffix == ".trc":
                     purged += 1
         return {"removed": removed, "purged": purged, "kept": kept}
+
+
+def open_trace_file(path: Union[str, Path]) -> TraceStream:
+    """Open a bare RPRT-framed trace file for streaming, outside any store.
+
+    Validates the frame (header + full checksum, constant memory) and
+    decodes the metadata line, exactly as
+    :meth:`TraceStore.open_stream` does for store entries — but for a
+    standalone file (e.g. one copied out of a store's directory), so
+    there is no quarantine side channel: an invalid file raises
+    :class:`~repro.trace.stream.TraceStreamCorruption` instead of
+    returning ``None``.
+    """
+    from repro.trace.stream import TraceStreamCorruption
+
+    path = Path(path)
+    try:
+        offset = TraceStore._verify_frame_file(path)
+        meta = read_meta_line(path, offset)
+    except _TraceCorruption as exc:
+        raise TraceStreamCorruption(exc.reason) from exc
+    except (EOFError, ValueError, TypeError) as exc:
+        raise TraceStreamCorruption(
+            f"undecodable metadata: {type(exc).__name__}"
+        ) from exc
+    return TraceStream(path=path, payload_offset=offset, meta=meta)

@@ -1,0 +1,169 @@
+"""Resource-governance primitives: sizes, budgets, RSS sampling, retry.
+
+These are the building blocks every governed layer (parallel runner,
+result cache, trace store) leans on, so their edge cases are pinned
+here once instead of re-derived per consumer.
+"""
+
+import errno
+
+import pytest
+
+from repro.harness import resources
+from repro.harness.resources import (
+    ResourceBudget,
+    current_rss_bytes,
+    parse_size,
+    peak_rss_bytes,
+    retry_io,
+)
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("0", 0),
+            ("1024", 1024),
+            ("4k", 4 << 10),
+            ("256m", 256 << 20),
+            ("256M", 256 << 20),
+            ("256mb", 256 << 20),
+            ("2g", 2 << 30),
+            ("1t", 1 << 40),
+            ("1.5g", int(1.5 * (1 << 30))),
+            ("  512m  ", 512 << 20),
+        ],
+    )
+    def test_valid(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_none_and_int_pass_through(self):
+        assert parse_size(None) is None
+        assert parse_size(12345) == 12345
+
+    @pytest.mark.parametrize("text", ["", "b", "much", "-1g", "1q", "g"])
+    def test_garbage_raises(self, text):
+        # A silently misparsed budget is worse than no budget.
+        with pytest.raises(ValueError):
+            parse_size(text)
+
+
+class TestResourceBudget:
+    def test_zero_value_is_ungoverned(self):
+        assert not ResourceBudget().governed
+        assert not ResourceBudget.of().governed
+
+    def test_any_field_governs(self):
+        assert ResourceBudget(max_rss_bytes=1).governed
+        assert ResourceBudget(disk_quota_bytes=1).governed
+        assert ResourceBudget(wall_budget_s=0.0).governed
+
+    def test_of_parses_human_sizes(self):
+        b = ResourceBudget.of("512m", "2g", 3600.0)
+        assert b.max_rss_bytes == 512 << 20
+        assert b.disk_quota_bytes == 2 << 30
+        assert b.wall_budget_s == 3600.0
+
+
+class TestRssSampling:
+    def test_current_rss_is_plausible(self):
+        rss = current_rss_bytes()
+        # A running CPython interpreter is a few MB at minimum and well
+        # under a TB; anything outside that is a units bug (pages vs
+        # bytes vs kilobytes), the classic failure mode here.
+        assert (1 << 20) < rss < (1 << 40)
+
+    def test_peak_is_at_least_current(self):
+        assert peak_rss_bytes() >= 0
+        assert peak_rss_bytes() + (64 << 20) > current_rss_bytes()
+
+    def test_rss_tracks_a_large_allocation(self):
+        before = current_rss_bytes()
+        buf = bytearray(32 << 20)
+        for off in range(0, len(buf), resources._PAGE_SIZE):
+            buf[off] = 1
+        after = current_rss_bytes()
+        del buf
+        assert after - before > 24 << 20
+
+
+class TestRetryIo:
+    def _flaky(self, failures, err=errno.EAGAIN):
+        calls = []
+
+        def fn():
+            calls.append(1)
+            if len(calls) <= failures:
+                raise OSError(err, "transient")
+            return "ok"
+
+        return fn, calls
+
+    def test_transient_errors_are_retried(self):
+        fn, calls = self._flaky(2)
+        sleeps = []
+        assert retry_io(fn, attempts=3, sleep=sleeps.append) == "ok"
+        assert len(calls) == 3
+        assert len(sleeps) == 2
+
+    def test_backoff_grows_with_jitter(self):
+        fn, _ = self._flaky(2)
+        sleeps = []
+        retry_io(fn, attempts=3, base_delay_s=0.01, token="k", sleep=sleeps.append)
+        assert 0.01 <= sleeps[0] < 0.02
+        assert 0.02 <= sleeps[1] < 0.04
+        assert sleeps[1] > sleeps[0]
+
+    def test_backoff_is_deterministic_per_token(self):
+        def run(token):
+            fn, _ = self._flaky(2)
+            sleeps = []
+            retry_io(fn, attempts=3, token=token, sleep=sleeps.append)
+            return sleeps
+
+        assert run("a") == run("a")
+        assert run("a") != run("b")
+
+    def test_exhausted_retries_raise_the_last_error(self):
+        fn, calls = self._flaky(99)
+        with pytest.raises(OSError) as exc:
+            retry_io(fn, attempts=3, sleep=lambda _s: None)
+        assert exc.value.errno == errno.EAGAIN
+        assert len(calls) == 3
+
+    def test_structural_errors_propagate_immediately(self):
+        # ENOSPC is the caller's degradation path, not a retry case.
+        fn, calls = self._flaky(99, err=errno.ENOSPC)
+        with pytest.raises(OSError):
+            retry_io(fn, attempts=3, sleep=lambda _s: None)
+        assert len(calls) == 1
+
+    def test_non_oserror_propagates(self):
+        def fn():
+            raise ValueError("not io")
+
+        with pytest.raises(ValueError):
+            retry_io(fn, attempts=3, sleep=lambda _s: None)
+
+
+class TestBallastKnob:
+    def test_unset_means_none(self, monkeypatch):
+        monkeypatch.delenv(resources.BALLAST_ENV, raising=False)
+        assert resources.test_ballast_bytes(False) is None
+        assert resources.test_ballast_bytes(True) is None
+
+    def test_plain_value_skips_degraded_attempts(self, monkeypatch):
+        monkeypatch.setenv(resources.BALLAST_ENV, "1")
+        assert len(resources.test_ballast_bytes(False)) == 1 << 20
+        assert resources.test_ballast_bytes(True) is None
+
+    def test_bang_form_applies_to_degraded_attempts_too(self, monkeypatch):
+        monkeypatch.setenv(resources.BALLAST_ENV, "1!")
+        assert len(resources.test_ballast_bytes(False)) == 1 << 20
+        assert len(resources.test_ballast_bytes(True)) == 1 << 20
+
+    @pytest.mark.parametrize("raw", ["zero", "0", "-3", "!"])
+    def test_garbage_values_are_inert(self, monkeypatch, raw):
+        monkeypatch.setenv(resources.BALLAST_ENV, raw)
+        assert resources.test_ballast_bytes(False) is None

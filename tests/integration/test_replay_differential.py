@@ -23,7 +23,13 @@ from repro.harness.chaos import chaos_spec
 from repro.harness.parallel import RunSpec, prewarm_traces, run_sweep, sweep_specs
 from repro.harness.registry import resolve_tool
 from repro.harness.runner import run_workload
-from repro.trace import Trace, TraceStore, analyze_trace, record_trace
+from repro.trace import (
+    Trace,
+    TraceStore,
+    analyze_trace,
+    analyze_trace_streaming,
+    record_trace,
+)
 from repro.workloads.dr_test.faults import chaos_cases
 from repro.workloads.dr_test.suite import build_suite
 
@@ -115,6 +121,95 @@ class TestChaosDifferential:
             )
             statuses.add(trace.status)
         assert statuses - {"ok"}, "no chaos case produced a partial trace"
+
+
+@pytest.fixture(scope="module")
+def suite_store(tmp_path_factory):
+    """One store shared by the streaming params — each suite case is
+    framed to disk once and re-opened per preset."""
+    return TraceStore(tmp_path_factory.mktemp("stream-suite"))
+
+
+def _streamed(store, wl):
+    if not store.has(wl.name):
+        store.put(wl.name, _recorded(wl))
+    stream = store.open_stream(wl.name)
+    assert stream is not None
+    return stream
+
+
+class TestStreamingDifferential:
+    """The bounded-memory decoder is fingerprint-invisible.
+
+    :func:`analyze_trace_streaming` must match :func:`analyze_trace`
+    bit-for-bit on the full report fingerprint — across the whole
+    120-case suite, every named preset, and the chaos cases whose
+    recordings truncate partially — and since the in-memory path is
+    already gated against live runs above, transitivity extends the
+    guarantee to live execution.
+    """
+
+    @pytest.mark.parametrize("preset", PRESET_NAMES)
+    def test_streaming_fingerprint_equals_in_memory_across_the_suite(
+        self, preset, suite_store
+    ):
+        cfg = resolve_tool(preset)
+        mismatches = []
+        for wl in SUITE:
+            inmem = analyze_trace(_recorded(wl), cfg)
+            streamed = analyze_trace_streaming(_streamed(suite_store, wl), cfg)
+            if streamed.report.fingerprint() != inmem.report.fingerprint():
+                mismatches.append(wl.name)
+        assert not mismatches, f"{preset}: streaming diverged on {mismatches}"
+
+    @pytest.mark.parametrize("case", [c.name for c in chaos_cases()])
+    def test_chaos_streaming_matches_in_memory_for_every_preset(
+        self, case, tmp_path
+    ):
+        spec = chaos_spec(
+            next(c for c in chaos_cases() if c.name == case),
+            ToolConfig.helgrind_lib_spin(7),
+        )
+        trace = record_trace(
+            spec.resolve().fresh_program(),
+            seed=spec.effective_seed(),
+            max_steps=spec.effective_max_steps(),
+            max_blocks=MAX_BLOCKS,
+            fault_plan=spec.fault_plan,
+            livelock_bound=spec.livelock_bound,
+        )
+        store = TraceStore(tmp_path)
+        store.put("c", trace)
+        mismatches = []
+        for cfg in PRESETS:
+            inmem = analyze_trace(trace, cfg)
+            streamed = analyze_trace_streaming(store.open_stream("c"), cfg)
+            # partial (fault-truncated) recordings must finalize
+            # identically, and the synthesized machine result must agree
+            assert streamed.report.partial == (trace.status != "ok")
+            assert streamed.result.status == trace.status
+            if streamed.report.fingerprint() != inmem.report.fingerprint():
+                mismatches.append(cfg.name)
+        assert not mismatches, f"{case}: streaming diverged under {mismatches}"
+
+    def test_chunk_size_is_invisible(self, suite_store):
+        # Chunk boundaries must not leak into the three-way seq merge.
+        wl = next(w for w in SUITE if w.name == "adhoc7_handoff")
+        cfg = resolve_tool("helgrind-lib-spin7")
+        prints = {
+            chunk: analyze_trace_streaming(
+                _streamed(suite_store, wl), cfg, chunk_events=chunk
+            ).report.fingerprint()
+            for chunk in (1, 3, 2048)
+        }
+        assert len(set(prints.values())) == 1
+
+    def test_streaming_carries_a_provenance_note(self, suite_store):
+        wl = SUITE[0]
+        streamed = analyze_trace_streaming(
+            _streamed(suite_store, wl), resolve_tool("helgrind-lib-spin7")
+        )
+        assert streamed.notes == ("streaming-decode",)
 
 
 class TestNoSpinWideLoopRegression:
@@ -276,6 +371,20 @@ class TestSessionTraceRuns:
             offline.report.fingerprint()
             == repro.run(config="helgrind-lib-spin7", trace=trace).report.fingerprint()
         )
+
+    def test_session_streams_a_framed_trace_file(self, tmp_path):
+        trace = record_trace(flag_handoff_program(), seed=2)
+        store = TraceStore(tmp_path)
+        store.put("k", trace)
+        offline = repro.run(
+            config="helgrind-lib-spin7", trace=store._path("k")
+        )
+        inmem = repro.run(config="helgrind-lib-spin7", trace=trace)
+        assert offline.report.fingerprint() == inmem.report.fingerprint()
+        assert offline.notes == ("streaming-decode",)
+        assert offline.trace is None  # never materialized
+        assert offline.seed == 2
+        assert inmem.notes == ()  # the in-memory path is unchanged
 
     def test_session_synthesizes_partial_status(self):
         case = next(c for c in chaos_cases() if c.name == "drop-flag-store")

@@ -9,15 +9,27 @@ change that breaks decoding of stored traces must show up here as a
 golden-file diff, not as silent quarantining in the field.
 """
 
+import gzip
+import hashlib
 import json
 from pathlib import Path
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.isa.program import CodeLocation, SyncKind
+from repro.trace import (
+    TraceStore,
+    TraceStreamCorruption,
+    open_trace_file,
+    record_trace,
+)
+from repro.trace.store import _DIGEST_LEN, _TRACE_HEADER
 from repro.trace.trace import _decode_event, _encode_event, _loc_parse, _loc_str
 from repro.vm import events as ev
+
+from tests.conftest import flag_handoff_program
 
 GOLDEN = Path(__file__).parent.parent / "data" / "trace_codec_golden.json"
 
@@ -130,3 +142,120 @@ class TestGoldenFile:
     def test_golden_decodes_to_expected_events(self):
         golden = json.loads(GOLDEN.read_text())
         assert [_decode_event(row) for row in golden] == _golden_events()
+
+
+# -- truncated / corrupt stream family --------------------------------------
+
+_HEADER_LEN = _TRACE_HEADER.size + _DIGEST_LEN
+
+
+def _reframe(data: bytes, payload: bytes) -> bytes:
+    """Swap in a new payload under a *valid* checksum.
+
+    The frame digest passes, so the corruption is only discoverable by
+    actually decoding — exactly the failure mode a torn write or a
+    buggy producer leaves behind.
+    """
+    return data[:_TRACE_HEADER.size] + hashlib.sha256(payload).digest() + payload
+
+
+def _cut_mid_gzip_member(data: bytes) -> bytes:
+    """Truncate the gzip payload mid-member (checksum recomputed)."""
+    payload = data[_HEADER_LEN:]
+    return _reframe(data, payload[: int(len(payload) * 0.6)])
+
+
+def _cut_mid_jsonl_line(data: bytes) -> bytes:
+    """Cut the decompressed JSONL mid-line, recompress as a *complete*
+    gzip member (checksum recomputed) — the gzip layer is happy, the
+    JSON layer is not."""
+    raw = gzip.decompress(data[_HEADER_LEN:])
+    third_newline = -1
+    for _ in range(3):
+        third_newline = raw.index(b"\n", third_newline + 1)
+    cut = raw[: third_newline + 6]  # a few bytes into the fourth line
+    assert not cut.endswith(b"\n")
+    return _reframe(data, gzip.compress(cut))
+
+
+def _drop_last_event_line(data: bytes) -> bytes:
+    """Remove one complete event line — well-formed JSONL whose count
+    disagrees with the metadata line."""
+    raw = gzip.decompress(data[_HEADER_LEN:])
+    lines = raw.rstrip(b"\n").split(b"\n")
+    return _reframe(data, gzip.compress(b"\n".join(lines[:-1]) + b"\n"))
+
+
+_CUTS = {
+    "mid-gzip-member": _cut_mid_gzip_member,
+    "mid-jsonl-line": _cut_mid_jsonl_line,
+}
+
+
+def _corrupted_store(tmp_path, corrupt):
+    store = TraceStore(tmp_path)
+    store.put("k", record_trace(flag_handoff_program(), seed=2))
+    path = store._path("k")
+    path.write_bytes(corrupt(path.read_bytes()))
+    return store
+
+
+class TestCorruptStreams:
+    """Checksum-valid but malformed payloads quarantine as structured
+    misses in *both* decoders — the materializing ``get`` and the
+    streaming ``open_stream`` — never as exceptions reaching a sweep."""
+
+    @pytest.mark.parametrize("cut", sorted(_CUTS))
+    def test_materializing_decoder_quarantines(self, tmp_path, cut):
+        store = _corrupted_store(tmp_path, _CUTS[cut])
+        assert store.get("k") is None  # structured miss, no raise
+        assert store.misses == 1
+        assert len(store.quarantined) == 1
+        assert "undecodable" in store.quarantined[0].reason
+        notes = list((tmp_path / "corrupt").glob("*.note.json"))
+        assert len(notes) == 1
+        assert store.get("k") is None  # entry is gone, clean miss now
+
+    @pytest.mark.parametrize("cut", sorted(_CUTS))
+    def test_streaming_decoder_quarantines(self, tmp_path, cut):
+        store = _corrupted_store(tmp_path, _CUTS[cut])
+        stream = store.open_stream("k")
+        if stream is None:
+            # the cut landed inside the metadata line: quarantined at open
+            assert len(store.quarantined) == 1
+        else:
+            with pytest.raises(TraceStreamCorruption, match="undecodable"):
+                for _ in stream.events():
+                    pass
+            store.quarantine_stream(stream, "undecodable mid-stream")
+        assert list((tmp_path / "corrupt").glob("*.note.json"))
+        assert store.open_stream("k") is None  # clean miss now
+
+    def test_event_count_mismatch_is_corruption(self, tmp_path):
+        # A payload that decodes fine but holds fewer events than its
+        # metadata claims: the count check is the backstop.
+        store = _corrupted_store(tmp_path, _drop_last_event_line)
+        stream = store.open_stream("k")
+        assert stream is not None
+        with pytest.raises(TraceStreamCorruption, match="event-count-mismatch"):
+            for _ in stream.events():
+                pass
+
+    def test_bare_file_corruption_raises_structurally(self, tmp_path):
+        store = TraceStore(tmp_path)
+        store.put("k", record_trace(flag_handoff_program(), seed=2))
+        path = store._path("k")
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF  # bit-flip without reframing: checksum mismatch
+        bare = tmp_path / "copy.trc"
+        bare.write_bytes(bytes(blob))
+        with pytest.raises(TraceStreamCorruption, match="checksum-mismatch"):
+            open_trace_file(bare)
+
+    def test_intact_entry_streams_identically_to_get(self, tmp_path):
+        store = TraceStore(tmp_path)
+        trace = record_trace(flag_handoff_program(), seed=2)
+        store.put("k", trace)
+        stream = store.open_stream("k")
+        streamed = [e for _seq, e in stream.events()]
+        assert streamed == list(store.get("k").events)
