@@ -1,0 +1,158 @@
+"""F8 — sharded re-analysis throughput: partitioned replay vs unsharded.
+
+Records the four largest PARSEC stand-ins once each (instrumentation
+widened to the store convention), then re-analyzes every recording under
+``helgrind-lib-spin7`` two ways: unsharded
+(:func:`repro.trace.analyze_trace`, the F6 fast path) and 8-ways sharded
+(:func:`repro.trace.analyze_trace_sharded` — partition by address
+region, fan the shards over 8 forked workers, merge the shard reports).
+The sharded wall-clock includes everything a grand-sweep cell pays:
+planning, splitting, forking, per-shard analysis, and the merge pass.
+
+The correctness oracle is absolute and unconditional: every sharded
+run's merged fingerprint must be byte-identical to the unsharded
+report's.  A parallel analysis that changed verdicts would be worthless.
+
+The throughput bar is a >=3x aggregate speedup over unsharded at 8
+shards / 8 workers — enforced only on the full sweep *and* only when
+the machine can physically parallelize (>=4 usable cores): wall-clock
+speedup from forked workers does not exist on a single-core container,
+and small subsets are fork-overhead dominated.  The committed
+``BENCH_shard.json`` records the measuring machine's core count so the
+number is interpretable.  The regression gate always applies: a >30%
+sharded events/sec drop against the committed baseline fails the run.
+
+``REPRO_PERF_SUBSET=N`` caps the sweep at N workloads for the CI
+perf-smoke job; ``REPRO_BENCH_OUT=`` skips writing the JSON.
+"""
+
+import os
+
+from repro.harness.perf import (
+    F8_WORKLOADS,
+    load_shard_baseline,
+    measure_shard,
+    shard_summary,
+    write_shard_bench,
+)
+from repro.harness.registry import resolve_tool
+from repro.harness.tables import format_table
+
+from benchmarks.conftest import run_once
+
+BASELINE = os.path.join(os.path.dirname(__file__), "..", "BENCH_shard.json")
+
+TOOL = "helgrind-lib-spin7"
+SHARDS = 8
+WORKERS = 8
+#: the >=3x bar needs real parallel hardware underneath the fork pool
+MIN_CORES_FOR_BAR = 4
+
+
+def _subset():
+    raw = os.environ.get("REPRO_PERF_SUBSET", "")
+    return int(raw) if raw else 0
+
+
+def _cores():
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def test_f8_shard_throughput(benchmark, parsec13):
+    subset = _subset()
+    names = F8_WORKLOADS[:subset] if subset else F8_WORKLOADS
+    by_name = {wl.name: wl for wl in parsec13}
+    workloads = [by_name[n] for n in names]
+    tools = [resolve_tool(TOOL)]
+
+    def sweep():
+        return {
+            "parsec": measure_shard(
+                workloads, tools, repeats=3, shards=SHARDS, workers=WORKERS
+            )
+        }
+
+    groups = run_once(benchmark, sweep)
+    rows = groups["parsec"]
+    s = shard_summary(rows)
+    cores = _cores()
+
+    print()
+    print(
+        format_table(
+            ["Workload", "Tool", "Events", "unsharded ev/s", "sharded ev/s", "speedup"],
+            [
+                [
+                    r.workload,
+                    r.tool,
+                    r.events,
+                    f"{r.unsharded_events_per_s:.0f}",
+                    f"{r.sharded_events_per_s:.0f}",
+                    f"{r.speedup:.2f}x",
+                ]
+                for r in rows
+            ],
+            title=(
+                f"F8 PARSEC — sharded re-analysis (aggregate {s['speedup']:.2f}x "
+                f"at {SHARDS} shards / {WORKERS} workers on {cores} core(s), "
+                f"one-time record {s['record_s']:.3f}s)"
+            ),
+        )
+    )
+    benchmark.extra_info["shard_speedup"] = round(s["speedup"], 3)
+    benchmark.extra_info["sharded_events_per_s"] = round(s["sharded_events_per_s"], 1)
+    benchmark.extra_info["cpu_count"] = cores
+
+    # The merge must be invisible in the verdicts — every row, every run.
+    mismatched = [(r.workload, r.tool) for r in rows if not r.fingerprints_match]
+    assert not mismatched, f"sharded merge diverged from unsharded: {mismatched}"
+
+    if not subset and cores >= MIN_CORES_FOR_BAR:
+        assert s["speedup"] >= 3.0, (
+            f"sharded speedup {s['speedup']:.2f}x below the 3x acceptance bar "
+            f"({SHARDS} shards / {WORKERS} workers on {cores} cores)"
+        )
+
+    out = os.environ.get("REPRO_BENCH_OUT", None)
+    if out is None:
+        out = BASELINE if not subset else ""
+    baseline = load_shard_baseline(BASELINE)
+    if out:
+        write_shard_bench(out, groups, extra={"cpu_count": cores})
+        print(f"wrote {os.path.abspath(out)}")
+
+    # Regression gate vs the committed baseline: >30% sharded events/sec
+    # drop fails.  Recomputed over exactly the rows measured this run so
+    # the subset CI job compares the same mix as the committed sweep.
+    committed = _baseline_throughput(baseline, "parsec", rows)
+    if committed is not None:
+        current = sum(r.events for r in rows) / sum(r.sharded_s for r in rows)
+        benchmark.extra_info["baseline_events_per_s"] = round(committed, 1)
+        benchmark.extra_info["events_per_s"] = round(current, 1)
+        assert current >= 0.7 * committed, (
+            f"sharded throughput regressed >30%: "
+            f"{current:.0f} ev/s vs committed {committed:.0f} ev/s"
+        )
+
+
+def _baseline_throughput(baseline, group, measured_rows):
+    """Committed sharded events/sec over the measured (workload, tool) rows.
+
+    Returns ``None`` when there is no committed baseline covering them.
+    """
+    if not baseline:
+        return None
+    wanted = {(r.workload, r.tool) for r in measured_rows}
+    events = sharded_s = 0.0
+    hits = 0
+    for row in baseline.get("rows", ()):
+        if row.get("group") == group and (row["workload"], row["tool"]) in wanted:
+            events += row["events"]
+            sharded_s += row["sharded_s"]
+            hits += 1
+    if hits < len(wanted) or sharded_s <= 0:
+        return None
+    return events / sharded_s

@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""Kill-and-resume smoke test for the sharded grand sweep.
+
+1. Launches a journaled 2-worker grand-sweep subset (suite cells plus
+   the full chaos matrix, each analyzed as 2 shard units) in a
+   subprocess and SIGKILLs the whole process group once the journal
+   holds some — but not all — completed shard records.
+2. Reruns with ``resume=True`` and asserts the journaled shard units are
+   served without re-execution, every cell merges, and every merged
+   fingerprint is bit-identical to an unsharded
+   :func:`repro.trace.analyze_trace` of the same stored recording (the
+   engine's ``verify_sample`` path re-analyzes each cell independently).
+
+Exits non-zero (with a message) on any violation.  Used by the CI
+``shard-smoke`` job; safe to run locally from the repo root.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.harness.grand import grand_specs, run_grand_sweep  # noqa: E402
+
+TOOLS = ["helgrind-lib", "helgrind-lib-spin7"]
+SHARDS = 2
+SUITE_LIMIT = 4
+
+
+def fail(msg: str) -> None:
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def child_main(journal_dir: str) -> None:
+    run_grand_sweep(
+        shards=SHARDS,
+        workers=2,
+        configs=TOOLS,
+        suite_limit=SUITE_LIMIT,
+        include_chaos=True,
+        journal_dir=journal_dir,
+    )
+
+
+def journal_entries(journal_dir: Path) -> int:
+    files = list(journal_dir.glob("sweep-*.jsonl"))
+    if not files:
+        return 0
+    return max(len(files[0].read_text().splitlines()) - 1, 0)
+
+
+def main() -> None:
+    if len(sys.argv) >= 3 and sys.argv[1] == "--child":
+        child_main(sys.argv[2])
+        return
+    work = REPO / ".repro-shard-smoke"
+    shutil.rmtree(work, ignore_errors=True)
+    work.mkdir(parents=True)
+    journal_dir = work / "journal"
+    try:
+        total = len(grand_specs(SHARDS, TOOLS, SUITE_LIMIT, True))
+        print(f"launching journaled 2-worker grand sweep ({total} shard units) ...")
+        proc = subprocess.Popen(
+            [sys.executable, __file__, "--child", str(journal_dir)],
+            cwd=REPO,
+            start_new_session=True,  # so the kill takes the workers down too
+        )
+        deadline = time.monotonic() + 120
+        try:
+            while True:
+                done = journal_entries(journal_dir)
+                if done >= 4:
+                    break
+                if proc.poll() is not None:
+                    fail("child grand sweep finished before it could be killed")
+                if time.monotonic() > deadline:
+                    fail("child grand sweep journaled nothing in 120s")
+                time.sleep(0.01)
+            os.killpg(proc.pid, signal.SIGKILL)
+        finally:
+            proc.wait()
+        pre_kill = journal_entries(journal_dir)
+        if pre_kill >= total:
+            fail("grand sweep completed before the kill landed")
+        print(f"killed with {pre_kill}/{total} shard units journaled")
+
+        result = run_grand_sweep(
+            shards=SHARDS,
+            workers=2,
+            configs=TOOLS,
+            suite_limit=SUITE_LIMIT,
+            include_chaos=True,
+            journal_dir=journal_dir,
+            resume=True,
+            verify_sample=10**6,  # re-check every merged cell unsharded
+        )
+        if result.sweep.resumed < pre_kill:
+            fail(
+                f"only {result.sweep.resumed} of {pre_kill} journaled shard "
+                "units were served from the checkpoint"
+            )
+        if result.incomplete:
+            fail(
+                f"{len(result.incomplete)} cell(s) failed to merge after "
+                f"resume: {[c.error for c in result.incomplete][:3]}"
+            )
+        unverified = [c for c in result.cells if c.verified is not True]
+        if unverified:
+            fail(
+                f"{len(unverified)} merged fingerprint(s) diverged from "
+                f"unsharded analysis: "
+                f"{[(c.workload, c.tool) for c in unverified][:5]}"
+            )
+        print(
+            f"resume OK: {result.sweep.resumed} shard units served from the "
+            f"journal, {total - result.sweep.resumed} re-executed, "
+            f"{len(result.cells)} cells merged, every fingerprint "
+            "bit-identical to unsharded analysis"
+        )
+    finally:
+        shutil.rmtree(work, ignore_errors=True)
+    print("shard smoke: all checks passed")
+
+
+if __name__ == "__main__":
+    main()

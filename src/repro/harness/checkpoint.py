@@ -53,7 +53,10 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 #: 6: trace store + offline analysis (RunSpec gained scheduler and
 #:    trace_mode; both enter the key, so a replayed cell never collides
 #:    with a live one).
-CACHE_SCHEMA = 6
+#: 7: sharded trace analysis (RunSpec gained shard; each shard of a
+#:    grand-sweep cell is a distinct cache/journal entry, so resume
+#:    works at shard granularity).
+CACHE_SCHEMA = 7
 
 #: bump on incompatible journal layout changes
 JOURNAL_VERSION = 1
@@ -89,6 +92,7 @@ def spec_key(spec) -> str:
             f"livelock_bound={spec.livelock_bound!r}",
             f"scheduler={canonical_scheduler(getattr(spec, 'scheduler', None))}",
             f"trace_mode={getattr(spec, 'trace_mode', 'live')}",
+            f"shard={getattr(spec, 'shard', None)!r}",
         ]
     )
     return hashlib.sha256(payload.encode()).hexdigest()

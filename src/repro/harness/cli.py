@@ -13,9 +13,11 @@ Subcommands::
     repro-experiments f4            # interpreter throughput (decoded vs isinstance)
     repro-experiments f6            # replay throughput (stored trace vs live)
     repro-experiments f7            # streaming-decode peak memory (vs in-memory)
+    repro-experiments f8            # sharded re-analysis throughput (vs unsharded)
     repro-experiments cases         # list the 120 suite cases
     repro-experiments oracle        # detector-free ground-truth sweep
     repro-experiments sweep         # parallel sweep + observability report
+    repro-experiments grand         # suite x presets x chaos, sharded, all cores
     repro-experiments chaos         # fault-injection suite vs. its oracle
     repro-experiments tools         # list the named tool presets
     repro-experiments cache doctor  # scan/quarantine/purge the result cache
@@ -71,8 +73,11 @@ Tool names resolve through the shared preset registry
 ``helgrind-nolib-spin7``, ``drd``, ``eraser``, ...  A trailing integer
 sets the spin(k) window.
 
-The perf figures (f1/f2/f3/f4) always run serially: their wall-clock
-numbers would be polluted by co-scheduled sibling runs.
+The perf figures always run serially: their wall-clock numbers would be
+polluted by co-scheduled sibling runs.  Figures, their ``f*``
+subcommands, and their default ``BENCH_*.json`` paths all come from one
+registry (:data:`FIGURES`) — adding a figure there registers the
+subcommand, the ``--out`` default, and the epilog line in one place.
 """
 
 from __future__ import annotations
@@ -81,7 +86,7 @@ import argparse
 import dataclasses
 import hashlib
 import sys
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from repro.detectors import ToolConfig
 from repro.harness.metrics import racy_contexts_table, score_suite
@@ -118,6 +123,30 @@ def _budget(args: argparse.Namespace):
         wall_budget_s=args.wall_budget,
     )
     return budget if budget.governed else None
+
+
+@dataclasses.dataclass(frozen=True)
+class Figure:
+    """One paper figure: subcommand key, one-line title, bench default.
+
+    :data:`FIGURES` (defined after the ``cmd_f*`` functions) is the
+    single registry that drives the ``experiment`` positional's
+    choices, the ``--out`` default/help text, the parser epilog, the
+    ``all`` ordering, and the command dispatch — add a figure there and
+    every surface updates together.
+    """
+
+    key: str
+    title: str
+    #: the figure's ``cmd_f*`` entry point
+    run: "Callable[[argparse.Namespace], Optional[int]]"
+    #: default ``--out`` path; ``""`` for figures that write no JSON
+    bench: str = ""
+
+
+def _bench_out(args: argparse.Namespace, key: str) -> str:
+    """``--out``, defaulting to the figure's registered ``BENCH_*`` path."""
+    return args.out if args.out is not None else FIGURES[key].bench
 
 
 def cmd_t1(args: argparse.Namespace) -> None:
@@ -323,7 +352,7 @@ def cmd_f3(args: argparse.Namespace) -> int:
     mismatches = sum(
         1 for r in [*suite_rows, *parsec_rows] if not r.reports_match
     )
-    out = args.out if args.out is not None else "BENCH_pipeline.json"
+    out = _bench_out(args, "f3")
     if out:
         write_pipeline_bench(out, {"t1_suite": suite_rows, "parsec": parsec_rows})
         print(f"wrote {out}")
@@ -351,7 +380,7 @@ def cmd_f4(args: argparse.Namespace) -> int:
         f"({s['speedup']:.2f}x; one-time decode {s['decode_s']:.3f}s), "
         f"{s['mismatches']} state mismatch(es)"
     )
-    out = args.out if args.out is not None else "BENCH_interpreter.json"
+    out = _bench_out(args, "f4")
     if out:
         write_interpreter_bench(out, {"parsec": rows})
         print(f"wrote {out}")
@@ -385,7 +414,7 @@ def cmd_f6(args: argparse.Namespace) -> int:
         f"one-time record {s['record_s']:.3f}s), "
         f"{s['mismatches']} fingerprint mismatch(es)"
     )
-    out = args.out if args.out is not None else "BENCH_replay.json"
+    out = _bench_out(args, "f6")
     if out:
         write_replay_bench(out, {"parsec": rows})
         print(f"wrote {out}")
@@ -415,11 +444,93 @@ def cmd_f7(args: argparse.Namespace) -> int:
         f"{s['reduction_aggregate']:.1f}x aggregate), "
         f"{s['mismatches']} fingerprint mismatch(es)"
     )
-    out = args.out if args.out is not None else "BENCH_streaming.json"
+    out = _bench_out(args, "f7")
     if out:
         write_streaming_bench(out, {"parsec": rows})
         print(f"wrote {out}")
     return 1 if s["mismatches"] else 0
+
+
+def cmd_f8(args: argparse.Namespace) -> int:
+    """Sharded re-analysis throughput: partitioned replay vs unsharded."""
+    from repro.harness.perf import (
+        F8_WORKLOADS,
+        measure_shard,
+        shard_summary,
+        write_shard_bench,
+    )
+    from repro.workloads import parsec_workloads
+
+    by_name = {wl.name: wl for wl in parsec_workloads()}
+    names = F8_WORKLOADS[: args.limit] if args.limit else F8_WORKLOADS
+    tools = (
+        [resolve_tool(n.strip()) for n in args.tools.split(",") if n.strip()]
+        if args.tools
+        else [resolve_tool(f"helgrind-lib-spin{args.k}")]
+    )
+    shards = args.shards or 8
+    rows = measure_shard(
+        [by_name[n] for n in names],
+        tools,
+        repeats=args.repeats,
+        shards=shards,
+        workers=shards,
+    )
+    s = shard_summary(rows)
+    print(
+        f"F8 sharded: {s['events']} events — sharded "
+        f"{s['sharded_events_per_s']:.0f} ev/s vs unsharded "
+        f"{s['unsharded_events_per_s']:.0f} ev/s "
+        f"({s['speedup']:.2f}x at {s['shards']} shard(s) on "
+        f"{s['workers']} worker(s); one-time record {s['record_s']:.3f}s), "
+        f"{s['mismatches']} fingerprint mismatch(es)"
+    )
+    out = _bench_out(args, "f8")
+    if out:
+        write_shard_bench(out, {"parsec": rows})
+        print(f"wrote {out}")
+    return 1 if s["mismatches"] else 0
+
+
+#: the figure registry — one entry per ``f*`` subcommand (see
+#: :class:`Figure`).  Order here is display/run order everywhere.
+FIGURES = {
+    f.key: f
+    for f in (
+        Figure("f1", "memory-overhead figure", cmd_f1),
+        Figure("f2", "runtime-overhead figure", cmd_f2),
+        Figure(
+            "f3",
+            "pipeline throughput (fast vs legacy)",
+            cmd_f3,
+            "BENCH_pipeline.json",
+        ),
+        Figure(
+            "f4",
+            "interpreter throughput (decoded vs isinstance)",
+            cmd_f4,
+            "BENCH_interpreter.json",
+        ),
+        Figure(
+            "f6",
+            "replay throughput (stored trace vs live)",
+            cmd_f6,
+            "BENCH_replay.json",
+        ),
+        Figure(
+            "f7",
+            "streaming-decode peak memory (vs in-memory)",
+            cmd_f7,
+            "BENCH_streaming.json",
+        ),
+        Figure(
+            "f8",
+            "sharded re-analysis throughput (vs unsharded)",
+            cmd_f8,
+            "BENCH_shard.json",
+        ),
+    )
+}
 
 
 def cmd_tools(args: argparse.Namespace) -> None:
@@ -495,6 +606,62 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         return 130
     if result.failed:
         print(f"\n{len(result.failed)} run(s) FAILED")
+        return 1
+    return 0
+
+
+def cmd_grand(args: argparse.Namespace) -> int:
+    """The grand sweep: suite x presets (+ chaos), sharded, all cores."""
+    from repro.harness.grand import grand_cells_table, run_grand_sweep
+
+    if not (args.trace_dir or args.cache_dir or args.journal_dir):
+        print(
+            "grand requires a trace store: pass --trace-dir, --cache-dir, "
+            "or --journal-dir",
+            file=sys.stderr,
+        )
+        return 2
+    configs = (
+        [n.strip() for n in args.tools.split(",") if n.strip()]
+        if args.tools
+        else None
+    )
+    result = run_grand_sweep(
+        shards=args.shards or 4,
+        # --workers 0 (the global default) means serial for `sweep`, but
+        # the grand sweep exists to use the machine: None → one per CPU.
+        workers=args.workers or None,
+        configs=configs,
+        suite_limit=args.limit or None,
+        cache=_cache(args),
+        timeout_s=args.timeout,
+        retries=args.retries,
+        journal_dir=args.journal_dir,
+        resume=args.resume,
+        heartbeat_s=args.heartbeat,
+        poison_threshold=args.poison_threshold,
+        forensics_dir=args.forensics_dir,
+        trace_dir=args.trace_dir,
+        budget=_budget(args),
+        verify_sample=args.verify_sample,
+    )
+    shown = 40 if len(result.cells) > 40 else 0
+    print(grand_cells_table(result, limit=shown))
+    if shown:
+        print(f"... {len(result.cells) - shown} more cell(s) elided")
+    print()
+    print(sweep_summary_table(result.summary(), "Grand sweep summary"))
+    for note in result.notes:
+        print(f"note: {note}")
+    if result.sweep.resumed:
+        print(
+            f"\n{result.sweep.resumed} shard unit(s) served from the "
+            "checkpoint journal"
+        )
+    if result.sweep.interrupted:
+        print("\ninterrupted — resume with --journal-dir/--resume")
+        return 130
+    if result.mismatched or result.incomplete:
         return 1
     return 0
 
@@ -725,6 +892,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the paper's tables and figures.",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="figures:\n"
+        + "\n".join(
+            f"  {f.key}  {f.title}" + (f" (writes {f.bench})" if f.bench else "")
+            for f in FIGURES.values()
+        ),
     )
     parser.add_argument("--k", type=int, default=7, help="spin window (default 7)")
     parser.add_argument("--seeds", type=int, default=5, help="PARSEC seeds (default 5)")
@@ -765,13 +938,30 @@ def main(argv: Sequence[str] | None = None) -> int:
         default=None,
         help="single tool preset for chaos (default helgrind-lib-spin<k>)",
     )
+    bench_figures = [f for f in FIGURES.values() if f.bench]
     parser.add_argument(
         "--out",
         default=None,
         help=(
-            "f3/f4/f6/f7: benchmark JSON output path (default BENCH_pipeline.json "
-            "/ BENCH_interpreter.json / BENCH_replay.json / BENCH_streaming.json; "
-            "'' to skip writing)"
+            "/".join(f.key for f in bench_figures)
+            + ": benchmark JSON output path (default "
+            + " / ".join(f.bench for f in bench_figures)
+            + "; '' to skip writing)"
+        ),
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="f8/grand: shard count K (default 8 for f8, 4 for grand)",
+    )
+    parser.add_argument(
+        "--verify-sample",
+        type=int,
+        default=0,
+        help=(
+            "grand: re-analyze the first N merged cells unsharded and "
+            "check the fingerprints are bit-identical"
         ),
     )
     parser.add_argument(
@@ -861,9 +1051,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument(
         "experiment",
         choices=[
-            "t1", "t2", "t3", "t4", "t5", "f1", "f2", "f3", "f4", "f6", "f7",
-            "cases", "oracle", "sweep", "chaos", "tools", "cache", "triage",
-            "trace", "all",
+            "t1", "t2", "t3", "t4", "t5", *FIGURES,
+            "cases", "oracle", "sweep", "grand", "chaos", "tools", "cache",
+            "triage", "trace", "all",
         ],
         help="which experiment to run",
     )
@@ -882,15 +1072,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         "t3": cmd_t3,
         "t4": cmd_t4,
         "t5": cmd_t5,
-        "f1": cmd_f1,
-        "f2": cmd_f2,
-        "f3": cmd_f3,
-        "f4": cmd_f4,
-        "f6": cmd_f6,
-        "f7": cmd_f7,
+        **{f.key: f.run for f in FIGURES.values()},
         "cases": cmd_cases,
         "oracle": cmd_oracle,
         "sweep": cmd_sweep,
+        "grand": cmd_grand,
         "chaos": cmd_chaos,
         "tools": cmd_tools,
         "cache": cmd_cache,
@@ -898,7 +1084,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "trace": cmd_trace,
     }
     if args.experiment == "all":
-        for name in ("t1", "t2", "t3", "t4", "t5", "f1", "f2", "f3", "f4", "f6", "f7"):
+        for name in ("t1", "t2", "t3", "t4", "t5", *FIGURES):
             commands[name](args)
             print()
     else:

@@ -131,6 +131,11 @@ class RunSpec:
     #: cells with the same (program, scheduler, seed, instrumentation,
     #: faults) coordinates share one recording across tool configs.
     trace_mode: str = "live"
+    #: ``"i/k"`` selects shard ``i`` of a ``k``-way sharded replay of
+    #: the cell's trace (grand sweeps); ``None`` analyzes it whole.
+    #: Requires ``trace_mode="replay"``; the outcome's report is then a
+    #: :class:`~repro.trace.shard.ShardReport` awaiting the merge pass.
+    shard: Optional[str] = None
 
     def resolve(self) -> Workload:
         if isinstance(self.workload, str):
@@ -551,6 +556,8 @@ class RunRecord:
     degraded: bool = False
     #: times a worker for this spec was preempted over the RSS budget
     oom_preempts: int = 0
+    #: ``"i/k"`` for sharded-replay work units (grand sweeps); "" else
+    shard: str = ""
 
     @property
     def cached(self) -> bool:
@@ -702,6 +709,7 @@ def _record_from_outcome(
         racy_contexts=outcome.report.racy_contexts,
         faults=getattr(result, "faults_injected", 0),
         error=error,
+        shard=getattr(spec, "shard", None) or "",
     )
 
 
@@ -713,6 +721,7 @@ def _failure_record(spec: RunSpec, status: str, attempts: int, error: str) -> Ru
         status=status,
         attempts=attempts,
         error=error,
+        shard=getattr(spec, "shard", None) or "",
     )
 
 
@@ -823,6 +832,11 @@ def _execute_spec(
     instead of being materialized — same report fingerprint, bounded
     RSS.  Live specs ignore the flag (there is nothing to stream).
     """
+    if getattr(spec, "shard", None) is not None and spec.trace_mode != "replay":
+        raise ValueError(
+            f"shard={spec.shard!r} requires trace_mode='replay', got "
+            f"{spec.trace_mode!r}"
+        )
     if spec.trace_mode == "live":
         return run_workload(
             spec.resolve(),
@@ -843,6 +857,27 @@ def _execute_spec(
         )
     store = TraceStore(trace_dir)
     key = key_for_spec(spec)
+    shard = getattr(spec, "shard", None)
+    if shard is not None:
+        # Grand-sweep shard unit: analyze exactly one shard of the
+        # cell's trace.  The streaming/degraded flag is ignored here —
+        # a shard's working set is already ~1/K of the cell's, which is
+        # the memory relief streaming mode exists to provide.
+        from repro.harness.runner import run_shard_offline
+
+        trace = store.get(key)
+        if trace is None:
+            trace = _record_spec_trace(spec)
+            store.put(key, trace)
+        return run_shard_offline(
+            spec.resolve(),
+            spec.tool(),
+            trace,
+            shard,
+            seed=spec.effective_seed(),
+            fault_plan=spec.fault_plan,
+            livelock_bound=spec.livelock_bound,
+        )
     if streaming:
         from repro.harness.runner import run_workload_offline_streaming
         from repro.trace.stream import TraceStreamCorruption
@@ -909,25 +944,32 @@ def _child_main(
     machine_box: dict = {}
     stop = threading.Event()
     if heartbeat_s:
+        def _send_beat() -> bool:
+            machine = machine_box.get("machine")
+            steps = machine.step_count if machine is not None else -1
+            try:
+                rss = current_rss_bytes()
+            except Exception:
+                rss = 0
+            try:
+                with send_lock:
+                    conn.send(("hb", steps, rss))
+            except Exception:
+                return False
+            return True
+
+        # The first beat is sent synchronously, before the run starts:
+        # startup allocations (imports, the smoke-test ballast) are
+        # resident *now*, and the pipe is FIFO — an over-budget
+        # worker's RSS reaches the parent before any result it might
+        # race to deliver, so budget preemption cannot be dodged by
+        # finishing fast.  (A daemon-thread first beat would race the
+        # run itself and lose on a busy single-core host.)
+        _send_beat()
+
         def _beat() -> None:
-            # First beat immediately: startup allocations (imports, the
-            # smoke-test ballast) are resident *now*, and the pipe is
-            # FIFO — an over-budget worker's RSS reaches the parent
-            # before any result it might race to deliver, so budget
-            # preemption cannot be dodged by finishing fast.
-            while True:
-                machine = machine_box.get("machine")
-                steps = machine.step_count if machine is not None else -1
-                try:
-                    rss = current_rss_bytes()
-                except Exception:
-                    rss = 0
-                try:
-                    with send_lock:
-                        conn.send(("hb", steps, rss))
-                except Exception:
-                    return
-                if stop.wait(heartbeat_s):
+            while not stop.wait(heartbeat_s):
+                if not _send_beat():
                     return
 
         threading.Thread(target=_beat, daemon=True).start()

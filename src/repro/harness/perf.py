@@ -113,6 +113,58 @@ def overhead_summary(rows: Sequence[PerfRow]) -> Dict[str, float]:
 
 
 # ---------------------------------------------------------------------------
+# Shared bench-file format (every committed BENCH_*.json baseline)
+
+
+def write_bench(
+    path: Union[str, Path],
+    figure: str,
+    groups: Mapping[str, Sequence[object]],
+    summary_fn,
+    row_fn,
+    extra: Optional[Mapping[str, object]] = None,
+) -> Dict[str, object]:
+    """Write one ``BENCH_*.json`` trajectory baseline.
+
+    Every figure's bench file shares one layout — ``schema``/``figure``
+    headers, per-group summaries (floats rounded to 3 places), and flat
+    per-row dicts tagged with their group — so the CI perf-smoke jobs
+    and ad-hoc tooling parse them uniformly.  ``summary_fn`` maps a row
+    sequence to its summary mapping; ``row_fn`` maps one row to its
+    dict (sans the ``group`` tag, added here).
+    """
+    payload: Dict[str, object] = {
+        "schema": 1,
+        "figure": figure,
+        "groups": {},
+        "rows": [],
+    }
+    if extra:
+        payload.update(extra)
+    for name, rows in groups.items():
+        payload["groups"][name] = {
+            k: (round(v, 3) if isinstance(v, float) else v)
+            for k, v in summary_fn(rows).items()
+        }
+        for r in rows:
+            payload["rows"].append({"group": name, **row_fn(r)})
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+    return payload
+
+
+def load_baseline(path: Union[str, Path]) -> Optional[Dict[str, object]]:
+    """Load a committed ``BENCH_*.json`` baseline (``None`` if absent
+    or unreadable — a perf gate treats both as "no baseline yet")."""
+    p = Path(path)
+    if not p.exists():
+        return None
+    try:
+        return json.loads(p.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+# ---------------------------------------------------------------------------
 # F3 — analysis-pipeline throughput (epoch fast path + batched delivery)
 
 
@@ -292,53 +344,38 @@ def write_pipeline_bench(
     rows; the committed file is the trajectory baseline the CI perf-smoke
     job gates regressions against.
     """
-    payload: Dict[str, object] = {
-        "schema": 1,
-        "figure": "F3 — analysis-pipeline throughput (fast vs legacy)",
-        "groups": {},
-        "rows": [],
-    }
-    if extra:
-        payload.update(extra)
-    for name, rows in groups.items():
-        payload["groups"][name] = {
-            k: (round(v, 3) if isinstance(v, float) else v)
-            for k, v in pipeline_summary(rows).items()
+    def row(r: PipelineRow) -> Dict[str, object]:
+        return {
+            "workload": r.workload,
+            "tool": r.tool,
+            "spin": r.spin,
+            "events": r.events,
+            "fast_s": round(r.fast_s, 6),
+            "legacy_s": round(r.legacy_s, 6),
+            "bare_s": round(r.bare_s, 6),
+            "fast_events_per_s": round(r.fast_events_per_s, 1),
+            "legacy_events_per_s": round(r.legacy_events_per_s, 1),
+            "speedup": round(r.speedup, 3),
+            "wall_speedup": round(r.wall_speedup, 3),
+            "fast_words": r.fast_words,
+            "legacy_words": r.legacy_words,
+            "racy_contexts": r.racy_contexts,
+            "reports_match": r.reports_match,
         }
-        for r in rows:
-            payload["rows"].append(
-                {
-                    "group": name,
-                    "workload": r.workload,
-                    "tool": r.tool,
-                    "spin": r.spin,
-                    "events": r.events,
-                    "fast_s": round(r.fast_s, 6),
-                    "legacy_s": round(r.legacy_s, 6),
-                    "bare_s": round(r.bare_s, 6),
-                    "fast_events_per_s": round(r.fast_events_per_s, 1),
-                    "legacy_events_per_s": round(r.legacy_events_per_s, 1),
-                    "speedup": round(r.speedup, 3),
-                    "wall_speedup": round(r.wall_speedup, 3),
-                    "fast_words": r.fast_words,
-                    "legacy_words": r.legacy_words,
-                    "racy_contexts": r.racy_contexts,
-                    "reports_match": r.reports_match,
-                }
-            )
-    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
-    return payload
+
+    return write_bench(
+        path,
+        "F3 — analysis-pipeline throughput (fast vs legacy)",
+        groups,
+        pipeline_summary,
+        row,
+        extra=extra,
+    )
 
 
 def load_pipeline_baseline(path: Union[str, Path]) -> Optional[Dict[str, object]]:
     """Load a committed ``BENCH_pipeline.json`` (``None`` if absent)."""
-    p = Path(path)
-    if not p.exists():
-        return None
-    try:
-        return json.loads(p.read_text())
-    except (OSError, json.JSONDecodeError):
-        return None
+    return load_baseline(path)
 
 
 # ---------------------------------------------------------------------------
@@ -497,47 +534,32 @@ def write_interpreter_bench(
     The committed file is the trajectory baseline the CI perf-smoke job
     gates interpreter regressions against.
     """
-    payload: Dict[str, object] = {
-        "schema": 1,
-        "figure": "F4 — interpreter throughput (pre-decoded vs isinstance)",
-        "groups": {},
-        "rows": [],
-    }
-    if extra:
-        payload.update(extra)
-    for name, rows in groups.items():
-        payload["groups"][name] = {
-            k: (round(v, 3) if isinstance(v, float) else v)
-            for k, v in interpreter_summary(rows).items()
+    def row(r: InterpRow) -> Dict[str, object]:
+        return {
+            "workload": r.workload,
+            "steps": r.steps,
+            "decoded_s": round(r.decoded_s, 6),
+            "legacy_s": round(r.legacy_s, 6),
+            "decode_s": round(r.decode_s, 6),
+            "decoded_steps_per_s": round(r.decoded_steps_per_s, 1),
+            "legacy_steps_per_s": round(r.legacy_steps_per_s, 1),
+            "speedup": round(r.speedup, 3),
+            "states_match": r.states_match,
         }
-        for r in rows:
-            payload["rows"].append(
-                {
-                    "group": name,
-                    "workload": r.workload,
-                    "steps": r.steps,
-                    "decoded_s": round(r.decoded_s, 6),
-                    "legacy_s": round(r.legacy_s, 6),
-                    "decode_s": round(r.decode_s, 6),
-                    "decoded_steps_per_s": round(r.decoded_steps_per_s, 1),
-                    "legacy_steps_per_s": round(r.legacy_steps_per_s, 1),
-                    "speedup": round(r.speedup, 3),
-                    "states_match": r.states_match,
-                }
-            )
-    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
-    return payload
+
+    return write_bench(
+        path,
+        "F4 — interpreter throughput (pre-decoded vs isinstance)",
+        groups,
+        interpreter_summary,
+        row,
+        extra=extra,
+    )
 
 
 def load_interpreter_baseline(path: Union[str, Path]) -> Optional[Dict[str, object]]:
     """Load a committed ``BENCH_interpreter.json`` (``None`` if absent)."""
-    p = Path(path)
-    if not p.exists():
-        return None
-    try:
-        return json.loads(p.read_text())
-    except (OSError, json.JSONDecodeError):
-        return None
+    return load_baseline(path)
 
 
 # ---------------------------------------------------------------------------
@@ -696,49 +718,34 @@ def write_replay_bench(
     The committed file is the trajectory baseline the CI perf-smoke job
     gates replay regressions against.
     """
-    payload: Dict[str, object] = {
-        "schema": 1,
-        "figure": "F6 — replay throughput (stored-trace analysis vs live)",
-        "groups": {},
-        "rows": [],
-    }
-    if extra:
-        payload.update(extra)
-    for name, rows in groups.items():
-        payload["groups"][name] = {
-            k: (round(v, 3) if isinstance(v, float) else v)
-            for k, v in replay_summary(rows).items()
+    def row(r: ReplayRow) -> Dict[str, object]:
+        return {
+            "workload": r.workload,
+            "tool": r.tool,
+            "spin": r.spin,
+            "events": r.events,
+            "record_s": round(r.record_s, 6),
+            "live_s": round(r.live_s, 6),
+            "replay_s": round(r.replay_s, 6),
+            "live_events_per_s": round(r.live_events_per_s, 1),
+            "replay_events_per_s": round(r.replay_events_per_s, 1),
+            "speedup": round(r.speedup, 3),
+            "fingerprints_match": r.fingerprints_match,
         }
-        for r in rows:
-            payload["rows"].append(
-                {
-                    "group": name,
-                    "workload": r.workload,
-                    "tool": r.tool,
-                    "spin": r.spin,
-                    "events": r.events,
-                    "record_s": round(r.record_s, 6),
-                    "live_s": round(r.live_s, 6),
-                    "replay_s": round(r.replay_s, 6),
-                    "live_events_per_s": round(r.live_events_per_s, 1),
-                    "replay_events_per_s": round(r.replay_events_per_s, 1),
-                    "speedup": round(r.speedup, 3),
-                    "fingerprints_match": r.fingerprints_match,
-                }
-            )
-    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
-    return payload
+
+    return write_bench(
+        path,
+        "F6 — replay throughput (stored-trace analysis vs live)",
+        groups,
+        replay_summary,
+        row,
+        extra=extra,
+    )
 
 
 def load_replay_baseline(path: Union[str, Path]) -> Optional[Dict[str, object]]:
     """Load a committed ``BENCH_replay.json`` (``None`` if absent)."""
-    p = Path(path)
-    if not p.exists():
-        return None
-    try:
-        return json.loads(p.read_text())
-    except (OSError, json.JSONDecodeError):
-        return None
+    return load_baseline(path)
 
 
 # ---------------------------------------------------------------------------
@@ -985,46 +992,228 @@ def write_streaming_bench(
     extra: Optional[Mapping[str, object]] = None,
 ) -> Dict[str, object]:
     """Write ``BENCH_streaming.json``: per-group summaries + rows."""
-    payload: Dict[str, object] = {
-        "schema": 1,
-        "figure": "F7 — streaming-decode peak memory (trace analysis RSS)",
-        "groups": {},
-        "rows": [],
-    }
-    if extra:
-        payload.update(extra)
-    for name, rows in groups.items():
-        payload["groups"][name] = {
-            k: (round(v, 3) if isinstance(v, float) else v)
-            for k, v in streaming_summary(rows).items()
+    def row(r: StreamingRow) -> Dict[str, object]:
+        return {
+            "workload": r.workload,
+            "tool": r.tool,
+            "events": r.events,
+            "inmem_peak_alloc": r.inmem_peak_alloc,
+            "stream_peak_alloc": r.stream_peak_alloc,
+            "inmem_total_peak": r.inmem_total_peak,
+            "stream_total_peak": r.stream_total_peak,
+            "inmem_s": round(r.inmem_s, 6),
+            "stream_s": round(r.stream_s, 6),
+            "reduction": round(r.reduction, 3),
+            "fingerprints_match": r.fingerprints_match,
         }
-        for r in rows:
-            payload["rows"].append(
-                {
-                    "group": name,
-                    "workload": r.workload,
-                    "tool": r.tool,
-                    "events": r.events,
-                    "inmem_peak_alloc": r.inmem_peak_alloc,
-                    "stream_peak_alloc": r.stream_peak_alloc,
-                    "inmem_total_peak": r.inmem_total_peak,
-                    "stream_total_peak": r.stream_total_peak,
-                    "inmem_s": round(r.inmem_s, 6),
-                    "stream_s": round(r.stream_s, 6),
-                    "reduction": round(r.reduction, 3),
-                    "fingerprints_match": r.fingerprints_match,
-                }
-            )
-    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
-    return payload
+
+    return write_bench(
+        path,
+        "F7 — streaming-decode peak memory (trace analysis RSS)",
+        groups,
+        streaming_summary,
+        row,
+        extra=extra,
+    )
 
 
 def load_streaming_baseline(path: Union[str, Path]) -> Optional[Dict[str, object]]:
     """Load a committed ``BENCH_streaming.json`` (``None`` if absent)."""
-    p = Path(path)
-    if not p.exists():
-        return None
-    try:
-        return json.loads(p.read_text())
-    except (OSError, json.JSONDecodeError):
-        return None
+    return load_baseline(path)
+
+
+# ---------------------------------------------------------------------------
+# F8 — sharded re-analysis throughput (partition-by-region vs unsharded)
+
+#: default F8 measurement set: the PARSEC stand-ins with the largest
+#: recorded traces — where parallel replay actually pays.
+F8_WORKLOADS = F7_WORKLOADS
+
+
+@dataclass(frozen=True)
+class ShardRow:
+    """One (workload, tool) trace analyzed unsharded and K-ways sharded.
+
+    ``unsharded_s`` is :func:`repro.trace.analyze_trace` wall-clock over
+    the primed trace; ``sharded_s`` is
+    :func:`repro.trace.analyze_trace_sharded` end to end — partition,
+    split, forked shard workers, and the merge pass all inside the timed
+    region, so the speedup is what a grand-sweep cell actually gains.
+    Both numbers share the unsharded run's delivered event count as
+    numerator (the sharded run delivers replicated sync traffic K times;
+    charging it would inflate the figure).  The recording cost is the
+    cell's one-time cost, reported separately as in F6.
+    """
+
+    workload: str
+    tool: str
+    spin: bool
+    #: events the unsharded analysis delivered (the shared numerator)
+    events: int
+    shards: int
+    workers: int
+    #: one-time recording cost for the cell
+    record_s: float
+    unsharded_s: float
+    sharded_s: float
+    #: the merged fingerprint is bit-identical to the unsharded one
+    fingerprints_match: bool
+
+    @property
+    def unsharded_events_per_s(self) -> float:
+        return self.events / self.unsharded_s if self.unsharded_s > 0 else 0.0
+
+    @property
+    def sharded_events_per_s(self) -> float:
+        return self.events / self.sharded_s if self.sharded_s > 0 else 0.0
+
+    @property
+    def speedup(self) -> float:
+        return (
+            self.unsharded_s / self.sharded_s
+            if self.sharded_s > 0
+            else float("nan")
+        )
+
+
+def measure_shard(
+    workloads: Sequence[Workload],
+    configs: Sequence[ToolConfig],
+    seed: int = 1,
+    repeats: int = 3,
+    shards: int = 8,
+    workers: int = 8,
+) -> List[ShardRow]:
+    """Measure sharded-vs-unsharded analysis cost over (workload, tool).
+
+    Each workload is recorded once with instrumentation wide enough for
+    every config (the store convention), the flat-batch cache is primed
+    outside the timed region, and each side runs ``repeats`` times with
+    the minimum wall-clock kept.  The unsharded side runs first so both
+    sides see a warm per-config filter cache — the sharded side's forked
+    children then inherit it copy-on-write, exactly as grand-sweep
+    workers inherit the parent's prewarmed store.  Every sharded run's
+    merged fingerprint is checked against the unsharded report.
+    """
+    import time
+
+    from repro.trace import analyze_trace, analyze_trace_sharded, record_trace
+
+    rows: List[ShardRow] = []
+    max_blocks = max([8, *(c.spin_max_blocks for c in configs)])
+    inline_depth = max(c.inline_depth for c in configs)
+    for wl in workloads:
+        record_start = time.perf_counter()
+        trace = record_trace(
+            wl.fresh_program(),
+            seed=seed,
+            max_steps=wl.max_steps,
+            max_blocks=max_blocks,
+            inline_depth=inline_depth,
+        )
+        record_s = time.perf_counter() - record_start
+        trace.batches()
+        for cfg in configs:
+            analyses = [analyze_trace(trace, cfg) for _ in range(repeats)]
+            base = min(analyses, key=lambda a: a.duration_s)
+            sharded_runs = [
+                analyze_trace_sharded(trace, cfg, shards=shards, workers=workers)
+                for _ in range(repeats)
+            ]
+            best = min(sharded_runs, key=lambda s: s.duration_s)
+            rows.append(
+                ShardRow(
+                    workload=wl.name,
+                    tool=cfg.name,
+                    spin=cfg.spin,
+                    events=base.events,
+                    shards=shards,
+                    workers=workers,
+                    record_s=record_s,
+                    unsharded_s=base.duration_s,
+                    sharded_s=best.duration_s,
+                    fingerprints_match=all(
+                        s.report.fingerprint() == base.report.fingerprint()
+                        for s in sharded_runs
+                    ),
+                )
+            )
+    return rows
+
+
+def shard_summary(rows: Sequence[ShardRow]) -> Dict[str, float]:
+    """Aggregate sharded throughput (sum events / sum seconds) over rows.
+
+    Seconds are summed before dividing, as in F6: the aggregate speedup
+    is what the ≥3x acceptance gate reads.  ``record_s`` is summed over
+    distinct workloads (one recording serves every tool row).
+    """
+    if not rows:
+        return {
+            "events": 0,
+            "unsharded_s": 0.0,
+            "sharded_s": 0.0,
+            "record_s": 0.0,
+            "unsharded_events_per_s": 0.0,
+            "sharded_events_per_s": 0.0,
+            "speedup": float("nan"),
+            "shards": 0,
+            "workers": 0,
+            "mismatches": 0,
+        }
+    events = sum(r.events for r in rows)
+    unsharded_s = sum(r.unsharded_s for r in rows)
+    sharded_s = sum(r.sharded_s for r in rows)
+    per_workload: Dict[str, float] = {}
+    for r in rows:
+        per_workload[r.workload] = r.record_s
+    return {
+        "events": events,
+        "unsharded_s": unsharded_s,
+        "sharded_s": sharded_s,
+        "record_s": sum(per_workload.values()),
+        "unsharded_events_per_s": events / unsharded_s if unsharded_s > 0 else 0.0,
+        "sharded_events_per_s": events / sharded_s if sharded_s > 0 else 0.0,
+        "speedup": unsharded_s / sharded_s if sharded_s > 0 else float("nan"),
+        "shards": max(r.shards for r in rows),
+        "workers": max(r.workers for r in rows),
+        "mismatches": sum(1 for r in rows if not r.fingerprints_match),
+    }
+
+
+def write_shard_bench(
+    path: Union[str, Path],
+    groups: Mapping[str, Sequence[ShardRow]],
+    extra: Optional[Mapping[str, object]] = None,
+) -> Dict[str, object]:
+    """Write ``BENCH_shard.json``: per-group summaries + per-row data."""
+    def row(r: ShardRow) -> Dict[str, object]:
+        return {
+            "workload": r.workload,
+            "tool": r.tool,
+            "spin": r.spin,
+            "events": r.events,
+            "shards": r.shards,
+            "workers": r.workers,
+            "record_s": round(r.record_s, 6),
+            "unsharded_s": round(r.unsharded_s, 6),
+            "sharded_s": round(r.sharded_s, 6),
+            "unsharded_events_per_s": round(r.unsharded_events_per_s, 1),
+            "sharded_events_per_s": round(r.sharded_events_per_s, 1),
+            "speedup": round(r.speedup, 3),
+            "fingerprints_match": r.fingerprints_match,
+        }
+
+    return write_bench(
+        path,
+        "F8 — sharded re-analysis throughput (partitioned replay vs unsharded)",
+        groups,
+        shard_summary,
+        row,
+        extra=extra,
+    )
+
+
+def load_shard_baseline(path: Union[str, Path]) -> Optional[Dict[str, object]]:
+    """Load a committed ``BENCH_shard.json`` (``None`` if absent)."""
+    return load_baseline(path)

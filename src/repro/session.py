@@ -75,7 +75,9 @@ class SessionResult:
     seed: int
     report: Report
     result: RunResult
-    detector: RaceDetector
+    #: the live detector; ``None`` for sharded trace sessions, where K
+    #: per-shard detectors ran and only the merged report survives
+    detector: Optional[RaceDetector]
     machine: Optional[Machine]
     #: the workload the session ran, when one was given (else ``None``)
     workload: Optional[Workload] = None
@@ -159,6 +161,7 @@ def run(
     scheduler: Union[Scheduler, str, None] = None,
     symbolize: Optional[Callable[[int], str]] = None,
     trace: TraceLike = None,
+    shards: Optional[int] = None,
 ) -> SessionResult:
     """Run one program under one tool configuration, end to end.
 
@@ -188,9 +191,21 @@ def run(
         analyzed in streaming mode — constant memory, never
         materialized — and the session carries a ``"streaming-decode"``
         note.  Mutually exclusive with ``program_or_workload``.
+    :param shards: analyze the trace K-ways sharded
+        (:func:`~repro.trace.analyze_trace_sharded`) — identical report
+        fingerprint, parallel-friendly; the session then has no single
+        ``detector`` (``None``) and carries a ``"sharded:K"`` note.
+        Trace sessions only (a live run is inherently sequential), and
+        not combinable with framed streaming files (sharding needs the
+        materialized event stream).
     """
     tool = resolve_tool(config) if config is not None else ToolConfig.helgrind_lib_spin(7)
 
+    if shards is not None and trace is None:
+        raise ValueError(
+            "shards parallelizes offline trace analysis; live runs are "
+            "inherently sequential — pass a trace"
+        )
     if trace is not None:
         if program_or_workload is not None:
             raise ValueError("pass either a program/workload or a trace, not both")
@@ -209,6 +224,12 @@ def run(
             if framed:
                 # A store-framed file: stream it — constant memory, no
                 # materialized Trace, identical report fingerprint.
+                if shards is not None:
+                    raise ValueError(
+                        "shards needs the materialized event stream; framed "
+                        "trace files are analyzed in streaming mode — load "
+                        "the Trace explicitly to shard it"
+                    )
                 stream = open_trace_file(path)
                 analysis = analyze_trace_streaming(stream, tool)
                 return SessionResult(
@@ -223,6 +244,22 @@ def run(
                     notes=analysis.notes,
                 )
             trace = Trace.from_json(path.read_text())
+        if shards is not None:
+            from repro.trace import analyze_trace_sharded
+
+            sharded = analyze_trace_sharded(trace, tool, shards=shards)
+            return SessionResult(
+                program=None,
+                config=tool,
+                seed=trace.seed,
+                report=sharded.report,
+                result=synthesize_result(trace),
+                detector=None,
+                machine=None,
+                run_s=sharded.duration_s,
+                trace=trace,
+                notes=(f"sharded:{shards}",),
+            )
         analysis = analyze_trace(trace, tool)
         return SessionResult(
             program=None,

@@ -1,0 +1,647 @@
+"""Sharded parallel trace analysis: partition-by-region replay + merge.
+
+Offline replay removed the VM from the analysis loop (PR 6); this module
+removes the *single core* from it.  A stored trace's access events are
+partitioned by address region into K shards, each shard is analyzed by
+an ordinary per-shard :class:`~repro.detectors.RaceDetector` running the
+same batched merge loop as ``consume_batch``, and a merge pass
+reconciles the per-shard results into one report whose
+``Report.fingerprint()`` is **bit-identical** to unsharded
+:func:`~repro.trace.analyze_trace` — on every preset, including
+partial (deadlock/livelock/fault-truncated) traces.
+
+Why this is sound
+-----------------
+
+Detector work is dominated by per-access checks that depend only on
+(a) the accessing thread's vector clock, (b) the shadow cell of the
+accessed address, and (c) the thread's lockset.  Two event classes
+cross address boundaries and are therefore **replicated to every
+shard** at their original sequence numbers:
+
+* all control/sync events (thread lifecycle, library annotations,
+  marked-loop traffic) — they drive clocks, locksets, the ad-hoc
+  classifier, and the condvar monitor;
+* every access to a *global* address — an address that sources
+  cross-address happens-before or lockset state: the ad-hoc engine's
+  classified sync variables (their writes are counterpart-write
+  sources, their reads take the induced hb edge) and inferred lock
+  words (their CAS/store traffic drives acquire/release).  The global
+  set is computed by a pre-scan that replays the ad-hoc classifier's
+  loop-stack gating over the control stream.
+
+A replicated *foreign* access updates clock/record state without
+running race checks: reads go through the ad-hoc matcher only
+(:meth:`~repro.detectors.adhoc.AdhocSyncEngine.sync_read` — reads never
+tick a clock), writes through
+:meth:`~repro.detectors.base.VectorClockAlgorithm.observe_write`
+(record maintenance + the writer's epoch tick, no checks).  Every
+happens-before edge among a shard's delivered events therefore has both
+endpoints delivered, so the happens-before relation restricted to the
+shard's events equals the global one restricted to the same events —
+numeric clock values differ across shards (each shard ticks only its
+delivered writes) but every ``saw()`` outcome, lockset, suppression
+decision, and classification instant matches the unsharded run.  Race
+checks for an address run in exactly one shard (its owner), so
+``accesses_checked`` and the warning stream partition exactly.
+
+The merge pass re-checks the per-shard results against the global
+happens-before state: normalized vector-clock frontiers (own clock
+minus delivered writes — the cross-shard invariant), the classifier
+and note state (identical in every shard by construction), and the
+seq-tagged warning submissions, which are replayed in global order
+through a fresh capped :class:`~repro.detectors.reports.Report` so the
+global 1000-context cap and cross-shard context deduplication behave
+exactly as they would have unsharded.
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from heapq import heapify, heappop, heappush
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.detectors import ToolConfig
+from repro.detectors.reports import CONTEXT_CAP, RaceWarning, Report
+from repro.trace.trace import (
+    Trace,
+    _build_detector,
+    _filtered_batches,
+    _validate_replay,
+)
+from repro.vm import events as ev
+
+
+class ShardMergeError(RuntimeError):
+    """A cross-shard invariant failed during the merge pass.
+
+    Sharding is an optimization with a bit-identity contract; a merge
+    that cannot prove the contract held refuses to produce a report
+    rather than producing a silently different one.
+    """
+
+
+# ---------------------------------------------------------------------------
+# The per-shard report: a Report that journals every submission with the
+# event sequence number it was raised at, so the merge pass can replay
+# the global submission order.
+
+
+class ShardReport(Report):
+    """A :class:`Report` that journals seq-tagged warning submissions.
+
+    The per-shard context set and cap behave locally (a shard can never
+    exceed what the global run would admit — its contexts are a subset
+    of the global run's at every point), but the authoritative state is
+    :attr:`submissions`: every ``add`` call with the sequence number of
+    the access that raised it.  The merge pass replays the concatenated,
+    seq-sorted submissions of all shards through a fresh capped report.
+
+    Instances also carry the shard's merge payload (frontier, delivered
+    write counts, classifier state, stats) so a shard outcome pickles
+    through the result cache as a plain :class:`Report` subclass with no
+    schema changes elsewhere.
+    """
+
+    def __init__(
+        self, tool: str = "", cap: int = CONTEXT_CAP, granularity: str = "symbol"
+    ) -> None:
+        super().__init__(tool=tool, cap=cap, granularity=granularity)
+        #: every ``add`` call as ``(seq, warning)`` in submission order
+        self.submissions: List[Tuple[int, RaceWarning]] = []
+        #: sequence number of the access currently being checked
+        self.current_seq = -1
+        self.shard_index = 0
+        self.shard_count = 1
+        #: per-thread own-clock component at end of shard replay
+        self.frontier: Dict[int, int] = {}
+        #: per-thread count of writes this shard delivered (owned+foreign)
+        self.writes_delivered: Dict[int, int] = {}
+        #: ad-hoc classifier state (identical in every shard)
+        self.sync_addrs: FrozenSet[int] = frozenset()
+        self.inferred_locks: FrozenSet[int] = frozenset()
+        #: (loops_entered, loop_exits, cond_reads, edges)
+        self.adhoc_stats: Tuple[int, int, int, int] = (0, 0, 0, 0)
+        self.adhoc_edges = 0
+        self.accesses_checked = 0
+        self.detector_words = 0
+        #: events this shard delivered (reads+writes+ctrl, post-filter)
+        self.events_delivered = 0
+        #: events of the full filtered stream (identical in every shard;
+        #: the merged analysis reports this, not the per-shard count)
+        total_events = 0
+        self.total_events = total_events
+
+    def add(self, warning: RaceWarning) -> bool:
+        self.submissions.append((self.current_seq, warning))
+        return super().add(warning)
+
+
+# ---------------------------------------------------------------------------
+# Partitioning
+
+
+@dataclass
+class ShardPlan:
+    """Address-ownership plan for one (trace, config, K) combination.
+
+    Regions are the trace's symbol segments (plus hashed buckets for
+    anonymous addresses); whole regions are assigned to shards by
+    longest-processing-time greedy balancing on observed access counts.
+    Correctness never depends on the assignment — any owner map yields
+    a bit-identical merge — only load balance does.
+    """
+
+    shards: int
+    #: addr -> owning shard index (every observed address has an owner)
+    owner_of: Dict[int, int]
+    #: addresses replicated to every shard (sync flags, lock words, and
+    #: lib sync objects while lock inference is active)
+    global_addrs: FrozenSet[int]
+    #: distinct regions observed across the filtered access stream
+    region_count: int = 0
+    #: per-shard owned access counts (balance observability)
+    loads: Tuple[int, ...] = ()
+    #: accesses replicated beyond their owner shard
+    replicated: int = 0
+
+
+def _global_addrs(
+    trace: Trace, config: ToolConfig, writes: Sequence[tuple], ctrl: Sequence[tuple]
+) -> Set[int]:
+    """Addresses whose accesses must be replicated to every shard.
+
+    Replays the ad-hoc classifier's per-thread loop-stack gating over
+    the (already config-filtered) control stream to find every address
+    that will ever be classified as a sync variable, and — under lock
+    inference — adds the lock words (atomic writes at inferred acquire
+    sites) plus the library sync-object addresses, whose held-lock state
+    the inferred-release check (``value == 0 and holds(tid, addr)``)
+    can consult.  The set is the *final* classification: classification
+    is monotone, so replicating from sequence zero only adds accesses
+    that predate an address's classification — harmless, since the
+    foreign paths never run race checks.
+    """
+    addrs: Set[int] = set()
+    if config.spin:
+        stacks: Dict[int, List[int]] = {}
+        for _, e in ctrl:
+            te = type(e)
+            if te is ev.MarkedLoopEnter:
+                stack = stacks.setdefault(e.tid, [])
+                if not stack or stack[-1] != e.loop_id:
+                    stack.append(e.loop_id)
+            elif te is ev.MarkedLoopExit:
+                stack = stacks.get(e.tid)
+                if stack and stack[-1] == e.loop_id:
+                    stack.pop()
+            elif te is ev.MarkedCondRead:
+                stack = stacks.get(e.tid)
+                if stack and e.loop_id in stack:
+                    addrs.add(e.addr)
+    if config.infer_locks and trace.lock_sites:
+        lock_sites = trace.lock_sites
+        for w in writes:
+            # (seq, tid, addr, value, loc, atomic, in_library)
+            if w[5] and w[4] in lock_sites:
+                addrs.add(w[2])
+        for _, e in ctrl:
+            if isinstance(e, (ev.LibEnter, ev.LibExit)):
+                if e.obj_addr is not None:
+                    addrs.add(e.obj_addr)
+                if getattr(e, "obj2_addr", None) is not None:
+                    addrs.add(e.obj2_addr)
+    return addrs
+
+
+def plan_shards(trace: Trace, config: ToolConfig, shards: int) -> ShardPlan:
+    """Build the ownership plan for ``shards``-way analysis of ``trace``."""
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    reads, writes, ctrl = _filtered_batches(trace, config)
+    global_addrs = frozenset(_global_addrs(trace, config, writes, ctrl))
+
+    # Region of an address: its symbol segment, else a hashed bucket so
+    # anonymous (heap/stack) addresses still spread across shards.
+    segs = sorted((base, base + size, i) for i, (_, base, size) in enumerate(trace.symbols))
+    bases = [s[0] for s in segs]
+    anon_buckets = max(8 * shards, 1)
+
+    def region_of(addr: int):
+        i = bisect_right(bases, addr) - 1
+        if i >= 0 and addr < segs[i][1]:
+            return segs[i][2]
+        return -1 - (addr % anon_buckets)
+
+    region_counts: Dict[int, int] = {}
+    region_memo: Dict[int, int] = {}
+    for batch in (reads, writes):
+        for t in batch:
+            addr = t[2]
+            region = region_memo.get(addr)
+            if region is None:
+                region = region_of(addr)
+                region_memo[addr] = region
+            region_counts[region] = region_counts.get(region, 0) + 1
+
+    # LPT greedy: heaviest region first onto the least-loaded shard.
+    heap = [(0, idx) for idx in range(shards)]
+    heapify(heap)
+    region_owner: Dict[int, int] = {}
+    for region, count in sorted(region_counts.items(), key=lambda rc: (-rc[1], rc[0])):
+        load, idx = heappop(heap)
+        region_owner[region] = idx
+        heappush(heap, (load + count, idx))
+    loads = [0] * shards
+    for region, count in region_counts.items():
+        loads[region_owner[region]] += count
+
+    owner_of = {addr: region_owner[region] for addr, region in region_memo.items()}
+    # Global addresses touched only by control events (e.g. lib sync
+    # objects) never appear in the access stream; park them on shard 0.
+    for addr in global_addrs:
+        owner_of.setdefault(addr, 0)
+    replicated = sum(
+        1
+        for batch in (reads, writes)
+        for t in batch
+        if t[2] in global_addrs
+    ) * (shards - 1)
+    return ShardPlan(
+        shards=shards,
+        owner_of=owner_of,
+        global_addrs=global_addrs,
+        region_count=len(region_counts),
+        loads=tuple(loads),
+        replicated=replicated,
+    )
+
+
+def _split_streams(
+    reads: Sequence[tuple], writes: Sequence[tuple], plan: ShardPlan
+) -> List[Tuple[list, list]]:
+    """One O(N) pass producing each shard's (reads, writes) streams."""
+    shards = plan.shards
+    owner_of = plan.owner_of
+    global_addrs = plan.global_addrs
+    out: List[Tuple[list, list]] = [([], []) for _ in range(shards)]
+    for which, batch in ((0, reads), (1, writes)):
+        if shards == 1:
+            out[0][which].extend(batch)
+            continue
+        for t in batch:
+            addr = t[2]
+            if addr in global_addrs:
+                for slices in out:
+                    slices[which].append(t)
+            else:
+                out[owner_of[addr]][which].append(t)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Per-shard replay
+
+
+def _run_shard(
+    trace: Trace,
+    config: ToolConfig,
+    plan: ShardPlan,
+    index: int,
+    reads: Sequence[tuple],
+    writes: Sequence[tuple],
+    ctrl: Sequence[tuple],
+    total_events: int,
+) -> ShardReport:
+    """Replay one shard's streams through a fresh detector.
+
+    Mirrors ``RaceDetector.consume_batch``'s three-way seq merge, with
+    two extra dispatch arms for replicated *foreign* accesses (ad-hoc
+    matcher only for reads, ``observe_write`` for writes) and seq
+    tagging of warning submissions.  Returns the finalized
+    :class:`ShardReport` carrying the merge payload.
+    """
+    detector = _build_detector(trace, config)
+    report = ShardReport(tool=config.name, granularity=config.context_granularity)
+    report.shard_index = index
+    report.shard_count = plan.shards
+    report.total_events = total_events
+    # The detector façade and the algorithm share one report object; the
+    # shard swap must keep that identity.
+    detector.report = report
+    detector.algorithm.report = report
+
+    foreign = frozenset(
+        a for a in plan.global_addrs if plan.owner_of.get(a, 0) != index
+    )
+    cfg = detector.config
+    skip_lib = cfg.intercept_lib
+    algo = detector.algorithm
+    aread, awrite = algo.read, algo.write
+    observe = algo.observe_write
+    sync_read = (
+        detector.adhoc.sync_read
+        if detector.adhoc is not None and cfg.adhoc_variable_level
+        else None
+    )
+    lock_sites = detector.lock_sites
+    writes_delivered: Dict[int, int] = {}
+
+    nr, nw, nc = len(reads), len(writes), len(ctrl)
+    detector.events_processed += nr + nw
+    i = j = k = 0
+    inf = float("inf")
+    while i < nr or j < nw or k < nc:
+        rs = reads[i][0] if i < nr else inf
+        ws = writes[j][0] if j < nw else inf
+        cs = ctrl[k][0] if k < nc else inf
+        if rs < ws and rs < cs:
+            r = reads[i]
+            i += 1
+            if skip_lib and r[6]:
+                continue
+            if sync_read is not None:
+                sync_read(r[1], r[2], r[3])
+            if r[2] in foreign:
+                # Foreign read: the ad-hoc edge (if any) was taken above;
+                # reads never tick a clock, so nothing else to mirror.
+                continue
+            report.current_seq = r[0]
+            aread(r[1], r[2], r[4], r[5])
+        elif ws < cs:
+            w = writes[j]
+            j += 1
+            if skip_lib and w[6]:
+                continue
+            if lock_sites:
+                detector._inferred_lock_write_fields(w[1], w[2], w[3], w[4], w[5])
+            writes_delivered[w[1]] = writes_delivered.get(w[1], 0) + 1
+            if w[2] in foreign:
+                observe(w[1], w[2], w[3], w[4], w[5])
+            else:
+                report.current_seq = w[0]
+                awrite(w[1], w[2], w[3], w[4], w[5])
+        else:
+            e = ctrl[k][1]
+            k += 1
+            detector(e)
+
+    detector.finalize(partial=trace.status != "ok")
+    report.frontier = {tid: tc.clock for tid, tc in algo.threads.items()}
+    report.writes_delivered = writes_delivered
+    if detector.adhoc is not None:
+        adhoc = detector.adhoc
+        report.sync_addrs = frozenset(adhoc.sync_addrs)
+        report.inferred_locks = frozenset(adhoc.inferred_locks)
+        report.adhoc_stats = (
+            adhoc.loops_entered, adhoc.loop_exits, adhoc.cond_reads, adhoc.edges
+        )
+    report.adhoc_edges = algo.adhoc_edges
+    report.accesses_checked = algo.accesses_checked
+    report.detector_words = detector.memory_words()
+    report.events_delivered = detector.events_processed
+    return report
+
+
+def run_shard(
+    trace: Trace, config, index: int, shards: int
+) -> ShardReport:
+    """Analyze exactly one shard of ``trace`` (the grand-sweep work unit).
+
+    Recomputes the deterministic plan and filters the streams down to
+    shard ``index`` in a single pass — a worker process needs nothing
+    from its siblings.  The returned :class:`ShardReport` is the
+    payload later reconciled by :func:`merge_shard_reports`.
+    """
+    from repro.harness.registry import resolve_tool  # lazy: import cycle
+
+    config = resolve_tool(config)
+    _validate_replay(trace, config)
+    if not 0 <= index < shards:
+        raise ValueError(f"shard index {index} out of range for {shards} shards")
+    reads, writes, ctrl = _filtered_batches(trace, config)
+    total_events = len(reads) + len(writes) + len(ctrl)
+    plan = plan_shards(trace, config, shards)
+    if shards > 1:
+        owner_of = plan.owner_of
+        global_addrs = plan.global_addrs
+        reads = [
+            t for t in reads if t[2] in global_addrs or owner_of[t[2]] == index
+        ]
+        writes = [
+            t for t in writes if t[2] in global_addrs or owner_of[t[2]] == index
+        ]
+    return _run_shard(trace, config, plan, index, reads, writes, ctrl, total_events)
+
+
+# ---------------------------------------------------------------------------
+# The merge pass
+
+
+def _require(condition: bool, what: str) -> None:
+    if not condition:
+        raise ShardMergeError(f"shard merge invariant violated: {what}")
+
+
+def merge_shard_reports(reports: Sequence[ShardReport]) -> Report:
+    """Reconcile per-shard reports into the global, bit-identical report.
+
+    Verifies the cross-shard invariants (the "re-check against global
+    happens-before state"): every shard must agree on the classifier
+    state, the finalize notes, and the *normalized* vector-clock
+    frontier — each thread's own clock minus the writes that shard
+    delivered for it, which cancels the only legitimate cross-shard
+    clock divergence and exposes any dropped or double-applied sync
+    edge.  Then replays the seq-sorted warning submissions through a
+    fresh capped report, reconstructing the global context cap,
+    deduplication, and raw submission count exactly.
+    """
+    if not reports:
+        raise ShardMergeError("no shard reports to merge")
+    reports = sorted(reports, key=lambda r: r.shard_index)
+    k = reports[0].shard_count
+    _require(len(reports) == k, f"expected {k} shards, got {len(reports)}")
+    _require(
+        [r.shard_index for r in reports] == list(range(k)),
+        f"shard indices {[r.shard_index for r in reports]} are not 0..{k - 1}",
+    )
+    first = reports[0]
+    for r in reports[1:]:
+        _require(r.shard_count == k, "inconsistent shard counts")
+        _require(r.tool == first.tool, "inconsistent tools")
+        _require(r.granularity == first.granularity, "inconsistent granularity")
+        _require(r.partial == first.partial, "inconsistent partial flags")
+        _require(r.total_events == first.total_events, "inconsistent event totals")
+        _require(list(r.notes) == list(first.notes), "diverging finalize notes")
+        _require(r.sync_addrs == first.sync_addrs, "diverging sync classification")
+        _require(r.inferred_locks == first.inferred_locks, "diverging inferred locks")
+        _require(r.adhoc_stats == first.adhoc_stats, "diverging ad-hoc statistics")
+        _require(r.adhoc_edges == first.adhoc_edges, "diverging ad-hoc edge counts")
+
+    # Normalized frontier: own clock minus delivered writes must agree
+    # across shards for every thread (sync-op ticks are replicated, so
+    # delivered-write counts are the only legitimate divergence).
+    tids = set()
+    for r in reports:
+        tids.update(r.frontier)
+    for tid in sorted(tids):
+        norms = {
+            r.frontier.get(tid, 1) - r.writes_delivered.get(tid, 0)
+            for r in reports
+        }
+        _require(
+            len(norms) == 1,
+            f"thread {tid} frontier disagreement across shards: {sorted(norms)}",
+        )
+
+    submissions: List[Tuple[int, RaceWarning]] = []
+    for r in reports:
+        submissions.extend(r.submissions)
+    submissions.sort(key=lambda s: s[0])  # stable: each seq lives in one shard
+
+    merged = Report(tool=first.tool, cap=CONTEXT_CAP, granularity=first.granularity)
+    for _, warning in submissions:
+        merged.add(warning)
+    merged.partial = first.partial
+    merged.notes = list(first.notes)
+    return merged
+
+
+# ---------------------------------------------------------------------------
+# End-to-end entry point
+
+
+@dataclass
+class ShardedAnalysis:
+    """Result of one sharded VM-free analysis of a recorded execution."""
+
+    trace: Trace
+    config: ToolConfig
+    #: the merged report — fingerprint-identical to ``analyze_trace``'s
+    report: Report
+    plan: ShardPlan
+    #: the per-shard reports the merge reconciled
+    shard_reports: List[ShardReport] = field(default_factory=list)
+    #: events of the full filtered stream (matches the unsharded count)
+    events: int = 0
+    #: wall-clock of split + shard replay + merge, seconds
+    duration_s: float = 0.0
+    shards: int = 1
+    workers: int = 0
+    #: sum of per-shard detector footprints, words (observability)
+    detector_words: int = 0
+    #: ad-hoc hb edges (identical per shard; shard 0's count)
+    adhoc_edges: int = 0
+
+
+def _shard_worker(conn, trace, config, plan, slices, ctrl, total_events, indices):
+    """Forked child: run a batch of shards, ship the reports back."""
+    try:
+        out = []
+        for index in indices:
+            sreads, swrites = slices[index]
+            out.append(
+                _run_shard(trace, config, plan, index, sreads, swrites, ctrl, total_events)
+            )
+        conn.send(("ok", out))
+    except BaseException as exc:  # ship the failure, don't hang the parent
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+def analyze_trace_sharded(
+    trace: Trace,
+    config,
+    shards: int = 4,
+    workers: int = 0,
+) -> ShardedAnalysis:
+    """Analyze a stored trace K-ways-parallel with a bit-identical report.
+
+    ``workers=0`` runs the shards serially in-process (useful for
+    differential testing and on fork-less platforms); ``workers>0``
+    fans the shards over forked worker processes — the parent splits
+    the streams once and children inherit them copy-on-write, so each
+    worker touches ~1/K of the access stream.  ``config`` may be a
+    :class:`~repro.detectors.ToolConfig` or a preset name.  ``shards=1``
+    still runs the full partition/replay/merge pipeline, making the
+    degenerate case a real identity test of the machinery.
+    """
+    from repro.harness.registry import resolve_tool  # lazy: import cycle
+
+    config = resolve_tool(config)
+    _validate_replay(trace, config)
+    t0 = time.perf_counter()
+    reads, writes, ctrl = _filtered_batches(trace, config)
+    total_events = len(reads) + len(writes) + len(ctrl)
+    plan = plan_shards(trace, config, shards)
+    slices = _split_streams(reads, writes, plan)
+
+    workers = min(workers, shards) if workers > 0 else 0
+    shard_reports: List[Optional[ShardReport]] = [None] * shards
+    if workers > 1:
+        import multiprocessing
+
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-fork platform
+            ctx = None
+        if ctx is not None:
+            chunks: List[List[int]] = [[] for _ in range(workers)]
+            for index in range(shards):
+                chunks[index % workers].append(index)
+            procs = []
+            for chunk in chunks:
+                recv, send = ctx.Pipe(duplex=False)
+                p = ctx.Process(
+                    target=_shard_worker,
+                    args=(send, trace, config, plan, slices, ctrl, total_events, chunk),
+                    daemon=True,
+                )
+                p.start()
+                send.close()
+                procs.append((p, recv, chunk))
+            errors = []
+            for p, recv, chunk in procs:
+                try:
+                    status, payload = recv.recv()
+                except EOFError:
+                    status, payload = "error", f"shard worker for {chunk} died"
+                if status == "ok":
+                    for report in payload:
+                        shard_reports[report.shard_index] = report
+                else:
+                    errors.append(payload)
+                p.join()
+            if errors:
+                raise ShardMergeError("; ".join(errors))
+        else:  # pragma: no cover - non-fork platform
+            workers = 0
+    if workers <= 1:
+        for index in range(shards):
+            sreads, swrites = slices[index]
+            shard_reports[index] = _run_shard(
+                trace, config, plan, index, sreads, swrites, ctrl, total_events
+            )
+
+    reports = [r for r in shard_reports if r is not None]
+    merged = merge_shard_reports(reports)
+    duration = time.perf_counter() - t0
+    return ShardedAnalysis(
+        trace=trace,
+        config=config,
+        report=merged,
+        plan=plan,
+        shard_reports=reports,
+        events=total_events,
+        duration_s=duration,
+        shards=shards,
+        workers=workers,
+        detector_words=sum(r.detector_words for r in reports),
+        adhoc_edges=reports[0].adhoc_edges,
+    )

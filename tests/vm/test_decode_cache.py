@@ -171,8 +171,15 @@ class TestFingerprintMemo:
 
 
 class TestResultCacheKey:
-    def test_schema_is_6(self):
-        assert CACHE_SCHEMA == 6
+    def test_schema_is_7(self):
+        assert CACHE_SCHEMA == 7
+
+    def test_shard_is_part_of_the_key(self):
+        from repro.harness.checkpoint import spec_key
+
+        spec = RunSpec(workload="streamcluster", config="drd", trace_mode="replay")
+        sharded = dataclasses.replace(spec, shard="0/4")
+        assert spec_key(spec) != spec_key(sharded)
 
     def test_predecoded_is_part_of_the_key(self, tmp_path):
         cache = ResultCache(tmp_path)
