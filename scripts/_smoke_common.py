@@ -1,0 +1,129 @@
+"""Shared plumbing for the ``scripts/*_smoke.py`` CI checks.
+
+Every smoke test repeats the same skeleton: make ``import repro`` work
+from a source checkout, build a scratch directory under the repo root
+that is removed even on failure, print a ``FAIL:`` line and exit
+non-zero on the first violation, and — for the kill-and-resume family —
+launch itself as a ``--child`` subprocess in its own session, poll the
+journal until enough records landed, then SIGKILL the whole process
+group.  This module is that skeleton, written once.
+
+Import it first; importing has the side effect of putting ``src/`` on
+``sys.path`` so the subsequent ``repro`` imports resolve::
+
+    from _smoke_common import REPO, fail, workdir, spawn_child, sigkill_when
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Iterator, List, Optional, Union
+
+#: the repository root (the parent of ``scripts/``)
+REPO = Path(__file__).resolve().parent.parent
+
+
+def bootstrap() -> None:
+    """Put ``src/`` on ``sys.path`` so ``import repro`` works uninstalled."""
+    path = str(REPO / "src")
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+
+bootstrap()
+
+
+def fail(msg: str) -> None:
+    """Print a ``FAIL:`` line and exit non-zero — the smoke-test verdict."""
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def parsec_names(limit: Optional[int] = None) -> List[str]:
+    """The PARSEC workload names every smoke subset draws from."""
+    from repro.workloads import parsec_workloads
+
+    names = [wl.name for wl in parsec_workloads()]
+    return names[:limit] if limit is not None else names
+
+
+def journal_entries(journal_dir: Path) -> int:
+    """Completed records in a sweep journal (header line excluded)."""
+    files = list(Path(journal_dir).glob("sweep-*.jsonl"))
+    if not files:
+        return 0
+    return max(len(files[0].read_text().splitlines()) - 1, 0)
+
+
+@contextlib.contextmanager
+def workdir(name: str) -> Iterator[Path]:
+    """A fresh scratch directory under the repo root, removed on exit."""
+    work = REPO / name
+    shutil.rmtree(work, ignore_errors=True)
+    work.mkdir(parents=True)
+    try:
+        yield work
+    finally:
+        shutil.rmtree(work, ignore_errors=True)
+
+
+def spawn_child(script: Union[str, Path], *argv: str, **popen_kwargs) -> subprocess.Popen:
+    """Relaunch ``script`` as ``--child`` in its own session.
+
+    ``start_new_session=True`` puts the child and every worker it forks
+    in one process group, so a later :func:`sigkill_group` takes the
+    workers down with it — a SIGKILL that leaves orphans behind tests
+    nothing.
+    """
+    return subprocess.Popen(
+        [sys.executable, str(script), "--child", *argv],
+        cwd=REPO,
+        start_new_session=True,
+        **popen_kwargs,
+    )
+
+
+def sigkill_group(proc: subprocess.Popen) -> None:
+    """SIGKILL the child's whole process group and reap it."""
+    try:
+        os.killpg(proc.pid, signal.SIGKILL)
+    finally:
+        proc.wait()
+
+
+def sigkill_when(
+    proc: subprocess.Popen,
+    progressed: Callable[[], int],
+    *,
+    min_count: int = 1,
+    timeout_s: float = 120.0,
+    what: str = "child",
+) -> int:
+    """Poll ``progressed()`` until it reaches ``min_count``, then SIGKILL.
+
+    Fails the smoke test if the child exits first (nothing left to
+    kill) or makes no progress within ``timeout_s``.  Returns the final
+    ``progressed()`` value observed after the kill landed.
+    """
+    deadline = time.monotonic() + timeout_s
+    try:
+        while True:
+            done = progressed()
+            if done >= min_count:
+                break
+            if proc.poll() is not None:
+                fail(f"{what} finished before it could be killed")
+            if time.monotonic() > deadline:
+                fail(f"{what} made no progress in {timeout_s:.0f}s")
+            time.sleep(0.01)
+        os.killpg(proc.pid, signal.SIGKILL)
+    finally:
+        proc.wait()
+    return progressed()

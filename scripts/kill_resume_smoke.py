@@ -19,16 +19,17 @@ Exits non-zero (with a message) on any violation.  Used by the CI
 from __future__ import annotations
 
 import json
-import os
-import shutil
-import signal
-import subprocess
 import sys
-import time
 from pathlib import Path
 
-REPO = Path(__file__).resolve().parent.parent
-sys.path.insert(0, str(REPO / "src"))
+from _smoke_common import (
+    fail,
+    journal_entries,
+    parsec_names,
+    sigkill_when,
+    spawn_child,
+    workdir,
+)
 
 from repro.harness.parallel import ResultCache, run_sweep, sweep_specs  # noqa: E402
 
@@ -44,10 +45,7 @@ STABLE_FIELDS = (
 
 
 def _specs():
-    from repro.workloads import parsec_workloads
-
-    names = [wl.name for wl in parsec_workloads()]
-    return sweep_specs(names, TOOLS, SEEDS)
+    return sweep_specs(parsec_names(), TOOLS, SEEDS)
 
 
 def stable(rec):
@@ -57,20 +55,8 @@ def stable(rec):
     )
 
 
-def fail(msg: str) -> None:
-    print(f"FAIL: {msg}", file=sys.stderr)
-    sys.exit(1)
-
-
 def child_main(journal_dir: str) -> None:
     run_sweep(_specs(), workers=2, journal_dir=journal_dir)
-
-
-def journal_entries(journal_dir: Path) -> int:
-    files = list(journal_dir.glob("sweep-*.jsonl"))
-    if not files:
-        return 0
-    return max(len(files[0].read_text().splitlines()) - 1, 0)
 
 
 def kill_resume_check(work: Path) -> None:
@@ -80,26 +66,13 @@ def kill_resume_check(work: Path) -> None:
     baseline = run_sweep(specs, workers=0)
 
     print("launching journaled 2-worker sweep to be SIGKILLed ...")
-    proc = subprocess.Popen(
-        [sys.executable, __file__, "--child", str(journal_dir)],
-        cwd=REPO,
-        start_new_session=True,  # so the kill takes the workers down too
+    proc = spawn_child(__file__, str(journal_dir))
+    pre_kill = sigkill_when(
+        proc,
+        lambda: journal_entries(journal_dir),
+        min_count=2,
+        what="child sweep",
     )
-    deadline = time.monotonic() + 120
-    try:
-        while True:
-            done = journal_entries(journal_dir)
-            if done >= 2:
-                break
-            if proc.poll() is not None:
-                fail("child sweep finished before it could be killed")
-            if time.monotonic() > deadline:
-                fail("child sweep produced no journal entries in 120s")
-            time.sleep(0.01)
-        os.killpg(proc.pid, signal.SIGKILL)
-    finally:
-        proc.wait()
-    pre_kill = journal_entries(journal_dir)
     if pre_kill >= len(specs):
         fail("sweep completed before the kill landed; nothing to resume")
     print(f"killed with {pre_kill}/{len(specs)} records journaled")
@@ -157,14 +130,9 @@ def main() -> None:
     if len(sys.argv) >= 3 and sys.argv[1] == "--child":
         child_main(sys.argv[2])
         return
-    work = REPO / ".repro-resume-smoke"
-    shutil.rmtree(work, ignore_errors=True)
-    work.mkdir(parents=True)
-    try:
+    with workdir(".repro-resume-smoke") as work:
         kill_resume_check(work)
         cache_corruption_check(work)
-    finally:
-        shutil.rmtree(work, ignore_errors=True)
     print("kill-resume smoke: all checks passed")
 
 

@@ -22,12 +22,9 @@ Exits non-zero (with a message) on any violation.  Used by the CI
 from __future__ import annotations
 
 import os
-import shutil
-import sys
 from pathlib import Path
 
-REPO = Path(__file__).resolve().parent.parent
-sys.path.insert(0, str(REPO / "src"))
+from _smoke_common import fail, parsec_names, workdir
 
 from repro.harness.parallel import run_sweep, sweep_specs  # noqa: E402
 from repro.harness.resources import BALLAST_ENV, ResourceBudget  # noqa: E402
@@ -52,19 +49,11 @@ GOVERNED = dict(heartbeat_s=0.02, hung_after_s=10, timeout_s=120)
 
 
 def _specs():
-    from repro.workloads import parsec_workloads
-
-    names = [wl.name for wl in parsec_workloads()][:4]
-    return sweep_specs(names, TOOLS, SEEDS)
+    return sweep_specs(parsec_names(4), TOOLS, SEEDS)
 
 
 def stable(rec):
     return tuple(getattr(rec, f) for f in STABLE_FIELDS)
-
-
-def fail(msg: str) -> None:
-    print(f"FAIL: {msg}", file=sys.stderr)
-    sys.exit(1)
 
 
 def measure_natural_peak(work: Path):
@@ -183,15 +172,10 @@ def poison_check(work: Path, natural_peak: int) -> None:
 
 
 def main() -> None:
-    work = REPO / ".repro-oom-smoke"
-    shutil.rmtree(work, ignore_errors=True)
-    work.mkdir(parents=True)
-    try:
+    with workdir(".repro-oom-smoke") as work:
         baseline, natural_peak = measure_natural_peak(work)
         budget_degrade_check(work, baseline, natural_peak)
         poison_check(work, natural_peak)
-    finally:
-        shutil.rmtree(work, ignore_errors=True)
     print("oom smoke: all checks passed")
 
 

@@ -20,12 +20,8 @@ Exits non-zero (with a message) on any violation.  Used by the CI
 from __future__ import annotations
 
 import dataclasses
-import shutil
-import sys
-from pathlib import Path
 
-REPO = Path(__file__).resolve().parent.parent
-sys.path.insert(0, str(REPO / "src"))
+from _smoke_common import fail, parsec_names, workdir
 
 from repro.harness.parallel import (  # noqa: E402
     ResultCache,
@@ -39,22 +35,12 @@ SECOND_TOOLS = ["drd", "eraser"]
 SEEDS = [1]
 LIMIT = 4
 
-WORK = REPO / ".replay-smoke"
-
 
 def _specs(tools, trace_mode):
-    from repro.workloads import parsec_workloads
-
-    names = [wl.name for wl in parsec_workloads()][:LIMIT]
     return [
         dataclasses.replace(s, trace_mode=trace_mode)
-        for s in sweep_specs(names, tools, SEEDS)
+        for s in sweep_specs(parsec_names(LIMIT), tools, SEEDS)
     ]
-
-
-def fail(msg: str) -> None:
-    print(f"FAIL: {msg}", file=sys.stderr)
-    sys.exit(1)
 
 
 def fingerprints(result):
@@ -64,9 +50,8 @@ def fingerprints(result):
     }
 
 
-def main() -> None:
-    shutil.rmtree(WORK, ignore_errors=True)
-    trace_dir = WORK / "traces"
+def check(work) -> int:
+    trace_dir = work / "traces"
 
     # 1. live baseline, both preset sets
     live = run_sweep(_specs(FIRST_TOOLS + SECOND_TOOLS, "live"), workers=0)
@@ -104,15 +89,19 @@ def main() -> None:
         fail(f"second preset set grew the store to {len(store)} entries")
 
     # 4. cached replay re-run executes nothing
-    cache = ResultCache(WORK / "cache")
+    cache = ResultCache(work / "cache")
     first = run_sweep(_specs(FIRST_TOOLS, "replay"), workers=0, cache=cache)
     again = run_sweep(_specs(FIRST_TOOLS, "replay"), workers=0, cache=cache)
     if again.summary().executed != 0 or again.summary().cached != len(first.records):
         fail("cached replay re-run re-executed instead of serving the cache")
+    return len(baseline)
 
-    shutil.rmtree(WORK, ignore_errors=True)
+
+def main() -> None:
+    with workdir(".replay-smoke") as work:
+        cells = check(work)
     print(
-        f"replay smoke OK: {len(baseline)} live cells matched across "
+        f"replay smoke OK: {cells} live cells matched across "
         f"{len(FIRST_TOOLS) + len(SECOND_TOOLS)} presets from {LIMIT} recordings"
     )
 

@@ -17,27 +17,21 @@ Exits non-zero (with a message) on any violation.  Used by the CI
 
 from __future__ import annotations
 
-import os
-import shutil
-import signal
-import subprocess
 import sys
-import time
-from pathlib import Path
 
-REPO = Path(__file__).resolve().parent.parent
-sys.path.insert(0, str(REPO / "src"))
+from _smoke_common import (
+    fail,
+    journal_entries,
+    sigkill_when,
+    spawn_child,
+    workdir,
+)
 
 from repro.harness.grand import grand_specs, run_grand_sweep  # noqa: E402
 
 TOOLS = ["helgrind-lib", "helgrind-lib-spin7"]
 SHARDS = 2
 SUITE_LIMIT = 4
-
-
-def fail(msg: str) -> None:
-    print(f"FAIL: {msg}", file=sys.stderr)
-    sys.exit(1)
 
 
 def child_main(journal_dir: str) -> None:
@@ -51,44 +45,21 @@ def child_main(journal_dir: str) -> None:
     )
 
 
-def journal_entries(journal_dir: Path) -> int:
-    files = list(journal_dir.glob("sweep-*.jsonl"))
-    if not files:
-        return 0
-    return max(len(files[0].read_text().splitlines()) - 1, 0)
-
-
 def main() -> None:
     if len(sys.argv) >= 3 and sys.argv[1] == "--child":
         child_main(sys.argv[2])
         return
-    work = REPO / ".repro-shard-smoke"
-    shutil.rmtree(work, ignore_errors=True)
-    work.mkdir(parents=True)
-    journal_dir = work / "journal"
-    try:
+    with workdir(".repro-shard-smoke") as work:
+        journal_dir = work / "journal"
         total = len(grand_specs(SHARDS, TOOLS, SUITE_LIMIT, True))
         print(f"launching journaled 2-worker grand sweep ({total} shard units) ...")
-        proc = subprocess.Popen(
-            [sys.executable, __file__, "--child", str(journal_dir)],
-            cwd=REPO,
-            start_new_session=True,  # so the kill takes the workers down too
+        proc = spawn_child(__file__, str(journal_dir))
+        pre_kill = sigkill_when(
+            proc,
+            lambda: journal_entries(journal_dir),
+            min_count=4,
+            what="child grand sweep",
         )
-        deadline = time.monotonic() + 120
-        try:
-            while True:
-                done = journal_entries(journal_dir)
-                if done >= 4:
-                    break
-                if proc.poll() is not None:
-                    fail("child grand sweep finished before it could be killed")
-                if time.monotonic() > deadline:
-                    fail("child grand sweep journaled nothing in 120s")
-                time.sleep(0.01)
-            os.killpg(proc.pid, signal.SIGKILL)
-        finally:
-            proc.wait()
-        pre_kill = journal_entries(journal_dir)
         if pre_kill >= total:
             fail("grand sweep completed before the kill landed")
         print(f"killed with {pre_kill}/{total} shard units journaled")
@@ -126,8 +97,6 @@ def main() -> None:
             f"{len(result.cells)} cells merged, every fingerprint "
             "bit-identical to unsharded analysis"
         )
-    finally:
-        shutil.rmtree(work, ignore_errors=True)
     print("shard smoke: all checks passed")
 
 

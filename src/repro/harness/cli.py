@@ -492,6 +492,57 @@ def cmd_f8(args: argparse.Namespace) -> int:
     return 1 if s["mismatches"] else 0
 
 
+def cmd_f9(args: argparse.Namespace) -> int:
+    """Service load: requests/s and p50/p99 for cold/cached/degraded."""
+    from repro.harness.perf import (
+        measure_service,
+        service_summary,
+        write_service_bench,
+    )
+
+    requests = args.limit or 24
+    tool = args.tool or f"helgrind-lib-spin{args.k}"
+    workers = args.workers or 2
+    rows = measure_service(requests=requests, workers=workers, tool=tool)
+    s = service_summary(rows)
+    for r in rows:
+        print(
+            f"F9 service [{r.path:>8}]: {r.requests_per_s:8.1f} req/s   "
+            f"p50 {r.p50_ms:7.2f}ms   p99 {r.p99_ms:7.2f}ms   "
+            f"({r.requests} requests, {r.clients} clients, {r.workers} workers)"
+        )
+    print(
+        f"F9 service: cached p99 {s.get('cached_speedup_p99', 0.0):.1f}x faster "
+        f"than cold; {s['errors']} error(s), {s['mismatches']} fingerprint "
+        f"mismatch(es)"
+    )
+    out = _bench_out(args, "f9")
+    if out:
+        write_service_bench(out, {"service": rows})
+        print(f"wrote {out}")
+    return 1 if (s["errors"] or s["mismatches"]) else 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the analysis service daemon (HTTP JSON + optional stdin-JSONL)."""
+    from repro.service.app import serve
+
+    work_dir = args.work_dir or ".repro-service"
+    serve(
+        work_dir=work_dir,
+        host=args.host,
+        port=args.port,
+        workers=args.workers or 2,
+        queue_depth=args.queue_depth,
+        tenant_rate=args.tenant_rate,
+        tenant_burst=args.tenant_burst,
+        default_deadline_s=args.timeout or 60.0,
+        budget=_budget(args),
+        stdin_jsonl=args.stdin_jsonl,
+    )
+    return 0
+
+
 #: the figure registry — one entry per ``f*`` subcommand (see
 #: :class:`Figure`).  Order here is display/run order everywhere.
 FIGURES = {
@@ -528,6 +579,12 @@ FIGURES = {
             "sharded re-analysis throughput (vs unsharded)",
             cmd_f8,
             "BENCH_shard.json",
+        ),
+        Figure(
+            "f9",
+            "service load (req/s + latency: cold/cached/degraded)",
+            cmd_f9,
+            "BENCH_service.json",
         ),
     )
 }
@@ -1049,11 +1106,46 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="triage replay: replay the minimized repro instead of the full trace",
     )
     parser.add_argument(
+        "--host", default="127.0.0.1", help="serve: bind address"
+    )
+    parser.add_argument(
+        "--port", type=int, default=8077, help="serve: TCP port (0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--work-dir",
+        default=None,
+        help="serve: daemon state directory (journal, cache, spool; "
+        "default .repro-service)",
+    )
+    parser.add_argument(
+        "--queue-depth",
+        type=int,
+        default=32,
+        help="serve: bounded admission queue depth (full = 429 backpressure)",
+    )
+    parser.add_argument(
+        "--tenant-rate",
+        type=float,
+        default=16.0,
+        help="serve: sustained requests/s per tenant (token-bucket refill)",
+    )
+    parser.add_argument(
+        "--tenant-burst",
+        type=float,
+        default=32.0,
+        help="serve: per-tenant burst capacity (token-bucket size)",
+    )
+    parser.add_argument(
+        "--stdin-jsonl",
+        action="store_true",
+        help="serve: also accept newline-delimited JSON requests on stdin",
+    )
+    parser.add_argument(
         "experiment",
         choices=[
             "t1", "t2", "t3", "t4", "t5", *FIGURES,
             "cases", "oracle", "sweep", "grand", "chaos", "tools", "cache",
-            "triage", "trace", "all",
+            "triage", "trace", "serve", "all",
         ],
         help="which experiment to run",
     )
@@ -1082,6 +1174,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "cache": cmd_cache,
         "triage": cmd_triage,
         "trace": cmd_trace,
+        "serve": cmd_serve,
     }
     if args.experiment == "all":
         for name in ("t1", "t2", "t3", "t4", "t5", *FIGURES):

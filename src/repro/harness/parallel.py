@@ -37,13 +37,16 @@ statistics, and :func:`summarize_records` folds them into the
 
 from __future__ import annotations
 
+import contextlib
 import errno
 import hashlib
 import logging
 import multiprocessing
 import os
 import pickle
+import signal
 import struct
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field, replace
@@ -82,6 +85,8 @@ __all__ = [
     "SweepResult",
     "SweepSummary",
     "TRACE_MODES",
+    "WorkerExit",
+    "WorkerPool",
     "default_workers",
     "outcome_status",
     "prewarm_static",
@@ -929,6 +934,12 @@ def _child_main(
     sweep's memory budget.  ``degraded`` marks a post-preemption retry:
     replay specs then analyze their trace in streaming mode instead of
     materializing it.
+
+    ``spec`` is normally a :class:`RunSpec`, but any object exposing
+    ``execute(machine_sink=..., streaming=..., trace_dir=...)`` is
+    accepted — the hook other schedulers (the analysis service's
+    trace-upload units in particular) use to ride the same supervised
+    worker path without teaching :func:`_execute_spec` their payloads.
     """
     import gc
     import threading
@@ -974,12 +985,16 @@ def _child_main(
 
         threading.Thread(target=_beat, daemon=True).start()
     try:
-        outcome = _execute_spec(
-            spec,
-            trace_dir=trace_dir,
-            machine_sink=lambda m: machine_box.__setitem__("machine", m),
-            streaming=degraded,
-        )
+        sink = lambda m: machine_box.__setitem__("machine", m)  # noqa: E731
+        execute = getattr(spec, "execute", None)
+        if callable(execute):
+            outcome = execute(
+                machine_sink=sink, streaming=degraded, trace_dir=trace_dir
+            )
+        else:
+            outcome = _execute_spec(
+                spec, trace_dir=trace_dir, machine_sink=sink, streaming=degraded
+            )
         stop.set()
         with send_lock:
             conn.send(("ok", outcome))
@@ -1025,6 +1040,39 @@ def _run_serial(
 
 def default_workers() -> int:
     return max(1, os.cpu_count() or 1)
+
+
+@contextlib.contextmanager
+def _sigterm_as_interrupt():
+    """Convert SIGTERM into :class:`KeyboardInterrupt` for the block.
+
+    A daemon supervisor (systemd, the service engine, ``kill``) delivers
+    SIGTERM where an interactive user delivers SIGINT; both deserve the
+    same graceful teardown — reap workers, flush the journal, return the
+    partial result with ``interrupted=True``.  Signal handlers can only
+    be installed from the main thread; elsewhere (e.g. the service
+    engine's executor threads) this is a no-op and the caller's own
+    cancellation path applies.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def _raise(signum, frame):
+        raise KeyboardInterrupt(f"SIGTERM (signal {signum})")
+
+    try:
+        prev = signal.signal(signal.SIGTERM, _raise)
+    except ValueError:  # pragma: no cover - non-main interpreter thread
+        yield
+        return
+    try:
+        yield
+    finally:
+        try:
+            signal.signal(signal.SIGTERM, prev)
+        except (ValueError, TypeError):  # pragma: no cover
+            pass
 
 
 def run_sweep(
@@ -1107,6 +1155,10 @@ def run_sweep(
     A ``KeyboardInterrupt`` mid-sweep kills and reaps every live
     worker, flushes the journal, and returns the partial result with
     ``interrupted=True`` instead of losing the finished records.
+    ``SIGTERM`` (what a daemon supervisor sends) gets the identical
+    treatment: while the sweep runs on the main thread it is converted
+    to ``KeyboardInterrupt``, so a terminated sweep still reaps its
+    workers and keeps its journal.
     """
     specs = list(specs)
     for spec in specs:
@@ -1184,46 +1236,49 @@ def run_sweep(
 
     interrupted = False
     try:
-        if needs_traces and pending:
-            # Record every missing cell once, before any dispatch: the
-            # whole point of record/replay sweeps is one execution per
-            # (program, scheduler, seed, faults) cell, however many tool
-            # configs fan out over it.
-            prewarm_traces(
-                (specs[i] for i, *_ in pending), trace_dir, store=trace_store
-            )
-        if workers <= 0:
-            _run_serial(
-                specs,
-                [(i, key) for i, key, *_ in pending],
-                outcomes,
-                records,
-                cache,
-                journal,
-                trace_dir=trace_dir,
-            )
-        elif pending:
-            _run_pool(
-                specs,
-                pending,
-                outcomes,
-                records,
-                cache,
-                workers,
-                timeout_s,
-                retries,
-                poll_interval_s,
-                journal=journal,
-                heartbeat_s=heartbeat_s,
-                hung_after_s=hung_after_s,
-                slow_grace=slow_grace,
-                poison_threshold=poison_threshold,
-                trace_dir=trace_dir,
-                budget=budget,
-            )
+        with _sigterm_as_interrupt():
+            if needs_traces and pending:
+                # Record every missing cell once, before any dispatch:
+                # the whole point of record/replay sweeps is one
+                # execution per (program, scheduler, seed, faults) cell,
+                # however many tool configs fan out over it.
+                prewarm_traces(
+                    (specs[i] for i, *_ in pending), trace_dir, store=trace_store
+                )
+            if workers <= 0:
+                _run_serial(
+                    specs,
+                    [(i, key) for i, key, *_ in pending],
+                    outcomes,
+                    records,
+                    cache,
+                    journal,
+                    trace_dir=trace_dir,
+                )
+            elif pending:
+                _run_pool(
+                    specs,
+                    pending,
+                    outcomes,
+                    records,
+                    cache,
+                    workers,
+                    timeout_s,
+                    retries,
+                    poll_interval_s,
+                    journal=journal,
+                    heartbeat_s=heartbeat_s,
+                    hung_after_s=hung_after_s,
+                    slow_grace=slow_grace,
+                    poison_threshold=poison_threshold,
+                    trace_dir=trace_dir,
+                    budget=budget,
+                )
     except KeyboardInterrupt:
         # Children are already reaped (the pool's finally); keep every
-        # finished record instead of throwing the sweep away.
+        # finished record instead of throwing the sweep away.  SIGTERM
+        # arrives here too (converted by _sigterm_as_interrupt): a
+        # daemon supervisor's stop is an interrupt, not a crash.
         interrupted = True
     finally:
         if journal is not None:
@@ -1332,12 +1387,14 @@ def prewarm_static(specs: Iterable[RunSpec]) -> int:
 class _Worker:
     """Parent-side supervision state for one live worker process."""
 
-    index: int
-    key: str
+    token: object
     conn: object
     attempt: int
     start_t: float
     deadline: Optional[float]
+    #: per-submission flat timeout (``None`` → untimed); the slow-grace
+    #: multiplier applies to this value
+    timeout_s: Optional[float] = None
     #: most recent VM step counter reported over the heartbeat channel
     last_steps: int = -1
     #: monotonic time of the last *advancing* heartbeat (or spawn)
@@ -1347,6 +1404,231 @@ class _Worker:
     #: the worker is a degraded (streaming-mode) retry after an
     #: over-budget preemption
     degraded: bool = False
+
+
+@dataclass(frozen=True)
+class WorkerExit:
+    """One supervised worker's terminal event (:meth:`WorkerPool.poll`).
+
+    ``kind`` is ``"ok"`` (``payload`` is the outcome), ``"crash"``,
+    ``"error"``, ``"timeout"``, ``"hung"`` (``payload`` is the error
+    text), or ``"oom"`` (the worker was preempted over the pool's RSS
+    cap; ``payload`` is the offending RSS sample).  The pool only
+    *observes and kills* — retry, poison, and degraded-mode policy
+    belong to the caller, which correlates events via ``token``.
+    """
+
+    token: object
+    kind: str
+    payload: object
+    attempt: int
+    degraded: bool
+    peak_rss: int = 0
+
+
+#: sentinel distinguishing "no per-submit override" from an explicit None
+_POOL_DEFAULT = object()
+
+
+class WorkerPool:
+    """Supervised fork-isolated worker processes, submitted to incrementally.
+
+    The execution substrate both :func:`run_sweep` and the analysis
+    service daemon (:mod:`repro.service`) schedule onto.  Each
+    :meth:`submit` forks one short-lived process running
+    :func:`_child_main`; :meth:`poll` performs one non-blocking
+    supervision pass — drains heartbeats, distinguishes hung workers
+    (step counter frozen past ``hung_after_s``) from slow ones (granted
+    up to ``slow_grace * timeout``), preempts workers whose self-sampled
+    RSS exceeds ``rss_cap`` — and returns a :class:`WorkerExit` per
+    worker that finished or was killed.  All *policy* (retries, poison
+    quarantine, degraded re-queues, journaling) stays with the caller:
+    the pool never re-runs anything on its own.
+
+    ``submit`` accepts :class:`RunSpec` objects or any unit exposing
+    ``execute(machine_sink=..., streaming=..., trace_dir=...)``; with
+    the fork start method, closure-built units ship for free.
+    ``timeout_s`` at submit overrides the pool default per request —
+    the seam the service's per-request deadlines ride on.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        timeout_s: Optional[float] = None,
+        heartbeat_s: Optional[float] = None,
+        hung_after_s: Optional[float] = None,
+        slow_grace: float = 4.0,
+        rss_cap: Optional[int] = None,
+        trace_dir: Optional[Union[str, Path]] = None,
+    ) -> None:
+        self.workers = max(1, workers)
+        self.timeout_s = timeout_s
+        self.heartbeat_s = heartbeat_s
+        if heartbeat_s is not None and hung_after_s is None:
+            hung_after_s = 10.0 * heartbeat_s
+        self.hung_after_s = hung_after_s
+        self.slow_grace = slow_grace
+        self.rss_cap = rss_cap
+        self.trace_dir = trace_dir
+        self.ctx = _mp_context()
+        self._active: Dict = {}  # proc -> _Worker
+
+    @property
+    def active(self) -> int:
+        """Live worker processes under supervision."""
+        return len(self._active)
+
+    @property
+    def free_slots(self) -> int:
+        return max(0, self.workers - len(self._active))
+
+    def submit(
+        self,
+        spec,
+        token: object = None,
+        attempt: int = 1,
+        degraded: bool = False,
+        timeout_s: object = _POOL_DEFAULT,
+    ) -> None:
+        """Fork one worker for ``spec``.  Over-submission is allowed —
+        ``free_slots`` is the caller's throttle, not an enforced cap."""
+        parent_conn, child_conn = self.ctx.Pipe(duplex=False)
+        proc = self.ctx.Process(
+            target=_child_main,
+            args=(spec, child_conn, self.heartbeat_s, self.trace_dir, degraded),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        now = time.monotonic()
+        limit = self.timeout_s if timeout_s is _POOL_DEFAULT else timeout_s
+        worker = _Worker(
+            token=token,
+            conn=parent_conn,
+            attempt=attempt,
+            start_t=now,
+            deadline=None if limit is None else now + limit,
+            timeout_s=limit,
+            degraded=degraded,
+        )
+        worker.last_progress_t = now
+        self._active[proc] = worker
+
+    def _exit(self, w: _Worker, kind: str, payload: object) -> WorkerExit:
+        return WorkerExit(
+            token=w.token,
+            kind=kind,
+            payload=payload,
+            attempt=w.attempt,
+            degraded=w.degraded,
+            peak_rss=w.peak_rss,
+        )
+
+    def poll(self) -> List[WorkerExit]:
+        """One supervision pass; returns every worker that terminated."""
+        exits: List[WorkerExit] = []
+        finished = []
+        for proc, w in self._active.items():
+            conn = w.conn
+            done = False
+            while conn.poll(0):
+                try:
+                    msg = conn.recv()
+                    kind, payload = msg[0], msg[1]
+                except (EOFError, pickle.UnpicklingError) as exc:
+                    kind, payload = "crash", f"unreadable result: {exc}"
+                if kind == "hb":
+                    now = time.monotonic()
+                    if payload > w.last_steps:
+                        w.last_steps = payload
+                        w.last_progress_t = now
+                    rss = msg[2] if len(msg) > 2 else 0
+                    if rss > w.peak_rss:
+                        w.peak_rss = rss
+                    if self.rss_cap is not None and rss > self.rss_cap:
+                        # Over the memory budget: kill now, report the
+                        # sample; degraded-retry-vs-poison is policy.
+                        _kill(proc)
+                        log.warning(
+                            "worker oom-preempted: rss=%d cap=%d attempt=%d "
+                            "degraded=%s",
+                            rss, self.rss_cap, w.attempt, w.degraded,
+                        )
+                        exits.append(self._exit(w, "oom", rss))
+                        conn.close()
+                        finished.append(proc)
+                        done = True
+                        break
+                    continue
+                if kind == "ok":
+                    exits.append(self._exit(w, "ok", payload))
+                elif kind == "crash":
+                    exits.append(self._exit(w, "crash", str(payload)))
+                else:
+                    exits.append(self._exit(w, "error", str(payload)))
+                _reap(proc)
+                conn.close()
+                finished.append(proc)
+                done = True
+                break
+            if done:
+                continue
+            now = time.monotonic()
+            if not proc.is_alive():
+                # Died without delivering a result: hard crash.
+                proc.join()
+                exits.append(self._exit(w, "crash", f"exit code {proc.exitcode}"))
+                conn.close()
+                finished.append(proc)
+            elif (
+                self.heartbeat_s is not None
+                and self.hung_after_s is not None
+                and now - w.last_progress_t > self.hung_after_s
+            ):
+                # No VM progress for the whole hang window: hung,
+                # regardless of how much flat timeout remains.
+                _kill(proc)
+                exits.append(
+                    self._exit(
+                        w,
+                        "hung",
+                        f"no VM progress for {self.hung_after_s:.3g}s "
+                        f"(last step count {w.last_steps})",
+                    )
+                )
+                conn.close()
+                finished.append(proc)
+            elif w.deadline is not None and now > w.deadline:
+                progressing = (
+                    self.heartbeat_s is not None
+                    and now - w.last_progress_t <= self.hung_after_s
+                    and now < w.start_t + w.timeout_s * max(self.slow_grace, 1.0)
+                )
+                if progressing:
+                    continue  # slow but advancing: grant grace
+                _kill(proc)
+                limit = (
+                    w.timeout_s * max(self.slow_grace, 1.0)
+                    if self.heartbeat_s is not None
+                    else w.timeout_s
+                )
+                exits.append(self._exit(w, "timeout", f"exceeded {limit:.3g}s"))
+                conn.close()
+                finished.append(proc)
+        for proc in finished:
+            del self._active[proc]
+        return exits
+
+    def shutdown(self) -> None:
+        """Kill *and reap* every live worker (no zombies), close pipes."""
+        for proc, w in self._active.items():
+            _kill(proc)
+            try:
+                w.conn.close()
+            except Exception:
+                pass
+        self._active.clear()
 
 
 def _run_pool(
@@ -1367,19 +1649,24 @@ def _run_pool(
     trace_dir: Optional[Union[str, Path]] = None,
     budget: Optional[ResourceBudget] = None,
 ) -> None:
-    ctx = _mp_context()
-    if ctx.get_start_method() == "fork":
+    pool = WorkerPool(
+        workers,
+        timeout_s=timeout_s,
+        heartbeat_s=heartbeat_s,
+        hung_after_s=hung_after_s,
+        slow_grace=slow_grace,
+        rss_cap=budget.max_rss_bytes if budget is not None else None,
+        trace_dir=trace_dir,
+    )
+    if pool.ctx.get_start_method() == "fork":
         # Warm the decode/instrumentation caches once in the parent so
         # every forked child inherits them copy-on-write; a 120-case
         # sweep then decodes each distinct program once, not per run.
         prewarm_static(specs[i] for i, *_ in pending)
     max_attempts = 1 + max(0, retries)
-    if heartbeat_s is not None and hung_after_s is None:
-        hung_after_s = 10.0 * heartbeat_s
-    rss_cap = budget.max_rss_bytes if budget is not None else None
+    rss_cap = pool.rss_cap
     wall_budget_s = budget.wall_budget_s if budget is not None else None
     pool_start = time.monotonic()
-    active: Dict = {}  # proc -> _Worker
     #: per-spec count of kill-class failures (timeout/crash/hung)
     infra_counts: Dict[int, int] = {}
     #: per-spec count of over-budget preemptions
@@ -1446,23 +1733,18 @@ def _run_pool(
                                degraded)
             )
 
-    def preempt_oom(proc, w: "_Worker", rss: int) -> None:
-        """Kill an over-budget worker; degraded retry, then quarantine.
+    def preempt_oom(i: int, key: str, exit: WorkerExit) -> None:
+        """Policy for a pool-preempted worker: degraded retry, then
+        quarantine.
 
         Never a terminal failure: the first preemption re-queues the
         spec in degraded (streaming) mode *outside* the normal attempt
         budget; a repeat offender — over budget even degraded — goes to
         the poison quarantine.  Either way the sweep keeps going.
         """
-        i, key = w.index, w.key
-        _kill(proc)
         oom_counts[i] = oom_counts.get(i, 0) + 1
-        log.warning(
-            "worker oom-preempted: spec=%d rss=%d cap=%d attempt=%d degraded=%s",
-            i, rss, rss_cap, w.attempt, w.degraded,
-        )
-        if not w.degraded:
-            pending.append((i, key, w.attempt + 1, True))
+        if not exit.degraded:
+            pending.append((i, key, exit.attempt + 1, True))
         else:
             commit(
                 i,
@@ -1472,17 +1754,17 @@ def _run_pool(
                     _failure_record(
                         specs[i],
                         "poison",
-                        w.attempt,
-                        f"oom-preempted: rss {rss} over budget {rss_cap} "
-                        f"({oom_counts[i]} preemption(s), degraded retry "
-                        f"included)",
+                        exit.attempt,
+                        f"oom-preempted: rss {exit.payload} over budget "
+                        f"{rss_cap} ({oom_counts[i]} preemption(s), "
+                        f"degraded retry included)",
                     ),
                     True,
                 ),
             )
 
     try:
-        while pending or active:
+        while pending or pool.active:
             if (
                 wall_budget_s is not None
                 and pending
@@ -1504,137 +1786,39 @@ def _run_pool(
                             f"{wall_budget_s:.3g}s exhausted",
                         ),
                     )
-            while pending and len(active) < workers:
+            while pending and pool.free_slots:
                 i, key, attempt, degraded = pending.popleft()
-                parent_conn, child_conn = ctx.Pipe(duplex=False)
-                proc = ctx.Process(
-                    target=_child_main,
-                    args=(specs[i], child_conn, heartbeat_s, trace_dir, degraded),
-                    daemon=True,
+                pool.submit(
+                    specs[i], token=(i, key), attempt=attempt, degraded=degraded
                 )
-                proc.start()
-                child_conn.close()
-                now = time.monotonic()
-                active[proc] = _Worker(
-                    index=i,
-                    key=key,
-                    conn=parent_conn,
-                    attempt=attempt,
-                    start_t=now,
-                    deadline=None if timeout_s is None else now + timeout_s,
-                    degraded=degraded,
-                )
-                active[proc].last_progress_t = now
 
-            finished = []
-            for proc, w in active.items():
-                i, key, conn, attempt = w.index, w.key, w.conn, w.attempt
-                done = False
-                while conn.poll(0):
-                    try:
-                        msg = conn.recv()
-                        kind, payload = msg[0], msg[1]
-                    except (EOFError, pickle.UnpicklingError) as exc:
-                        kind, payload = "crash", f"unreadable result: {exc}"
-                    if kind == "hb":
-                        now = time.monotonic()
-                        if payload > w.last_steps:
-                            w.last_steps = payload
-                            w.last_progress_t = now
-                        rss = msg[2] if len(msg) > 2 else 0
-                        if rss > w.peak_rss:
-                            w.peak_rss = rss
-                            if rss > peak_rss_by_index.get(i, 0):
-                                peak_rss_by_index[i] = rss
-                        if rss_cap is not None and rss > rss_cap:
-                            preempt_oom(proc, w, rss)
-                            conn.close()
-                            finished.append(proc)
-                            done = True
-                            break
-                        continue
-                    if kind == "ok":
-                        finish_ok(i, key, payload, attempt, degraded=w.degraded)
-                    elif kind == "crash":
-                        retry_or_fail(
-                            i, key, attempt, "crash", str(payload),
-                            degraded=w.degraded,
-                        )
-                    else:
-                        retry_or_fail(
-                            i, key, attempt, "error", str(payload),
-                            degraded=w.degraded,
-                        )
-                    _reap(proc)
-                    conn.close()
-                    finished.append(proc)
-                    done = True
-                    break
-                if done:
-                    continue
-                now = time.monotonic()
-                if not proc.is_alive():
-                    # Died without delivering a result: hard crash.
-                    proc.join()
-                    retry_or_fail(
-                        i, key, attempt, "crash", f"exit code {proc.exitcode}",
-                        degraded=w.degraded,
+            exits = pool.poll()
+            for exit in exits:
+                i, key = exit.token
+                if exit.peak_rss > peak_rss_by_index.get(i, 0):
+                    peak_rss_by_index[i] = exit.peak_rss
+                if exit.kind == "ok":
+                    finish_ok(
+                        i, key, exit.payload, exit.attempt, degraded=exit.degraded
                     )
-                    conn.close()
-                    finished.append(proc)
-                elif (
-                    heartbeat_s is not None
-                    and hung_after_s is not None
-                    and now - w.last_progress_t > hung_after_s
-                ):
-                    # No VM progress for the whole hang window: hung,
-                    # regardless of how much flat timeout remains.
-                    _kill(proc)
+                elif exit.kind == "oom":
+                    preempt_oom(i, key, exit)
+                else:
                     retry_or_fail(
                         i,
                         key,
-                        attempt,
-                        "hung",
-                        f"no VM progress for {hung_after_s:.3g}s "
-                        f"(last step count {w.last_steps})",
-                        degraded=w.degraded,
+                        exit.attempt,
+                        exit.kind,
+                        str(exit.payload),
+                        degraded=exit.degraded,
                     )
-                    conn.close()
-                    finished.append(proc)
-                elif w.deadline is not None and now > w.deadline:
-                    progressing = (
-                        heartbeat_s is not None
-                        and now - w.last_progress_t <= hung_after_s
-                        and now < w.start_t + timeout_s * max(slow_grace, 1.0)
-                    )
-                    if progressing:
-                        continue  # slow but advancing: grant grace
-                    _kill(proc)
-                    limit = (
-                        timeout_s * max(slow_grace, 1.0)
-                        if heartbeat_s is not None
-                        else timeout_s
-                    )
-                    retry_or_fail(
-                        i, key, attempt, "timeout", f"exceeded {limit:.3g}s",
-                        degraded=w.degraded,
-                    )
-                    conn.close()
-                    finished.append(proc)
-            for proc in finished:
-                del active[proc]
-            if not finished and active:
+            if not exits and pool.active:
                 time.sleep(poll_interval_s)
     finally:
         # Runs on normal exit, KeyboardInterrupt, and errors alike:
         # every live child is killed *and reaped* (no zombies), every
         # pipe closed.
-        for proc, w in active.items():
-            _kill(proc)
-            try:
-                w.conn.close()
-            except Exception:
-                pass
+        pool.shutdown()
 
 
 def _reap(proc) -> None:

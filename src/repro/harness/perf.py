@@ -1217,3 +1217,256 @@ def write_shard_bench(
 def load_shard_baseline(path: Union[str, Path]) -> Optional[Dict[str, object]]:
     """Load a committed ``BENCH_shard.json`` (``None`` if absent)."""
     return load_baseline(path)
+
+
+# ---------------------------------------------------------------------------
+# F9 — service load: requests/s and latency over the analysis daemon
+
+
+#: the three paths the service benchmark exercises
+F9_PATHS = ("cold", "cached", "degraded")
+
+#: default submission the load benchmark analyzes (small and racy so a
+#: cold cell executes in tens of milliseconds and the verdict is
+#: non-trivial); seeds vary per request to defeat the content cache on
+#: the cold/degraded paths
+F9_WORKLOAD = "locks_mutex_counter_t2"
+
+
+@dataclass(frozen=True)
+class ServiceRow:
+    """One request path measured under concurrent client load.
+
+    Latencies are per-request HTTP round trips (connection, request,
+    response) measured client-side; ``total_s`` is the wall-clock of
+    the whole fan-out, so ``requests_per_s`` reflects real concurrent
+    throughput, not summed latencies.  ``errors`` counts responses
+    whose status differs from the path's expectation (``ok`` for
+    cold/cached, ``degraded`` for degraded) — any error fails the
+    benchmark's correctness assertions.
+    """
+
+    path: str
+    requests: int
+    clients: int
+    workers: int
+    total_s: float
+    p50_ms: float
+    p99_ms: float
+    errors: int
+    #: every verdict fingerprint matched the direct-session oracle
+    fingerprints_match: bool = True
+
+    @property
+    def requests_per_s(self) -> float:
+        return self.requests / self.total_s if self.total_s > 0 else 0.0
+
+
+def _pct(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    idx = min(len(sorted_values) - 1, max(0, int(round(q * (len(sorted_values) - 1)))))
+    return sorted_values[idx]
+
+
+def measure_service(
+    requests: int = 24,
+    clients: int = 8,
+    workers: int = 2,
+    workload: str = F9_WORKLOAD,
+    tool: str = "helgrind-lib-spin7",
+    max_steps: int = 60_000,
+    verify_fingerprints: bool = True,
+) -> List[ServiceRow]:
+    """Drive a real daemon over HTTP with concurrent clients, three ways.
+
+    Boots the full engine + HTTP transport on an ephemeral port, then
+    measures each path with ``clients`` concurrent connections spread
+    over two tenants:
+
+    * **cold** — ``requests`` distinct submissions (seed-varied), every
+      one executed on the worker pool;
+    * **cached** — the same submissions again, served from the journaled
+      verdict index with zero recomputation;
+    * **degraded** — fresh seeds under forced resource pressure
+      (:data:`repro.service.engine.FORCE_PRESSURE_ENV`), each analyzed
+      as a streaming trace replay.
+
+    With ``verify_fingerprints`` every cold verdict is checked against
+    a direct in-process :func:`repro.run` of the same cell — the bench
+    doubles as a golden-response sweep.
+    """
+    import asyncio
+    import http.client
+    import os
+    import time as _time
+
+    from repro.service.app import _handle_http
+    from repro.service.engine import FORCE_PRESSURE_ENV, Engine
+
+    import tempfile
+
+    rows: List[ServiceRow] = []
+
+    async def drive(port: int, path_name: str, seeds: Sequence[int]) -> ServiceRow:
+        latencies: List[float] = []
+        errors = 0
+        fingerprints: Dict[int, str] = {}
+        expect = "degraded" if path_name == "degraded" else "ok"
+        loop = asyncio.get_running_loop()
+
+        def one_request(i: int, seed: int) -> float:
+            body = json.dumps(
+                {
+                    "v": 1,
+                    "id": f"{path_name}-{i}",
+                    "tenant": "bench-a" if i % 2 == 0 else "bench-b",
+                    "kind": "workload",
+                    "workload": workload,
+                    "tool": tool,
+                    "seed": seed,
+                    "max_steps": max_steps,
+                }
+            ).encode()
+            t0 = _time.perf_counter()
+            conn = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+            try:
+                conn.request(
+                    "POST", "/v1/analyze", body=body,
+                    headers={"Content-Type": "application/json"},
+                )
+                resp = json.loads(conn.getresponse().read().decode())
+            finally:
+                conn.close()
+            elapsed = _time.perf_counter() - t0
+            nonlocal errors
+            if resp.get("status") != expect:
+                errors += 1
+            elif "verdict" in resp:
+                fingerprints[seed] = resp["verdict"]["fingerprint"]
+            return elapsed
+
+        async def client(worklist: Sequence[tuple]) -> None:
+            for i, seed in worklist:
+                # http.client blocks; run each round trip off-loop so
+                # the daemon (same loop) keeps scheduling underneath.
+                latencies.append(await loop.run_in_executor(None, one_request, i, seed))
+
+        sliced: List[List[tuple]] = [[] for _ in range(clients)]
+        for i, seed in enumerate(seeds):
+            sliced[i % clients].append((i, seed))
+        start = _time.perf_counter()
+        await asyncio.gather(*(client(chunk) for chunk in sliced if chunk))
+        total_s = _time.perf_counter() - start
+
+        match = True
+        if verify_fingerprints and path_name == "cold" and not errors:
+            import repro
+
+            for seed, fp in fingerprints.items():
+                direct = repro.run(workload, tool, seed=seed, max_steps=max_steps)
+                if direct.fingerprint != fp:
+                    match = False
+                    break
+        lat = sorted(latencies)
+        return ServiceRow(
+            path=path_name,
+            requests=len(seeds),
+            clients=clients,
+            workers=workers,
+            total_s=total_s,
+            p50_ms=_pct(lat, 0.50) * 1000.0,
+            p99_ms=_pct(lat, 0.99) * 1000.0,
+            errors=errors,
+            fingerprints_match=match,
+        )
+
+    async def main() -> None:
+        with tempfile.TemporaryDirectory(prefix="repro-svc-bench-") as td:
+            engine = Engine(
+                td,
+                workers=workers,
+                queue_depth=max(64, requests * 2),
+                tenant_rate=1e9,  # the bench measures the pool, not the bucket
+                tenant_burst=1e9,
+                default_deadline_s=300.0,
+            )
+            await engine.startup()
+            server = await asyncio.start_server(
+                lambda r, w: _handle_http(engine, r, w), "127.0.0.1", 0
+            )
+            port = server.sockets[0].getsockname()[1]
+            forced_before = os.environ.get(FORCE_PRESSURE_ENV)
+            try:
+                cold_seeds = list(range(1, requests + 1))
+                rows.append(await drive(port, "cold", cold_seeds))
+                rows.append(await drive(port, "cached", cold_seeds))
+                os.environ[FORCE_PRESSURE_ENV] = "degraded"
+                degraded_seeds = list(range(requests + 1, 2 * requests + 1))
+                rows.append(await drive(port, "degraded", degraded_seeds))
+            finally:
+                if forced_before is None:
+                    os.environ.pop(FORCE_PRESSURE_ENV, None)
+                else:
+                    os.environ[FORCE_PRESSURE_ENV] = forced_before
+                server.close()
+                await server.wait_closed()
+                await engine.shutdown()
+
+    asyncio.run(main())
+    return rows
+
+
+def service_summary(rows: Sequence[ServiceRow]) -> Dict[str, float]:
+    """Per-path throughput/latency plus the cached-vs-cold speedups."""
+    out: Dict[str, float] = {
+        "requests": sum(r.requests for r in rows),
+        "errors": sum(r.errors for r in rows),
+        "mismatches": sum(1 for r in rows if not r.fingerprints_match),
+    }
+    by_path = {r.path: r for r in rows}
+    for name, r in by_path.items():
+        out[f"{name}_requests_per_s"] = r.requests_per_s
+        out[f"{name}_p50_ms"] = r.p50_ms
+        out[f"{name}_p99_ms"] = r.p99_ms
+    cold, cached = by_path.get("cold"), by_path.get("cached")
+    if cold and cached and cached.p99_ms > 0:
+        out["cached_speedup_p50"] = cold.p50_ms / max(cached.p50_ms, 1e-9)
+        out["cached_speedup_p99"] = cold.p99_ms / cached.p99_ms
+    return out
+
+
+def write_service_bench(
+    path: Union[str, Path],
+    groups: Mapping[str, Sequence[ServiceRow]],
+    extra: Optional[Mapping[str, object]] = None,
+) -> Dict[str, object]:
+    """Write ``BENCH_service.json``: per-path load-test rows + summary."""
+    def row(r: ServiceRow) -> Dict[str, object]:
+        return {
+            "path": r.path,
+            "requests": r.requests,
+            "clients": r.clients,
+            "workers": r.workers,
+            "total_s": round(r.total_s, 6),
+            "requests_per_s": round(r.requests_per_s, 2),
+            "p50_ms": round(r.p50_ms, 3),
+            "p99_ms": round(r.p99_ms, 3),
+            "errors": r.errors,
+            "fingerprints_match": r.fingerprints_match,
+        }
+
+    return write_bench(
+        path,
+        "F9 — service load (requests/s and latency: cold, cached, degraded)",
+        groups,
+        service_summary,
+        row,
+        extra=extra,
+    )
+
+
+def load_service_baseline(path: Union[str, Path]) -> Optional[Dict[str, object]]:
+    """Load a committed ``BENCH_service.json`` (``None`` if absent)."""
+    return load_baseline(path)

@@ -33,7 +33,9 @@ from dataclasses import dataclass
 from typing import Callable, Optional, TypeVar, Union
 
 __all__ = [
+    "PressureReport",
     "ResourceBudget",
+    "assess_pressure",
     "current_rss_bytes",
     "parse_size",
     "peak_rss_bytes",
@@ -141,6 +143,71 @@ class ResourceBudget:
             or self.disk_quota_bytes is not None
             or self.wall_budget_s is not None
         )
+
+
+@dataclass(frozen=True)
+class PressureReport:
+    """One resource-pressure sample against a :class:`ResourceBudget`.
+
+    ``level`` is ``"ok"`` (inside the budget), ``"degraded"`` (past the
+    degrade watermark — callers should shift to streaming/low-memory
+    modes), or ``"critical"`` (past the shed watermark — callers should
+    shed load).  Fractions are ``None`` when the corresponding budget
+    axis is ungoverned.
+    """
+
+    level: str
+    rss_bytes: int
+    rss_frac: Optional[float]
+    disk_bytes: int
+    disk_frac: Optional[float]
+
+    @property
+    def degraded(self) -> bool:
+        return self.level != "ok"
+
+    @property
+    def critical(self) -> bool:
+        return self.level == "critical"
+
+
+def assess_pressure(
+    budget: Optional[ResourceBudget],
+    disk_bytes: int = 0,
+    degrade_at: float = 0.75,
+    shed_at: float = 0.92,
+    rss_bytes: Optional[int] = None,
+) -> PressureReport:
+    """Grade current memory/disk usage against ``budget``.
+
+    The analysis-service daemon samples this between scheduling ticks:
+    ``degraded`` downgrades new work to streaming replay, ``critical``
+    sheds queued load tenant-fairly.  ``disk_bytes`` is whatever the
+    caller meters (cache + store + spool usage); RSS defaults to a live
+    self-sample.  With no budget (or no governed axis) the level is
+    always ``"ok"`` — pressure is only defined against a budget.
+    """
+    rss = current_rss_bytes() if rss_bytes is None else rss_bytes
+    rss_frac: Optional[float] = None
+    disk_frac: Optional[float] = None
+    if budget is not None and budget.max_rss_bytes:
+        rss_frac = rss / budget.max_rss_bytes
+    if budget is not None and budget.disk_quota_bytes:
+        disk_frac = disk_bytes / budget.disk_quota_bytes
+    worst = max((f for f in (rss_frac, disk_frac) if f is not None), default=0.0)
+    if worst >= shed_at:
+        level = "critical"
+    elif worst >= degrade_at:
+        level = "degraded"
+    else:
+        level = "ok"
+    return PressureReport(
+        level=level,
+        rss_bytes=rss,
+        rss_frac=rss_frac,
+        disk_bytes=disk_bytes,
+        disk_frac=disk_frac,
+    )
 
 
 def _jitter(token: str, attempt: int) -> float:

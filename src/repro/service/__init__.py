@@ -1,0 +1,45 @@
+"""Race-detection-as-a-service: the crash-safe multi-tenant daemon.
+
+The hardened front-end over the one-call :func:`repro.run` seam —
+submissions (registry workloads, assembly sources, RPRT trace uploads)
+arrive over HTTP JSON or stdin-JSONL, are validated against a strict
+versioned schema, admitted through per-tenant token-bucket fairness,
+journaled durably, scheduled onto the supervised
+:class:`~repro.harness.parallel.WorkerPool`, and answered with verdicts
+whose report fingerprints are bit-identical to direct session runs.
+
+Layering (one module per concern)::
+
+    schema.py    versioned request/response validation, golden examples
+    fairness.py  token buckets + bounded tenant-fair admission queue
+    journal.py   fsynced request journal + trace-upload spool
+    engine.py    the shared asyncio engine (admission → pool → verdict)
+    app.py       HTTP and stdin-JSONL transports, daemon lifecycle
+    client.py    the ``repro-service-client`` command
+
+See ``docs/internals.md`` §14 for the architecture and failure matrix.
+"""
+
+from repro.service.engine import Engine, report_fingerprint_hex
+from repro.service.fairness import AdmissionQueue, TokenBucket
+from repro.service.journal import RequestJournal
+from repro.service.schema import (
+    SCHEMA_VERSION,
+    SchemaError,
+    Submission,
+    make_response,
+    validate_request,
+)
+
+__all__ = [
+    "AdmissionQueue",
+    "Engine",
+    "RequestJournal",
+    "SCHEMA_VERSION",
+    "SchemaError",
+    "Submission",
+    "TokenBucket",
+    "make_response",
+    "report_fingerprint_hex",
+    "validate_request",
+]

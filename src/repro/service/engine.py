@@ -1,0 +1,623 @@
+"""The analysis engine: admission → journal → worker pool → response.
+
+One :class:`Engine` instance backs every transport.  The life of a
+request::
+
+    validate (schema.py, strict)
+        → content key (spec_key for program cells, payload digest for
+          trace uploads)
+        → verdict index / result cache  — hit: served, zero recompute
+        → admission (fairness.py)       — full/over-rate: backpressure
+        → journal "accepted" (fsync)    — survives SIGKILL from here on
+        → WorkerPool (harness.parallel) — supervised, deadline-killed
+        → journal "done" + cache put    — restart serves it from index
+        → response future resolved
+
+Robustness properties, each asserted by ``scripts/service_smoke.py``:
+
+* **Crash safety** — ``accepted`` is journaled before the client hears
+  anything; a SIGKILL'd daemon reloads the journal, re-runs the
+  accepted-but-unfinished tail (the *drain*) and serves completed keys
+  from the journaled verdict index without recomputation.
+* **Backpressure** — a full admission queue or an over-rate tenant gets
+  an explicit ``backpressure`` response (HTTP 429), never a hang.
+* **Deadlines** — each request's remaining deadline rides the pool's
+  per-submit ``timeout_s``; the pool kills and reaps the worker, the
+  client gets a structured ``error``.
+* **Graceful degradation** — between scheduling ticks the engine grades
+  RSS + disk usage against its :class:`~repro.harness.resources.
+  ResourceBudget` (:func:`~repro.harness.resources.assess_pressure`).
+  Under ``degraded`` pressure new program cells run as streaming trace
+  replays (bounded memory, identical report fingerprint) and responses
+  say so; under ``critical`` pressure queued work is shed tenant-fairly
+  with explicit ``shed`` responses.  The daemon degrades; it does not
+  die.
+
+Program cells reuse the sweep engine's content keys
+(:func:`~repro.harness.checkpoint.spec_key`), so the service shares its
+:class:`~repro.harness.parallel.ResultCache` with offline sweeps — a
+cell the nightly sweep already ran is a cache hit here, and vice versa.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import hashlib
+import logging
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.detectors import ToolConfig
+from repro.harness.checkpoint import spec_key
+from repro.harness.parallel import ResultCache, RunSpec, WorkerExit, WorkerPool
+from repro.harness.registry import resolve_workload
+from repro.harness.resources import ResourceBudget, assess_pressure
+from repro.harness.runner import RunOutcome
+from repro.harness.workload import Workload
+from repro.isa.asm import AsmError, assemble
+from repro.service.fairness import AdmissionQueue
+from repro.service.journal import RequestJournal
+from repro.service.schema import SchemaError, Submission, make_response, validate_request
+
+__all__ = ["Engine", "report_fingerprint_hex"]
+
+log = logging.getLogger("repro.service")
+
+#: test/bench knob: force the pressure level ("ok"|"degraded"|"critical")
+#: regardless of measured usage — drives the degraded benchmark path and
+#: the shed/degrade tests deterministically.
+FORCE_PRESSURE_ENV = "REPRO_SERVICE_FORCE_PRESSURE"
+
+
+def report_fingerprint_hex(report) -> str:
+    """Stable wire form of a report fingerprint: sha256 hex digest."""
+    return hashlib.sha256(report.fingerprint().encode()).hexdigest()
+
+
+def _verdict(outcome: RunOutcome) -> dict:
+    report = outcome.report
+    return {
+        "fingerprint": report_fingerprint_hex(report),
+        "tool": outcome.config.name,
+        "seed": outcome.seed,
+        "run_status": outcome.result.status,
+        "racy_contexts": report.racy_contexts,
+        "warnings": len(report.warnings),
+        "summary": report.summary(),
+    }
+
+
+def _unbuildable() -> None:  # pragma: no cover - never called
+    raise RuntimeError("trace-upload workloads have no program to rebuild")
+
+
+@dataclass(frozen=True)
+class TraceUploadUnit:
+    """A trace-upload work unit riding the pool's ``execute()`` protocol.
+
+    Analyzes a spooled RPRT recording exactly the way a direct
+    ``repro.run(trace=path)`` does — :func:`~repro.trace.open_trace_file`
+    + :func:`~repro.trace.analyze_trace_streaming` — so the served
+    fingerprint is identical to the session API's.  Streaming already,
+    so degraded mode changes nothing.
+    """
+
+    path: str
+    tool: str
+
+    def execute(self, machine_sink=None, streaming=False, trace_dir=None) -> RunOutcome:
+        from repro.trace import analyze_trace_streaming, open_trace_file
+
+        config = ToolConfig.preset(self.tool)
+        stream = open_trace_file(self.path)
+        analysis = analyze_trace_streaming(stream, config)
+        name = f"trace-upload-{Path(self.path).stem[:12]}"
+        return RunOutcome(
+            workload=Workload(name=name, build=_unbuildable),
+            config=config,
+            seed=analysis.meta.get("seed", 0),
+            report=analysis.report,
+            result=analysis.result,
+            duration_s=analysis.duration_s,
+            steps=analysis.meta.get("steps", 0),
+            events=analysis.events,
+            detector_words=0,
+            imap_words=0,
+            spin_loops=0,
+            adhoc_edges=0,
+            trace_mode="replay",
+        )
+
+
+def _trace_upload_key(payload_digest: str, tool: str) -> str:
+    """Content key for a trace upload: payload digest × tool config."""
+    from repro.harness.checkpoint import CACHE_SCHEMA
+
+    config_fields = sorted(dataclasses.asdict(ToolConfig.preset(tool)).items())
+    body = "\n".join(
+        [
+            "service-trace",
+            f"schema={CACHE_SCHEMA}",
+            f"payload={payload_digest}",
+            f"config={config_fields!r}",
+        ]
+    )
+    return hashlib.sha256(body.encode()).hexdigest()
+
+
+@dataclass
+class _Cell:
+    """One admitted request awaiting (or undergoing) execution."""
+
+    key: str
+    sub: Submission
+    #: the canonical live-mode spec (program cells; None for uploads)
+    spec: Optional[RunSpec]
+    #: the upload unit (trace cells; None for program cells)
+    unit: Optional[TraceUploadUnit]
+    accepted_t: float
+    deadline_s: Optional[float]
+    #: response futures of every coalesced client waiting on this key
+    futures: List[asyncio.Future] = field(default_factory=list)
+    degraded: bool = False
+    attempt: int = 1
+
+
+class Engine:
+    """The shared service engine; one instance per daemon process."""
+
+    def __init__(
+        self,
+        work_dir: Union[str, Path],
+        workers: int = 2,
+        queue_depth: int = 32,
+        tenant_rate: float = 16.0,
+        tenant_burst: float = 32.0,
+        default_deadline_s: float = 60.0,
+        budget: Optional[ResourceBudget] = None,
+        poll_interval_s: float = 0.005,
+        heartbeat_s: Optional[float] = 0.05,
+    ) -> None:
+        self.work_dir = Path(work_dir)
+        self.work_dir.mkdir(parents=True, exist_ok=True)
+        self.journal = RequestJournal(self.work_dir / "journal")
+        self.cache = ResultCache(
+            self.work_dir / "cache",
+            quota_bytes=budget.disk_quota_bytes if budget is not None else None,
+        )
+        self.trace_dir = self.work_dir / "traces"
+        self.budget = budget
+        self.default_deadline_s = default_deadline_s
+        self.poll_interval_s = poll_interval_s
+        self.queue = AdmissionQueue(
+            depth=queue_depth, tenant_rate=tenant_rate, tenant_burst=tenant_burst
+        )
+        self.pool = WorkerPool(
+            workers,
+            timeout_s=default_deadline_s,
+            heartbeat_s=heartbeat_s,
+            slow_grace=1.0,  # service deadlines are hard, no slow-grace
+            rss_cap=budget.max_rss_bytes if budget is not None else None,
+            trace_dir=self.trace_dir,
+        )
+        #: content key → journaled response (the verdict index)
+        self.completed: Dict[str, dict] = {}
+        #: content key → in-flight cell (queued or running)
+        self.inflight: Dict[str, _Cell] = {}
+        self.stats = {
+            "received": 0,
+            "invalid": 0,
+            "served_index": 0,
+            "served_cache": 0,
+            "executed": 0,
+            "degraded_runs": 0,
+            "backpressure": 0,
+            "shed": 0,
+            "errors": 0,
+            "drained": 0,
+        }
+        self._task: Optional[asyncio.Task] = None
+        self._stopping = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def startup(self) -> None:
+        """Load the journal, re-queue the in-flight tail, start polling."""
+        pending, completed = self.journal.load()
+        self.completed = completed
+        for key, req in pending.items():
+            cell = self._rebuild_cell(key, req)
+            if cell is None:
+                # Unreconstructable (e.g. spool file lost): answer any
+                # future resubmission honestly instead of crashing.
+                resp = make_response(
+                    "error", error="journaled request could not be rebuilt"
+                )
+                self.journal.done(key, resp)
+                self.completed[key] = resp
+                continue
+            self.inflight[key] = cell
+            self.queue.requeue(cell.sub.tenant, cell.key)
+            self.stats["drained"] += 1
+        if self.stats["drained"]:
+            log.info(
+                "journal drain: re-queued %d in-flight request(s), "
+                "%d completed verdict(s) indexed",
+                self.stats["drained"], len(self.completed),
+            )
+        self._stopping = False
+        self._task = asyncio.ensure_future(self._run())
+
+    async def shutdown(self, drain_s: float = 5.0) -> None:
+        """Stop scheduling; give in-flight work ``drain_s`` to finish."""
+        self._stopping = True
+        deadline = time.monotonic() + drain_s
+        while self.inflight and time.monotonic() < deadline:
+            await asyncio.sleep(self.poll_interval_s)
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+        self.pool.shutdown()
+        for cell in self.inflight.values():
+            self._resolve(
+                cell,
+                make_response(
+                    "error", id=cell.sub.id, error="daemon shutting down"
+                ),
+                journal=False,
+            )
+        self.inflight.clear()
+        self.journal.close()
+
+    # -- request intake -----------------------------------------------------
+
+    async def submit(self, obj: object) -> dict:
+        """Handle one request object end to end; always returns a response."""
+        self.stats["received"] += 1
+        t0 = time.monotonic()
+        try:
+            sub = validate_request(obj)
+        except SchemaError as exc:
+            self.stats["invalid"] += 1
+            rid = obj.get("id") if isinstance(obj, dict) else None
+            return make_response(
+                "invalid", id=rid if isinstance(rid, str) else None, error=str(exc)
+            )
+
+        try:
+            key, spec, unit = self._content_key(sub)
+        except SchemaError as exc:
+            self.stats["invalid"] += 1
+            return make_response("invalid", id=sub.id, error=str(exc))
+
+        # Served paths: the journaled verdict index first (free), then
+        # the shared result cache (one deserialization, no execution).
+        hit = self.completed.get(key)
+        if hit is not None:
+            self.stats["served_index"] += 1
+            return self._echo(hit, sub, cached=True, t0=t0)
+        cell = self.inflight.get(key)
+        if cell is not None:
+            # Identical submission already queued/running: coalesce.
+            fut = asyncio.get_running_loop().create_future()
+            cell.futures.append(fut)
+            return await fut
+        outcome = self.cache.get(key)
+        if outcome is not None:
+            self.stats["served_cache"] += 1
+            resp = make_response(
+                "ok",
+                id=sub.id,
+                verdict=_verdict(outcome),
+                cached=True,
+                duration_s=time.monotonic() - t0,
+            )
+            self.journal.done(key, self._canonical(resp))
+            self.completed[key] = self._canonical(resp)
+            return resp
+
+        if self._stopping:
+            return make_response(
+                "backpressure",
+                id=sub.id,
+                error="daemon shutting down",
+                retry_after_s=1.0,
+            )
+        now = time.monotonic()
+        ok, retry_after = self.queue.push(sub.tenant, key, now)
+        if not ok:
+            self.stats["backpressure"] += 1
+            return make_response(
+                "backpressure",
+                id=sub.id,
+                error="admission queue full or tenant over rate",
+                retry_after_s=round(retry_after, 3),
+            )
+
+        # Durably accepted from here: spool the payload first (trace
+        # uploads), then the fsynced journal line.
+        if sub.trace_bytes is not None:
+            self.journal.spool_upload(key, sub.trace_bytes)
+        self.journal.accepted(key, self._journal_request(sub, key))
+        cell = _Cell(
+            key=key,
+            sub=sub,
+            spec=spec,
+            unit=unit,
+            accepted_t=now,
+            deadline_s=sub.deadline_s or self.default_deadline_s,
+        )
+        self.inflight[key] = cell
+        fut = asyncio.get_running_loop().create_future()
+        cell.futures.append(fut)
+        return await fut
+
+    def stats_snapshot(self) -> dict:
+        snap = dict(self.stats)
+        snap.update(
+            queued=len(self.queue),
+            running=self.pool.active,
+            inflight=len(self.inflight),
+            completed_index=len(self.completed),
+            pressure=self._pressure().level,
+        )
+        return snap
+
+    # -- internals ----------------------------------------------------------
+
+    def _content_key(self, sub: Submission):
+        """(key, spec, unit) for a submission; raises SchemaError."""
+        if sub.kind == "trace":
+            digest = hashlib.sha256(sub.trace_bytes).hexdigest()
+            key = _trace_upload_key(digest, sub.tool)
+            unit = TraceUploadUnit(
+                path=str(self.journal.uploads / f"{key}.trc"), tool=sub.tool
+            )
+            return key, None, unit
+        if sub.kind == "workload":
+            try:
+                resolve_workload(sub.workload)
+            except KeyError as exc:
+                raise SchemaError(str(exc.args[0]) if exc.args else "unknown workload")
+            workload: Union[str, Workload] = sub.workload
+        else:  # source
+            try:
+                program = assemble(sub.source)
+            except AsmError as exc:
+                raise SchemaError(f"source does not assemble: {exc}")
+            del program  # assembled only to validate; build re-assembles fresh
+            name = f"src-{hashlib.sha256(sub.source.encode()).hexdigest()[:12]}"
+            workload = Workload(name=name, build=lambda text=sub.source: assemble(text))
+        spec = RunSpec(
+            workload=workload,
+            config=sub.tool,
+            seed=sub.seed,
+            max_steps=sub.max_steps,
+        )
+        return spec_key(spec), spec, None
+
+    def _journal_request(self, sub: Submission, key: str) -> dict:
+        """The replayable request form the journal stores (no payload blobs)."""
+        req = {
+            "v": 1,
+            "tenant": sub.tenant,
+            "kind": sub.kind,
+            "tool": sub.tool,
+        }
+        for f in ("id", "workload", "source", "seed", "max_steps", "deadline_s"):
+            value = getattr(sub, f)
+            if value is not None:
+                req[f] = value
+        # Trace payloads live in the spool, keyed by content; the
+        # journal only needs to know to look there.
+        return req
+
+    def _rebuild_cell(self, key: str, req: dict) -> Optional[_Cell]:
+        """Reconstruct a journaled in-flight request for the restart drain."""
+        try:
+            sub = Submission(
+                tenant=req["tenant"],
+                kind=req["kind"],
+                id=req.get("id"),
+                workload=req.get("workload"),
+                source=req.get("source"),
+                trace_bytes=None,
+                tool=req.get("tool", "helgrind-lib-spin7"),
+                seed=req.get("seed"),
+                max_steps=req.get("max_steps"),
+                deadline_s=req.get("deadline_s"),
+            )
+            if sub.kind == "trace":
+                if self.journal.upload_path(key) is None:
+                    return None
+                unit = TraceUploadUnit(
+                    path=str(self.journal.uploads / f"{key}.trc"), tool=sub.tool
+                )
+                return _Cell(
+                    key=key, sub=sub, spec=None, unit=unit,
+                    accepted_t=time.monotonic(),
+                    deadline_s=sub.deadline_s or self.default_deadline_s,
+                )
+            rebuilt_key, spec, _ = self._content_key(sub)
+            if rebuilt_key != key:
+                return None  # generator drifted since journaling: honest miss
+            return _Cell(
+                key=key, sub=sub, spec=spec, unit=None,
+                accepted_t=time.monotonic(),
+                deadline_s=sub.deadline_s or self.default_deadline_s,
+            )
+        except (SchemaError, KeyError, TypeError):
+            return None
+
+    def _echo(self, indexed: dict, sub: Submission, cached: bool, t0: float) -> dict:
+        """Re-address an indexed response to the current client."""
+        resp = dict(indexed)
+        resp["cached"] = cached
+        resp["duration_s"] = time.monotonic() - t0
+        if sub.id is not None:
+            resp["id"] = sub.id
+        else:
+            resp.pop("id", None)
+        return resp
+
+    @staticmethod
+    def _canonical(resp: dict) -> dict:
+        """The client-independent form stored in journal/index."""
+        out = {k: v for k, v in resp.items() if k not in ("id", "duration_s", "cached")}
+        return out
+
+    def _pressure(self):
+        forced = os.environ.get(FORCE_PRESSURE_ENV)
+        if forced in ("ok", "degraded", "critical"):
+            return assess_pressure(
+                ResourceBudget(max_rss_bytes=1),
+                rss_bytes={"ok": 0, "degraded": 1, "critical": 2}[forced],
+                degrade_at=0.75,
+                shed_at=1.5,
+            )
+        disk = 0
+        if self.budget is not None and self.budget.disk_quota_bytes:
+            disk = self.journal.spool_bytes()
+            try:
+                disk += sum(
+                    p.stat().st_size
+                    for p in self.cache.root.glob("*.pkl")
+                    if p.is_file()
+                )
+            except OSError:
+                pass
+        return assess_pressure(self.budget, disk_bytes=disk)
+
+    def _resolve(self, cell: _Cell, resp: dict, journal: bool = True) -> None:
+        """Journal, index, and deliver one cell's response."""
+        if journal:
+            canonical = self._canonical(resp)
+            self.journal.done(cell.key, canonical)
+            self.completed[cell.key] = canonical
+        self.inflight.pop(cell.key, None)
+        for fut in cell.futures:
+            if not fut.done():
+                fut.set_result(dict(resp))
+
+    def _dispatch(self, cell: _Cell, degraded: bool) -> bool:
+        """Submit one cell to the pool; False = deadline already gone."""
+        now = time.monotonic()
+        remaining = None
+        if cell.deadline_s is not None:
+            remaining = cell.deadline_s - (now - cell.accepted_t)
+            if remaining <= 0:
+                self.stats["errors"] += 1
+                self._resolve(
+                    cell,
+                    make_response(
+                        "error",
+                        id=cell.sub.id,
+                        error=f"deadline {cell.deadline_s:.3g}s exceeded in queue",
+                    ),
+                )
+                return False
+        cell.degraded = degraded
+        if cell.unit is not None:
+            work = cell.unit
+        elif degraded:
+            # Pressure mode: record once, then analyze as a streaming
+            # replay — bounded memory, identical report fingerprint.
+            work = dataclasses.replace(cell.spec, trace_mode="replay")
+        else:
+            work = cell.spec
+        self.pool.submit(
+            work,
+            token=cell.key,
+            attempt=cell.attempt,
+            degraded=degraded,
+            timeout_s=remaining,
+        )
+        self.stats["executed"] += 1
+        if degraded:
+            self.stats["degraded_runs"] += 1
+        return True
+
+    def _handle_exit(self, exit: WorkerExit) -> None:
+        cell = self.inflight.get(exit.token)
+        if cell is None:
+            return  # already resolved (shed/deadline) — late straggler
+        if exit.kind == "ok":
+            outcome: RunOutcome = exit.payload
+            if not exit.degraded and (cell.spec is not None or cell.unit is not None):
+                # Non-degraded verdicts enter the shared result cache
+                # under the same key a direct sweep would use; degraded
+                # ones are only indexed (their outcome shape differs).
+                self.cache.put(cell.key, outcome)
+            status = "degraded" if exit.degraded else "ok"
+            self._resolve(
+                cell,
+                make_response(
+                    status,
+                    id=cell.sub.id,
+                    verdict=_verdict(outcome),
+                    degraded=exit.degraded,
+                    duration_s=time.monotonic() - cell.accepted_t,
+                ),
+            )
+            return
+        if exit.kind == "oom" and not exit.degraded:
+            # Over the memory budget: one degraded (streaming) retry.
+            cell.attempt += 1
+            cell.degraded = True
+            self.queue.requeue(cell.sub.tenant, cell.key)
+            return
+        self.stats["errors"] += 1
+        label = {
+            "timeout": f"deadline exceeded ({exit.payload})",
+            "hung": f"worker hung: {exit.payload}",
+            "crash": f"worker crashed: {exit.payload}",
+            "error": str(exit.payload),
+            "oom": f"over memory budget even degraded (rss {exit.payload})",
+        }[exit.kind]
+        self._resolve(
+            cell,
+            make_response(
+                "error",
+                id=cell.sub.id,
+                error=label,
+                degraded=exit.degraded,
+                duration_s=time.monotonic() - cell.accepted_t,
+            ),
+        )
+
+    async def _run(self) -> None:
+        """The scheduling loop: pressure → shed → dispatch → poll."""
+        while True:
+            pressure = self._pressure()
+            if pressure.critical and len(self.queue):
+                for key in self.queue.shed(len(self.queue)):
+                    cell = self.inflight.get(key)
+                    if cell is None:
+                        continue
+                    self.stats["shed"] += 1
+                    self._resolve(
+                        cell,
+                        make_response(
+                            "shed",
+                            id=cell.sub.id,
+                            error="shed under critical resource pressure",
+                            retry_after_s=1.0,
+                        ),
+                    )
+            while len(self.queue) and self.pool.free_slots and not self._stopping:
+                key = self.queue.pop()
+                cell = self.inflight.get(key)
+                if cell is None:
+                    continue
+                self._dispatch(cell, degraded=cell.degraded or pressure.degraded)
+            for exit in self.pool.poll():
+                self._handle_exit(exit)
+            await asyncio.sleep(self.poll_interval_s)

@@ -1,0 +1,180 @@
+"""Admission control: per-tenant token buckets and a fair bounded queue.
+
+Two mechanisms keep one noisy tenant from starving the rest:
+
+* a :class:`TokenBucket` per tenant rate-limits *admission* — a tenant
+  over its sustained rate gets an immediate ``backpressure`` response
+  instead of a queue slot;
+* the :class:`AdmissionQueue` holds admitted-but-not-yet-scheduled work
+  in per-tenant FIFO lanes with a *global* depth bound, dequeues
+  round-robin across tenants (so K tenants each get ~1/K of the worker
+  pool regardless of arrival order), and sheds load **tenant-fairly**
+  under critical resource pressure: the longest lanes lose work first,
+  so the tenant who queued the most absorbs the most shedding.
+
+Both are driven by an explicit ``now`` timestamp rather than an
+internal clock read, which keeps every fairness decision deterministic
+under test.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+__all__ = ["TokenBucket", "AdmissionQueue"]
+
+
+@dataclass
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second, ``burst`` capacity.
+
+    Starts full (a fresh tenant may burst immediately).  :meth:`take`
+    refills lazily from the elapsed time, then spends one token if one
+    is available.
+    """
+
+    rate: float
+    burst: float
+    tokens: float = field(default=-1.0)
+    last_t: float = field(default=0.0)
+
+    def __post_init__(self) -> None:
+        if self.tokens < 0:
+            self.tokens = self.burst
+
+    def take(self, now: float) -> bool:
+        """Spend one token at time ``now``; False means rate-limited."""
+        if self.last_t:
+            self.tokens = min(self.burst, self.tokens + (now - self.last_t) * self.rate)
+        self.last_t = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+    def retry_after_s(self) -> float:
+        """Seconds until one token will be available (advisory)."""
+        if self.tokens >= 1.0 or self.rate <= 0:
+            return 0.0
+        return (1.0 - self.tokens) / self.rate
+
+
+class AdmissionQueue:
+    """Bounded multi-tenant queue: FIFO per lane, round-robin across lanes.
+
+    ``push`` enforces the global depth bound and the tenant's token
+    bucket; ``pop`` serves tenants in rotation; ``shed`` drops queued
+    items tenant-fairly (longest lanes first, newest items within a
+    lane first — the work least likely to have a waiting client).
+    """
+
+    def __init__(
+        self,
+        depth: int = 64,
+        tenant_rate: float = 8.0,
+        tenant_burst: float = 16.0,
+    ) -> None:
+        self.depth = depth
+        self.tenant_rate = tenant_rate
+        self.tenant_burst = tenant_burst
+        #: insertion-ordered so round-robin rotation is deterministic
+        self._lanes: "OrderedDict[str, Deque[object]]" = OrderedDict()
+        self._buckets: Dict[str, TokenBucket] = {}
+        self.pushed = 0
+        self.refused = 0
+        self.shed_count = 0
+
+    def __len__(self) -> int:
+        return sum(len(lane) for lane in self._lanes.values())
+
+    @property
+    def full(self) -> bool:
+        return len(self) >= self.depth
+
+    def bucket(self, tenant: str) -> TokenBucket:
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = self._buckets[tenant] = TokenBucket(
+                rate=self.tenant_rate, burst=self.tenant_burst
+            )
+        return bucket
+
+    def push(self, tenant: str, item: object, now: float) -> Tuple[bool, float]:
+        """Admit ``item`` for ``tenant``; ``(False, retry_after_s)`` on refusal.
+
+        Refuses when the global queue is full or the tenant is over its
+        token rate — the two explicit-backpressure conditions.
+        """
+        bucket = self.bucket(tenant)
+        if not bucket.take(now):
+            self.refused += 1
+            return False, max(bucket.retry_after_s(), 0.05)
+        if self.full:
+            self.refused += 1
+            return False, 0.5
+        lane = self._lanes.get(tenant)
+        if lane is None:
+            lane = self._lanes[tenant] = deque()
+        lane.append(item)
+        self.pushed += 1
+        return True, 0.0
+
+    def requeue(self, tenant: str, item: object) -> None:
+        """Enqueue without admission checks — for work that was *already*
+        admitted (the restart drain, degraded retries).  Bypasses the
+        token bucket and the depth bound: durably accepted work is never
+        bounced back at the client."""
+        lane = self._lanes.get(tenant)
+        if lane is None:
+            lane = self._lanes[tenant] = deque()
+        lane.append(item)
+
+    def pop(self) -> Optional[object]:
+        """Dequeue the next item, rotating across tenants round-robin."""
+        for tenant in list(self._lanes):
+            lane = self._lanes[tenant]
+            if not lane:
+                del self._lanes[tenant]
+                continue
+            item = lane.popleft()
+            # Rotate the lane to the back so the next pop serves the
+            # next tenant; drop it entirely once drained.
+            del self._lanes[tenant]
+            if lane:
+                self._lanes[tenant] = lane
+            return item
+        return None
+
+    def shed(self, count: int) -> List[object]:
+        """Drop up to ``count`` queued items tenant-fairly; returns them.
+
+        Repeatedly takes from whichever lane is currently longest (ties
+        broken by lane order), popping from the *tail* — the most
+        recently queued work.  A tenant with one queued request keeps it
+        while a tenant with ten loses several: proportional pain.
+        """
+        dropped: List[object] = []
+        while count > 0:
+            longest: Optional[str] = None
+            for tenant, lane in self._lanes.items():
+                if lane and (longest is None or len(lane) > len(self._lanes[longest])):
+                    longest = tenant
+            if longest is None:
+                break
+            dropped.append(self._lanes[longest].pop())
+            if not self._lanes[longest]:
+                del self._lanes[longest]
+            count -= 1
+        self.shed_count += len(dropped)
+        return dropped
+
+    def drain(self) -> List[object]:
+        """Remove and return everything still queued (shutdown path)."""
+        out: List[object] = []
+        while True:
+            item = self.pop()
+            if item is None:
+                return out
+            out.append(item)

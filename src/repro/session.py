@@ -104,6 +104,15 @@ class SessionResult:
         return self.result.ok
 
     @property
+    def fingerprint(self) -> str:
+        """sha256 hex digest of :meth:`Report.fingerprint` — the wire
+        form the analysis service serves in verdicts, so a served
+        verdict and a direct session compare with ``==``."""
+        import hashlib
+
+        return hashlib.sha256(self.report.fingerprint().encode()).hexdigest()
+
+    @property
     def racy_contexts(self) -> int:
         return self.report.racy_contexts
 

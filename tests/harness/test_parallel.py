@@ -3,6 +3,8 @@
 import json
 import os
 import pickle
+import signal
+import threading
 import time
 
 import pytest
@@ -12,6 +14,7 @@ from repro.harness.parallel import (
     ResultCache,
     RunSpec,
     SweepError,
+    _sigterm_as_interrupt,
     run_sweep,
     sweep_specs,
     summarize_records,
@@ -243,6 +246,65 @@ class TestRobustness:
                 retries=0,
                 strict=True,
             )
+
+
+class TestSigtermHandling:
+    """A supervisor's SIGTERM gets the same graceful teardown as Ctrl-C."""
+
+    def test_sigterm_raises_keyboard_interrupt_and_restores_handler(self):
+        prev = signal.getsignal(signal.SIGTERM)
+        with pytest.raises(KeyboardInterrupt, match="SIGTERM"):
+            with _sigterm_as_interrupt():
+                os.kill(os.getpid(), signal.SIGTERM)
+                time.sleep(5.0)  # the pending signal interrupts the sleep
+        assert signal.getsignal(signal.SIGTERM) is prev
+
+    def test_noop_off_the_main_thread(self):
+        # Signal handlers can only be installed from the main thread;
+        # elsewhere the context must be inert, not crash.
+        prev = signal.getsignal(signal.SIGTERM)
+        seen = {}
+
+        def body():
+            with _sigterm_as_interrupt():
+                seen["handler"] = signal.getsignal(signal.SIGTERM)
+
+        t = threading.Thread(target=body)
+        t.start()
+        t.join()
+        assert seen["handler"] is prev
+
+    def test_sigterm_mid_sweep_returns_journaled_partial_result(self, tmp_path):
+        # A stray late SIGTERM (sweep somehow done first) must not kill
+        # pytest with the default action.
+        outer = signal.signal(signal.SIGTERM, lambda *_a: None)
+        hang = Workload(
+            name="par_term_hang",
+            build=_spin_forever_program,
+            seed=1,
+            max_steps=500_000_000,
+        )
+        specs = [
+            RunSpec(_handoff(), ToolConfig.helgrind_lib(), 1),
+            RunSpec(hang, ToolConfig.helgrind_lib(), 1),
+        ]
+        timer = threading.Timer(2.0, os.kill, (os.getpid(), signal.SIGTERM))
+        timer.start()
+        try:
+            result = run_sweep(
+                specs, workers=2, journal_dir=tmp_path, timeout_s=120.0
+            )
+        finally:
+            timer.cancel()
+            signal.signal(signal.SIGTERM, outer)
+        assert result.interrupted is True
+        done = [r for r in result.records if r.workload != "par_term_hang"]
+        assert [r.status for r in done] == ["ok"]
+        # The finished record reached the fsynced journal before return.
+        entries = []
+        for path in tmp_path.glob("sweep-*.jsonl"):
+            entries += path.read_text().splitlines()[1:]
+        assert len(entries) == len(done)
 
 
 class TestCacheIntegrity:

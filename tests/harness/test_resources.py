@@ -11,7 +11,9 @@ import pytest
 
 from repro.harness import resources
 from repro.harness.resources import (
+    PressureReport,
     ResourceBudget,
+    assess_pressure,
     current_rss_bytes,
     parse_size,
     peak_rss_bytes,
@@ -47,6 +49,25 @@ class TestParseSize:
         # A silently misparsed budget is worse than no budget.
         with pytest.raises(ValueError):
             parse_size(text)
+
+    @pytest.mark.parametrize(
+        "text,fragment",
+        [
+            ("", "empty size"),
+            ("   ", "empty size"),
+            ("b", "empty size"),        # bare suffix, no value
+            ("1q", "cannot parse"),
+            ("much", "cannot parse"),
+            ("-1g", "negative size"),
+        ],
+    )
+    def test_errors_name_the_offending_input(self, text, fragment):
+        # The message must carry both the failure mode and the exact
+        # input, so a bad --max-rss flag is diagnosable from the log.
+        with pytest.raises(ValueError) as exc:
+            parse_size(text)
+        assert fragment in str(exc.value)
+        assert repr(text) in str(exc.value)
 
 
 class TestResourceBudget:
@@ -167,3 +188,67 @@ class TestBallastKnob:
     def test_garbage_values_are_inert(self, monkeypatch, raw):
         monkeypatch.setenv(resources.BALLAST_ENV, raw)
         assert resources.test_ballast_bytes(False) is None
+
+
+class TestAssessPressure:
+    BUDGET = ResourceBudget(max_rss_bytes=1000, disk_quota_bytes=1000)
+
+    def sample(self, rss=0, disk=0, budget=BUDGET, **kw):
+        return assess_pressure(budget, disk_bytes=disk, rss_bytes=rss, **kw)
+
+    def test_no_budget_is_always_ok(self):
+        report = assess_pressure(None, disk_bytes=10**18, rss_bytes=10**18)
+        assert report.level == "ok"
+        assert report.rss_frac is None and report.disk_frac is None
+        assert not report.degraded and not report.critical
+
+    def test_ungoverned_axes_report_no_fraction(self):
+        report = self.sample(rss=900, disk=900, budget=ResourceBudget())
+        assert report.level == "ok"
+        assert report.rss_frac is None and report.disk_frac is None
+
+    @pytest.mark.parametrize(
+        "rss,level",
+        [
+            (0, "ok"),
+            (749, "ok"),
+            (750, "degraded"),   # inclusive degrade watermark (0.75)
+            (919, "degraded"),
+            (920, "critical"),   # inclusive shed watermark (0.92)
+            (5000, "critical"),  # past 100% is still just critical
+        ],
+    )
+    def test_rss_watermarks(self, rss, level):
+        report = self.sample(rss=rss)
+        assert report.level == level
+        assert report.rss_frac == rss / 1000
+
+    def test_disk_axis_alone_can_degrade_and_shed(self):
+        assert self.sample(disk=800).level == "degraded"
+        assert self.sample(disk=950).level == "critical"
+
+    def test_worst_axis_wins(self):
+        # Healthy RSS must not mask a critical disk spool, or vice versa.
+        assert self.sample(rss=100, disk=950).level == "critical"
+        assert self.sample(rss=950, disk=100).level == "critical"
+
+    def test_custom_watermarks(self):
+        report = self.sample(rss=600, degrade_at=0.5, shed_at=0.9)
+        assert report.level == "degraded"
+        assert self.sample(rss=950, degrade_at=0.5, shed_at=0.9).critical
+
+    def test_degraded_property_covers_critical(self):
+        # ``degraded`` means "not ok" — critical callers must also take
+        # the low-memory path, on top of shedding.
+        assert not self.sample(rss=100).degraded
+        assert self.sample(rss=800).degraded and not self.sample(rss=800).critical
+        assert self.sample(rss=990).degraded and self.sample(rss=990).critical
+
+    def test_default_rss_is_sampled_from_this_process(self):
+        # rss_bytes=None falls back to a live sample; a real interpreter
+        # is megabytes, so an enormous budget stays "ok".
+        report = assess_pressure(ResourceBudget(max_rss_bytes=1 << 50))
+        assert report.level == "ok" and report.rss_bytes > (1 << 20)
+
+    def test_report_is_a_pressure_report(self):
+        assert isinstance(self.sample(), PressureReport)

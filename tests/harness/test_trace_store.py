@@ -188,3 +188,68 @@ class TestKeying:
             workload="streamcluster", config="drd", seed=1, scheduler="round-robin"
         )
         assert key_for_spec(live) != key_for_spec(rr)
+
+
+class TestConcurrentQuotaEviction:
+    """Writers racing the collector under an eviction-forcing quota.
+
+    Eviction unlinks files out from under concurrent ``gc``/``get``
+    calls (and vice versa); the store's contract is that a vanished or
+    half-visible entry is a miss, never an exception — mirroring the
+    result cache's "corruption quarantined, races tolerated" posture.
+    """
+
+    def test_writers_race_gc_without_exceptions(self, tmp_path, trace):
+        import threading
+
+        root = tmp_path / "traces"
+        # Size one entry, then pick a quota that holds ~3 of them so
+        # every writer round forces LRU eviction of someone's entry.
+        probe = TraceStore(root)
+        probe.put(KEY, trace)
+        entry_bytes = (root / f"{KEY}.trc").stat().st_size
+        quota = 3 * entry_bytes + entry_bytes // 2
+
+        errors = []
+        stop = threading.Event()
+
+        def writer(worker):
+            store = TraceStore(root, quota_bytes=quota)
+            try:
+                for i in range(10):
+                    key = f"{worker:02d}{i:02d}" + "e" * 60
+                    store.put(key, trace)
+                    got = store.get(key)
+                    # Evicted-by-a-peer reads back as a miss, nothing else.
+                    assert got is None or got == trace
+            except Exception as exc:  # pragma: no cover - the failure mode
+                errors.append(exc)
+
+        def collector():
+            store = TraceStore(root, quota_bytes=quota)
+            try:
+                while not stop.is_set():
+                    stats = store.gc()
+                    assert set(stats) == {"removed", "purged", "kept"}
+            except Exception as exc:  # pragma: no cover - the failure mode
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(w,)) for w in range(3)]
+        threads.append(threading.Thread(target=collector))
+        for t in threads:
+            t.start()
+        for t in threads[:-1]:
+            t.join()
+        stop.set()
+        threads[-1].join()
+
+        assert errors == []
+        # The survivors are intact and the store still honors its quota
+        # once a final enforcement pass runs.
+        survivor = TraceStore(root, quota_bytes=quota)
+        for key in survivor.keys():
+            got = survivor.get(key)
+            assert got is None or got == trace
+        survivor._enforce_quota()
+        total = sum(p.stat().st_size for p in root.glob("*.trc"))
+        assert total <= quota

@@ -1,0 +1,1 @@
+"""Analysis-service tests: schema, fairness, journal, engine, transports."""

@@ -1,0 +1,108 @@
+"""Admission fairness: token buckets, round-robin lanes, tenant-fair shed.
+
+Both primitives take explicit ``now`` timestamps, so every decision
+here is exact — no sleeps, no tolerance windows.
+"""
+
+from repro.service.fairness import AdmissionQueue, TokenBucket
+
+
+class TestTokenBucket:
+    def test_starts_full_and_spends(self):
+        b = TokenBucket(rate=1.0, burst=3.0)
+        assert [b.take(t) for t in (1.0, 1.0, 1.0)] == [True, True, True]
+        assert b.take(1.0) is False
+
+    def test_refills_at_rate(self):
+        b = TokenBucket(rate=2.0, burst=2.0)
+        assert b.take(0.5) and b.take(0.5)
+        assert not b.take(0.5)
+        # 0.5s at 2 tokens/s refills exactly one token.
+        assert b.take(1.0)
+        assert not b.take(1.0)
+
+    def test_refill_caps_at_burst(self):
+        b = TokenBucket(rate=100.0, burst=2.0)
+        b.take(1.0)
+        # A long idle period must not bank more than the burst.
+        assert [b.take(1000.0) for _ in range(3)] == [True, True, False]
+
+    def test_retry_after_reflects_deficit(self):
+        b = TokenBucket(rate=2.0, burst=1.0)
+        assert b.retry_after_s() == 0.0
+        b.take(1.0)
+        assert abs(b.retry_after_s() - 0.5) < 1e-9  # 1 token at 2/s
+
+
+class TestAdmissionQueue:
+    def queue(self, **kw):
+        kw.setdefault("depth", 8)
+        kw.setdefault("tenant_rate", 1000.0)
+        kw.setdefault("tenant_burst", 1000.0)
+        return AdmissionQueue(**kw)
+
+    def test_round_robin_across_tenants(self):
+        q = self.queue()
+        for item in ("a1", "a2", "a3"):
+            q.push("a", item, now=1.0)
+        for item in ("b1", "b2"):
+            q.push("b", item, now=1.0)
+        # Tenant a queued first and more, but service alternates.
+        assert [q.pop() for _ in range(5)] == ["a1", "b1", "a2", "b2", "a3"]
+        assert q.pop() is None
+
+    def test_depth_bound_refuses(self):
+        q = self.queue(depth=2)
+        assert q.push("a", 1, now=1.0) == (True, 0.0)
+        assert q.push("b", 2, now=1.0) == (True, 0.0)
+        ok, retry_after = q.push("c", 3, now=1.0)
+        assert not ok and retry_after > 0
+        assert q.refused == 1 and len(q) == 2
+
+    def test_rate_limit_refuses_with_retry_after(self):
+        q = self.queue(tenant_rate=1.0, tenant_burst=1.0)
+        assert q.push("a", 1, now=1.0)[0]
+        ok, retry_after = q.push("a", 2, now=1.0)
+        assert not ok and retry_after > 0
+        # The other tenant's bucket is untouched.
+        assert q.push("b", 3, now=1.0)[0]
+
+    def test_requeue_bypasses_admission(self):
+        q = self.queue(depth=1, tenant_rate=1e-9, tenant_burst=1e-9)
+        assert not q.push("a", 1, now=1.0)[0]
+        q.requeue("a", "drained-1")  # already-accepted work is never bounced
+        q.requeue("a", "drained-2")
+        assert len(q) == 2
+        assert q.pop() == "drained-1"
+
+    def test_shed_takes_from_longest_lane_newest_first(self):
+        q = self.queue()
+        for item in ("a1", "a2", "a3", "a4"):
+            q.push("a", item, now=1.0)
+        q.push("b", "b1", now=1.0)
+        dropped = q.shed(3)
+        # Tenant a (4 queued) absorbs all of it, tail first; tenant b's
+        # single request survives.
+        assert dropped == ["a4", "a3", "a2"]
+        assert q.shed_count == 3
+        assert sorted([q.pop(), q.pop()]) == ["a1", "b1"]
+
+    def test_shed_more_than_queued(self):
+        q = self.queue()
+        q.push("a", "a1", now=1.0)
+        assert q.shed(10) == ["a1"]
+        assert q.shed(1) == []
+
+    def test_drain_returns_everything_in_service_order(self):
+        q = self.queue()
+        q.push("a", "a1", now=1.0)
+        q.push("b", "b1", now=1.0)
+        q.push("a", "a2", now=1.0)
+        assert q.drain() == ["a1", "b1", "a2"]
+        assert len(q) == 0
+
+    def test_counters(self):
+        q = self.queue(depth=1)
+        q.push("a", 1, now=1.0)
+        q.push("a", 2, now=1.0)
+        assert q.pushed == 1 and q.refused == 1
